@@ -1,0 +1,180 @@
+(* Benchmark harness: regenerates EVERY table and figure of the paper's
+   evaluation (Sections VI/VII) and runs Bechamel micro-benchmarks of the
+   hot CHEx86 hardware structures.
+
+     dune exec bench/main.exe              # everything
+     dune exec bench/main.exe -- figure6   # one target
+     CHEX86_SCALE=2 dune exec bench/main.exe
+
+   The per-experiment index mapping each target to the paper's table or
+   figure lives in DESIGN.md; EXPERIMENTS.md records the paper-vs-measured
+   comparison of a full run. *)
+
+module Experiments = Chex86_harness.Experiments
+
+(* --- Bechamel micro-benchmarks of the added hardware structures -------- *)
+
+let microbench_tests () =
+  let open Bechamel in
+  let counters = Chex86_stats.Counter.create_group () in
+  (* capability cache: steady-state access over 96 live PIDs *)
+  let cap_cache = Chex86.Cap_cache.create ~entries:64 counters in
+  let cap_i = ref 0 in
+  let cap_cache_access =
+    Test.make ~name:"cap_cache.access (64-entry FA)"
+      (Staged.stage (fun () ->
+           incr cap_i;
+           ignore (Chex86.Cap_cache.access cap_cache (1 + (!cap_i mod 96)))))
+  in
+  (* alias predictor: predict + update on a strided PID stream *)
+  let predictor = Chex86.Alias_predictor.create counters in
+  let pred_i = ref 0 in
+  let predictor_cycle =
+    Test.make ~name:"alias_predictor.predict+update"
+      (Staged.stage (fun () ->
+           incr pred_i;
+           let pc = 0x400000 + ((!pred_i mod 64) * 4) in
+           ignore (Chex86.Alias_predictor.predict predictor pc);
+           Chex86.Alias_predictor.update predictor pc ~actual:(1 + (!pred_i mod 32))))
+  in
+  (* 5-level shadow alias table walk *)
+  let alias_table = Chex86.Alias_table.create counters in
+  for i = 0 to 1023 do
+    Chex86.Alias_table.set alias_table (0x10000000 + (i * 8)) (1 + (i mod 64))
+  done;
+  let walk_i = ref 0 in
+  let alias_walk =
+    Test.make ~name:"alias_table.walk (5-level)"
+      (Staged.stage (fun () ->
+           incr walk_i;
+           ignore
+             (Chex86.Alias_table.get alias_table (0x10000000 + (!walk_i mod 1024 * 8)))))
+  in
+  (* rule database lookup per micro-op *)
+  let rules = Chex86.Rules.create () in
+  let uops =
+    [|
+      Chex86_isa.Uop.Mov { dst = Greg RAX; src = Greg RBX };
+      Chex86_isa.Uop.Alu
+        { op = Chex86_isa.Insn.Add; dst = Greg RAX; src1 = Greg RAX; src2 = Imm 8 };
+      Chex86_isa.Uop.Load
+        {
+          dst = Greg RAX;
+          mem = Chex86_isa.Insn.mem_of_reg RBX;
+          width = Chex86_isa.Insn.W64;
+        };
+      Chex86_isa.Uop.Limm { dst = Greg RAX; imm = 42 };
+    |]
+  in
+  let rule_i = ref 0 in
+  let rule_lookup =
+    Test.make ~name:"rules.action_for (Table I lookup)"
+      (Staged.stage (fun () ->
+           incr rule_i;
+           ignore (Chex86.Rules.action_for rules uops.(!rule_i land 3))))
+  in
+  (* decoder crack *)
+  let insns =
+    [|
+      Chex86_isa.Insn.Mov (W64, Reg RAX, Mem (Chex86_isa.Insn.mem_of_reg RBX));
+      Chex86_isa.Insn.Alu (Add, Mem (Chex86_isa.Insn.mem_of_reg RBX), Reg RAX);
+      Chex86_isa.Insn.Push (Reg RAX);
+      Chex86_isa.Insn.Call (Label "f");
+    |]
+  in
+  let dec_i = ref 0 in
+  let decode =
+    Test.make ~name:"decoder.decode (CISC->uop crack)"
+      (Staged.stage (fun () ->
+           incr dec_i;
+           ignore (Chex86_isa.Decoder.decode insns.(!dec_i land 3))))
+  in
+  (* tracker propagate + commit *)
+  let tracker = Chex86.Tracker.create () in
+  let trk_i = ref 0 in
+  let tracker_cycle =
+    Test.make ~name:"tracker.set+commit"
+      (Staged.stage (fun () ->
+           incr trk_i;
+           let seq = Chex86.Tracker.next_seq tracker in
+           Chex86.Tracker.set_pid tracker (Greg RAX) ~seq ~pid:(!trk_i mod 7);
+           Chex86.Tracker.commit_upto tracker ~seq))
+  in
+  [ cap_cache_access; predictor_cycle; alias_walk; rule_lookup; decode; tracker_cycle ]
+
+let run_microbenches () =
+  let open Bechamel in
+  print_endline (Chex86_stats.Render.banner "Bechamel micro-benchmarks (hot structures)");
+  let instances = [ Toolkit.Instance.monotonic_clock ] in
+  let cfg = Benchmark.cfg ~limit:1000 ~quota:(Time.second 0.25) ~kde:(Some 500) () in
+  let ols = Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |] in
+  List.iter
+    (fun test ->
+      List.iter
+        (fun elt ->
+          let raw = Benchmark.run cfg instances elt in
+          let est = Analyze.one ols Toolkit.Instance.monotonic_clock raw in
+          let ns = match Analyze.OLS.estimates est with Some (t :: _) -> t | _ -> nan in
+          Printf.printf "%-40s %10.1f ns/op\n%!" (Test.Elt.name elt) ns)
+        (Test.elements test))
+    (microbench_tests ())
+
+(* --- simulated-machine throughput --------------------------------------- *)
+
+let run_throughput () =
+  print_endline (Chex86_stats.Render.banner "Simulator throughput");
+  let w = Chex86_workloads.Workloads.find "mcf" in
+  List.iter
+    (fun (name, config) ->
+      let t0 = Unix.gettimeofday () in
+      let run = Chex86_harness.Runner.run_program config (w.build ~scale:1) in
+      let dt = Unix.gettimeofday () -. t0 in
+      Printf.printf "%-40s %8.0f kinsn/s (%d macro-ops in %.2fs)\n%!" name
+        (float_of_int run.Chex86_harness.Runner.macro_insns /. dt /. 1000.)
+        run.Chex86_harness.Runner.macro_insns dt)
+    [
+      ("insecure baseline", Chex86_harness.Runner.insecure);
+      ("CHEx86 prediction-driven", Chex86_harness.Runner.prediction);
+      ("ASan", Chex86_harness.Runner.Asan);
+    ]
+
+(* --- driver -------------------------------------------------------------- *)
+
+let targets =
+  Experiments.all
+  @ Chex86_harness.Ablations.all
+  @ [ ("multicore", Chex86_harness.Multicore.report) ]
+  @ [
+      ( "microbench",
+        fun () ->
+          run_microbenches ();
+          "" );
+      ( "throughput",
+        fun () ->
+          run_throughput ();
+          "" );
+    ]
+
+let () =
+  let requested = List.tl (Array.to_list Sys.argv) in
+  let chosen =
+    if requested = [] then List.map fst targets
+    else begin
+      List.iter
+        (fun name ->
+          if not (List.mem_assoc name targets) then begin
+            Printf.eprintf "unknown target %S; available: %s\n" name
+              (String.concat ", " (List.map fst targets));
+            exit 1
+          end)
+        requested;
+      requested
+    end
+  in
+  List.iter
+    (fun name ->
+      let t0 = Unix.gettimeofday () in
+      let out = (List.assoc name targets) () in
+      if out <> "" then print_endline out;
+      Printf.printf "[%s: %.1fs]\n\n%!" name (Unix.gettimeofday () -. t0))
+    chosen

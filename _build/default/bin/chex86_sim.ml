@@ -1,0 +1,186 @@
+(* chex86_sim: run a benchmark workload on the simulated CHEx86 machine.
+
+     chex86_sim run --workload mcf --variant prediction --scale 1
+     chex86_sim list
+     chex86_sim experiment figure6
+
+   The [experiment] subcommand regenerates any single table/figure of the
+   paper (the bench executable regenerates all of them). *)
+
+open Cmdliner
+module Runner = Chex86_harness.Runner
+
+let variant_of_string = function
+  | "insecure" -> Ok Runner.insecure
+  | "hardware" -> Ok (Runner.Chex (Chex86.Variant.make Chex86.Variant.Hardware_only))
+  | "bt" -> Ok (Runner.Chex (Chex86.Variant.make Chex86.Variant.Binary_translation))
+  | "always-on" ->
+    Ok (Runner.Chex (Chex86.Variant.make Chex86.Variant.Microcode_always_on))
+  | "prediction" -> Ok Runner.prediction
+  | "asan" -> Ok Runner.Asan
+  | s -> Error (`Msg (Printf.sprintf "unknown variant %S" s))
+
+let variant_conv =
+  Arg.conv
+    ( variant_of_string,
+      fun ppf c -> Format.pp_print_string ppf (Runner.config_name c) )
+
+let workload_arg =
+  Arg.(
+    required
+    & opt (some string) None
+    & info [ "w"; "workload" ] ~docv:"NAME" ~doc:"Benchmark workload to run.")
+
+let variant_arg =
+  Arg.(
+    value
+    & opt variant_conv Runner.prediction
+    & info [ "v"; "variant" ] ~docv:"VARIANT"
+        ~doc:
+          "Protection configuration: insecure | hardware | bt | always-on | \
+           prediction | asan.")
+
+let scale_arg =
+  Arg.(value & opt int 1 & info [ "s"; "scale" ] ~docv:"N" ~doc:"Workload scale factor.")
+
+let counters_arg =
+  Arg.(value & flag & info [ "counters" ] ~doc:"Dump all event counters after the run.")
+
+let print_run name config (run : Runner.run) ~dump_counters =
+  Printf.printf "workload:      %s\n" name;
+  Printf.printf "configuration: %s\n" (Runner.config_name config);
+  (match run.outcome with
+  | Runner.Completed -> Printf.printf "outcome:       completed\n"
+  | Runner.Blocked kind ->
+    Printf.printf "outcome:       blocked (%s)\n" (Chex86.Violation.to_string kind)
+  | Runner.Aborted msg -> Printf.printf "outcome:       allocator abort (%s)\n" msg
+  | Runner.Faulted msg -> Printf.printf "outcome:       guest fault (%s)\n" msg
+  | Runner.Budget_exhausted -> Printf.printf "outcome:       instruction budget exhausted\n");
+  Printf.printf "macro insns:   %d\n" run.macro_insns;
+  Printf.printf "micro-ops:     %d (%d injected, %d killed)\n" run.uops run.uops_injected
+    run.uops_killed;
+  Printf.printf "cycles:        %d (IPC %.2f)\n" run.cycles
+    (if run.cycles = 0 then 0.
+     else float_of_int run.macro_insns /. float_of_int run.cycles);
+  Printf.printf "resident:      %d KB (+%d KB shadow)\n" (run.resident_bytes / 1024)
+    (run.shadow_bytes / 1024);
+  Printf.printf "DRAM traffic:  %d KB\n" (run.mem_bytes / 1024);
+  if dump_counters then begin
+    print_newline ();
+    List.iter
+      (fun (name, v) -> Printf.printf "%-40s %d\n" name v)
+      (Chex86_stats.Counter.to_list run.counters)
+  end
+
+let run_cmd =
+  let run workload config scale dump_counters =
+    match
+      List.find_opt
+        (fun (w : Chex86_workloads.Bench_spec.t) -> w.name = workload)
+        Chex86_workloads.Workloads.all
+    with
+    | None ->
+      Printf.eprintf "unknown workload %S; try `chex86_sim list`\n" workload;
+      exit 1
+    | Some w ->
+      let result = Runner.run_workload ~scale config w in
+      print_run workload config result ~dump_counters
+  in
+  Cmd.v
+    (Cmd.info "run" ~doc:"Run one workload under a protection configuration.")
+    Term.(const run $ workload_arg $ variant_arg $ scale_arg $ counters_arg)
+
+let list_cmd =
+  let list () =
+    List.iter
+      (fun (w : Chex86_workloads.Bench_spec.t) ->
+        Printf.printf "%-14s %-12s %s\n" w.name
+          (Chex86_workloads.Bench_spec.suite_name w.suite)
+          w.description)
+      Chex86_workloads.Workloads.all
+  in
+  Cmd.v (Cmd.info "list" ~doc:"List available workloads.") Term.(const list $ const ())
+
+let experiment_cmd =
+  let targets = Chex86_harness.Experiments.all @ Chex86_harness.Ablations.all in
+  let names = List.map fst targets in
+  let experiment name =
+    match List.assoc_opt name targets with
+    | Some f -> print_endline (f ())
+    | None ->
+      Printf.eprintf "unknown experiment %S (one of: %s)\n" name
+        (String.concat ", " names);
+      exit 1
+  in
+  let name_arg =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"EXPERIMENT")
+  in
+  Cmd.v
+    (Cmd.info "experiment"
+       ~doc:"Regenerate one of the paper's tables/figures (figure1..9, table1..4, security).")
+    Term.(const experiment $ name_arg)
+
+(* Print the instrumented micro-op stream of a workload's first N
+   macro-ops: what the decoder cracked and what the microcode
+   customization unit injected (cf. examples/microcode_view.ml). *)
+let trace_cmd =
+  let trace workload count =
+    match
+      List.find_opt
+        (fun (w : Chex86_workloads.Bench_spec.t) -> w.name = workload)
+        Chex86_workloads.Workloads.all
+    with
+    | None ->
+      Printf.eprintf "unknown workload %S; try `chex86_sim list`\n" workload;
+      exit 1
+    | Some w ->
+      let module Machine = Chex86_machine in
+      let proc = Chex86_os.Process.load (w.build ~scale:1) in
+      let hooks = Machine.Hooks.none () in
+      let sim = Machine.Simulator.create ~hooks proc in
+      let monitor =
+        Chex86.Monitor.create ~proc ~hier:(Machine.Simulator.hierarchy sim) ()
+      in
+      Chex86.Monitor.install monitor hooks;
+      let remaining = ref count in
+      let inner = hooks.Machine.Hooks.instrument in
+      hooks.Machine.Hooks.instrument <-
+        (fun ctx uops ->
+          let out = inner ctx uops in
+          if !remaining > 0 then begin
+            decr remaining;
+            let describe =
+              match (ctx.Machine.Hooks.insn, ctx.Machine.Hooks.stub) with
+              | _, Some (name, Machine.Hooks.Entry) -> Printf.sprintf "<%s>" name
+              | _, Some (name, Machine.Hooks.Exit) -> Printf.sprintf "<%s ret>" name
+              | Some insn, None -> Format.asprintf "%a" Chex86_isa.Insn.pp insn
+              | None, None -> "<?>"
+            in
+            Printf.printf "%#x  %-32s " ctx.Machine.Hooks.pc describe;
+            List.iter
+              (fun uop ->
+                let s = Format.asprintf "%a" Chex86_isa.Uop.pp uop in
+                if Chex86_isa.Uop.is_injected uop then Printf.printf "[+%s] " s
+                else Printf.printf "%s; " s)
+              out;
+            print_newline ()
+          end;
+          out);
+      ignore (Machine.Simulator.run_functional ~max_insns:(count * 4) sim)
+  in
+  let count_arg =
+    Arg.(value & opt int 40 & info [ "n" ] ~docv:"N" ~doc:"Macro-ops to trace.")
+  in
+  Cmd.v
+    (Cmd.info "trace"
+       ~doc:"Print the instrumented micro-op stream of a workload's first macro-ops.")
+    Term.(const trace $ workload_arg $ count_arg)
+
+let () =
+  let default = Term.(ret (const (`Help (`Pager, None)))) in
+  exit
+    (Cmd.eval
+       (Cmd.group ~default
+          (Cmd.info "chex86_sim" ~version:"1.0.0"
+             ~doc:"CHEx86 capability-hardware simulator")
+          [ run_cmd; list_cmd; experiment_cmd; trace_cmd ]))

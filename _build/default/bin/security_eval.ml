@@ -1,0 +1,38 @@
+(* security_eval: run the three exploit suites (RIPE, ASan tests,
+   How2Heap) against a protection configuration and print the Section
+   VII-A summary plus a per-exploit listing for the named suites. *)
+
+module Runner = Chex86_harness.Runner
+module Security = Chex86_harness.Security
+module Exploit = Chex86_exploits.Exploit
+
+let () =
+  let verbose = Array.exists (fun a -> a = "-v" || a = "--verbose") Sys.argv in
+  let results = Security.sweep Chex86_exploits.Exploits.all in
+  if verbose then
+    List.iter
+      (fun (r : Security.result) ->
+        if r.exploit.Exploit.suite <> Exploit.Ripe then begin
+          let status =
+            match r.under_protection.Runner.outcome with
+            | Runner.Blocked kind -> "blocked: " ^ Chex86.Violation.to_string kind
+            | Runner.Completed -> "NOT DETECTED"
+            | Runner.Aborted msg -> "allocator abort: " ^ msg
+            | Runner.Faulted msg -> "fault: " ^ msg
+            | Runner.Budget_exhausted -> "budget exhausted"
+          in
+          Printf.printf "%-34s %s\n" r.exploit.Exploit.name status
+        end)
+      results;
+  List.iter
+    (fun suite ->
+      let s = Security.summarize suite results in
+      Printf.printf "%-16s %4d exploits, %4d blocked, %4d with the expected class\n"
+        (Exploit.suite_name suite) s.Security.total s.Security.blocked
+        s.Security.expected_class)
+    [ Exploit.Ripe; Exploit.Asan_suite; Exploit.How2heap ];
+  let total = List.length results in
+  let blocked = List.length (List.filter Security.blocked results) in
+  Printf.printf "\n%d/%d exploits blocked under CHEx86 (micro-code prediction driven)\n"
+    blocked total;
+  if blocked < total then exit 1

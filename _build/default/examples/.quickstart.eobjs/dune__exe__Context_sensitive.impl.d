@@ -1,0 +1,1 @@
+examples/context_sensitive.ml: Asm Chex86 Chex86_isa Chex86_machine Insn Printf

@@ -1,0 +1,1 @@
+examples/microcode_view.ml: Asm Chex86 Chex86_isa Chex86_machine Chex86_os Format Insn List Printf

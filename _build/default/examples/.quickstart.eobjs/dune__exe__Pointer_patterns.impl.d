@@ -1,0 +1,1 @@
+examples/pointer_patterns.ml: Chex86 Chex86_machine Chex86_stats Chex86_workloads List Printf String

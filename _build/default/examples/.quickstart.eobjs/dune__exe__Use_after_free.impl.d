@@ -1,0 +1,1 @@
+examples/use_after_free.ml: Asm Chex86 Chex86_isa Chex86_mem Chex86_os Format Insn Printf

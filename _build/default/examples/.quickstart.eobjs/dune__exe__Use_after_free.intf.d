@@ -1,0 +1,1 @@
+examples/use_after_free.mli:

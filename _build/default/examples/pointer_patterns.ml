@@ -1,0 +1,43 @@
+(* Temporal pointer access patterns and the alias predictor (Table II /
+   Section V-B).
+
+     dune exec examples/pointer_patterns.exe
+
+   Runs the eight pattern-generator guest programs, captures the PID
+   stream observed by the capability checks, classifies each stream with
+   the Table II classifier, and reports the alias predictor's accuracy
+   on each — showing the paper's core observation: temporal pointer
+   access patterns are remarkably predictable, keyed by instruction
+   address, even when the addresses themselves are not. *)
+
+let () =
+  Printf.printf "%-20s %-20s %-10s %s\n" "pattern" "classified as" "accuracy"
+    "observed PID stream (prefix)";
+  Printf.printf "%s\n" (String.make 86 '-');
+  List.iter
+    (fun (name, build) ->
+      let trace = ref [] in
+      let configure m =
+        Chex86.Monitor.set_on_check m (fun ~pc:_ ~pid ~is_store ->
+            if is_store && pid > 2 then trace := pid :: !trace)
+      in
+      let run = Chex86.Sim.run ~configure (build ()) in
+      let seq = List.rev !trace in
+      let classified = Chex86.Pattern_classifier.classify seq in
+      let counters = run.Chex86.Sim.result.Chex86_machine.Simulator.counters in
+      let events = Chex86_stats.Counter.get counters "alias.pred_events" in
+      let correct = Chex86_stats.Counter.get counters "alias.pred_correct" in
+      let accuracy =
+        if events = 0 then "n/a"
+        else Printf.sprintf "%.0f%%" (100. *. float_of_int correct /. float_of_int events)
+      in
+      let prefix =
+        seq
+        |> List.filteri (fun i _ -> i < 12)
+        |> List.map string_of_int
+        |> String.concat " "
+      in
+      Printf.printf "%-20s %-20s %-10s %s\n" name
+        (Chex86.Pattern_classifier.name classified)
+        accuracy prefix)
+    Chex86_workloads.Patterns.all

@@ -1,0 +1,1 @@
+lib/asan/asan_monitor.ml: Chex86 Chex86_isa Chex86_machine Chex86_os Chex86_stats Insn List Runtime Shadow Uop

@@ -1,0 +1,1 @@
+lib/asan/asan_monitor.mli: Chex86_isa Chex86_machine Chex86_os

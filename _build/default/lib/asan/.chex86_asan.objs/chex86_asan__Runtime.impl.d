@@ -1,0 +1,1 @@
+lib/asan/runtime.ml: Chex86 Chex86_mem Chex86_os Chex86_stats Hashtbl Queue Shadow

@@ -1,0 +1,1 @@
+lib/asan/runtime.mli: Chex86_mem Chex86_os Chex86_stats Shadow

@@ -1,0 +1,1 @@
+lib/asan/shadow.ml: Chex86_stats Hashtbl

@@ -1,0 +1,1 @@
+lib/asan/shadow.mli: Chex86_stats

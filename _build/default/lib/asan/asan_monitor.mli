@@ -1,0 +1,19 @@
+(** AddressSanitizer baseline monitor: 3-micro-op software check
+    sequences on every load/store, redzone allocator interposed behind
+    the libc stubs. *)
+
+type t
+
+(** Create and interpose the redzone runtime into [proc]. *)
+val create : proc:Chex86_os.Process.t -> unit -> t
+
+val storage_bytes : t -> int
+val install : t -> Chex86_machine.Hooks.t -> unit
+
+(** End-to-end runner mirroring [Chex86.Sim.run]. *)
+val run :
+  ?config:Chex86_machine.Config.t ->
+  ?max_insns:int ->
+  ?timing:bool ->
+  Chex86_isa.Program.t ->
+  t * Chex86_machine.Simulator.result * Chex86_os.Process.t

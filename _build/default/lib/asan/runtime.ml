@@ -1,0 +1,110 @@
+(* ASan runtime: redzone allocator with a quarantine.
+
+   malloc(n) reserves  [redzone | payload | redzone]  from the underlying
+   allocator, poisons the redzones and unpoisons the payload; free(p)
+   poisons the whole payload as [Freed] and parks the pointer in a FIFO
+   quarantine so that use-after-free is caught until the quarantine
+   recycles it.  Double free and invalid free are detected against the
+   allocation registry, as the real ASan runtime does. *)
+
+let redzone = 16
+let quarantine_cap_bytes = 1 lsl 18
+
+type t = {
+  inner : Chex86_os.Allocator.t;
+  shadow : Shadow.t;
+  live : (int, int) Hashtbl.t;  (* user ptr -> payload size *)
+  quarantine : (int * int) Queue.t;  (* (user ptr, payload size) *)
+  mutable quarantine_bytes : int;
+  mutable redzone_bytes : int;
+  counters : Chex86_stats.Counter.group;
+}
+
+let create inner shadow counters =
+  {
+    inner;
+    shadow;
+    live = Hashtbl.create 256;
+    quarantine = Queue.create ();
+    quarantine_bytes = 0;
+    redzone_bytes = 0;
+    counters;
+  }
+
+let malloc t req =
+  if req <= 0 then 0
+  else begin
+    let inner_req = req + (2 * redzone) in
+    let raw = Chex86_os.Allocator.malloc t.inner inner_req in
+    if raw = 0 then 0
+    else begin
+      let user = raw + redzone in
+      Shadow.poison t.shadow raw redzone Shadow.Heap_redzone;
+      Shadow.unpoison t.shadow user req;
+      Shadow.poison t.shadow (user + ((req + 7) land lnot 7)) redzone Shadow.Heap_redzone;
+      t.redzone_bytes <- t.redzone_bytes + (2 * redzone);
+      Hashtbl.replace t.live user req;
+      user
+    end
+  end
+
+let drain_quarantine t =
+  while t.quarantine_bytes > quarantine_cap_bytes && not (Queue.is_empty t.quarantine) do
+    let user, size = Queue.pop t.quarantine in
+    t.quarantine_bytes <- t.quarantine_bytes - size;
+    t.redzone_bytes <- max 0 (t.redzone_bytes - (2 * redzone));
+    Chex86_os.Allocator.free t.inner (user - redzone)
+  done
+
+let free t p =
+  if p = 0 then ()
+  else begin
+    match Hashtbl.find_opt t.live p with
+    | None ->
+      if Queue.fold (fun acc (q, _) -> acc || q = p) false t.quarantine then
+        raise
+          (Chex86.Violation.Security_violation
+             (Chex86.Violation.Double_free { pid = 0; addr = p }))
+      else
+        raise
+          (Chex86.Violation.Security_violation
+             (Chex86.Violation.Invalid_free { pid = 0; addr = p }))
+    | Some size ->
+      Hashtbl.remove t.live p;
+      Shadow.poison t.shadow p size Shadow.Freed;
+      Queue.push (p, size) t.quarantine;
+      t.quarantine_bytes <- t.quarantine_bytes + size;
+      drain_quarantine t
+  end
+
+(* Storage overhead attributable to ASan: redzones + quarantined payloads
+   + shadow pages. *)
+let storage_bytes t =
+  t.redzone_bytes + t.quarantine_bytes + Shadow.storage_bytes t.shadow
+
+let as_runtime t mem : Chex86_os.Process.runtime =
+  {
+    malloc = malloc t;
+    free = free t;
+    calloc =
+      (fun ~count ~size ->
+        let p = malloc t (count * size) in
+        if p <> 0 then Chex86_mem.Image.zero_range mem p (count * size);
+        p);
+    realloc =
+      (fun p req ->
+        if p = 0 then malloc t req
+        else begin
+          let old = match Hashtbl.find_opt t.live p with Some s -> s | None -> 0 in
+          let q = malloc t req in
+          if q <> 0 then begin
+            let n = min old req in
+            for i = 0 to (n / 8) - 1 do
+              Chex86_mem.Image.write64 mem (q + (8 * i))
+                (Chex86_mem.Image.read64 mem (p + (8 * i)))
+            done;
+            free t p
+          end;
+          q
+        end);
+  }

@@ -1,0 +1,17 @@
+(** ASan runtime: redzone allocator with a freed-chunk quarantine.
+    Double/invalid frees raise [Chex86.Violation.Security_violation]. *)
+
+val redzone : int
+val quarantine_cap_bytes : int
+
+type t
+
+val create : Chex86_os.Allocator.t -> Shadow.t -> Chex86_stats.Counter.group -> t
+val malloc : t -> int -> int
+val free : t -> int -> unit
+
+(** Redzones + quarantined payloads + shadow pages (Fig 9). *)
+val storage_bytes : t -> int
+
+(** Package as the process runtime behind the libc stubs. *)
+val as_runtime : t -> Chex86_mem.Image.t -> Chex86_os.Process.runtime

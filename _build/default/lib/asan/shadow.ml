@@ -1,0 +1,74 @@
+(* ASan shadow memory model.
+
+   One shadow state per 8-byte granule of application memory, as in
+   AddressSanitizer's 1/8 shadow encoding: a granule is fully
+   addressable, partially addressable (first k bytes), or poisoned with
+   a reason (heap redzone / freed memory).  Shadow pages touched are
+   accounted for the Fig 9 storage comparison. *)
+
+type state =
+  | Addressable
+  | Partial of int  (* first k bytes addressable, 1 <= k <= 7 *)
+  | Heap_redzone
+  | Freed
+
+type t = {
+  granules : (int, state) Hashtbl.t;
+  pages : (int, unit) Hashtbl.t;  (* shadow pages touched *)
+  counters : Chex86_stats.Counter.group;
+}
+
+let create counters = { granules = Hashtbl.create 4096; pages = Hashtbl.create 64; counters }
+
+let granule addr = addr lsr 3
+
+let set_state t addr state =
+  let g = granule addr in
+  Hashtbl.replace t.pages (g lsr 12) ();
+  match state with
+  | Addressable -> Hashtbl.remove t.granules g
+  | s -> Hashtbl.replace t.granules g s
+
+let state_of t addr =
+  match Hashtbl.find_opt t.granules (granule addr) with
+  | Some s -> s
+  | None -> Addressable
+
+(* Poison [len] bytes starting at [addr] (granule-aligned in practice). *)
+let poison t addr len reason =
+  let g0 = granule addr and g1 = granule (addr + len - 1) in
+  for g = g0 to g1 do
+    Hashtbl.replace t.pages (g lsr 12) ();
+    Hashtbl.replace t.granules g reason
+  done
+
+let unpoison t addr len =
+  let g0 = granule addr and g1 = granule (addr + len - 1) in
+  for g = g0 to g1 do
+    Hashtbl.replace t.pages (g lsr 12) ();
+    Hashtbl.remove t.granules g
+  done;
+  (* Trailing partial granule. *)
+  let tail = (addr + len) land 7 in
+  if tail <> 0 then Hashtbl.replace t.granules (granule (addr + len)) (Partial tail)
+
+(* Is a [width]-byte access at [addr] fully addressable?  Returns the
+   poison reason on failure. *)
+let check t addr width =
+  let rec go a remaining =
+    if remaining <= 0 then Ok ()
+    else
+      match state_of t a with
+      | Addressable -> go ((a lor 7) + 1) (remaining - (8 - (a land 7)))
+      | Partial k ->
+        let off = a land 7 in
+        if off + min remaining (8 - off) <= k then
+          go ((a lor 7) + 1) (remaining - (8 - off))
+        else Error Heap_redzone
+      | (Heap_redzone | Freed) as reason -> Error reason
+  in
+  go addr width
+
+(* Shadow storage: one byte per granule, rounded to touched 4 KB shadow
+   pages (each covering 32 KB of application memory). *)
+let storage_bytes t = Hashtbl.length t.pages * 4096

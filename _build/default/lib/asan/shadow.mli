@@ -1,0 +1,24 @@
+(** ASan shadow memory: one state per 8-byte application granule. *)
+
+type state =
+  | Addressable
+  | Partial of int  (** first k bytes addressable, 1 <= k <= 7 *)
+  | Heap_redzone
+  | Freed
+
+type t
+
+val create : Chex86_stats.Counter.group -> t
+val set_state : t -> int -> state -> unit
+val state_of : t -> int -> state
+val poison : t -> int -> int -> state -> unit
+
+(** Unpoison [len] bytes, encoding a trailing partial granule. *)
+val unpoison : t -> int -> int -> unit
+
+(** Full addressability of a [width]-byte access; the poison reason on
+    failure. *)
+val check : t -> int -> int -> (unit, state) result
+
+(** Touched 4 KB shadow pages (each covering 32 KB of memory). *)
+val storage_bytes : t -> int

@@ -1,0 +1,1 @@
+lib/core/alias_predictor.ml: Array Chex86_stats

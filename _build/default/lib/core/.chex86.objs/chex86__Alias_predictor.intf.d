@@ -1,0 +1,1 @@
+lib/core/alias_predictor.mli: Chex86_stats

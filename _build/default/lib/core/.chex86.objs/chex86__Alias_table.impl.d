@@ -1,0 +1,1 @@
+lib/core/alias_table.ml: Array Chex86_stats

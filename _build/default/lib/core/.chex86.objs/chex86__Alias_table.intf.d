@@ -1,0 +1,1 @@
+lib/core/alias_table.mli: Chex86_stats

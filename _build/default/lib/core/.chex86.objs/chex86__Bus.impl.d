@@ -1,0 +1,1 @@
+lib/core/bus.ml: Chex86_stats List

@@ -1,0 +1,1 @@
+lib/core/cap_cache.ml: Array Chex86_stats

@@ -1,0 +1,1 @@
+lib/core/cap_cache.mli: Chex86_stats

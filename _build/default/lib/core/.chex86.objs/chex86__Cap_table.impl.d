@@ -1,0 +1,1 @@
+lib/core/cap_table.ml: Array Capability Chex86_stats

@@ -1,0 +1,1 @@
+lib/core/cap_table.mli: Capability Chex86_stats

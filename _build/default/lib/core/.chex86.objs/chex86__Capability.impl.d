@@ -1,0 +1,1 @@
+lib/core/capability.ml: Bytes Char Format Int64

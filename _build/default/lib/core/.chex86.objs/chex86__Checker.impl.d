@@ -1,0 +1,1 @@
+lib/core/checker.ml: Cap_table Capability Chex86_isa Format List Uop

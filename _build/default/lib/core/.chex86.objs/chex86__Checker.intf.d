@@ -1,0 +1,1 @@
+lib/core/checker.mli: Cap_table Chex86_isa

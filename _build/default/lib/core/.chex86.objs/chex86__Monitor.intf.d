@@ -1,0 +1,1 @@
+lib/core/monitor.mli: Alias_predictor Alias_table Cap_table Checker Chex86_isa Chex86_machine Chex86_mem Chex86_os Chex86_stats Rules Tracker Variant

@@ -1,0 +1,1 @@
+lib/core/pattern_classifier.ml: Array List

@@ -1,0 +1,1 @@
+lib/core/pattern_classifier.mli:

@@ -1,0 +1,1 @@
+lib/core/rules.ml: Chex86_isa Insn List Uop

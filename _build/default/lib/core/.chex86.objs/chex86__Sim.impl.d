@@ -1,0 +1,1 @@
+lib/core/sim.ml: Checker Chex86_machine Chex86_os Monitor Variant Violation

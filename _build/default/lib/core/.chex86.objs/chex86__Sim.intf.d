@@ -1,0 +1,1 @@
+lib/core/sim.mli: Chex86_isa Chex86_machine Chex86_os Monitor Variant Violation

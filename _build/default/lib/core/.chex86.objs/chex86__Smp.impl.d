@@ -1,0 +1,1 @@
+lib/core/smp.ml: Chex86_isa Chex86_machine Chex86_mem Chex86_os Chex86_stats List Monitor Variant Violation

@@ -1,0 +1,1 @@
+lib/core/smp.mli: Chex86_isa Chex86_machine Chex86_stats Variant Violation

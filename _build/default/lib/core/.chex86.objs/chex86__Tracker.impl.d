@@ -1,0 +1,1 @@
+lib/core/tracker.ml: Array Chex86_isa Format List Printf Reg Uop

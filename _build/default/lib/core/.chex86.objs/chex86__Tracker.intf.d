@@ -1,0 +1,1 @@
+lib/core/tracker.mli: Chex86_isa Format

@@ -1,0 +1,49 @@
+(* Inter-core invalidation bus.
+
+   The paper (Sections IV-C and V-C): "when a pointer is freed on one
+   core, invalidate requests are sent to all other cores ... to ensure
+   that the valid and busy bit of the capability entries ... are reset
+   across all in-processor capability caches", and likewise "when a
+   store instruction updates a spilled pointer alias on one core,
+   invalidate requests are sent to all other cores ... so the
+   in-processor alias caches are coherent.  Due to the unforgeability
+   property of capabilities, these invalidation requests have to be sent
+   only once at the time of freeing."
+
+   Every per-core monitor subscribes; broadcasts deliver to every *other*
+   core and are counted (the overheads the paper says it models). *)
+
+type event =
+  | Cap_invalidate of int  (* PID freed on another core *)
+  | Alias_invalidate of int  (* spilled-alias granule address updated *)
+
+type t = {
+  mutable subscribers : (int * (event -> unit)) list;  (* (core id, handler) *)
+  counters : Chex86_stats.Counter.group;
+}
+
+let create counters = { subscribers = []; counters }
+
+let subscribe t ~core handler = t.subscribers <- (core, handler) :: t.subscribers
+
+let cores t = List.length t.subscribers
+
+(* Deliver [event] to every core other than the sender; returns the
+   number of remote caches notified (bus occupancy for the timing
+   model). *)
+let broadcast t ~from_core event =
+  let name =
+    match event with
+    | Cap_invalidate _ -> "bus.cap_invalidations"
+    | Alias_invalidate _ -> "bus.alias_invalidations"
+  in
+  let delivered = ref 0 in
+  List.iter
+    (fun (core, handler) ->
+      if core <> from_core then begin
+        incr delivered;
+        handler event
+      end)
+    t.subscribers;
+  if !delivered > 0 then Chex86_stats.Counter.incr ~by:!delivered t.counters name;
+  !delivered

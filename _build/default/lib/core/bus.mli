@@ -1,0 +1,17 @@
+(** Inter-core invalidation bus (the paper's multithreaded capability-
+    and alias-cache coherence, §IV-C / §V-C). *)
+
+type event =
+  | Cap_invalidate of int  (** PID freed on another core *)
+  | Alias_invalidate of int  (** spilled-alias granule updated *)
+
+type t
+
+val create : Chex86_stats.Counter.group -> t
+val subscribe : t -> core:int -> (event -> unit) -> unit
+val cores : t -> int
+
+(** Deliver to every core but the sender; returns remote caches
+    notified. Counted as ["bus.cap_invalidations"] /
+    ["bus.alias_invalidations"]. *)
+val broadcast : t -> from_core:int -> event -> int

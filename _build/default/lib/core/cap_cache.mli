@@ -1,0 +1,17 @@
+(** In-processor fully associative LRU capability cache (§IV-B, Fig 7);
+    counts ["capcache.hit"/"capcache.miss"]. *)
+
+type t
+
+(** Default 64 entries (1 KB of 128-bit capabilities). *)
+val create : ?entries:int -> Chex86_stats.Counter.group -> t
+
+val entries : t -> int
+
+(** True on hit; misses allocate the PID (LRU). *)
+val access : t -> int -> bool
+
+(** Drop a freed capability (the paper's invalidation requests). *)
+val invalidate : t -> int -> unit
+
+val miss_rate : t -> float

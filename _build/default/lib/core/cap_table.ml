@@ -1,0 +1,104 @@
+(* The per-process shadow capability table (Section IV-B).
+
+   Stores every capability granted to the process — live and freed —
+   tagged by a non-zero unique identifier (PID).  It lives in a shadow
+   address space only reachable by privileged (microcode-injected)
+   micro-ops; here that is modelled as an OCaml growable array with
+   storage accounted at 16 bytes per entry (the 128-bit capability).
+
+   Freed capabilities are retained (valid bit cleared) so later
+   dereferences through stale pointers are detected as use-after-free. *)
+
+type t = {
+  mutable entries : Capability.t option array;
+  mutable next_pid : int;
+  counters : Chex86_stats.Counter.group;
+}
+
+let create counters = { entries = Array.make 1024 None; next_pid = 1; counters }
+
+let grow t needed =
+  if needed >= Array.length t.entries then begin
+    let bigger = Array.make (max (needed + 1) (2 * Array.length t.entries)) None in
+    Array.blit t.entries 0 bigger 0 (Array.length t.entries);
+    t.entries <- bigger
+  end
+
+let add t cap =
+  let pid = cap.Capability.pid in
+  grow t pid;
+  t.entries.(pid) <- Some cap
+
+(* Allocate a fresh PID and record a busy capability with the given
+   bounds (capGen.Begin). *)
+let fresh t ~size =
+  let pid = t.next_pid in
+  t.next_pid <- t.next_pid + 1;
+  let cap = Capability.fresh ~pid ~size in
+  add t cap;
+  Chex86_stats.Counter.incr t.counters "captable.generated";
+  cap
+
+(* Register a pre-formed capability, e.g. for a global data object from
+   the symbol table; [writable:false] for .rodata objects. *)
+let register ?(writable = true) t ~base ~size =
+  let pid = t.next_pid in
+  t.next_pid <- t.next_pid + 1;
+  let cap = Capability.make ~writable ~pid ~base ~size () in
+  add t cap;
+  cap
+
+let find t pid =
+  if pid <= 0 || pid >= Array.length t.entries then None else t.entries.(pid)
+
+(* capGen.End: record the base from %rax, clear busy, validate iff the
+   base is non-zero. *)
+let finalize t pid ~base =
+  match find t pid with
+  | None -> ()
+  | Some cap ->
+    cap.Capability.base <- base;
+    cap.Capability.busy <- false;
+    cap.Capability.valid <- base <> 0
+
+let begin_free t pid =
+  match find t pid with
+  | None -> ()
+  | Some cap -> cap.Capability.busy <- true
+
+let end_free t pid =
+  match find t pid with
+  | None -> ()
+  | Some cap ->
+    cap.Capability.busy <- false;
+    cap.Capability.valid <- false;
+    Chex86_stats.Counter.incr t.counters "captable.freed"
+
+let count t = t.next_pid - 1
+
+(* Shadow storage: 16 bytes per 128-bit capability entry. *)
+let storage_bytes t = 16 * count t
+
+let iter t f =
+  Array.iter (function Some cap -> f cap | None -> ()) t.entries
+
+(* Exhaustive search used by the hardware checker (Section V-A): does
+   [addr] point into any tracked block?  Valid (live) capabilities take
+   precedence over freed ones; among freed ones the youngest wins. *)
+let find_by_address t addr =
+  let best = ref None in
+  iter t (fun cap ->
+      if
+        (not cap.Capability.busy)
+        && addr >= cap.Capability.base
+        && cap.Capability.base <> 0
+        && addr < cap.Capability.base + cap.Capability.size
+      then
+        match !best with
+        | Some prev
+          when prev.Capability.valid && not cap.Capability.valid -> ()
+        | Some prev
+          when prev.Capability.valid = cap.Capability.valid
+               && prev.Capability.pid > cap.Capability.pid -> ()
+        | _ -> best := Some cap);
+  !best

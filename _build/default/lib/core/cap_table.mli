@@ -1,0 +1,34 @@
+(** The per-process shadow capability table (§IV-B): every capability
+    ever granted, live and freed, tagged by PID. Freed capabilities are
+    retained with the valid bit cleared. *)
+
+type t
+
+val create : Chex86_stats.Counter.group -> t
+
+(** capGen.Begin: allocate a fresh PID with the given bounds, busy set. *)
+val fresh : t -> size:int -> Capability.t
+
+(** Register a pre-formed capability (global data object);
+    [writable:false] for .rodata. *)
+val register : ?writable:bool -> t -> base:int -> size:int -> Capability.t
+
+val find : t -> int -> Capability.t option
+
+(** capGen.End: record the base; valid iff it is non-zero. *)
+val finalize : t -> int -> base:int -> unit
+
+val begin_free : t -> int -> unit
+val end_free : t -> int -> unit
+
+(** Capabilities ever created. *)
+val count : t -> int
+
+(** Shadow storage at 16 bytes per entry. *)
+val storage_bytes : t -> int
+
+val iter : t -> (Capability.t -> unit) -> unit
+
+(** Exhaustive search (the hardware checker's ground truth): the tracked
+    block containing [addr]; live capabilities win over freed ones. *)
+val find_by_address : t -> int -> Capability.t option

@@ -1,0 +1,121 @@
+(* A CHEx86 capability (Section IV-B).
+
+   128 bits in the shadow capability table: 64 bits of base address, 32
+   bits of bounds (object size), and 32 bits of permissions including
+   read, write, execute, busy and valid.  The busy bit marks an
+   allocation/free in progress (the two-step capGen/capFree protocol);
+   the valid bit cleared marks freed memory, which is how use-after-free
+   is detected. *)
+
+type t = {
+  pid : int;
+  mutable base : int;
+  mutable size : int;  (* bounds field: 32 bits *)
+  mutable readable : bool;
+  mutable writable : bool;
+  mutable executable : bool;
+  mutable busy : bool;
+  mutable valid : bool;
+  (* Byte-granular initialized bitmap for the opt-in uninitialized-read
+     extension; [None] = not tracked (treated as initialized).  Shadow
+     state, not part of the 128-bit architectural encoding. *)
+  mutable init_map : Bytes.t option;
+}
+
+let max_size = (1 lsl 32) - 1
+
+(* Bitmaps are only worth allocating for reasonably sized objects. *)
+let max_tracked_init_size = 1 lsl 24
+
+let track_initialization ?(initialized = false) t =
+  if t.size > 0 && t.size <= max_tracked_init_size then
+    t.init_map <- Some (Bytes.make ((t.size + 7) / 8) (if initialized then '\xff' else '\000'))
+
+let mark_initialized t ~ea ~width =
+  match t.init_map with
+  | None -> ()
+  | Some map ->
+    for i = 0 to width - 1 do
+      let off = ea + i - t.base in
+      if off >= 0 && off < t.size then
+        Bytes.unsafe_set map (off lsr 3)
+          (Char.unsafe_chr (Char.code (Bytes.unsafe_get map (off lsr 3)) lor (1 lsl (off land 7))))
+    done
+
+let is_initialized t ~ea ~width =
+  match t.init_map with
+  | None -> true
+  | Some map ->
+    let rec go i =
+      i >= width
+      ||
+      let off = ea + i - t.base in
+      (off < 0 || off >= t.size
+      || Char.code (Bytes.unsafe_get map (off lsr 3)) land (1 lsl (off land 7)) <> 0)
+      && go (i + 1)
+    in
+    go 0
+
+let make ?(readable = true) ?(writable = true) ?(executable = false) ~pid ~base ~size ()
+    =
+  if size < 0 || size > max_size then invalid_arg "Capability.make: size out of range";
+  { pid; base; size; readable; writable; executable; busy = false; valid = true;
+    init_map = None }
+
+(* Fresh capability at the start of capability generation: bounds are
+   recorded from %rdi, base is unknown, busy is set. *)
+let fresh ~pid ~size =
+  {
+    pid;
+    base = 0;
+    size;
+    readable = true;
+    writable = true;
+    executable = false;
+    busy = true;
+    valid = false;
+    init_map = None;
+  }
+
+let contains t ~ea ~width = ea >= t.base && ea + width <= t.base + t.size
+
+(* 128-bit encoding: word0 = base; word1 = size (low 32) | perms (high 32). *)
+let perm_bit shift b = if b then 1 lsl shift else 0
+
+let encode t =
+  let perms =
+    perm_bit 0 t.readable
+    lor perm_bit 1 t.writable
+    lor perm_bit 2 t.executable
+    lor perm_bit 3 t.busy
+    lor perm_bit 4 t.valid
+  in
+  let word0 = Int64.of_int t.base in
+  let word1 = Int64.logor (Int64.of_int (t.size land max_size))
+      (Int64.shift_left (Int64.of_int perms) 32)
+  in
+  (word0, word1)
+
+let decode ~pid (word0, word1) =
+  let base = Int64.to_int word0 in
+  let size = Int64.to_int (Int64.logand word1 0xFFFFFFFFL) in
+  let perms = Int64.to_int (Int64.shift_right_logical word1 32) in
+  {
+    pid;
+    base;
+    size;
+    readable = perms land 1 <> 0;
+    writable = perms land 2 <> 0;
+    executable = perms land 4 <> 0;
+    busy = perms land 8 <> 0;
+    valid = perms land 16 <> 0;
+    init_map = None;
+  }
+
+let pp ppf t =
+  Format.fprintf ppf "PID %d: [%#x, %#x) %s%s%s%s%s" t.pid t.base (t.base + t.size)
+    (if t.readable then "r" else "-")
+    (if t.writable then "w" else "-")
+    (if t.executable then "x" else "-")
+    (if t.busy then " busy" else "")
+    (if t.valid then " valid" else " freed")

@@ -1,0 +1,53 @@
+(** A CHEx86 capability: 128 bits of base, bounds and permissions in the
+    shadow capability table (§IV-B). *)
+
+type t = {
+  pid : int;  (** non-zero unique capability identifier *)
+  mutable base : int;
+  mutable size : int;  (** bounds field, 32 bits *)
+  mutable readable : bool;
+  mutable writable : bool;
+  mutable executable : bool;
+  mutable busy : bool;  (** allocation/free in progress (two-step protocol) *)
+  mutable valid : bool;  (** cleared on free: enables UAF detection *)
+  mutable init_map : Bytes.t option;
+      (** byte-granular initialized bitmap (opt-in uninitialized-read
+          extension); [None] = not tracked *)
+}
+
+val max_size : int
+
+(** A complete, valid capability (e.g. for a global data object). *)
+val make :
+  ?readable:bool ->
+  ?writable:bool ->
+  ?executable:bool ->
+  pid:int ->
+  base:int ->
+  size:int ->
+  unit ->
+  t
+
+(** capGen.Begin: bounds recorded, base unknown, busy set. *)
+val fresh : pid:int -> size:int -> t
+
+(** Is the [width]-byte access at [ea] within bounds? *)
+val contains : t -> ea:int -> width:int -> bool
+
+(** Allocate the initialized bitmap ([initialized] pre-marks every
+    byte, e.g. for calloc). No-op above [max_tracked_init_size]. *)
+val track_initialization : ?initialized:bool -> t -> unit
+
+val mark_initialized : t -> ea:int -> width:int -> unit
+
+(** True when every byte of the access was written before (or the
+    capability is untracked). *)
+val is_initialized : t -> ea:int -> width:int -> bool
+
+val max_tracked_init_size : int
+
+(** 128-bit encoding: (base word, size|perms word). *)
+val encode : t -> int64 * int64
+
+val decode : pid:int -> int64 * int64 -> t
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,68 @@
+(* Hardware checker co-processor for automatic rule construction
+   (Section V-A).
+
+   For every micro-op it sees, the checker exhaustively searches the
+   shadow capability table to decide whether the micro-op's *result* is
+   an address pointing into any tracked (allocated or freed) block, and
+   compares that ground truth against the PID the rule-based tracker
+   predicted.  A mismatch dumps the offending micro-op with its execution
+   state and requests a rule-database update — the protocol by which
+   Table I was constructed.  It runs only in offline profiling mode (the
+   bench's table1 target and the test suite). *)
+
+open Chex86_isa
+
+type mismatch = {
+  pc : int;
+  uop : string;
+  result : int;
+  predicted_pid : int;
+  actual_pid : int;
+}
+
+type t = {
+  cap_table : Cap_table.t;
+  mutable checked : int;
+  mutable agreed : int;
+  mutable mismatches : mismatch list;
+  max_mismatches : int;
+}
+
+let create ?(max_mismatches = 64) cap_table =
+  { cap_table; checked = 0; agreed = 0; mismatches = []; max_mismatches }
+
+(* Ground-truth PID of a value: the tracked block it points into, if
+   any.  The wild PID(-1) is ground truth for nothing. *)
+let actual_pid t value =
+  match Cap_table.find_by_address t.cap_table value with
+  | Some cap -> cap.Capability.pid
+  | None -> 0
+
+(* [check t ~pc ~uop ~result ~predicted] validates one executed micro-op
+   whose integer result is known. *)
+let check t ~pc ~uop ~result ~predicted =
+  t.checked <- t.checked + 1;
+  let actual = actual_pid t result in
+  (* The tracker may legitimately carry PID(-1) (wild) or a PID for a
+     value that is no longer interior to the block (one-past-the-end
+     pointers): agreement means "same block or both untracked". *)
+  let agrees =
+    actual = predicted
+    || (predicted = -1 && actual = 0)
+    || (predicted <> 0 && actual = 0)  (* stale/interior arithmetic *)
+  in
+  if agrees then t.agreed <- t.agreed + 1
+  else if List.length t.mismatches < t.max_mismatches then
+    t.mismatches <-
+      {
+        pc;
+        uop = Format.asprintf "%a" Uop.pp uop;
+        result;
+        predicted_pid = predicted;
+        actual_pid = actual;
+      }
+      :: t.mismatches
+
+let checked t = t.checked
+let agreement_rate t = if t.checked = 0 then 1. else float_of_int t.agreed /. float_of_int t.checked
+let mismatches t = List.rev t.mismatches

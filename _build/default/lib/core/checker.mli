@@ -1,0 +1,26 @@
+(** Hardware checker co-processor for automatic rule construction
+    (§V-A): validates the tracker's PID predictions against exhaustive
+    shadow-capability-table searches, dumping mismatches that call for a
+    rule-database update. Offline-profiling use only. *)
+
+type mismatch = {
+  pc : int;
+  uop : string;
+  result : int;
+  predicted_pid : int;
+  actual_pid : int;
+}
+
+type t
+
+val create : ?max_mismatches:int -> Cap_table.t -> t
+
+(** Ground-truth PID of a value (the tracked block it points into). *)
+val actual_pid : t -> int -> int
+
+(** Validate one executed micro-op with a known integer result. *)
+val check : t -> pc:int -> uop:Chex86_isa.Uop.t -> result:int -> predicted:int -> unit
+
+val checked : t -> int
+val agreement_rate : t -> float
+val mismatches : t -> mismatch list

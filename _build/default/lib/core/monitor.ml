@@ -1,0 +1,673 @@
+(* The CHEx86 monitor: glues the microcode customization unit, the
+   shadow capability table/cache, the speculative pointer tracker and the
+   alias prediction machinery into the machine's hook interface.
+
+   Decode time ([instrument]): intercept registered heap-function
+   entry/exit points (capGen/capFree injection), propagate PIDs through
+   the crack with the rule database, predict PIDs for pointer reloads,
+   and inject capCheck/guard micro-ops per the active variant and scope.
+
+   Execute time ([exec_uop]): perform capability checks (raising
+   [Violation.Security_violation]), validate alias predictions against
+   the shadow alias table (PNA0 / P0AN / PMAN recovery), spill PIDs of
+   stored pointers, and charge shadow-structure latencies. *)
+
+open Chex86_isa
+module Os = Chex86_os
+module Mem = Chex86_mem
+module Machine = Chex86_machine
+
+type pending_alloc = { pid : int; kind : Os.Msrs.kind; realloc_old : int }
+
+(* Shadow state shared by the per-core monitors of an SMP system: the
+   memory-resident capability and alias tables, the page-table
+   alias-hosting bits, the invalidation bus, and the (once-registered)
+   global capabilities. *)
+type shared = {
+  s_cap_table : Cap_table.t;
+  s_alias_table : Alias_table.t;
+  s_alias_pages : (int, unit) Hashtbl.t;  (* vpn -> hosting *)
+  s_bus : Bus.t;
+  mutable s_globals : (int * int * int) array option;
+}
+
+let make_shared counters =
+  {
+    s_cap_table = Cap_table.create counters;
+    s_alias_table = Alias_table.create counters;
+    s_alias_pages = Hashtbl.create 256;
+    s_bus = Bus.create counters;
+    s_globals = None;
+  }
+
+type t = {
+  variant : Variant.t;
+  rules : Rules.t;
+  cap_table : Cap_table.t;
+  cap_cache : Cap_cache.t;
+  tracker : Tracker.t;
+  alias_table : Alias_table.t;
+  alias_cache : Mem.Cache.t;
+  predictor : Alias_predictor.t;
+  msrs : Os.Msrs.t;
+  tlb : Mem.Tlb.t;
+  hier : Mem.Hierarchy.t;
+  counters : Chex86_stats.Counter.group;
+  mutable globals : (int * int * int) array;  (* (addr, size, pid), sorted *)
+  mutable pending_alloc : pending_alloc option;
+  mutable pending_free : int option;
+  predictions : (int * int) Queue.t;  (* (pc, predicted pid) per tracked load *)
+  lsu_checks : (int * bool) Queue.t;  (* hardware-only: (pid, is_store) per mem uop *)
+  bt_translated : (int, unit) Hashtbl.t;
+  mutable pending_bt_cost : int;
+  mutable checker : Checker.t option;
+  (* Observation hook: fires for every executed capability check with the
+     PID it validated (used to recover Table II's temporal PID streams). *)
+  mutable on_check : pc:int -> pid:int -> is_store:bool -> unit;
+  (* SMP: which hardware thread this monitor serves, and the shared
+     shadow state + invalidation bus. *)
+  core : int;
+  shared : shared option;
+}
+
+let create ?(variant = Variant.default) ?(core = 0) ?shared ~proc ~hier () =
+  let counters = proc.Os.Process.counters in
+  let victim =
+    if variant.Variant.alias_victim_entries = 0 then None
+    else
+      Some
+        (Mem.Cache.create ~name:"aliasvictim" ~sets:1
+           ~ways:variant.Variant.alias_victim_entries ~line_bytes:8 counters)
+  in
+  let t =
+    {
+      variant;
+      rules = Rules.create ();
+      cap_table =
+        (match shared with
+        | Some s -> s.s_cap_table
+        | None -> Cap_table.create counters);
+      cap_cache = Cap_cache.create ~entries:variant.Variant.cap_cache_entries counters;
+      tracker = Tracker.create ();
+      alias_table =
+        (match shared with
+        | Some s -> s.s_alias_table
+        | None -> Alias_table.create counters);
+      alias_cache =
+        Mem.Cache.create ?victim ~hash_index:true ~name:"aliascache"
+          ~sets:variant.Variant.alias_cache_sets ~ways:2 ~line_bytes:8 counters;
+      predictor =
+        Alias_predictor.create ~entries:variant.Variant.predictor_entries
+          ~use_stride:variant.Variant.predictor_stride
+          ~use_blacklist:variant.Variant.predictor_blacklist counters;
+      msrs = proc.Os.Process.msrs;
+      tlb = Mem.Hierarchy.dtlb hier;
+      hier;
+      counters;
+      globals = [||];
+      pending_alloc = None;
+      pending_free = None;
+      predictions = Queue.create ();
+      lsu_checks = Queue.create ();
+      bt_translated = Hashtbl.create 4096;
+      pending_bt_cost = 0;
+      checker = None;
+      on_check = (fun ~pc:_ ~pid:_ ~is_store:_ -> ());
+      core;
+      shared;
+    }
+  in
+  (* SMP: receive invalidations for this core's private caches. *)
+  (match shared with
+  | Some s ->
+    Bus.subscribe s.s_bus ~core (function
+      | Bus.Cap_invalidate pid -> Cap_cache.invalidate t.cap_cache pid
+      | Bus.Alias_invalidate addr -> Mem.Cache.invalidate t.alias_cache addr)
+  | None -> ());
+  (* Symbol-table capabilities for globals (Section IV-C "Initial
+     Configuration"); the insecure baseline builds no shadow state, and
+     under SMP only the first core registers (the table is shared). *)
+  if Variant.protects variant then begin
+    match shared with
+    | Some ({ s_globals = Some globals; _ } : shared) -> t.globals <- globals
+    | Some ({ s_globals = None; _ } as s) ->
+      let globals =
+        List.map
+          (fun (_, addr, size, writable) ->
+            let cap = Cap_table.register t.cap_table ~writable ~base:addr ~size in
+            (addr, size, cap.Capability.pid))
+          (Os.Process.symbols proc)
+      in
+      let arr = Array.of_list (List.sort compare globals) in
+      s.s_globals <- Some arr;
+      t.globals <- arr
+    | None ->
+      let globals =
+        List.map
+          (fun (_, addr, size, writable) ->
+            let cap = Cap_table.register t.cap_table ~writable ~base:addr ~size in
+            (addr, size, cap.Capability.pid))
+          (Os.Process.symbols proc)
+      in
+      t.globals <- Array.of_list (List.sort compare globals)
+  end;
+  t
+
+let attach_checker t checker = t.checker <- Some checker
+let checker t = t.checker
+let set_on_check t f = t.on_check <- f
+let variant t = t.variant
+let cap_table t = t.cap_table
+let tracker t = t.tracker
+let alias_table t = t.alias_table
+let rules t = t.rules
+let predictor t = t.predictor
+
+(* Shadow storage consumed by the capability and alias tables (Fig 9);
+   the insecure baseline maintains none. *)
+let shadow_storage_bytes t =
+  if not (Variant.protects t.variant) then 0
+  else Cap_table.storage_bytes t.cap_table + Alias_table.storage_bytes t.alias_table
+
+(* PID of the global object containing [addr], or 0. *)
+let global_pid_of t addr =
+  let arr = t.globals in
+  let n = Array.length arr in
+  let rec bsearch lo hi =
+    if lo >= hi then lo - 1
+    else
+      let mid = (lo + hi) / 2 in
+      let a, _, _ = arr.(mid) in
+      if a <= addr then bsearch (mid + 1) hi else bsearch lo mid
+  in
+  let i = bsearch 0 n in
+  if i < 0 then 0
+  else
+    let a, size, pid = arr.(i) in
+    if addr >= a && addr < a + size then pid else 0
+
+let protects t = Variant.protects t.variant
+
+(* PID guarding a memory operand: the base register's tag, or — for
+   absolute addressing — the global object's capability (the
+   constant-pool path of Section VII-B). *)
+let mem_pid t (m : Insn.mem) =
+  match m.base with
+  | Some r -> Tracker.current_pid t.tracker (Uop.Greg r)
+  | None -> global_pid_of t m.disp
+
+(* --- decode-time: rule propagation -------------------------------------- *)
+
+let tracked_load_dst width = function
+  | (Uop.Greg _ | Uop.Tmp _) when width = Insn.W64 -> true
+  | _ -> false
+
+let apply_rule t pc (uop : Uop.t) =
+  let seq = Tracker.next_seq t.tracker in
+  let current = Tracker.current_pid t.tracker in
+  (match Rules.action_for t.rules uop with
+  | Rules.Copy_src -> (
+    match uop with
+    | Mov { dst; src } -> Tracker.set_pid t.tracker dst ~seq ~pid:(current src)
+    | Lea { dst; mem } ->
+      let pid =
+        match mem.base with
+        | Some b -> current (Uop.Greg b)
+        | None -> global_pid_of t mem.disp
+      in
+      Tracker.set_pid t.tracker dst ~seq ~pid
+    | _ -> ())
+  | Rules.Copy_first -> (
+    match uop with
+    | Alu { dst; src1; _ } -> Tracker.set_pid t.tracker dst ~seq ~pid:(current src1)
+    | _ -> ())
+  | Rules.Nonzero_of_sources -> (
+    match uop with
+    | Alu { dst; src1; src2 = Uop.Loc s2; _ } ->
+      Tracker.set_pid t.tracker dst ~seq
+        ~pid:(Rules.combine_nonzero (current src1) (current s2))
+    | Alu { dst; src1; src2 = Uop.Imm _; _ } ->
+      Tracker.set_pid t.tracker dst ~seq ~pid:(current src1)
+    | _ -> ())
+  | Rules.From_memory -> (
+    match uop with
+    | Load { dst; width; _ } when tracked_load_dst width dst ->
+      let predicted = Alias_predictor.predict t.predictor pc in
+      Tracker.set_pid t.tracker dst ~seq ~pid:predicted;
+      Queue.push (pc, predicted) t.predictions
+    | Load { dst; _ } -> Tracker.set_pid t.tracker dst ~seq ~pid:0
+    | _ -> ())
+  | Rules.To_memory -> ()  (* alias spill handled at execute *)
+  | Rules.Wild -> (
+    match uop with
+    | Limm { dst; _ } -> Tracker.set_pid t.tracker dst ~seq ~pid:(-1)
+    | _ -> ())
+  | Rules.Clear -> (
+    match Uop.writes uop with
+    | Some dst -> Tracker.set_pid t.tracker dst ~seq ~pid:0
+    | None -> ()));
+  Tracker.commit_upto t.tracker ~seq
+
+(* --- decode-time: check injection ---------------------------------------- *)
+
+let checks_for t pc (uop : Uop.t) =
+  match Uop.mem_operand uop with
+  | None -> []
+  | Some (mem, width, is_store) -> (
+    let in_scope = Variant.in_scope t.variant pc in
+    match t.variant.Variant.scheme with
+    | Variant.Insecure -> []
+    | Variant.Hardware_only ->
+      (* No injection; the LSU checks as part of the memory micro-op. *)
+      Queue.push (mem_pid t mem, is_store) t.lsu_checks;
+      []
+    | Variant.Binary_translation ->
+      if in_scope then begin
+        (* Capture the PID at decode: the rule update for this very
+           micro-op may retag the base register (pointer chase). *)
+        Queue.push (mem_pid t mem, is_store) t.lsu_checks;
+        [
+          Uop.Guard { kind = Uop.Bt_bounds_low; mem; width; is_store };
+          Uop.Guard { kind = Uop.Bt_bounds_high; mem; width; is_store };
+        ]
+      end
+      else []
+    | Variant.Microcode_always_on ->
+      if in_scope then [ Uop.Cap (Uop.Cap_check { pid = mem_pid t mem; mem; width; is_store }) ]
+      else []
+    | Variant.Microcode_prediction ->
+      let pid = mem_pid t mem in
+      if in_scope && pid <> 0 then
+        [ Uop.Cap (Uop.Cap_check { pid; mem; width; is_store }) ]
+      else [])
+
+(* --- decode-time: heap-function interception ----------------------------- *)
+
+let stub_injection t (ctx : Machine.Hooks.ctx) =
+  match ctx.stub with
+  | None -> []
+  | Some (_, Machine.Hooks.Entry) -> (
+    match Os.Msrs.lookup_entry t.msrs ctx.pc with
+    | None -> []
+    | Some reg -> (
+      match reg.Os.Msrs.kind with
+      | Os.Msrs.Malloc | Os.Msrs.Calloc | Os.Msrs.Realloc -> [ Uop.Cap Uop.Cap_gen_begin ]
+      | Os.Msrs.Free ->
+        let pid = Tracker.current_pid t.tracker (Uop.Greg Reg.RDI) in
+        [ Uop.Cap (Uop.Cap_free_begin { pid }) ]))
+  | Some (_, Machine.Hooks.Exit) -> (
+    match Os.Msrs.lookup_exit t.msrs ctx.pc with
+    | None -> []
+    | Some reg -> (
+      match reg.Os.Msrs.kind with
+      | Os.Msrs.Malloc | Os.Msrs.Calloc | Os.Msrs.Realloc -> [ Uop.Cap Uop.Cap_gen_end ]
+      | Os.Msrs.Free ->
+        let pid = match t.pending_free with Some pid -> pid | None -> 0 in
+        [ Uop.Cap (Uop.Cap_free_end { pid }) ]))
+
+let instrument t (ctx : Machine.Hooks.ctx) uops =
+  if not (protects t) then uops
+  else begin
+    (* Binary translation: charge a one-time translation cost per newly
+       seen macro-op address. *)
+    if
+      t.variant.Variant.scheme = Variant.Binary_translation
+      && not (Hashtbl.mem t.bt_translated ctx.pc)
+    then begin
+      Hashtbl.add t.bt_translated ctx.pc ();
+      t.pending_bt_cost <- t.pending_bt_cost + t.variant.Variant.bt_translation_cycles;
+      Chex86_stats.Counter.incr t.counters "bt.translated_pcs"
+    end;
+    let pre = stub_injection t ctx in
+    let body =
+      List.concat_map
+        (fun uop ->
+          let checks = checks_for t ctx.pc uop in
+          apply_rule t ctx.pc uop;
+          checks @ [ uop ])
+        uops
+    in
+    pre @ body
+  end
+
+(* --- execute-time -------------------------------------------------------- *)
+
+(* Shadow address spaces for the capability and alias tables: misses
+   are serviced through the regular cache hierarchy, so hot shadow lines
+   stay in L2 and the DRAM bandwidth impact matches the paper's
+   observation that it is negligible. *)
+let cap_shadow_base = 0x7FE0_0000_0000
+let alias_shadow_base = 0x7FD0_0000_0000
+
+let cap_lookup_latency t pid =
+  if pid <= 0 then 1
+  else if Cap_cache.access t.cap_cache pid then 1
+  else
+    (* Miss: fetch the 128-bit capability from the shadow table. *)
+    t.variant.Variant.cap_table_latency
+    + Mem.Hierarchy.access t.hier ~kind:Mem.Hierarchy.Data ~write:false
+        (cap_shadow_base + (pid * 16))
+
+let do_check t ~pid ~ea ~width ~is_store =
+  let latency = cap_lookup_latency t pid in
+  if pid = -1 then raise (Violation.Security_violation (Wild_dereference { ea; is_store }));
+  (if pid > 0 then
+     match Cap_table.find t.cap_table pid with
+     | None -> ()
+     | Some cap ->
+       if not cap.Capability.busy then begin
+         if not cap.Capability.valid then
+           raise (Violation.Security_violation (Use_after_free { pid; ea; is_store }));
+         if not (Capability.contains cap ~ea ~width:(Insn.bytes_of_width width)) then
+           raise
+             (Violation.Security_violation
+                (Out_of_bounds
+                   {
+                     pid;
+                     ea;
+                     base = cap.Capability.base;
+                     size = cap.Capability.size;
+                     is_store;
+                   }));
+         if is_store && not cap.Capability.writable then
+           raise (Violation.Security_violation (Permission_denied { pid; ea; is_store }));
+         if (not is_store) && not cap.Capability.readable then
+           raise (Violation.Security_violation (Permission_denied { pid; ea; is_store }));
+         (* Opt-in uninitialized-read extension: byte-granular
+            write-before-read tracking on heap capabilities. *)
+         let width_bytes = Insn.bytes_of_width width in
+         if is_store then Capability.mark_initialized cap ~ea ~width:width_bytes
+         else if
+           t.variant.Variant.detect_uninitialized
+           && not (Capability.is_initialized cap ~ea ~width:width_bytes)
+         then raise (Violation.Security_violation (Uninitialized_read { pid; ea }))
+       end);
+  latency
+
+(* Shadow alias lookup with the paper's three-stage filter: TLB
+   alias-hosting bit, then the alias cache (+victim), then the 5-level
+   table walk.  Returns (actual pid, latency). *)
+(* Page-table alias-hosting bit: under SMP the authoritative bits are
+   shared across cores (page-table metadata); single-core uses the TLB's
+   side table. *)
+let page_hosts_aliases t vpn =
+  match t.shared with
+  | Some s -> Hashtbl.mem s.s_alias_pages vpn
+  | None -> Mem.Tlb.page_alias_bit t.tlb vpn
+
+let alias_lookup t ea =
+  if
+    t.variant.Variant.tlb_alias_filter
+    && not (page_hosts_aliases t (ea lsr Mem.Image.page_bits))
+  then begin
+    Chex86_stats.Counter.incr t.counters "alias.tlb_filtered";
+    (0, 0, false)
+  end
+  else if Mem.Cache.access t.alias_cache ~write:false ea then
+    (Alias_table.find t.alias_table ea, 0, true)
+  else begin
+    let pid, levels = Alias_table.get t.alias_table ea in
+    let line_latency =
+      Mem.Hierarchy.access t.hier ~kind:Mem.Hierarchy.Data ~write:false
+        (alias_shadow_base + (ea lsr 3 * 8))
+    in
+    (pid, (levels * t.variant.Variant.alias_walk_latency_per_level) + line_latency, true)
+  end
+
+let incr t name = Chex86_stats.Counter.incr t.counters name
+
+(* Validate the front-end prediction for a pointer-reload candidate and
+   drive the Fig 5 recovery paths. *)
+let validate_prediction t ~pc ~ea ~dst =
+  let predicted =
+    if Queue.is_empty t.predictions then begin
+      incr t "alias.queue_empty";
+      0
+    end
+    else begin
+      let qpc, p = Queue.pop t.predictions in
+      if qpc = pc then p
+      else begin
+        incr t "alias.queue_mismatch";
+        0
+      end
+    end
+  in
+  let actual, latency, alias_page = alias_lookup t ea in
+  Alias_predictor.update ~alias_page t.predictor pc ~actual;
+  Tracker.force_pid t.tracker dst actual;
+  let is_prediction_scheme = t.variant.Variant.scheme = Variant.Microcode_prediction in
+  if alias_page then incr t "alias.pred_events";
+  if predicted = actual then begin
+    if alias_page then incr t "alias.pred_correct";
+    if actual <> 0 then incr t "alias.pred_reloads";
+    (latency, false, 0)
+  end
+  else begin
+    if predicted <> 0 && actual = 0 then begin
+      (* PNA0: the injected check downstream becomes a zero-idiom. *)
+      incr t "alias.pred_pna0";
+      (latency, false, if is_prediction_scheme then 1 else 0)
+    end
+    else if predicted = 0 && actual <> 0 then begin
+      (* P0AN: flush and refetch with the right checks injected. *)
+      incr t "alias.pred_p0an";
+      (latency, is_prediction_scheme, 0)
+    end
+    else begin
+      (* PMAN: forward the corrected PID, no flush. *)
+      incr t "alias.pred_pman";
+      (latency, false, 0)
+    end
+  end
+
+(* Record a spilled pointer alias for a committed store (rule ST). *)
+let record_spill t ~ea ~pid =
+  if pid > 0 then begin
+    Alias_table.set t.alias_table ea pid;
+    (match t.shared with
+    | Some s ->
+      Hashtbl.replace s.s_alias_pages (ea lsr Mem.Image.page_bits) ();
+      (* Alias-cache coherence: invalidate the granule in other cores. *)
+      ignore (Bus.broadcast s.s_bus ~from_core:t.core (Bus.Alias_invalidate ea))
+    | None -> ());
+    Mem.Tlb.set_alias_hosting t.tlb ea;
+    ignore (Mem.Cache.access t.alias_cache ~write:true ea);
+    incr t "alias.spills"
+  end
+  else if
+    page_hosts_aliases t (ea lsr Mem.Image.page_bits)
+    && Alias_table.find t.alias_table ea <> 0
+  then begin
+    (* Overwriting a spilled pointer with data kills the alias. *)
+    Alias_table.set t.alias_table ea 0;
+    match t.shared with
+    | Some s -> ignore (Bus.broadcast s.s_bus ~from_core:t.core (Bus.Alias_invalidate ea))
+    | None -> ()
+  end
+
+let run_checker t ~pc ~uop ~result ~dst =
+  match (t.checker, result) with
+  | Some checker, Some value ->
+    Checker.check checker ~pc ~uop ~result:value
+      ~predicted:(Tracker.current_pid t.tracker dst)
+  | _ -> ()
+
+let alloc_size_of_kind (ctx : Machine.Hooks.ctx) = function
+  | Os.Msrs.Malloc -> ctx.read_reg Reg.RDI
+  | Os.Msrs.Calloc -> ctx.read_reg Reg.RDI * ctx.read_reg Reg.RSI
+  | Os.Msrs.Realloc -> ctx.read_reg Reg.RSI
+  | Os.Msrs.Free -> 0
+
+let exec_uop t (ctx : Machine.Hooks.ctx) (uop : Uop.t) ~ea ~result =
+  if not (protects t) then Machine.Hooks.no_reaction
+  else begin
+    let bt_cost = t.pending_bt_cost in
+    t.pending_bt_cost <- 0;
+    let reaction =
+      match uop with
+      | Cap Cap_gen_begin -> (
+        match ctx.stub with
+        | Some _ -> (
+          match Os.Msrs.lookup_entry t.msrs ctx.pc with
+          | None -> Machine.Hooks.no_reaction
+          | Some reg ->
+            let size = alloc_size_of_kind ctx reg.Os.Msrs.kind in
+            if size > t.variant.Variant.max_alloc_bytes then
+              raise
+                (Violation.Security_violation
+                   (Resource_exhaustion
+                      { requested = size; limit = t.variant.Variant.max_alloc_bytes }));
+            let realloc_old =
+              match reg.Os.Msrs.kind with
+              | Os.Msrs.Realloc -> Tracker.current_pid t.tracker (Uop.Greg Reg.RDI)
+              | _ -> 0
+            in
+            let cap = Cap_table.fresh t.cap_table ~size:(max size 0) in
+            if t.variant.Variant.detect_uninitialized then
+              (* calloc returns zeroed memory; realloc copies the old
+                 payload — both conservatively start initialized. *)
+              Capability.track_initialization
+                ~initialized:
+                  (match reg.Os.Msrs.kind with
+                  | Os.Msrs.Calloc | Os.Msrs.Realloc -> true
+                  | Os.Msrs.Malloc | Os.Msrs.Free -> false)
+                cap;
+            t.pending_alloc <-
+              Some { pid = cap.Capability.pid; kind = reg.Os.Msrs.kind; realloc_old };
+            { Machine.Hooks.no_reaction with extra_latency = 2 })
+        | None -> Machine.Hooks.no_reaction)
+      | Cap Cap_gen_end -> (
+        match t.pending_alloc with
+        | None -> Machine.Hooks.no_reaction
+        | Some { pid; kind; realloc_old } ->
+          let base = ctx.read_reg Reg.RAX in
+          Cap_table.finalize t.cap_table pid ~base;
+          if base <> 0 then begin
+            Tracker.force_pid t.tracker (Uop.Greg Reg.RAX) pid;
+            if kind = Os.Msrs.Realloc && realloc_old > 0 then begin
+              Cap_table.end_free t.cap_table realloc_old;
+              Cap_cache.invalidate t.cap_cache realloc_old
+            end
+          end;
+          incr t "cap.generated";
+          t.pending_alloc <- None;
+          { Machine.Hooks.no_reaction with extra_latency = 2 })
+      | Cap (Cap_free_begin { pid }) ->
+        let addr = ctx.read_reg Reg.RDI in
+        if addr = 0 then begin
+          (* free(NULL) is benign. *)
+          t.pending_free <- None;
+          Machine.Hooks.no_reaction
+        end
+        else begin
+          let latency = cap_lookup_latency t pid in
+          if pid <= 0 then
+            raise (Violation.Security_violation (Invalid_free { pid; addr }));
+          (match Cap_table.find t.cap_table pid with
+          | None -> raise (Violation.Security_violation (Invalid_free { pid; addr }))
+          | Some cap ->
+            if not cap.Capability.valid then
+              raise (Violation.Security_violation (Double_free { pid; addr }));
+            if cap.Capability.base <> addr then
+              raise (Violation.Security_violation (Invalid_free { pid; addr }));
+            Cap_table.begin_free t.cap_table pid);
+          t.pending_free <- Some pid;
+          { Machine.Hooks.no_reaction with commit_latency = latency }
+        end
+      | Cap (Cap_free_end _) ->
+        let bus_cost = ref 0 in
+        (match t.pending_free with
+        | Some pid ->
+          Cap_table.end_free t.cap_table pid;
+          Cap_cache.invalidate t.cap_cache pid;
+          (* SMP: reset the capability in every other core's cache; sent
+             once per free thanks to unforgeability (Section IV-C). *)
+          (match t.shared with
+          | Some s ->
+            bus_cost := 2 * Bus.broadcast s.s_bus ~from_core:t.core (Bus.Cap_invalidate pid)
+          | None -> ());
+          incr t "cap.freed"
+        | None -> ());
+        t.pending_free <- None;
+        { Machine.Hooks.no_reaction with commit_latency = !bus_cost }
+      | Cap (Cap_check { pid; width; is_store; _ }) ->
+        let ea = match ea with Some ea -> ea | None -> 0 in
+        let latency = do_check t ~pid ~ea ~width ~is_store in
+        incr t "cap.checks";
+        t.on_check ~pc:ctx.pc ~pid ~is_store;
+        { Machine.Hooks.no_reaction with commit_latency = latency }
+      | Guard { kind = Uop.Bt_bounds_low; width; _ } ->
+        let ea = match ea with Some ea -> ea | None -> 0 in
+        let pid, is_store =
+          match Queue.take_opt t.lsu_checks with Some x -> x | None -> (0, false)
+        in
+        let latency = do_check t ~pid ~ea ~width ~is_store in
+        incr t "cap.checks";
+        { Machine.Hooks.no_reaction with commit_latency = latency }
+      | Guard _ -> Machine.Hooks.no_reaction
+      | Load { dst; width; _ } ->
+        let ea = match ea with Some ea -> ea | None -> 0 in
+        let lsu_latency =
+          if t.variant.Variant.scheme = Variant.Hardware_only then begin
+            match Queue.take_opt t.lsu_checks with
+            | Some (pid, is_store) ->
+              incr t "cap.checks";
+              do_check t ~pid ~ea ~width ~is_store
+            | None -> 0
+          end
+          else 0
+        in
+        if tracked_load_dst width dst then begin
+          let latency, flush, killed = validate_prediction t ~pc:ctx.pc ~ea ~dst in
+          run_checker t ~pc:ctx.pc ~uop ~result ~dst;
+          {
+            Machine.Hooks.extra_latency = (if lsu_latency > 0 then 1 else 0);
+            commit_latency = latency + lsu_latency;
+            flush;
+            killed_uops = killed;
+          }
+        end
+        else begin
+          run_checker t ~pc:ctx.pc ~uop ~result ~dst;
+          {
+            Machine.Hooks.no_reaction with
+            extra_latency = (if lsu_latency > 0 then 1 else 0);
+            commit_latency = lsu_latency;
+          }
+        end
+      | Store { src; width; _ } ->
+        let ea = match ea with Some ea -> ea | None -> 0 in
+        let lsu_latency =
+          if t.variant.Variant.scheme = Variant.Hardware_only then begin
+            match Queue.take_opt t.lsu_checks with
+            | Some (pid, is_store) ->
+              incr t "cap.checks";
+              do_check t ~pid ~ea ~width ~is_store
+            | None -> 0
+          end
+          else 0
+        in
+        if width = Insn.W64 then begin
+          let pid =
+            match src with
+            | Uop.Loc ((Uop.Greg _ | Uop.Tmp _) as l) -> Tracker.current_pid t.tracker l
+            | Uop.Loc (Uop.Xreg _) | Uop.Imm _ -> 0
+          in
+          record_spill t ~ea ~pid
+        end;
+        { Machine.Hooks.no_reaction with commit_latency = lsu_latency }
+      | uop -> (
+        (match Uop.writes uop with
+        | Some dst -> run_checker t ~pc:ctx.pc ~uop ~result ~dst
+        | None -> ());
+        Machine.Hooks.no_reaction)
+    in
+    { reaction with extra_latency = reaction.Machine.Hooks.extra_latency + bt_cost }
+  end
+
+(* Install this monitor's behaviour into a hook record shared with the
+   engine. *)
+let install t (hooks : Machine.Hooks.t) =
+  hooks.instrument <- instrument t;
+  hooks.exec_uop <- exec_uop t

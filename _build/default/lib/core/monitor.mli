@@ -1,0 +1,64 @@
+(** The CHEx86 monitor: microcode customization unit + shadow capability
+    table/cache + speculative pointer tracker + alias prediction, behind
+    the machine's hook interface. *)
+
+type t
+
+(** Shadow state shared by the per-core monitors of an SMP system:
+    capability/alias tables, page-table alias-hosting bits, the
+    invalidation bus, and the once-registered global capabilities. *)
+type shared
+
+val make_shared : Chex86_stats.Counter.group -> shared
+
+(** [create ?core ?shared ...] — under SMP each hardware thread gets its
+    own monitor (private tracker, predictor, capability/alias caches)
+    over the [shared] shadow state; frees and alias spills broadcast
+    invalidations to the other cores' caches (§IV-C / §V-C). *)
+val create :
+  ?variant:Variant.t ->
+  ?core:int ->
+  ?shared:shared ->
+  proc:Chex86_os.Process.t ->
+  hier:Chex86_mem.Hierarchy.t ->
+  unit ->
+  t
+
+(** Point a shared hook record at this monitor's decode/execute logic. *)
+val install : t -> Chex86_machine.Hooks.t -> unit
+
+(** Attach the hardware checker (rule-construction mode, §V-A). *)
+val attach_checker : t -> Checker.t -> unit
+
+val checker : t -> Checker.t option
+
+(** Observe every executed capability check (pc, PID, store?). *)
+val set_on_check : t -> (pc:int -> pid:int -> is_store:bool -> unit) -> unit
+
+val variant : t -> Variant.t
+val cap_table : t -> Cap_table.t
+val tracker : t -> Tracker.t
+val alias_table : t -> Alias_table.t
+val rules : t -> Rules.t
+val predictor : t -> Alias_predictor.t
+
+(** Capability + alias table storage (Fig 9); 0 for the insecure
+    baseline. *)
+val shadow_storage_bytes : t -> int
+
+(** PID of the global object containing [addr], or 0. *)
+val global_pid_of : t -> int -> int
+
+(** Decode-time instrumentation hook (exposed for tests). *)
+val instrument :
+  t -> Chex86_machine.Hooks.ctx -> Chex86_isa.Uop.t list -> Chex86_isa.Uop.t list
+
+(** Execute-time hook (exposed for tests); may raise
+    [Violation.Security_violation]. *)
+val exec_uop :
+  t ->
+  Chex86_machine.Hooks.ctx ->
+  Chex86_isa.Uop.t ->
+  ea:int option ->
+  result:int option ->
+  Chex86_machine.Hooks.reaction

@@ -1,0 +1,126 @@
+(* Temporal pointer access pattern classifier (Table II).
+
+   Classifies a sequence of PIDs observed at one code region into the
+   eight classes the paper identifies.  The decision procedure mirrors
+   the table:
+
+   - one distinct value                      -> Constant
+   - unit run lengths, constant PID stride   -> Stride
+   - batched runs, strided batch heads       -> Batch + Stride
+   - batched runs, non-strided heads         -> Batch + No stride
+   - periodic head sequence, strided period  -> Repeat + Stride
+   - periodic head sequence, otherwise       -> Repeat + No stride
+   - interleaved strided subsequences        -> Random + Stride
+   - anything else                           -> Random + No stride *)
+
+type t =
+  | Constant
+  | Stride
+  | Batch_stride
+  | Batch_no_stride
+  | Repeat_stride
+  | Repeat_no_stride
+  | Random_stride
+  | Random_no_stride
+
+let name = function
+  | Constant -> "Constant"
+  | Stride -> "Stride"
+  | Batch_stride -> "Batch + Stride"
+  | Batch_no_stride -> "Batch + No Stride"
+  | Repeat_stride -> "Repeat + Stride"
+  | Repeat_no_stride -> "Repeat + No Stride"
+  | Random_stride -> "Random + Stride"
+  | Random_no_stride -> "Random + No Stride"
+
+(* Run-length compress: [11;11;15;15] -> [(11,2);(15,2)]. *)
+let runs seq =
+  List.fold_left
+    (fun acc v ->
+      match acc with
+      | (v', n) :: rest when v' = v -> (v', n + 1) :: rest
+      | _ -> (v, 1) :: acc)
+    [] seq
+  |> List.rev
+
+let all_equal = function [] -> true | x :: rest -> List.for_all (( = ) x) rest
+
+let diffs = function
+  | [] | [ _ ] -> []
+  | first :: rest -> List.rev (fst (List.fold_left (fun (acc, prev) v -> ((v - prev) :: acc, v)) ([], first) rest))
+
+(* Smallest period p such that the sequence is (a prefix of) a repetition
+   of its first p elements; requires at least two full periods. *)
+let period heads =
+  let arr = Array.of_list heads in
+  let n = Array.length arr in
+  let rec try_p p =
+    if p > n / 2 then None
+    else begin
+      let ok = ref true in
+      for i = p to n - 1 do
+        if arr.(i) <> arr.(i - p) then ok := false
+      done;
+      if !ok then Some p else try_p (p + 1)
+    end
+  in
+  try_p 1
+
+(* Interleaved-stride heuristic for the Random classes: the fraction of
+   elements that continue a +/-1 stride from an occurrence within a small
+   preceding window. *)
+let interleaved_stride_fraction heads =
+  let arr = Array.of_list heads in
+  let n = Array.length arr in
+  if n < 2 then 0.
+  else begin
+    let hits = ref 0 in
+    for i = 1 to n - 1 do
+      let lo = max 0 (i - 4) in
+      let found = ref false in
+      for j = lo to i - 1 do
+        if arr.(i) = arr.(j) + 1 || arr.(i) = arr.(j) - 1 then found := true
+      done;
+      if !found then incr hits
+    done;
+    float_of_int !hits /. float_of_int (n - 1)
+  end
+
+let classify seq =
+  match seq with
+  | [] | [ _ ] -> Constant
+  | _ ->
+    let rs = runs seq in
+    let heads = List.map fst rs in
+    let lengths = List.map snd rs in
+    if List.length heads = 1 then Constant
+    else begin
+      let batched = List.exists (fun n -> n > 1) lengths in
+      let head_diffs = diffs heads in
+      let strided = head_diffs <> [] && all_equal head_diffs in
+      if batched then if strided then Batch_stride else Batch_no_stride
+      else if strided then Stride
+      else
+        match period heads with
+        | Some p ->
+          let period_heads = List.filteri (fun i _ -> i < p) heads in
+          let pd = diffs period_heads in
+          if pd = [] || all_equal pd then Repeat_stride else Repeat_no_stride
+        | None ->
+          if interleaved_stride_fraction heads >= 0.6 then Random_stride
+          else Random_no_stride
+    end
+
+(* Table II's own example rows, used by the bench target and as a
+   self-check in the test suite. *)
+let table_ii_examples =
+  [
+    ("Constant", "0", [ 31; 31; 31; 31; 31; 31; 31 ]);
+    ("Stride", "3", [ 13; 16; 19; 22; 25; 28; 31 ]);
+    ("Batch + Stride", "4", [ 11; 11; 11; 15; 15; 15; 15 ]);
+    ("Batch + No Stride", "NA", [ 22; 22; 22; 13; 99; 99; 99 ]);
+    ("Repeat + Stride", "1", [ 26; 27; 28; 26; 27; 28; 26 ]);
+    ("Repeat + No Stride", "NA", [ 26; 57; 5; 26; 57; 5; 26 ]);
+    ("Random + Stride", "NA", [ 26; 23; 29; 27; 24; 30; 28 ]);
+    ("Random + No Stride", "NA", [ 26; 23; 29; 31; 29; 34; 40 ]);
+  ]

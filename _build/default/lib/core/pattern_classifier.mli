@@ -1,0 +1,20 @@
+(** Temporal pointer access pattern classifier (Table II). *)
+
+type t =
+  | Constant
+  | Stride
+  | Batch_stride
+  | Batch_no_stride
+  | Repeat_stride
+  | Repeat_no_stride
+  | Random_stride
+  | Random_no_stride
+
+(** Table II's row label. *)
+val name : t -> string
+
+(** Classify a PID stream observed at a code region. *)
+val classify : int list -> t
+
+(** Table II's own example rows: (label, stride, PID sequence). *)
+val table_ii_examples : (string * string * int list) list

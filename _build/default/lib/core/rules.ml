@@ -1,0 +1,195 @@
+(* The pointer-tracking rule database (Table I of the paper).
+
+   Each rule maps a (micro-op class, addressing mode) pair to a
+   capability-propagation action.  The database is configurable data, not
+   hard-wired logic: it can be extended at run time (modelling in-field
+   microcode updates), and the hardware checker (Checker) validates it
+   against exhaustive shadow-table searches, which is how the paper's
+   automatic rule construction works. *)
+
+open Chex86_isa
+
+type uop_class = MOV | AND | LEA | ADD | SUB | LD | ST | MOVI | OTHER
+
+type addr_mode = Reg_reg | Reg_imm | Reg_mem
+
+(* PID propagation actions.  [Nonzero_of_sources]: if one source PID is
+   zero, take the other (the AND/ADD rule); a genuine PID beats the wild
+   PID(-1) when both are tagged. *)
+type action =
+  | Copy_src  (* PID(dst) <- PID(src) *)
+  | Nonzero_of_sources
+  | Copy_first  (* SUB: always the first source operand (the minuend) *)
+  | From_memory  (* LD: PID(dst) <- PID(Mem[EA]), via the alias predictor *)
+  | To_memory  (* ST: PID(Mem[EA]) <- PID(src) *)
+  | Wild  (* MOVI: PID(dst) <- PID(-1) *)
+  | Clear  (* all other operations: PID(result) <- PID(0) *)
+
+type rule = {
+  uop : uop_class;
+  mode : addr_mode;
+  action : action;
+  example : string;
+  propagation : string;
+  code_example : string;
+}
+
+type t = { mutable rules : rule list }
+
+(* The automatically constructed database of Table I. *)
+let table_i =
+  [
+    {
+      uop = MOV;
+      mode = Reg_reg;
+      action = Copy_src;
+      example = "mov %rcx, %rbx";
+      propagation = "PID(rcx) <- PID(rbx)";
+      code_example = "ptr1 = ptr2;";
+    };
+    {
+      uop = AND;
+      mode = Reg_reg;
+      action = Nonzero_of_sources;
+      example = "and %rcx, %rbx, %rax";
+      propagation = "if PID of one source is zero, take the other";
+      code_example = "ptr2 = ptr1 & mask;";
+    };
+    {
+      uop = AND;
+      mode = Reg_imm;
+      action = Copy_first;
+      example = "andi %rcx, %rbx, $imm";
+      propagation = "PID(rcx) <- PID(rbx)";
+      code_example = "ptr2 = ptr1 & 0xffff0000;";
+    };
+    {
+      uop = LEA;
+      mode = Reg_reg;
+      action = Copy_src;
+      example = "lea %rcx, (%rbx, %idx, scl)";
+      propagation = "PID(rcx) <- PID(rbx)";
+      code_example = "ptr = &a[50];";
+    };
+    {
+      uop = ADD;
+      mode = Reg_reg;
+      action = Nonzero_of_sources;
+      example = "add %rcx, %rbx, %rax";
+      propagation = "if PID of one source is zero, take the other";
+      code_example = "ptr2 = ptr1 + const;";
+    };
+    {
+      uop = ADD;
+      mode = Reg_imm;
+      action = Copy_first;
+      example = "addi %rcx, %rbx, $imm";
+      propagation = "PID(rcx) <- PID(rbx)";
+      code_example = "ptr2 = ptr1 + 4;";
+    };
+    {
+      uop = SUB;
+      mode = Reg_reg;
+      action = Copy_first;
+      example = "sub %rcx, %rbx, %rax";
+      propagation = "PID(rcx) <- PID(rbx)";
+      code_example = "ptr2 = ptr1 - const;";
+    };
+    {
+      uop = SUB;
+      mode = Reg_imm;
+      action = Copy_first;
+      example = "subi %rcx, %rbx, $imm";
+      propagation = "PID(rcx) <- PID(rbx)";
+      code_example = "ptr2 = ptr1 - 4;";
+    };
+    {
+      uop = LD;
+      mode = Reg_mem;
+      action = From_memory;
+      example = "ldq %rcx, [EA]";
+      propagation = "PID(rcx) <- PID(Mem[EA])";
+      code_example = "int *ptr2 = ptr1[100];";
+    };
+    {
+      uop = ST;
+      mode = Reg_mem;
+      action = To_memory;
+      example = "stq %rcx, [EA]";
+      propagation = "PID(Mem[EA]) <- PID(rcx)";
+      code_example = "*ptr1 = ptr2;";
+    };
+    {
+      uop = MOVI;
+      mode = Reg_imm;
+      action = Wild;
+      example = "limm %rax, $imm";
+      propagation = "PID(rax) <- PID(-1)";
+      code_example = "int *p = (int *)0x7fff1000;";
+    };
+  ]
+
+let create ?(rules = table_i) () = { rules }
+
+let add_rule t rule = t.rules <- t.rules @ [ rule ]
+let rules t = t.rules
+
+(* Classify a micro-op into the database's key space. *)
+let classify (uop : Uop.t) =
+  match uop with
+  | Mov _ -> Some (MOV, Reg_reg)
+  | Limm _ -> Some (MOVI, Reg_imm)
+  | Lea _ -> Some (LEA, Reg_reg)
+  | Load _ -> Some (LD, Reg_mem)
+  | Store _ -> Some (ST, Reg_mem)
+  | Alu { op; src2; _ } -> (
+    let mode = match src2 with Uop.Imm _ -> Reg_imm | Uop.Loc _ -> Reg_reg in
+    match op with
+    | Insn.Add -> Some (ADD, mode)
+    | Insn.Sub -> Some (SUB, mode)
+    | Insn.And -> Some (AND, mode)
+    | Insn.Or | Insn.Xor | Insn.Imul | Insn.Shl | Insn.Shr -> Some (OTHER, mode))
+  | Fp _ | Cvt _ | Cmp _ | Branch _ | Cap _ | Guard _ | Nop -> None
+
+(* Action for a micro-op under the current database; OTHER and unmatched
+   classes clear the destination PID ("All other operations"). *)
+let action_for t uop =
+  match classify uop with
+  | None -> Clear
+  | Some (cls, mode) -> (
+    match List.find_opt (fun r -> r.uop = cls && r.mode = mode) t.rules with
+    | Some r -> r.action
+    | None -> Clear)
+
+(* Combine two source PIDs under [Nonzero_of_sources]; a real PID beats
+   the wild PID(-1). *)
+let combine_nonzero a b =
+  if a = 0 then b
+  else if b = 0 then a
+  else if a = -1 then b
+  else if b = -1 then a
+  else a
+
+let class_name = function
+  | MOV -> "MOV"
+  | AND -> "AND"
+  | LEA -> "LEA"
+  | ADD -> "ADD"
+  | SUB -> "SUB"
+  | LD -> "LD"
+  | ST -> "ST"
+  | MOVI -> "MOVI"
+  | OTHER -> "OTHER"
+
+let mode_name = function
+  | Reg_reg -> "Reg-Reg"
+  | Reg_imm -> "Reg-Imm"
+  | Reg_mem -> "Reg-Mem(qw)"
+
+(* Rows for the Table I bench target. *)
+let render_rows t =
+  List.map
+    (fun r ->
+      [ class_name r.uop; mode_name r.mode; r.example; r.propagation; r.code_example ])
+    t.rules
+  @ [ [ "OTHER"; "-"; "all other operations"; "PID(result) <- PID(0)"; "" ] ]

@@ -1,0 +1,52 @@
+(** The pointer-tracking rule database of Table I: configurable data
+    mapping (micro-op class, addressing mode) to a PID-propagation
+    action, extensible at run time (in-field microcode updates). *)
+
+type uop_class = MOV | AND | LEA | ADD | SUB | LD | ST | MOVI | OTHER
+type addr_mode = Reg_reg | Reg_imm | Reg_mem
+
+type action =
+  | Copy_src  (** PID(dst) <- PID(src) *)
+  | Nonzero_of_sources  (** the AND/ADD rule *)
+  | Copy_first  (** SUB: the minuend's PID *)
+  | From_memory  (** LD: PID(dst) <- PID(Mem[EA]) via the alias predictor *)
+  | To_memory  (** ST: PID(Mem[EA]) <- PID(src) *)
+  | Wild  (** MOVI: PID(-1) *)
+  | Clear  (** all other operations *)
+
+type rule = {
+  uop : uop_class;
+  mode : addr_mode;
+  action : action;
+  example : string;
+  propagation : string;
+  code_example : string;
+}
+
+type t
+
+(** The automatically constructed database of Table I. *)
+val table_i : rule list
+
+val create : ?rules:rule list -> unit -> t
+
+(** Extend the database (modelled microcode update). *)
+val add_rule : t -> rule -> unit
+
+val rules : t -> rule list
+
+(** Key of a micro-op in the database, [None] for non-tracking micro-ops. *)
+val classify : Chex86_isa.Uop.t -> (uop_class * addr_mode) option
+
+(** Propagation action under the current database; unmatched -> [Clear]. *)
+val action_for : t -> Chex86_isa.Uop.t -> action
+
+(** Combine source PIDs under [Nonzero_of_sources]; a real PID beats the
+    wild PID(-1). *)
+val combine_nonzero : int -> int -> int
+
+val class_name : uop_class -> string
+val mode_name : addr_mode -> string
+
+(** Rows for the Table I bench target. *)
+val render_rows : t -> string list list

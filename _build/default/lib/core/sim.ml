@@ -1,0 +1,71 @@
+(* End-to-end convenience driver: load a program, attach a CHEx86
+   monitor for the chosen variant, and run it on the timing model.  This
+   is the entry point the examples and the harness use. *)
+
+module Os = Chex86_os
+module Machine = Chex86_machine
+
+type outcome =
+  | Completed
+  | Violation_detected of Violation.kind
+  | Heap_abort of string  (* allocator integrity check (glibc-style abort) *)
+  | Guest_fault of string
+  | Budget_exhausted
+
+type run = {
+  outcome : outcome;
+  result : Machine.Simulator.result;
+  monitor : Monitor.t;
+  proc : Os.Process.t;
+  profile : Os.Heap_profile.t option;
+}
+
+let classify_outcome = function
+  | Machine.Simulator.Finished -> Completed
+  | Machine.Simulator.Budget_exhausted -> Budget_exhausted
+  | Machine.Simulator.Faulted (Violation.Security_violation kind) ->
+    Violation_detected kind
+  | Machine.Simulator.Faulted (Os.Allocator.Heap_abort msg) -> Heap_abort msg
+  | Machine.Simulator.Faulted (Machine.Engine.Guest_fault msg) -> Guest_fault msg
+  | Machine.Simulator.Faulted e -> raise e
+
+(* [run ?variant ?profile program] — [profile] attaches a Fig 3 heap
+   profiler fed with retired instructions and data accesses. *)
+let run ?(variant = Variant.default) ?(config = Machine.Config.default)
+    ?(max_insns = 50_000_000) ?(timing = true) ?(with_checker = false)
+    ?(configure = fun (_ : Monitor.t) -> ()) ?profile_interval program =
+  let proc = Os.Process.load program in
+  let hooks = Machine.Hooks.none () in
+  let sim = Machine.Simulator.create ~config ~hooks proc in
+  let monitor =
+    Monitor.create ~variant ~proc ~hier:(Machine.Simulator.hierarchy sim) ()
+  in
+  if with_checker then
+    Monitor.attach_checker monitor (Checker.create (Monitor.cap_table monitor));
+  configure monitor;
+  Monitor.install monitor hooks;
+  let profile =
+    match profile_interval with
+    | None -> None
+    | Some interval ->
+      let p = Os.Heap_profile.create ~interval_insns:interval proc.Os.Process.heap in
+      let engine = Machine.Simulator.engine sim in
+      let previous = engine.Machine.Engine.on_access in
+      engine.Machine.Engine.on_access <-
+        (fun ~addr ~write ->
+          previous ~addr ~write;
+          Os.Heap_profile.on_access p addr);
+      hooks.Machine.Hooks.on_retire <- (fun _ -> Os.Heap_profile.on_insn p);
+      Some p
+  in
+  let result =
+    if timing then Machine.Simulator.run ~max_insns sim
+    else Machine.Simulator.run_functional ~max_insns sim
+  in
+  {
+    outcome = classify_outcome result.Machine.Simulator.outcome;
+    result;
+    monitor;
+    proc;
+    profile;
+  }

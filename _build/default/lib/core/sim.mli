@@ -1,0 +1,33 @@
+(** End-to-end convenience driver: load a program, attach a CHEx86
+    monitor, run on the timing model. *)
+
+type outcome =
+  | Completed
+  | Violation_detected of Violation.kind
+  | Heap_abort of string  (** allocator integrity check fired *)
+  | Guest_fault of string
+  | Budget_exhausted
+
+type run = {
+  outcome : outcome;
+  result : Chex86_machine.Simulator.result;
+  monitor : Monitor.t;
+  proc : Chex86_os.Process.t;
+  profile : Chex86_os.Heap_profile.t option;
+}
+
+(** [run program] under [variant] (default: microcode prediction-driven).
+    [timing:false] skips the cycle model; [with_checker] attaches the
+    hardware checker; [configure] runs against the monitor before the
+    simulation starts; [profile_interval] attaches a Fig 3 heap
+    profiler. *)
+val run :
+  ?variant:Variant.t ->
+  ?config:Chex86_machine.Config.t ->
+  ?max_insns:int ->
+  ?timing:bool ->
+  ?with_checker:bool ->
+  ?configure:(Monitor.t -> unit) ->
+  ?profile_interval:int ->
+  Chex86_isa.Program.t ->
+  run

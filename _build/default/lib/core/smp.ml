@@ -1,0 +1,120 @@
+(* SMP driver: N hardware threads over one shared process image.
+
+   The paper's PARSEC evaluation is multithreaded and models the
+   invalidation traffic of frees and alias spills between cores
+   (Sections IV-C and V-C); this driver reproduces that setting:
+
+   - one process (shared text, heap, allocator, globals);
+   - one engine + timing pipeline + CHEx86 monitor per hardware thread,
+     each with a private stack region, pointer tracker, predictor, and
+     capability/alias caches;
+   - shared shadow capability/alias tables and the invalidation bus.
+
+   Threads are interleaved round-robin one macro-op at a time (a
+   sequentially consistent interleaving — the timing model charges each
+   core its own cycles, and the run's cycle count is the slowest core).
+   A security violation on any core stops the machine. *)
+
+module Os = Chex86_os
+module Machine = Chex86_machine
+
+type outcome =
+  | Completed
+  | Violation_detected of { core : int; kind : Violation.kind }
+  | Heap_abort of { core : int; message : string }
+  | Guest_fault of { core : int; message : string }
+  | Budget_exhausted
+
+type core = {
+  id : int;
+  engine : Machine.Engine.t;
+  pipeline : Machine.Pipeline.t;
+  monitor : Monitor.t;
+}
+
+type result = {
+  outcome : outcome;
+  cycles : int;  (* slowest core *)
+  per_core_cycles : int list;
+  macro_insns : int;  (* all cores *)
+  counters : Chex86_stats.Counter.group;
+  cap_invalidations : int;
+  alias_invalidations : int;
+}
+
+(* Each hardware thread gets a 1 MB stack carved below the previous
+   one. *)
+let stack_top_for tid = Chex86_isa.Program.stack_top - (tid * (1 lsl 20))
+
+(* [run ~threads program] starts one hardware thread per entry label.
+   [quantum] is the number of macro-ops a core executes per scheduler
+   turn (the shared-state machinery must be interleaving-invariant). *)
+let run ?(variant = Variant.default) ?(config = Machine.Config.default)
+    ?(max_insns = 50_000_000) ?(timing = true) ?(quantum = 1) ~threads program =
+  if quantum < 1 then invalid_arg "Smp.run: quantum < 1";
+  if threads = [] then invalid_arg "Smp.run: no thread entry points";
+  let proc = Os.Process.load program in
+  let counters = proc.Os.Process.counters in
+  let shared = Monitor.make_shared counters in
+  let cores =
+    List.mapi
+      (fun id entry ->
+        let hooks = Machine.Hooks.none () in
+        let hier = Chex86_mem.Hierarchy.create counters in
+        let monitor = Monitor.create ~variant ~core:id ~shared ~proc ~hier () in
+        Monitor.install monitor hooks;
+        let engine =
+          Machine.Engine.create ~hooks ~entry ~stack_top:(stack_top_for id) proc
+        in
+        let pipeline = Machine.Pipeline.create ~config hier counters in
+        { id; engine; pipeline; monitor })
+      threads
+  in
+  let total_insns () =
+    List.fold_left (fun acc c -> acc + Machine.Engine.insn_count c.engine) 0 cores
+  in
+  let finish outcome =
+    List.iter (fun c -> Machine.Pipeline.finalize c.pipeline) cores;
+    let per_core_cycles = List.map (fun c -> Machine.Pipeline.cycles c.pipeline) cores in
+    {
+      outcome;
+      cycles = List.fold_left max 0 per_core_cycles;
+      per_core_cycles;
+      macro_insns = total_insns ();
+      counters;
+      cap_invalidations = Chex86_stats.Counter.get counters "bus.cap_invalidations";
+      alias_invalidations = Chex86_stats.Counter.get counters "bus.alias_invalidations";
+    }
+  in
+  (* Round-robin interleaving, one macro-op per turn. *)
+  let rec loop () =
+    if total_insns () >= max_insns then finish Budget_exhausted
+    else begin
+      let progressed = ref false in
+      let fault = ref None in
+      List.iter
+        (fun c ->
+          let budget = ref quantum in
+          while
+            !fault = None && !budget > 0 && not (Machine.Engine.halted c.engine)
+          do
+            decr budget;
+            match Machine.Engine.step c.engine with
+            | Some step ->
+              progressed := true;
+              if timing then Machine.Pipeline.on_step c.pipeline step
+            | None -> ()
+            | exception Violation.Security_violation kind ->
+              fault := Some (Violation_detected { core = c.id; kind })
+            | exception Os.Allocator.Heap_abort message ->
+              fault := Some (Heap_abort { core = c.id; message })
+            | exception Machine.Engine.Guest_fault message ->
+              fault := Some (Guest_fault { core = c.id; message })
+          done)
+        cores;
+      match !fault with
+      | Some outcome -> finish outcome
+      | None -> if !progressed then loop () else finish Completed
+    end
+  in
+  loop ()

@@ -1,0 +1,36 @@
+(** SMP driver: one hardware thread per entry label over a shared
+    process, with per-core CHEx86 monitors, shared shadow tables, and
+    the paper's cross-core capability/alias cache invalidations. *)
+
+type outcome =
+  | Completed
+  | Violation_detected of { core : int; kind : Violation.kind }
+  | Heap_abort of { core : int; message : string }
+  | Guest_fault of { core : int; message : string }
+  | Budget_exhausted
+
+type result = {
+  outcome : outcome;
+  cycles : int;  (** slowest core *)
+  per_core_cycles : int list;
+  macro_insns : int;  (** summed over cores *)
+  counters : Chex86_stats.Counter.group;
+  cap_invalidations : int;
+  alias_invalidations : int;
+}
+
+(** Private 1 MB stack region of hardware thread [tid]. *)
+val stack_top_for : int -> int
+
+(** [run ~threads program] — [threads] are the entry labels, one per
+    hardware thread, interleaved round-robin [quantum] macro-ops at a
+    time (default 1). *)
+val run :
+  ?variant:Variant.t ->
+  ?config:Chex86_machine.Config.t ->
+  ?max_insns:int ->
+  ?timing:bool ->
+  ?quantum:int ->
+  threads:string list ->
+  Chex86_isa.Program.t ->
+  result

@@ -1,0 +1,106 @@
+(* Speculative pointer tracker register tags (Section V-D).
+
+   Every tracked location (16 integer registers + 2 decoder temporaries)
+   carries (1) the finalized PID propagated by the last committed
+   instruction and (2) a vector of transient PIDs from in-flight older
+   instructions with their sequence numbers.  Capability transfers use
+   the transient PID with the highest sequence number; on a squash, all
+   transient PIDs younger than the offending instruction are discarded;
+   on commit, transient entries drain into the finalized field.
+
+   The in-order engine drives this in lock-step (set, then commit), but
+   the transient machinery is exercised directly by the misspeculation
+   tests and by the monitor's alias-misprediction recovery. *)
+
+open Chex86_isa
+
+let slots = Reg.count + 2
+
+type tag = { mutable committed : int; mutable transient : (int * int) list }
+(* transient: (seq, pid), newest first *)
+
+type t = { tags : tag array; mutable seq : int }
+
+let create () =
+  { tags = Array.init slots (fun _ -> { committed = 0; transient = [] }); seq = 0 }
+
+let slot_of_loc = function
+  | Uop.Greg r -> Some (Reg.index r)
+  | Uop.Tmp i -> Some (Reg.count + i)
+  | Uop.Xreg _ -> None  (* XMM registers never hold pointers *)
+
+(* Fresh sequence number for the next tracked instruction. *)
+let next_seq t =
+  t.seq <- t.seq + 1;
+  t.seq
+
+(* Capability transfers use the youngest transient PID (the fetch stage
+   runs ahead of the rest of the pipeline). *)
+let current_pid t loc =
+  match slot_of_loc loc with
+  | None -> 0
+  | Some slot -> (
+    let tag = t.tags.(slot) in
+    match tag.transient with (_, pid) :: _ -> pid | [] -> tag.committed)
+
+let set_pid t loc ~seq ~pid =
+  match slot_of_loc loc with
+  | None -> ()
+  | Some slot ->
+    let tag = t.tags.(slot) in
+    tag.transient <- (seq, pid) :: tag.transient
+
+(* Commit every transient entry with sequence number <= [seq]: the newest
+   such entry becomes the finalized PID. *)
+let commit_upto t ~seq =
+  Array.iter
+    (fun tag ->
+      let rec split kept = function
+        | (s, pid) :: rest when s > seq -> split ((s, pid) :: kept) rest
+        | older ->
+          (match older with
+          | (_, pid) :: _ -> tag.committed <- pid
+          | [] -> ());
+          tag.transient <- List.rev kept
+      in
+      split [] tag.transient)
+    t.tags
+
+(* Squash: discard transient PIDs younger than the offending instruction
+   (Fig 2's "squash transient state within the pointer tracker"). *)
+let squash_after t ~seq =
+  Array.iter
+    (fun tag -> tag.transient <- List.filter (fun (s, _) -> s <= seq) tag.transient)
+    t.tags
+
+(* Overwrite a location's finalized PID immediately (used by alias
+   misprediction recovery to forward the corrected PID, Fig 5(e)). *)
+let force_pid t loc pid =
+  match slot_of_loc loc with
+  | None -> ()
+  | Some slot ->
+    let tag = t.tags.(slot) in
+    tag.committed <- pid;
+    tag.transient <- []
+
+let reset t =
+  Array.iter
+    (fun tag ->
+      tag.committed <- 0;
+      tag.transient <- [])
+    t.tags;
+  t.seq <- 0
+
+let pp ppf t =
+  Array.iteri
+    (fun i tag ->
+      let pid =
+        match tag.transient with (_, pid) :: _ -> pid | [] -> tag.committed
+      in
+      if pid <> 0 then
+        let name =
+          if i < Reg.count then Reg.name (Reg.of_index i)
+          else Printf.sprintf "t%d" (i - Reg.count)
+        in
+        Format.fprintf ppf "%s=PID(%d) " name pid)
+    t.tags

@@ -1,0 +1,84 @@
+(* CHEx86 design variants and configuration (Section IV / Fig 6).
+
+   - [Hardware_only]: no micro-op injection; the load/store unit performs
+     the capability check as part of every memory micro-op.
+   - [Binary_translation]: every register-memory macro-op is dynamically
+     instrumented with ISA-extension check micro-ops by a binary
+     translator (translation overhead charged per newly seen PC).
+   - [Microcode_always_on]: the microcode customization unit injects a
+     capCheck for every load/store, regardless of pointer activity.
+   - [Microcode_prediction]: the default CHEx86 — capCheck only for
+     dereferences whose base register carries a non-zero PID, driven by
+     the speculative pointer tracker and alias predictor.
+
+   [scope] enables the context-sensitive mode: only instruction addresses
+   inside the given ranges receive check injection (allocations are
+   always tracked). *)
+
+type scheme =
+  | Insecure
+  | Hardware_only
+  | Binary_translation
+  | Microcode_always_on
+  | Microcode_prediction
+
+type scope = All_code | Ranges of (int * int) list
+
+type t = {
+  scheme : scheme;
+  scope : scope;
+  cap_cache_entries : int;
+  alias_cache_sets : int;  (* x 2 ways *)
+  alias_victim_entries : int;
+  predictor_entries : int;
+  max_alloc_bytes : int;  (* resource-exhaustion limit, 1 GB in the paper *)
+  cap_table_latency : int;  (* shadow capability table access on cache miss *)
+  alias_walk_latency_per_level : int;
+  bt_translation_cycles : int;  (* per newly translated macro-op *)
+  (* Ablation knobs (all on by default; the ablation benches switch them
+     off to measure each mechanism's contribution). *)
+  predictor_stride : bool;  (* stride field of the alias predictor *)
+  predictor_blacklist : bool;  (* non-reload blacklist *)
+  tlb_alias_filter : bool;  (* per-page alias-hosting TLB filter *)
+  (* Opt-in extension: flag reads of never-written heap bytes.  Off by
+     default — reading self-managed uninitialized buffers is legal C. *)
+  detect_uninitialized : bool;
+}
+
+let make ?(scope = All_code) ?(cap_cache_entries = 64) ?(alias_cache_sets = 128)
+    ?(alias_victim_entries = 32) ?(predictor_entries = 512)
+    ?(max_alloc_bytes = 1 lsl 30) ?(predictor_stride = true)
+    ?(predictor_blacklist = true) ?(tlb_alias_filter = true)
+    ?(detect_uninitialized = false) scheme =
+  {
+    scheme;
+    scope;
+    cap_cache_entries;
+    alias_cache_sets;
+    alias_victim_entries;
+    predictor_entries;
+    max_alloc_bytes;
+    cap_table_latency = 20;
+    alias_walk_latency_per_level = 8;
+    bt_translation_cycles = 30;
+    predictor_stride;
+    predictor_blacklist;
+    tlb_alias_filter;
+    detect_uninitialized;
+  }
+
+let default = make Microcode_prediction
+
+let scheme_name = function
+  | Insecure -> "Insecure BaseLine"
+  | Hardware_only -> "CHEx86: Hardware Only"
+  | Binary_translation -> "CHEx86: Binary Translation"
+  | Microcode_always_on -> "CHEx86: Micro-code Level - Always On"
+  | Microcode_prediction -> "CHEx86: Micro-code Prediction Driven"
+
+let protects t = t.scheme <> Insecure
+
+let in_scope t pc =
+  match t.scope with
+  | All_code -> true
+  | Ranges ranges -> List.exists (fun (lo, hi) -> pc >= lo && pc < hi) ranges

@@ -1,0 +1,52 @@
+(** CHEx86 design variants and configuration knobs (§IV, Fig 6). *)
+
+type scheme =
+  | Insecure
+  | Hardware_only  (** LSU performs the check on every memory micro-op *)
+  | Binary_translation  (** per-macro-op software/ISA-extension checks *)
+  | Microcode_always_on  (** capCheck injected for every load/store *)
+  | Microcode_prediction  (** the default CHEx86: prediction-driven injection *)
+
+(** Context-sensitive enforcement: check injection limited to instruction
+    address ranges (allocations are always tracked). *)
+type scope = All_code | Ranges of (int * int) list
+
+type t = {
+  scheme : scheme;
+  scope : scope;
+  cap_cache_entries : int;
+  alias_cache_sets : int;  (** x 2 ways *)
+  alias_victim_entries : int;
+  predictor_entries : int;
+  max_alloc_bytes : int;  (** resource-exhaustion limit (1 GB in the paper) *)
+  cap_table_latency : int;
+  alias_walk_latency_per_level : int;
+  bt_translation_cycles : int;
+  predictor_stride : bool;  (** ablation: stride field of the predictor *)
+  predictor_blacklist : bool;  (** ablation: non-reload blacklist *)
+  tlb_alias_filter : bool;  (** ablation: alias-hosting TLB filter *)
+  detect_uninitialized : bool;  (** opt-in uninitialized-read detection *)
+}
+
+val make :
+  ?scope:scope ->
+  ?cap_cache_entries:int ->
+  ?alias_cache_sets:int ->
+  ?alias_victim_entries:int ->
+  ?predictor_entries:int ->
+  ?max_alloc_bytes:int ->
+  ?predictor_stride:bool ->
+  ?predictor_blacklist:bool ->
+  ?tlb_alias_filter:bool ->
+  ?detect_uninitialized:bool ->
+  scheme ->
+  t
+
+(** [make Microcode_prediction] with the paper's default structures. *)
+val default : t
+
+(** The Fig 6 legend name. *)
+val scheme_name : scheme -> string
+
+val protects : t -> bool
+val in_scope : t -> int -> bool

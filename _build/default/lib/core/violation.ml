@@ -1,0 +1,55 @@
+(* Security violations detected by CHEx86 capability checks.
+
+   These correspond one-to-one to the violation classes of the paper's
+   security evaluation (Section VII-A): out-of-bounds accesses,
+   use-after-free, invalid free, double free, wild dereferences flagged
+   by the MOVI rule, and heap-spray / resource-exhaustion attempts
+   caught at capability-generation time. *)
+
+type kind =
+  | Out_of_bounds of { pid : int; ea : int; base : int; size : int; is_store : bool }
+  | Use_after_free of { pid : int; ea : int; is_store : bool }
+  | Double_free of { pid : int; addr : int }
+  | Invalid_free of { pid : int; addr : int }
+  | Uninitialized_read of { pid : int; ea : int }
+  | Wild_dereference of { ea : int; is_store : bool }
+  | Permission_denied of { pid : int; ea : int; is_store : bool }
+  | Resource_exhaustion of { requested : int; limit : int }
+
+exception Security_violation of kind
+
+let class_name = function
+  | Out_of_bounds _ -> "out-of-bounds"
+  | Use_after_free _ -> "use-after-free"
+  | Double_free _ -> "double-free"
+  | Invalid_free _ -> "invalid-free"
+  | Uninitialized_read _ -> "uninitialized-read"
+  | Wild_dereference _ -> "wild-dereference"
+  | Permission_denied _ -> "permission-denied"
+  | Resource_exhaustion _ -> "resource-exhaustion"
+
+let pp ppf = function
+  | Out_of_bounds { pid; ea; base; size; is_store } ->
+    Format.fprintf ppf "out-of-bounds %s at %#x (PID %d: [%#x, %#x))"
+      (if is_store then "write" else "read")
+      ea pid base (base + size)
+  | Use_after_free { pid; ea; is_store } ->
+    Format.fprintf ppf "use-after-free %s at %#x (PID %d)"
+      (if is_store then "write" else "read")
+      ea pid
+  | Double_free { pid; addr } -> Format.fprintf ppf "double free of %#x (PID %d)" addr pid
+  | Invalid_free { pid; addr } ->
+    Format.fprintf ppf "invalid free of %#x (PID %d)" addr pid
+  | Uninitialized_read { pid; ea } ->
+    Format.fprintf ppf "uninitialized read at %#x (PID %d)" ea pid
+  | Wild_dereference { ea; is_store } ->
+    Format.fprintf ppf "wild-pointer %s at %#x" (if is_store then "write" else "read") ea
+  | Permission_denied { pid; ea; is_store } ->
+    Format.fprintf ppf "permission-denied %s at %#x (PID %d)"
+      (if is_store then "write" else "read")
+      ea pid
+  | Resource_exhaustion { requested; limit } ->
+    Format.fprintf ppf "resource exhaustion: requested %d bytes (limit %d)" requested
+      limit
+
+let to_string kind = Format.asprintf "%a" pp kind

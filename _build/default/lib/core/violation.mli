@@ -1,0 +1,24 @@
+(** Security violations detected by CHEx86 capability checks, matching
+    the violation classes of the paper's security evaluation (§VII-A). *)
+
+type kind =
+  | Out_of_bounds of { pid : int; ea : int; base : int; size : int; is_store : bool }
+  | Use_after_free of { pid : int; ea : int; is_store : bool }
+  | Double_free of { pid : int; addr : int }
+  | Invalid_free of { pid : int; addr : int }
+  | Uninitialized_read of { pid : int; ea : int }
+      (** read of never-written heap bytes (opt-in extension; the paper
+          lists uninitialized reads among its target classes) *)
+  | Wild_dereference of { ea : int; is_store : bool }
+      (** constant-integer-address dereference flagged by the MOVI rule *)
+  | Permission_denied of { pid : int; ea : int; is_store : bool }
+  | Resource_exhaustion of { requested : int; limit : int }
+      (** heap-spray / huge-allocation attempt caught at capGen *)
+
+exception Security_violation of kind
+
+(** Short class slug (["out-of-bounds"], ["use-after-free"], ...). *)
+val class_name : kind -> string
+
+val pp : Format.formatter -> kind -> unit
+val to_string : kind -> string

@@ -1,0 +1,1 @@
+lib/harness/ablations.ml: Chex86 Chex86_isa Chex86_stats Chex86_workloads Experiments List Printf Runner String

@@ -1,0 +1,1 @@
+lib/harness/experiments.ml: Chex86 Chex86_exploits Chex86_machine Chex86_os Chex86_stats Chex86_workloads List Printf Runner Security String Sys

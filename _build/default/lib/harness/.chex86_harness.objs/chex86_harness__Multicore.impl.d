@@ -1,0 +1,1 @@
+lib/harness/multicore.ml: Chex86 Chex86_stats Chex86_workloads Experiments List Printf String

@@ -1,0 +1,1 @@
+lib/harness/multicore.mli: Chex86

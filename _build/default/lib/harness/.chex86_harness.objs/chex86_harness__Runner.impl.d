@@ -1,0 +1,1 @@
+lib/harness/runner.ml: Chex86 Chex86_asan Chex86_exploits Chex86_isa Chex86_machine Chex86_mem Chex86_os Chex86_stats Chex86_workloads Exploit_defs Hashtbl Option Printexc Printf

@@ -1,0 +1,1 @@
+lib/harness/runner.mli: Chex86 Chex86_isa Chex86_os Chex86_stats Chex86_workloads

@@ -1,0 +1,1 @@
+lib/harness/security.ml: Chex86 Chex86_exploits Hashtbl List Option Runner

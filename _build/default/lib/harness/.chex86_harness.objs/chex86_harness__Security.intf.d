@@ -1,0 +1,1 @@
+lib/harness/security.mli: Chex86_exploits Runner

@@ -1,0 +1,12 @@
+(** Ablation studies of CHEx86's design choices: capability-cache size,
+    alias-predictor features, the TLB alias-hosting filter, the alias
+    victim cache, and context-sensitive scope. *)
+
+val cap_cache_sweep : unit -> string
+val predictor_ablation : unit -> string
+val tlb_filter_ablation : unit -> string
+val victim_cache_ablation : unit -> string
+val scope_sweep : unit -> string
+
+(** All ablation targets by bench name. *)
+val all : (string * (unit -> string)) list

@@ -1,0 +1,40 @@
+(** Regeneration of every table and figure of the paper's evaluation.
+    Each function runs the required simulations (memoized) and returns
+    the rendered ASCII table/figure plus the summary statistics the
+    paper quotes in prose. Scale via the CHEX86_SCALE environment
+    variable (default 1). *)
+
+val scale : int
+val figure1 : unit -> string
+
+(** Benchmark allocation behaviour (total / max-live / in-use). *)
+val figure3 : unit -> string
+
+(** Normalized performance of the six configurations + uop expansion. *)
+val figure6 : unit -> string
+
+(** Capability and alias cache miss rates at two sizes each. *)
+val figure7 : unit -> string
+
+(** Alias misprediction rates (1024/2048 entries) and squash time. *)
+val figure8 : unit -> string
+
+(** Storage overhead and DRAM bandwidth. *)
+val figure9 : unit -> string
+
+(** The rule database + hardware-checker validation. *)
+val table1 : unit -> string
+
+(** Temporal patterns recovered from machine-level PID streams. *)
+val table2 : unit -> string
+
+val table3 : unit -> string
+
+(** Prior-work comparison with the measured CHEx86 row. *)
+val table4 : unit -> string
+
+(** RIPE / ASan suite / How2Heap sweep summary. *)
+val security : unit -> string
+
+(** All targets by bench name. *)
+val all : (string * (unit -> string)) list

@@ -1,0 +1,5 @@
+(** Multicore experiment: multithreaded canneal with the paper's
+    cross-core capability/alias-cache invalidation traffic. *)
+
+val run_one : threads:int -> Chex86.Variant.t -> Chex86.Smp.result
+val report : unit -> string

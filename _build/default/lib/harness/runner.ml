@@ -1,0 +1,130 @@
+(* Unified runner for benchmarks and exploits across every protection
+   configuration (the six bars of Fig 6 plus ASan), with memoization so
+   the bench targets that share runs (Fig 6 / Table IV / Fig 9) only
+   simulate each (workload, configuration) pair once. *)
+
+module Machine = Chex86_machine
+module Os = Chex86_os
+
+type config =
+  | Chex of Chex86.Variant.t
+  | Asan
+
+let insecure = Chex (Chex86.Variant.make Chex86.Variant.Insecure)
+let prediction = Chex Chex86.Variant.default
+
+let config_name = function
+  | Chex v -> Chex86.Variant.scheme_name v.Chex86.Variant.scheme
+  | Asan -> "ASan"
+
+type outcome =
+  | Completed
+  | Blocked of Chex86.Violation.kind
+  | Aborted of string  (* allocator integrity abort *)
+  | Faulted of string
+  | Budget_exhausted
+
+type run = {
+  outcome : outcome;
+  macro_insns : int;
+  uops : int;
+  uops_injected : int;
+  uops_killed : int;
+  cycles : int;
+  counters : Chex86_stats.Counter.group;
+  shadow_bytes : int;  (* capability/alias tables or ASan shadow *)
+  resident_bytes : int;
+  mem_bytes : int;  (* DRAM traffic *)
+  pwned : bool;
+  profile : Os.Heap_profile.report option;
+}
+
+let read_pwned proc program =
+  match Chex86_isa.Program.find_global program Exploit_defs.pwned_global with
+  | None -> false
+  | Some g ->
+    Chex86_mem.Image.read64 proc.Os.Process.mem g.Chex86_isa.Program.addr
+    = Chex86_exploits.Exploit.pwned_value
+
+let of_sim_result program proc ~shadow_bytes ~profile
+    (result : Machine.Simulator.result) outcome =
+  {
+    outcome;
+    macro_insns = result.macro_insns;
+    uops = result.uops;
+    uops_injected = result.uops_injected;
+    uops_killed = result.uops_killed;
+    cycles = result.cycles;
+    counters = result.counters;
+    shadow_bytes;
+    resident_bytes = result.resident_bytes;
+    mem_bytes = result.mem_bytes;
+    pwned = read_pwned proc program;
+    profile;
+  }
+
+(* Execute [program] under [config].  [timing:false] runs the functional
+   engine only (used for the security sweep, which needs no cycles). *)
+let run_program ?(timing = true) ?(max_insns = 50_000_000) ?(profile = false)
+    ?(configure = fun (_ : Chex86.Monitor.t) -> ()) config program =
+  match config with
+  | Chex variant ->
+    let profile_interval = if profile then Some 100_000 else None in
+    let run =
+      Chex86.Sim.run ~variant ~max_insns ~timing ~configure ?profile_interval program
+    in
+    let outcome =
+      match run.Chex86.Sim.outcome with
+      | Chex86.Sim.Completed -> Completed
+      | Chex86.Sim.Violation_detected kind -> Blocked kind
+      | Chex86.Sim.Heap_abort msg -> Aborted msg
+      | Chex86.Sim.Guest_fault msg -> Faulted msg
+      | Chex86.Sim.Budget_exhausted -> Budget_exhausted
+    in
+    of_sim_result program run.Chex86.Sim.proc
+      ~shadow_bytes:(Chex86.Monitor.shadow_storage_bytes run.Chex86.Sim.monitor)
+      ~profile:(Option.map Os.Heap_profile.report run.Chex86.Sim.profile)
+      run.Chex86.Sim.result outcome
+  | Asan ->
+    let monitor, result, proc = Chex86_asan.Asan_monitor.run ~timing ~max_insns program in
+    let outcome =
+      match result.Machine.Simulator.outcome with
+      | Machine.Simulator.Finished -> Completed
+      | Machine.Simulator.Budget_exhausted -> Budget_exhausted
+      | Machine.Simulator.Faulted (Chex86.Violation.Security_violation kind) ->
+        Blocked kind
+      | Machine.Simulator.Faulted (Os.Allocator.Heap_abort msg) -> Aborted msg
+      | Machine.Simulator.Faulted (Machine.Engine.Guest_fault msg) -> Faulted msg
+      | Machine.Simulator.Faulted e -> Faulted (Printexc.to_string e)
+    in
+    {
+      outcome;
+      macro_insns = result.macro_insns;
+      uops = result.uops;
+      uops_injected = result.uops_injected;
+      uops_killed = result.uops_killed;
+      cycles = result.cycles;
+      counters = result.counters;
+      shadow_bytes = Chex86_asan.Asan_monitor.storage_bytes monitor;
+      resident_bytes = result.resident_bytes;
+      mem_bytes = result.mem_bytes;
+      pwned = read_pwned proc program;
+      profile = None;
+    }
+
+(* --- memoized workload runs ---------------------------------------------- *)
+
+let memo : (string, run) Hashtbl.t = Hashtbl.create 64
+
+let run_workload ?(tag = "") ?(timing = true) ?(profile = false) ?configure ~scale config
+    (w : Chex86_workloads.Bench_spec.t) =
+  let key =
+    Printf.sprintf "%s/%s/%d/%b/%b/%s" w.name (config_name config) scale timing profile
+      tag
+  in
+  match Hashtbl.find_opt memo key with
+  | Some run -> run
+  | None ->
+    let run = run_program ~timing ~profile ?configure config (w.build ~scale) in
+    Hashtbl.add memo key run;
+    run

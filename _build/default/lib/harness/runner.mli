@@ -1,0 +1,50 @@
+(** Unified runner over protection configurations, with memoized
+    workload runs shared between bench targets. *)
+
+type config = Chex of Chex86.Variant.t | Asan
+
+val insecure : config
+val prediction : config
+val config_name : config -> string
+
+type outcome =
+  | Completed
+  | Blocked of Chex86.Violation.kind
+  | Aborted of string  (** allocator integrity abort *)
+  | Faulted of string
+  | Budget_exhausted
+
+type run = {
+  outcome : outcome;
+  macro_insns : int;
+  uops : int;
+  uops_injected : int;
+  uops_killed : int;
+  cycles : int;
+  counters : Chex86_stats.Counter.group;
+  shadow_bytes : int;
+  resident_bytes : int;
+  mem_bytes : int;
+  pwned : bool;  (** the exploit pwned flag, read back from guest memory *)
+  profile : Chex86_os.Heap_profile.report option;
+}
+
+val run_program :
+  ?timing:bool ->
+  ?max_insns:int ->
+  ?profile:bool ->
+  ?configure:(Chex86.Monitor.t -> unit) ->
+  config ->
+  Chex86_isa.Program.t ->
+  run
+
+(** Memoized on (workload, config, scale, timing, profile, tag). *)
+val run_workload :
+  ?tag:string ->
+  ?timing:bool ->
+  ?profile:bool ->
+  ?configure:(Chex86.Monitor.t -> unit) ->
+  scale:int ->
+  config ->
+  Chex86_workloads.Bench_spec.t ->
+  run

@@ -1,0 +1,79 @@
+(* Security evaluation sweep (Section VII-A): run every exploit of the
+   three suites on the insecure baseline and under a protection
+   configuration, and tabulate who got caught, with what violation
+   class. *)
+
+module Exploit = Chex86_exploits.Exploit
+
+type result = {
+  exploit : Exploit.t;
+  insecure : Runner.run;
+  under_protection : Runner.run;
+}
+
+let evaluate ?(config = Runner.prediction) (exploit : Exploit.t) =
+  let insecure =
+    Runner.run_program ~timing:false ~max_insns:2_000_000 Runner.insecure
+      (exploit.build ())
+  in
+  let under_protection =
+    Runner.run_program ~timing:false ~max_insns:2_000_000 config (exploit.build ())
+  in
+  { exploit; insecure; under_protection }
+
+let blocked result =
+  match result.under_protection.Runner.outcome with
+  | Runner.Blocked _ -> true
+  | _ -> false
+
+let blocked_as_expected result =
+  match result.under_protection.Runner.outcome with
+  | Runner.Blocked kind -> Exploit.matches result.exploit.Exploit.expected kind
+  | _ -> false
+
+(* The attack must not land under protection: not even the allocator
+   should see the corruption. *)
+let corruption_prevented result = not result.under_protection.Runner.pwned
+
+let sweep ?config exploits = List.map (evaluate ?config) exploits
+
+type suite_summary = {
+  suite : Exploit.suite;
+  total : int;
+  blocked : int;
+  expected_class : int;
+  prevented : int;
+  insecure_corrupts : int;
+  insecure_aborts : int;
+}
+
+let summarize suite results =
+  let mine = List.filter (fun r -> r.exploit.Exploit.suite = suite) results in
+  {
+    suite;
+    total = List.length mine;
+    blocked = List.length (List.filter blocked mine);
+    expected_class = List.length (List.filter blocked_as_expected mine);
+    prevented = List.length (List.filter corruption_prevented mine);
+    insecure_corrupts =
+      List.length (List.filter (fun r -> r.insecure.Runner.pwned) mine);
+    insecure_aborts =
+      List.length
+        (List.filter
+           (fun r -> match r.insecure.Runner.outcome with Runner.Aborted _ -> true | _ -> false)
+           mine);
+  }
+
+(* Violation-class breakdown of the blocked exploits (the per-class
+   discussion of Section VII-A). *)
+let class_breakdown results =
+  let table = Hashtbl.create 8 in
+  List.iter
+    (fun r ->
+      match r.under_protection.Runner.outcome with
+      | Runner.Blocked kind ->
+        let name = Chex86.Violation.class_name kind in
+        Hashtbl.replace table name (1 + Option.value ~default:0 (Hashtbl.find_opt table name))
+      | _ -> ())
+    results;
+  Hashtbl.fold (fun k v acc -> (k, v) :: acc) table [] |> List.sort compare

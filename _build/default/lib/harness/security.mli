@@ -1,0 +1,31 @@
+(** Security evaluation sweep (§VII-A): every exploit run on the
+    insecure baseline and under a protection configuration. *)
+
+type result = {
+  exploit : Chex86_exploits.Exploit.t;
+  insecure : Runner.run;
+  under_protection : Runner.run;
+}
+
+val evaluate : ?config:Runner.config -> Chex86_exploits.Exploit.t -> result
+val sweep : ?config:Runner.config -> Chex86_exploits.Exploit.t list -> result list
+val blocked : result -> bool
+val blocked_as_expected : result -> bool
+
+(** The attack did not set the pwned flag under protection. *)
+val corruption_prevented : result -> bool
+
+type suite_summary = {
+  suite : Chex86_exploits.Exploit.suite;
+  total : int;
+  blocked : int;
+  expected_class : int;
+  prevented : int;
+  insecure_corrupts : int;
+  insecure_aborts : int;
+}
+
+val summarize : Chex86_exploits.Exploit.suite -> result list -> suite_summary
+
+(** Violation-class histogram of the blocked exploits. *)
+val class_breakdown : result list -> (string * int) list

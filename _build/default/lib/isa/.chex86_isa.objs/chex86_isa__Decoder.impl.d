@@ -1,0 +1,1 @@
+lib/isa/decoder.ml: Insn List Reg Uop

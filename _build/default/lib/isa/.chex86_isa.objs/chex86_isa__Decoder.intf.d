@@ -1,0 +1,1 @@
+lib/isa/decoder.mli: Insn Uop

@@ -1,0 +1,1 @@
+lib/isa/uop.ml: Format Insn List Reg

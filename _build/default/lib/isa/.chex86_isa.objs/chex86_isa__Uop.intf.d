@@ -1,0 +1,1 @@
+lib/isa/uop.mli: Format Insn Reg

@@ -1,0 +1,92 @@
+(* Assembler / program builder.
+
+   Workloads and exploits construct guest programs through this builder:
+   emit instructions, drop labels, reserve zero-initialized globals.
+   Global data addresses are assigned eagerly (bump allocation from
+   [Program.data_base], 16-byte aligned) so instructions can embed
+   absolute displacements; the resulting (name, addr, size) list is the
+   program's symbol table. *)
+
+type t = {
+  mutable insns : Insn.t list;  (* reversed *)
+  mutable count : int;
+  labels : (string, int) Hashtbl.t;
+  mutable globals : Program.global list;  (* reversed *)
+  mutable data_cursor : int;
+  mutable fresh_counter : int;
+}
+
+let create () =
+  {
+    insns = [];
+    count = 0;
+    labels = Hashtbl.create 64;
+    globals = [];
+    data_cursor = Program.data_base;
+    fresh_counter = 0;
+  }
+
+let emit b insn =
+  b.insns <- insn :: b.insns;
+  b.count <- b.count + 1
+
+let emit_list b insns = List.iter (emit b) insns
+
+let label b name =
+  if Hashtbl.mem b.labels name then
+    invalid_arg (Printf.sprintf "Asm.label: duplicate label %S" name);
+  Hashtbl.add b.labels name b.count
+
+let fresh b prefix =
+  b.fresh_counter <- b.fresh_counter + 1;
+  Printf.sprintf ".%s_%d" prefix b.fresh_counter
+
+let align16 n = (n + 15) land lnot 15
+
+let global ?(writable = true) b name size =
+  if size <= 0 then invalid_arg "Asm.global: size must be positive";
+  let addr = align16 b.data_cursor in
+  b.data_cursor <- addr + size;
+  b.globals <- { Program.name; addr; size; writable } :: b.globals;
+  addr
+
+(* Current instruction address, for code that needs to reference itself. *)
+let here_addr b = Program.addr_of_index b.count
+
+let build ?(entry = "_start") b =
+  let entry_index =
+    match Hashtbl.find_opt b.labels entry with
+    | Some i -> i
+    | None -> invalid_arg (Printf.sprintf "Asm.build: no entry label %S" entry)
+  in
+  Program.make
+    ~insns:(Array.of_list (List.rev b.insns))
+    ~labels:b.labels ~globals:(List.rev b.globals) ~entry:entry_index
+    ~data_end:b.data_cursor
+
+(* --- Common idioms ------------------------------------------------------ *)
+
+open Insn
+
+(* [loop_n b ~counter ~n body] runs [body] with [counter] going n-1 .. 0.
+   Clobbers [counter]. *)
+let loop_n b ~counter ~n body =
+  let top = fresh b "loop" in
+  emit b (Mov (W64, Reg counter, Imm n));
+  label b top;
+  body ();
+  emit b (Dec (Reg counter));
+  emit b (Jcc (Ne, top))
+
+(* Call an external runtime function; arguments already in rdi/rsi. *)
+let call_extern b name = emit b (Call (Extern name))
+
+(* malloc(size) -> result in rax. *)
+let call_malloc b size =
+  emit b (Mov (W64, Reg Reg.RDI, Imm size));
+  call_extern b "malloc"
+
+(* free(reg). *)
+let call_free b reg =
+  if not (Reg.equal reg Reg.RDI) then emit b (Mov (W64, Reg Reg.RDI, Reg reg));
+  call_extern b "free"

@@ -1,0 +1,36 @@
+(** Assembler / program builder used by workloads and exploit suites. *)
+
+type t
+
+val create : unit -> t
+val emit : t -> Insn.t -> unit
+val emit_list : t -> Insn.t list -> unit
+
+(** Bind a label to the next emitted instruction. Raises on duplicates. *)
+val label : t -> string -> unit
+
+(** Fresh unique label with the given prefix. *)
+val fresh : t -> string -> string
+
+(** [global b name size] reserves a zero-initialized data object and
+    returns its address; it appears in the program's symbol table.
+    [writable:false] models a .rodata object. *)
+val global : ?writable:bool -> t -> string -> int -> int
+
+(** Address the next emitted instruction will have. *)
+val here_addr : t -> int
+
+(** Assemble. [entry] defaults to ["_start"]. *)
+val build : ?entry:string -> t -> Program.t
+
+(** [loop_n b ~counter ~n body] emits a counted loop (n-1..0), clobbering
+    [counter]. *)
+val loop_n : t -> counter:Reg.t -> n:int -> (unit -> unit) -> unit
+
+val call_extern : t -> string -> unit
+
+(** malloc(size): result in rax. Clobbers rdi. *)
+val call_malloc : t -> int -> unit
+
+(** free(reg). Clobbers rdi. *)
+val call_free : t -> Reg.t -> unit

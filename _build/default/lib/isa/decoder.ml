@@ -1,0 +1,105 @@
+(* CISC -> RISC micro-op translation.
+
+   This is the layer of indirection the paper piggybacks on: every macro
+   instruction is cracked into 1-4 micro-ops.  Register-memory forms go
+   through decoder temporaries exactly as in the paper's Fig 5(f)
+   (`inc (%rax)` -> ld t1,(%rax); add t1,t1,1; st t1,(%rax)).
+
+   The Branch micro-op deliberately carries no register operand: indirect
+   branch/call targets are read from the macro instruction by the engine,
+   keeping the micro-op IR small. *)
+
+let t0 = Uop.Tmp 0
+
+let rsp = Uop.Greg Reg.RSP
+
+let alu op dst src1 src2 = Uop.Alu { op; dst; src1; src2 }
+let load ?(width = Insn.W64) dst mem = Uop.Load { dst; mem; width }
+let store ?(width = Insn.W64) src mem = Uop.Store { src; mem; width }
+
+let rsp_mem = Insn.mem_of_reg Reg.RSP
+
+let decode (insn : Insn.t) : Uop.t list =
+  match insn with
+  | Mov (_, Reg d, Reg s) -> [ Mov { dst = Greg d; src = Greg s } ]
+  | Mov (_, Reg d, Imm i) -> [ Limm { dst = Greg d; imm = i } ]
+  | Mov (w, Reg d, Mem m) -> [ load ~width:w (Greg d) m ]
+  | Mov (w, Mem m, Reg s) -> [ store ~width:w (Loc (Greg s)) m ]
+  | Mov (w, Mem m, Imm i) -> [ store ~width:w (Imm i) m ]
+  | Mov (_, Imm _, _) -> invalid_arg "Decoder.decode: immediate destination"
+  | Mov (_, Mem _, Mem _) -> invalid_arg "Decoder.decode: mem-to-mem mov"
+  | Lea (r, m) -> [ Lea { dst = Greg r; mem = m } ]
+  | Alu (op, Reg d, Reg s) -> [ alu op (Greg d) (Greg d) (Loc (Greg s)) ]
+  | Alu (op, Reg d, Imm i) -> [ alu op (Greg d) (Greg d) (Imm i) ]
+  | Alu (op, Reg d, Mem m) -> [ load t0 m; alu op (Greg d) (Greg d) (Loc t0) ]
+  | Alu (op, Mem m, Reg s) -> [ load t0 m; alu op t0 t0 (Loc (Greg s)); store (Loc t0) m ]
+  | Alu (op, Mem m, Imm i) -> [ load t0 m; alu op t0 t0 (Imm i); store (Loc t0) m ]
+  | Alu (_, Imm _, _) | Alu (_, Mem _, Mem _) ->
+    invalid_arg "Decoder.decode: unsupported alu operand combination"
+  | Cmp (Reg a, Reg b) -> [ Cmp { src1 = Greg a; src2 = Loc (Greg b); is_test = false } ]
+  | Cmp (Reg a, Imm i) -> [ Cmp { src1 = Greg a; src2 = Imm i; is_test = false } ]
+  | Cmp (Reg a, Mem m) ->
+    [ load t0 m; Cmp { src1 = Greg a; src2 = Loc t0; is_test = false } ]
+  | Cmp (Mem m, Reg b) ->
+    [ load t0 m; Cmp { src1 = t0; src2 = Loc (Greg b); is_test = false } ]
+  | Cmp (Mem m, Imm i) -> [ load t0 m; Cmp { src1 = t0; src2 = Imm i; is_test = false } ]
+  | Cmp (Imm _, _) -> invalid_arg "Decoder.decode: cmp immediate first operand"
+  | Cmp (Mem _, Mem _) -> invalid_arg "Decoder.decode: mem-to-mem cmp"
+  | Test (Reg a, Reg b) -> [ Cmp { src1 = Greg a; src2 = Loc (Greg b); is_test = true } ]
+  | Test (Reg a, Imm i) -> [ Cmp { src1 = Greg a; src2 = Imm i; is_test = true } ]
+  | Test (Mem m, Reg b) ->
+    [ load t0 m; Cmp { src1 = t0; src2 = Loc (Greg b); is_test = true } ]
+  | Test (Mem m, Imm i) -> [ load t0 m; Cmp { src1 = t0; src2 = Imm i; is_test = true } ]
+  | Test _ -> invalid_arg "Decoder.decode: unsupported test form"
+  | Inc (Reg r) -> [ alu Insn.Add (Greg r) (Greg r) (Imm 1) ]
+  | Inc (Mem m) -> [ load t0 m; alu Insn.Add t0 t0 (Imm 1); store (Loc t0) m ]
+  | Inc (Imm _) -> invalid_arg "Decoder.decode: inc immediate"
+  | Dec (Reg r) -> [ alu Insn.Sub (Greg r) (Greg r) (Imm 1) ]
+  | Dec (Mem m) -> [ load t0 m; alu Insn.Sub t0 t0 (Imm 1); store (Loc t0) m ]
+  | Dec (Imm _) -> invalid_arg "Decoder.decode: dec immediate"
+  | Neg r ->
+    [ Limm { dst = t0; imm = 0 }; alu Insn.Sub (Greg r) t0 (Loc (Greg r)) ]
+  | Push (Reg r) ->
+    [ alu Insn.Sub rsp rsp (Imm 8); store (Loc (Greg r)) rsp_mem ]
+  | Push (Imm i) -> [ alu Insn.Sub rsp rsp (Imm 8); store (Imm i) rsp_mem ]
+  | Push (Mem m) ->
+    [ load t0 m; alu Insn.Sub rsp rsp (Imm 8); store (Loc t0) rsp_mem ]
+  | Pop r -> [ load (Greg r) rsp_mem; alu Insn.Add rsp rsp (Imm 8) ]
+  | Call tgt ->
+    (* The return-address store's value is the dynamic pc+4; the engine
+       supplies it when executing the store of a Call macro-op. *)
+    [
+      alu Insn.Sub rsp rsp (Imm 8);
+      store (Imm 0) rsp_mem;
+      Branch { kind = Call; target = Some tgt };
+    ]
+  | Call_reg _ ->
+    [
+      alu Insn.Sub rsp rsp (Imm 8);
+      store (Imm 0) rsp_mem;
+      Branch { kind = Call; target = None };
+    ]
+  | Ret ->
+    [ load t0 rsp_mem; alu Insn.Add rsp rsp (Imm 8); Branch { kind = Ret; target = None } ]
+  | Jmp l -> [ Branch { kind = Jump; target = Some (Label l) } ]
+  | Jmp_reg _ -> [ Branch { kind = Indirect; target = None } ]
+  | Jcc (c, l) -> [ Branch { kind = Cond c; target = Some (Label l) } ]
+  | Movsd_load (x, m) -> [ load (Xreg x) m ]
+  | Movsd_store (m, x) -> [ store (Loc (Xreg x)) m ]
+  | Fp (op, d, s) -> [ Fp { op; dst = Xreg d; src = Xreg s } ]
+  | Cvtsi2sd (x, r) -> [ Cvt { dst = Xreg x; src = Greg r; to_fp = true } ]
+  | Cvtsd2si (r, x) -> [ Cvt { dst = Greg r; src = Xreg x; to_fp = false } ]
+  | Nop -> [ Nop ]
+  | Halt -> [ Nop ]
+
+(* Which decoder a macro-op uses: cracks of one micro-op go through the
+   1:1 decoders, short cracks through the 1:4 complex decoder, anything
+   longer is sourced from the MSROM.  The front-end model charges an
+   extra decode cycle for MSROM-sourced macro-ops. *)
+type path = Simple | Complex | Msrom
+
+let path insn =
+  match List.length (decode insn) with
+  | 0 | 1 -> Simple
+  | n when n <= 4 -> Complex
+  | _ -> Msrom

@@ -1,0 +1,11 @@
+(** CISC -> RISC micro-op translation (the paper's translation interface). *)
+
+(** Crack a macro instruction into 1-4 micro-ops. Raises
+    [Invalid_argument] on malformed operand combinations (e.g. immediate
+    destinations). *)
+val decode : Insn.t -> Uop.t list
+
+(** Which decoder services the macro-op (front-end timing). *)
+type path = Simple | Complex | Msrom
+
+val path : Insn.t -> path

@@ -1,0 +1,130 @@
+(* Macro-level (CISC) instructions of the modelled x86-64 subset.
+
+   The subset deliberately keeps the register-memory addressing modes that
+   make capability enforcement on x86 hard (the paper's motivation): any
+   ALU operation can take a memory operand, read-modify-write forms
+   exist, and pointer manipulation happens through MOV/LEA/ADD/SUB/AND
+   with every combination of register, immediate and memory operands
+   (Table I of the paper). *)
+
+(* base + index*scale + disp.  [base = None] gives absolute addressing,
+   which is how we model both PC-relative constant-pool accesses and the
+   "constant integer address" dereferences discussed in Section VII-B. *)
+type mem = { base : Reg.t option; index : Reg.t option; scale : int; disp : int }
+
+let mem ?base ?index ?(scale = 1) ?(disp = 0) () = { base; index; scale; disp }
+let mem_of_reg ?(disp = 0) r = { base = Some r; index = None; scale = 1; disp }
+let mem_abs addr = { base = None; index = None; scale = 1; disp = addr }
+
+type width = W8 | W16 | W32 | W64
+
+let bytes_of_width = function W8 -> 1 | W16 -> 2 | W32 -> 4 | W64 -> 8
+
+type operand = Reg of Reg.t | Imm of int | Mem of mem
+
+type alu = Add | Sub | And | Or | Xor | Imul | Shl | Shr
+
+type fpop = Fadd | Fsub | Fmul | Fdiv | Fsqrt
+
+type cond = Eq | Ne | Lt | Le | Gt | Ge
+
+(* Call/jump targets: a label into the program text, resolved by the
+   assembler, or an external runtime function bound by the loader. *)
+type target = Label of string | Extern of string
+
+type t =
+  | Mov of width * operand * operand  (* dst, src; at most one Mem operand *)
+  | Lea of Reg.t * mem
+  | Alu of alu * operand * operand  (* dst op= src; at most one Mem operand *)
+  | Cmp of operand * operand
+  | Test of operand * operand
+  | Inc of operand
+  | Dec of operand
+  | Neg of Reg.t
+  | Push of operand
+  | Pop of Reg.t
+  | Call of target
+  | Call_reg of Reg.t
+  | Ret
+  | Jmp of string
+  | Jmp_reg of Reg.t
+  | Jcc of cond * string
+  (* FP subset: XMM registers hold one double each.  Enough to model the
+     FP-dominated SPEC/PARSEC workloads' functional-unit pressure. *)
+  | Movsd_load of int * mem  (* xmm <- [mem] *)
+  | Movsd_store of mem * int  (* [mem] <- xmm *)
+  | Fp of fpop * int * int  (* xmm_dst op= xmm_src *)
+  | Cvtsi2sd of int * Reg.t  (* xmm <- float of reg *)
+  | Cvtsd2si of Reg.t * int  (* reg <- int of xmm *)
+  | Nop
+  | Halt
+
+let xmm_count = 16
+
+(* Registers read to form an effective address. *)
+let mem_regs m =
+  let add acc = function Some r -> r :: acc | None -> acc in
+  add (add [] m.index) m.base
+
+let pp_mem ppf m =
+  let pp_opt ppf = function Some r -> Reg.pp ppf r | None -> () in
+  Format.fprintf ppf "%d(%a,%a,%d)" m.disp pp_opt m.base pp_opt m.index m.scale
+
+let pp_operand ppf = function
+  | Reg r -> Reg.pp ppf r
+  | Imm i -> Format.fprintf ppf "$%d" i
+  | Mem m -> pp_mem ppf m
+
+let alu_name = function
+  | Add -> "add"
+  | Sub -> "sub"
+  | And -> "and"
+  | Or -> "or"
+  | Xor -> "xor"
+  | Imul -> "imul"
+  | Shl -> "shl"
+  | Shr -> "shr"
+
+let cond_name = function
+  | Eq -> "e"
+  | Ne -> "ne"
+  | Lt -> "l"
+  | Le -> "le"
+  | Gt -> "g"
+  | Ge -> "ge"
+
+let pp ppf = function
+  | Mov (_, d, s) -> Format.fprintf ppf "mov %a, %a" pp_operand s pp_operand d
+  | Lea (r, m) -> Format.fprintf ppf "lea %a, %a" pp_mem m Reg.pp r
+  | Alu (op, d, s) ->
+    Format.fprintf ppf "%s %a, %a" (alu_name op) pp_operand s pp_operand d
+  | Cmp (a, b) -> Format.fprintf ppf "cmp %a, %a" pp_operand b pp_operand a
+  | Test (a, b) -> Format.fprintf ppf "test %a, %a" pp_operand b pp_operand a
+  | Inc o -> Format.fprintf ppf "inc %a" pp_operand o
+  | Dec o -> Format.fprintf ppf "dec %a" pp_operand o
+  | Neg r -> Format.fprintf ppf "neg %a" Reg.pp r
+  | Push o -> Format.fprintf ppf "push %a" pp_operand o
+  | Pop r -> Format.fprintf ppf "pop %a" Reg.pp r
+  | Call (Label l) -> Format.fprintf ppf "call %s" l
+  | Call (Extern l) -> Format.fprintf ppf "call %s@plt" l
+  | Call_reg r -> Format.fprintf ppf "call *%a" Reg.pp r
+  | Ret -> Format.fprintf ppf "ret"
+  | Jmp l -> Format.fprintf ppf "jmp %s" l
+  | Jmp_reg r -> Format.fprintf ppf "jmp *%a" Reg.pp r
+  | Jcc (c, l) -> Format.fprintf ppf "j%s %s" (cond_name c) l
+  | Movsd_load (x, m) -> Format.fprintf ppf "movsd %a, %%xmm%d" pp_mem m x
+  | Movsd_store (m, x) -> Format.fprintf ppf "movsd %%xmm%d, %a" x pp_mem m
+  | Fp (op, d, s) ->
+    let n =
+      match op with
+      | Fadd -> "addsd"
+      | Fsub -> "subsd"
+      | Fmul -> "mulsd"
+      | Fdiv -> "divsd"
+      | Fsqrt -> "sqrtsd"
+    in
+    Format.fprintf ppf "%s %%xmm%d, %%xmm%d" n s d
+  | Cvtsi2sd (x, r) -> Format.fprintf ppf "cvtsi2sd %a, %%xmm%d" Reg.pp r x
+  | Cvtsd2si (r, x) -> Format.fprintf ppf "cvtsd2si %%xmm%d, %a" x Reg.pp r
+  | Nop -> Format.fprintf ppf "nop"
+  | Halt -> Format.fprintf ppf "hlt"

@@ -1,0 +1,61 @@
+(** Macro-level (CISC) instructions of the modelled x86-64 subset. *)
+
+(** Effective address: base + index*scale + disp. [base = None] models
+    absolute / constant-pool addressing. *)
+type mem = { base : Reg.t option; index : Reg.t option; scale : int; disp : int }
+
+val mem : ?base:Reg.t -> ?index:Reg.t -> ?scale:int -> ?disp:int -> unit -> mem
+
+(** [(disp)(%r)] addressing. *)
+val mem_of_reg : ?disp:int -> Reg.t -> mem
+
+(** Absolute address. *)
+val mem_abs : int -> mem
+
+type width = W8 | W16 | W32 | W64
+
+val bytes_of_width : width -> int
+
+type operand = Reg of Reg.t | Imm of int | Mem of mem
+type alu = Add | Sub | And | Or | Xor | Imul | Shl | Shr
+type fpop = Fadd | Fsub | Fmul | Fdiv | Fsqrt
+type cond = Eq | Ne | Lt | Le | Gt | Ge
+
+(** Program label or external runtime (libc) function. *)
+type target = Label of string | Extern of string
+
+type t =
+  | Mov of width * operand * operand  (** dst, src; at most one [Mem] *)
+  | Lea of Reg.t * mem
+  | Alu of alu * operand * operand  (** dst op= src; at most one [Mem] *)
+  | Cmp of operand * operand
+  | Test of operand * operand
+  | Inc of operand
+  | Dec of operand
+  | Neg of Reg.t
+  | Push of operand
+  | Pop of Reg.t
+  | Call of target
+  | Call_reg of Reg.t
+  | Ret
+  | Jmp of string
+  | Jmp_reg of Reg.t
+  | Jcc of cond * string
+  | Movsd_load of int * mem  (** xmm <- [mem] *)
+  | Movsd_store of mem * int  (** [mem] <- xmm *)
+  | Fp of fpop * int * int  (** xmm_dst op= xmm_src *)
+  | Cvtsi2sd of int * Reg.t
+  | Cvtsd2si of Reg.t * int
+  | Nop
+  | Halt
+
+val xmm_count : int
+
+(** Registers read to form the effective address of [m]. *)
+val mem_regs : mem -> Reg.t list
+
+val alu_name : alu -> string
+val cond_name : cond -> string
+val pp_mem : Format.formatter -> mem -> unit
+val pp_operand : Format.formatter -> operand -> unit
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,90 @@
+(* An assembled guest program.
+
+   Text is an array of macro instructions; each occupies 4 bytes of the
+   text segment starting at [text_base] so that instruction addresses
+   (used by the MSR entry/exit registration, the alias predictor and the
+   BTB) are plain integers.  Globals live in a data segment at fixed
+   addresses assigned at assembly time; their (name, address, size)
+   triples form the symbol table the OS loader hands to CHEx86 for
+   capability initialization of global objects. *)
+
+let text_base = 0x400000
+let data_base = 0x600000
+let stack_top = 0x7FFF_FFF0
+let stack_limit = 0x7FF0_0000
+
+(* [writable = false] models .rodata objects; the symbol table carries
+   the permission into the global's capability. *)
+type global = { name : string; addr : int; size : int; writable : bool }
+
+type t = {
+  insns : Insn.t array;
+  labels : (string, int) Hashtbl.t;
+  globals : global list;
+  entry : int;  (* instruction index *)
+  data_end : int;  (* first free data address *)
+}
+
+let addr_of_index i = text_base + (4 * i)
+
+let index_of_addr addr =
+  if addr < text_base || (addr - text_base) mod 4 <> 0 then None
+  else
+    let i = (addr - text_base) / 4 in
+    Some i
+
+let length p = Array.length p.insns
+
+let fetch p addr =
+  match index_of_addr addr with
+  | Some i when i >= 0 && i < Array.length p.insns -> Some p.insns.(i)
+  | _ -> None
+
+let label_index p name =
+  match Hashtbl.find_opt p.labels name with
+  | Some i -> i
+  | None -> invalid_arg (Printf.sprintf "Program.label_index: unknown label %S" name)
+
+let label_addr p name = addr_of_index (label_index p name)
+let entry_addr p = addr_of_index p.entry
+
+let find_global p name = List.find_opt (fun g -> g.name = name) p.globals
+
+let global_addr p name =
+  match find_global p name with
+  | Some g -> g.addr
+  | None -> invalid_arg (Printf.sprintf "Program.global_addr: unknown global %S" name)
+
+(* Labels referenced by control flow that must exist in [labels]. *)
+let referenced_labels insns =
+  Array.to_list insns
+  |> List.filter_map (function
+       | Insn.Call (Insn.Label l) | Insn.Jmp l | Insn.Jcc (_, l) -> Some l
+       | _ -> None)
+
+let validate p =
+  List.iter
+    (fun l ->
+      if not (Hashtbl.mem p.labels l) then
+        invalid_arg (Printf.sprintf "Program: undefined label %S" l))
+    (referenced_labels p.insns)
+
+let make ~insns ~labels ~globals ~entry ~data_end =
+  let p = { insns; labels; globals; entry; data_end } in
+  validate p;
+  p
+
+let pp ppf p =
+  let index_labels = Hashtbl.create 16 in
+  Hashtbl.iter
+    (fun name i ->
+      let existing = try Hashtbl.find index_labels i with Not_found -> [] in
+      Hashtbl.replace index_labels i (name :: existing))
+    p.labels;
+  Array.iteri
+    (fun i insn ->
+      (match Hashtbl.find_opt index_labels i with
+      | Some names -> List.iter (fun n -> Format.fprintf ppf "%s:@." n) names
+      | None -> ());
+      Format.fprintf ppf "  %06x: %a@." (addr_of_index i) Insn.pp insn)
+    p.insns

@@ -1,0 +1,44 @@
+(** An assembled guest program: text, labels, globals/symbol table. *)
+
+val text_base : int
+val data_base : int
+val stack_top : int
+val stack_limit : int
+
+type global = { name : string; addr : int; size : int; writable : bool }
+
+type t = {
+  insns : Insn.t array;
+  labels : (string, int) Hashtbl.t;
+  globals : global list;
+  entry : int;
+  data_end : int;
+}
+
+(** Address of the instruction at index [i] (4 bytes per macro-op). *)
+val addr_of_index : int -> int
+
+(** Inverse of [addr_of_index]; [None] for non-text addresses. *)
+val index_of_addr : int -> int option
+
+val length : t -> int
+
+(** Instruction at a text address, [None] outside the program. *)
+val fetch : t -> int -> Insn.t option
+
+val label_index : t -> string -> int
+val label_addr : t -> string -> int
+val entry_addr : t -> int
+val find_global : t -> string -> global option
+val global_addr : t -> string -> int
+
+(** Build and validate (all referenced labels defined). *)
+val make :
+  insns:Insn.t array ->
+  labels:(string, int) Hashtbl.t ->
+  globals:global list ->
+  entry:int ->
+  data_end:int ->
+  t
+
+val pp : Format.formatter -> t -> unit

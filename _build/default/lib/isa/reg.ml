@@ -1,0 +1,67 @@
+(* Architectural integer register file of the modelled x86-64 subset. *)
+
+type t =
+  | RAX
+  | RBX
+  | RCX
+  | RDX
+  | RSI
+  | RDI
+  | RBP
+  | RSP
+  | R8
+  | R9
+  | R10
+  | R11
+  | R12
+  | R13
+  | R14
+  | R15
+
+let all =
+  [| RAX; RBX; RCX; RDX; RSI; RDI; RBP; RSP; R8; R9; R10; R11; R12; R13; R14; R15 |]
+
+let count = Array.length all
+
+let index = function
+  | RAX -> 0
+  | RBX -> 1
+  | RCX -> 2
+  | RDX -> 3
+  | RSI -> 4
+  | RDI -> 5
+  | RBP -> 6
+  | RSP -> 7
+  | R8 -> 8
+  | R9 -> 9
+  | R10 -> 10
+  | R11 -> 11
+  | R12 -> 12
+  | R13 -> 13
+  | R14 -> 14
+  | R15 -> 15
+
+let of_index i =
+  if i < 0 || i >= count then invalid_arg "Reg.of_index";
+  all.(i)
+
+let name = function
+  | RAX -> "rax"
+  | RBX -> "rbx"
+  | RCX -> "rcx"
+  | RDX -> "rdx"
+  | RSI -> "rsi"
+  | RDI -> "rdi"
+  | RBP -> "rbp"
+  | RSP -> "rsp"
+  | R8 -> "r8"
+  | R9 -> "r9"
+  | R10 -> "r10"
+  | R11 -> "r11"
+  | R12 -> "r12"
+  | R13 -> "r13"
+  | R14 -> "r14"
+  | R15 -> "r15"
+
+let equal a b = index a = index b
+let pp ppf r = Format.fprintf ppf "%%%s" (name r)

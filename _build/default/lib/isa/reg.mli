@@ -1,0 +1,32 @@
+(** Architectural integer registers of the modelled x86-64 subset. *)
+
+type t =
+  | RAX
+  | RBX
+  | RCX
+  | RDX
+  | RSI
+  | RDI
+  | RBP
+  | RSP
+  | R8
+  | R9
+  | R10
+  | R11
+  | R12
+  | R13
+  | R14
+  | R15
+
+val all : t array
+val count : int
+
+(** Stable dense index in [0, count). *)
+val index : t -> int
+
+(** Inverse of [index]; raises [Invalid_argument] out of range. *)
+val of_index : int -> t
+
+val name : t -> string
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,189 @@
+(* RISC-style micro-ops.
+
+   Macro instructions are cracked into these by the decoder; the microcode
+   customization unit (and the ASan / binary-translation baselines) inject
+   additional [Cap]/[Guard] micro-ops into the stream at decode time.
+
+   Micro-ops name architectural locations directly ([Greg]/[Xreg]) plus
+   two decoder temporaries ([Tmp]) used by load-op and load-op-store
+   cracks, mirroring how the paper's Fig 5(f) cracks `inc (%rax)` into
+   ld/add/st through a temporary. *)
+
+type loc = Greg of Reg.t | Xreg of int | Tmp of int
+
+type src = Loc of loc | Imm of int
+
+type branch_kind = Jump | Cond of Insn.cond | Call | Ret | Indirect
+
+(* Capability micro-ops injected by the microcode customization unit
+   (Section IV-C of the paper).  [pid] is the capability identifier the
+   front-end associated with the operation; 0 means untracked and -1 is
+   the wild-pointer PID of the MOVI rule. *)
+type cap =
+  | Cap_gen_begin
+  | Cap_gen_end
+  | Cap_check of { pid : int; mem : Insn.mem; width : Insn.width; is_store : bool }
+  | Cap_free_begin of { pid : int }
+  | Cap_free_end of { pid : int }
+
+(* Software-check micro-ops modelling the instrumentation sequences of the
+   ASan baseline (shadow address computation, shadow byte load, compare +
+   branch) and of the binary-translation variant (ISA-extension bounds
+   check pair). *)
+type guard_kind =
+  | Shadow_addr_calc
+  | Shadow_load
+  | Shadow_compare
+  | Bt_bounds_low
+  | Bt_bounds_high
+
+type guard = { kind : guard_kind; mem : Insn.mem; width : Insn.width; is_store : bool }
+
+type t =
+  | Mov of { dst : loc; src : loc }
+  | Limm of { dst : loc; imm : int }
+  | Alu of { op : Insn.alu; dst : loc; src1 : loc; src2 : src }
+  | Lea of { dst : loc; mem : Insn.mem }
+  | Load of { dst : loc; mem : Insn.mem; width : Insn.width }
+  | Store of { src : src; mem : Insn.mem; width : Insn.width }
+  | Fp of { op : Insn.fpop; dst : loc; src : loc }
+  | Cvt of { dst : loc; src : loc; to_fp : bool }
+  | Cmp of { src1 : loc; src2 : src; is_test : bool }
+  | Branch of { kind : branch_kind; target : Insn.target option }
+  | Cap of cap
+  | Guard of guard
+  | Nop
+
+(* Functional-unit classes, matching the pools of Table III. *)
+type fu_class = FU_int | FU_mult | FU_fp | FU_load | FU_store | FU_branch | FU_none
+
+let fu_class = function
+  | Mov _ | Limm _ | Lea _ | Cmp _ -> FU_int
+  | Alu { op = Insn.Imul; _ } -> FU_mult
+  | Alu _ -> FU_int
+  | Load _ -> FU_load
+  | Store _ -> FU_store
+  | Fp _ | Cvt _ -> FU_fp
+  | Branch _ -> FU_branch
+  | Cap Cap_gen_begin | Cap Cap_gen_end -> FU_int
+  | Cap (Cap_check _) -> FU_int
+  | Cap (Cap_free_begin _) | Cap (Cap_free_end _) -> FU_int
+  | Guard { kind = Shadow_load; _ } -> FU_load
+  | Guard { kind = Shadow_compare; _ } -> FU_branch
+  | Guard _ -> FU_int
+  | Nop -> FU_none
+
+(* Base execution latency in cycles, excluding memory-hierarchy and
+   shadow-structure latencies which are added dynamically. *)
+let latency uop =
+  match uop with
+  | Alu { op = Insn.Imul; _ } -> 3
+  | Fp { op = Insn.Fdiv; _ } -> 14
+  | Fp { op = Insn.Fsqrt; _ } -> 15
+  | Fp _ -> 4
+  | Cvt _ -> 4
+  | Load _ | Guard { kind = Shadow_load; _ } -> 0 (* cache latency added dynamically *)
+  | _ -> 1
+
+(* Memory operand of a micro-op that accesses program-visible memory
+   (shadow accesses of [Guard] ops live in a disjoint space and are
+   excluded here). *)
+let mem_operand = function
+  | Load { mem; width; _ } -> Some (mem, width, false)
+  | Store { mem; width; _ } -> Some (mem, width, true)
+  | _ -> None
+
+let is_memory uop = mem_operand uop <> None
+
+let reads uop =
+  let of_src = function Loc l -> [ l ] | Imm _ -> [] in
+  let of_mem m = List.map (fun r -> Greg r) (Insn.mem_regs m) in
+  match uop with
+  | Mov { src; _ } -> [ src ]
+  | Limm _ -> []
+  | Alu { src1; src2; _ } -> src1 :: of_src src2
+  | Lea { mem; _ } -> of_mem mem
+  | Load { mem; _ } -> of_mem mem
+  | Store { src; mem; _ } -> of_src src @ of_mem mem
+  | Fp { dst; src; _ } -> [ dst; src ]
+  | Cvt { src; _ } -> [ src ]
+  | Cmp { src1; src2; _ } -> src1 :: of_src src2
+  | Branch _ -> []
+  | Cap (Cap_check { mem; _ }) -> of_mem mem
+  | Cap _ -> []
+  | Guard { mem; _ } -> of_mem mem
+  | Nop -> []
+
+let writes = function
+  | Mov { dst; _ }
+  | Limm { dst; _ }
+  | Alu { dst; _ }
+  | Lea { dst; _ }
+  | Load { dst; _ }
+  | Fp { dst; _ }
+  | Cvt { dst; _ } ->
+    Some dst
+  | Store _ | Cmp _ | Branch _ | Cap _ | Guard _ | Nop -> None
+
+let is_injected = function Cap _ | Guard _ -> true | _ -> false
+
+let pp_loc ppf = function
+  | Greg r -> Reg.pp ppf r
+  | Xreg i -> Format.fprintf ppf "%%xmm%d" i
+  | Tmp i -> Format.fprintf ppf "t%d" i
+
+let pp_src ppf = function
+  | Loc l -> pp_loc ppf l
+  | Imm i -> Format.fprintf ppf "$%d" i
+
+let pp ppf = function
+  | Mov { dst; src } -> Format.fprintf ppf "mov %a, %a" pp_loc src pp_loc dst
+  | Limm { dst; imm } -> Format.fprintf ppf "limm %a, $%d" pp_loc dst imm
+  | Alu { op; dst; src1; src2 } ->
+    Format.fprintf ppf "%s %a, %a, %a" (Insn.alu_name op) pp_loc dst pp_loc src1 pp_src
+      src2
+  | Lea { dst; mem } -> Format.fprintf ppf "lea %a, %a" pp_loc dst Insn.pp_mem mem
+  | Load { dst; mem; _ } -> Format.fprintf ppf "ld %a, %a" pp_loc dst Insn.pp_mem mem
+  | Store { src; mem; _ } -> Format.fprintf ppf "st %a, %a" pp_src src Insn.pp_mem mem
+  | Fp { op; dst; src } ->
+    let n =
+      match op with
+      | Insn.Fadd -> "fadd"
+      | Insn.Fsub -> "fsub"
+      | Insn.Fmul -> "fmul"
+      | Insn.Fdiv -> "fdiv"
+      | Insn.Fsqrt -> "fsqrt"
+    in
+    Format.fprintf ppf "%s %a, %a" n pp_loc dst pp_loc src
+  | Cvt { dst; src; to_fp } ->
+    Format.fprintf ppf "%s %a, %a" (if to_fp then "cvt2sd" else "cvt2si") pp_loc dst
+      pp_loc src
+  | Cmp { src1; src2; is_test } ->
+    Format.fprintf ppf "%s %a, %a" (if is_test then "test" else "cmp") pp_loc src1 pp_src
+      src2
+  | Branch { kind; _ } ->
+    let n =
+      match kind with
+      | Jump -> "jmp"
+      | Cond c -> "j" ^ Insn.cond_name c
+      | Call -> "call"
+      | Ret -> "ret"
+      | Indirect -> "jmp*"
+    in
+    Format.fprintf ppf "%s" n
+  | Cap Cap_gen_begin -> Format.fprintf ppf "capGen.Begin"
+  | Cap Cap_gen_end -> Format.fprintf ppf "capGen.End"
+  | Cap (Cap_check { pid; _ }) -> Format.fprintf ppf "capCheck(PID=%d)" pid
+  | Cap (Cap_free_begin { pid }) -> Format.fprintf ppf "capFree.Begin(PID=%d)" pid
+  | Cap (Cap_free_end { pid }) -> Format.fprintf ppf "capFree.End(PID=%d)" pid
+  | Guard { kind; _ } ->
+    let n =
+      match kind with
+      | Shadow_addr_calc -> "shadowAddr"
+      | Shadow_load -> "shadowLd"
+      | Shadow_compare -> "shadowCmp"
+      | Bt_bounds_low -> "btChkLo"
+      | Bt_bounds_high -> "btChkHi"
+    in
+    Format.fprintf ppf "%s" n
+  | Nop -> Format.fprintf ppf "unop"

@@ -1,0 +1,64 @@
+(** RISC-style micro-ops produced by the decoder and injected by the
+    microcode customization unit. *)
+
+type loc = Greg of Reg.t | Xreg of int | Tmp of int
+type src = Loc of loc | Imm of int
+type branch_kind = Jump | Cond of Insn.cond | Call | Ret | Indirect
+
+(** Capability micro-ops (Section IV-C). [pid] 0 = untracked, -1 = wild. *)
+type cap =
+  | Cap_gen_begin
+  | Cap_gen_end
+  | Cap_check of { pid : int; mem : Insn.mem; width : Insn.width; is_store : bool }
+  | Cap_free_begin of { pid : int }
+  | Cap_free_end of { pid : int }
+
+(** Software-check micro-ops for the ASan and binary-translation baselines. *)
+type guard_kind =
+  | Shadow_addr_calc
+  | Shadow_load
+  | Shadow_compare
+  | Bt_bounds_low
+  | Bt_bounds_high
+
+type guard = { kind : guard_kind; mem : Insn.mem; width : Insn.width; is_store : bool }
+
+type t =
+  | Mov of { dst : loc; src : loc }
+  | Limm of { dst : loc; imm : int }
+  | Alu of { op : Insn.alu; dst : loc; src1 : loc; src2 : src }
+  | Lea of { dst : loc; mem : Insn.mem }
+  | Load of { dst : loc; mem : Insn.mem; width : Insn.width }
+  | Store of { src : src; mem : Insn.mem; width : Insn.width }
+  | Fp of { op : Insn.fpop; dst : loc; src : loc }
+  | Cvt of { dst : loc; src : loc; to_fp : bool }
+  | Cmp of { src1 : loc; src2 : src; is_test : bool }
+  | Branch of { kind : branch_kind; target : Insn.target option }
+  | Cap of cap
+  | Guard of guard
+  | Nop
+
+(** Functional-unit classes matching the pools of Table III. *)
+type fu_class = FU_int | FU_mult | FU_fp | FU_load | FU_store | FU_branch | FU_none
+
+val fu_class : t -> fu_class
+
+(** Base latency in cycles, excluding dynamic memory-hierarchy latency. *)
+val latency : t -> int
+
+(** [(mem, width, is_store)] for micro-ops touching program memory. *)
+val mem_operand : t -> (Insn.mem * Insn.width * bool) option
+
+val is_memory : t -> bool
+
+(** Locations read / written, for dependence tracking. *)
+val reads : t -> loc list
+
+val writes : t -> loc option
+
+(** True for [Cap]/[Guard] micro-ops added on top of the native crack. *)
+val is_injected : t -> bool
+
+val pp_loc : Format.formatter -> loc -> unit
+val pp_src : Format.formatter -> src -> unit
+val pp : Format.formatter -> t -> unit

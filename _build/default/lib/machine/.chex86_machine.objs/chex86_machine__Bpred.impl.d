@@ -1,0 +1,1 @@
+lib/machine/bpred.ml: Array Chex86_isa Chex86_stats

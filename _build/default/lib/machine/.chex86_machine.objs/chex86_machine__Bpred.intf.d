@@ -1,0 +1,1 @@
+lib/machine/bpred.mli: Chex86_isa Chex86_stats

@@ -1,0 +1,1 @@
+lib/machine/engine.ml: Array Chex86_isa Chex86_mem Chex86_os Decoder Hooks Insn List Printf Program Reg Uop

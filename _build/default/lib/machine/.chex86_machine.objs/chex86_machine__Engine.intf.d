@@ -1,0 +1,1 @@
+lib/machine/engine.mli: Chex86_isa Chex86_os Decoder Hooks Insn Reg Uop

@@ -1,0 +1,1 @@
+lib/machine/hooks.ml: Chex86_isa

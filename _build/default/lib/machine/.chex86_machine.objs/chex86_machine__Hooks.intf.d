@@ -1,0 +1,1 @@
+lib/machine/hooks.mli: Chex86_isa

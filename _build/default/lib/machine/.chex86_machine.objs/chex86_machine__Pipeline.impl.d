@@ -1,0 +1,1 @@
+lib/machine/pipeline.ml: Array Bpred Chex86_isa Chex86_mem Chex86_stats Config Decoder Engine Hashtbl Hooks Insn List Reg Uop

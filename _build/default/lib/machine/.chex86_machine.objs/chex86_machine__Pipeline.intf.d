@@ -1,0 +1,1 @@
+lib/machine/pipeline.mli: Chex86_mem Chex86_stats Config Engine

@@ -1,0 +1,1 @@
+lib/machine/simulator.ml: Chex86_mem Chex86_os Chex86_stats Config Engine Hooks Pipeline

@@ -1,0 +1,153 @@
+(* LTAGE-style branch predictor, BTB and return-address stack.
+
+   A bimodal base table plus three tagged tables indexed with
+   geometrically increasing global-history lengths; the longest-history
+   hit provides the prediction (TAGE's "provider"), with a simple
+   allocate-on-mispredict policy.  Direction prediction drives the
+   squash accounting in the timing model; target prediction uses the BTB
+   for computed branches and the RAS for returns. *)
+
+type tagged_entry = { mutable tag : int; mutable ctr : int; mutable useful : int }
+
+type t = {
+  bimodal : int array;  (* 2-bit counters *)
+  tagged : tagged_entry array array;  (* 3 tables *)
+  history_lengths : int array;
+  mutable ghist : int;  (* global history, newest outcome in bit 0 *)
+  btb : int array;  (* pc -> target *)
+  btb_tags : int array;
+  ras : int array;
+  mutable ras_top : int;
+  counters : Chex86_stats.Counter.group;
+}
+
+let bimodal_bits = 13
+let tagged_bits = 10
+let tag_bits = 9
+
+let create counters =
+  {
+    bimodal = Array.make (1 lsl bimodal_bits) 2;
+    tagged =
+      Array.init 3 (fun _ ->
+          Array.init (1 lsl tagged_bits) (fun _ -> { tag = -1; ctr = 4; useful = 0 }));
+    history_lengths = [| 5; 15; 44 |];
+    ghist = 0;
+    btb = Array.make 4096 0;
+    btb_tags = Array.make 4096 (-1);
+    ras = Array.make 64 0;
+    ras_top = 0;
+    counters;
+  }
+
+let fold_history ghist len bits =
+  let mask = (1 lsl len) - 1 in
+  let h = ghist land mask in
+  let rec fold h acc = if h = 0 then acc else fold (h lsr bits) (acc lxor (h land ((1 lsl bits) - 1))) in
+  fold h 0
+
+let tagged_index t i pc =
+  let h = fold_history t.ghist t.history_lengths.(i) tagged_bits in
+  ((pc lsr 2) lxor h lxor (i * 0x9E37)) land ((1 lsl tagged_bits) - 1)
+
+let tagged_tag t i pc =
+  let h = fold_history t.ghist t.history_lengths.(i) tag_bits in
+  ((pc lsr 4) lxor h) land ((1 lsl tag_bits) - 1)
+
+(* Longest-history hitting table, if any. *)
+let provider t pc =
+  let rec find i =
+    if i < 0 then None
+    else
+      let e = t.tagged.(i).(tagged_index t i pc) in
+      if e.tag = tagged_tag t i pc then Some (i, e) else find (i - 1)
+  in
+  find 2
+
+let predict_direction t pc =
+  match provider t pc with
+  | Some (_, e) -> e.ctr >= 4
+  | None -> t.bimodal.((pc lsr 2) land ((1 lsl bimodal_bits) - 1)) >= 2
+
+let clamp v lo hi = max lo (min hi v)
+
+let update_direction t pc ~taken =
+  let predicted = predict_direction t pc in
+  (match provider t pc with
+  | Some (_, e) -> e.ctr <- clamp (e.ctr + if taken then 1 else -1) 0 7
+  | None ->
+    let idx = (pc lsr 2) land ((1 lsl bimodal_bits) - 1) in
+    t.bimodal.(idx) <- clamp (t.bimodal.(idx) + if taken then 1 else -1) 0 3);
+  (* Allocate a longer-history entry on misprediction. *)
+  if predicted <> taken then begin
+    let start = match provider t pc with Some (i, _) -> i + 1 | None -> 0 in
+    let rec alloc i =
+      if i <= 2 then begin
+        let e = t.tagged.(i).(tagged_index t i pc) in
+        if e.useful = 0 then begin
+          e.tag <- tagged_tag t i pc;
+          e.ctr <- (if taken then 4 else 3);
+          e.useful <- 0
+        end
+        else begin
+          e.useful <- e.useful - 1;
+          alloc (i + 1)
+        end
+      end
+    in
+    alloc start
+  end
+  else begin
+    match provider t pc with
+    | Some (_, e) -> e.useful <- clamp (e.useful + 1) 0 3
+    | None -> ()
+  end;
+  t.ghist <- ((t.ghist lsl 1) lor if taken then 1 else 0) land ((1 lsl 60) - 1);
+  predicted = taken
+
+let btb_lookup t pc =
+  let idx = (pc lsr 2) land 4095 in
+  if t.btb_tags.(idx) = pc then Some t.btb.(idx) else None
+
+let btb_update t pc target =
+  let idx = (pc lsr 2) land 4095 in
+  t.btb_tags.(idx) <- pc;
+  t.btb.(idx) <- target
+
+let ras_push t addr =
+  t.ras.(t.ras_top land 63) <- addr;
+  t.ras_top <- t.ras_top + 1
+
+let ras_pop t =
+  if t.ras_top = 0 then 0
+  else begin
+    t.ras_top <- t.ras_top - 1;
+    t.ras.(t.ras_top land 63)
+  end
+
+(* [resolve t ~pc ~kind ~taken ~target] returns whether the front-end
+   prediction (direction and target) was correct, updating all state. *)
+let resolve t ~pc ~kind ~taken ~target =
+  let open Chex86_isa.Uop in
+  match kind with
+  | Cond _ ->
+    let ok = update_direction t pc ~taken in
+    Chex86_stats.Counter.incr t.counters
+      (if ok then "bpred.cond_correct" else "bpred.cond_mispredict");
+    ok
+  | Jump -> true  (* direct unconditional: decoded target, always correct *)
+  | Call ->
+    ras_push t (pc + 4);
+    true
+  | Ret ->
+    let predicted = ras_pop t in
+    let ok = predicted = target in
+    Chex86_stats.Counter.incr t.counters
+      (if ok then "bpred.ras_correct" else "bpred.ras_mispredict");
+    ok
+  | Indirect ->
+    let ok = match btb_lookup t pc with Some p -> p = target | None -> false in
+    btb_update t pc target;
+    Chex86_stats.Counter.incr t.counters
+      (if ok then "bpred.btb_correct" else "bpred.btb_mispredict");
+    ok

@@ -1,0 +1,86 @@
+(* Simulated core configuration (Table III of the paper: Skylake-class). *)
+
+type t = {
+  frequency_ghz : float;
+  fetch_width : int;  (* fused uops (macro-ops) per cycle *)
+  issue_width : int;  (* unfused uops per cycle *)
+  commit_width : int;
+  rob_size : int;
+  iq_size : int;
+  lq_size : int;
+  sq_size : int;
+  int_regs : int;
+  fp_regs : int;
+  ras_size : int;
+  btb_size : int;
+  int_alu_units : int;
+  int_mult_units : int;
+  fp_alu_units : int;
+  simd_units : int;
+  load_ports : int;
+  store_ports : int;
+  front_end_depth : int;  (* fetch-to-dispatch stages *)
+  mispredict_penalty : int;  (* redirect cost on top of resolve *)
+  msrom_extra_cycles : int;  (* decode penalty for MSROM macro-ops *)
+}
+
+let default =
+  {
+    frequency_ghz = 3.4;
+    fetch_width = 4;
+    issue_width = 6;
+    commit_width = 6;
+    rob_size = 224;
+    iq_size = 64;
+    lq_size = 72;
+    sq_size = 56;
+    int_regs = 180;
+    fp_regs = 168;
+    ras_size = 64;
+    btb_size = 4096;
+    int_alu_units = 6;
+    int_mult_units = 1;
+    fp_alu_units = 3;
+    simd_units = 3;
+    load_ports = 2;
+    store_ports = 1;
+    front_end_depth = 5;
+    mispredict_penalty = 14;
+    msrom_extra_cycles = 2;
+  }
+
+let rows t =
+  [
+    [ "Frequency"; Printf.sprintf "%.1f GHz" t.frequency_ghz; "I cache"; "32 KB, 8 way" ];
+    [ "Fetch width"; Printf.sprintf "%d fused uops" t.fetch_width; "D cache"; "32 KB, 8 way" ];
+    [
+      "Issue width";
+      Printf.sprintf "%d unfused uops" t.issue_width;
+      "ROB size";
+      Printf.sprintf "%d entries" t.rob_size;
+    ];
+    [
+      "INT/FP Regfile";
+      Printf.sprintf "%d/%d regs" t.int_regs t.fp_regs;
+      "IQ";
+      Printf.sprintf "%d entries" t.iq_size;
+    ];
+    [
+      "RAS size";
+      Printf.sprintf "%d entries" t.ras_size;
+      "BTB size";
+      Printf.sprintf "%d entries" t.btb_size;
+    ];
+    [
+      "LQ/SQ size";
+      Printf.sprintf "%d/%d entries" t.lq_size t.sq_size;
+      "Functional";
+      Printf.sprintf "Int ALU (%d) / Mult (%d)," t.int_alu_units t.int_mult_units;
+    ];
+    [
+      "Branch Predictor";
+      "LTAGE";
+      "Units";
+      Printf.sprintf "FPALU (%d) / SIMD (%d)" t.fp_alu_units t.simd_units;
+    ];
+  ]

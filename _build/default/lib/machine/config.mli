@@ -1,0 +1,31 @@
+(** Simulated core configuration (Table III: Skylake-class). *)
+
+type t = {
+  frequency_ghz : float;
+  fetch_width : int;  (** fused uops (macro-ops) per cycle *)
+  issue_width : int;
+  commit_width : int;
+  rob_size : int;
+  iq_size : int;
+  lq_size : int;
+  sq_size : int;
+  int_regs : int;
+  fp_regs : int;
+  ras_size : int;
+  btb_size : int;
+  int_alu_units : int;
+  int_mult_units : int;
+  fp_alu_units : int;
+  simd_units : int;
+  load_ports : int;
+  store_ports : int;
+  front_end_depth : int;
+  mispredict_penalty : int;
+  msrom_extra_cycles : int;
+}
+
+(** Table III's configuration. *)
+val default : t
+
+(** The Table III rows, for rendering. *)
+val rows : t -> string list list

@@ -1,0 +1,343 @@
+(* Functional execution engine.
+
+   Executes the guest program macro-op by macro-op, cracking each into
+   micro-ops, letting the monitor instrument the crack (decode time) and
+   observe each executed micro-op (execute time, with resolved effective
+   addresses and results).  Architectural state is updated in program
+   order; the timing model consumes the step records this engine
+   produces, modelling speculation as timing (see Pipeline).
+
+   Runtime (libc) functions are native stubs: the entry address runs the
+   allocator/memcpy/etc. natively against guest memory, and the address
+   entry+4 holds a Ret.  Both addresses are interceptable by the MSR
+   registry, which is how capGen/capFree injection observes allocation
+   events with %rdi/%rax in hand (Section IV-C). *)
+
+open Chex86_isa
+
+exception Guest_fault of string
+
+type exec_uop = { uop : Uop.t; ea : int option; reaction : Hooks.reaction }
+
+type branch_info = { kind : Uop.branch_kind; taken : bool; target : int }
+
+type step = {
+  pc : int;
+  insn : Insn.t option;  (* None for a native stub body *)
+  native : string option;
+  path : Decoder.path;
+  uops : exec_uop list;
+  branch : branch_info option;
+}
+
+type t = {
+  proc : Chex86_os.Process.t;
+  hooks : Hooks.t;
+  regs : int array;
+  xmm : float array;
+  tmps : int array;
+  mutable eq : bool;
+  mutable lt : bool;
+  mutable rip : int;
+  mutable halted : bool;
+  mutable insn_count : int;
+  mutable rand_state : int;
+  mutable on_access : addr:int -> write:bool -> unit;
+}
+
+(* [entry]/[stack_top] support SMP: each hardware thread starts at its
+   own label with a private stack region. *)
+let create ?(hooks = Hooks.none ()) ?entry ?stack_top proc =
+  let program = proc.Chex86_os.Process.program in
+  let t =
+    {
+      proc;
+      hooks;
+      regs = Array.make Reg.count 0;
+      xmm = Array.make Insn.xmm_count 0.;
+      tmps = Array.make 2 0;
+      eq = false;
+      lt = false;
+      rip =
+        (match entry with
+        | Some label -> Program.label_addr program label
+        | None -> Program.entry_addr program);
+      halted = false;
+      insn_count = 0;
+      rand_state = 0x12345;
+      on_access = (fun ~addr:_ ~write:_ -> ());
+    }
+  in
+  t.regs.(Reg.index Reg.RSP) <-
+    (match stack_top with Some sp -> sp | None -> Program.stack_top);
+  t
+
+let halted t = t.halted
+let insn_count t = t.insn_count
+let read_reg t r = t.regs.(Reg.index r)
+let write_reg t r v = t.regs.(Reg.index r) <- v
+let rip t = t.rip
+
+let get_loc t = function
+  | Uop.Greg r -> t.regs.(Reg.index r)
+  | Uop.Tmp i -> t.tmps.(i)
+  | Uop.Xreg _ -> raise (Guest_fault "integer read of xmm register")
+
+let set_loc t loc v =
+  match loc with
+  | Uop.Greg r -> t.regs.(Reg.index r) <- v
+  | Uop.Tmp i -> t.tmps.(i) <- v
+  | Uop.Xreg _ -> raise (Guest_fault "integer write of xmm register")
+
+let get_src t = function Uop.Loc l -> get_loc t l | Uop.Imm i -> i
+
+let effective_address t (m : Insn.mem) =
+  (match m.base with Some r -> t.regs.(Reg.index r) | None -> 0)
+  + (match m.index with Some r -> t.regs.(Reg.index r) * m.scale | None -> 0)
+  + m.disp
+
+let mask_width w v =
+  match w with
+  | Insn.W8 -> v land 0xFF
+  | Insn.W16 -> v land 0xFFFF
+  | Insn.W32 -> v land 0xFFFFFFFF
+  | Insn.W64 -> v
+
+let alu_eval op a b =
+  match op with
+  | Insn.Add -> a + b
+  | Insn.Sub -> a - b
+  | Insn.And -> a land b
+  | Insn.Or -> a lor b
+  | Insn.Xor -> a lxor b
+  | Insn.Imul -> a * b
+  | Insn.Shl -> a lsl (b land 63)
+  | Insn.Shr -> a lsr (b land 63)
+
+let fp_eval op a b =
+  match op with
+  | Insn.Fadd -> a +. b
+  | Insn.Fsub -> a -. b
+  | Insn.Fmul -> a *. b
+  | Insn.Fdiv -> a /. b
+  | Insn.Fsqrt -> sqrt b
+
+let set_flags t v =
+  t.eq <- v = 0;
+  t.lt <- v < 0
+
+let eval_cond t = function
+  | Insn.Eq -> t.eq
+  | Insn.Ne -> not t.eq
+  | Insn.Lt -> t.lt
+  | Insn.Le -> t.lt || t.eq
+  | Insn.Gt -> not (t.lt || t.eq)
+  | Insn.Ge -> not t.lt
+
+(* Execute one micro-op functionally; returns (ea, result). [insn] gives
+   macro context for the return-address store of Call and for indirect
+   branch targets. *)
+let exec_uop t (insn : Insn.t option) pc (uop : Uop.t) =
+  let mem = t.proc.Chex86_os.Process.mem in
+  match uop with
+  | Mov { dst; src } ->
+    let v = get_loc t src in
+    set_loc t dst v;
+    (None, Some v)
+  | Limm { dst; imm } ->
+    set_loc t dst imm;
+    (None, Some imm)
+  | Alu { op; dst; src1; src2 } ->
+    let v = alu_eval op (get_loc t src1) (get_src t src2) in
+    set_loc t dst v;
+    set_flags t v;
+    (None, Some v)
+  | Lea { dst; mem = m } ->
+    let ea = effective_address t m in
+    set_loc t dst ea;
+    (None, Some ea)
+  | Load { dst; mem = m; width } ->
+    let ea = effective_address t m in
+    t.on_access ~addr:ea ~write:false;
+    (match dst with
+    | Xreg i -> t.xmm.(i) <- Chex86_mem.Image.read_float mem ea
+    | _ ->
+      let v = mask_width width (Chex86_mem.Image.read mem ea (Insn.bytes_of_width width)) in
+      set_loc t dst v);
+    let result =
+      match dst with Xreg _ -> None | _ -> Some (get_loc t dst)
+    in
+    (Some ea, result)
+  | Store { src; mem = m; width } ->
+    let ea = effective_address t m in
+    t.on_access ~addr:ea ~write:true;
+    (match src with
+    | Loc (Xreg i) -> Chex86_mem.Image.write_float mem ea t.xmm.(i)
+    | _ ->
+      let v =
+        match (insn, src) with
+        (* Return-address store of a call macro-op. *)
+        | (Some (Insn.Call _ | Insn.Call_reg _)), Uop.Imm 0 -> pc + 4
+        | _ -> get_src t src
+      in
+      Chex86_mem.Image.write mem ea (Insn.bytes_of_width width) (mask_width width v));
+    (Some ea, None)
+  | Fp { op; dst = Xreg d; src = Xreg s } ->
+    t.xmm.(d) <- fp_eval op t.xmm.(d) t.xmm.(s);
+    (None, None)
+  | Fp _ -> raise (Guest_fault "fp micro-op on integer register")
+  | Cvt { dst = Xreg d; src; to_fp = true } ->
+    t.xmm.(d) <- float_of_int (get_loc t src);
+    (None, None)
+  | Cvt { dst; src = Xreg s; to_fp = false } ->
+    let v = int_of_float t.xmm.(s) in
+    set_loc t dst v;
+    (None, Some v)
+  | Cvt _ -> raise (Guest_fault "malformed cvt micro-op")
+  | Cmp { src1; src2; is_test } ->
+    let a = get_loc t src1 and b = get_src t src2 in
+    if is_test then begin
+      let v = a land b in
+      t.eq <- v = 0;
+      t.lt <- v < 0
+    end
+    else begin
+      t.eq <- a = b;
+      t.lt <- a < b
+    end;
+    (None, None)
+  | Branch _ -> (None, None)  (* resolved at the macro level *)
+  | Cap (Cap_check { mem = m; _ }) | Guard { mem = m; _ } ->
+    (* Checks compute the same effective address as the access they
+       guard; the monitor performs the actual check. *)
+    (Some (effective_address t m), None)
+  | Cap _ | Nop -> (None, None)
+
+(* --- native runtime stubs ------------------------------------------------ *)
+
+let run_native t name =
+  let runtime = t.proc.Chex86_os.Process.runtime in
+  let mem = t.proc.Chex86_os.Process.mem in
+  let rdi = read_reg t Reg.RDI
+  and rsi = read_reg t Reg.RSI
+  and rdx = read_reg t Reg.RDX in
+  match name with
+  | "malloc" -> write_reg t Reg.RAX (runtime.malloc rdi)
+  | "free" ->
+    runtime.free rdi;
+    write_reg t Reg.RAX 0
+  | "calloc" -> write_reg t Reg.RAX (runtime.calloc ~count:rdi ~size:rsi)
+  | "realloc" -> write_reg t Reg.RAX (runtime.realloc rdi rsi)
+  | "memset" ->
+    for i = 0 to rdx - 1 do
+      Chex86_mem.Image.write_byte mem (rdi + i) (rsi land 0xFF)
+    done;
+    write_reg t Reg.RAX rdi
+  | "memcpy" ->
+    for i = 0 to rdx - 1 do
+      Chex86_mem.Image.write_byte mem (rdi + i) (Chex86_mem.Image.read_byte mem (rsi + i))
+    done;
+    write_reg t Reg.RAX rdi
+  | "puts" -> write_reg t Reg.RAX 0
+  | "rand" ->
+    t.rand_state <- (t.rand_state * 1103515245) + 12345;
+    write_reg t Reg.RAX ((t.rand_state lsr 16) land 0x3FFFFFFF)
+  | _ -> raise (Guest_fault (Printf.sprintf "unknown native stub %S" name))
+
+(* --- macro step ---------------------------------------------------------- *)
+
+(* Resolve the control flow of the macro-op after its micro-ops ran.
+   Returns [(branch_info option, next_rip)]. *)
+let resolve_branch t pc (insn : Insn.t) =
+  let prog = t.proc.Chex86_os.Process.program in
+  let target_of = function
+    | Insn.Label l -> Program.label_addr prog l
+    | Insn.Extern name -> Chex86_os.Layout.extern_addr name
+  in
+  match insn with
+  | Jmp l ->
+    let tgt = Program.label_addr prog l in
+    (Some { kind = Uop.Jump; taken = true; target = tgt }, tgt)
+  | Jmp_reg r ->
+    let tgt = read_reg t r in
+    (Some { kind = Uop.Indirect; taken = true; target = tgt }, tgt)
+  | Jcc (c, l) ->
+    let taken = eval_cond t c in
+    let tgt = if taken then Program.label_addr prog l else pc + 4 in
+    (Some { kind = Uop.Cond c; taken; target = tgt }, tgt)
+  | Call tgt ->
+    let tgt = target_of tgt in
+    (Some { kind = Uop.Call; taken = true; target = tgt }, tgt)
+  | Call_reg r ->
+    let tgt = read_reg t r in
+    (Some { kind = Uop.Indirect; taken = true; target = tgt }, tgt)
+  | Ret ->
+    let tgt = t.tmps.(0) in
+    (Some { kind = Uop.Ret; taken = true; target = tgt }, tgt)
+  | Halt ->
+    t.halted <- true;
+    (None, pc)
+  | _ -> (None, pc + 4)
+
+let execute_uops t ctx insn pc uops =
+  List.map
+    (fun uop ->
+      let ea, result = exec_uop t insn pc uop in
+      let reaction = t.hooks.Hooks.exec_uop ctx uop ~ea ~result in
+      { uop; ea; reaction })
+    uops
+
+let step t =
+  if t.halted then None
+  else begin
+    let pc = t.rip in
+    t.insn_count <- t.insn_count + 1;
+    match Chex86_os.Layout.extern_of_addr pc with
+    | Some (name, `Entry) ->
+      (* Native stub body. *)
+      let ctx =
+        {
+          Hooks.pc;
+          insn = None;
+          stub = Some (name, Hooks.Entry);
+          read_reg = read_reg t;
+        }
+      in
+      let uops = t.hooks.Hooks.instrument ctx [ Uop.Nop ] in
+      (* Injected capability micro-ops run before the native body so that
+         capGen.Begin sees %rdi before the allocator clobbers state. *)
+      let exec = execute_uops t ctx None pc uops in
+      run_native t name;
+      t.rip <- pc + 4;
+      t.hooks.Hooks.on_retire ctx;
+      Some { pc; insn = None; native = Some name; path = Decoder.Msrom; uops = exec; branch = None }
+    | Some (name, `Exit) ->
+      (* The Ret at the stub's registered exit point. *)
+      let insn = Insn.Ret in
+      let ctx =
+        {
+          Hooks.pc;
+          insn = Some insn;
+          stub = Some (name, Hooks.Exit);
+          read_reg = read_reg t;
+        }
+      in
+      let uops = t.hooks.Hooks.instrument ctx (Decoder.decode insn) in
+      let exec = execute_uops t ctx (Some insn) pc uops in
+      let branch, next = resolve_branch t pc insn in
+      t.rip <- next;
+      t.hooks.Hooks.on_retire ctx;
+      Some { pc; insn = Some insn; native = None; path = Decoder.Simple; uops = exec; branch }
+    | None -> (
+      match Program.fetch t.proc.Chex86_os.Process.program pc with
+      | None -> raise (Guest_fault (Printf.sprintf "execution left the text segment at %#x" pc))
+      | Some insn ->
+        let ctx = { Hooks.pc; insn = Some insn; stub = None; read_reg = read_reg t } in
+        let path = Decoder.path insn in
+        let uops = t.hooks.Hooks.instrument ctx (Decoder.decode insn) in
+        let exec = execute_uops t ctx (Some insn) pc uops in
+        let branch, next = resolve_branch t pc insn in
+        t.rip <- next;
+        t.hooks.Hooks.on_retire ctx;
+        Some { pc; insn = Some insn; native = None; path; uops = exec; branch })
+  end

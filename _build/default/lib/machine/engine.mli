@@ -1,0 +1,45 @@
+(** Functional execution engine producing per-macro-op step records. *)
+
+open Chex86_isa
+
+(** Raised on malformed guest execution (fetch outside text, type-confused
+    micro-ops). *)
+exception Guest_fault of string
+
+type exec_uop = { uop : Uop.t; ea : int option; reaction : Hooks.reaction }
+type branch_info = { kind : Uop.branch_kind; taken : bool; target : int }
+
+type step = {
+  pc : int;
+  insn : Insn.t option;  (** [None] for a native stub body *)
+  native : string option;
+  path : Decoder.path;
+  uops : exec_uop list;
+  branch : branch_info option;
+}
+
+type t = {
+  proc : Chex86_os.Process.t;
+  hooks : Hooks.t;
+  regs : int array;
+  xmm : float array;
+  tmps : int array;
+  mutable eq : bool;
+  mutable lt : bool;
+  mutable rip : int;
+  mutable halted : bool;
+  mutable insn_count : int;
+  mutable rand_state : int;
+  mutable on_access : addr:int -> write:bool -> unit;
+}
+
+(** [entry] (a label) and [stack_top] support SMP hardware threads. *)
+val create : ?hooks:Hooks.t -> ?entry:string -> ?stack_top:int -> Chex86_os.Process.t -> t
+val halted : t -> bool
+val insn_count : t -> int
+val rip : t -> int
+val read_reg : t -> Reg.t -> int
+val write_reg : t -> Reg.t -> int -> unit
+
+(** Execute one macro-op (or stub); [None] once halted. *)
+val step : t -> step option

@@ -1,0 +1,45 @@
+(* Monitor interface between the functional engine and a protection
+   scheme (CHEx86, ASan, or nothing).
+
+   [instrument] runs at decode time and may inject Cap/Guard micro-ops
+   into the crack (the microcode customization path).  [exec_uop] runs
+   when a micro-op executes, with the resolved effective address; it
+   performs functional checks (raising on violations) and returns a
+   [reaction] that feeds the timing model: extra latency from shadow
+   structures, a pipeline-flush request (alias misprediction recovery,
+   P0AN), and zero-idiom kills of already-injected checks (PNA0). *)
+
+type stub_phase = Entry | Exit
+
+type ctx = {
+  pc : int;
+  insn : Chex86_isa.Insn.t option;  (* None while inside a native stub body *)
+  stub : (string * stub_phase) option;
+  read_reg : Chex86_isa.Reg.t -> int;
+}
+
+type reaction = {
+  extra_latency : int;  (* delays the micro-op's result (dependents see it) *)
+  commit_latency : int;
+  (* delays only validation/commit: shadow-structure lookups that run off
+     the critical path of the access (capability cache misses, alias
+     table walks) *)
+  flush : bool;  (* squash + refetch once this micro-op's checks resolve *)
+  killed_uops : int;  (* injected checks turned into zero-idioms *)
+}
+
+let no_reaction = { extra_latency = 0; commit_latency = 0; flush = false; killed_uops = 0 }
+
+type t = {
+  mutable instrument : ctx -> Chex86_isa.Uop.t list -> Chex86_isa.Uop.t list;
+  mutable exec_uop :
+    ctx -> Chex86_isa.Uop.t -> ea:int option -> result:int option -> reaction;
+  mutable on_retire : ctx -> unit;  (* after a macro-op completes *)
+}
+
+let none () =
+  {
+    instrument = (fun _ uops -> uops);
+    exec_uop = (fun _ _ ~ea:_ ~result:_ -> no_reaction);
+    on_retire = (fun _ -> ());
+  }

@@ -1,0 +1,32 @@
+(** Monitor interface between the engine and a protection scheme. *)
+
+type stub_phase = Entry | Exit
+
+type ctx = {
+  pc : int;
+  insn : Chex86_isa.Insn.t option;  (** [None] inside a native stub body *)
+  stub : (string * stub_phase) option;
+  read_reg : Chex86_isa.Reg.t -> int;
+}
+
+type reaction = {
+  extra_latency : int;  (** delays the micro-op's result (dependents see it) *)
+  commit_latency : int;
+      (** delays only validation/commit: off-critical-path shadow lookups *)
+  flush : bool;  (** squash + refetch once this micro-op's checks resolve *)
+  killed_uops : int;  (** injected checks turned into zero-idioms (PNA0) *)
+}
+
+val no_reaction : reaction
+
+type t = {
+  mutable instrument : ctx -> Chex86_isa.Uop.t list -> Chex86_isa.Uop.t list;
+      (** decode-time: may inject Cap/Guard micro-ops into the crack *)
+  mutable exec_uop :
+    ctx -> Chex86_isa.Uop.t -> ea:int option -> result:int option -> reaction;
+      (** execute-time: functional checks (may raise) + timing feedback *)
+  mutable on_retire : ctx -> unit;  (** after each macro-op completes *)
+}
+
+(** Hooks that do nothing (the insecure machine). *)
+val none : unit -> t

@@ -1,0 +1,287 @@
+(* Dependence-driven out-of-order timing model.
+
+   Consumes the engine's step records in program order and computes, for
+   every micro-op, the cycle at which it fetches, dispatches, issues,
+   completes and commits, subject to:
+
+   - fetch bandwidth (fused macro-ops/cycle) and I-cache misses;
+   - finite ROB / IQ / LQ / SQ occupancy (an entry is reused only after
+     the micro-op that held it released it);
+   - data dependences through registers, flags and memory (store-to-load
+     forwarding on 8-byte granules);
+   - functional-unit pools (Table III);
+   - branch mispredictions and alias-misprediction flushes, which stall
+     the front-end from the resolving micro-op's completion plus the
+     redirect penalty (the squashed-slot accounting behind Fig 8).
+
+   Wrong-path work is modelled purely as these stalls: the functional
+   engine is an in-order oracle, which is the standard trace-driven
+   simplification documented in DESIGN.md. *)
+
+open Chex86_isa
+
+let loc_slots = Reg.count + Insn.xmm_count + 2 + 1
+let flags_slot = loc_slots - 1
+
+let slot_of_loc = function
+  | Uop.Greg r -> Reg.index r
+  | Uop.Xreg i -> Reg.count + i
+  | Uop.Tmp i -> Reg.count + Insn.xmm_count + i
+
+type t = {
+  cfg : Config.t;
+  hier : Chex86_mem.Hierarchy.t;
+  bpred : Bpred.t;
+  counters : Chex86_stats.Counter.group;
+  reg_ready : int array;
+  rob : int array;
+  mutable rob_pos : int;
+  iq : int array;
+  mutable iq_pos : int;
+  lq : int array;
+  mutable lq_pos : int;
+  sq : int array;
+  mutable sq_pos : int;
+  fu_free : int array array;  (* per fu class, per unit *)
+  store_fwd : (int, int) Hashtbl.t;
+  mutable fetch_cycle : int;
+  mutable fetch_slots : int;
+  mutable last_commit : int;
+  mutable commit_cycle : int;
+  mutable commit_slots : int;
+  mutable last_fetch_line : int;
+}
+
+let fu_index = function
+  | Uop.FU_int -> 0
+  | Uop.FU_mult -> 1
+  | Uop.FU_fp -> 2
+  | Uop.FU_load -> 3
+  | Uop.FU_store -> 4
+  | Uop.FU_branch -> 5
+  | Uop.FU_none -> 6
+
+let create ?(config = Config.default) hier counters =
+  {
+    cfg = config;
+    hier;
+    bpred = Bpred.create counters;
+    counters;
+    reg_ready = Array.make loc_slots 0;
+    rob = Array.make config.rob_size 0;
+    rob_pos = 0;
+    iq = Array.make config.iq_size 0;
+    iq_pos = 0;
+    lq = Array.make config.lq_size 0;
+    lq_pos = 0;
+    sq = Array.make config.sq_size 0;
+    sq_pos = 0;
+    fu_free =
+      [|
+        Array.make config.int_alu_units 0;
+        Array.make config.int_mult_units 0;
+        Array.make config.fp_alu_units 0;
+        Array.make config.load_ports 0;
+        Array.make config.store_ports 0;
+        Array.make 1 0 (* branch unit *);
+        Array.make 1 0 (* none *);
+      |];
+    store_fwd = Hashtbl.create 1024;
+    fetch_cycle = 0;
+    fetch_slots = 0;
+    last_commit = 0;
+    commit_cycle = 0;
+    commit_slots = 0;
+    last_fetch_line = -1;
+  }
+
+let incr t name = Chex86_stats.Counter.incr t.counters name
+
+(* Earliest free unit of a class at or after [want]; books the unit until
+   [until]. *)
+let acquire_fu t cls want until_delta =
+  let units = t.fu_free.(fu_index cls) in
+  let best = ref 0 in
+  for i = 1 to Array.length units - 1 do
+    if units.(i) < units.(!best) then best := i
+  done;
+  let start = max want units.(!best) in
+  units.(!best) <- start + until_delta;
+  start
+
+let consume_fetch_slot t =
+  if t.fetch_slots >= t.cfg.fetch_width then begin
+    t.fetch_cycle <- t.fetch_cycle + 1;
+    t.fetch_slots <- 0
+  end;
+  t.fetch_slots <- t.fetch_slots + 1
+
+let redirect t ~resolve_time ~reason =
+  let new_fetch = resolve_time + t.cfg.mispredict_penalty in
+  if new_fetch > t.fetch_cycle then begin
+    (* Squash accounting (Fig 8 bottom): the redirect penalty itself is
+       the squashed-slot time; the remaining gap is resolve/drain latency
+       that an out-of-order machine overlaps with older work. *)
+    Chex86_stats.Counter.incr
+      ~by:(min (new_fetch - t.fetch_cycle) t.cfg.mispredict_penalty)
+      t.counters "pipeline.squash_cycles";
+    t.fetch_cycle <- new_fetch;
+    t.fetch_slots <- 0
+  end;
+  incr t reason
+
+let commit_in_order t complete =
+  let c = max complete (max t.last_commit t.commit_cycle) in
+  if c > t.commit_cycle then begin
+    t.commit_cycle <- c;
+    t.commit_slots <- 1
+  end
+  else if t.commit_slots < t.cfg.commit_width then t.commit_slots <- t.commit_slots + 1
+  else begin
+    t.commit_cycle <- t.commit_cycle + 1;
+    t.commit_slots <- 1
+  end;
+  t.last_commit <- t.commit_cycle;
+  t.commit_cycle
+
+let granule addr = addr lsr 3
+
+(* Process one executed micro-op; [dispatch_base] is when the front end
+   delivered it. [native_latency] inflates the base latency (stub
+   bodies). Returns its completion time. *)
+let process_uop t ~pc ~dispatch_base ~native_latency (eu : Engine.exec_uop) branch =
+  let uop = eu.uop in
+  incr t "pipeline.uops";
+  if Uop.is_injected uop then incr t "pipeline.uops_injected";
+  (* Structural occupancy: reusing a ROB/IQ/LQ/SQ slot waits for its
+     previous holder. *)
+  let dispatch = max dispatch_base t.rob.(t.rob_pos) in
+  let dispatch = max dispatch t.iq.(t.iq_pos) in
+  let dispatch =
+    match uop with
+    | Load _ | Guard { kind = Shadow_load; _ } -> max dispatch t.lq.(t.lq_pos)
+    | Store _ -> max dispatch t.sq.(t.sq_pos)
+    | _ -> dispatch
+  in
+  (* Source readiness. *)
+  let ready =
+    List.fold_left
+      (fun acc l -> max acc t.reg_ready.(slot_of_loc l))
+      dispatch (Uop.reads uop)
+  in
+  let ready =
+    match uop with
+    | Branch { kind = Cond _; _ } -> max ready t.reg_ready.(flags_slot)
+    | _ -> ready
+  in
+  let cls = Uop.fu_class uop in
+  let complete =
+    match uop with
+    | Nop when native_latency > 0 ->
+      let issue = acquire_fu t FU_int ready 1 in
+      issue + native_latency
+    | Nop -> ready + 1
+    | Load _ ->
+      let ea = match eu.ea with Some ea -> ea | None -> 0 in
+      let issue = acquire_fu t cls ready 1 in
+      let mem_lat = Chex86_mem.Hierarchy.access t.hier ~kind:Data ~write:false ea in
+      let fwd = Hashtbl.find_opt t.store_fwd (granule ea) in
+      (match fwd with
+      | Some data_ready -> max (issue + 1) data_ready
+      | None -> issue + mem_lat)
+    | Store _ ->
+      let ea = match eu.ea with Some ea -> ea | None -> 0 in
+      let issue = acquire_fu t cls ready 1 in
+      ignore (Chex86_mem.Hierarchy.access t.hier ~kind:Data ~write:true ea);
+      if Hashtbl.length t.store_fwd > 8192 then Hashtbl.reset t.store_fwd;
+      Hashtbl.replace t.store_fwd (granule ea) (issue + 1);
+      issue + 1
+    | Guard { kind = Shadow_load; _ } ->
+      (* ASan shadow byte load: real D-cache traffic in shadow space. *)
+      let ea = match eu.ea with Some ea -> ea | None -> 0 in
+      let shadow_addr = 0x7FFF_8000_0000 + (ea lsr 3) in
+      let issue = acquire_fu t cls ready 1 in
+      issue + Chex86_mem.Hierarchy.access t.hier ~kind:Data ~write:false shadow_addr
+    | _ ->
+      let issue = acquire_fu t cls ready 1 in
+      issue + Uop.latency uop
+  in
+  let complete = complete + eu.reaction.Hooks.extra_latency in
+  (* Off-critical-path validation work (capability cache misses, alias
+     walks) holds the entry longer but does not delay dependents. *)
+  let resolved = complete + eu.reaction.Hooks.commit_latency in
+  (* Publish results. *)
+  (match Uop.writes uop with
+  | Some dst -> t.reg_ready.(slot_of_loc dst) <- complete
+  | None -> ());
+  (match uop with
+  | Alu _ | Cmp _ -> t.reg_ready.(flags_slot) <- complete
+  | _ -> ());
+  (* Record occupancy release times. *)
+  t.iq.(t.iq_pos) <- complete;
+  t.iq_pos <- (t.iq_pos + 1) mod t.cfg.iq_size;
+  (match uop with
+  | Load _ | Guard { kind = Shadow_load; _ } ->
+    t.lq.(t.lq_pos) <- resolved;
+    t.lq_pos <- (t.lq_pos + 1) mod t.cfg.lq_size
+  | Store _ ->
+    t.sq.(t.sq_pos) <- resolved;
+    t.sq_pos <- (t.sq_pos + 1) mod t.cfg.sq_size
+  | _ -> ());
+  let commit = commit_in_order t resolved in
+  t.rob.(t.rob_pos) <- commit;
+  t.rob_pos <- (t.rob_pos + 1) mod t.cfg.rob_size;
+  (* Control resolution. *)
+  (match (uop, branch) with
+  | Branch { kind; _ }, Some (bi : Engine.branch_info) ->
+    let correct =
+      match kind with
+      | Uop.Call when bi.kind = Uop.Indirect ->
+        (* Indirect call: BTB-predicted target + RAS push of pc+4. *)
+        Bpred.ras_push t.bpred (pc + 4);
+        Bpred.resolve t.bpred ~pc ~kind:Uop.Indirect ~taken:true ~target:bi.target
+      | _ -> Bpred.resolve t.bpred ~pc ~kind:bi.kind ~taken:bi.taken ~target:bi.target
+    in
+    if not correct then redirect t ~resolve_time:complete ~reason:"pipeline.branch_flushes"
+  | _ -> ());
+  if eu.reaction.Hooks.flush then
+    redirect t ~resolve_time:resolved ~reason:"pipeline.alias_flushes";
+  complete
+
+let native_cost = function
+  | "malloc" | "calloc" | "realloc" | "free" -> 40
+  | "memset" | "memcpy" -> 60
+  | _ -> 10
+
+let on_step t (step : Engine.step) =
+  incr t "pipeline.macro_insns";
+  (* Front end: I-cache line fetch + fetch bandwidth + decode path. *)
+  let line = step.pc lsr 6 in
+  if line <> t.last_fetch_line then begin
+    t.last_fetch_line <- line;
+    let lat = Chex86_mem.Hierarchy.access t.hier ~kind:Inst ~write:false step.pc in
+    (* Charge miss stalls beyond the pipelined L1I hit latency. *)
+    if lat > 4 then t.fetch_cycle <- t.fetch_cycle + (lat - 4)
+  end;
+  consume_fetch_slot t;
+  if step.path = Decoder.Msrom then
+    t.fetch_cycle <- t.fetch_cycle + t.cfg.msrom_extra_cycles;
+  let dispatch_base = t.fetch_cycle + t.cfg.front_end_depth in
+  let native_latency = match step.native with Some n -> native_cost n | None -> 0 in
+  let n = List.length step.uops in
+  List.iteri
+    (fun i eu ->
+      (* Zero-idiom kills (PNA0): consume decode bandwidth only. *)
+      let killed = eu.Engine.reaction.Hooks.killed_uops in
+      if killed > 0 then begin
+        Chex86_stats.Counter.incr ~by:killed t.counters "pipeline.uops_killed";
+        t.fetch_slots <- t.fetch_slots + killed
+      end;
+      let branch = if i = n - 1 then step.branch else None in
+      ignore (process_uop t ~pc:step.pc ~dispatch_base ~native_latency eu branch))
+    step.uops
+
+let cycles t = t.last_commit
+
+let finalize t =
+  Chex86_stats.Counter.set t.counters "pipeline.cycles" (cycles t)

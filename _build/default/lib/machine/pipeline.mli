@@ -1,0 +1,21 @@
+(** Dependence-driven out-of-order timing model (Table III core).
+
+    Consumes engine step records in program order; models fetch/decode
+    bandwidth, ROB/IQ/LQ/SQ occupancy, register/memory dependences,
+    functional-unit pools, branch mispredictions and alias-misprediction
+    flushes. Wrong-path work appears as front-end stalls (squash cycles),
+    the standard trace-driven simplification. Fills the counter group
+    with ["pipeline.*"] events. *)
+
+type t
+
+val create : ?config:Config.t -> Chex86_mem.Hierarchy.t -> Chex86_stats.Counter.group -> t
+
+(** Account one executed macro-op (with its crack and reactions). *)
+val on_step : t -> Engine.step -> unit
+
+(** Cycles up to the last committed micro-op. *)
+val cycles : t -> int
+
+(** Record the final cycle count into the counter group. *)
+val finalize : t -> unit

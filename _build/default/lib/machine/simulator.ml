@@ -1,0 +1,77 @@
+(* Top-level simulation driver: functional engine feeding the timing
+   model, with an optional instruction budget.  Protection schemes hook
+   in via [Hooks.t]; violations they raise terminate the run and are
+   reported in the outcome. *)
+
+type outcome =
+  | Finished  (* guest executed Halt *)
+  | Budget_exhausted
+  | Faulted of exn  (* any exception from guest, allocator or monitor *)
+
+type result = {
+  outcome : outcome;
+  macro_insns : int;
+  uops : int;
+  uops_injected : int;
+  uops_killed : int;
+  cycles : int;
+  counters : Chex86_stats.Counter.group;
+  resident_bytes : int;
+  mem_bytes : int;
+}
+
+type t = {
+  engine : Engine.t;
+  pipeline : Pipeline.t;
+  hier : Chex86_mem.Hierarchy.t;
+  counters : Chex86_stats.Counter.group;
+}
+
+let create ?(config = Config.default) ?(hooks = Hooks.none ()) proc =
+  let counters = proc.Chex86_os.Process.counters in
+  let hier = Chex86_mem.Hierarchy.create counters in
+  let engine = Engine.create ~hooks proc in
+  let pipeline = Pipeline.create ~config hier counters in
+  { engine; pipeline; hier; counters }
+
+let engine t = t.engine
+let pipeline t = t.pipeline
+let hierarchy t = t.hier
+
+let result_of t outcome =
+  Pipeline.finalize t.pipeline;
+  let get = Chex86_stats.Counter.get t.counters in
+  {
+    outcome;
+    macro_insns = Engine.insn_count t.engine;
+    uops = get "pipeline.uops";
+    uops_injected = get "pipeline.uops_injected";
+    uops_killed = get "pipeline.uops_killed";
+    cycles = Pipeline.cycles t.pipeline;
+    counters = t.counters;
+    resident_bytes =
+      Chex86_mem.Image.resident_bytes t.engine.Engine.proc.Chex86_os.Process.mem;
+    mem_bytes = Chex86_mem.Hierarchy.mem_bytes t.hier;
+  }
+
+(* [run ?max_insns t] executes until Halt, fault, or budget. *)
+let run ?(max_insns = 50_000_000) t =
+  let rec loop () =
+    if Engine.insn_count t.engine >= max_insns then result_of t Budget_exhausted
+    else
+      match Engine.step t.engine with
+      | None -> result_of t Finished
+      | Some step ->
+        Pipeline.on_step t.pipeline step;
+        loop ()
+  in
+  try loop () with e -> result_of t (Faulted e)
+
+(* Functional-only run (no timing): used by profiling and by tests that
+   care about architectural results only. *)
+let run_functional ?(max_insns = 50_000_000) t =
+  let rec loop () =
+    if Engine.insn_count t.engine >= max_insns then result_of t Budget_exhausted
+    else match Engine.step t.engine with None -> result_of t Finished | Some _ -> loop ()
+  in
+  try loop () with e -> result_of t (Faulted e)

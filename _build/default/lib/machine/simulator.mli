@@ -1,0 +1,31 @@
+(** Top-level simulation driver: functional engine + timing model. *)
+
+type outcome =
+  | Finished  (** guest executed Halt *)
+  | Budget_exhausted
+  | Faulted of exn  (** guest fault, allocator abort, or security violation *)
+
+type result = {
+  outcome : outcome;
+  macro_insns : int;
+  uops : int;
+  uops_injected : int;
+  uops_killed : int;
+  cycles : int;
+  counters : Chex86_stats.Counter.group;
+  resident_bytes : int;
+  mem_bytes : int;  (** DRAM traffic *)
+}
+
+type t
+
+val create : ?config:Config.t -> ?hooks:Hooks.t -> Chex86_os.Process.t -> t
+val engine : t -> Engine.t
+val pipeline : t -> Pipeline.t
+val hierarchy : t -> Chex86_mem.Hierarchy.t
+
+(** Run with the timing model. *)
+val run : ?max_insns:int -> t -> result
+
+(** Functional-only run (no cycle accounting). *)
+val run_functional : ?max_insns:int -> t -> result

@@ -1,0 +1,1 @@
+lib/mem/hierarchy.mli: Chex86_stats Tlb

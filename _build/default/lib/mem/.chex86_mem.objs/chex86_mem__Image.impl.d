@@ -1,0 +1,1 @@
+lib/mem/image.ml: Bytes Char Hashtbl Int64

@@ -1,0 +1,154 @@
+(* Generic set-associative cache model with true-LRU replacement.
+
+   Used for the L1/L2 data and instruction caches, and reused (with
+   [sets = 1]) for the fully associative in-processor capability cache
+   and the alias victim cache of the paper.  Only tags are modelled; the
+   data payload lives in the functional memory image.
+
+   An optional victim cache catches blocks evicted from the main array,
+   as in the paper's "256-entry 2-way alias cache augmented by a
+   32-entry victim cache". *)
+
+type line = { mutable tag : int; mutable valid : bool; mutable stamp : int }
+
+type t = {
+  name : string;
+  sets : line array array;
+  set_bits : int;
+  line_bits : int;
+  hash_index : bool;  (* XOR-fold the block number into the set index *)
+  victim : t option;
+  counters : Chex86_stats.Counter.group;
+  mutable clock : int;
+}
+
+let rec log2 n = if n <= 1 then 0 else 1 + log2 (n / 2)
+
+let create ?victim ?(hash_index = false) ~name ~sets ~ways ~line_bytes counters =
+  if sets land (sets - 1) <> 0 then invalid_arg "Cache.create: sets not a power of 2";
+  {
+    name;
+    sets = Array.init sets (fun _ -> Array.init ways (fun _ -> { tag = -1; valid = false; stamp = 0 }));
+    set_bits = log2 sets;
+    line_bits = log2 line_bytes;
+    hash_index;
+    victim;
+    counters;
+    clock = 0;
+  }
+
+let set_count c = Array.length c.sets
+
+let index_and_tag c addr =
+  let block = addr lsr c.line_bits in
+  let idx =
+    if c.hash_index then
+      (block lxor (block lsr c.set_bits) lxor (block lsr (2 * c.set_bits)))
+      land (set_count c - 1)
+    else block land (set_count c - 1)
+  in
+  (idx, block lsr c.set_bits)
+
+let find_way set tag =
+  let n = Array.length set in
+  let rec go i = if i >= n then None else if set.(i).valid && set.(i).tag = tag then Some i else go (i + 1) in
+  go 0
+
+let lru_way set =
+  let best = ref 0 in
+  for i = 1 to Array.length set - 1 do
+    if (not set.(i).valid) && set.(!best).valid then best := i
+    else if set.(i).valid = set.(!best).valid && set.(i).stamp < set.(!best).stamp then
+      best := i
+  done;
+  !best
+
+(* Insert [tag] into [set], returning the evicted tag if a valid line was
+   displaced. *)
+let insert c set tag =
+  let way = lru_way set in
+  let victim_tag = if set.(way).valid then Some set.(way).tag else None in
+  set.(way).tag <- tag;
+  set.(way).valid <- true;
+  set.(way).stamp <- c.clock;
+  victim_tag
+
+(* Probe without the victim path. *)
+let probe_main c addr =
+  let idx, tag = index_and_tag c addr in
+  let set = c.sets.(idx) in
+  match find_way set tag with
+  | Some way ->
+    set.(way).stamp <- c.clock;
+    true
+  | None -> false
+
+let access c ~write:_ addr =
+  c.clock <- c.clock + 1;
+  let idx, tag = index_and_tag c addr in
+  let set = c.sets.(idx) in
+  match find_way set tag with
+  | Some way ->
+    set.(way).stamp <- c.clock;
+    Chex86_stats.Counter.incr c.counters (c.name ^ ".hit");
+    true
+  | None ->
+    let hit_in_victim =
+      match c.victim with
+      | None -> false
+      | Some v ->
+        v.clock <- v.clock + 1;
+        if probe_main v addr then begin
+          (* Swap back into the main array. *)
+          (match insert c set tag with
+          | Some evicted ->
+            let eaddr = ((evicted lsl c.set_bits) lor idx) lsl c.line_bits in
+            let vidx, vtag = index_and_tag v eaddr in
+            ignore (insert v v.sets.(vidx) vtag)
+          | None -> ());
+          true
+        end
+        else false
+    in
+    if hit_in_victim then begin
+      Chex86_stats.Counter.incr c.counters (c.name ^ ".victim_hit");
+      true
+    end
+    else begin
+      Chex86_stats.Counter.incr c.counters (c.name ^ ".miss");
+      (match insert c set tag with
+      | Some evicted ->
+        (match c.victim with
+        | Some v ->
+          let eaddr = ((evicted lsl c.set_bits) lor idx) lsl c.line_bits in
+          let vidx, vtag = index_and_tag v eaddr in
+          ignore (insert v v.sets.(vidx) vtag)
+        | None -> ())
+      | None -> ());
+      false
+    end
+
+let invalidate c addr =
+  let idx, tag = index_and_tag c addr in
+  let set = c.sets.(idx) in
+  (match find_way set tag with Some way -> set.(way).valid <- false | None -> ());
+  match c.victim with None -> () | Some v -> (
+    let vidx, vtag = index_and_tag v addr in
+    match find_way v.sets.(vidx) vtag with
+    | Some way -> v.sets.(vidx).(way).valid <- false
+    | None -> ())
+
+let invalidate_all c =
+  Array.iter (fun set -> Array.iter (fun l -> l.valid <- false) set) c.sets;
+  match c.victim with
+  | None -> ()
+  | Some v -> Array.iter (fun set -> Array.iter (fun l -> l.valid <- false) set) v.sets
+
+let hits c = Chex86_stats.Counter.get c.counters (c.name ^ ".hit")
+
+let misses c = Chex86_stats.Counter.get c.counters (c.name ^ ".miss")
+
+let miss_rate c =
+  let vh = Chex86_stats.Counter.get c.counters (c.name ^ ".victim_hit") in
+  let h = hits c + vh and m = misses c in
+  if h + m = 0 then 0. else float_of_int m /. float_of_int (h + m)

@@ -1,0 +1,29 @@
+(** Generic set-associative cache with true LRU and an optional victim
+    cache; [sets = 1] gives a fully associative cache. *)
+
+type t
+
+(** [create ?victim ~name ~sets ~ways ~line_bytes counters] — hit/miss
+    events are counted as ["<name>.hit"], ["<name>.miss"] and
+    ["<name>.victim_hit"] in [counters]. [sets] must be a power of two. *)
+val create :
+  ?victim:t ->
+  ?hash_index:bool ->
+  name:string ->
+  sets:int ->
+  ways:int ->
+  line_bytes:int ->
+  Chex86_stats.Counter.group ->
+  t
+
+(** [access c ~write addr] returns whether the access hit (main array or
+    victim); misses allocate. *)
+val access : t -> write:bool -> int -> bool
+
+val invalidate : t -> int -> unit
+val invalidate_all : t -> unit
+val hits : t -> int
+val misses : t -> int
+
+(** Misses / (hits + victim hits + misses); 0. before any access. *)
+val miss_rate : t -> float

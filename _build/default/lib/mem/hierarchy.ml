@@ -1,0 +1,100 @@
+(* Memory hierarchy timing: L1I + L1D (Table III: 32 KB, 8-way), a
+   unified L2, and main memory.  [access] returns the load-to-use latency
+   in cycles and accounts DRAM traffic in bytes for the bandwidth figure
+   (Fig 9 bottom): every L2 miss transfers one line from memory, and
+   dirty-line writebacks are modelled by charging a line transfer on the
+   first write to a line after it is (re)fetched. *)
+
+type config = {
+  l1_sets : int;
+  l1_ways : int;
+  l2_sets : int;
+  l2_ways : int;
+  line_bytes : int;
+  l1_latency : int;
+  l2_latency : int;
+  mem_latency : int;
+  tlb_walk_latency : int;
+}
+
+let default_config =
+  {
+    l1_sets = 64 (* 64 sets x 8 ways x 64 B = 32 KB *);
+    l1_ways = 8;
+    l2_sets = 512 (* 512 x 8 x 64 = 256 KB *);
+    l2_ways = 8;
+    line_bytes = 64;
+    l1_latency = 4;
+    l2_latency = 14;
+    mem_latency = 180;
+    tlb_walk_latency = 30;
+  }
+
+type t = {
+  config : config;
+  l1i : Cache.t;
+  l1d : Cache.t;
+  l2 : Cache.t;
+  dtlb : Tlb.t;
+  dirty_lines : (int, unit) Hashtbl.t;
+  counters : Chex86_stats.Counter.group;
+}
+
+let create ?(config = default_config) counters =
+  {
+    config;
+    l1i =
+      Cache.create ~name:"l1i" ~sets:config.l1_sets ~ways:config.l1_ways
+        ~line_bytes:config.line_bytes counters;
+    l1d =
+      Cache.create ~name:"l1d" ~sets:config.l1_sets ~ways:config.l1_ways
+        ~line_bytes:config.line_bytes counters;
+    l2 =
+      Cache.create ~name:"l2" ~sets:config.l2_sets ~ways:config.l2_ways
+        ~line_bytes:config.line_bytes counters;
+    dtlb = Tlb.create ~name:"dtlb" ~sets:16 ~ways:4 counters;
+    dirty_lines = Hashtbl.create 1024;
+    counters;
+  }
+
+let dtlb t = t.dtlb
+
+let line_of t addr = addr / t.config.line_bytes
+
+let mem_traffic t bytes = Chex86_stats.Counter.incr ~by:bytes t.counters "mem.bytes"
+
+type kind = Inst | Data
+
+(* [access t ~kind ~write addr] -> latency in cycles. *)
+let access t ~kind ~write addr =
+  let cfg = t.config in
+  let tlb_lat =
+    match kind with
+    | Inst -> 0 (* ITLB not modelled separately *)
+    | Data ->
+      let hit, _alias = Tlb.lookup t.dtlb addr in
+      if hit then 0 else cfg.tlb_walk_latency
+  in
+  let l1 = match kind with Inst -> t.l1i | Data -> t.l1d in
+  if Cache.access l1 ~write addr then begin
+    if write then Hashtbl.replace t.dirty_lines (line_of t addr) ();
+    tlb_lat + cfg.l1_latency
+  end
+  else if Cache.access t.l2 ~write addr then begin
+    if write then Hashtbl.replace t.dirty_lines (line_of t addr) ();
+    tlb_lat + cfg.l2_latency
+  end
+  else begin
+    (* Line fill from DRAM; a previously dirty copy of the displaced line
+       is charged as a writeback the first time the line is refetched. *)
+    mem_traffic t cfg.line_bytes;
+    let line = line_of t addr in
+    if Hashtbl.mem t.dirty_lines line then begin
+      Hashtbl.remove t.dirty_lines line;
+      mem_traffic t cfg.line_bytes
+    end;
+    if write then Hashtbl.replace t.dirty_lines line ();
+    tlb_lat + cfg.mem_latency
+  end
+
+let mem_bytes t = Chex86_stats.Counter.get t.counters "mem.bytes"

@@ -1,0 +1,35 @@
+(** L1I/L1D + L2 + DRAM timing model with bandwidth accounting. *)
+
+type config = {
+  l1_sets : int;
+  l1_ways : int;
+  l2_sets : int;
+  l2_ways : int;
+  line_bytes : int;
+  l1_latency : int;
+  l2_latency : int;
+  mem_latency : int;
+  tlb_walk_latency : int;
+}
+
+(** Table III-like: 32 KB 8-way L1s, 256 KB L2, 64 B lines. *)
+val default_config : config
+
+type t
+
+val create : ?config:config -> Chex86_stats.Counter.group -> t
+
+(** The data TLB (carries the alias-hosting bits). *)
+val dtlb : t -> Tlb.t
+
+type kind = Inst | Data
+
+(** [access t ~kind ~write addr] returns the access latency in cycles and
+    updates cache state, TLB state and DRAM traffic counters. *)
+val access : t -> kind:kind -> write:bool -> int -> int
+
+(** Extra DRAM traffic in bytes charged by shadow structures etc. *)
+val mem_traffic : t -> int -> unit
+
+(** Total DRAM bytes transferred so far. *)
+val mem_bytes : t -> int

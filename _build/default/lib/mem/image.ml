@@ -1,0 +1,93 @@
+(* Sparse byte-addressable guest memory.
+
+   Pages (4 KB) are allocated on first touch; the number of touched pages
+   is the program's resident set size, which Fig 9 compares across the
+   insecure baseline, ASan and CHEx86.  Values are little-endian.
+
+   Addresses and 64-bit values are OCaml native ints: guest virtual
+   addresses fit in 48 bits, and workloads never need the 64th value
+   bit. *)
+
+let page_bits = 12
+let page_size = 1 lsl page_bits
+
+type t = { pages : (int, Bytes.t) Hashtbl.t }
+
+let create () = { pages = Hashtbl.create 1024 }
+
+let page mem addr =
+  let vpn = addr lsr page_bits in
+  match Hashtbl.find_opt mem.pages vpn with
+  | Some bytes -> bytes
+  | None ->
+    let bytes = Bytes.make page_size '\000' in
+    Hashtbl.add mem.pages vpn bytes;
+    bytes
+
+let read_byte mem addr =
+  let vpn = addr lsr page_bits in
+  match Hashtbl.find_opt mem.pages vpn with
+  | Some bytes -> Char.code (Bytes.unsafe_get bytes (addr land (page_size - 1)))
+  | None -> 0
+
+let write_byte mem addr value =
+  let bytes = page mem addr in
+  Bytes.unsafe_set bytes (addr land (page_size - 1)) (Char.chr (value land 0xFF))
+
+(* [read mem addr n] reads an [n]-byte little-endian value (n <= 8).  The
+   common aligned-within-page case reads bytes directly; page-crossing
+   accesses fall back to per-byte reads. *)
+let read mem addr n =
+  let off = addr land (page_size - 1) in
+  if off + n <= page_size then begin
+    match Hashtbl.find_opt mem.pages (addr lsr page_bits) with
+    | None -> 0
+    | Some bytes ->
+      let rec go i acc =
+        if i < 0 then acc
+        else go (i - 1) ((acc lsl 8) lor Char.code (Bytes.unsafe_get bytes (off + i)))
+      in
+      go (n - 1) 0
+  end
+  else begin
+    let rec go i acc =
+      if i < 0 then acc else go (i - 1) ((acc lsl 8) lor read_byte mem (addr + i))
+    in
+    go (n - 1) 0
+  end
+
+let write mem addr n value =
+  let off = addr land (page_size - 1) in
+  if off + n <= page_size then begin
+    let bytes = page mem addr in
+    for i = 0 to n - 1 do
+      Bytes.unsafe_set bytes (off + i) (Char.unsafe_chr ((value lsr (8 * i)) land 0xFF))
+    done
+  end
+  else
+    for i = 0 to n - 1 do
+      write_byte mem (addr + i) ((value lsr (8 * i)) land 0xFF)
+    done
+
+let read64 mem addr = read mem addr 8
+let write64 mem addr v = write mem addr 8 v
+
+let zero_range mem addr len =
+  for i = 0 to len - 1 do
+    write_byte mem (addr + i) 0
+  done
+
+let resident_pages mem = Hashtbl.length mem.pages
+let resident_bytes mem = resident_pages mem * page_size
+
+(* IEEE double stored bit-exactly: the top bit of the payload does not
+   survive a 63-bit int, so doubles are stored via their bit pattern split
+   across the 8 bytes using Int64. *)
+let read_float mem addr =
+  let lo = read mem addr 4 and hi = read mem (addr + 4) 4 in
+  Int64.float_of_bits Int64.(logor (of_int lo) (shift_left (of_int hi) 32))
+
+let write_float mem addr f =
+  let bits = Int64.bits_of_float f in
+  write mem addr 4 Int64.(to_int (logand bits 0xFFFFFFFFL));
+  write mem (addr + 4) 4 Int64.(to_int (shift_right_logical bits 32))

@@ -1,0 +1,28 @@
+(** Sparse byte-addressable guest memory with first-touch page allocation. *)
+
+val page_bits : int
+val page_size : int
+
+type t
+
+val create : unit -> t
+val read_byte : t -> int -> int
+val write_byte : t -> int -> int -> unit
+
+(** [read mem addr n] reads an n-byte (n <= 8) little-endian value. *)
+val read : t -> int -> int -> int
+
+val write : t -> int -> int -> int -> unit
+val read64 : t -> int -> int
+val write64 : t -> int -> int -> unit
+val zero_range : t -> int -> int -> unit
+
+(** Pages touched so far (resident set size). *)
+val resident_pages : t -> int
+
+val resident_bytes : t -> int
+
+(** Bit-exact IEEE double accessors. *)
+val read_float : t -> int -> float
+
+val write_float : t -> int -> float -> unit

@@ -1,0 +1,88 @@
+(* TLB with the paper's alias-hosting extension.
+
+   Section V-C: "we extend the metadata bits in the TLB and the page
+   tables to include an alias-hosting bit that indicates if a page
+   contains a spilled pointer, to further minimize the number of
+   lookups".  The authoritative alias-hosting bit lives in page-table
+   metadata (a side table here); the TLB caches it per entry, and entries
+   are refreshed when a page first gains a spilled pointer. *)
+
+type entry = {
+  mutable vpn : int;
+  mutable valid : bool;
+  mutable stamp : int;
+  mutable alias_hosting : bool;
+}
+
+type t = {
+  name : string;
+  sets : entry array array;
+  set_bits : int;
+  page_table_bits : (int, bool ref) Hashtbl.t;  (* vpn -> alias-hosting *)
+  counters : Chex86_stats.Counter.group;
+  mutable clock : int;
+}
+
+let rec log2 n = if n <= 1 then 0 else 1 + log2 (n / 2)
+
+let create ~name ~sets ~ways counters =
+  {
+    name;
+    sets =
+      Array.init sets (fun _ ->
+          Array.init ways (fun _ ->
+              { vpn = -1; valid = false; stamp = 0; alias_hosting = false }));
+    set_bits = log2 sets;
+    page_table_bits = Hashtbl.create 256;
+    counters;
+    clock = 0;
+  }
+
+let page_alias_bit t vpn =
+  match Hashtbl.find_opt t.page_table_bits vpn with
+  | Some cell -> !cell
+  | None -> false
+
+(* Mark the page containing [addr] as hosting a spilled pointer alias;
+   refresh any cached TLB entry. *)
+let set_alias_hosting t addr =
+  let vpn = addr lsr Image.page_bits in
+  (match Hashtbl.find_opt t.page_table_bits vpn with
+  | Some cell -> cell := true
+  | None -> Hashtbl.add t.page_table_bits vpn (ref true));
+  let idx = vpn land (Array.length t.sets - 1) in
+  Array.iter
+    (fun e -> if e.valid && e.vpn = vpn then e.alias_hosting <- true)
+    t.sets.(idx)
+
+(* [lookup t addr] returns [(hit, alias_hosting)].  A miss triggers a
+   (modelled) page walk and fills the entry with the page-table bit. *)
+let lookup t addr =
+  t.clock <- t.clock + 1;
+  let vpn = addr lsr Image.page_bits in
+  let idx = vpn land (Array.length t.sets - 1) in
+  let set = t.sets.(idx) in
+  let n = Array.length set in
+  let rec find i = if i >= n then None else if set.(i).valid && set.(i).vpn = vpn then Some i else find (i + 1) in
+  match find 0 with
+  | Some way ->
+    set.(way).stamp <- t.clock;
+    Chex86_stats.Counter.incr t.counters (t.name ^ ".hit");
+    (true, set.(way).alias_hosting)
+  | None ->
+    Chex86_stats.Counter.incr t.counters (t.name ^ ".miss");
+    let way = ref 0 in
+    for i = 1 to n - 1 do
+      if (not set.(i).valid) && set.(!way).valid then way := i
+      else if set.(i).valid = set.(!way).valid && set.(i).stamp < set.(!way).stamp then
+        way := i
+    done;
+    let e = set.(!way) in
+    e.vpn <- vpn;
+    e.valid <- true;
+    e.stamp <- t.clock;
+    e.alias_hosting <- page_alias_bit t vpn;
+    (false, e.alias_hosting)
+
+let alias_hosting_pages t =
+  Hashtbl.fold (fun _ cell acc -> if !cell then acc + 1 else acc) t.page_table_bits 0

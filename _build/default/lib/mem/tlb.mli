@@ -1,0 +1,19 @@
+(** TLB extended with the paper's per-page alias-hosting bit. *)
+
+type t
+
+val create :
+  name:string -> sets:int -> ways:int -> Chex86_stats.Counter.group -> t
+
+(** [lookup t addr] is [(hit, alias_hosting)]; misses fill from page-table
+    metadata. *)
+val lookup : t -> int -> bool * bool
+
+(** Record that the page containing [addr] hosts a spilled pointer alias. *)
+val set_alias_hosting : t -> int -> unit
+
+(** Authoritative page-table bit (independent of TLB residency). *)
+val page_alias_bit : t -> int -> bool
+
+(** Number of pages currently marked alias-hosting. *)
+val alias_hosting_pages : t -> int

@@ -1,0 +1,1 @@
+lib/os/allocator.ml: Chex86_mem Chex86_stats Int Layout Map

@@ -1,0 +1,1 @@
+lib/os/allocator.mli: Chex86_mem Chex86_stats

@@ -1,0 +1,1 @@
+lib/os/heap_profile.mli: Allocator

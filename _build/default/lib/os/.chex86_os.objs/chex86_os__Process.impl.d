@@ -1,0 +1,1 @@
+lib/os/process.ml: Allocator Chex86_isa Chex86_mem Chex86_stats List Msrs

@@ -1,0 +1,350 @@
+(* A glibc-flavoured heap allocator, exploitable by design.
+
+   All allocator metadata lives in *guest memory* so that the How2Heap
+   suite behaves as it does against real allocators:
+
+   - boundary tags: for a user pointer [p], prev_size is at [p-16] and
+     size|flags at [p-8]; bit 0 of the size field is PREV_INUSE;
+   - free fastbin chunks keep a singly-linked fd at [p];
+   - free normal chunks sit in a circular doubly-linked unsorted bin
+     (fd at [p], bk at [p+8]) anchored in the arena;
+   - the arena itself (fastbin heads, unsorted anchor, top pointer) is in
+     guest memory at [Layout.arena_base] and can be corrupted;
+   - the top chunk's size field sits in the heap and is overflowable
+     (house-of-force).
+
+   Safety checks mirror the classic glibc set that the exploit suite
+   bypasses: fasttop double-free check, !prev double-free check, safe
+   unlink on coalescing (but, as in the glibc of the How2Heap era, the
+   unsorted-bin take-out path is unchecked, enabling the unsorted-bin
+   attack).  Violated checks raise [Heap_abort], the analogue of glibc's
+   abort. *)
+
+exception Heap_abort of string
+
+type event =
+  | Alloc of { addr : int; size : int }  (* user address, requested size *)
+  | Free of { addr : int }
+  | Alloc_failed of { size : int }
+
+type t = {
+  mem : Chex86_mem.Image.t;
+  mutable on_event : event -> unit;
+  (* OCaml-side bookkeeping of live allocations for profiling; the
+     authoritative metadata is the in-memory boundary tags. *)
+  mutable live : (int * int) Map.Make(Int).t;  (* base -> (size, id) *)
+  mutable next_id : int;
+  counters : Chex86_stats.Counter.group;
+}
+
+module Int_map = Map.Make (Int)
+
+let min_chunk = 32
+let fastbin_max = 128
+
+
+(* Arena layout (guest memory). *)
+let top_ptr_addr = Layout.arena_base + 0x8
+let fastbin_head_addr i = Layout.arena_base + 0x10 + (8 * i)
+let unsorted_anchor = Layout.arena_base + 0x60 (* fd at +0, bk at +8 *)
+
+let align16 n = (n + 15) land lnot 15
+let chunk_size_of_request req = max min_chunk (align16 (req + 16))
+let fastbin_index size = (size - min_chunk) / 16
+
+let read64 t a = Chex86_mem.Image.read64 t.mem a
+let write64 t a v = Chex86_mem.Image.write64 t.mem a v
+
+let size_field t p = read64 t (p - 8)
+let chunk_size t p = size_field t p land lnot 0xF
+let prev_inuse t p = size_field t p land 1 = 1
+let set_size t p size flags = write64 t (p - 8) (size lor flags)
+
+let top t = read64 t top_ptr_addr
+let set_top t p = write64 t top_ptr_addr p
+
+let create ?(initial_heap = 1 lsl 20) mem counters =
+  let t =
+    {
+      mem;
+      on_event = (fun _ -> ());
+      live = Int_map.empty;
+      next_id = 0;
+      counters;
+    }
+  in
+  (* Initial top chunk spans the whole initial heap. *)
+  let top0 = Layout.heap_base + 16 in
+  set_top t top0;
+  set_size t top0 initial_heap 1;
+  (* Empty circular unsorted bin. *)
+  write64 t unsorted_anchor unsorted_anchor;
+  write64 t (unsorted_anchor + 8) unsorted_anchor;
+  t
+
+let set_event_handler t f = t.on_event <- f
+
+(* --- doubly-linked list primitives -------------------------------------- *)
+
+(* Safe unlink (glibc's corrupted-double-linked-list check), used on
+   coalescing paths; the unsafe-unlink exploit constructs state that
+   passes the check. *)
+let unlink_checked t p =
+  let fd = read64 t p and bk = read64 t (p + 8) in
+  if read64 t (fd + 8) <> p || read64 t bk <> p then
+    raise (Heap_abort "corrupted double-linked list");
+  write64 t (fd + 8) bk;
+  write64 t bk fd
+
+(* Unchecked take-out used by the unsorted-bin scan in malloc, as in the
+   How2Heap-era glibc: this is the write primitive of the unsorted-bin
+   attack. *)
+let unlink_unchecked t p =
+  let fd = read64 t p and bk = read64 t (p + 8) in
+  write64 t bk fd;
+  write64 t (fd + 8) bk
+
+let unsorted_insert t p =
+  let first = read64 t unsorted_anchor in
+  write64 t p first;  (* p.fd *)
+  write64 t (p + 8) unsorted_anchor;  (* p.bk *)
+  write64 t (first + 8) p;  (* first.bk *)
+  write64 t unsorted_anchor p
+
+(* --- allocation ---------------------------------------------------------- *)
+
+let record_alloc t p req =
+  t.next_id <- t.next_id + 1;
+  t.live <- Int_map.add p (req, t.next_id) t.live;
+  Chex86_stats.Counter.incr t.counters "heap.mallocs";
+  t.on_event (Alloc { addr = p; size = req })
+
+let split_or_take t p csize need =
+  if csize - need >= min_chunk then begin
+    (* Split: remainder goes back to the unsorted bin. *)
+    let rem = p + need in
+    set_size t rem (csize - need) 1;
+    (* prev_size of chunk after remainder refers to remainder. *)
+    write64 t (rem + (csize - need) - 16) (csize - need);
+    set_size t p need (size_field t p land 1);
+    unsorted_insert t rem
+  end
+  else begin
+    (* Take whole chunk: mark next chunk's PREV_INUSE. *)
+    let next = p + csize in
+    if next <> top t then begin
+      let nsize = read64 t (next - 8) in
+      write64 t (next - 8) (nsize lor 1)
+    end
+  end
+
+let from_top t need =
+  let tp = top t in
+  let tsize = chunk_size t tp in
+  if tsize >= need + min_chunk then begin
+    let p = tp in
+    let new_top = tp + need in
+    set_size t new_top (tsize - need) 1;
+    set_top t new_top;
+    set_size t p need 1;
+    Some p
+  end
+  else None
+
+let grow_heap t need =
+  let tp = top t in
+  let tsize = chunk_size t tp in
+  let grown = max (need + min_chunk) (1 lsl 20) in
+  if tp + tsize + grown <= Layout.heap_max then begin
+    set_size t tp (tsize + grown) (size_field t tp land 1);
+    true
+  end
+  else false
+
+(* malloc_consolidate: large requests drain the fastbins into the
+   unsorted bin (glibc behaviour that fastbin_dup_consolidate relies on:
+   the chunk leaves the fastbin, so a second free of it passes the
+   fasttop check). *)
+let consolidate_fastbins t =
+  for i = 0 to (fastbin_max - min_chunk) / 16 do
+    let head_addr = fastbin_head_addr i in
+    let rec drain p =
+      if p <> 0 then begin
+        let next = read64 t p in
+        let size = chunk_size t p in
+        let nxt = p + size in
+        if nxt <> top t then begin
+          write64 t (nxt - 16) size;
+          write64 t (nxt - 8) (read64 t (nxt - 8) land lnot 1)
+        end;
+        unsorted_insert t p;
+        drain next
+      end
+    in
+    drain (read64 t head_addr);
+    write64 t head_addr 0
+  done
+
+let malloc t req =
+  if req <= 0 then begin
+    t.on_event (Alloc_failed { size = req });
+    0
+  end
+  else begin
+    let need = chunk_size_of_request req in
+    if need > fastbin_max then consolidate_fastbins t;
+    let p =
+      (* 1. fastbin exact-class pop (fd read from guest memory). *)
+      if need <= fastbin_max then begin
+        let head_addr = fastbin_head_addr (fastbin_index need) in
+        let head = read64 t head_addr in
+        if head <> 0 then begin
+          write64 t head_addr (read64 t head);
+          head
+        end
+        else 0
+      end
+      else 0
+    in
+    let p =
+      if p <> 0 then p
+      else begin
+        (* 2. first-fit scan of the unsorted bin. *)
+        let rec scan q guard =
+          if q = unsorted_anchor || guard = 0 then 0
+          else
+            let csize = chunk_size t q in
+            if csize >= need then begin
+              unlink_unchecked t q;
+              split_or_take t q csize need;
+              q
+            end
+            else scan (read64 t q) (guard - 1)
+        in
+        let p = scan (read64 t unsorted_anchor) 1024 in
+        if p <> 0 then p
+        else
+          (* 3. carve from the top chunk, growing the heap if needed. *)
+          match from_top t need with
+          | Some p -> p
+          | None ->
+            if grow_heap t need then
+              match from_top t need with Some p -> p | None -> 0
+            else 0
+      end
+    in
+    if p = 0 then begin
+      Chex86_stats.Counter.incr t.counters "heap.failed_mallocs";
+      t.on_event (Alloc_failed { size = req });
+      0
+    end
+    else begin
+      record_alloc t p req;
+      p
+    end
+  end
+
+(* --- free ---------------------------------------------------------------- *)
+
+let free t p =
+  if p = 0 then ()
+  else begin
+    if p land 0xF <> 0 then raise (Heap_abort "free(): invalid pointer");
+    let size = chunk_size t p in
+    if size < min_chunk || size land 0xF <> 0 || size > Layout.heap_max then
+      raise (Heap_abort "free(): invalid size");
+    Chex86_stats.Counter.incr t.counters "heap.frees";
+    t.live <- Int_map.remove p t.live;
+    t.on_event (Free { addr = p });
+    if size <= fastbin_max then begin
+      (* Fastbin push with glibc's fasttop double-free check. *)
+      let head_addr = fastbin_head_addr (fastbin_index size) in
+      let head = read64 t head_addr in
+      if head = p then raise (Heap_abort "double free or corruption (fasttop)");
+      write64 t p head;
+      write64 t head_addr p
+    end
+    else begin
+      let next = p + size in
+      let tp = top t in
+      if next <> tp then begin
+        let nsize_field = read64 t (next - 8) in
+        if nsize_field land 1 = 0 then
+          raise (Heap_abort "double free or corruption (!prev)")
+      end;
+      (* Backward coalescing via safe unlink. *)
+      let p, size =
+        if not (prev_inuse t p) then begin
+          let psize = read64 t (p - 16) in
+          let prev = p - psize in
+          unlink_checked t prev;
+          (prev, size + psize)
+        end
+        else (p, size)
+      in
+      let next = p + size in
+      if next = top t then begin
+        (* Merge into top. *)
+        let tsize = chunk_size t (top t) in
+        set_top t p;
+        set_size t p (size + tsize) (size_field t p land 1)
+      end
+      else begin
+        let nsize = chunk_size t next in
+        let nnext = next + nsize in
+        let next_free = nnext <> top t && read64 t (nnext - 8) land 1 = 0 in
+        let size =
+          if next_free then begin
+            unlink_checked t next;
+            size + nsize
+          end
+          else size
+        in
+        let next = p + size in
+        set_size t p size (size_field t p land 1);
+        (* Publish free state to the following chunk's boundary tag. *)
+        write64 t (next - 16) size;
+        let nfield = read64 t (next - 8) in
+        write64 t (next - 8) (nfield land lnot 1);
+        unsorted_insert t p
+      end
+    end
+  end
+
+(* --- derived entry points ------------------------------------------------ *)
+
+let calloc t ~count ~size =
+  let total = count * size in
+  let p = malloc t total in
+  if p <> 0 then Chex86_mem.Image.zero_range t.mem p total;
+  p
+
+let realloc t p req =
+  if p = 0 then malloc t req
+  else begin
+    let old_payload = chunk_size t p - 16 in
+    let q = malloc t req in
+    if q <> 0 then begin
+      let n = min old_payload req in
+      for i = 0 to (n / 8) - 1 do
+        write64 t (q + (8 * i)) (read64 t (p + (8 * i)))
+      done;
+      free t p
+    end;
+    q
+  end
+
+(* --- introspection -------------------------------------------------------- *)
+
+let live_allocations t = Int_map.cardinal t.live
+
+let find_allocation t addr =
+  match Int_map.find_last_opt (fun base -> base <= addr) t.live with
+  | Some (base, (size, id)) when addr < base + size -> Some (base, size, id)
+  | _ -> None
+
+let iter_live t f = Int_map.iter (fun base (size, id) -> f ~base ~size ~id) t.live
+
+let heap_used t =
+  let tp = top t in
+  tp - Layout.heap_base

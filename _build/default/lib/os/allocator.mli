@@ -1,0 +1,52 @@
+(** glibc-flavoured heap allocator with in-guest-memory metadata,
+    exploitable by design (fastbins, unsorted bin, boundary tags, top
+    chunk; fasttop / !prev / safe-unlink checks as in the How2Heap-era
+    glibc). *)
+
+(** Raised when a glibc-style integrity check fires (the analogue of
+    glibc's abort). *)
+exception Heap_abort of string
+
+type event =
+  | Alloc of { addr : int; size : int }
+  | Free of { addr : int }
+  | Alloc_failed of { size : int }
+
+type t
+
+val create : ?initial_heap:int -> Chex86_mem.Image.t -> Chex86_stats.Counter.group -> t
+
+(** Subscribe to allocation events (profiling, Fig 3). *)
+val set_event_handler : t -> (event -> unit) -> unit
+
+(** [malloc t req] returns the user pointer, or 0 on failure. *)
+val malloc : t -> int -> int
+
+(** May raise [Heap_abort] on detected metadata corruption. *)
+val free : t -> int -> unit
+
+val calloc : t -> count:int -> size:int -> int
+val realloc : t -> int -> int -> int
+
+(** Chunk size (including header) from the in-memory boundary tag. *)
+val chunk_size : t -> int -> int
+
+val chunk_size_of_request : int -> int
+val fastbin_max : int
+
+(** Arena addresses, exposed for the exploit suite. *)
+val top_ptr_addr : int
+
+val fastbin_head_addr : int -> int
+val unsorted_anchor : int
+
+(** Number of currently live (bookkept) allocations. *)
+val live_allocations : t -> int
+
+(** [(base, size, id)] of the live allocation containing [addr], if any. *)
+val find_allocation : t -> int -> (int * int * int) option
+
+val iter_live : t -> (base:int -> size:int -> id:int -> unit) -> unit
+
+(** Bytes between heap base and the top chunk. *)
+val heap_used : t -> int

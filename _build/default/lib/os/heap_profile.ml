@@ -1,0 +1,81 @@
+(* Allocation-behaviour profiler for Fig 3.
+
+   Collects, per benchmark: (1) the total number of allocations, (2) the
+   maximum number of live allocations at any point, and (3) the average
+   number of distinct allocations actually dereferenced in each execution
+   interval.  The paper used 100M-instruction intervals under valgrind;
+   our workloads are shorter, so the interval length is a parameter (the
+   harness documents its scaling in EXPERIMENTS.md). *)
+
+type t = {
+  heap : Allocator.t;
+  interval_insns : int;
+  mutable total_allocs : int;
+  mutable live : int;
+  mutable max_live : int;
+  mutable insns : int;
+  mutable insns_in_interval : int;
+  in_use : (int, unit) Hashtbl.t;  (* allocation ids touched this interval *)
+  mutable intervals : int;
+  mutable in_use_sum : int;
+}
+
+let create ?(interval_insns = 200_000) heap =
+  let t =
+    {
+      heap;
+      interval_insns;
+      total_allocs = 0;
+      live = 0;
+      max_live = 0;
+      insns = 0;
+      insns_in_interval = 0;
+      in_use = Hashtbl.create 256;
+      intervals = 0;
+      in_use_sum = 0;
+    }
+  in
+  Allocator.set_event_handler heap (function
+    | Allocator.Alloc _ ->
+      t.total_allocs <- t.total_allocs + 1;
+      t.live <- t.live + 1;
+      if t.live > t.max_live then t.max_live <- t.live
+    | Allocator.Free _ -> t.live <- max 0 (t.live - 1)
+    | Allocator.Alloc_failed _ -> ());
+  t
+
+let close_interval t =
+  if t.insns_in_interval > 0 then begin
+    t.intervals <- t.intervals + 1;
+    t.in_use_sum <- t.in_use_sum + Hashtbl.length t.in_use;
+    Hashtbl.reset t.in_use;
+    t.insns_in_interval <- 0
+  end
+
+let on_insn t =
+  t.insns <- t.insns + 1;
+  t.insns_in_interval <- t.insns_in_interval + 1;
+  if t.insns_in_interval >= t.interval_insns then close_interval t
+
+(* Distinct live buffers (by base address) dereferenced this interval —
+   the valgrind-level "allocations in use" of Fig 3. *)
+let on_access t addr =
+  match Allocator.find_allocation t.heap addr with
+  | Some (base, _, _) -> Hashtbl.replace t.in_use base ()
+  | None -> ()
+
+type report = {
+  total_allocations : int;
+  max_live_allocations : int;
+  avg_in_use_per_interval : float;
+}
+
+let report t =
+  close_interval t;
+  {
+    total_allocations = t.total_allocs;
+    max_live_allocations = t.max_live;
+    avg_in_use_per_interval =
+      (if t.intervals = 0 then 0.
+       else float_of_int t.in_use_sum /. float_of_int t.intervals);
+  }

@@ -1,0 +1,21 @@
+(** Allocation-behaviour profiler (Fig 3: total / max-live / in-use). *)
+
+type t
+
+(** Hooks the allocator's event stream. [interval_insns] is the profiling
+    interval (the paper's 100M instructions, scaled down). *)
+val create : ?interval_insns:int -> Allocator.t -> t
+
+(** Call once per retired macro instruction. *)
+val on_insn : t -> unit
+
+(** Call for every data access (classifies which allocation is in use). *)
+val on_access : t -> int -> unit
+
+type report = {
+  total_allocations : int;
+  max_live_allocations : int;
+  avg_in_use_per_interval : float;
+}
+
+val report : t -> report

@@ -1,0 +1,45 @@
+(* Guest address-space layout.
+
+   |  text   | 0x0040_0000  program macro-ops, 4 bytes each
+   |  data   | 0x0060_0000  globals (symbol table entries)
+   |  heap   | 0x1000_0000  allocator arena, grows up
+   |  stack  | 0x7FFF_FFF0  grows down
+   |  libc   | 0x7F00_0000_0000  runtime stubs (malloc, free, ...)
+   |  arena  | 0x7F10_0000_0000  allocator state (bin heads, top pointer)
+
+   Shadow structures (capability table, alias table, ASan shadow) live in
+   a disjoint shadow address space only reachable by privileged micro-ops,
+   modelled as separate OCaml structures with storage accounting. *)
+
+let heap_base = 0x1000_0000
+let heap_max = 0x4000_0000
+let libc_base = 0x7F00_0000_0000
+let arena_base = 0x7F10_0000_0000
+
+(* Each runtime stub occupies two macro-op slots: the native body at the
+   entry address and a Ret at entry+4 (the exit address registered in the
+   MSRs). *)
+let stub_stride = 16
+
+let externs = [ "malloc"; "free"; "calloc"; "realloc"; "memset"; "memcpy"; "puts"; "rand" ]
+
+let extern_addr name =
+  let rec index i = function
+    | [] -> invalid_arg (Printf.sprintf "Layout.extern_addr: unknown extern %S" name)
+    | x :: _ when x = name -> i
+    | _ :: rest -> index (i + 1) rest
+  in
+  libc_base + (stub_stride * index 0 externs)
+
+let extern_exit_addr name = extern_addr name + 4
+
+(* Inverse mapping used by the engine's fetch path. *)
+let extern_of_addr addr =
+  if addr < libc_base || addr >= libc_base + (stub_stride * List.length externs) then None
+  else
+    let off = addr - libc_base in
+    let idx = off / stub_stride in
+    let name = List.nth externs idx in
+    if off mod stub_stride = 0 then Some (name, `Entry)
+    else if off mod stub_stride = 4 then Some (name, `Exit)
+    else None

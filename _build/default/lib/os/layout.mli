@@ -1,0 +1,16 @@
+(** Guest address-space layout and the native libc stub addresses. *)
+
+val heap_base : int
+val heap_max : int
+val libc_base : int
+val arena_base : int
+
+(** Stub size: native body at +0, Ret at +4. *)
+val stub_stride : int
+
+val externs : string list
+val extern_addr : string -> int
+val extern_exit_addr : string -> int
+
+(** Classify a libc-region address as a stub entry or exit. *)
+val extern_of_addr : int -> (string * [ `Entry | `Exit ]) option

@@ -1,0 +1,34 @@
+(* Model-specific registers that register heap-management functions.
+
+   Section IV-C: "the OS kernel or other trusted entities may configure a
+   set of model-specific registers (MSRs) to register the instruction
+   address of the entry and exit points of key heap management
+   functions... along with their respective signatures".  Both entry and
+   exit are intercepted so capability generation/freeing happens in two
+   steps (busy bit protocol). *)
+
+type kind = Malloc | Calloc | Realloc | Free
+
+type registration = { kind : kind; entry : int; exit_ : int }
+
+type t = { mutable registrations : registration list; max_entries : int }
+
+let create ?(max_entries = 16) () = { registrations = []; max_entries }
+
+let register t ~kind ~entry ~exit_ =
+  if List.length t.registrations >= t.max_entries then
+    invalid_arg "Msrs.register: model-specific limit on entry/exit points reached";
+  t.registrations <- { kind; entry; exit_ } :: t.registrations
+
+(* Default registration for the modelled libc stubs. *)
+let register_default_libc t =
+  List.iter
+    (fun (name, kind) ->
+      register t ~kind ~entry:(Layout.extern_addr name)
+        ~exit_:(Layout.extern_exit_addr name))
+    [ ("malloc", Malloc); ("calloc", Calloc); ("realloc", Realloc); ("free", Free) ]
+
+let lookup_entry t pc = List.find_opt (fun r -> r.entry = pc) t.registrations
+let lookup_exit t pc = List.find_opt (fun r -> r.exit_ = pc) t.registrations
+
+let is_allocating = function Malloc | Calloc | Realloc -> true | Free -> false

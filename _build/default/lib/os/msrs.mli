@@ -1,0 +1,18 @@
+(** MSR registration of heap-management function entry/exit points. *)
+
+type kind = Malloc | Calloc | Realloc | Free
+type registration = { kind : kind; entry : int; exit_ : int }
+type t
+
+(** [max_entries] models the per-process limit on registered points. *)
+val create : ?max_entries:int -> unit -> t
+
+(** Raises [Invalid_argument] past the model-specific limit. *)
+val register : t -> kind:kind -> entry:int -> exit_:int -> unit
+
+(** Register malloc/calloc/realloc/free of the modelled libc. *)
+val register_default_libc : t -> unit
+
+val lookup_entry : t -> int -> registration option
+val lookup_exit : t -> int -> registration option
+val is_allocating : kind -> bool

@@ -1,0 +1,48 @@
+(* A loaded process: program text, memory image, heap and registered
+   MSRs.  The loader zero-fills the data segment (implicitly, via
+   first-touch pages), points the stack at [Program.stack_top] and
+   registers the default libc entry/exit points. *)
+
+(* Heap entry points used by the native libc stubs.  The default binds
+   the exploitable allocator directly; the ASan baseline interposes its
+   redzone + quarantine allocator here. *)
+type runtime = {
+  malloc : int -> int;
+  free : int -> unit;
+  calloc : count:int -> size:int -> int;
+  realloc : int -> int -> int;
+}
+
+type t = {
+  program : Chex86_isa.Program.t;
+  mem : Chex86_mem.Image.t;
+  heap : Allocator.t;
+  msrs : Msrs.t;
+  counters : Chex86_stats.Counter.group;
+  mutable runtime : runtime;
+}
+
+let default_runtime heap =
+  {
+    malloc = Allocator.malloc heap;
+    free = Allocator.free heap;
+    calloc = Allocator.calloc heap;
+    realloc = Allocator.realloc heap;
+  }
+
+let load ?counters program =
+  let counters =
+    match counters with Some c -> c | None -> Chex86_stats.Counter.create_group ()
+  in
+  let mem = Chex86_mem.Image.create () in
+  let heap = Allocator.create mem counters in
+  let msrs = Msrs.create () in
+  Msrs.register_default_libc msrs;
+  { program; mem; heap; msrs; counters; runtime = default_runtime heap }
+
+(* Symbol-table view handed to CHEx86 at load time for global-object
+   capability initialization (Section IV-C "Initial Configuration"). *)
+let symbols t =
+  List.map
+    (fun (g : Chex86_isa.Program.global) -> (g.name, g.addr, g.size, g.writable))
+    t.program.globals

@@ -1,0 +1,26 @@
+(** A loaded process: program, memory, heap, MSRs. *)
+
+(** Heap entry points used by the native libc stubs; the ASan baseline
+    interposes its redzone allocator here. *)
+type runtime = {
+  malloc : int -> int;
+  free : int -> unit;
+  calloc : count:int -> size:int -> int;
+  realloc : int -> int -> int;
+}
+
+type t = {
+  program : Chex86_isa.Program.t;
+  mem : Chex86_mem.Image.t;
+  heap : Allocator.t;
+  msrs : Msrs.t;
+  counters : Chex86_stats.Counter.group;
+  mutable runtime : runtime;
+}
+
+val default_runtime : Allocator.t -> runtime
+val load : ?counters:Chex86_stats.Counter.group -> Chex86_isa.Program.t -> t
+
+(** [(name, addr, size, writable)] for every global, for capability
+    initialization; read-only objects yield non-writable capabilities. *)
+val symbols : t -> (string * int * int * bool) list

@@ -1,0 +1,1 @@
+lib/stats/render.ml: Array Float List Printf String

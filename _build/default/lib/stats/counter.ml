@@ -1,0 +1,50 @@
+(* Named event counters, grouped per simulation run.
+
+   A [group] is a flat namespace of monotonically increasing integer
+   counters.  Components allocate counters lazily by name; benches read
+   them back by name after a run.  Ratios between two counters are a
+   common derived quantity (miss rates, prediction accuracy), so they get
+   a dedicated accessor. *)
+
+type group = { counters : (string, int ref) Hashtbl.t }
+
+let create_group () = { counters = Hashtbl.create 64 }
+
+let find group name =
+  match Hashtbl.find_opt group.counters name with
+  | Some cell -> cell
+  | None ->
+    let cell = ref 0 in
+    Hashtbl.add group.counters name cell;
+    cell
+
+let incr ?(by = 1) group name =
+  let cell = find group name in
+  cell := !cell + by
+
+let set group name value =
+  let cell = find group name in
+  cell := value
+
+let get group name =
+  match Hashtbl.find_opt group.counters name with Some cell -> !cell | None -> 0
+
+let reset group = Hashtbl.iter (fun _ cell -> cell := 0) group.counters
+
+(* [ratio g num den] is num / (num + den) if [den] names the complementary
+   event (e.g. hits vs misses), expressed by the caller passing the two
+   event names; returns 0. when both are zero. *)
+let ratio group ~num ~den =
+  let n = float_of_int (get group num) and d = float_of_int (get group den) in
+  if n +. d = 0. then 0. else n /. (n +. d)
+
+let fraction group ~num ~total =
+  let n = float_of_int (get group num) and t = float_of_int (get group total) in
+  if t = 0. then 0. else n /. t
+
+let to_list group =
+  Hashtbl.fold (fun name cell acc -> (name, !cell) :: acc) group.counters []
+  |> List.sort compare
+
+let pp ppf group =
+  List.iter (fun (name, v) -> Format.fprintf ppf "%-40s %d@." name v) (to_list group)

@@ -1,0 +1,29 @@
+(** Named event counters, grouped per simulation run. *)
+
+type group
+
+val create_group : unit -> group
+
+(** [incr ?by g name] bumps counter [name], creating it at zero if new. *)
+val incr : ?by:int -> group -> string -> unit
+
+(** [set g name v] overwrites counter [name] with [v]. *)
+val set : group -> string -> int -> unit
+
+(** [get g name] is the current value, or 0 if the counter was never touched. *)
+val get : group -> string -> int
+
+(** Reset every counter in the group to zero (the set of names is kept). *)
+val reset : group -> unit
+
+(** [ratio g ~num ~den] is num/(num+den), for hit/miss style pairs; 0. when
+    both are zero. *)
+val ratio : group -> num:string -> den:string -> float
+
+(** [fraction g ~num ~total] is num/total; 0. when total is zero. *)
+val fraction : group -> num:string -> total:string -> float
+
+(** All counters, sorted by name. *)
+val to_list : group -> (string * int) list
+
+val pp : Format.formatter -> group -> unit

@@ -1,0 +1,64 @@
+(* Integer-valued histogram with streaming insertion.
+
+   Used for allocation-size distributions (Fig 3), temporal PID stride
+   histograms (Table II) and squash-length distributions (Fig 8).  Values
+   are kept exactly in a hash table keyed by sample value; summary
+   statistics are derived on demand. *)
+
+type t = {
+  buckets : (int, int ref) Hashtbl.t;
+  mutable count : int;
+  mutable sum : int;
+  mutable min_v : int;
+  mutable max_v : int;
+}
+
+let create () =
+  { buckets = Hashtbl.create 64; count = 0; sum = 0; min_v = max_int; max_v = min_int }
+
+let add ?(weight = 1) hist value =
+  (match Hashtbl.find_opt hist.buckets value with
+  | Some cell -> cell := !cell + weight
+  | None -> Hashtbl.add hist.buckets value (ref weight));
+  hist.count <- hist.count + weight;
+  hist.sum <- hist.sum + (value * weight);
+  if value < hist.min_v then hist.min_v <- value;
+  if value > hist.max_v then hist.max_v <- value
+
+let count hist = hist.count
+let total hist = hist.sum
+let min_value hist = if hist.count = 0 then 0 else hist.min_v
+let max_value hist = if hist.count = 0 then 0 else hist.max_v
+
+let mean hist =
+  if hist.count = 0 then 0. else float_of_int hist.sum /. float_of_int hist.count
+
+let sorted hist =
+  Hashtbl.fold (fun v cell acc -> (v, !cell) :: acc) hist.buckets []
+  |> List.sort compare
+
+(* Smallest value v such that at least [q] of the mass is <= v. *)
+let percentile hist q =
+  if hist.count = 0 then 0
+  else begin
+    let threshold = q *. float_of_int hist.count in
+    let rec walk acc = function
+      | [] -> hist.max_v
+      | (v, n) :: rest ->
+        let acc = acc + n in
+        if float_of_int acc >= threshold then v else walk acc rest
+    in
+    walk 0 (sorted hist)
+  end
+
+let mode hist =
+  List.fold_left
+    (fun (best_v, best_n) (v, n) -> if n > best_n then (v, n) else (best_v, best_n))
+    (0, 0) (sorted hist)
+  |> fst
+
+let fold f init hist = List.fold_left (fun acc (v, n) -> f acc v n) init (sorted hist)
+
+let pp ppf hist =
+  Format.fprintf ppf "n=%d mean=%.2f min=%d max=%d p50=%d p99=%d" hist.count (mean hist)
+    (min_value hist) (max_value hist) (percentile hist 0.50) (percentile hist 0.99)

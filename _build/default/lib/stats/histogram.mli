@@ -1,0 +1,34 @@
+(** Exact integer histogram with streaming insertion. *)
+
+type t
+
+val create : unit -> t
+
+(** [add ?weight h v] records [weight] (default 1) occurrences of value [v]. *)
+val add : ?weight:int -> t -> int -> unit
+
+(** Number of samples recorded (sum of weights). *)
+val count : t -> int
+
+(** Sum of all recorded values (weighted). *)
+val total : t -> int
+
+val min_value : t -> int
+val max_value : t -> int
+val mean : t -> float
+
+(** [percentile h q] with [q] in [0,1]: smallest value covering a [q]
+    fraction of the mass. 0 on an empty histogram. *)
+val percentile : t -> float -> int
+
+(** Most frequent value; 0 on an empty histogram. *)
+val mode : t -> int
+
+(** [fold f init h] folds [f acc value count] over buckets in increasing
+    value order. *)
+val fold : ('a -> int -> int -> 'a) -> 'a -> t -> 'a
+
+(** Sorted (value, count) pairs. *)
+val sorted : t -> (int * int) list
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,101 @@
+(* ASCII rendering of the paper's tables and figures.
+
+   Every bench target prints through these helpers so all output shares
+   one look: a boxed title, a column-aligned table, and horizontal bar
+   charts for the figures (one bar per benchmark/series point). *)
+
+let rule width = String.make width '-'
+
+let banner title =
+  let width = max 60 (String.length title + 4) in
+  Printf.sprintf "%s\n| %-*s |\n%s" (rule width) (width - 4) title (rule width)
+
+(* --- Tables ------------------------------------------------------------ *)
+
+type align = Left | Right
+
+let pad align width s =
+  let n = String.length s in
+  if n >= width then s
+  else
+    match align with
+    | Left -> s ^ String.make (width - n) ' '
+    | Right -> String.make (width - n) ' ' ^ s
+
+(* [table ~header rows] renders rows of string cells under a header, each
+   column sized to its widest cell.  Numeric-looking cells are
+   right-aligned. *)
+let table ~header rows =
+  let all = header :: rows in
+  let columns = List.fold_left (fun acc row -> max acc (List.length row)) 0 all in
+  let widths = Array.make columns 0 in
+  List.iter
+    (fun row ->
+      List.iteri (fun i cell -> widths.(i) <- max widths.(i) (String.length cell)) row)
+    all;
+  let numeric s =
+    s <> ""
+    && String.for_all (fun c -> (c >= '0' && c <= '9') || String.contains ".%xX-+e" c) s
+  in
+  let render_row row =
+    List.mapi
+      (fun i cell -> pad (if numeric cell then Right else Left) widths.(i) cell)
+      row
+    |> String.concat "  "
+  in
+  let body = List.map render_row rows in
+  let head = render_row header in
+  let sep =
+    Array.to_list (Array.map (fun w -> String.make w '-') widths) |> String.concat "  "
+  in
+  String.concat "\n" (head :: sep :: body)
+
+(* --- Bar charts --------------------------------------------------------- *)
+
+(* [bars ~unit series] renders labelled horizontal bars scaled so the
+   largest value spans [width] characters.  Values are printed next to the
+   bars with [fmt]. *)
+let bars ?(width = 44) ?(fmt = fun v -> Printf.sprintf "%.2f" v) ?(unit_label = "") series =
+  let max_v = List.fold_left (fun acc (_, v) -> max acc v) 0. series in
+  let max_v = if max_v <= 0. then 1. else max_v in
+  let label_w =
+    List.fold_left (fun acc (label, _) -> max acc (String.length label)) 0 series
+  in
+  List.map
+    (fun (label, v) ->
+      let n = int_of_float (Float.round (v /. max_v *. float_of_int width)) in
+      let n = max 0 (min width n) in
+      Printf.sprintf "%s |%s%s %s%s" (pad Left label_w label) (String.make n '#')
+        (String.make (width - n) ' ')
+        (fmt v) unit_label)
+    series
+  |> String.concat "\n"
+
+(* Grouped bars: one block per label with one bar per series, used for the
+   multi-configuration figures (Fig 6 has six configurations per
+   benchmark). *)
+let grouped_bars ?(width = 40) ?(fmt = fun v -> Printf.sprintf "%.2f" v) ~series_names
+    groups =
+  let max_v =
+    List.fold_left
+      (fun acc (_, vs) -> List.fold_left (fun acc v -> max acc v) acc vs)
+      0. groups
+  in
+  let max_v = if max_v <= 0. then 1. else max_v in
+  let name_w =
+    List.fold_left (fun acc name -> max acc (String.length name)) 0 series_names
+  in
+  let render_group (label, vs) =
+    let lines =
+      List.map2
+        (fun name v ->
+          let n = int_of_float (Float.round (v /. max_v *. float_of_int width)) in
+          let n = max 0 (min width n) in
+          Printf.sprintf "  %s |%s %s" (pad Left name_w name) (String.make n '#') (fmt v))
+        series_names vs
+    in
+    String.concat "\n" ((label ^ ":") :: lines)
+  in
+  String.concat "\n" (List.map render_group groups)
+
+let percent v = Printf.sprintf "%.1f%%" (v *. 100.)

@@ -1,0 +1,27 @@
+(** ASCII rendering helpers shared by every bench target. *)
+
+(** Boxed section title. *)
+val banner : string -> string
+
+(** [table ~header rows] column-aligns string cells; numeric-looking cells
+    are right-aligned. *)
+val table : header:string list -> string list list -> string
+
+(** Labelled horizontal bar chart, scaled to the largest value. *)
+val bars :
+  ?width:int ->
+  ?fmt:(float -> string) ->
+  ?unit_label:string ->
+  (string * float) list ->
+  string
+
+(** One block per group label, one bar per series inside each block. *)
+val grouped_bars :
+  ?width:int ->
+  ?fmt:(float -> string) ->
+  series_names:string list ->
+  (string * float list) list ->
+  string
+
+(** [percent 0.123] is ["12.3%"]. *)
+val percent : float -> string

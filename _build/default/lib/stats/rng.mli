@@ -1,0 +1,20 @@
+(** Deterministic splitmix64 PRNG; each consumer carries its own stream. *)
+
+type t
+
+val create : int -> t
+val next_int64 : t -> int64
+
+(** Uniform int in [0, bound); raises [Invalid_argument] if bound <= 0. *)
+val int : t -> int -> int
+
+val bool : t -> bool
+
+(** Uniform float in [0, 1). *)
+val float : t -> float
+
+(** Uniform pick from a non-empty array. *)
+val choose : t -> 'a array -> 'a
+
+(** In-place Fisher-Yates shuffle. *)
+val shuffle : t -> 'a array -> unit

@@ -1,0 +1,1 @@
+lib/workloads/bench_spec.ml: Chex86_isa

@@ -1,0 +1,1 @@
+lib/workloads/bench_spec.mli: Chex86_isa

@@ -1,0 +1,1 @@
+lib/workloads/kernels.ml: Asm Chex86_isa Insn Reg

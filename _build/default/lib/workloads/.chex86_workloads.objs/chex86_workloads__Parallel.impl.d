@@ -1,0 +1,1 @@
+lib/workloads/parallel.ml: Asm Chex86_isa Insn Kernels List Printf

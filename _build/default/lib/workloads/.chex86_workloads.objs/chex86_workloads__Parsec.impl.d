@@ -1,0 +1,1 @@
+lib/workloads/parsec.ml: Asm Bench_spec Chex86_isa Insn Kernels

@@ -1,0 +1,1 @@
+lib/workloads/patterns.ml: Array Asm Chex86_isa Insn Kernels List

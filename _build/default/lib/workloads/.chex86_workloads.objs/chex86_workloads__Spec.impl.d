@@ -1,0 +1,1 @@
+lib/workloads/spec.ml: Asm Bench_spec Chex86_isa Insn Kernels

@@ -1,0 +1,1 @@
+lib/workloads/workloads.ml: Bench_spec List Parsec Printf Spec

@@ -1,0 +1,15 @@
+(* Benchmark descriptor shared by the SPEC-like and PARSEC-like
+   workloads.  [build ~scale] assembles the guest program; scale 1 is the
+   size the bench harness runs (a few hundred thousand macro-ops), tests
+   use smaller scales. *)
+
+type suite = Spec | Parsec
+
+type t = {
+  name : string;
+  suite : suite;
+  description : string;
+  build : scale:int -> Chex86_isa.Program.t;
+}
+
+let suite_name = function Spec -> "SPEC CPU2017" | Parsec -> "PARSEC 2.1"

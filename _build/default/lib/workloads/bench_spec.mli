@@ -1,0 +1,14 @@
+(** Benchmark workload descriptor. *)
+
+type suite = Spec | Parsec
+
+type t = {
+  name : string;
+  suite : suite;
+  description : string;
+  build : scale:int -> Chex86_isa.Program.t;
+      (** scale 1 is the bench-harness size (a few hundred thousand
+          macro-ops) *)
+}
+
+val suite_name : suite -> string

@@ -1,0 +1,136 @@
+(* Shared program-fragment generators for the synthetic benchmarks.
+
+   Every kernel emits guest code through the Asm builder.  Register
+   conventions used throughout the workloads:
+
+     r12..r15   long-lived pointers / table bases
+     rbx        current object pointer
+     rcx        loop counters (clobbered by Asm.loop_n)
+     rax        values / malloc results
+     rsi, rdi   call arguments
+     r10, r11   scratch / LCG state
+
+   Pointer tables are the crux of the reproduction: storing a malloc'd
+   pointer into a table is a *spilled pointer alias*, and loading it back
+   is the pointer-reload event the alias predictor speculates on. *)
+
+open Chex86_isa
+open Insn
+
+let table_slot table i = mem_abs (table + (8 * i))
+
+(* Allocate [count] buffers of [size] bytes, storing the pointers into a
+   global table at [table]: table[i] = malloc(size).  Emitted as a guest
+   loop (one load/store PC), as compiled code would be. Clobbers r8. *)
+let alloc_into_table b ~table ~count ~size =
+  Asm.emit b (Mov (W64, Reg R8, Imm 0));
+  let top = Asm.fresh b "alloc_tab" in
+  Asm.label b top;
+  Asm.call_malloc b size;
+  Asm.emit b (Mov (W64, Mem (mem ~index:R8 ~scale:8 ~disp:table ()), Reg RAX));
+  Asm.emit b (Inc (Reg R8));
+  Asm.emit b (Cmp (Reg R8, Imm count));
+  Asm.emit b (Jcc (Lt, top))
+
+(* Free every pointer in the table (reloading each — temporal pattern:
+   stride through the allocation-order PIDs). Clobbers r8. *)
+let free_table b ~table ~count =
+  Asm.emit b (Mov (W64, Reg R8, Imm 0));
+  let top = Asm.fresh b "free_tab" in
+  Asm.label b top;
+  Asm.emit b (Mov (W64, Reg RDI, Mem (mem ~index:R8 ~scale:8 ~disp:table ())));
+  Asm.call_extern b "free";
+  Asm.emit b (Inc (Reg R8));
+  Asm.emit b (Cmp (Reg R8, Imm count));
+  Asm.emit b (Jcc (Lt, top))
+
+(* Touch [words] 8-byte words of the buffer whose pointer is in [ptr],
+   read-modify-write with a stride of [stride] words. *)
+let touch_buffer b ~ptr ~words ~stride =
+  Asm.emit b (Mov (W64, Reg R10, Imm 0));
+  let top = Asm.fresh b "touch" in
+  Asm.label b top;
+  Asm.emit b (Inc (Mem (mem ~base:ptr ~index:R10 ~scale:8 ())));
+  Asm.emit b (Alu (Add, Reg R10, Imm stride));
+  Asm.emit b (Cmp (Reg R10, Imm words));
+  Asm.emit b (Jcc (Lt, top))
+
+(* In-register LCG producing a pseudo-random value in [dst]; state kept
+   in [state] (updated).  Used for data-dependent access patterns without
+   calling the rand stub. *)
+let lcg_next b ~state ~dst =
+  Asm.emit b (Alu (Imul, Reg state, Imm 1103515245));
+  Asm.emit b (Alu (Add, Reg state, Imm 12345));
+  Asm.emit b (Mov (W64, Reg dst, Reg state));
+  Asm.emit b (Alu (Shr, Reg dst, Imm 16))
+
+(* dst <- table[random % count]: the canonical random pointer reload. *)
+let random_pointer b ~table ~count ~state ~dst =
+  lcg_next b ~state ~dst:R11;
+  (* Cheap modulus for power-of-two counts; callers pass powers of 2. *)
+  assert (count land (count - 1) = 0);
+  Asm.emit b (Alu (And, Reg R11, Imm (count - 1)));
+  Asm.emit b (Mov (W64, Reg dst, Mem (mem ~index:R11 ~scale:8 ~disp:table ())))
+
+(* Build a singly linked list of [n] nodes of [node_size] bytes: next
+   pointer at offset 0, payload at offset 8.  Head pointer left in
+   [head] and also spilled to the global slot [head_slot]. *)
+let build_list b ~n ~node_size ~head ~head_slot =
+  Asm.emit b (Mov (W64, Mem (mem_abs head_slot), Imm 0));
+  Asm.loop_n b ~counter:RCX ~n (fun () ->
+      Asm.emit b (Push (Reg RCX));
+      Asm.call_malloc b node_size;
+      Asm.emit b (Pop RCX);
+      (* node->next = head_slot contents; head_slot = node *)
+      Asm.emit b (Mov (W64, Reg R10, Mem (mem_abs head_slot)));
+      Asm.emit b (Mov (W64, Mem (mem_of_reg RAX), Reg R10));
+      Asm.emit b (Mov (W64, Mem (mem_abs head_slot), Reg RAX)));
+  Asm.emit b (Mov (W64, Reg head, Mem (mem_abs head_slot)))
+
+(* Chase the list from [head], incrementing each payload (the paper's
+   Listing 1 `chase`). Clobbers rbx. *)
+let chase_list b ~head =
+  if not (Reg.equal head RBX) then Asm.emit b (Mov (W64, Reg RBX, Reg head));
+  let top = Asm.fresh b "chase" and out = Asm.fresh b "chase_done" in
+  Asm.label b top;
+  Asm.emit b (Test (Reg RBX, Reg RBX));
+  Asm.emit b (Jcc (Eq, out));
+  Asm.emit b (Inc (Mem (mem ~base:RBX ~disp:8 ())));
+  Asm.emit b (Mov (W64, Reg R10, Mem (mem ~base:RBX ~disp:8 ())));
+  Asm.emit b (Alu (Add, Reg R10, Mem (mem ~base:RBX ~disp:16 ())));
+  Asm.emit b (Mov (W64, Mem (mem ~base:RBX ~disp:16 ()), Reg R10));
+  Asm.emit b (Mov (W64, Reg RBX, Mem (mem_of_reg RBX)));
+  Asm.emit b (Jmp top);
+  Asm.label b out
+
+(* FP stencil over a buffer pointed to by [ptr]: for each element,
+   x[i] = (x[i] * c0 + x[i+1]) / c1. *)
+let fp_stream b ~ptr ~words =
+  Asm.emit b (Mov (W64, Reg R10, Imm 0));
+  let top = Asm.fresh b "fp" in
+  Asm.label b top;
+  Asm.emit b (Movsd_load (0, mem ~base:ptr ~index:R10 ~scale:8 ()));
+  Asm.emit b (Movsd_load (1, mem ~base:ptr ~index:R10 ~scale:8 ~disp:8 ()));
+  Asm.emit b (Fp (Fmul, 0, 2));  (* xmm2 holds c0, set by caller *)
+  Asm.emit b (Fp (Fadd, 0, 1));
+  Asm.emit b (Fp (Fdiv, 0, 3));  (* xmm3 holds c1 *)
+  Asm.emit b (Movsd_store (mem ~base:ptr ~index:R10 ~scale:8 (), 0));
+  Asm.emit b (Inc (Reg R10));
+  Asm.emit b (Cmp (Reg R10, Imm (words - 1)));
+  Asm.emit b (Jcc (Lt, top))
+
+(* Load FP constants into xmm2/xmm3 through integer conversion. *)
+let fp_constants b =
+  Asm.emit b (Mov (W64, Reg R10, Imm 3));
+  Asm.emit b (Cvtsi2sd (2, R10));
+  Asm.emit b (Mov (W64, Reg R10, Imm 7));
+  Asm.emit b (Cvtsi2sd (3, R10))
+
+(* A function frame that spills callee-saved pointer registers to the
+   stack and reloads them: exercises stack spilled-pointer aliases. *)
+let with_spills b body =
+  Asm.emit b (Push (Reg R12));
+  Asm.emit b (Push (Reg R13));
+  body ();
+  Asm.emit b (Pop R13);
+  Asm.emit b (Pop R12)

@@ -1,0 +1,40 @@
+(** Shared program-fragment generators for the synthetic benchmarks.
+    Register conventions are documented in the implementation header. *)
+
+open Chex86_isa
+
+(** table[i] = malloc(size) for i < count, as a guest loop. Clobbers r8. *)
+val alloc_into_table : Asm.t -> table:int -> count:int -> size:int -> unit
+
+(** free(table[i]) for i < count, as a guest loop. Clobbers r8. *)
+val free_table : Asm.t -> table:int -> count:int -> unit
+
+(** Read-modify-write [words] words of *[ptr] with the given stride.
+    Clobbers r10. *)
+val touch_buffer : Asm.t -> ptr:Reg.t -> words:int -> stride:int -> unit
+
+(** In-register LCG step: dst <- next(state). *)
+val lcg_next : Asm.t -> state:Reg.t -> dst:Reg.t -> unit
+
+(** dst <- table[random mod count]; count must be a power of two.
+    Clobbers r11. *)
+val random_pointer : Asm.t -> table:int -> count:int -> state:Reg.t -> dst:Reg.t -> unit
+
+(** Build an [n]-node singly linked list (next at +0); head left in
+    [head] and spilled to [head_slot]. Clobbers rcx, r10. *)
+val build_list : Asm.t -> n:int -> node_size:int -> head:Reg.t -> head_slot:int -> unit
+
+(** Walk the list from [head], updating two payload fields per node
+    (the paper's Listing 1 chase). Clobbers rbx, r10. *)
+val chase_list : Asm.t -> head:Reg.t -> unit
+
+(** FP stencil over *[ptr]; xmm2/xmm3 must hold constants
+    ([fp_constants]). Clobbers r10, xmm0-1. *)
+val fp_stream : Asm.t -> ptr:Reg.t -> words:int -> unit
+
+val fp_constants : Asm.t -> unit
+
+(** Wrap [body] in pushes/pops of r12/r13 (stack pointer spills). *)
+val with_spills : Asm.t -> (unit -> unit) -> unit
+
+val table_slot : int -> int -> Insn.mem

@@ -1,0 +1,109 @@
+(* Multithreaded workloads for the SMP machine.
+
+   The paper's PARSEC runs are multithreaded and model cross-core
+   capability/alias cache invalidation traffic.  [canneal_mt] builds a
+   canneal-style program with one entry label per hardware thread:
+   every thread owns a partition of one shared element table, performs
+   random swaps within it, and periodically frees + reallocates an
+   element — each free broadcasts a capability invalidation and each
+   pointer spill an alias invalidation to the other cores. *)
+
+open Chex86_isa
+open Insn
+
+let elements_per_thread = 256
+
+(* Entry labels for [Smp.run ~threads]. *)
+let thread_labels n = List.init n (fun i -> Printf.sprintf "thread%d" i)
+
+let canneal_mt ~threads ~scale =
+  if threads < 1 then invalid_arg "Parallel.canneal_mt: threads < 1";
+  let b = Asm.create () in
+  let total = threads * elements_per_thread in
+  let netlist = Asm.global b "netlist_mt" (8 * total) in
+  (* A dummy _start so single-threaded tools can still load the program;
+     it simply runs thread 0. *)
+  Asm.label b "_start";
+  Asm.emit b (Jmp "thread0");
+  for tid = 0 to threads - 1 do
+    let base_slot = tid * elements_per_thread in
+    Asm.label b (Printf.sprintf "thread%d" tid);
+    (* allocate this thread's partition *)
+    Asm.emit b (Mov (W64, Reg R8, Imm 0));
+    let fill = Asm.fresh b "fill" in
+    Asm.label b fill;
+    Asm.call_malloc b 48;
+    Asm.emit b
+      (Mov (W64, Mem (mem ~index:R8 ~scale:8 ~disp:(netlist + (8 * base_slot)) ()), Reg RAX));
+    Asm.emit b (Inc (Reg R8));
+    Asm.emit b (Cmp (Reg R8, Imm elements_per_thread));
+    Asm.emit b (Jcc (Lt, fill));
+    (* anneal within the partition *)
+    Asm.emit b (Mov (W64, Reg R9, Imm (0xfeed + (tid * 7919))));
+    Asm.loop_n b ~counter:R15 ~n:(scale * 1_500) (fun () ->
+        Kernels.random_pointer b ~table:(netlist + (8 * base_slot))
+          ~count:elements_per_thread ~state:R9 ~dst:RBX;
+        Kernels.random_pointer b ~table:(netlist + (8 * base_slot))
+          ~count:elements_per_thread ~state:R9 ~dst:RDX;
+        Asm.emit b (Mov (W64, Reg RAX, Mem (mem ~base:RBX ~disp:8 ())));
+        Asm.emit b (Mov (W64, Reg R10, Mem (mem ~base:RDX ~disp:8 ())));
+        Asm.emit b (Mov (W64, Mem (mem ~base:RBX ~disp:8 ()), Reg R10));
+        Asm.emit b (Mov (W64, Mem (mem ~base:RDX ~disp:8 ()), Reg RAX));
+        (* periodic element churn: the cross-core invalidation source.
+           rdx came from slot r11 (random_pointer's last index), so the
+           freed element's slot is exactly the one reinstalled below. *)
+        Asm.emit b (Test (Reg R15, Imm 63));
+        let skip = Asm.fresh b "skip_churn" in
+        Asm.emit b (Jcc (Ne, skip));
+        Asm.emit b (Mov (W64, Reg RDI, Reg RDX));
+        Asm.call_extern b "free";
+        Asm.call_malloc b 48;
+        Asm.emit b
+          (Mov
+             ( W64,
+               Mem (mem ~index:R11 ~scale:8 ~disp:(netlist + (8 * base_slot)) ()),
+               Reg RAX ));
+        Asm.label b skip);
+    Asm.emit b Halt
+  done;
+  Asm.build b
+
+(* A deliberately racy variant: thread 1 uses a pointer that thread 0
+   publishes and then frees — a cross-core use-after-free that must be
+   caught through the *shared* capability table even though thread 1's
+   core never saw the free locally. *)
+let cross_core_uaf () =
+  let b = Asm.create () in
+  let slot = Asm.global b "shared_ptr" 8 in
+  let ready = Asm.global b "ready_flag" 8 in
+  Asm.label b "_start";
+  Asm.emit b (Jmp "thread0");
+  (* thread 0: publish, let thread 1 spin up, then free *)
+  Asm.label b "thread0";
+  Asm.call_malloc b 64;
+  Asm.emit b (Mov (W64, Mem (mem_abs slot), Reg RAX));
+  Asm.emit b (Mov (W64, Mem (mem_abs ready), Imm 1));
+  (* give thread 1 time to load the pointer *)
+  Asm.loop_n b ~counter:RCX ~n:64 (fun () -> Asm.emit b Nop);
+  Asm.emit b (Mov (W64, Reg RDI, Mem (mem_abs slot)));
+  Asm.call_extern b "free";
+  (* signal the free and halt *)
+  Asm.emit b (Mov (W64, Mem (mem_abs ready), Imm 2));
+  Asm.emit b Halt;
+  (* thread 1: wait for the pointer, wait for the free, then use it *)
+  Asm.label b "thread1";
+  let wait1 = Asm.fresh b "wait_ptr" in
+  Asm.label b wait1;
+  Asm.emit b (Mov (W64, Reg RAX, Mem (mem_abs ready)));
+  Asm.emit b (Cmp (Reg RAX, Imm 1));
+  Asm.emit b (Jcc (Lt, wait1));
+  Asm.emit b (Mov (W64, Reg R12, Mem (mem_abs slot)));
+  let wait2 = Asm.fresh b "wait_free" in
+  Asm.label b wait2;
+  Asm.emit b (Mov (W64, Reg RAX, Mem (mem_abs ready)));
+  Asm.emit b (Cmp (Reg RAX, Imm 2));
+  Asm.emit b (Jcc (Lt, wait2));
+  (* the cross-core stale write *)
+  Asm.emit b (Mov (W64, Mem (mem_of_reg R12), Imm 0xBAD));
+  Asm.emit b Halt;
+  Asm.build b

@@ -1,0 +1,15 @@
+(** Multithreaded workloads for the SMP machine. *)
+
+val elements_per_thread : int
+
+(** Entry labels ["thread0"]..["thread<n-1>"] for [Chex86.Smp.run]. *)
+val thread_labels : int -> string list
+
+(** canneal-style annealing over per-thread partitions of one shared
+    element table, with periodic free/realloc churn (the cross-core
+    invalidation source). *)
+val canneal_mt : threads:int -> scale:int -> Chex86_isa.Program.t
+
+(** Thread 0 publishes then frees a pointer thread 1 uses: a cross-core
+    use-after-free detected through the shared capability table. *)
+val cross_core_uaf : unit -> Chex86_isa.Program.t

@@ -1,0 +1,236 @@
+(* Synthetic stand-ins for the PARSEC 2.1 benchmarks of the paper
+   (blackscholes, bodytrack, fluidanimate, freqmine, swaptions, canneal),
+   single-threaded regions-of-interest.  PARSEC skews FP/array heavy,
+   which is why the paper's CHEx86 overhead is lower there (9% vs 14%)
+   and the ASan gap larger (2.2x). *)
+
+open Chex86_isa
+open Insn
+
+(* blackscholes: an array of option structs; per-element FP pricing with
+   mul/div/sqrt chains; negligible pointer traffic. *)
+let blackscholes ~scale =
+  let b = Asm.create () in
+  let opts_slot = Asm.global b "options" 8 in
+  Asm.label b "_start";
+  let n = 4096 in
+  Asm.call_malloc b (n * 40);
+  Asm.emit b (Mov (W64, Mem (mem_abs opts_slot), Reg RAX));
+  Asm.emit b (Mov (W64, Reg R12, Reg RAX));
+  Kernels.fp_constants b;
+  Asm.loop_n b ~counter:R15 ~n:(scale * 12) (fun () ->
+      Asm.emit b (Mov (W64, Reg R10, Imm 0));
+      let opt = Asm.fresh b "opt" in
+      Asm.label b opt;
+      Asm.emit b (Movsd_load (0, mem ~base:R12 ~index:R10 ~scale:8 ()));
+      Asm.emit b (Fp (Fmul, 0, 2));
+      Asm.emit b (Fp (Fsqrt, 1, 0));
+      Asm.emit b (Fp (Fdiv, 1, 3));
+      Asm.emit b (Fp (Fadd, 0, 1));
+      Asm.emit b (Movsd_store (mem ~base:R12 ~index:R10 ~scale:8 ~disp:8 (), 0));
+      Asm.emit b (Alu (Add, Reg R10, Imm 5));
+      Asm.emit b (Cmp (Reg R10, Imm ((n * 5) - 5)));
+      Asm.emit b (Jcc (Lt, opt)));
+  Asm.emit b (Mov (W64, Reg RDI, Reg R12));
+  Asm.call_extern b "free";
+  Asm.emit b Halt;
+  Asm.build b
+
+(* bodytrack: per-frame particle weights — an FP pass over a particle
+   array plus a per-frame scratch allocation. *)
+let bodytrack ~scale =
+  let b = Asm.create () in
+  let particles_slot = Asm.global b "particles" 8 in
+  Asm.label b "_start";
+  let n = 2048 in
+  Asm.call_malloc b (n * 24);
+  Asm.emit b (Mov (W64, Mem (mem_abs particles_slot), Reg RAX));
+  Asm.emit b (Mov (W64, Reg R12, Reg RAX));
+  Kernels.fp_constants b;
+  Asm.loop_n b ~counter:R15 ~n:(scale * 60) (fun () ->
+      (* scratch frame buffer *)
+      Asm.call_malloc b 512;
+      Asm.emit b (Mov (W64, Reg R13, Reg RAX));
+      Kernels.touch_buffer b ~ptr:R13 ~words:64 ~stride:1;
+      (* weight pass *)
+      Asm.emit b (Mov (W64, Reg R10, Imm 0));
+      let pass = Asm.fresh b "pass" in
+      Asm.label b pass;
+      Asm.emit b (Movsd_load (0, mem ~base:R12 ~index:R10 ~scale:8 ()));
+      Asm.emit b (Fp (Fmul, 0, 2));
+      Asm.emit b (Fp (Fadd, 0, 3));
+      Asm.emit b (Movsd_store (mem ~base:R12 ~index:R10 ~scale:8 ~disp:8 (), 0));
+      Asm.emit b (Alu (Add, Reg R10, Imm 3));
+      Asm.emit b (Cmp (Reg R10, Imm ((n * 3) - 3)));
+      Asm.emit b (Jcc (Lt, pass));
+      Asm.call_free b R13);
+  Asm.emit b (Mov (W64, Reg RDI, Reg R12));
+  Asm.call_extern b "free";
+  Asm.emit b Halt;
+  Asm.build b
+
+(* fluidanimate: grid cells each owning a particle list — pointer chase
+   within a cell, FP update per particle. *)
+let fluidanimate ~scale =
+  let b = Asm.create () in
+  let cells = 64 in
+  let grid = Asm.global b "grid" (8 * cells) in
+  Asm.label b "_start";
+  for i = 0 to cells - 1 do
+    Kernels.build_list b ~n:12 ~node_size:48 ~head:RBX ~head_slot:(grid + (8 * i))
+  done;
+  Kernels.fp_constants b;
+  Asm.loop_n b ~counter:R15 ~n:(scale * 40) (fun () ->
+      Asm.emit b (Mov (W64, Reg R14, Imm 0));
+      let cell = Asm.fresh b "cell" in
+      Asm.label b cell;
+      Asm.emit b (Mov (W64, Reg RBX, Mem (mem ~index:R14 ~scale:8 ~disp:grid ())));
+      let particle = Asm.fresh b "particle" and done_ = Asm.fresh b "cell_done" in
+      Asm.label b particle;
+      Asm.emit b (Test (Reg RBX, Reg RBX));
+      Asm.emit b (Jcc (Eq, done_));
+      Asm.emit b (Movsd_load (0, mem ~base:RBX ~disp:8 ()));
+      Asm.emit b (Fp (Fmul, 0, 2));
+      Asm.emit b (Fp (Fadd, 0, 3));
+      Asm.emit b (Movsd_store (mem ~base:RBX ~disp:16 (), 0));
+      Asm.emit b (Movsd_load (1, mem ~base:RBX ~disp:24 ()));
+      Asm.emit b (Fp (Fadd, 1, 0));
+      Asm.emit b (Movsd_store (mem ~base:RBX ~disp:32 (), 1));
+      Asm.emit b (Inc (Mem (mem ~base:RBX ~disp:40 ())));
+      Asm.emit b (Mov (W64, Reg RBX, Mem (mem_of_reg RBX)));
+      Asm.emit b (Jmp particle);
+      Asm.label b done_;
+      Asm.emit b (Inc (Reg R14));
+      Asm.emit b (Cmp (Reg R14, Imm cells));
+      Asm.emit b (Jcc (Lt, cell)));
+  Asm.emit b Halt;
+  Asm.build b
+
+(* freqmine: FP-tree mining flavour — many small node allocations linked
+   into chains keyed by a header table, then repeated conditional-pattern
+   walks. *)
+let freqmine ~scale =
+  let b = Asm.create () in
+  let headers = 16 in
+  let header_table = Asm.global b "header_table" (8 * headers) in
+  Asm.label b "_start";
+  for i = 0 to headers - 1 do
+    Kernels.build_list b ~n:(16 + (4 * (i mod 4))) ~node_size:40 ~head:RBX
+      ~head_slot:(header_table + (8 * i))
+  done;
+  Asm.loop_n b ~counter:R15 ~n:(scale * 250) (fun () ->
+      Asm.emit b (Mov (W64, Reg R14, Imm 0));
+      let item = Asm.fresh b "item" in
+      Asm.label b item;
+      Asm.emit b (Mov (W64, Reg RBX, Mem (mem ~index:R14 ~scale:8 ~disp:header_table ())));
+      Kernels.chase_list b ~head:RBX;
+      Asm.emit b (Mov (W64, Reg RBX, Mem (mem ~index:R14 ~scale:8 ~disp:header_table ())));
+      Kernels.chase_list b ~head:RBX;
+      Asm.emit b (Inc (Reg R14));
+      Asm.emit b (Cmp (Reg R14, Imm headers));
+      Asm.emit b (Jcc (Lt, item)));
+  Asm.emit b Halt;
+  Asm.build b
+
+(* swaptions: HJM Monte-Carlo flavour — per-trial scratch buffers and FP
+   accumulation driven by the rand stub. *)
+let swaptions ~scale =
+  let b = Asm.create () in
+  let acc_slot = Asm.global b "accum" 8 in
+  Asm.label b "_start";
+  Kernels.fp_constants b;
+  Asm.loop_n b ~counter:R15 ~n:(scale * 150) (fun () ->
+      Asm.call_malloc b 256;
+      Asm.emit b (Mov (W64, Reg R13, Reg RAX));
+      (* fill with rand-derived values and integrate *)
+      Asm.emit b (Mov (W64, Reg R14, Imm 0));
+      let trial = Asm.fresh b "trial" in
+      Asm.label b trial;
+      Asm.call_extern b "rand";
+      Asm.emit b (Alu (And, Reg RAX, Imm 1023));
+      Asm.emit b (Cvtsi2sd (0, RAX));
+      Asm.emit b (Fp (Fdiv, 0, 3));
+      Asm.emit b (Fp (Fmul, 0, 2));
+      Asm.emit b (Movsd_store (mem ~base:R13 ~index:R14 ~scale:8 (), 0));
+      Asm.emit b (Inc (Reg R14));
+      Asm.emit b (Cmp (Reg R14, Imm 32));
+      Asm.emit b (Jcc (Lt, trial));
+      (* integrate *)
+      Asm.emit b (Mov (W64, Reg R14, Imm 0));
+      let sum = Asm.fresh b "sum" in
+      Asm.label b sum;
+      Asm.emit b (Movsd_load (1, mem ~base:R13 ~index:R14 ~scale:8 ()));
+      Asm.emit b (Fp (Fadd, 4, 1));
+      Asm.emit b (Inc (Reg R14));
+      Asm.emit b (Cmp (Reg R14, Imm 32));
+      Asm.emit b (Jcc (Lt, sum));
+      Asm.emit b (Movsd_store (mem_abs acc_slot, 4));
+      Asm.call_free b R13);
+  Asm.emit b Halt;
+  Asm.build b
+
+(* canneal: netlist element swaps — two random pointer reloads per step
+   from a big element table and field exchanges through them. *)
+let canneal ~scale =
+  let b = Asm.create () in
+  let elements = 2048 in
+  let netlist = Asm.global b "netlist" (8 * elements) in
+  Asm.label b "_start";
+  Kernels.alloc_into_table b ~table:netlist ~count:elements ~size:48;
+  Asm.emit b (Mov (W64, Reg R9, Imm 0xfeed));
+  Asm.loop_n b ~counter:R15 ~n:(scale * 8_000) (fun () ->
+      Kernels.random_pointer b ~table:netlist ~count:elements ~state:R9 ~dst:RBX;
+      Kernels.random_pointer b ~table:netlist ~count:elements ~state:R9 ~dst:RDX;
+      (* cost evaluation touches several fields of both elements *)
+      Asm.emit b (Mov (W64, Reg RAX, Mem (mem ~base:RBX ~disp:8 ())));
+      Asm.emit b (Alu (Add, Reg RAX, Mem (mem ~base:RBX ~disp:16 ())));
+      Asm.emit b (Alu (Add, Reg RAX, Mem (mem ~base:RBX ~disp:24 ())));
+      Asm.emit b (Mov (W64, Reg R10, Mem (mem ~base:RDX ~disp:8 ())));
+      Asm.emit b (Alu (Add, Reg R10, Mem (mem ~base:RDX ~disp:16 ())));
+      Asm.emit b (Alu (Add, Reg R10, Mem (mem ~base:RDX ~disp:24 ())));
+      (* then swaps the cost fields *)
+      Asm.emit b (Mov (W64, Mem (mem ~base:RBX ~disp:8 ()), Reg R10));
+      Asm.emit b (Mov (W64, Mem (mem ~base:RDX ~disp:8 ()), Reg RAX)));
+  Kernels.free_table b ~table:netlist ~count:elements;
+  Asm.emit b Halt;
+  Asm.build b
+
+let all : Bench_spec.t list =
+  [
+    {
+      name = "blackscholes";
+      suite = Bench_spec.Parsec;
+      description = "FP option pricing over a flat array";
+      build = blackscholes;
+    };
+    {
+      name = "bodytrack";
+      suite = Bench_spec.Parsec;
+      description = "per-frame FP particle weights + scratch allocations";
+      build = bodytrack;
+    };
+    {
+      name = "fluidanimate";
+      suite = Bench_spec.Parsec;
+      description = "grid cells with particle-list chases + FP updates";
+      build = fluidanimate;
+    };
+    {
+      name = "freqmine";
+      suite = Bench_spec.Parsec;
+      description = "FP-tree chains walked from a header table";
+      build = freqmine;
+    };
+    {
+      name = "swaptions";
+      suite = Bench_spec.Parsec;
+      description = "Monte-Carlo trials with scratch buffers";
+      build = swaptions;
+    };
+    {
+      name = "canneal";
+      suite = Bench_spec.Parsec;
+      description = "random element swaps through a pointer table";
+      build = canneal;
+    };
+  ]

@@ -1,0 +1,5 @@
+(** Synthetic stand-ins for the paper's PARSEC 2.1 benchmarks
+    (blackscholes, bodytrack, fluidanimate, freqmine, swaptions,
+    canneal). *)
+
+val all : Bench_spec.t list

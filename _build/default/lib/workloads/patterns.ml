@@ -1,0 +1,79 @@
+(* Guest programs realizing the temporal pointer access patterns of
+   Table II, used to regenerate the table from real machine-level PID
+   streams and to exercise the alias/stride predictor.
+
+   Each generator allocates [buffers] heap objects (consecutive PIDs in
+   allocation order) and then dereferences them in the pattern's order.
+   The monitor's capability-check trace recovers the PID sequence. *)
+
+open Chex86_isa
+open Insn
+
+let buffers = 8
+let rounds = 40
+
+(* The whole deref order is materialized in a global array walked by ONE
+   guest loop, so the pointer reload happens at a single instruction
+   address — the paper's predictability is keyed by PC, and an unrolled
+   sequence would defeat the predictor by construction. *)
+let build order_fn =
+  let order =
+    List.concat_map (fun r -> order_fn r) (List.init rounds (fun r -> r))
+  in
+  let n = List.length order in
+  let b = Asm.create () in
+  let table = Asm.global b "pattern_table" (8 * buffers) in
+  let order_tab = Asm.global b "pattern_order" (8 * max n 1) in
+  Asm.label b "_start";
+  Kernels.alloc_into_table b ~table ~count:buffers ~size:64;
+  List.iteri
+    (fun i slot -> Asm.emit b (Mov (W64, Mem (mem_abs (order_tab + (8 * i))), Imm slot)))
+    order;
+  (* for (i = 0; i < n; i++) { p = table[order[i]]; p->count++; } *)
+  Asm.emit b (Mov (W64, Reg RCX, Imm 0));
+  let loop = Asm.fresh b "pattern" in
+  Asm.label b loop;
+  Asm.emit b (Mov (W64, Reg R10, Mem (mem ~index:RCX ~scale:8 ~disp:order_tab ())));
+  Asm.emit b (Mov (W64, Reg RBX, Mem (mem ~index:R10 ~scale:8 ~disp:table ())));
+  Asm.emit b (Inc (Mem (mem ~base:RBX ~disp:8 ())));
+  Asm.emit b (Inc (Reg RCX));
+  Asm.emit b (Cmp (Reg RCX, Imm n));
+  Asm.emit b (Jcc (Lt, loop));
+  Asm.emit b Halt;
+  Asm.build b
+
+let constant () = build (fun _ -> [ 3; 3; 3 ])
+
+(* One monotone pass: buffers dereferenced in allocation order. *)
+let stride () = build (fun r -> if r = 0 then List.init buffers (fun i -> i) else [])
+
+(* Each buffer accessed in a batch before moving to the next. *)
+let batch_stride () = build (fun r -> if r < buffers then List.init 4 (fun _ -> r) else [])
+
+let batch_no_stride () =
+  let order = [| 5; 1; 6; 2; 7; 0; 4; 3 |] in
+  build (fun r -> if r < buffers then List.init 4 (fun _ -> order.(r)) else [])
+
+let repeat_stride () = build (fun _ -> [ 0; 1; 2 ])
+
+let repeat_no_stride () = build (fun _ -> [ 4; 0; 6 ])
+
+(* Interleaved strided subsequences, non-periodic (Table II row 7:
+   "26 23 29 27 24 30 28"). *)
+let random_stride () =
+  build (fun r -> if r = 0 then [ 4; 1; 7; 5; 2; 6; 3 ] else [])
+
+let random_no_stride () =
+  build (fun r -> if r = 0 then [ 0; 5; 2; 7; 0; 3; 6; 2; 5; 0; 7; 3 ] else [])
+
+let all =
+  [
+    ("Constant", constant);
+    ("Stride", stride);
+    ("Batch + Stride", batch_stride);
+    ("Batch + No Stride", batch_no_stride);
+    ("Repeat + Stride", repeat_stride);
+    ("Repeat + No Stride", repeat_no_stride);
+    ("Random + Stride", random_stride);
+    ("Random + No Stride", random_no_stride);
+  ]

@@ -1,0 +1,9 @@
+(** Guest programs realizing the Table II temporal pointer access
+    patterns; the pointer reload happens at a single load PC so the
+    PC-indexed alias predictor can exercise the pattern. *)
+
+val buffers : int
+val rounds : int
+
+(** (Table II row label, program generator) for all eight patterns. *)
+val all : (string * (unit -> Chex86_isa.Program.t)) list

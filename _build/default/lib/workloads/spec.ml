@@ -1,0 +1,392 @@
+(* Synthetic stand-ins for the C/C++ SPEC CPU2017 benchmarks the paper
+   evaluates (perlbench, gcc, mcf, xalancbmk, deepsjeng, leela, lbm,
+   nab).  Each is calibrated to the pointer/allocation behaviour the
+   paper reports: mcf and xalancbmk are the pointer-intensive outliers of
+   Fig 6, perlbench exhibits the most Batch+Stride temporal patterns
+   (Table II), lbm is FP streaming with almost no pointer activity, and
+   xalancbmk makes by far the most allocations (Fig 3). *)
+
+open Chex86_isa
+open Insn
+
+(* mcf: network-simplex flavour — a table of long-lived node objects
+   walked in a data-dependent pseudo-random order.  Every iteration
+   reloads a node pointer from the table (random temporal PID pattern,
+   hostile to the alias predictor) and read-modify-writes three fields. *)
+let mcf ~scale =
+  let b = Asm.create () in
+  let nodes = 1024 in
+  let table = Asm.global b "node_table" (8 * nodes) in
+  (* potential = potential + cost; flow ^= orientation *)
+  let update_node () =
+    Asm.emit b (Mov (W64, Reg RAX, Mem (mem ~base:RBX ~disp:8 ())));
+    Asm.emit b (Alu (Add, Reg RAX, Mem (mem ~base:RBX ~disp:16 ())));
+    Asm.emit b (Mov (W64, Mem (mem ~base:RBX ~disp:8 ()), Reg RAX));
+    Asm.emit b (Alu (Xor, Mem (mem ~base:RBX ~disp:24 ()), Reg RAX))
+  in
+  Asm.label b "_start";
+  Kernels.alloc_into_table b ~table ~count:nodes ~size:64;
+  Asm.emit b (Mov (W64, Reg R9, Imm 0x9e3779b9));
+  Asm.loop_n b ~counter:R15 ~n:(scale * 12) (fun () ->
+      (* pricing sweep: arcs scanned in allocation order (strided,
+         predictable reloads)... *)
+      Asm.emit b (Mov (W64, Reg R12, Imm 0));
+      let sweep = Asm.fresh b "sweep" in
+      Asm.label b sweep;
+      Asm.emit b (Mov (W64, Reg RBX, Mem (mem ~index:R12 ~scale:8 ~disp:table ())));
+      update_node ();
+      Asm.emit b (Inc (Reg R12));
+      Asm.emit b (Cmp (Reg R12, Imm (nodes / 2)));
+      Asm.emit b (Jcc (Lt, sweep));
+      (* ...followed by data-dependent pivot chasing (random reloads). *)
+      Asm.loop_n b ~counter:RCX ~n:128 (fun () ->
+          Kernels.random_pointer b ~table ~count:nodes ~state:R9 ~dst:RBX;
+          update_node ()));
+  Kernels.free_table b ~table ~count:nodes;
+  Asm.emit b Halt;
+  Asm.build b
+
+(* xalancbmk: DOM-like churn — repeatedly build a small tree of nodes,
+   walk it, and free it.  The heaviest allocator traffic of the suite
+   and intense pointer reloading while walking. *)
+let xalancbmk ~scale =
+  let b = Asm.create () in
+  let degree = 64 in
+  let kids = Asm.global b "children" (8 * degree) in
+  Asm.label b "_start";
+  Asm.loop_n b ~counter:R15 ~n:(scale * 220) (fun () ->
+      (* build: children[i] = malloc(48), child->len = i *)
+      Asm.emit b (Mov (W64, Reg R14, Imm 0));
+      let build = Asm.fresh b "build" in
+      Asm.label b build;
+      Asm.call_malloc b 48;
+      Asm.emit b (Mov (W64, Mem (mem ~index:R14 ~scale:8 ~disp:kids ()), Reg RAX));
+      Asm.emit b (Mov (W64, Mem (mem ~base:RAX ~disp:8 ()), Reg R14));
+      Asm.emit b (Inc (Reg R14));
+      Asm.emit b (Cmp (Reg R14, Imm degree));
+      Asm.emit b (Jcc (Lt, build));
+      (* walk: sum child->len, touch payloads *)
+      Asm.emit b (Mov (W64, Reg R14, Imm 0));
+      Asm.emit b (Mov (W64, Reg R13, Imm 0));
+      let walk = Asm.fresh b "walk" in
+      Asm.label b walk;
+      Asm.emit b (Mov (W64, Reg RBX, Mem (mem ~index:R14 ~scale:8 ~disp:kids ())));
+      Asm.emit b (Alu (Add, Reg R13, Mem (mem ~base:RBX ~disp:8 ())));
+      Asm.emit b (Inc (Mem (mem ~base:RBX ~disp:16 ())));
+      Asm.emit b (Alu (Xor, Mem (mem ~base:RBX ~disp:24 ()), Reg R13));
+      Asm.emit b (Inc (Reg R14));
+      Asm.emit b (Cmp (Reg R14, Imm degree));
+      Asm.emit b (Jcc (Lt, walk));
+      (* teardown *)
+      Asm.emit b (Mov (W64, Reg R14, Imm 0));
+      let teardown = Asm.fresh b "teardown" in
+      Asm.label b teardown;
+      Asm.emit b (Mov (W64, Reg RDI, Mem (mem ~index:R14 ~scale:8 ~disp:kids ())));
+      Asm.call_extern b "free";
+      Asm.emit b (Inc (Reg R14));
+      Asm.emit b (Cmp (Reg R14, Imm degree));
+      Asm.emit b (Jcc (Lt, teardown)));
+  Asm.emit b Halt;
+  Asm.build b
+
+(* perlbench: hash-table interpreter flavour — buckets of chained small
+   allocations, processed bucket after bucket (the Batch + Stride
+   pattern of Table II), with periodic insert/delete churn. *)
+let perlbench ~scale =
+  let b = Asm.create () in
+  let buckets = 32 in
+  let table = Asm.global b "hash_buckets" (8 * buckets) in
+  Asm.label b "_start";
+  (* seed each bucket with an 8-node chain *)
+  for i = 0 to buckets - 1 do
+    Kernels.build_list b ~n:8 ~node_size:32 ~head:RBX
+      ~head_slot:(table + (8 * i))
+  done;
+  Asm.loop_n b ~counter:R15 ~n:(scale * 500) (fun () ->
+      (* batch: chase each bucket in order *)
+      Asm.emit b (Mov (W64, Reg R14, Imm 0));
+      let bucket = Asm.fresh b "bucket" in
+      Asm.label b bucket;
+      Asm.emit b (Mov (W64, Reg RBX, Mem (mem ~index:R14 ~scale:8 ~disp:table ())));
+      Kernels.chase_list b ~head:RBX;
+      (* second pass over the same bucket: the batch reuse of Table II *)
+      Asm.emit b (Mov (W64, Reg RBX, Mem (mem ~index:R14 ~scale:8 ~disp:table ())));
+      Kernels.chase_list b ~head:RBX;
+      Asm.emit b (Inc (Reg R14));
+      Asm.emit b (Cmp (Reg R14, Imm buckets));
+      Asm.emit b (Jcc (Lt, bucket));
+      (* churn: prepend a node to bucket 0, drop the head of bucket 1 *)
+      Asm.call_malloc b 32;
+      Asm.emit b (Mov (W64, Reg R10, Mem (mem_abs table)));
+      Asm.emit b (Mov (W64, Mem (mem_of_reg RAX), Reg R10));
+      Asm.emit b (Mov (W64, Mem (mem_abs table), Reg RAX));
+      Asm.emit b (Mov (W64, Reg RBX, Mem (mem_abs (table + 8))));
+      Asm.emit b (Test (Reg RBX, Reg RBX));
+      let skip = Asm.fresh b "skip" in
+      Asm.emit b (Jcc (Eq, skip));
+      Asm.emit b (Mov (W64, Reg R10, Mem (mem_of_reg RBX)));
+      Asm.emit b (Mov (W64, Mem (mem_abs (table + 8)), Reg R10));
+      Asm.call_free b RBX;
+      Asm.label b skip);
+  Asm.emit b Halt;
+  Asm.build b
+
+(* gcc: AST flavour — build a binary tree bottom-up into a worklist
+   table, then repeatedly fold over it with call-heavy traversal. *)
+let gcc ~scale =
+  let b = Asm.create () in
+  let leaves = 256 in
+  let work = Asm.global b "worklist" (8 * 2 * leaves) in
+  Asm.label b "_start";
+  Asm.emit b (Jmp "main");
+  (* fold(node in rbx): rax += node->val; recurse via explicit spill *)
+  Asm.label b "fold";
+  Asm.emit b (Test (Reg RBX, Reg RBX));
+  Asm.emit b (Jcc (Eq, "fold_out"));
+  Asm.emit b (Alu (Add, Reg R13, Mem (mem ~base:RBX ~disp:16 ())));
+  (* per-node "analysis" work: hash/fold the accumulated value *)
+  Asm.emit b (Mov (W64, Reg R10, Reg R13));
+  Asm.emit b (Alu (Imul, Reg R10, Imm 0x9E3779B9));
+  Asm.emit b (Mov (W64, Reg R11, Reg R10));
+  Asm.emit b (Alu (Shr, Reg R11, Imm 13));
+  Asm.emit b (Alu (Xor, Reg R10, Reg R11));
+  Asm.emit b (Alu (Imul, Reg R10, Imm 0xC2B2AE35));
+  Asm.emit b (Mov (W64, Reg R11, Reg R10));
+  Asm.emit b (Alu (Shr, Reg R11, Imm 16));
+  Asm.emit b (Alu (Xor, Reg R10, Reg R11));
+  Asm.emit b (Alu (And, Reg R10, Imm 0xFFFF));
+  Asm.emit b (Alu (Add, Reg R13, Reg R10));
+  Asm.emit b (Push (Reg RBX));
+  Asm.emit b (Mov (W64, Reg RBX, Mem (mem_of_reg RBX)));  (* left *)
+  Asm.emit b (Call (Label "fold"));
+  Asm.emit b (Pop RBX);
+  Asm.emit b (Mov (W64, Reg RBX, Mem (mem ~base:RBX ~disp:8 ())));  (* right *)
+  Asm.emit b (Call (Label "fold"));
+  Asm.label b "fold_out";
+  Asm.emit b Ret;
+  Asm.label b "main";
+  (* leaves *)
+  for i = 0 to leaves - 1 do
+    Asm.call_malloc b 32;
+    Asm.emit b (Mov (W64, Mem (mem_abs (work + (8 * i))), Reg RAX));
+    Asm.emit b (Mov (W64, Mem (mem ~base:RAX ~disp:16 ()), Imm (i * 3)))
+  done;
+  (* internal nodes pair up worklist entries *)
+  let rec levels lo count =
+    if count > 1 then begin
+      let next = lo + count in
+      for i = 0 to (count / 2) - 1 do
+        Asm.call_malloc b 32;
+        Asm.emit b (Mov (W64, Reg R10, Mem (mem_abs (work + (8 * (lo + (2 * i)))))));
+        Asm.emit b (Mov (W64, Mem (mem_of_reg RAX), Reg R10));
+        Asm.emit b (Mov (W64, Reg R10, Mem (mem_abs (work + (8 * (lo + (2 * i) + 1))))));
+        Asm.emit b (Mov (W64, Mem (mem ~base:RAX ~disp:8 ()), Reg R10));
+        Asm.emit b (Mov (W64, Mem (mem ~base:RAX ~disp:16 ()), Imm 1));
+        Asm.emit b (Mov (W64, Mem (mem_abs (work + (8 * (next + i)))), Reg RAX))
+      done;
+      levels next (count / 2)
+    end
+    else lo
+  in
+  let root_slot = levels 0 leaves in
+  Asm.loop_n b ~counter:R15 ~n:(scale * 120) (fun () ->
+      Asm.emit b (Mov (W64, Reg R13, Imm 0));
+      Asm.emit b (Mov (W64, Reg RBX, Mem (mem_abs (work + (8 * root_slot)))));
+      Asm.emit b (Call (Label "fold")));
+  Asm.emit b Halt;
+  Asm.build b
+
+(* deepsjeng: transposition-table flavour — one big calloc'd table
+   probed with hashed indices; heavy integer ALU, few pointer reloads. *)
+let deepsjeng ~scale =
+  let b = Asm.create () in
+  let tt_slot = Asm.global b "tt_ptr" 8 in
+  Asm.label b "_start";
+  let entries = 8192 in
+  Asm.emit b (Mov (W64, Reg RDI, Imm entries));
+  Asm.emit b (Mov (W64, Reg RSI, Imm 16));
+  Asm.call_extern b "calloc";
+  Asm.emit b (Mov (W64, Mem (mem_abs tt_slot), Reg RAX));
+  Asm.emit b (Mov (W64, Reg R12, Reg RAX));
+  Asm.emit b (Mov (W64, Reg R9, Imm 0x517cc1b7));
+  Asm.loop_n b ~counter:R15 ~n:(scale * 20_000) (fun () ->
+      (* zobrist-ish hash mix *)
+      Kernels.lcg_next b ~state:R9 ~dst:R10;
+      Asm.emit b (Mov (W64, Reg R11, Reg R10));
+      Asm.emit b (Alu (Shr, Reg R11, Imm 7));
+      Asm.emit b (Alu (Xor, Reg R10, Reg R11));
+      Asm.emit b (Alu (And, Reg R10, Imm (entries - 1)));
+      Asm.emit b (Alu (Shl, Reg R10, Imm 4));
+      (* probe + update *)
+      Asm.emit b (Mov (W64, Reg RAX, Mem (mem ~base:R12 ~index:R10 ())));
+      Asm.emit b (Alu (Add, Reg RAX, Imm 1));
+      Asm.emit b (Mov (W64, Mem (mem ~base:R12 ~index:R10 ()), Reg RAX));
+      Asm.emit b (Mov (W64, Mem (mem ~base:R12 ~index:R10 ~disp:8 ()), Reg R15));
+      (* occasional move-list scratch allocation *)
+      Asm.emit b (Test (Reg R15, Imm 255));
+      let skip = Asm.fresh b "skip_alloc" in
+      Asm.emit b (Jcc (Ne, skip));
+      Asm.call_malloc b 96;
+      Asm.emit b (Mov (W64, Reg R13, Reg RAX));
+      Kernels.touch_buffer b ~ptr:R13 ~words:12 ~stride:1;
+      Asm.call_free b R13;
+      Asm.label b skip);
+  Asm.emit b (Mov (W64, Reg RDI, Reg R12));
+  Asm.call_extern b "free";
+  Asm.emit b Halt;
+  Asm.build b
+
+(* leela: MCTS flavour — grow a tree of nodes in a table, repeatedly
+   descend through child pointers (pointer-intensive UCT descent), with
+   subtree recycling. *)
+let leela ~scale =
+  let b = Asm.create () in
+  let slots = 512 in
+  let tree = Asm.global b "tree_nodes" (8 * slots) in
+  Asm.label b "_start";
+  Kernels.alloc_into_table b ~table:tree ~count:slots ~size:56;
+  (* link: node[i].child = node[(2i+1) mod slots]; .sibling = node[(i+7) mod slots] *)
+  for i = 0 to slots - 1 do
+    Asm.emit b (Mov (W64, Reg RBX, Mem (mem_abs (tree + (8 * i)))));
+    Asm.emit b (Mov (W64, Reg R10, Mem (mem_abs (tree + (8 * (((2 * i) + 1) mod slots))))));
+    Asm.emit b (Mov (W64, Mem (mem_of_reg RBX), Reg R10));
+    Asm.emit b (Mov (W64, Reg R10, Mem (mem_abs (tree + (8 * ((i + 7) mod slots))))));
+    Asm.emit b (Mov (W64, Mem (mem ~base:RBX ~disp:8 ()), Reg R10))
+  done;
+  Asm.emit b (Mov (W64, Reg R9, Imm 0xabcdef));
+  Asm.loop_n b ~counter:R15 ~n:(scale * 2_500) (fun () ->
+      (* descend 12 plies: alternate child/sibling based on visit count *)
+      Asm.emit b (Mov (W64, Reg RBX, Mem (mem_abs tree)));
+      for _ply = 1 to 12 do
+        Asm.emit b (Inc (Mem (mem ~base:RBX ~disp:16 ())));
+        Asm.emit b (Mov (W64, Reg RAX, Mem (mem ~base:RBX ~disp:16 ())));
+        (* UCT score: exploration term from visits and reward *)
+        Asm.emit b (Mov (W64, Reg R10, Mem (mem ~base:RBX ~disp:24 ())));
+        Asm.emit b (Alu (Shl, Reg R10, Imm 10));
+        Asm.emit b (Cvtsi2sd (0, R10));
+        Asm.emit b (Mov (W64, Reg R11, Reg RAX));
+        Asm.emit b (Alu (Add, Reg R11, Imm 1));
+        Asm.emit b (Cvtsi2sd (1, R11));
+        Asm.emit b (Fp (Fdiv, 0, 1));
+        Asm.emit b (Fp (Fsqrt, 0, 0));
+        Asm.emit b (Cvtsd2si (R10, 0));
+        Asm.emit b (Alu (Add, Reg RAX, Reg R10));
+        Asm.emit b (Test (Reg RAX, Imm 1));
+        let sib = Asm.fresh b "sib" and next = Asm.fresh b "next" in
+        Asm.emit b (Jcc (Ne, sib));
+        Asm.emit b (Mov (W64, Reg RBX, Mem (mem_of_reg RBX)));
+        Asm.emit b (Jmp next);
+        Asm.label b sib;
+        Asm.emit b (Mov (W64, Reg RBX, Mem (mem ~base:RBX ~disp:8 ())));
+        Asm.label b next
+      done;
+      (* backprop: bump reward *)
+      Asm.emit b (Inc (Mem (mem ~base:RBX ~disp:24 ()))));
+  Kernels.free_table b ~table:tree ~count:slots;
+  Asm.emit b Halt;
+  Asm.build b
+
+(* lbm: lattice-Boltzmann flavour — two big FP grids, streaming stencil
+   sweeps; almost no pointer activity (near-native CHEx86 performance in
+   Fig 6). *)
+let lbm ~scale =
+  let b = Asm.create () in
+  let grid_slot = Asm.global b "grids" 16 in
+  Asm.label b "_start";
+  let words = 16384 in
+  Asm.call_malloc b (8 * words);
+  Asm.emit b (Mov (W64, Mem (mem_abs grid_slot), Reg RAX));
+  Asm.emit b (Mov (W64, Reg R12, Reg RAX));
+  Asm.call_malloc b (8 * words);
+  Asm.emit b (Mov (W64, Mem (mem_abs (grid_slot + 8)), Reg RAX));
+  Asm.emit b (Mov (W64, Reg R13, Reg RAX));
+  Kernels.fp_constants b;
+  Asm.loop_n b ~counter:R15 ~n:(scale * 3) (fun () ->
+      Kernels.fp_stream b ~ptr:R12 ~words;
+      Kernels.fp_stream b ~ptr:R13 ~words);
+  Asm.emit b (Mov (W64, Reg RDI, Reg R12));
+  Asm.call_extern b "free";
+  Asm.emit b (Mov (W64, Reg RDI, Reg R13));
+  Asm.call_extern b "free";
+  Asm.emit b Halt;
+  Asm.build b
+
+(* nab: molecular-dynamics flavour — arrays of atom structs, FP force
+   accumulation with some neighbour-pointer dereferencing. *)
+let nab ~scale =
+  let b = Asm.create () in
+  let atoms = 256 in
+  let table = Asm.global b "atoms" (8 * atoms) in
+  Asm.label b "_start";
+  Kernels.alloc_into_table b ~table ~count:atoms ~size:64;
+  Kernels.fp_constants b;
+  Asm.loop_n b ~counter:R15 ~n:(scale * 400) (fun () ->
+      Asm.emit b (Mov (W64, Reg R14, Imm 0));
+      let atom = Asm.fresh b "atom" in
+      Asm.label b atom;
+      Asm.emit b (Mov (W64, Reg RBX, Mem (mem ~index:R14 ~scale:8 ~disp:table ())));
+      (* force += pos * c0 / c1, three coordinates *)
+      for c = 0 to 2 do
+        Asm.emit b (Movsd_load (0, mem ~base:RBX ~disp:(8 * c) ()));
+        Asm.emit b (Fp (Fmul, 0, 2));
+        Asm.emit b (Fp (Fdiv, 0, 3));
+        Asm.emit b (Movsd_store (mem ~base:RBX ~disp:(24 + (8 * c)) (), 0))
+      done;
+      Asm.emit b (Inc (Reg R14));
+      Asm.emit b (Cmp (Reg R14, Imm atoms));
+      Asm.emit b (Jcc (Lt, atom)));
+  Kernels.free_table b ~table ~count:atoms;
+  Asm.emit b Halt;
+  Asm.build b
+
+let all : Bench_spec.t list =
+  [
+    {
+      name = "perlbench";
+      suite = Bench_spec.Spec;
+      description = "hash buckets of chained allocations, batch+stride reloads";
+      build = perlbench;
+    };
+    {
+      name = "gcc";
+      suite = Bench_spec.Spec;
+      description = "AST build + recursive folds with stack pointer spills";
+      build = gcc;
+    };
+    {
+      name = "mcf";
+      suite = Bench_spec.Spec;
+      description = "random pointer reloads over long-lived node table";
+      build = mcf;
+    };
+    {
+      name = "xalancbmk";
+      suite = Bench_spec.Spec;
+      description = "DOM-like allocate/walk/free churn";
+      build = xalancbmk;
+    };
+    {
+      name = "deepsjeng";
+      suite = Bench_spec.Spec;
+      description = "transposition-table probes, ALU heavy";
+      build = deepsjeng;
+    };
+    {
+      name = "leela";
+      suite = Bench_spec.Spec;
+      description = "MCTS descent through child/sibling pointers";
+      build = leela;
+    };
+    {
+      name = "lbm";
+      suite = Bench_spec.Spec;
+      description = "FP streaming stencil over two grids";
+      build = lbm;
+    };
+    {
+      name = "nab";
+      suite = Bench_spec.Spec;
+      description = "FP force accumulation over atom structs";
+      build = nab;
+    };
+  ]

@@ -1,0 +1,4 @@
+(** Synthetic stand-ins for the paper's C/C++ SPEC CPU2017 benchmarks
+    (perlbench, gcc, mcf, xalancbmk, deepsjeng, leela, lbm, nab). *)
+
+val all : Bench_spec.t list

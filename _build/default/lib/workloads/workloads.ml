@@ -1,0 +1,12 @@
+(* Registry of all benchmark workloads. *)
+
+let spec = Spec.all
+let parsec = Parsec.all
+let all = Spec.all @ Parsec.all
+
+let find name =
+  match List.find_opt (fun (w : Bench_spec.t) -> w.name = name) all with
+  | Some w -> w
+  | None -> invalid_arg (Printf.sprintf "Workloads.find: unknown workload %S" name)
+
+let names = List.map (fun (w : Bench_spec.t) -> w.name) all

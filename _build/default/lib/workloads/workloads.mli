@@ -1,0 +1,10 @@
+(** Registry of all benchmark workloads. *)
+
+val spec : Bench_spec.t list
+val parsec : Bench_spec.t list
+val all : Bench_spec.t list
+
+(** Raises [Invalid_argument] for unknown names. *)
+val find : string -> Bench_spec.t
+
+val names : string list

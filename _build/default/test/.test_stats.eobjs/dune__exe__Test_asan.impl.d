@@ -1,0 +1,1 @@
+test/test_asan.ml: Alcotest Asm Chex86 Chex86_asan Chex86_isa Chex86_machine Chex86_mem Chex86_os Chex86_stats Insn

@@ -1,0 +1,1 @@
+test/test_harness.ml: Alcotest Chex86 Chex86_exploits Chex86_harness Chex86_isa Chex86_stats Chex86_workloads List String

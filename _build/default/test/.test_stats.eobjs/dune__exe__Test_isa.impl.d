@@ -1,0 +1,1 @@
+test/test_isa.ml: Alcotest Array Asm Chex86_isa Decoder Format Gen Insn List Printf Program QCheck QCheck_alcotest Reg String Uop

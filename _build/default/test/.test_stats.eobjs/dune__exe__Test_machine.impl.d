@@ -1,0 +1,1 @@
+test/test_machine.ml: Alcotest Asm Chex86_isa Chex86_machine Chex86_os Chex86_stats Chex86_workloads Insn List Printf Program Reg Uop

@@ -1,0 +1,1 @@
+test/test_mem.ml: Alcotest Chex86_mem Chex86_stats Int64 Printf QCheck QCheck_alcotest

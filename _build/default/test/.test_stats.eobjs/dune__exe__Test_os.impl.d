@@ -1,0 +1,1 @@
+test/test_os.ml: Alcotest Chex86_mem Chex86_os Chex86_stats Gen List QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_stats.ml: Alcotest Array Chex86_stats Counter Gen Histogram List QCheck QCheck_alcotest Render Rng String

@@ -1,0 +1,1 @@
+test/test_workloads.ml: Alcotest Chex86 Chex86_machine Chex86_os Chex86_stats Chex86_workloads List Printf

@@ -1,0 +1,188 @@
+(* Tests for the AddressSanitizer baseline: shadow memory encoding,
+   the redzone + quarantine runtime, instrumentation expansion, and
+   end-to-end detection parity with CHEx86. *)
+
+open Chex86_isa
+module Shadow = Chex86_asan.Shadow
+module Runtime = Chex86_asan.Runtime
+module Counter = Chex86_stats.Counter
+
+let new_shadow () = Shadow.create (Counter.create_group ())
+
+let test_shadow_default_addressable () =
+  let s = new_shadow () in
+  Alcotest.(check bool) "fresh memory addressable" true
+    (Shadow.check s 0x1234 8 = Ok ())
+
+let test_shadow_poison_unpoison () =
+  let s = new_shadow () in
+  Shadow.poison s 0x1000 32 Shadow.Heap_redzone;
+  Alcotest.(check bool) "poisoned" true (Shadow.check s 0x1010 4 <> Ok ());
+  Shadow.unpoison s 0x1000 32;
+  Alcotest.(check bool) "unpoisoned" true (Shadow.check s 0x1010 4 = Ok ())
+
+let test_shadow_partial_granule () =
+  let s = new_shadow () in
+  (* 33-byte object: the 5th granule is Partial 1. *)
+  Shadow.unpoison s 0x1000 33;
+  Alcotest.(check bool) "byte 32 ok" true (Shadow.check s (0x1000 + 32) 1 = Ok ());
+  Alcotest.(check bool) "byte 33 trips" true (Shadow.check s (0x1000 + 33) 1 <> Ok ())
+
+let test_shadow_wide_access_crossing () =
+  let s = new_shadow () in
+  Shadow.unpoison s 0x1000 16;
+  Shadow.poison s 0x1010 16 Shadow.Heap_redzone;
+  Alcotest.(check bool) "in-bounds 8B" true (Shadow.check s 0x1008 8 = Ok ());
+  Alcotest.(check bool) "8B crossing into redzone trips" true
+    (Shadow.check s 0x100C 8 <> Ok ())
+
+let new_runtime () =
+  let mem = Chex86_mem.Image.create () in
+  let g = Counter.create_group () in
+  let heap = Chex86_os.Allocator.create mem g in
+  let shadow = Shadow.create g in
+  (Runtime.create heap shadow g, shadow)
+
+let test_runtime_redzones () =
+  let rt, shadow = new_runtime () in
+  let p = Runtime.malloc rt 64 in
+  Alcotest.(check bool) "payload addressable" true (Shadow.check shadow p 64 = Ok ());
+  Alcotest.(check bool) "left redzone poisoned" true (Shadow.check shadow (p - 8) 8 <> Ok ());
+  Alcotest.(check bool) "right redzone poisoned" true
+    (Shadow.check shadow (p + 64) 8 <> Ok ())
+
+let test_runtime_uaf_poison () =
+  let rt, shadow = new_runtime () in
+  let p = Runtime.malloc rt 64 in
+  Runtime.free rt p;
+  (match Shadow.check shadow p 8 with
+  | Error Shadow.Freed -> ()
+  | _ -> Alcotest.fail "freed memory must be poisoned as Freed");
+  (* The quarantine keeps the chunk out of circulation: a same-size
+     allocation must not reuse it immediately. *)
+  let q = Runtime.malloc rt 64 in
+  Alcotest.(check bool) "quarantine delays reuse" true (q <> p)
+
+let test_runtime_double_and_invalid_free () =
+  let rt, _ = new_runtime () in
+  let p = Runtime.malloc rt 64 in
+  Runtime.free rt p;
+  (try
+     Runtime.free rt p;
+     Alcotest.fail "double free undetected"
+   with Chex86.Violation.Security_violation (Chex86.Violation.Double_free _) -> ());
+  try
+    Runtime.free rt (p + 8);
+    Alcotest.fail "invalid free undetected"
+  with Chex86.Violation.Security_violation (Chex86.Violation.Invalid_free _) -> ()
+
+let test_runtime_quarantine_drains () =
+  let rt, _ = new_runtime () in
+  (* Push well past the quarantine capacity; the runtime must recycle
+     rather than leak forever. *)
+  for _ = 1 to 80 do
+    let p = Runtime.malloc rt 16384 in
+    Runtime.free rt p
+  done;
+  Alcotest.(check bool) "storage bounded by quarantine cap" true
+    (Runtime.storage_bytes rt < (1 lsl 18) + (200 * 16384 / 8))
+
+let simple_program body =
+  let b = Asm.create () in
+  Asm.label b "_start";
+  body b;
+  Asm.emit b Insn.Halt;
+  Asm.build b
+
+let run_asan program =
+  let _, result, _ = Chex86_asan.Asan_monitor.run ~timing:false program in
+  result
+
+let test_asan_detects_oob () =
+  let r =
+    run_asan
+      (simple_program (fun b ->
+           Asm.call_malloc b 64;
+           Asm.emit b (Insn.Mov (W64, Mem (Insn.mem ~base:RAX ~disp:64 ()), Imm 1))))
+  in
+  match r.Chex86_machine.Simulator.outcome with
+  | Chex86_machine.Simulator.Faulted
+      (Chex86.Violation.Security_violation (Chex86.Violation.Out_of_bounds _)) ->
+    ()
+  | _ -> Alcotest.fail "ASan must flag the redzone write"
+
+let test_asan_detects_uaf () =
+  let r =
+    run_asan
+      (simple_program (fun b ->
+           Asm.call_malloc b 64;
+           Asm.emit b (Insn.Mov (W64, Reg R12, Reg RAX));
+           Asm.call_free b R12;
+           Asm.emit b (Insn.Mov (W64, Reg RBX, Mem (Insn.mem_of_reg R12)))))
+  in
+  match r.Chex86_machine.Simulator.outcome with
+  | Chex86_machine.Simulator.Faulted
+      (Chex86.Violation.Security_violation (Chex86.Violation.Use_after_free _)) ->
+    ()
+  | _ -> Alcotest.fail "ASan must flag the freed read"
+
+let test_asan_clean_program () =
+  let r =
+    run_asan
+      (simple_program (fun b ->
+           Asm.call_malloc b 64;
+           Asm.emit b (Insn.Mov (W64, Mem (Insn.mem ~base:RAX ~disp:56 ()), Imm 1));
+           Asm.call_free b RAX))
+  in
+  match r.Chex86_machine.Simulator.outcome with
+  | Chex86_machine.Simulator.Finished -> ()
+  | _ -> Alcotest.fail "clean program must pass under ASan"
+
+let test_asan_instrumentation_expansion () =
+  (* Every load/store gains a 3-uop software check. *)
+  let program =
+    simple_program (fun b ->
+        Asm.call_malloc b 64;
+        for i = 0 to 7 do
+          Asm.emit b (Insn.Mov (W64, Mem (Insn.mem ~base:RAX ~disp:(8 * i) ()), Imm i))
+        done)
+  in
+  (* uop accounting lives in the timing pipeline, so run with timing. *)
+  let _, r, _ = Chex86_asan.Asan_monitor.run program in
+  Alcotest.(check bool) "3 guards per memory access" true
+    (r.Chex86_machine.Simulator.uops_injected
+    >= 3 * 8 (* the stores *) + 3 (* the call's return-address push *));
+  let insecure =
+    Chex86.Sim.run ~variant:(Chex86.Variant.make Chex86.Variant.Insecure) program
+  in
+  Alcotest.(check bool) "ASan roughly doubles the uop count" true
+    (float_of_int r.Chex86_machine.Simulator.uops
+    > 1.5 *. float_of_int insecure.Chex86.Sim.result.Chex86_machine.Simulator.uops)
+
+let () =
+  Alcotest.run "asan"
+    [
+      ( "shadow",
+        [
+          Alcotest.test_case "default addressable" `Quick test_shadow_default_addressable;
+          Alcotest.test_case "poison/unpoison" `Quick test_shadow_poison_unpoison;
+          Alcotest.test_case "partial granule" `Quick test_shadow_partial_granule;
+          Alcotest.test_case "wide access crossing" `Quick test_shadow_wide_access_crossing;
+        ] );
+      ( "runtime",
+        [
+          Alcotest.test_case "redzones" `Quick test_runtime_redzones;
+          Alcotest.test_case "UAF poisoning + quarantine" `Quick test_runtime_uaf_poison;
+          Alcotest.test_case "double/invalid free" `Quick
+            test_runtime_double_and_invalid_free;
+          Alcotest.test_case "quarantine drains" `Quick test_runtime_quarantine_drains;
+        ] );
+      ( "end to end",
+        [
+          Alcotest.test_case "detects OOB" `Quick test_asan_detects_oob;
+          Alcotest.test_case "detects UAF" `Quick test_asan_detects_uaf;
+          Alcotest.test_case "clean program" `Quick test_asan_clean_program;
+          Alcotest.test_case "instrumentation expansion" `Quick
+            test_asan_instrumentation_expansion;
+        ] );
+    ]

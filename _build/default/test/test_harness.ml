@@ -1,0 +1,208 @@
+(* Tests for the experiment harness: runner outcomes and memoization,
+   and shape assertions on the regenerated tables/figures (the claims
+   EXPERIMENTS.md records are enforced here at reduced scale). *)
+
+module Runner = Chex86_harness.Runner
+module Experiments = Chex86_harness.Experiments
+module W = Chex86_workloads.Workloads
+module Counter = Chex86_stats.Counter
+
+let contains ~needle haystack =
+  let n = String.length needle and h = String.length haystack in
+  let rec go i = i + n <= h && (String.sub haystack i n = needle || go (i + 1)) in
+  go 0
+
+let test_runner_memoizes () =
+  let w = W.find "swaptions" in
+  let a = Runner.run_workload ~scale:1 Runner.insecure w in
+  let b = Runner.run_workload ~scale:1 Runner.insecure w in
+  Alcotest.(check bool) "same run object returned" true (a == b)
+
+let test_runner_config_names () =
+  Alcotest.(check string) "asan" "ASan" (Runner.config_name Runner.Asan);
+  Alcotest.(check string) "prediction" "CHEx86: Micro-code Prediction Driven"
+    (Runner.config_name Runner.prediction)
+
+let test_figure_shapes () =
+  (* The paper's qualitative ordering on a pointer-intensive workload:
+     ASan inflates uops far beyond CHEx86 prediction, which inflates
+     beyond the insecure baseline; cycle counts order the same way. *)
+  let w = W.find "freqmine" in
+  let base = Runner.run_workload ~scale:1 Runner.insecure w in
+  let pred = Runner.run_workload ~scale:1 Runner.prediction w in
+  let asan = Runner.run_workload ~scale:1 Runner.Asan w in
+  Alcotest.(check bool) "uops: asan > chex" true (asan.Runner.uops > pred.Runner.uops);
+  Alcotest.(check bool) "uops: chex > base" true (pred.Runner.uops > base.Runner.uops);
+  Alcotest.(check bool) "cycles: asan > chex" true
+    (asan.Runner.cycles > pred.Runner.cycles);
+  Alcotest.(check bool) "cycles: chex >= base" true
+    (pred.Runner.cycles >= base.Runner.cycles);
+  (* Fig 9: both protections consume real shadow storage; the insecure
+     baseline none.  (The asan-vs-chex ordering depends on footprint and
+     is only meaningful at full scale, so it is not asserted here.) *)
+  Alcotest.(check bool) "both consume shadow storage" true
+    (asan.Runner.shadow_bytes > 0 && pred.Runner.shadow_bytes > 0);
+  Alcotest.(check int) "baseline has no shadow storage" 0 base.Runner.shadow_bytes
+
+let test_capability_cache_sensitivity () =
+  (* Fig 7: a larger capability cache cannot have a higher miss rate. *)
+  let w = W.find "perlbench" in
+  let miss (run : Runner.run) =
+    Counter.ratio run.Runner.counters ~num:"capcache.miss" ~den:"capcache.hit"
+  in
+  let small =
+    Runner.run_workload ~tag:"t64" ~scale:1
+      (Runner.Chex (Chex86.Variant.make ~cap_cache_entries:64 Chex86.Variant.Microcode_prediction))
+      w
+  and big =
+    Runner.run_workload ~tag:"t128" ~scale:1
+      (Runner.Chex (Chex86.Variant.make ~cap_cache_entries:128 Chex86.Variant.Microcode_prediction))
+      w
+  in
+  Alcotest.(check bool) "128-entry <= 64-entry miss rate" true (miss big <= miss small)
+
+let test_table2_text () =
+  let out = Experiments.table2 () in
+  List.iter
+    (fun (name, _) ->
+      (* Each generated pattern row must classify as itself: the name
+         appears at least twice (generator column + classification). *)
+      let occurrences =
+        let rec count i acc =
+          if i + String.length name > String.length out then acc
+          else if String.sub out i (String.length name) = name then count (i + 1) (acc + 1)
+          else count (i + 1) acc
+        in
+        count 0 0
+      in
+      Alcotest.(check bool) (name ^ " classified as itself") true (occurrences >= 2))
+    Chex86_workloads.Patterns.all
+
+let test_table3_text () =
+  let out = Experiments.table3 () in
+  List.iter
+    (fun needle ->
+      Alcotest.(check bool) ("mentions " ^ needle) true (contains ~needle out))
+    [ "3.4 GHz"; "224 entries"; "LTAGE"; "72/56 entries"; "4096 entries" ]
+
+let test_table1_text () =
+  let out = Experiments.table1 () in
+  List.iter
+    (fun needle ->
+      Alcotest.(check bool) ("mentions " ^ needle) true (contains ~needle out))
+    [ "MOV"; "LEA"; "MOVI"; "PID(rcx) <- PID(Mem[EA])"; "Agreement" ]
+
+let test_figure1_text () =
+  let out = Experiments.figure1 () in
+  Alcotest.(check bool) "covers 2006-2018" true
+    (contains ~needle:"2006" out && contains ~needle:"2018" out)
+
+let test_ablation_tlb_filter () =
+  (* The alias-hosting filter can only reduce alias-cache lookups. *)
+  let w = W.find "mcf" in
+  let lookups (r : Runner.run) =
+    Counter.get r.Runner.counters "aliascache.hit"
+    + Counter.get r.Runner.counters "aliascache.victim_hit"
+    + Counter.get r.Runner.counters "aliascache.miss"
+  in
+  let on =
+    Runner.run_workload ~tag:"abl-tlb-on" ~scale:1
+      (Runner.Chex (Chex86.Variant.make Chex86.Variant.Microcode_prediction))
+      w
+  and off =
+    Runner.run_workload ~tag:"abl-tlb-off" ~scale:1
+      (Runner.Chex
+         (Chex86.Variant.make ~tlb_alias_filter:false Chex86.Variant.Microcode_prediction))
+      w
+  in
+  Alcotest.(check bool) "filter saves lookups" true (lookups on < lookups off);
+  Alcotest.(check bool) "filtered events counted" true
+    (Counter.get on.Runner.counters "alias.tlb_filtered" > 0);
+  (* Detection must be unaffected: both runs complete cleanly. *)
+  Alcotest.(check bool) "no false positives either way" true
+    (on.Runner.outcome = Runner.Completed && off.Runner.outcome = Runner.Completed)
+
+let test_ablation_scope_reduces_bloat () =
+  let w = W.find "canneal" in
+  let narrow =
+    Chex86.Variant.make
+      ~scope:(Chex86.Variant.Ranges [ (Chex86_isa.Program.text_base, Chex86_isa.Program.text_base + 64) ])
+      Chex86.Variant.Microcode_prediction
+  in
+  let scoped = Runner.run_workload ~tag:"abl-scope" ~scale:1 (Runner.Chex narrow) w in
+  let full = Runner.run_workload ~scale:1 Runner.prediction w in
+  Alcotest.(check bool) "scoped run injects fewer uops" true
+    (scoped.Runner.uops_injected < full.Runner.uops_injected)
+
+let test_ablation_victim_cache_helps () =
+  let w = W.find "perlbench" in
+  let miss (r : Runner.run) =
+    let hit = Counter.get r.Runner.counters "aliascache.hit"
+    and victim = Counter.get r.Runner.counters "aliascache.victim_hit"
+    and m = Counter.get r.Runner.counters "aliascache.miss" in
+    float_of_int m /. float_of_int (max 1 (hit + victim + m))
+  in
+  let with_victim = Runner.run_workload ~tag:"abl-vc-on" ~scale:1 Runner.prediction w
+  and without =
+    Runner.run_workload ~tag:"abl-vc-off" ~scale:1
+      (Runner.Chex
+         (Chex86.Variant.make ~alias_victim_entries:0 Chex86.Variant.Microcode_prediction))
+      w
+  in
+  Alcotest.(check bool) "victim cache does not hurt" true
+    (miss with_victim <= miss without +. 0.01)
+
+let test_security_summary () =
+  (* Full sweep: every exploit of all three suites blocked. *)
+  let results = Chex86_harness.Security.sweep Chex86_exploits.Exploits.all in
+  List.iter
+    (fun suite ->
+      let s = Chex86_harness.Security.summarize suite results in
+      Alcotest.(check int)
+        (Chex86_exploits.Exploit.suite_name suite ^ " all blocked")
+        s.Chex86_harness.Security.total s.Chex86_harness.Security.blocked;
+      Alcotest.(check int)
+        (Chex86_exploits.Exploit.suite_name suite ^ " expected classes")
+        s.Chex86_harness.Security.total s.Chex86_harness.Security.expected_class)
+    [
+      Chex86_exploits.Exploit.Ripe;
+      Chex86_exploits.Exploit.Asan_suite;
+      Chex86_exploits.Exploit.How2heap;
+    ]
+
+let () =
+  Alcotest.run "harness"
+    [
+      ( "runner",
+        [
+          Alcotest.test_case "memoization" `Quick test_runner_memoizes;
+          Alcotest.test_case "config names" `Quick test_runner_config_names;
+        ] );
+      ( "experiments",
+        [
+          Alcotest.test_case "figure shapes" `Slow test_figure_shapes;
+          Alcotest.test_case "cap cache sensitivity" `Slow
+            test_capability_cache_sensitivity;
+          Alcotest.test_case "table1 text" `Quick test_table1_text;
+          Alcotest.test_case "table2 text" `Quick test_table2_text;
+          Alcotest.test_case "table3 text" `Quick test_table3_text;
+          Alcotest.test_case "figure1 text" `Quick test_figure1_text;
+        ] );
+      ( "multicore",
+        [
+          Alcotest.test_case "report shape" `Slow (fun () ->
+              let out = Chex86_harness.Multicore.report () in
+              List.iter
+                (fun needle ->
+                  Alcotest.(check bool) ("mentions " ^ needle) true
+                    (contains ~needle out))
+                [ "Threads"; "Cap invalidations"; "Alias invalidations" ]);
+        ] );
+      ( "ablations",
+        [
+          Alcotest.test_case "TLB filter" `Slow test_ablation_tlb_filter;
+          Alcotest.test_case "scope reduces bloat" `Slow test_ablation_scope_reduces_bloat;
+          Alcotest.test_case "victim cache" `Slow test_ablation_victim_cache_helps;
+        ] );
+      ("security", [ Alcotest.test_case "all suites blocked" `Slow test_security_summary ]);
+    ]

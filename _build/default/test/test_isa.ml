@@ -1,0 +1,217 @@
+(* Tests for the ISA layer: registers, macro instructions, the CISC->uop
+   decoder, programs and the assembler. *)
+
+open Chex86_isa
+
+let qcheck_reg_roundtrip =
+  QCheck.Test.make ~name:"reg index/of_index roundtrip" QCheck.(int_range 0 15) (fun i ->
+      Reg.index (Reg.of_index i) = i)
+
+let test_reg_names_unique () =
+  let names = Array.to_list (Array.map Reg.name Reg.all) in
+  Alcotest.(check int) "16 unique names" 16 (List.length (List.sort_uniq compare names))
+
+let uop_count insn = List.length (Decoder.decode insn)
+
+let test_decoder_crack_sizes () =
+  let m = Insn.mem_of_reg Reg.RBX in
+  Alcotest.(check int) "mov reg,reg" 1 (uop_count (Mov (W64, Reg RAX, Reg RBX)));
+  Alcotest.(check int) "mov reg,imm" 1 (uop_count (Mov (W64, Reg RAX, Imm 7)));
+  Alcotest.(check int) "load" 1 (uop_count (Mov (W64, Reg RAX, Mem m)));
+  Alcotest.(check int) "store" 1 (uop_count (Mov (W64, Mem m, Reg RAX)));
+  Alcotest.(check int) "alu reg,mem (load-op)" 2 (uop_count (Alu (Add, Reg RAX, Mem m)));
+  Alcotest.(check int) "alu mem,reg (RMW)" 3 (uop_count (Alu (Add, Mem m, Reg RAX)));
+  Alcotest.(check int) "inc mem (RMW)" 3 (uop_count (Insn.Inc (Mem m)));
+  Alcotest.(check int) "push" 2 (uop_count (Push (Reg RAX)));
+  Alcotest.(check int) "pop" 2 (uop_count (Pop Reg.RAX));
+  Alcotest.(check int) "call" 3 (uop_count (Call (Label "f")));
+  Alcotest.(check int) "ret" 3 (uop_count Ret);
+  Alcotest.(check int) "jcc" 1 (uop_count (Jcc (Eq, "l")))
+
+(* The paper's Fig 5(f): inc (%rax) cracks into ld t; add t,t,1; st t. *)
+let test_decoder_rmw_shape () =
+  match Decoder.decode (Insn.Inc (Mem (Insn.mem_of_reg Reg.RAX))) with
+  | [ Uop.Load { dst = Tmp 0; _ }; Uop.Alu { op = Insn.Add; dst = Tmp 0; src2 = Imm 1; _ };
+      Uop.Store { src = Loc (Tmp 0); _ } ] ->
+    ()
+  | uops ->
+    Alcotest.failf "unexpected crack: %s"
+      (String.concat "; " (List.map (Format.asprintf "%a" Uop.pp) uops))
+
+let test_decoder_rejects_malformed () =
+  Alcotest.check_raises "imm destination" (Invalid_argument "Decoder.decode: immediate destination")
+    (fun () -> ignore (Decoder.decode (Mov (W64, Imm 1, Reg RAX))))
+
+let test_decoder_paths () =
+  Alcotest.(check bool) "mov is simple" true
+    (Decoder.path (Mov (W64, Reg RAX, Reg RBX)) = Decoder.Simple);
+  Alcotest.(check bool) "RMW is complex" true
+    (Decoder.path (Insn.Inc (Mem (Insn.mem_of_reg Reg.RAX))) = Decoder.Complex)
+
+let test_uop_reads_writes () =
+  let m = Insn.mem ~base:Reg.RBX ~index:Reg.RCX ~scale:8 () in
+  (match Decoder.decode (Mov (W64, Reg RAX, Mem m)) with
+  | [ load ] ->
+    Alcotest.(check bool) "load reads base+index" true
+      (List.mem (Uop.Greg Reg.RBX) (Uop.reads load)
+      && List.mem (Uop.Greg Reg.RCX) (Uop.reads load));
+    Alcotest.(check bool) "load writes rax" true (Uop.writes load = Some (Uop.Greg Reg.RAX))
+  | _ -> Alcotest.fail "expected single load");
+  match Decoder.decode (Mov (W64, Mem m, Reg RDX)) with
+  | [ store ] ->
+    Alcotest.(check bool) "store reads source" true
+      (List.mem (Uop.Greg Reg.RDX) (Uop.reads store));
+    Alcotest.(check bool) "store writes nothing" true (Uop.writes store = None)
+  | _ -> Alcotest.fail "expected single store"
+
+let test_uop_classification () =
+  Alcotest.(check bool) "imul uses the multiplier" true
+    (Uop.fu_class (Uop.Alu { op = Insn.Imul; dst = Greg RAX; src1 = Greg RAX; src2 = Imm 3 })
+    = Uop.FU_mult);
+  Alcotest.(check bool) "injected check flagged" true
+    (Uop.is_injected (Uop.Cap Uop.Cap_gen_begin));
+  Alcotest.(check bool) "native uop not injected" true
+    (not (Uop.is_injected (Uop.Limm { dst = Greg RAX; imm = 0 })))
+
+let test_asm_labels_and_build () =
+  let b = Asm.create () in
+  Asm.label b "_start";
+  Asm.emit b (Insn.Jmp "end");
+  Asm.label b "end";
+  Asm.emit b Insn.Halt;
+  let p = Asm.build b in
+  Alcotest.(check int) "two instructions" 2 (Program.length p);
+  Alcotest.(check int) "label resolves" 1 (Program.label_index p "end");
+  Alcotest.(check int) "entry is _start" (Program.addr_of_index 0) (Program.entry_addr p)
+
+let test_asm_duplicate_label () =
+  let b = Asm.create () in
+  Asm.label b "x";
+  Alcotest.check_raises "duplicate" (Invalid_argument "Asm.label: duplicate label \"x\"")
+    (fun () -> Asm.label b "x")
+
+let test_asm_undefined_label () =
+  let b = Asm.create () in
+  Asm.label b "_start";
+  Asm.emit b (Insn.Jmp "nowhere");
+  Alcotest.check_raises "undefined target"
+    (Invalid_argument "Program: undefined label \"nowhere\"") (fun () ->
+      ignore (Asm.build b))
+
+let qcheck_asm_globals_disjoint =
+  QCheck.Test.make ~name:"globals are 16-aligned and disjoint"
+    QCheck.(list_of_size (Gen.int_range 1 20) (int_range 1 500))
+    (fun sizes ->
+      let b = Asm.create () in
+      let addrs = List.mapi (fun i size -> (Asm.global b (Printf.sprintf "g%d" i) size, size)) sizes in
+      List.for_all (fun (a, _) -> a land 15 = 0) addrs
+      &&
+      let rec disjoint = function
+        | (a1, s1) :: ((a2, _) :: _ as rest) -> a1 + s1 <= a2 && disjoint rest
+        | _ -> true
+      in
+      disjoint addrs)
+
+(* Random valid instructions always crack to 1..4 micro-ops (the 1:1 /
+   1:4 decoder constraint) with at most one store. *)
+let qcheck_decoder_bounds =
+  let reg_gen = QCheck.Gen.map Reg.of_index (QCheck.Gen.int_range 0 15) in
+  let mem_gen =
+    QCheck.Gen.map2
+      (fun base disp -> Insn.mem ~base ~disp ())
+      reg_gen (QCheck.Gen.int_range (-64) 256)
+  in
+  let operand_gen =
+    QCheck.Gen.oneof
+      [
+        QCheck.Gen.map (fun r -> Insn.Reg r) reg_gen;
+        QCheck.Gen.map (fun i -> Insn.Imm i) (QCheck.Gen.int_range (-1000) 1000);
+        QCheck.Gen.map (fun m -> Insn.Mem m) mem_gen;
+      ]
+  in
+  let alu_gen =
+    QCheck.Gen.oneofl [ Insn.Add; Insn.Sub; Insn.And; Insn.Or; Insn.Xor; Insn.Imul ]
+  in
+  let insn_gen =
+    QCheck.Gen.oneof
+      [
+        QCheck.Gen.map2
+          (fun d s ->
+            match (d, s) with
+            | Insn.Imm _, _ | Insn.Mem _, Insn.Mem _ -> Insn.Nop
+            | _ -> Insn.Mov (Insn.W64, d, s))
+          operand_gen operand_gen;
+        QCheck.Gen.map3
+          (fun op d s ->
+            match (d, s) with
+            | Insn.Imm _, _ | Insn.Mem _, Insn.Mem _ -> Insn.Nop
+            | _ -> Insn.Alu (op, d, s))
+          alu_gen operand_gen operand_gen;
+        QCheck.Gen.map (fun r -> Insn.Push (Insn.Reg r)) reg_gen;
+        QCheck.Gen.map (fun r -> Insn.Pop r) reg_gen;
+        QCheck.Gen.map (fun m -> Insn.Inc (Insn.Mem m)) mem_gen;
+        QCheck.Gen.return Insn.Ret;
+      ]
+  in
+  QCheck.Test.make ~name:"decoder cracks are 1..4 uops with <=1 store" ~count:500
+    (QCheck.make insn_gen) (fun insn ->
+      let uops = Decoder.decode insn in
+      let n = List.length uops in
+      let stores =
+        List.length (List.filter (function Uop.Store _ -> true | _ -> false) uops)
+      in
+      n >= 1 && n <= 4 && stores <= 1)
+
+let test_program_addr_roundtrip () =
+  for i = 0 to 100 do
+    Alcotest.(check (option int))
+      "index/addr roundtrip" (Some i)
+      (Program.index_of_addr (Program.addr_of_index i))
+  done;
+  Alcotest.(check (option int)) "misaligned addr" None
+    (Program.index_of_addr (Program.text_base + 2))
+
+let test_program_fetch () =
+  let b = Asm.create () in
+  Asm.label b "_start";
+  Asm.emit b Insn.Nop;
+  Asm.emit b Insn.Halt;
+  let p = Asm.build b in
+  Alcotest.(check bool) "fetch first" true (Program.fetch p Program.text_base = Some Insn.Nop);
+  Alcotest.(check bool) "fetch past end" true
+    (Program.fetch p (Program.addr_of_index 2) = None)
+
+let () =
+  Alcotest.run "isa"
+    [
+      ( "reg",
+        [
+          QCheck_alcotest.to_alcotest qcheck_reg_roundtrip;
+          Alcotest.test_case "unique names" `Quick test_reg_names_unique;
+        ] );
+      ( "decoder",
+        [
+          Alcotest.test_case "crack sizes" `Quick test_decoder_crack_sizes;
+          Alcotest.test_case "RMW shape (Fig 5f)" `Quick test_decoder_rmw_shape;
+          Alcotest.test_case "rejects malformed" `Quick test_decoder_rejects_malformed;
+          Alcotest.test_case "decoder paths" `Quick test_decoder_paths;
+          QCheck_alcotest.to_alcotest qcheck_decoder_bounds;
+        ] );
+      ( "uop",
+        [
+          Alcotest.test_case "reads/writes" `Quick test_uop_reads_writes;
+          Alcotest.test_case "classification" `Quick test_uop_classification;
+        ] );
+      ( "asm",
+        [
+          Alcotest.test_case "labels and build" `Quick test_asm_labels_and_build;
+          Alcotest.test_case "duplicate label" `Quick test_asm_duplicate_label;
+          Alcotest.test_case "undefined label" `Quick test_asm_undefined_label;
+          QCheck_alcotest.to_alcotest qcheck_asm_globals_disjoint;
+        ] );
+      ( "program",
+        [
+          Alcotest.test_case "addr roundtrip" `Quick test_program_addr_roundtrip;
+          Alcotest.test_case "fetch" `Quick test_program_fetch;
+        ] );
+    ]

@@ -1,0 +1,188 @@
+(* Tests for the memory substrate: sparse image, caches (incl. the
+   victim cache and hashed indexing), TLB alias-hosting bits, and the
+   hierarchy's latency/bandwidth accounting. *)
+
+module Image = Chex86_mem.Image
+module Cache = Chex86_mem.Cache
+module Tlb = Chex86_mem.Tlb
+module Hierarchy = Chex86_mem.Hierarchy
+module Counter = Chex86_stats.Counter
+
+let test_image_roundtrip () =
+  let m = Image.create () in
+  Image.write64 m 0x1000 0x1122334455667788;
+  Alcotest.(check int) "64-bit" 0x1122334455667788 (Image.read64 m 0x1000);
+  Alcotest.(check int) "little-endian low byte" 0x88 (Image.read_byte m 0x1000);
+  Alcotest.(check int) "little-endian byte 2" 0x66 (Image.read_byte m 0x1002);
+  Alcotest.(check int) "32-bit sub-read" 0x55667788 (Image.read m 0x1000 4)
+
+let test_image_page_crossing () =
+  let m = Image.create () in
+  let addr = 0x1FFC (* 4 bytes before a page boundary *) in
+  Image.write m addr 8 0x0102030405060708;
+  Alcotest.(check int) "page-crossing roundtrip" 0x0102030405060708 (Image.read m addr 8)
+
+let test_image_untouched_zero () =
+  let m = Image.create () in
+  Alcotest.(check int) "untouched memory reads zero" 0 (Image.read64 m 0xDEAD00);
+  Alcotest.(check int) "reads do not allocate" 0 (Image.resident_pages m)
+
+let test_image_resident () =
+  let m = Image.create () in
+  Image.write_byte m 0 1;
+  Image.write_byte m 5000 1;
+  Image.write_byte m 5001 1;
+  Alcotest.(check int) "two pages touched" 2 (Image.resident_pages m);
+  Alcotest.(check int) "bytes" (2 * 4096) (Image.resident_bytes m)
+
+let qcheck_image_masked_roundtrip =
+  QCheck.Test.make ~name:"n-byte write/read roundtrip"
+    QCheck.(triple (int_range 0 100000) (int_range 1 8) (int_bound max_int))
+    (fun (addr, n, v) ->
+      let m = Image.create () in
+      Image.write m addr n v;
+      let mask = if n = 8 then -1 else (1 lsl (8 * n)) - 1 in
+      Image.read m addr n = v land mask)
+
+let qcheck_image_float_roundtrip =
+  QCheck.Test.make ~name:"float write/read is bit-exact" QCheck.float (fun f ->
+      let m = Image.create () in
+      Image.write_float m 0x2000 f;
+      let back = Image.read_float m 0x2000 in
+      Int64.bits_of_float back = Int64.bits_of_float f)
+
+let test_zero_range () =
+  let m = Image.create () in
+  Image.write64 m 0x100 (-1);
+  Image.zero_range m 0x100 8;
+  Alcotest.(check int) "zeroed" 0 (Image.read64 m 0x100)
+
+let new_cache ?victim ?hash_index ~sets ~ways () =
+  let g = Counter.create_group () in
+  (Cache.create ?victim ?hash_index ~name:"c" ~sets ~ways ~line_bytes:64 g, g)
+
+let test_cache_hit_after_miss () =
+  let c, _ = new_cache ~sets:16 ~ways:2 () in
+  Alcotest.(check bool) "first access misses" false (Cache.access c ~write:false 0x1000);
+  Alcotest.(check bool) "second access hits" true (Cache.access c ~write:false 0x1000);
+  Alcotest.(check bool) "same line hits" true (Cache.access c ~write:false 0x103F)
+
+let test_cache_lru_eviction () =
+  let c, _ = new_cache ~sets:1 ~ways:2 () in
+  ignore (Cache.access c ~write:false 0x0000);
+  ignore (Cache.access c ~write:false 0x1000);
+  ignore (Cache.access c ~write:false 0x0000);  (* touch A: B becomes LRU *)
+  ignore (Cache.access c ~write:false 0x2000);  (* evicts B *)
+  Alcotest.(check bool) "A survives" true (Cache.access c ~write:false 0x0000);
+  Alcotest.(check bool) "B evicted" false (Cache.access c ~write:false 0x1000)
+
+let test_cache_victim_recovery () =
+  let g = Counter.create_group () in
+  let victim = Cache.create ~name:"v" ~sets:1 ~ways:4 ~line_bytes:64 g in
+  let c = Cache.create ~victim ~name:"c" ~sets:1 ~ways:1 ~line_bytes:64 g in
+  ignore (Cache.access c ~write:false 0x0000);
+  ignore (Cache.access c ~write:false 0x1000);  (* evicts A into the victim *)
+  Alcotest.(check bool) "A recovered from victim" true (Cache.access c ~write:false 0x0000);
+  Alcotest.(check int) "victim hit counted" 1 (Counter.get g "c.victim_hit")
+
+let test_cache_invalidate () =
+  let c, _ = new_cache ~sets:16 ~ways:2 () in
+  ignore (Cache.access c ~write:false 0x4000);
+  Cache.invalidate c 0x4000;
+  Alcotest.(check bool) "invalidated line misses" false (Cache.access c ~write:false 0x4000)
+
+let test_cache_hashed_index_spreads () =
+  (* 32-byte-strided granule stream that would alias into few sets under
+     modulo indexing: hashed indexing must retain most of it. *)
+  let g = Counter.create_group () in
+  let c = Cache.create ~hash_index:true ~name:"h" ~sets:128 ~ways:2 ~line_bytes:8 g in
+  for _ = 1 to 5 do
+    for i = 0 to 99 do
+      ignore (Cache.access c ~write:false (0x10000000 + (i * 32)))
+    done
+  done;
+  let hits = Counter.get g "h.hit" in
+  Alcotest.(check bool) (Printf.sprintf "mostly hits (%d)" hits) true (hits > 350)
+
+let test_tlb_alias_bits () =
+  let g = Counter.create_group () in
+  let tlb = Tlb.create ~name:"tlb" ~sets:4 ~ways:2 g in
+  let addr = 0x123456 in
+  Alcotest.(check bool) "fresh page not hosting" false (snd (Tlb.lookup tlb addr));
+  Tlb.set_alias_hosting tlb addr;
+  Alcotest.(check bool) "page-table bit set" true (Tlb.page_alias_bit tlb (addr lsr 12));
+  Alcotest.(check bool) "cached entry refreshed" true (snd (Tlb.lookup tlb addr));
+  Alcotest.(check int) "one hosting page" 1 (Tlb.alias_hosting_pages tlb)
+
+let test_tlb_hit_miss () =
+  let g = Counter.create_group () in
+  let tlb = Tlb.create ~name:"tlb" ~sets:4 ~ways:2 g in
+  Alcotest.(check bool) "first lookup misses" false (fst (Tlb.lookup tlb 0x5000));
+  Alcotest.(check bool) "second lookup hits" true (fst (Tlb.lookup tlb 0x5abc))
+
+let test_hierarchy_latencies () =
+  let g = Counter.create_group () in
+  let h = Hierarchy.create g in
+  let cfg = Hierarchy.default_config in
+  let first = Hierarchy.access h ~kind:Data ~write:false 0x8000 in
+  Alcotest.(check bool) "cold access pays DRAM + walk" true (first >= cfg.mem_latency);
+  let second = Hierarchy.access h ~kind:Data ~write:false 0x8008 in
+  Alcotest.(check int) "warm same-line access is an L1 hit" cfg.l1_latency second
+
+let test_hierarchy_bandwidth () =
+  let g = Counter.create_group () in
+  let h = Hierarchy.create g in
+  ignore (Hierarchy.access h ~kind:Data ~write:false 0x8000);
+  Alcotest.(check int) "one line fetched" 64 (Hierarchy.mem_bytes h);
+  ignore (Hierarchy.access h ~kind:Data ~write:false 0x8000);
+  Alcotest.(check int) "hits add no traffic" 64 (Hierarchy.mem_bytes h);
+  Hierarchy.mem_traffic h 16;
+  Alcotest.(check int) "explicit traffic accounted" 80 (Hierarchy.mem_bytes h)
+
+let test_hierarchy_writeback () =
+  let g = Counter.create_group () in
+  let h = Hierarchy.create g in
+  ignore (Hierarchy.access h ~kind:Data ~write:true 0x8000);
+  (* Evict from both levels by touching many conflicting lines, then
+     refetch: the dirty line charges a writeback alongside the fill. *)
+  for i = 1 to 8192 do
+    ignore (Hierarchy.access h ~kind:Data ~write:false (0x8000 + (i * 64 * 512)))
+  done;
+  let before = Hierarchy.mem_bytes h in
+  ignore (Hierarchy.access h ~kind:Data ~write:false 0x8000);
+  Alcotest.(check int) "fill + writeback" (before + 128) (Hierarchy.mem_bytes h)
+
+let () =
+  Alcotest.run "mem"
+    [
+      ( "image",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_image_roundtrip;
+          Alcotest.test_case "page crossing" `Quick test_image_page_crossing;
+          Alcotest.test_case "untouched reads zero" `Quick test_image_untouched_zero;
+          Alcotest.test_case "resident accounting" `Quick test_image_resident;
+          Alcotest.test_case "zero_range" `Quick test_zero_range;
+          QCheck_alcotest.to_alcotest qcheck_image_masked_roundtrip;
+          QCheck_alcotest.to_alcotest qcheck_image_float_roundtrip;
+        ] );
+      ( "cache",
+        [
+          Alcotest.test_case "hit after miss" `Quick test_cache_hit_after_miss;
+          Alcotest.test_case "LRU eviction" `Quick test_cache_lru_eviction;
+          Alcotest.test_case "victim recovery" `Quick test_cache_victim_recovery;
+          Alcotest.test_case "invalidate" `Quick test_cache_invalidate;
+          Alcotest.test_case "hashed index spreads strides" `Quick
+            test_cache_hashed_index_spreads;
+        ] );
+      ( "tlb",
+        [
+          Alcotest.test_case "alias-hosting bits" `Quick test_tlb_alias_bits;
+          Alcotest.test_case "hit/miss" `Quick test_tlb_hit_miss;
+        ] );
+      ( "hierarchy",
+        [
+          Alcotest.test_case "latencies" `Quick test_hierarchy_latencies;
+          Alcotest.test_case "bandwidth" `Quick test_hierarchy_bandwidth;
+          Alcotest.test_case "writeback" `Quick test_hierarchy_writeback;
+        ] );
+    ]

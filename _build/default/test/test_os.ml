@@ -1,0 +1,302 @@
+(* Tests for the OS substrate: the exploitable allocator (including the
+   glibc-style integrity checks and the exploit-enabling behaviours the
+   How2Heap suite relies on), MSRs, process loading and the heap
+   profiler. *)
+
+module Allocator = Chex86_os.Allocator
+module Layout = Chex86_os.Layout
+module Msrs = Chex86_os.Msrs
+module Image = Chex86_mem.Image
+module Counter = Chex86_stats.Counter
+
+let new_heap () =
+  let mem = Image.create () in
+  let g = Counter.create_group () in
+  (Allocator.create mem g, mem)
+
+let test_malloc_basics () =
+  let heap, _ = new_heap () in
+  let p = Allocator.malloc heap 100 in
+  Alcotest.(check bool) "non-null" true (p <> 0);
+  Alcotest.(check int) "16-aligned" 0 (p land 0xF);
+  Alcotest.(check bool) "in heap" true (p >= Layout.heap_base && p < Layout.heap_max);
+  Alcotest.(check int) "chunk size covers request" 128 (Allocator.chunk_size heap p)
+
+let test_malloc_zero_and_negative () =
+  let heap, _ = new_heap () in
+  Alcotest.(check int) "malloc(0)" 0 (Allocator.malloc heap 0);
+  Alcotest.(check int) "malloc(-1)" 0 (Allocator.malloc heap (-1))
+
+let test_malloc_huge_fails () =
+  let heap, _ = new_heap () in
+  Alcotest.(check int) "over heap_max returns NULL" 0 (Allocator.malloc heap (1 lsl 31))
+
+let test_adjacent_allocations () =
+  let heap, _ = new_heap () in
+  let a = Allocator.malloc heap 32 in
+  let b = Allocator.malloc heap 32 in
+  Alcotest.(check int) "consecutive chunks adjacent" (a + 48) b
+
+let test_first_fit_reuse () =
+  let heap, _ = new_heap () in
+  let a = Allocator.malloc heap 512 in
+  let _b = Allocator.malloc heap 256 in
+  Allocator.free heap a;
+  let c = Allocator.malloc heap 500 in
+  Alcotest.(check int) "freed chunk reused first-fit" a c
+
+let test_fastbin_lifo () =
+  let heap, _ = new_heap () in
+  let a = Allocator.malloc heap 64 in
+  let b = Allocator.malloc heap 64 in
+  Allocator.free heap a;
+  Allocator.free heap b;
+  Alcotest.(check int) "LIFO: last freed first out" b (Allocator.malloc heap 64);
+  Alcotest.(check int) "then the earlier one" a (Allocator.malloc heap 64)
+
+let test_split_leaves_remainder () =
+  let heap, _ = new_heap () in
+  let a = Allocator.malloc heap 496 in
+  let barrier = Allocator.malloc heap 32 in
+  Allocator.free heap a;
+  let small = Allocator.malloc heap 200 in
+  Alcotest.(check int) "split serves from the old chunk" a small;
+  let rest = Allocator.malloc heap 240 in
+  Alcotest.(check bool) "remainder served below the barrier" true (rest < barrier)
+
+let test_backward_coalescing () =
+  let heap, _ = new_heap () in
+  let a = Allocator.malloc heap 240 in
+  let b = Allocator.malloc heap 240 in
+  let _barrier = Allocator.malloc heap 32 in
+  Allocator.free heap a;
+  Allocator.free heap b;  (* coalesces backward with a *)
+  let big = Allocator.malloc heap 480 in
+  Alcotest.(check int) "merged chunk serves a larger request" a big
+
+let test_calloc_zeroes () =
+  let heap, mem = new_heap () in
+  let p = Allocator.malloc heap 64 in
+  Image.write64 mem p 0xDEAD;
+  Allocator.free heap p;
+  let q = Allocator.calloc heap ~count:8 ~size:8 in
+  Alcotest.(check int) "recycled chunk" p q;
+  Alcotest.(check int) "zeroed payload" 0 (Image.read64 mem q)
+
+let test_realloc_preserves () =
+  let heap, mem = new_heap () in
+  let p = Allocator.malloc heap 64 in
+  Image.write64 mem p 0x1234;
+  Image.write64 mem (p + 8) 0x5678;
+  let q = Allocator.realloc heap p 256 in
+  Alcotest.(check bool) "moved" true (q <> p);
+  Alcotest.(check int) "word 0 copied" 0x1234 (Image.read64 mem q);
+  Alcotest.(check int) "word 1 copied" 0x5678 (Image.read64 mem (q + 8))
+
+let test_fasttop_double_free_abort () =
+  let heap, _ = new_heap () in
+  let a = Allocator.malloc heap 64 in
+  Allocator.free heap a;
+  Alcotest.check_raises "fasttop"
+    (Allocator.Heap_abort "double free or corruption (fasttop)") (fun () ->
+      Allocator.free heap a)
+
+let test_prev_double_free_abort () =
+  let heap, _ = new_heap () in
+  let a = Allocator.malloc heap 512 in
+  let _barrier = Allocator.malloc heap 32 in
+  Allocator.free heap a;
+  Alcotest.check_raises "!prev"
+    (Allocator.Heap_abort "double free or corruption (!prev)") (fun () ->
+      Allocator.free heap a)
+
+let test_invalid_free_aborts () =
+  let heap, _ = new_heap () in
+  let a = Allocator.malloc heap 64 in
+  Alcotest.check_raises "misaligned" (Allocator.Heap_abort "free(): invalid pointer")
+    (fun () -> Allocator.free heap (a + 4));
+  Alcotest.check_raises "interior (bad size)"
+    (Allocator.Heap_abort "free(): invalid size") (fun () ->
+      Allocator.free heap (a + 16))
+
+let test_free_null_is_noop () =
+  let heap, _ = new_heap () in
+  Allocator.free heap 0;
+  Alcotest.(check pass) "free(NULL)" () ()
+
+let test_consolidation_enables_fastbin_double_free () =
+  (* The precondition of How2Heap's fastbin_dup_consolidate: a large
+     malloc drains the fastbins, so a second free of the same chunk
+     passes the fasttop check. *)
+  let heap, _ = new_heap () in
+  let a = Allocator.malloc heap 64 in
+  Allocator.free heap a;
+  let _big = Allocator.malloc heap 512 in
+  Allocator.free heap a;  (* must NOT abort *)
+  let x = Allocator.malloc heap 64 in
+  let y = Allocator.malloc heap 64 in
+  Alcotest.(check int) "chunk handed out twice" x y
+
+let test_fastbin_fd_corruption_returns_forged_chunk () =
+  (* The tcache_poisoning primitive: overwriting a freed chunk's fd makes
+     malloc return an arbitrary address. *)
+  let heap, mem = new_heap () in
+  let a = Allocator.malloc heap 64 in
+  Allocator.free heap a;
+  let target = 0x665000 in
+  Image.write64 mem a target;
+  Alcotest.(check int) "first pop is the real chunk" a (Allocator.malloc heap 64);
+  Alcotest.(check int) "second pop is the forged target" target (Allocator.malloc heap 64)
+
+let test_top_chunk_corruption_house_of_force () =
+  let heap, mem = new_heap () in
+  let a = Allocator.malloc heap 256 in
+  (* Overflow the top chunk's size field. *)
+  Image.write64 mem (a + 264) (1 lsl 60);
+  let target = Layout.heap_base + 0x100000 in
+  let top_after = a + 272 in
+  ignore (Allocator.malloc heap (target - top_after - 16));
+  let p = Allocator.malloc heap 16 in
+  Alcotest.(check int) "allocation lands on the forged top" target p
+
+let qcheck_allocator_invariants =
+  (* Random malloc/free sequences: live chunks stay 16-aligned, disjoint,
+     inside the heap. *)
+  QCheck.Test.make ~name:"random alloc/free keeps live chunks disjoint" ~count:50
+    QCheck.(list_of_size (Gen.int_range 1 60) (int_range 1 600))
+    (fun sizes ->
+      let heap, _ = new_heap () in
+      let live = ref [] in
+      let rng = Chex86_stats.Rng.create (List.length sizes) in
+      List.iter
+        (fun size ->
+          if Chex86_stats.Rng.int rng 4 = 0 && !live <> [] then begin
+            match !live with
+            | (p, _) :: rest ->
+              Allocator.free heap p;
+              live := rest
+            | [] -> ()
+          end
+          else begin
+            let p = Allocator.malloc heap size in
+            if p <> 0 then live := (p, size) :: !live
+          end)
+        sizes;
+      List.for_all
+        (fun (p, size) ->
+          p land 0xF = 0
+          && p >= Layout.heap_base
+          && p + size < Layout.heap_max
+          && List.for_all
+               (fun (q, qsize) -> q = p || p + size <= q - 16 || q + qsize <= p - 16)
+               !live)
+        !live)
+
+let test_allocation_events () =
+  let heap, _ = new_heap () in
+  let allocs = ref 0 and frees = ref 0 and failures = ref 0 in
+  Allocator.set_event_handler heap (function
+    | Allocator.Alloc _ -> incr allocs
+    | Allocator.Free _ -> incr frees
+    | Allocator.Alloc_failed _ -> incr failures);
+  let p = Allocator.malloc heap 64 in
+  Allocator.free heap p;
+  ignore (Allocator.malloc heap 0);
+  Alcotest.(check (list int)) "event counts" [ 1; 1; 1 ] [ !allocs; !frees; !failures ]
+
+let test_find_allocation () =
+  let heap, _ = new_heap () in
+  let p = Allocator.malloc heap 100 in
+  (match Allocator.find_allocation heap (p + 50) with
+  | Some (base, size, _) ->
+    Alcotest.(check int) "base" p base;
+    Alcotest.(check int) "size" 100 size
+  | None -> Alcotest.fail "interior address not found");
+  Alcotest.(check bool) "miss outside" true (Allocator.find_allocation heap (p + 200) = None);
+  Allocator.free heap p;
+  Alcotest.(check bool) "freed chunk forgotten" true (Allocator.find_allocation heap p = None)
+
+let test_msrs () =
+  let msrs = Msrs.create ~max_entries:2 () in
+  Msrs.register msrs ~kind:Msrs.Malloc ~entry:100 ~exit_:104;
+  Alcotest.(check bool) "entry found" true (Msrs.lookup_entry msrs 100 <> None);
+  Alcotest.(check bool) "exit found" true (Msrs.lookup_exit msrs 104 <> None);
+  Alcotest.(check bool) "non-registered pc" true (Msrs.lookup_entry msrs 104 = None);
+  Msrs.register msrs ~kind:Msrs.Free ~entry:200 ~exit_:204;
+  Alcotest.check_raises "model-specific limit"
+    (Invalid_argument "Msrs.register: model-specific limit on entry/exit points reached")
+    (fun () -> Msrs.register msrs ~kind:Msrs.Calloc ~entry:300 ~exit_:304)
+
+let test_extern_addresses () =
+  List.iter
+    (fun name ->
+      match Layout.extern_of_addr (Layout.extern_addr name) with
+      | Some (n, `Entry) -> Alcotest.(check string) "entry roundtrip" name n
+      | _ -> Alcotest.fail "entry not recognized")
+    Layout.externs;
+  match Layout.extern_of_addr (Layout.extern_exit_addr "malloc") with
+  | Some ("malloc", `Exit) -> ()
+  | _ -> Alcotest.fail "exit not recognized"
+
+let test_heap_profile () =
+  let heap, _ = new_heap () in
+  let profile = Chex86_os.Heap_profile.create ~interval_insns:10 heap in
+  let a = Allocator.malloc heap 64 in
+  let b = Allocator.malloc heap 64 in
+  Chex86_os.Heap_profile.on_access profile a;
+  Chex86_os.Heap_profile.on_access profile (a + 8);
+  for _ = 1 to 10 do
+    Chex86_os.Heap_profile.on_insn profile
+  done;
+  Chex86_os.Heap_profile.on_access profile b;
+  for _ = 1 to 10 do
+    Chex86_os.Heap_profile.on_insn profile
+  done;
+  Allocator.free heap b;
+  let r = Chex86_os.Heap_profile.report profile in
+  Alcotest.(check int) "total" 2 r.Chex86_os.Heap_profile.total_allocations;
+  Alcotest.(check int) "max live" 2 r.Chex86_os.Heap_profile.max_live_allocations;
+  Alcotest.(check (float 1e-9)) "avg in-use = 1 per interval" 1.
+    r.Chex86_os.Heap_profile.avg_in_use_per_interval
+
+let () =
+  Alcotest.run "os"
+    [
+      ( "allocator",
+        [
+          Alcotest.test_case "malloc basics" `Quick test_malloc_basics;
+          Alcotest.test_case "zero/negative" `Quick test_malloc_zero_and_negative;
+          Alcotest.test_case "huge fails" `Quick test_malloc_huge_fails;
+          Alcotest.test_case "adjacency" `Quick test_adjacent_allocations;
+          Alcotest.test_case "first fit" `Quick test_first_fit_reuse;
+          Alcotest.test_case "fastbin LIFO" `Quick test_fastbin_lifo;
+          Alcotest.test_case "splitting" `Quick test_split_leaves_remainder;
+          Alcotest.test_case "coalescing" `Quick test_backward_coalescing;
+          Alcotest.test_case "calloc zeroes" `Quick test_calloc_zeroes;
+          Alcotest.test_case "realloc preserves" `Quick test_realloc_preserves;
+          QCheck_alcotest.to_alcotest qcheck_allocator_invariants;
+        ] );
+      ( "integrity checks",
+        [
+          Alcotest.test_case "fasttop double free" `Quick test_fasttop_double_free_abort;
+          Alcotest.test_case "!prev double free" `Quick test_prev_double_free_abort;
+          Alcotest.test_case "invalid free" `Quick test_invalid_free_aborts;
+          Alcotest.test_case "free(NULL)" `Quick test_free_null_is_noop;
+        ] );
+      ( "exploit primitives",
+        [
+          Alcotest.test_case "consolidation double free" `Quick
+            test_consolidation_enables_fastbin_double_free;
+          Alcotest.test_case "fastbin fd corruption" `Quick
+            test_fastbin_fd_corruption_returns_forged_chunk;
+          Alcotest.test_case "house of force" `Quick test_top_chunk_corruption_house_of_force;
+        ] );
+      ( "process",
+        [
+          Alcotest.test_case "allocation events" `Quick test_allocation_events;
+          Alcotest.test_case "find_allocation" `Quick test_find_allocation;
+          Alcotest.test_case "msrs" `Quick test_msrs;
+          Alcotest.test_case "extern addresses" `Quick test_extern_addresses;
+          Alcotest.test_case "heap profile" `Quick test_heap_profile;
+        ] );
+    ]

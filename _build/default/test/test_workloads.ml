@@ -1,0 +1,130 @@
+(* Tests for the benchmark workloads: every program assembles, terminates,
+   and runs without false positives under full CHEx86 protection; the
+   pattern generators produce streams the classifier recognizes; the
+   allocation profiles have the Fig 3 shape. *)
+
+module W = Chex86_workloads.Workloads
+module Bench_spec = Chex86_workloads.Bench_spec
+
+let small_run ?(variant = Chex86.Variant.default) (w : Bench_spec.t) =
+  Chex86.Sim.run ~variant ~timing:false ~max_insns:400_000 (w.build ~scale:1)
+
+let acceptable name (run : Chex86.Sim.run) =
+  match run.outcome with
+  | Chex86.Sim.Completed | Chex86.Sim.Budget_exhausted -> ()
+  | Chex86.Sim.Violation_detected kind ->
+    Alcotest.failf "%s: false positive %s" name (Chex86.Violation.to_string kind)
+  | Chex86.Sim.Heap_abort msg -> Alcotest.failf "%s: allocator abort %s" name msg
+  | Chex86.Sim.Guest_fault msg -> Alcotest.failf "%s: guest fault %s" name msg
+
+let test_workload_clean name () =
+  let w = W.find name in
+  acceptable name (small_run w);
+  acceptable (name ^ "/insecure")
+    (small_run ~variant:(Chex86.Variant.make Chex86.Variant.Insecure) w)
+
+let test_registry () =
+  Alcotest.(check int) "8 SPEC + 6 PARSEC" 14 (List.length W.all);
+  Alcotest.(check int) "8 SPEC" 8 (List.length W.spec);
+  Alcotest.(check int) "6 PARSEC" 6 (List.length W.parsec);
+  Alcotest.check_raises "unknown workload"
+    (Invalid_argument "Workloads.find: unknown workload \"nope\"") (fun () ->
+      ignore (W.find "nope"))
+
+let test_workloads_terminate () =
+  (* Each workload must actually reach Halt at scale 1 (not just survive
+     a budget cap). *)
+  List.iter
+    (fun (w : Bench_spec.t) ->
+      let run =
+        Chex86.Sim.run
+          ~variant:(Chex86.Variant.make Chex86.Variant.Insecure)
+          ~timing:false ~max_insns:5_000_000 (w.build ~scale:1)
+      in
+      match run.outcome with
+      | Chex86.Sim.Completed -> ()
+      | _ -> Alcotest.failf "%s did not terminate" w.name)
+    W.all
+
+let test_patterns_classify () =
+  List.iter
+    (fun (name, build) ->
+      let trace = ref [] in
+      let configure m =
+        Chex86.Monitor.set_on_check m (fun ~pc:_ ~pid ~is_store ->
+            if is_store && pid > 2 then trace := pid :: !trace)
+      in
+      let run = Chex86.Sim.run ~timing:false ~configure (build ()) in
+      (match run.outcome with
+      | Chex86.Sim.Completed -> ()
+      | _ -> Alcotest.failf "pattern %s did not complete" name);
+      let classified = Chex86.Pattern_classifier.classify (List.rev !trace) in
+      Alcotest.(check string) name name (Chex86.Pattern_classifier.name classified))
+    Chex86_workloads.Patterns.all
+
+let test_allocation_profile_shape () =
+  (* Fig 3's premise: total >= max live >= 1, and xalancbmk makes the
+     most allocations of the suite. *)
+  let profiles =
+    List.map
+      (fun (w : Bench_spec.t) ->
+        let run =
+          Chex86.Sim.run
+            ~variant:(Chex86.Variant.make Chex86.Variant.Insecure)
+            ~timing:false ~profile_interval:100_000 (w.build ~scale:1)
+        in
+        match run.profile with
+        | Some p -> (w.name, Chex86_os.Heap_profile.report p)
+        | None -> Alcotest.fail "profile missing")
+      W.all
+  in
+  List.iter
+    (fun (name, (r : Chex86_os.Heap_profile.report)) ->
+      Alcotest.(check bool) (name ^ ": total >= max live") true
+        (r.total_allocations >= r.max_live_allocations);
+      Alcotest.(check bool) (name ^ ": allocates") true (r.total_allocations >= 1))
+    profiles;
+  let total name = (List.assoc name profiles).Chex86_os.Heap_profile.total_allocations in
+  List.iter
+    (fun other ->
+      if other <> "xalancbmk" then
+        Alcotest.(check bool)
+          (Printf.sprintf "xalancbmk out-allocates %s" other)
+          true
+          (total "xalancbmk" > total other))
+    (List.map (fun (w : Bench_spec.t) -> w.name) W.all)
+
+let test_pointer_intensity_contrast () =
+  (* The design intent behind Fig 6's outliers: mcf reloads spilled
+     pointers constantly (alias-predictor traffic), lbm keeps its two
+     grid pointers in registers and exhibits almost none. *)
+  let reloads_per_kinsn name =
+    let run = small_run (W.find name) in
+    let c = run.Chex86.Sim.result.Chex86_machine.Simulator.counters in
+    1000. *. float_of_int (Chex86_stats.Counter.get c "alias.pred_events")
+    /. float_of_int run.Chex86.Sim.result.Chex86_machine.Simulator.macro_insns
+  in
+  let mcf = reloads_per_kinsn "mcf" and lbm = reloads_per_kinsn "lbm" in
+  Alcotest.(check bool)
+    (Printf.sprintf "mcf (%.1f/kinsn) >> lbm (%.1f/kinsn)" mcf lbm)
+    true (mcf > 10. *. lbm)
+
+let () =
+  Alcotest.run "workloads"
+    [
+      ("registry", [ Alcotest.test_case "registry" `Quick test_registry ]);
+      ( "no false positives",
+        List.map
+          (fun (w : Bench_spec.t) ->
+            Alcotest.test_case w.name `Slow (test_workload_clean w.name))
+          W.all );
+      ( "behaviour",
+        [
+          Alcotest.test_case "terminate" `Slow test_workloads_terminate;
+          Alcotest.test_case "patterns classify" `Quick test_patterns_classify;
+          Alcotest.test_case "allocation profile shape" `Slow
+            test_allocation_profile_shape;
+          Alcotest.test_case "pointer intensity contrast" `Slow
+            test_pointer_intensity_contrast;
+        ] );
+    ]
