@@ -1,0 +1,27 @@
+# Entry points for the CHEx86 reproduction.
+#
+#   make check   build + full test suite + parallel smoke sweep
+#   make build   compile everything
+#   make test    dune runtest only
+
+.PHONY: all build test smoke check clean
+
+all: build
+
+build:
+	dune build
+
+test:
+	dune runtest
+
+# Quick end-to-end sanity: a figure-6 sweep on three representative
+# workloads, sharded over 2 worker domains.  Exercises the domain pool,
+# the memo prefetch, and the stats merge path in one run.
+smoke: build
+	CHEX86_WORKLOADS=mcf,canneal,freqmine CHEX86_SCALE=1 \
+		dune exec bench/main.exe -- --jobs 2 figure6
+
+check: build test smoke
+
+clean:
+	dune clean

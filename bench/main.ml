@@ -4,13 +4,19 @@
 
      dune exec bench/main.exe              # everything
      dune exec bench/main.exe -- figure6   # one target
+     dune exec bench/main.exe -- --jobs 4 figure6   # parallel sweep
      CHEX86_SCALE=2 dune exec bench/main.exe
+     CHEX86_WORKLOADS=mcf,canneal dune exec bench/main.exe -- figure6
 
-   The per-experiment index mapping each target to the paper's table or
-   figure lives in DESIGN.md; EXPERIMENTS.md records the paper-vs-measured
-   comparison of a full run. *)
+   --jobs N sizes the domain pool the sweeps shard over (default:
+   recommended_domain_count - 1; --jobs 1 is the exact serial path;
+   results are bit-identical at any job count). The per-experiment index
+   mapping each target to the paper's table or figure lives in DESIGN.md;
+   EXPERIMENTS.md records the paper-vs-measured comparison of a full
+   run. *)
 
 module Experiments = Chex86_harness.Experiments
+module Pool = Chex86_harness.Pool
 
 (* --- Bechamel micro-benchmarks of the added hardware structures -------- *)
 
@@ -155,8 +161,32 @@ let targets =
           "" );
     ]
 
+(* Strip --jobs N / --jobs=N / -j N out of argv (setting the pool size);
+   whatever remains are target names. *)
+let parse_jobs args =
+  let bad value =
+    Printf.eprintf "invalid --jobs value %S\n" value;
+    exit 1
+  in
+  let set value = match int_of_string_opt value with
+    | Some n when n >= 1 -> Pool.set_jobs n
+    | _ -> bad value
+  in
+  let rec go = function
+    | [] -> []
+    | ("--jobs" | "-j") :: value :: rest ->
+      set value;
+      go rest
+    | ("--jobs" | "-j") :: [] -> bad "<missing>"
+    | arg :: rest when String.length arg > 7 && String.sub arg 0 7 = "--jobs=" ->
+      set (String.sub arg 7 (String.length arg - 7));
+      go rest
+    | arg :: rest -> arg :: go rest
+  in
+  go args
+
 let () =
-  let requested = List.tl (Array.to_list Sys.argv) in
+  let requested = parse_jobs (List.tl (Array.to_list Sys.argv)) in
   let chosen =
     if requested = [] then List.map fst targets
     else begin
@@ -171,6 +201,7 @@ let () =
       requested
     end
   in
+  Printf.printf "[domain pool: %d job(s)]\n%!" (Pool.jobs ());
   List.iter
     (fun name ->
       let t0 = Unix.gettimeofday () in

@@ -43,6 +43,18 @@ let variant_arg =
 let scale_arg =
   Arg.(value & opt int 1 & info [ "s"; "scale" ] ~docv:"N" ~doc:"Workload scale factor.")
 
+(* Shared by the sweeping subcommands: size of the domain pool. Results
+   are bit-identical at any job count; --jobs 1 is the exact serial
+   path. *)
+let jobs_arg =
+  Arg.(
+    value
+    & opt int (Chex86_harness.Pool.default_jobs ())
+    & info [ "j"; "jobs" ] ~docv:"N"
+        ~doc:
+          "Worker domains to shard simulations over (default: \
+           recommended domain count - 1; 1 = serial).")
+
 let counters_arg =
   Arg.(value & flag & info [ "counters" ] ~doc:"Dump all event counters after the run.")
 
@@ -104,7 +116,8 @@ let list_cmd =
 let experiment_cmd =
   let targets = Chex86_harness.Experiments.all @ Chex86_harness.Ablations.all in
   let names = List.map fst targets in
-  let experiment name =
+  let experiment jobs name =
+    Chex86_harness.Pool.set_jobs jobs;
     match List.assoc_opt name targets with
     | Some f -> print_endline (f ())
     | None ->
@@ -118,7 +131,7 @@ let experiment_cmd =
   Cmd.v
     (Cmd.info "experiment"
        ~doc:"Regenerate one of the paper's tables/figures (figure1..9, table1..4, security).")
-    Term.(const experiment $ name_arg)
+    Term.(const experiment $ jobs_arg $ name_arg)
 
 (* Print the instrumented micro-op stream of a workload's first N
    macro-ops: what the decoder cracked and what the microcode

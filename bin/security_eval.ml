@@ -1,14 +1,40 @@
 (* security_eval: run the three exploit suites (RIPE, ASan tests,
    How2Heap) against a protection configuration and print the Section
-   VII-A summary plus a per-exploit listing for the named suites. *)
+   VII-A summary plus a per-exploit listing for the named suites.
+
+   --jobs N shards the sweep over N worker domains (default: recommended
+   domain count - 1; results are bit-identical at any job count). *)
 
 module Runner = Chex86_harness.Runner
 module Security = Chex86_harness.Security
+module Pool = Chex86_harness.Pool
 module Exploit = Chex86_exploits.Exploit
 
+let parse_args () =
+  let verbose = ref false in
+  let jobs = ref (Pool.default_jobs ()) in
+  let rec go = function
+    | [] -> ()
+    | ("-v" | "--verbose") :: rest ->
+      verbose := true;
+      go rest
+    | ("-j" | "--jobs") :: value :: rest ->
+      (match int_of_string_opt value with
+      | Some n when n >= 1 -> jobs := n
+      | _ ->
+        Printf.eprintf "invalid --jobs value %S\n" value;
+        exit 1);
+      go rest
+    | arg :: _ ->
+      Printf.eprintf "unknown argument %S (expected --verbose / --jobs N)\n" arg;
+      exit 1
+  in
+  go (List.tl (Array.to_list Sys.argv));
+  (!verbose, !jobs)
+
 let () =
-  let verbose = Array.exists (fun a -> a = "-v" || a = "--verbose") Sys.argv in
-  let results = Security.sweep Chex86_exploits.Exploits.all in
+  let verbose, jobs = parse_args () in
+  let results = Security.sweep ~jobs Chex86_exploits.Exploits.all in
   if verbose then
     List.iter
       (fun (r : Security.result) ->

@@ -15,6 +15,36 @@ let scale =
   | Some s -> ( try max 1 (int_of_string s) with _ -> 1)
   | None -> 1
 
+(* CHEX86_WORKLOADS=mcf,canneal,freqmine trims every figure's sweep to
+   the named workloads (smoke runs / make check); default is all 14. *)
+let workloads =
+  match Sys.getenv_opt "CHEX86_WORKLOADS" with
+  | None | Some "" -> W.all
+  | Some s ->
+    let requested =
+      String.split_on_char ',' s |> List.map String.trim
+      |> List.filter (fun n -> n <> "")
+    in
+    let known n =
+      List.exists (fun (w : Chex86_workloads.Bench_spec.t) -> w.name = n) W.all
+    in
+    List.iter
+      (fun n ->
+        if not (known n) then
+          Printf.eprintf "CHEX86_WORKLOADS: unknown workload %S (ignored)\n%!" n)
+      requested;
+    let picked =
+      List.filter
+        (fun (w : Chex86_workloads.Bench_spec.t) -> List.mem w.name requested)
+        W.all
+    in
+    if picked = [] then begin
+      Printf.eprintf "CHEX86_WORKLOADS: no known workloads named; sweeping all %d\n%!"
+        (List.length W.all);
+      W.all
+    end
+    else picked
+
 let spec_names = List.map (fun (w : Chex86_workloads.Bench_spec.t) -> w.name) W.spec
 let is_spec name = List.mem name spec_names
 
@@ -80,6 +110,10 @@ let figure1 () =
 (* --- Figure 3 ------------------------------------------------------------- *)
 
 let figure3 () =
+  Runner.prefetch
+    (List.map
+       (fun w -> Runner.job ~timing:false ~profile:true ~scale Runner.insecure w)
+       workloads);
   let rows =
     List.map
       (fun (w : Chex86_workloads.Bench_spec.t) ->
@@ -95,7 +129,7 @@ let figure3 () =
             Printf.sprintf "%.0f" p.Chex86_os.Heap_profile.avg_in_use_per_interval;
           ]
         | None -> [ w.name; "-"; "-"; "-" ])
-      W.all
+      workloads
   in
   String.concat "\n"
     [
@@ -121,13 +155,18 @@ let fig6_configs =
   ]
 
 let fig6_runs () =
+  Runner.prefetch
+    (List.concat_map
+       (fun w ->
+         List.map (fun (_, config) -> Runner.job ~scale config w) fig6_configs)
+       workloads);
   List.map
     (fun (w : Chex86_workloads.Bench_spec.t) ->
       ( w,
         List.map
           (fun (name, config) -> (name, Runner.run_workload ~scale config w))
           fig6_configs ))
-    W.all
+    workloads
 
 let figure6 () =
   let runs = fig6_runs () in
@@ -214,6 +253,16 @@ let cap_miss_rate counters =
   Counter.ratio counters ~num:"capcache.miss" ~den:"capcache.hit"
 
 let figure7 () =
+  Runner.prefetch
+    (List.concat_map
+       (fun w ->
+         [
+           Runner.job ~tag:"cc64" ~scale (cache_variant ~cap_entries:64 ~alias_sets:128) w;
+           Runner.job ~tag:"cc128" ~scale
+             (cache_variant ~cap_entries:128 ~alias_sets:256)
+             w;
+         ])
+       workloads);
   let rows =
     List.map
       (fun (w : Chex86_workloads.Bench_spec.t) ->
@@ -234,7 +283,7 @@ let figure7 () =
           opt (alias_miss_rate small.Runner.counters);
           opt (alias_miss_rate big.Runner.counters);
         ])
-      W.all
+      workloads
   in
   String.concat "\n"
     [
@@ -268,6 +317,16 @@ let predictor_variant entries =
     (Chex86.Variant.make ~predictor_entries:entries Chex86.Variant.Microcode_prediction)
 
 let figure8 () =
+  Runner.prefetch
+    (List.concat_map
+       (fun w ->
+         [
+           Runner.job ~tag:"pred1024" ~scale (predictor_variant 1024) w;
+           Runner.job ~tag:"pred2048" ~scale (predictor_variant 2048) w;
+           Runner.job ~scale Runner.insecure w;
+           Runner.job ~scale Runner.prediction w;
+         ])
+       workloads);
   let rows =
     List.map
       (fun (w : Chex86_workloads.Bench_spec.t) ->
@@ -284,14 +343,14 @@ let figure8 () =
           Render.percent (squash_fraction base);
           Render.percent (squash_fraction pred);
         ])
-      W.all
+      workloads
   in
   let accuracies =
     List.map
       (fun (w : Chex86_workloads.Bench_spec.t) ->
         let run = Runner.run_workload ~tag:"pred1024" ~scale (predictor_variant 1024) w in
         1. -. mispredict_rate run.Runner.counters)
-      W.all
+      workloads
   in
   String.concat "\n"
     [
@@ -317,6 +376,15 @@ let mb bytes = float_of_int bytes /. (1024. *. 1024.)
 
 let figure9 () =
   let freq = 3.4e9 in
+  Runner.prefetch
+    (List.concat_map
+       (fun w ->
+         [
+           Runner.job ~scale Runner.insecure w;
+           Runner.job ~scale Runner.Asan w;
+           Runner.job ~scale Runner.prediction w;
+         ])
+       workloads);
   let rows =
     List.map
       (fun (w : Chex86_workloads.Bench_spec.t) ->
@@ -336,7 +404,7 @@ let figure9 () =
           Printf.sprintf "%.0f" (bandwidth base);
           Printf.sprintf "%.0f" (bandwidth pred);
         ])
-      W.all
+      workloads
   in
   String.concat "\n"
     [
@@ -520,7 +588,7 @@ let table4 () =
 (* --- Security ----------------------------------------------------------------- *)
 
 let security () =
-  let results = Security.sweep Chex86_exploits.Exploits.all in
+  let results, stats = Security.sweep_stats Chex86_exploits.Exploits.all in
   let suites =
     [
       Chex86_exploits.Exploit.Ripe;
@@ -548,6 +616,24 @@ let security () =
       (fun (cls, n) -> [ cls; string_of_int n ])
       (Security.class_breakdown results)
   in
+  (* Totals from the merged worker stats (tallied task-privately on the
+     domain pool, merged in exploit order). *)
+  let merged = stats.Pool.counters in
+  let totals =
+    Printf.sprintf "Merged sweep stats: %d/%d blocked, %d with the expected class"
+      (Counter.get merged "sweep.blocked")
+      (Counter.get merged "sweep.total")
+      (Counter.get merged "sweep.expected_class")
+  in
+  let insn_spread =
+    match List.assoc_opt "sweep.protected_macro_insns" stats.Pool.histograms with
+    | Some h ->
+      Printf.sprintf "Protected-run macro-ops per exploit: p50=%d p99=%d max=%d"
+        (Chex86_stats.Histogram.percentile h 0.50)
+        (Chex86_stats.Histogram.percentile h 0.99)
+        (Chex86_stats.Histogram.max_value h)
+    | None -> ""
+  in
   String.concat "\n"
     [
       Render.banner "Security Evaluation (Section VII-A)";
@@ -563,6 +649,9 @@ let security () =
             "Allocator aborts";
           ]
         rows;
+      "";
+      totals;
+      insn_spread;
       "";
       "Violation-class breakdown of blocked exploits:";
       Render.table ~header:[ "Class"; "Count" ] breakdown;

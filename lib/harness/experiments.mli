@@ -5,6 +5,11 @@
     variable (default 1). *)
 
 val scale : int
+
+(** The workloads every figure sweeps: all 14, or the subset named by
+    the CHEX86_WORKLOADS environment variable (comma-separated). *)
+val workloads : Chex86_workloads.Bench_spec.t list
+
 val figure1 : unit -> string
 
 (** Benchmark allocation behaviour (total / max-live / in-use). *)

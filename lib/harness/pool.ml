@@ -1,0 +1,150 @@
+(* Domains-based parallel experiment engine.
+
+   Shards independent simulation tasks over a fixed-size pool of worker
+   domains.  Three properties make parallel sweeps safe to trust:
+
+   - every task is self-contained: it builds its own guest program,
+     monitor and counter group, so workers share no mutable state;
+   - per-task RNG streams are seeded from a stable hash of the task key
+     (FNV-1a over the key string), never from worker identity or
+     scheduling order;
+   - per-task stats are accumulated into private groups and merged by
+     the coordinator in task order, and the merge operators
+     ([Counter.merge] / [Histogram.merge]) are order-insensitive.
+
+   Together these guarantee that a sweep at [~jobs:n] is bit-identical
+   to the serial [~jobs:1] run (enforced by test/test_parallel.ml).
+
+   [~jobs:1] does not spawn any domain: tasks run in the calling domain,
+   in index order, through the exact same code path as before the pool
+   existed. *)
+
+module Rng = Chex86_stats.Rng
+module Counter = Chex86_stats.Counter
+module Histogram = Chex86_stats.Histogram
+
+let default_jobs () = max 1 (Domain.recommended_domain_count () - 1)
+
+(* Process-wide job count, set once from the CLI (--jobs). *)
+let current_jobs = Atomic.make (default_jobs ())
+let set_jobs n = Atomic.set current_jobs (max 1 n)
+let jobs () = Atomic.get current_jobs
+
+(* Stable 64-bit FNV-1a over the task key.  [Hashtbl.hash] would also be
+   deterministic, but spelling the hash out pins the seed derivation
+   against stdlib changes. *)
+let seed_of_key key =
+  let h = ref (-3750763034362895579L) (* 0xcbf29ce484222325 *) in
+  String.iter
+    (fun c ->
+      h := Int64.mul (Int64.logxor !h (Int64.of_int (Char.code c))) 0x100000001b3L)
+    key;
+  (* Int64.to_int keeps the low 63 bits; mask the sign bit so the seed
+     is always non-negative. *)
+  Int64.to_int !h land max_int
+
+let rng_of_key key = Rng.create (seed_of_key key)
+
+(* Run [compute i] for [i < n] across [jobs] workers.  Results land in a
+   slot array indexed by task, so output order is input order no matter
+   which worker ran what.  Exceptions are re-raised in the coordinator,
+   deterministically picking the lowest-index failure. *)
+let run_indexed ~jobs n compute =
+  let slots = Array.make n None in
+  if jobs <= 1 || n <= 1 then
+    for i = 0 to n - 1 do
+      slots.(i) <- Some (Ok (compute i))
+    done
+  else begin
+    let next = Atomic.make 0 in
+    let worker () =
+      let rec loop () =
+        let i = Atomic.fetch_and_add next 1 in
+        if i < n then begin
+          (slots.(i) <-
+            (try Some (Ok (compute i))
+             with e -> Some (Error (e, Printexc.get_raw_backtrace ()))));
+          loop ()
+        end
+      in
+      loop ()
+    in
+    let spawned = List.init (min jobs n - 1) (fun _ -> Domain.spawn worker) in
+    worker () (* the coordinator is one of the pool's workers *);
+    List.iter Domain.join spawned
+  end;
+  Array.iteri
+    (fun i slot ->
+      match slot with
+      | Some (Error (e, bt)) -> Printexc.raise_with_backtrace e bt
+      | Some (Ok _) -> ()
+      | None -> failwith (Printf.sprintf "Pool: task %d lost" i))
+    slots;
+  Array.map (function Some (Ok v) -> v | _ -> assert false) slots
+
+let map ?jobs:j f tasks =
+  let jobs = match j with Some j -> max 1 j | None -> jobs () in
+  run_indexed ~jobs (Array.length tasks) (fun i -> f tasks.(i))
+
+(* --- keyed tasks with private stats -------------------------------------- *)
+
+type ctx = {
+  key : string;
+  rng : Rng.t;
+  counters : Counter.group;
+  histogram : string -> Histogram.t;
+}
+
+type merged_stats = {
+  counters : Counter.group;
+  histograms : (string * Histogram.t) list;
+}
+
+let map_stats ?jobs:j ~key f tasks =
+  let jobs = match j with Some j -> max 1 j | None -> jobs () in
+  let compute i =
+    let k = key tasks.(i) in
+    let counters = Counter.create_group () in
+    let hists : (string, Histogram.t) Hashtbl.t = Hashtbl.create 4 in
+    let histogram name =
+      match Hashtbl.find_opt hists name with
+      | Some h -> h
+      | None ->
+        let h = Histogram.create () in
+        Hashtbl.add hists name h;
+        h
+    in
+    let ctx = { key = k; rng = rng_of_key k; counters; histogram } in
+    let v = f tasks.(i) ctx in
+    let hist_snaps =
+      Hashtbl.fold (fun name h acc -> (name, Histogram.snapshot h) :: acc) hists []
+      |> List.sort (fun (a, _) (b, _) -> compare a b)
+    in
+    (v, Counter.group_snapshot counters, hist_snaps)
+  in
+  let raw = run_indexed ~jobs (Array.length tasks) compute in
+  (* Deterministic reduction: fold in task order (= the caller's key
+     order), not completion order. *)
+  let counter_total =
+    Array.fold_left (fun acc (_, snap, _) -> Counter.merge acc snap)
+      Counter.empty_snapshot raw
+  in
+  let hist_total : (string, Histogram.snapshot) Hashtbl.t = Hashtbl.create 4 in
+  Array.iter
+    (fun (_, _, hs) ->
+      List.iter
+        (fun (name, snap) ->
+          let prev =
+            Option.value ~default:Histogram.empty_snapshot
+              (Hashtbl.find_opt hist_total name)
+          in
+          Hashtbl.replace hist_total name (Histogram.merge prev snap))
+        hs)
+    raw;
+  let histograms =
+    Hashtbl.fold (fun name snap acc -> (name, Histogram.of_snapshot snap) :: acc)
+      hist_total []
+    |> List.sort (fun (a, _) (b, _) -> compare a b)
+  in
+  ( Array.map (fun (v, _, _) -> v) raw,
+    { counters = Counter.of_snapshot counter_total; histograms } )

@@ -1,0 +1,55 @@
+(** Domains-based parallel experiment engine.
+
+    Shards independent simulation tasks over a fixed pool of worker
+    domains with deterministic per-task RNG seeding and order-insensitive
+    stats merging, so a sweep at [~jobs:n] is bit-identical to the serial
+    [~jobs:1] run (test/test_parallel.ml enforces this). *)
+
+(** [Domain.recommended_domain_count () - 1], at least 1. *)
+val default_jobs : unit -> int
+
+(** Process-wide job count used when [?jobs] is omitted; starts at
+    [default_jobs ()], set once from the CLI ([--jobs N]). Clamped to
+    at least 1. *)
+val set_jobs : int -> unit
+
+val jobs : unit -> int
+
+(** Stable FNV-1a hash of a task key; the task's RNG seed. *)
+val seed_of_key : string -> int
+
+(** A fresh RNG stream seeded from the task key, independent of worker
+    identity and scheduling order. *)
+val rng_of_key : string -> Chex86_stats.Rng.t
+
+(** [map ~jobs f tasks] computes [f] over [tasks]; results are returned
+    in task order. [~jobs:1] (or a single task) runs everything in the
+    calling domain in index order — the exact serial path, no domain is
+    spawned. A task exception is re-raised in the caller,
+    deterministically picking the lowest-index failure. *)
+val map : ?jobs:int -> ('a -> 'b) -> 'a array -> 'b array
+
+(** Per-task context: a private counter group and named histograms no
+    other task can see, plus an RNG seeded from the task key. *)
+type ctx = {
+  key : string;
+  rng : Chex86_stats.Rng.t;
+  counters : Chex86_stats.Counter.group;
+  histogram : string -> Chex86_stats.Histogram.t;
+      (** named scratch histogram, created on first use *)
+}
+
+type merged_stats = {
+  counters : Chex86_stats.Counter.group;
+  histograms : (string * Chex86_stats.Histogram.t) list;  (** sorted by name *)
+}
+
+(** [map_stats ~key f tasks] is [map], with each task given a private
+    [ctx]; the coordinator merges all per-task stats in task order into
+    the returned [merged_stats]. *)
+val map_stats :
+  ?jobs:int ->
+  key:('a -> string) ->
+  ('a -> ctx -> 'b) ->
+  'a array ->
+  'b array * merged_stats

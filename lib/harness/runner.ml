@@ -114,7 +114,26 @@ let run_program ?(timing = true) ?(max_insns = 50_000_000) ?(profile = false)
 
 (* --- memoized workload runs ---------------------------------------------- *)
 
+(* The memo table is the only module-level mutable state in the harness;
+   it is shared by every domain of a parallel sweep, so all access goes
+   through [memo_lock].  (Found by the jobs>=2 determinism sweep: an
+   unsynchronized Hashtbl corrupts its bucket chains under concurrent
+   Hashtbl.add; test_parallel.ml keeps a regression test hammering it.) *)
 let memo : (string, run) Hashtbl.t = Hashtbl.create 64
+let memo_lock = Mutex.create ()
+
+let memo_find key = Mutex.protect memo_lock (fun () -> Hashtbl.find_opt memo key)
+
+(* First publication wins, so concurrent computations of the same key
+   still yield one canonical [run] value (physical equality of repeated
+   [run_workload] calls is part of the API). *)
+let memo_publish key run =
+  Mutex.protect memo_lock (fun () ->
+      match Hashtbl.find_opt memo key with
+      | Some existing -> existing
+      | None ->
+        Hashtbl.add memo key run;
+        run)
 
 let run_workload ?(tag = "") ?(timing = true) ?(profile = false) ?configure ~scale config
     (w : Chex86_workloads.Bench_spec.t) =
@@ -122,9 +141,55 @@ let run_workload ?(tag = "") ?(timing = true) ?(profile = false) ?configure ~sca
     Printf.sprintf "%s/%s/%d/%b/%b/%s" w.name (config_name config) scale timing profile
       tag
   in
-  match Hashtbl.find_opt memo key with
+  match memo_find key with
   | Some run -> run
   | None ->
     let run = run_program ~timing ~profile ?configure config (w.build ~scale) in
-    Hashtbl.add memo key run;
-    run
+    memo_publish key run
+
+(* --- parallel prefetch ---------------------------------------------------- *)
+
+type job = {
+  j_workload : Chex86_workloads.Bench_spec.t;
+  j_config : config;
+  j_tag : string;
+  j_timing : bool;
+  j_profile : bool;
+  j_scale : int;
+}
+
+let job ?(tag = "") ?(timing = true) ?(profile = false) ~scale config workload =
+  { j_workload = workload; j_config = config; j_tag = tag; j_timing = timing;
+    j_profile = profile; j_scale = scale }
+
+let job_key j =
+  Printf.sprintf "%s/%s/%d/%b/%b/%s" j.j_workload.name (config_name j.j_config)
+    j.j_scale j.j_timing j.j_profile j.j_tag
+
+(* Simulate the not-yet-memoized jobs on the domain pool and publish the
+   results into the memo in job order; subsequent [run_workload] calls
+   (the serial figure-assembly code) hit the memo.  Each job builds its
+   own program and monitor, so jobs share no state; publishing in job
+   order keeps the memo's insertion order identical to a serial run. *)
+let prefetch ?jobs job_list =
+  let seen = Hashtbl.create 16 in
+  let todo =
+    List.filter
+      (fun j ->
+        let key = job_key j in
+        if Hashtbl.mem seen key || Option.is_some (memo_find key) then false
+        else begin
+          Hashtbl.add seen key ();
+          true
+        end)
+      job_list
+    |> Array.of_list
+  in
+  let runs =
+    Pool.map ?jobs
+      (fun j ->
+        run_program ~timing:j.j_timing ~profile:j.j_profile j.j_config
+          (j.j_workload.build ~scale:j.j_scale))
+      todo
+  in
+  Array.iteri (fun i run -> ignore (memo_publish (job_key todo.(i)) run)) runs

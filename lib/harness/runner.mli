@@ -38,7 +38,8 @@ val run_program :
   Chex86_isa.Program.t ->
   run
 
-(** Memoized on (workload, config, scale, timing, profile, tag). *)
+(** Memoized on (workload, config, scale, timing, profile, tag). The
+    memo is domain-safe; repeated calls return the same [run] value. *)
 val run_workload :
   ?tag:string ->
   ?timing:bool ->
@@ -48,3 +49,24 @@ val run_workload :
   config ->
   Chex86_workloads.Bench_spec.t ->
   run
+
+(** A (workload x config) simulation task for the parallel prefetcher;
+    the fields mirror [run_workload]'s memo key. *)
+type job
+
+val job :
+  ?tag:string ->
+  ?timing:bool ->
+  ?profile:bool ->
+  scale:int ->
+  config ->
+  Chex86_workloads.Bench_spec.t ->
+  job
+
+val job_key : job -> string
+
+(** Simulate the not-yet-memoized jobs on the domain pool ([?jobs]
+    defaults to [Pool.jobs ()]) and publish the results into the memo in
+    job order, so the serial figure-assembly code then hits the memo.
+    Results are bit-identical to running the same jobs serially. *)
+val prefetch : ?jobs:int -> job list -> unit

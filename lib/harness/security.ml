@@ -35,7 +35,36 @@ let blocked_as_expected result =
    should see the corruption. *)
 let corruption_prevented result = not result.under_protection.Runner.pwned
 
-let sweep ?config exploits = List.map (evaluate ?config) exploits
+(* The 800+ exploits shard trivially: each evaluation builds its own two
+   guest programs and monitors.  Workers tally outcome counters and an
+   instruction-count histogram into task-private stats; the coordinator
+   merges them in task (= exploit) order, so the sweep is bit-identical
+   at any job count. *)
+let sweep_stats ?config ?jobs exploits =
+  let results, stats =
+    Pool.map_stats ?jobs
+      ~key:(fun (e : Exploit.t) -> e.Exploit.name)
+      (fun exploit (ctx : Pool.ctx) ->
+        let r = evaluate ?config exploit in
+        let c = ctx.Pool.counters in
+        Chex86_stats.Counter.incr c "sweep.total";
+        if blocked r then Chex86_stats.Counter.incr c "sweep.blocked";
+        if blocked_as_expected r then Chex86_stats.Counter.incr c "sweep.expected_class";
+        if corruption_prevented r then Chex86_stats.Counter.incr c "sweep.prevented";
+        (match r.under_protection.Runner.outcome with
+        | Runner.Blocked kind ->
+          Chex86_stats.Counter.incr c
+            ("sweep.class." ^ Chex86.Violation.class_name kind)
+        | _ -> ());
+        Chex86_stats.Histogram.add
+          (ctx.Pool.histogram "sweep.protected_macro_insns")
+          r.under_protection.Runner.macro_insns;
+        r)
+      (Array.of_list exploits)
+  in
+  (Array.to_list results, stats)
+
+let sweep ?config ?jobs exploits = fst (sweep_stats ?config ?jobs exploits)
 
 type suite_summary = {
   suite : Exploit.suite;

@@ -8,7 +8,21 @@ type result = {
 }
 
 val evaluate : ?config:Runner.config -> Chex86_exploits.Exploit.t -> result
-val sweep : ?config:Runner.config -> Chex86_exploits.Exploit.t list -> result list
+
+(** Evaluate every exploit, sharded over the domain pool ([?jobs]
+    defaults to [Pool.jobs ()]); results are in input order and
+    bit-identical at any job count. *)
+val sweep :
+  ?config:Runner.config -> ?jobs:int -> Chex86_exploits.Exploit.t list -> result list
+
+(** [sweep], plus sweep-level stats (outcome counters under [sweep.*],
+    a [sweep.protected_macro_insns] histogram) accumulated task-privately
+    and merged deterministically in exploit order. *)
+val sweep_stats :
+  ?config:Runner.config ->
+  ?jobs:int ->
+  Chex86_exploits.Exploit.t list ->
+  result list * Pool.merged_stats
 val blocked : result -> bool
 val blocked_as_expected : result -> bool
 

@@ -46,5 +46,37 @@ let to_list group =
   Hashtbl.fold (fun name cell acc -> (name, !cell) :: acc) group.counters []
   |> List.sort compare
 
+(* --- snapshots ------------------------------------------------------------ *)
+
+(* An immutable, name-sorted view of a group.  Snapshots cross domain
+   boundaries in the parallel sweep engine: each worker accumulates into a
+   private group, snapshots it, and the coordinator merges the snapshots
+   in task-key order.  Because [merge] is pointwise addition over a sorted
+   namespace it is associative and commutative with [empty_snapshot] as
+   identity, so the merged totals never depend on scheduling order. *)
+type snapshot = (string * int) list
+
+let empty_snapshot : snapshot = []
+let group_snapshot group : snapshot = to_list group
+let snapshot_to_list (s : snapshot) = s
+
+let merge (a : snapshot) (b : snapshot) : snapshot =
+  let rec go a b =
+    match (a, b) with
+    | [], rest | rest, [] -> rest
+    | (na, va) :: ta, (nb, vb) :: tb ->
+      if na < nb then (na, va) :: go ta b
+      else if nb < na then (nb, vb) :: go a tb
+      else (na, va + vb) :: go ta tb
+  in
+  go a b
+
+let absorb group (s : snapshot) = List.iter (fun (name, v) -> incr ~by:v group name) s
+
+let of_snapshot (s : snapshot) =
+  let group = create_group () in
+  absorb group s;
+  group
+
 let pp ppf group =
   List.iter (fun (name, v) -> Format.fprintf ppf "%-40s %d@." name v) (to_list group)

@@ -59,6 +59,38 @@ let mode hist =
 
 let fold f init hist = List.fold_left (fun acc (v, n) -> f acc v n) init (sorted hist)
 
+(* --- snapshots ------------------------------------------------------------ *)
+
+(* Immutable value-sorted view, safe to hand between domains.  [merge]
+   adds bucket weights pointwise, so it is associative and commutative
+   with [empty_snapshot] as identity; the parallel sweep coordinator
+   merges worker snapshots in task-key order and the result is identical
+   to sequential accumulation. *)
+type snapshot = (int * int) list
+
+let empty_snapshot : snapshot = []
+let snapshot hist : snapshot = sorted hist
+let snapshot_to_list (s : snapshot) = s
+
+let merge (a : snapshot) (b : snapshot) : snapshot =
+  let rec go a b =
+    match (a, b) with
+    | [], rest | rest, [] -> rest
+    | (va, na) :: ta, (vb, nb) :: tb ->
+      if va < vb then (va, na) :: go ta b
+      else if vb < va then (vb, nb) :: go a tb
+      else (va, na + nb) :: go ta tb
+  in
+  go a b
+
+let add_snapshot hist (s : snapshot) =
+  List.iter (fun (value, weight) -> if weight > 0 then add ~weight hist value) s
+
+let of_snapshot (s : snapshot) =
+  let hist = create () in
+  add_snapshot hist s;
+  hist
+
 let pp ppf hist =
   Format.fprintf ppf "n=%d mean=%.2f min=%d max=%d p50=%d p99=%d" hist.count (mean hist)
     (min_value hist) (max_value hist) (percentile hist 0.50) (percentile hist 0.99)

@@ -31,4 +31,21 @@ val fold : ('a -> int -> int -> 'a) -> 'a -> t -> 'a
 (** Sorted (value, count) pairs. *)
 val sorted : t -> (int * int) list
 
+(** An immutable value-sorted view, safe to pass between domains.
+    [merge] adds bucket weights pointwise: associative, commutative,
+    with [empty_snapshot] as identity. *)
+type snapshot
+
+val empty_snapshot : snapshot
+val snapshot : t -> snapshot
+val merge : snapshot -> snapshot -> snapshot
+
+(** [add_snapshot h s] records every bucket of [s] into [h]. *)
+val add_snapshot : t -> snapshot -> unit
+
+(** A fresh histogram holding exactly the snapshot's buckets. *)
+val of_snapshot : snapshot -> t
+
+val snapshot_to_list : snapshot -> (int * int) list
+
 val pp : Format.formatter -> t -> unit
