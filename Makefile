@@ -4,7 +4,7 @@
 #   make build   compile everything
 #   make test    dune runtest only
 
-.PHONY: all build test smoke check clean
+.PHONY: all build test smoke fault-smoke check clean
 
 all: build
 
@@ -21,7 +21,20 @@ smoke: build
 	CHEX86_WORKLOADS=mcf,canneal,freqmine CHEX86_SCALE=1 \
 		dune exec bench/main.exe -- --jobs 2 figure6
 
-check: build test smoke
+# Supervision sanity: with deterministic fault injection armed, the
+# sweep must still complete (exit 0, non-empty fault report); the same
+# sweep under --strict must flip the exit code.
+fault-smoke: build
+	CHEX86_WORKLOADS=mcf,canneal CHEX86_SCALE=1 \
+	CHEX86_FAULT_RATE=0.5 CHEX86_FAULT_SEED=11 \
+		dune exec bench/main.exe -- --jobs 2 --no-cache figure6 \
+		| grep -q "sweep fault report"
+	! CHEX86_WORKLOADS=mcf,canneal CHEX86_SCALE=1 \
+	CHEX86_FAULT_RATE=0.5 CHEX86_FAULT_SEED=11 \
+		dune exec bench/main.exe -- --jobs 2 --no-cache --strict figure6 \
+		> /dev/null
+
+check: build test smoke fault-smoke
 
 clean:
 	dune clean

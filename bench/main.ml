@@ -10,10 +10,15 @@
 
    --jobs N sizes the domain pool the sweeps shard over (default:
    recommended_domain_count - 1; --jobs 1 is the exact serial path;
-   results are bit-identical at any job count). The per-experiment index
-   mapping each target to the paper's table or figure lives in DESIGN.md;
-   EXPERIMENTS.md records the paper-vs-measured comparison of a full
-   run. *)
+   results are bit-identical at any job count). Sweeps are supervised:
+   a crashing or wedged task degrades its cells to FAULTED/TIMEOUT
+   instead of killing the run (--retries N / --task-timeout S bound
+   each task; --strict flips the exit code when anything faulted), and
+   completed runs checkpoint to _chex86_cache/ so an interrupted
+   invocation resumes where it stopped (--cache-dir / --no-cache). The
+   per-experiment index mapping each target to the paper's table or
+   figure lives in DESIGN.md; EXPERIMENTS.md records the
+   paper-vs-measured comparison of a full run. *)
 
 module Experiments = Chex86_harness.Experiments
 module Pool = Chex86_harness.Pool
@@ -161,40 +166,20 @@ let targets =
           "" );
     ]
 
-(* Strip --jobs N / --jobs=N / -j N out of argv (setting the pool size);
-   whatever remains are target names. *)
-let parse_jobs args =
-  let bad value =
-    Printf.eprintf "invalid --jobs value %S\n" value;
-    exit 1
-  in
-  let set value = match int_of_string_opt value with
-    | Some n when n >= 1 -> Pool.set_jobs n
-    | _ -> bad value
-  in
-  let rec go = function
-    | [] -> []
-    | ("--jobs" | "-j") :: value :: rest ->
-      set value;
-      go rest
-    | ("--jobs" | "-j") :: [] -> bad "<missing>"
-    | arg :: rest when String.length arg > 7 && String.sub arg 0 7 = "--jobs=" ->
-      set (String.sub arg 7 (String.length arg - 7));
-      go rest
-    | arg :: rest -> arg :: go rest
-  in
-  go args
-
 let () =
-  let requested = parse_jobs (List.tl (Array.to_list Sys.argv)) in
+  (* Cli.parse_common strips the sweep flags (--jobs, --strict,
+     --retries, --task-timeout, --cache-dir, ...) and applies them to
+     the process-wide knobs; whatever remains are target names. *)
+  let requested = Chex86_harness.Cli.parse_common (List.tl (Array.to_list Sys.argv)) in
   let chosen =
     if requested = [] then List.map fst targets
     else begin
       List.iter
         (fun name ->
           if not (List.mem_assoc name targets) then begin
-            Printf.eprintf "unknown target %S; available: %s\n" name
-              (String.concat ", " (List.map fst targets));
+            Printf.eprintf "unknown target %S; available: %s\nflags:\n%s\n" name
+              (String.concat ", " (List.map fst targets))
+              Chex86_harness.Cli.common_flags_doc;
             exit 1
           end)
         requested;
@@ -208,4 +193,5 @@ let () =
       let out = (List.assoc name targets) () in
       if out <> "" then print_endline out;
       Printf.printf "[%s: %.1fs]\n\n%!" name (Unix.gettimeofday () -. t0))
-    chosen
+    chosen;
+  Chex86_harness.Cli.exit_for_faults ()

@@ -43,17 +43,90 @@ let variant_arg =
 let scale_arg =
   Arg.(value & opt int 1 & info [ "s"; "scale" ] ~docv:"N" ~doc:"Workload scale factor.")
 
+(* Integer >= [min], rejected with a one-line message otherwise (plain
+   [Arg.int] happily accepts negative job counts). *)
+let bounded_int_conv ~what ~min =
+  Arg.conv
+    ( (fun s ->
+        match int_of_string_opt s with
+        | Some n when n >= min -> Ok n
+        | _ ->
+          Error
+            (`Msg (Printf.sprintf "invalid %s value %S (expected an integer >= %d)" what s min))),
+      Format.pp_print_int )
+
+let pos_float_conv ~what =
+  Arg.conv
+    ( (fun s ->
+        match float_of_string_opt s with
+        | Some f when f > 0. -> Ok f
+        | _ ->
+          Error (`Msg (Printf.sprintf "invalid %s value %S (expected seconds > 0)" what s))),
+      Format.pp_print_float )
+
 (* Shared by the sweeping subcommands: size of the domain pool. Results
    are bit-identical at any job count; --jobs 1 is the exact serial
    path. *)
 let jobs_arg =
   Arg.(
     value
-    & opt int (Chex86_harness.Pool.default_jobs ())
+    & opt (bounded_int_conv ~what:"--jobs" ~min:1) (Chex86_harness.Pool.default_jobs ())
     & info [ "j"; "jobs" ] ~docv:"N"
         ~doc:
           "Worker domains to shard simulations over (default: \
            recommended domain count - 1; 1 = serial).")
+
+(* Supervision and result-store knobs of the sweeping subcommands
+   (mirrors bench/main.exe; see DESIGN.md "Sweep supervision"). *)
+let strict_arg =
+  Arg.(
+    value & flag
+    & info [ "strict" ]
+        ~doc:
+          "Exit 1 if any supervised task faulted; unknown CHEX86_WORKLOADS names \
+           become errors.")
+
+let keep_going_arg =
+  Arg.(
+    value & flag
+    & info [ "keep-going" ] ~doc:"Report faults and continue (the default).")
+
+let retries_arg =
+  Arg.(
+    value
+    & opt (bounded_int_conv ~what:"--retries" ~min:0) 0
+    & info [ "retries" ] ~docv:"N" ~doc:"Retry budget per faulted task (default 0).")
+
+let task_timeout_arg =
+  Arg.(
+    value
+    & opt (some (pos_float_conv ~what:"--task-timeout")) None
+    & info [ "task-timeout" ] ~docv:"SECONDS"
+        ~doc:"Per-task wall budget, enforced cooperatively.")
+
+let cache_dir_arg =
+  Arg.(
+    value
+    & opt string Runner.Store.default_dir
+    & info [ "cache-dir" ] ~docv:"DIR" ~doc:"On-disk result store location.")
+
+let no_cache_arg =
+  Arg.(value & flag & info [ "no-cache" ] ~doc:"Disable the on-disk result store.")
+
+(* Apply the sweep knobs to the process-wide state, arming the
+   fault-injection plan from the environment like the other binaries. *)
+let apply_sweep_knobs jobs strict _keep_going retries task_timeout cache_dir no_cache =
+  let module Pool = Chex86_harness.Pool in
+  Pool.set_jobs jobs;
+  Pool.set_strict strict;
+  Pool.set_retries retries;
+  Pool.set_task_timeout task_timeout;
+  if no_cache then Runner.Store.disable () else Runner.Store.configure ~dir:cache_dir;
+  match Chex86_harness.Faultinject.arm_from_env () with
+  | Ok _ -> ()
+  | Error msg ->
+    Printf.eprintf "%s\n" msg;
+    exit 1
 
 let counters_arg =
   Arg.(value & flag & info [ "counters" ] ~doc:"Dump all event counters after the run.")
@@ -116,10 +189,12 @@ let list_cmd =
 let experiment_cmd =
   let targets = Chex86_harness.Experiments.all @ Chex86_harness.Ablations.all in
   let names = List.map fst targets in
-  let experiment jobs name =
-    Chex86_harness.Pool.set_jobs jobs;
+  let experiment jobs strict keep_going retries task_timeout cache_dir no_cache name =
+    apply_sweep_knobs jobs strict keep_going retries task_timeout cache_dir no_cache;
     match List.assoc_opt name targets with
-    | Some f -> print_endline (f ())
+    | Some f ->
+      print_endline (f ());
+      Chex86_harness.Cli.exit_for_faults ()
     | None ->
       Printf.eprintf "unknown experiment %S (one of: %s)\n" name
         (String.concat ", " names);
@@ -131,7 +206,9 @@ let experiment_cmd =
   Cmd.v
     (Cmd.info "experiment"
        ~doc:"Regenerate one of the paper's tables/figures (figure1..9, table1..4, security).")
-    Term.(const experiment $ jobs_arg $ name_arg)
+    Term.(
+      const experiment $ jobs_arg $ strict_arg $ keep_going_arg $ retries_arg
+      $ task_timeout_arg $ cache_dir_arg $ no_cache_arg $ name_arg)
 
 (* Print the instrumented micro-op stream of a workload's first N
    macro-ops: what the decoder cracked and what the microcode

@@ -3,38 +3,38 @@
    VII-A summary plus a per-exploit listing for the named suites.
 
    --jobs N shards the sweep over N worker domains (default: recommended
-   domain count - 1; results are bit-identical at any job count). *)
+   domain count - 1; results are bit-identical at any job count). The
+   sweep is supervised: a crashing or wedged evaluation is reported and
+   the rest completes (--retries / --task-timeout bound each task;
+   --strict makes any fault flip the exit code). *)
 
 module Runner = Chex86_harness.Runner
 module Security = Chex86_harness.Security
 module Pool = Chex86_harness.Pool
+module Cli = Chex86_harness.Cli
 module Exploit = Chex86_exploits.Exploit
 
 let parse_args () =
   let verbose = ref false in
-  let jobs = ref (Pool.default_jobs ()) in
   let rec go = function
     | [] -> ()
     | ("-v" | "--verbose") :: rest ->
       verbose := true;
       go rest
-    | ("-j" | "--jobs") :: value :: rest ->
-      (match int_of_string_opt value with
-      | Some n when n >= 1 -> jobs := n
-      | _ ->
-        Printf.eprintf "invalid --jobs value %S\n" value;
-        exit 1);
-      go rest
     | arg :: _ ->
-      Printf.eprintf "unknown argument %S (expected --verbose / --jobs N)\n" arg;
+      Printf.eprintf "unknown argument %S (expected --verbose plus:)\n%s\n" arg
+        Cli.common_flags_doc;
       exit 1
   in
-  go (List.tl (Array.to_list Sys.argv));
-  (!verbose, !jobs)
+  go (Cli.parse_common (List.tl (Array.to_list Sys.argv)));
+  !verbose
 
 let () =
-  let verbose, jobs = parse_args () in
-  let results = Security.sweep ~jobs Chex86_exploits.Exploits.all in
+  let verbose = parse_args () in
+  let slots, _stats, report =
+    Security.sweep_stats_supervised Chex86_exploits.Exploits.all
+  in
+  let results = List.filter_map (fun (_, r) -> Result.to_option r) slots in
   if verbose then
     List.iter
       (fun (r : Security.result) ->
@@ -61,4 +61,7 @@ let () =
   let blocked = List.length (List.filter Security.blocked results) in
   Printf.printf "\n%d/%d exploits blocked under CHEx86 (micro-code prediction driven)\n"
     blocked total;
+  if report.Pool.crashed + report.Pool.timed_out > 0 then
+    print_endline (Pool.render_fault_report report);
+  Cli.exit_for_faults ();
   if blocked < total then exit 1

@@ -1,0 +1,98 @@
+(* Shared flag parsing for the hand-rolled sweep executables
+   (bench/main.exe, security_eval).  chex86_sim is cmdliner-based and
+   declares the same flags natively; both paths end up setting the same
+   process-wide knobs (Pool.set_jobs/set_strict/..., Runner.Store). *)
+
+let die fmt =
+  Printf.ksprintf
+    (fun msg ->
+      Printf.eprintf "%s\n" msg;
+      exit 1)
+    fmt
+
+let common_flags_doc =
+  "  --jobs N, -j N      worker domains to shard sweeps over (>= 1)\n\
+  \  --strict            exit 1 if any task faulted; unknown CHEX86_WORKLOADS error\n\
+  \  --keep-going        report faults and continue (default)\n\
+  \  --retries N         retry budget per faulted task (default 0)\n\
+  \  --task-timeout S    per-task wall budget in seconds (cooperative)\n\
+  \  --cache-dir DIR     on-disk result store location (default _chex86_cache)\n\
+  \  --no-cache          disable the on-disk result store"
+
+(* [--flag=value] becomes [--flag; value] so every flag below accepts
+   both spellings. *)
+let split_eq args =
+  List.concat_map
+    (fun arg ->
+      if String.length arg > 2 && String.sub arg 0 2 = "--" && String.contains arg '='
+      then begin
+        let i = String.index arg '=' in
+        [ String.sub arg 0 i; String.sub arg (i + 1) (String.length arg - i - 1) ]
+      end
+      else [ arg ])
+    args
+
+let set_jobs value =
+  match int_of_string_opt value with
+  | Some n when n >= 1 -> Pool.set_jobs n
+  | _ -> die "invalid --jobs value %S (expected an integer >= 1)" value
+
+let set_retries value =
+  match int_of_string_opt value with
+  | Some n when n >= 0 -> Pool.set_retries n
+  | _ -> die "invalid --retries value %S (expected an integer >= 0)" value
+
+let set_task_timeout value =
+  match float_of_string_opt value with
+  | Some s when s > 0. -> Pool.set_task_timeout (Some s)
+  | _ -> die "invalid --task-timeout value %S (expected seconds > 0)" value
+
+(* Strip the common sweep flags out of [args], applying each to the
+   process-wide knobs; whatever remains is returned for the caller's own
+   parsing.  Also arms the fault-injection plan from the environment
+   (CHEX86_FAULT_RATE / CHEX86_FAULT_SEED), rejecting malformed values
+   the same way as a bad flag. *)
+let parse_common args =
+  let cache_dir = ref (Some Runner.Store.default_dir) in
+  let rec go = function
+    | [] -> []
+    | ("--jobs" | "-j") :: value :: rest ->
+      set_jobs value;
+      go rest
+    | ("--jobs" | "-j") :: [] -> die "missing value for --jobs"
+    | "--strict" :: rest ->
+      Pool.set_strict true;
+      go rest
+    | "--keep-going" :: rest ->
+      Pool.set_strict false;
+      go rest
+    | "--retries" :: value :: rest ->
+      set_retries value;
+      go rest
+    | "--retries" :: [] -> die "missing value for --retries"
+    | "--task-timeout" :: value :: rest ->
+      set_task_timeout value;
+      go rest
+    | "--task-timeout" :: [] -> die "missing value for --task-timeout"
+    | "--cache-dir" :: value :: rest ->
+      if value = "" then die "invalid --cache-dir value: empty";
+      cache_dir := Some value;
+      go rest
+    | "--cache-dir" :: [] -> die "missing value for --cache-dir"
+    | "--no-cache" :: rest ->
+      cache_dir := None;
+      go rest
+    | arg :: rest -> arg :: go rest
+  in
+  let rest = go (split_eq args) in
+  (match !cache_dir with
+  | Some dir -> Runner.Store.configure ~dir
+  | None -> Runner.Store.disable ());
+  (match Faultinject.arm_from_env () with
+  | Ok _ -> ()
+  | Error msg -> die "%s" msg);
+  rest
+
+(* Call after the sweeps: under --strict, any supervised fault flips
+   the exit code (the results were still rendered). *)
+let exit_for_faults () = if Pool.strict () && Pool.faults_seen () > 0 then exit 1

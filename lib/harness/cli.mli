@@ -1,0 +1,18 @@
+(** Shared flag parsing for the hand-rolled sweep executables.
+
+    [parse_common args] strips the common sweep flags — [--jobs]/[-j],
+    [--strict], [--keep-going], [--retries], [--task-timeout],
+    [--cache-dir], [--no-cache] (each also as [--flag=value]) — applies
+    them to the process-wide knobs ({!Pool}, {!Runner.Store}), arms the
+    fault-injection plan from CHEX86_FAULT_RATE / CHEX86_FAULT_SEED,
+    and returns the remaining arguments. Malformed values print a
+    one-line error and exit 1. The on-disk store defaults to
+    [Runner.Store.default_dir] unless [--no-cache] is given. *)
+val parse_common : string list -> string list
+
+(** One-line-per-flag usage text for the common flags. *)
+val common_flags_doc : string
+
+(** Exit 1 when [--strict] was given and any supervised task faulted;
+    otherwise return. Call after all sweeps have rendered. *)
+val exit_for_faults : unit -> unit

@@ -16,34 +16,79 @@ let scale =
   | None -> 1
 
 (* CHEX86_WORKLOADS=mcf,canneal,freqmine trims every figure's sweep to
-   the named workloads (smoke runs / make check); default is all 14. *)
-let workloads =
-  match Sys.getenv_opt "CHEX86_WORKLOADS" with
-  | None | Some "" -> W.all
-  | Some s ->
-    let requested =
-      String.split_on_char ',' s |> List.map String.trim
-      |> List.filter (fun n -> n <> "")
-    in
+   the named workloads (smoke runs / make check); default is all 14.
+   Pure resolution so tests can exercise both strictness modes: unknown
+   names warn-and-ignore by default but are a hard error under
+   [~strict] (a strict run silently sweeping the wrong set would defeat
+   the point of --strict). *)
+let resolve_workloads ?(strict = false) ~all spec =
+  let requested =
+    String.split_on_char ',' spec |> List.map String.trim
+    |> List.filter (fun n -> n <> "")
+  in
+  match requested with
+  | [] -> Ok all
+  | _ ->
     let known n =
-      List.exists (fun (w : Chex86_workloads.Bench_spec.t) -> w.name = n) W.all
+      List.exists (fun (w : Chex86_workloads.Bench_spec.t) -> w.name = n) all
     in
-    List.iter
-      (fun n ->
-        if not (known n) then
+    let unknown = List.filter (fun n -> not (known n)) requested in
+    if strict && unknown <> [] then
+      Error
+        (Printf.sprintf "unknown workload(s): %s"
+           (String.concat ", " (List.map (Printf.sprintf "%S") unknown)))
+    else begin
+      List.iter
+        (fun n ->
           Printf.eprintf "CHEX86_WORKLOADS: unknown workload %S (ignored)\n%!" n)
-      requested;
-    let picked =
-      List.filter
-        (fun (w : Chex86_workloads.Bench_spec.t) -> List.mem w.name requested)
-        W.all
-    in
-    if picked = [] then begin
-      Printf.eprintf "CHEX86_WORKLOADS: no known workloads named; sweeping all %d\n%!"
-        (List.length W.all);
-      W.all
+        unknown;
+      let picked =
+        List.filter
+          (fun (w : Chex86_workloads.Bench_spec.t) -> List.mem w.name requested)
+          all
+      in
+      if picked = [] then begin
+        Printf.eprintf "CHEX86_WORKLOADS: no known workloads named; sweeping all %d\n%!"
+          (List.length all);
+        Ok all
+      end
+      else Ok picked
     end
-    else picked
+
+(* Resolved on first use — after the CLI has parsed --strict — and
+   cached; a strict run with a bad CHEX86_WORKLOADS exits 2 before any
+   simulation starts. *)
+let workloads_cache = ref None
+
+let workloads () =
+  match !workloads_cache with
+  | Some ws -> ws
+  | None ->
+    let ws =
+      match Sys.getenv_opt "CHEX86_WORKLOADS" with
+      | None | Some "" -> W.all
+      | Some s -> (
+        match resolve_workloads ~strict:(Pool.strict ()) ~all:W.all s with
+        | Ok ws -> ws
+        | Error msg ->
+          Printf.eprintf "CHEX86_WORKLOADS: %s\n%!" msg;
+          exit 2)
+    in
+    workloads_cache := Some ws;
+    ws
+
+(* How a faulted (workload x config) cell renders in any figure; the
+   full classification is in the appended fault report. *)
+let fault_cell = function
+  | Pool.Crashed _ -> "FAULTED"
+  | Pool.Timed_out _ -> "TIMEOUT"
+
+(* Appended to a figure when its sweep had faults (also the marker
+   [make fault-smoke] greps for). *)
+let fault_footer (report : Pool.fault_report) =
+  if report.Pool.crashed + report.Pool.timed_out > 0 then
+    [ ""; Pool.render_fault_report report ]
+  else []
 
 let spec_names = List.map (fun (w : Chex86_workloads.Bench_spec.t) -> w.name) W.spec
 let is_spec name = List.mem name spec_names
@@ -110,35 +155,42 @@ let figure1 () =
 (* --- Figure 3 ------------------------------------------------------------- *)
 
 let figure3 () =
-  Runner.prefetch
-    (List.map
-       (fun w -> Runner.job ~timing:false ~profile:true ~scale Runner.insecure w)
-       workloads);
+  let workloads = workloads () in
+  let report =
+    Runner.prefetch_supervised
+      (List.map
+         (fun w -> Runner.job ~timing:false ~profile:true ~scale Runner.insecure w)
+         workloads)
+  in
   let rows =
     List.map
       (fun (w : Chex86_workloads.Bench_spec.t) ->
-        let run =
-          Runner.run_workload ~timing:false ~profile:true ~scale Runner.insecure w
-        in
-        match run.Runner.profile with
-        | Some p ->
+        match
+          Runner.run_workload_result ~timing:false ~profile:true ~scale Runner.insecure
+            w
+        with
+        | Ok { Runner.profile = Some p; _ } ->
           [
             w.name;
             string_of_int p.Chex86_os.Heap_profile.total_allocations;
             string_of_int p.Chex86_os.Heap_profile.max_live_allocations;
             Printf.sprintf "%.0f" p.Chex86_os.Heap_profile.avg_in_use_per_interval;
           ]
-        | None -> [ w.name; "-"; "-"; "-" ])
+        | Ok { Runner.profile = None; _ } -> [ w.name; "-"; "-"; "-" ]
+        | Error fault ->
+          let cell = fault_cell fault in
+          [ w.name; cell; cell; cell ])
       workloads
   in
   String.concat "\n"
-    [
-      Render.banner "Figure 3: Benchmark Memory Allocation Behavior";
-      Render.table
-        ~header:[ "Benchmark"; "Total Allocations"; "Max Live"; "In-use / interval" ]
-        rows;
-      "(profiling interval: 100k instructions, scaled from the paper's 100M)";
-    ]
+    ([
+       Render.banner "Figure 3: Benchmark Memory Allocation Behavior";
+       Render.table
+         ~header:[ "Benchmark"; "Total Allocations"; "Max Live"; "In-use / interval" ]
+         rows;
+       "(profiling interval: 100k instructions, scaled from the paper's 100M)";
+     ]
+    @ fault_footer report)
 
 (* --- Figure 6 ------------------------------------------------------------- *)
 
@@ -154,62 +206,97 @@ let fig6_configs =
     ("ASan", Runner.Asan);
   ]
 
+(* Shared by Figure 6 and Table IV.  Each cell is a supervised result:
+   a faulted (workload x config) run degrades that workload's derived
+   numbers instead of killing both targets. *)
 let fig6_runs () =
-  Runner.prefetch
-    (List.concat_map
-       (fun w ->
-         List.map (fun (_, config) -> Runner.job ~scale config w) fig6_configs)
-       workloads);
-  List.map
-    (fun (w : Chex86_workloads.Bench_spec.t) ->
-      ( w,
-        List.map
-          (fun (name, config) -> (name, Runner.run_workload ~scale config w))
-          fig6_configs ))
-    workloads
+  let workloads = workloads () in
+  let report =
+    Runner.prefetch_supervised
+      (List.concat_map
+         (fun w ->
+           List.map (fun (_, config) -> Runner.job ~scale config w) fig6_configs)
+         workloads)
+  in
+  ( List.map
+      (fun (w : Chex86_workloads.Bench_spec.t) ->
+        ( w,
+          List.map
+            (fun (name, config) -> (name, Runner.run_workload_result ~scale config w))
+            fig6_configs ))
+      workloads,
+    report )
 
 let figure6 () =
-  let runs = fig6_runs () in
+  let runs, report = fig6_runs () in
+  (* Workloads where all six configurations completed chart as before;
+     a workload with any faulted configuration is listed under the
+     chart instead (its normalizations are undefined). *)
+  let complete, degraded =
+    List.partition
+      (fun (_, per_config) ->
+        List.for_all (fun (_, r) -> Result.is_ok r) per_config)
+      runs
+  in
   let groups =
     List.map
       (fun ((w : Chex86_workloads.Bench_spec.t), per_config) ->
-        let baseline =
-          (List.assoc "Insecure BaseLine" per_config).Runner.cycles |> float_of_int
-        in
+        let run name = Result.get_ok (List.assoc name per_config) in
+        let baseline = float_of_int (run "Insecure BaseLine").Runner.cycles in
         ( w.name,
           List.map
-            (fun (_, run) -> baseline /. float_of_int (max 1 run.Runner.cycles))
+            (fun (name, _) ->
+              baseline /. float_of_int (max 1 (run name).Runner.cycles))
             per_config ))
-      runs
+      complete
+  in
+  let degraded_lines =
+    List.map
+      (fun ((w : Chex86_workloads.Bench_spec.t), per_config) ->
+        let cells =
+          List.filter_map
+            (fun (name, r) ->
+              match r with
+              | Ok _ -> None
+              | Error fault -> Some (Printf.sprintf "%s %s" name (fault_cell fault)))
+            per_config
+        in
+        Printf.sprintf "  %s not charted: %s" w.name (String.concat ", " cells))
+      degraded
   in
   let series_names = List.map fst fig6_configs in
   (* Normalized micro-op expansion for the two instrumenting schemes. *)
   let uop_rows =
     List.map
       (fun ((w : Chex86_workloads.Bench_spec.t), per_config) ->
-        let base = (List.assoc "Insecure BaseLine" per_config).Runner.uops in
         let exp name =
-          let r = List.assoc name per_config in
-          float_of_int r.Runner.uops /. float_of_int (max 1 base)
+          match (List.assoc name per_config, List.assoc "Insecure BaseLine" per_config)
+          with
+          | Error fault, _ | _, Error fault -> fault_cell fault
+          | Ok r, Ok base ->
+            Printf.sprintf "%.2fx"
+              (float_of_int r.Runner.uops /. float_of_int (max 1 base.Runner.uops))
         in
         [
           w.name;
-          Printf.sprintf "%.2fx" (exp "CHEx86: Micro-code Prediction Driven");
-          Printf.sprintf "%.2fx" (exp "ASan");
+          exp "CHEx86: Micro-code Prediction Driven";
+          exp "ASan";
         ])
       runs
   in
-  (* Headline ratios. *)
+  (* Headline ratios, over the fully completed workloads. *)
   let ratios pick =
     List.filter_map
       (fun ((w : Chex86_workloads.Bench_spec.t), per_config) ->
         if pick w.name then
-          let cyc name = float_of_int (List.assoc name per_config).Runner.cycles in
+          let cyc name =
+            float_of_int (Result.get_ok (List.assoc name per_config)).Runner.cycles
+          in
           Some
             ( cyc "CHEx86: Micro-code Prediction Driven" /. cyc "Insecure BaseLine",
               cyc "ASan" /. cyc "CHEx86: Micro-code Prediction Driven" )
         else None)
-      runs
+      complete
   in
   let summarize label pick =
     let rs = ratios pick in
@@ -222,16 +309,20 @@ let figure6 () =
       vs_asan
   in
   String.concat "\n"
-    [
-      Render.banner "Figure 6 (top): Normalized Performance (1.0 = insecure baseline)";
-      Render.grouped_bars ~series_names groups;
-      "";
-      Render.banner "Figure 6 (bottom): Normalized uop Expansion";
-      Render.table ~header:[ "Benchmark"; "CHEx86 pred"; "ASan" ] uop_rows;
-      "";
-      summarize "SPEC" is_spec;
-      summarize "PARSEC" (fun n -> not (is_spec n));
-    ]
+    ([
+       Render.banner "Figure 6 (top): Normalized Performance (1.0 = insecure baseline)";
+       Render.grouped_bars ~series_names groups;
+     ]
+    @ degraded_lines
+    @ [
+        "";
+        Render.banner "Figure 6 (bottom): Normalized uop Expansion";
+        Render.table ~header:[ "Benchmark"; "CHEx86 pred"; "ASan" ] uop_rows;
+        "";
+        summarize "SPEC" is_spec;
+        summarize "PARSEC" (fun n -> not (is_spec n));
+      ]
+    @ fault_footer report)
 
 (* --- Figure 7 ------------------------------------------------------------- *)
 
@@ -253,47 +344,56 @@ let cap_miss_rate counters =
   Counter.ratio counters ~num:"capcache.miss" ~den:"capcache.hit"
 
 let figure7 () =
-  Runner.prefetch
-    (List.concat_map
-       (fun w ->
-         [
-           Runner.job ~tag:"cc64" ~scale (cache_variant ~cap_entries:64 ~alias_sets:128) w;
-           Runner.job ~tag:"cc128" ~scale
-             (cache_variant ~cap_entries:128 ~alias_sets:256)
-             w;
-         ])
-       workloads);
+  let workloads = workloads () in
+  let report =
+    Runner.prefetch_supervised
+      (List.concat_map
+         (fun w ->
+           [
+             Runner.job ~tag:"cc64" ~scale
+               (cache_variant ~cap_entries:64 ~alias_sets:128)
+               w;
+             Runner.job ~tag:"cc128" ~scale
+               (cache_variant ~cap_entries:128 ~alias_sets:256)
+               w;
+           ])
+         workloads)
+  in
   let rows =
     List.map
       (fun (w : Chex86_workloads.Bench_spec.t) ->
         let small =
-          Runner.run_workload ~tag:"cc64" ~scale
+          Runner.run_workload_result ~tag:"cc64" ~scale
             (cache_variant ~cap_entries:64 ~alias_sets:128)
             w
         and big =
-          Runner.run_workload ~tag:"cc128" ~scale
+          Runner.run_workload_result ~tag:"cc128" ~scale
             (cache_variant ~cap_entries:128 ~alias_sets:256)
             w
         in
         let opt = function Some r -> Render.percent r | None -> "n/a" in
+        let cap run = Render.percent (cap_miss_rate run.Runner.counters)
+        and alias run = opt (alias_miss_rate run.Runner.counters) in
+        let cell f = function Ok run -> f run | Error fault -> fault_cell fault in
         [
           w.name;
-          Render.percent (cap_miss_rate small.Runner.counters);
-          Render.percent (cap_miss_rate big.Runner.counters);
-          opt (alias_miss_rate small.Runner.counters);
-          opt (alias_miss_rate big.Runner.counters);
+          cell cap small;
+          cell cap big;
+          cell alias small;
+          cell alias big;
         ])
       workloads
   in
   String.concat "\n"
-    [
-      Render.banner "Figure 7: Capability and Alias Cache Miss Rates";
-      Render.table
-        ~header:
-          [ "Benchmark"; "Cap$ 64e"; "Cap$ 128e"; "Alias$ 256e"; "Alias$ 512e" ]
-        rows;
-      "(n/a: fewer than 200 alias-cache accesses - negligible spilled-pointer reloads)";
-    ]
+    ([
+       Render.banner "Figure 7: Capability and Alias Cache Miss Rates";
+       Render.table
+         ~header:
+           [ "Benchmark"; "Cap$ 64e"; "Cap$ 128e"; "Alias$ 256e"; "Alias$ 512e" ]
+         rows;
+       "(n/a: fewer than 200 alias-cache accesses - negligible spilled-pointer reloads)";
+     ]
+    @ fault_footer report)
 
 (* --- Figure 8 ------------------------------------------------------------- *)
 
@@ -317,110 +417,132 @@ let predictor_variant entries =
     (Chex86.Variant.make ~predictor_entries:entries Chex86.Variant.Microcode_prediction)
 
 let figure8 () =
-  Runner.prefetch
-    (List.concat_map
-       (fun w ->
-         [
-           Runner.job ~tag:"pred1024" ~scale (predictor_variant 1024) w;
-           Runner.job ~tag:"pred2048" ~scale (predictor_variant 2048) w;
-           Runner.job ~scale Runner.insecure w;
-           Runner.job ~scale Runner.prediction w;
-         ])
-       workloads);
+  let workloads = workloads () in
+  let report =
+    Runner.prefetch_supervised
+      (List.concat_map
+         (fun w ->
+           [
+             Runner.job ~tag:"pred1024" ~scale (predictor_variant 1024) w;
+             Runner.job ~tag:"pred2048" ~scale (predictor_variant 2048) w;
+             Runner.job ~scale Runner.insecure w;
+             Runner.job ~scale Runner.prediction w;
+           ])
+         workloads)
+  in
+  let cell f = function Ok run -> f run | Error fault -> fault_cell fault in
   let rows =
     List.map
       (fun (w : Chex86_workloads.Bench_spec.t) ->
         let p1024 =
-          Runner.run_workload ~tag:"pred1024" ~scale (predictor_variant 1024) w
+          Runner.run_workload_result ~tag:"pred1024" ~scale (predictor_variant 1024) w
         and p2048 =
-          Runner.run_workload ~tag:"pred2048" ~scale (predictor_variant 2048) w
-        and base = Runner.run_workload ~scale Runner.insecure w
-        and pred = Runner.run_workload ~scale Runner.prediction w in
+          Runner.run_workload_result ~tag:"pred2048" ~scale (predictor_variant 2048) w
+        and base = Runner.run_workload_result ~scale Runner.insecure w
+        and pred = Runner.run_workload_result ~scale Runner.prediction w in
+        let mispred run = Render.percent (mispredict_rate run.Runner.counters)
+        and squash run = Render.percent (squash_fraction run) in
         [
           w.name;
-          Render.percent (mispredict_rate p1024.Runner.counters);
-          Render.percent (mispredict_rate p2048.Runner.counters);
-          Render.percent (squash_fraction base);
-          Render.percent (squash_fraction pred);
+          cell mispred p1024;
+          cell mispred p2048;
+          cell squash base;
+          cell squash pred;
         ])
       workloads
   in
+  (* Faulted runs drop out of the headline geomean. *)
   let accuracies =
-    List.map
+    List.filter_map
       (fun (w : Chex86_workloads.Bench_spec.t) ->
-        let run = Runner.run_workload ~tag:"pred1024" ~scale (predictor_variant 1024) w in
-        1. -. mispredict_rate run.Runner.counters)
+        match
+          Runner.run_workload_result ~tag:"pred1024" ~scale (predictor_variant 1024) w
+        with
+        | Ok run -> Some (1. -. mispredict_rate run.Runner.counters)
+        | Error _ -> None)
       workloads
   in
   String.concat "\n"
-    [
-      Render.banner
-        "Figure 8: Alias Misprediction Rate (1024/2048-entry predictor) and Squash Time";
-      Render.table
-        ~header:
-          [
-            "Benchmark";
-            "Mispred 1024e";
-            "Mispred 2048e";
-            "Squash% base";
-            "Squash% CHEx86";
-          ]
-        rows;
-      Printf.sprintf "Average alias prediction accuracy: %s"
-        (Render.percent (geomean accuracies));
-    ]
+    ([
+       Render.banner
+         "Figure 8: Alias Misprediction Rate (1024/2048-entry predictor) and Squash Time";
+       Render.table
+         ~header:
+           [
+             "Benchmark";
+             "Mispred 1024e";
+             "Mispred 2048e";
+             "Squash% base";
+             "Squash% CHEx86";
+           ]
+         rows;
+       Printf.sprintf "Average alias prediction accuracy: %s"
+         (Render.percent (geomean accuracies));
+     ]
+    @ fault_footer report)
 
 (* --- Figure 9 ------------------------------------------------------------- *)
 
 let mb bytes = float_of_int bytes /. (1024. *. 1024.)
 
 let figure9 () =
+  let workloads = workloads () in
   let freq = 3.4e9 in
-  Runner.prefetch
-    (List.concat_map
-       (fun w ->
-         [
-           Runner.job ~scale Runner.insecure w;
-           Runner.job ~scale Runner.Asan w;
-           Runner.job ~scale Runner.prediction w;
-         ])
-       workloads);
+  let report =
+    Runner.prefetch_supervised
+      (List.concat_map
+         (fun w ->
+           [
+             Runner.job ~scale Runner.insecure w;
+             Runner.job ~scale Runner.Asan w;
+             Runner.job ~scale Runner.prediction w;
+           ])
+         workloads)
+  in
+  let cell f = function Ok run -> f run | Error fault -> fault_cell fault in
   let rows =
     List.map
       (fun (w : Chex86_workloads.Bench_spec.t) ->
-        let base = Runner.run_workload ~scale Runner.insecure w
-        and asan = Runner.run_workload ~scale Runner.Asan w
-        and pred = Runner.run_workload ~scale Runner.prediction w in
-        let storage (r : Runner.run) = mb (r.resident_bytes + r.shadow_bytes) in
+        let base = Runner.run_workload_result ~scale Runner.insecure w
+        and asan = Runner.run_workload_result ~scale Runner.Asan w
+        and pred = Runner.run_workload_result ~scale Runner.prediction w in
+        let storage (r : Runner.run) =
+          Printf.sprintf "%.2f" (mb (r.resident_bytes + r.shadow_bytes))
+        in
         let bandwidth (r : Runner.run) =
-          if r.cycles = 0 then 0.
-          else float_of_int r.mem_bytes /. (float_of_int r.cycles /. freq) /. (1024. *. 1024.)
+          Printf.sprintf "%.0f"
+            (if r.cycles = 0 then 0.
+             else
+               float_of_int r.mem_bytes
+               /. (float_of_int r.cycles /. freq)
+               /. (1024. *. 1024.))
         in
         [
           w.name;
-          Printf.sprintf "%.2f" (storage base);
-          Printf.sprintf "%.2f" (storage asan);
-          Printf.sprintf "%.2f" (storage pred);
-          Printf.sprintf "%.0f" (bandwidth base);
-          Printf.sprintf "%.0f" (bandwidth pred);
+          cell storage base;
+          cell storage asan;
+          cell storage pred;
+          cell bandwidth base;
+          cell bandwidth pred;
         ])
       workloads
   in
   String.concat "\n"
-    [
-      Render.banner "Figure 9: Memory Storage Overhead (MB) and Bandwidth (MB/s)";
-      Render.table
-        ~header:
-          [
-            "Benchmark";
-            "RSS base";
-            "RSS ASan";
-            "RSS CHEx86";
-            "BW base";
-            "BW CHEx86";
-          ]
-        rows;
-    ]
+    ([
+       Render.banner "Figure 9: Memory Storage Overhead (MB) and Bandwidth (MB/s)";
+       Render.table
+         ~header:
+           [
+             "Benchmark";
+             "RSS base";
+             "RSS ASan";
+             "RSS CHEx86";
+             "BW base";
+             "BW CHEx86";
+           ]
+         rows;
+     ]
+    @ fault_footer report)
 
 (* --- Table I ---------------------------------------------------------------- *)
 
@@ -531,19 +653,23 @@ let table3 () =
 (* --- Table IV ---------------------------------------------------------------- *)
 
 let table4 () =
-  let runs = fig6_runs () in
+  let runs, report = fig6_runs () in
+  (* A faulted baseline or prediction run drops its workload from the
+     measured geomeans; the fault is reported in the footer. *)
   let measured =
     List.filter_map
       (fun ((w : Chex86_workloads.Bench_spec.t), per_config) ->
-        if is_spec w.name then begin
-          let base = List.assoc "Insecure BaseLine" per_config
-          and pred = List.assoc "CHEx86: Micro-code Prediction Driven" per_config in
+        match
+          ( is_spec w.name,
+            List.assoc "Insecure BaseLine" per_config,
+            List.assoc "CHEx86: Micro-code Prediction Driven" per_config )
+        with
+        | true, Ok base, Ok pred ->
           Some
             ( float_of_int pred.Runner.cycles /. float_of_int base.Runner.cycles,
               float_of_int (pred.Runner.resident_bytes + pred.Runner.shadow_bytes)
               /. float_of_int (max 1 base.Runner.resident_bytes) )
-        end
-        else None)
+        | _ -> None)
       runs
   in
   let perf = (geomean (List.map fst measured) -. 1.) *. 100. in
@@ -576,19 +702,37 @@ let table4 () =
     ]
   in
   String.concat "\n"
-    [
-      Render.banner "Table IV: Comparison with Prior Memory Safety Techniques";
-      Render.table
-        ~header:
-          [ "Proposal"; "Temporal"; "Spatial"; "Metadata"; "BinCompat"; "Performance"; "Storage" ]
-        static;
-      "(prior-work rows are the paper's reported numbers; the CHEx86 row is measured)";
-    ]
+    ([
+       Render.banner "Table IV: Comparison with Prior Memory Safety Techniques";
+       Render.table
+         ~header:
+           [ "Proposal"; "Temporal"; "Spatial"; "Metadata"; "BinCompat"; "Performance"; "Storage" ]
+         static;
+       "(prior-work rows are the paper's reported numbers; the CHEx86 row is measured)";
+     ]
+    @ fault_footer report)
 
 (* --- Security ----------------------------------------------------------------- *)
 
 let security () =
-  let results, stats = Security.sweep_stats Chex86_exploits.Exploits.all in
+  let slots, stats, report =
+    Security.sweep_stats_supervised Chex86_exploits.Exploits.all
+  in
+  (* Completed evaluations tabulate as before; faulted exploits are
+     listed by name (and counted in the fault report) instead of
+     silently vanishing from the totals. *)
+  let results =
+    List.filter_map (fun (_, r) -> Result.to_option r) slots
+  in
+  let faulted_lines =
+    List.filter_map
+      (fun ((e : Chex86_exploits.Exploit.t), r) ->
+        match r with
+        | Ok _ -> None
+        | Error fault ->
+          Some (Printf.sprintf "  %s: %s" e.Chex86_exploits.Exploit.name (fault_cell fault)))
+      slots
+  in
   let suites =
     [
       Chex86_exploits.Exploit.Ripe;
@@ -635,27 +779,30 @@ let security () =
     | None -> ""
   in
   String.concat "\n"
-    [
-      Render.banner "Security Evaluation (Section VII-A)";
-      Render.table
-        ~header:
-          [
-            "Suite";
-            "Exploits";
-            "Blocked";
-            "Expected class";
-            "Corruption prevented";
-            "Corrupts insecure";
-            "Allocator aborts";
-          ]
-        rows;
-      "";
-      totals;
-      insn_spread;
-      "";
-      "Violation-class breakdown of blocked exploits:";
-      Render.table ~header:[ "Class"; "Count" ] breakdown;
-    ]
+    ([
+       Render.banner "Security Evaluation (Section VII-A)";
+       Render.table
+         ~header:
+           [
+             "Suite";
+             "Exploits";
+             "Blocked";
+             "Expected class";
+             "Corruption prevented";
+             "Corrupts insecure";
+             "Allocator aborts";
+           ]
+         rows;
+       "";
+       totals;
+       insn_spread;
+       "";
+       "Violation-class breakdown of blocked exploits:";
+       Render.table ~header:[ "Class"; "Count" ] breakdown;
+     ]
+    @ (if faulted_lines = [] then []
+       else ("" :: "Exploits not evaluated (faulted):" :: faulted_lines))
+    @ fault_footer report)
 
 let all =
   [

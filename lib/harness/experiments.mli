@@ -6,9 +6,21 @@
 
 val scale : int
 
+(** Pure CHEX86_WORKLOADS resolution: the subset of [all] named by the
+    comma-separated [spec] (all of them for an empty spec). Unknown
+    names warn-and-ignore by default but are an [Error] under
+    [~strict]; if no known name remains, warns and sweeps [all]. *)
+val resolve_workloads :
+  ?strict:bool ->
+  all:Chex86_workloads.Bench_spec.t list ->
+  string ->
+  (Chex86_workloads.Bench_spec.t list, string) result
+
 (** The workloads every figure sweeps: all 14, or the subset named by
-    the CHEX86_WORKLOADS environment variable (comma-separated). *)
-val workloads : Chex86_workloads.Bench_spec.t list
+    the CHEX86_WORKLOADS environment variable (comma-separated).
+    Resolved on first call — after the CLI has parsed [--strict] —
+    then cached; a strict run with unknown names exits 2. *)
+val workloads : unit -> Chex86_workloads.Bench_spec.t list
 
 val figure1 : unit -> string
 

@@ -1,0 +1,107 @@
+(* Deterministic fault injection for the supervised sweep engine.
+
+   A [plan] decides, from a task's stable key alone, whether that task
+   crashes, stalls, or gets its on-disk result-store entry truncated.
+   Keys are the same stable identifiers the pool seeds RNG streams from
+   ([Runner.job_key], exploit names), so a plan fires on exactly the
+   same tasks at any job count, across retries, and across processes —
+   the injection is as reproducible as the sweep itself.
+
+   The armed plan is consulted from two places:
+   - [Pool] supervision queries [fault_for] before each task attempt
+     (crashes raise [Injected_crash]; slowdowns sleep, then the pool's
+     cooperative deadline check fires);
+   - [Runner.Store] queries [truncation_for] after writing a cache
+     entry, modelling a process killed mid-write / torn file.
+
+   Arming happens once, before a sweep starts (CLI startup or a test's
+   [Fun.protect]); workers only read the plan, so no locking is
+   needed. *)
+
+exception Injected_crash of string
+
+type kind =
+  | Crash
+  | Slow of float  (* seconds *)
+  | Truncate_cache of int  (* keep only this many bytes of the entry *)
+
+type directive = { kind : kind; attempts : int }
+
+let crash ?(attempts = 1) () = { kind = Crash; attempts }
+let slow ?(attempts = 1) seconds = { kind = Slow seconds; attempts }
+let truncate_cache bytes = { kind = Truncate_cache bytes; attempts = 1 }
+
+type plan = { lookup : string -> directive option; describe : string }
+
+let none = { lookup = (fun _ -> None); describe = "none" }
+
+let of_list pairs =
+  {
+    lookup = (fun key -> List.assoc_opt key pairs);
+    describe = Printf.sprintf "explicit plan over %d key(s)" (List.length pairs);
+  }
+
+(* Private FNV-1a copy: the plan must not depend on Pool (Pool depends
+   on us), and pinning the hash keeps plans stable across stdlib
+   changes, like Pool.seed_of_key. *)
+let fnv1a s =
+  let h = ref (-3750763034362895579L) (* 0xcbf29ce484222325 *) in
+  String.iter
+    (fun c ->
+      h := Int64.mul (Int64.logxor !h (Int64.of_int (Char.code c))) 0x100000001b3L)
+    s;
+  Int64.to_int !h land max_int
+
+let seeded ~rate ~seed =
+  let rate = Float.max 0. (Float.min 1. rate) in
+  let threshold = int_of_float (rate *. 1_000_000.) in
+  {
+    lookup =
+      (fun key ->
+        if fnv1a (string_of_int seed ^ "\x00" ^ key) mod 1_000_000 < threshold then
+          Some (crash ())
+        else None);
+    describe = Printf.sprintf "seeded plan (rate %.3f, seed %d)" rate seed;
+  }
+
+let current : plan ref = ref none
+let arm plan = current := plan
+let disarm () = current := none
+let armed () = !current != none
+let describe () = (!current).describe
+
+(* CHEX86_FAULT_RATE=0.5 [CHEX86_FAULT_SEED=11]: every task whose key
+   hashes under the rate crashes on its first attempt. *)
+let plan_of_env_spec ~rate_spec ~seed_spec =
+  match float_of_string_opt rate_spec with
+  | Some rate when rate >= 0. && rate <= 1. -> (
+    match seed_spec with
+    | None -> Ok (seeded ~rate ~seed:0)
+    | Some s -> (
+      match int_of_string_opt s with
+      | Some seed -> Ok (seeded ~rate ~seed)
+      | None -> Error (Printf.sprintf "CHEX86_FAULT_SEED: not an integer: %S" s)))
+  | _ -> Error (Printf.sprintf "CHEX86_FAULT_RATE: not a rate in [0,1]: %S" rate_spec)
+
+let arm_from_env () =
+  match Sys.getenv_opt "CHEX86_FAULT_RATE" with
+  | None | Some "" -> Ok false
+  | Some rate_spec -> (
+    match plan_of_env_spec ~rate_spec ~seed_spec:(Sys.getenv_opt "CHEX86_FAULT_SEED") with
+    | Ok plan ->
+      arm plan;
+      Ok true
+    | Error _ as e -> e)
+
+let directive_for key = (!current).lookup key
+
+let fault_for ~key ~attempt =
+  match directive_for key with
+  | Some { kind = (Crash | Slow _) as kind; attempts } when attempt < attempts ->
+    Some kind
+  | _ -> None
+
+let truncation_for ~key =
+  match directive_for key with
+  | Some { kind = Truncate_cache n; _ } -> Some n
+  | _ -> None

@@ -1,0 +1,59 @@
+(** Deterministic fault injection for the supervised sweep engine.
+
+    A plan maps a task's stable key (the same key [Pool] seeds RNG
+    streams from) to a fault directive, so injected faults hit exactly
+    the same tasks at any job count and across processes. Used by the
+    test suite and by [make fault-smoke] to prove every supervision
+    path fires; production sweeps run with no plan armed. *)
+
+(** Raised inside a task the armed plan marked [Crash]. *)
+exception Injected_crash of string
+
+type kind =
+  | Crash  (** raise [Injected_crash] before the task body runs *)
+  | Slow of float
+      (** sleep this many seconds before the task body, so a per-task
+          wall budget's cooperative deadline check fires *)
+  | Truncate_cache of int
+      (** truncate the task's freshly written [Runner.Store] entry to
+          this many bytes (a torn write / killed process) *)
+
+type directive = { kind : kind; attempts : int }
+(** [attempts] is how many attempts of the task fault ([Crash]/[Slow]
+    fire while [attempt < attempts], so retried attempts succeed once
+    the budget is spent). *)
+
+val crash : ?attempts:int -> unit -> directive
+val slow : ?attempts:int -> float -> directive
+val truncate_cache : int -> directive
+
+type plan
+
+val none : plan
+
+(** Fault exactly the listed keys. *)
+val of_list : (string * directive) list -> plan
+
+(** Crash (first attempt) every task whose key hashes under [rate],
+    deterministically in [key] and [seed]. *)
+val seeded : rate:float -> seed:int -> plan
+
+(** Install / remove the process-wide plan. Arm before the sweep
+    starts; workers only read it. *)
+val arm : plan -> unit
+
+val disarm : unit -> unit
+val armed : unit -> bool
+val describe : unit -> string
+
+(** Arm from [CHEX86_FAULT_RATE] (a rate in [0,1]) and the optional
+    [CHEX86_FAULT_SEED] (default 0). [Ok true] if a plan was armed,
+    [Ok false] if the variable is unset, [Error msg] on a malformed
+    value. *)
+val arm_from_env : unit -> (bool, string) result
+
+(** Consulted by [Pool] before each task attempt. *)
+val fault_for : key:string -> attempt:int -> kind option
+
+(** Consulted by [Runner.Store] after writing an entry. *)
+val truncation_for : key:string -> int option

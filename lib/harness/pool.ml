@@ -23,12 +23,37 @@ module Rng = Chex86_stats.Rng
 module Counter = Chex86_stats.Counter
 module Histogram = Chex86_stats.Histogram
 
+(* Without this, worker-side [Printexc.get_raw_backtrace] returns an
+   empty trace and the failure's origin is lost across the domain
+   boundary; turning recording on is what makes the re-raise in the
+   coordinator (and the [Crashed] fault records) carry the worker's
+   stack. *)
+let () = Printexc.record_backtrace true
+
 let default_jobs () = max 1 (Domain.recommended_domain_count () - 1)
 
 (* Process-wide job count, set once from the CLI (--jobs). *)
 let current_jobs = Atomic.make (default_jobs ())
 let set_jobs n = Atomic.set current_jobs (max 1 n)
 let jobs () = Atomic.get current_jobs
+
+(* Process-wide supervision defaults, set once from the CLI
+   (--retries / --task-timeout / --strict); [map_supervised] arguments
+   override them per sweep. *)
+let current_retries = Atomic.make 0
+let set_retries n = Atomic.set current_retries (max 0 n)
+let retries () = Atomic.get current_retries
+let current_task_timeout : float option Atomic.t = Atomic.make None
+let set_task_timeout t = Atomic.set current_task_timeout t
+let task_timeout () = Atomic.get current_task_timeout
+let current_strict = Atomic.make false
+let set_strict b = Atomic.set current_strict b
+let strict () = Atomic.get current_strict
+
+(* Faults reported by any supervised sweep this process ran; --strict
+   turns a non-zero count into a non-zero exit. *)
+let fault_count = Atomic.make 0
+let faults_seen () = Atomic.get fault_count
 
 (* Stable 64-bit FNV-1a over the task key.  [Hashtbl.hash] would also be
    deterministic, but spelling the hash out pins the seed derivation
@@ -58,6 +83,9 @@ let run_indexed ~jobs n compute =
   else begin
     let next = Atomic.make 0 in
     let worker () =
+      (* Backtrace recording is per-domain in OCaml 5; the module-level
+         call only covers the coordinator. *)
+      Printexc.record_backtrace true;
       let rec loop () =
         let i = Atomic.fetch_and_add next 1 in
         if i < n then begin
@@ -100,38 +128,16 @@ type merged_stats = {
   histograms : (string * Histogram.t) list;
 }
 
-let map_stats ?jobs:j ~key f tasks =
-  let jobs = match j with Some j -> max 1 j | None -> jobs () in
-  let compute i =
-    let k = key tasks.(i) in
-    let counters = Counter.create_group () in
-    let hists : (string, Histogram.t) Hashtbl.t = Hashtbl.create 4 in
-    let histogram name =
-      match Hashtbl.find_opt hists name with
-      | Some h -> h
-      | None ->
-        let h = Histogram.create () in
-        Hashtbl.add hists name h;
-        h
-    in
-    let ctx = { key = k; rng = rng_of_key k; counters; histogram } in
-    let v = f tasks.(i) ctx in
-    let hist_snaps =
-      Hashtbl.fold (fun name h acc -> (name, Histogram.snapshot h) :: acc) hists []
-      |> List.sort (fun (a, _) (b, _) -> compare a b)
-    in
-    (v, Counter.group_snapshot counters, hist_snaps)
-  in
-  let raw = run_indexed ~jobs (Array.length tasks) compute in
-  (* Deterministic reduction: fold in task order (= the caller's key
-     order), not completion order. *)
+(* Deterministic reduction: fold in task order (= the caller's key
+   order), not completion order. *)
+let merge_snapshots per_task =
   let counter_total =
-    Array.fold_left (fun acc (_, snap, _) -> Counter.merge acc snap)
-      Counter.empty_snapshot raw
+    List.fold_left (fun acc (snap, _) -> Counter.merge acc snap)
+      Counter.empty_snapshot per_task
   in
   let hist_total : (string, Histogram.snapshot) Hashtbl.t = Hashtbl.create 4 in
-  Array.iter
-    (fun (_, _, hs) ->
+  List.iter
+    (fun (_, hs) ->
       List.iter
         (fun (name, snap) ->
           let prev =
@@ -140,11 +146,249 @@ let map_stats ?jobs:j ~key f tasks =
           in
           Hashtbl.replace hist_total name (Histogram.merge prev snap))
         hs)
-    raw;
+    per_task;
   let histograms =
     Hashtbl.fold (fun name snap acc -> (name, Histogram.of_snapshot snap) :: acc)
       hist_total []
     |> List.sort (fun (a, _) (b, _) -> compare a b)
   in
-  ( Array.map (fun (v, _, _) -> v) raw,
-    { counters = Counter.of_snapshot counter_total; histograms } )
+  { counters = Counter.of_snapshot counter_total; histograms }
+
+(* Build a task-private context for [k]; reading the snapshots after the
+   task body ran yields the mergeable per-task stats. *)
+let make_ctx k =
+  let counters = Counter.create_group () in
+  let hists : (string, Histogram.t) Hashtbl.t = Hashtbl.create 4 in
+  let histogram name =
+    match Hashtbl.find_opt hists name with
+    | Some h -> h
+    | None ->
+      let h = Histogram.create () in
+      Hashtbl.add hists name h;
+      h
+  in
+  let ctx = { key = k; rng = rng_of_key k; counters; histogram } in
+  let snapshots () =
+    let hist_snaps =
+      Hashtbl.fold (fun name h acc -> (name, Histogram.snapshot h) :: acc) hists []
+      |> List.sort (fun (a, _) (b, _) -> compare a b)
+    in
+    (Counter.group_snapshot counters, hist_snaps)
+  in
+  (ctx, snapshots)
+
+let map_stats ?jobs:j ~key f tasks =
+  let jobs = match j with Some j -> max 1 j | None -> jobs () in
+  let compute i =
+    let k = key tasks.(i) in
+    let ctx, snapshots = make_ctx k in
+    let v = f tasks.(i) ctx in
+    let counter_snap, hist_snaps = snapshots () in
+    (v, counter_snap, hist_snaps)
+  in
+  let raw = run_indexed ~jobs (Array.length tasks) compute in
+  let stats =
+    merge_snapshots (Array.to_list (Array.map (fun (_, c, h) -> (c, h)) raw))
+  in
+  (Array.map (fun (v, _, _) -> v) raw, stats)
+
+(* --- supervised tasks: contain the fault, report it, keep going ----------- *)
+
+(* The robustness analogue of CHEx86's fail-safe enforcement: a crashing
+   or wedged task must not destroy a multi-hour sweep.  Each task runs
+   under a supervisor that classifies the attempt as Ok / Crashed /
+   Timed_out, retries within a bounded budget (re-seeding
+   deterministically per attempt, so retried runs stay reproducible),
+   and folds a sweep-level fault report into the merged stats instead of
+   re-raising.
+
+   Wall budgets are cooperative: domains cannot be killed, so the
+   supervisor publishes a per-domain deadline and [check_deadline]
+   raises once it passes.  The supervisor itself checks on attempt entry
+   and exit; long-running task bodies (the Runner, the security sweep)
+   call [check_deadline] at their own safe points.  Instruction budgets
+   ride on the existing [max_insns] simulation hook, whose exhaustion is
+   already a reported outcome, not an exception. *)
+
+exception Task_timed_out
+
+let deadline_key : float option ref Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> ref None)
+
+let set_deadline d = Domain.DLS.get deadline_key := d
+
+let check_deadline () =
+  match !(Domain.DLS.get deadline_key) with
+  | Some t when Unix.gettimeofday () > t -> raise Task_timed_out
+  | _ -> ()
+
+(* Attempt [a] of task [key] computes under the seed of [retry_key key a]:
+   attempt 0 is the plain key (bit-identical to an unsupervised run), and
+   each retry gets its own stable stream. *)
+let retry_key key attempt =
+  if attempt = 0 then key else Printf.sprintf "%s:retry%d" key attempt
+
+type fault =
+  | Crashed of { exn : string; backtrace : string }
+  | Timed_out of { budget : float }
+
+type task_fault = { index : int; key : string; attempts : int; fault : fault }
+
+type fault_report = {
+  tasks : int;
+  ok : int;
+  retried_ok : int;
+  crashed : int;
+  timed_out : int;
+  retries_used : int;
+  task_faults : task_fault list;
+}
+
+let fault_to_string = function
+  | Crashed { exn; _ } -> "crashed: " ^ exn
+  | Timed_out { budget } -> Printf.sprintf "timed out (wall budget %.3fs)" budget
+
+let render_fault_report ?(max_backtraces = 3) r =
+  let b = Buffer.create 256 in
+  Buffer.add_string b
+    (Printf.sprintf
+       "sweep fault report: %d task(s), %d ok (%d recovered by retry), %d crashed, %d timed out, %d retry attempt(s)"
+       r.tasks r.ok r.retried_ok r.crashed r.timed_out r.retries_used);
+  List.iteri
+    (fun i tf ->
+      Buffer.add_string b
+        (Printf.sprintf "\n  task %d (%s): %s after %d attempt(s)" tf.index tf.key
+           (fault_to_string tf.fault) tf.attempts);
+      match tf.fault with
+      | Crashed { backtrace; _ } when i < max_backtraces && backtrace <> "" ->
+        String.split_on_char '\n' (String.trim backtrace)
+        |> List.iter (fun line ->
+               if line <> "" then Buffer.add_string b ("\n      " ^ line))
+      | _ -> ())
+    r.task_faults;
+  Buffer.contents b
+
+(* One supervised task: bounded retries, each attempt fenced by the
+   injection hook and the cooperative deadline.  Never raises; the
+   caller gets the classification plus the index of the last attempt. *)
+let attempt_task ~retries ~timeout ~key compute =
+  let rec go attempt =
+    let outcome =
+      try
+        set_deadline
+          (Option.map (fun b -> Unix.gettimeofday () +. b) timeout);
+        (match Faultinject.fault_for ~key ~attempt with
+        | Some Faultinject.Crash -> raise (Faultinject.Injected_crash key)
+        | Some (Faultinject.Slow s) -> Unix.sleepf s
+        | Some (Faultinject.Truncate_cache _) | None -> ());
+        check_deadline ();
+        let v = compute ~attempt ~attempt_key:(retry_key key attempt) in
+        check_deadline ();
+        set_deadline None;
+        Ok v
+      with
+      | Task_timed_out ->
+        set_deadline None;
+        Error (Timed_out { budget = Option.value ~default:0. timeout })
+      | e ->
+        let backtrace = Printexc.get_backtrace () in
+        set_deadline None;
+        Error (Crashed { exn = Printexc.to_string e; backtrace })
+    in
+    match outcome with
+    | Ok _ -> (outcome, attempt)
+    | Error _ when attempt < retries -> go (attempt + 1)
+    | Error _ -> (outcome, attempt)
+  in
+  go 0
+
+let build_report ~key tasks raw =
+  let tasks_n = Array.length tasks in
+  let ok = ref 0
+  and retried_ok = ref 0
+  and crashed = ref 0
+  and timed_out = ref 0
+  and retries_used = ref 0
+  and faults = ref [] in
+  Array.iteri
+    (fun i (outcome, attempts) ->
+      retries_used := !retries_used + attempts;
+      match outcome with
+      | Ok _ ->
+        incr ok;
+        if attempts > 0 then incr retried_ok
+      | Error fault ->
+        (match fault with
+        | Crashed _ -> incr crashed
+        | Timed_out _ -> incr timed_out);
+        faults :=
+          { index = i; key = key tasks.(i); attempts = attempts + 1; fault }
+          :: !faults)
+    raw;
+  Atomic.fetch_and_add fault_count (!crashed + !timed_out) |> ignore;
+  {
+    tasks = tasks_n;
+    ok = !ok;
+    retried_ok = !retried_ok;
+    crashed = !crashed;
+    timed_out = !timed_out;
+    retries_used = !retries_used;
+    task_faults = List.rev !faults;
+  }
+
+let supervise_params ?retries:r ?task_timeout:t () =
+  let retries = match r with Some n -> max 0 n | None -> retries () in
+  let timeout = match t with Some _ -> t | None -> task_timeout () in
+  (retries, timeout)
+
+let map_supervised ?jobs:j ?retries ?task_timeout ~key f tasks =
+  let jobs = match j with Some j -> max 1 j | None -> jobs () in
+  let retries, timeout = supervise_params ?retries ?task_timeout () in
+  let compute i =
+    attempt_task ~retries ~timeout ~key:(key tasks.(i))
+      (fun ~attempt:_ ~attempt_key:_ -> f tasks.(i))
+  in
+  let raw = run_indexed ~jobs (Array.length tasks) compute in
+  (Array.map fst raw, build_report ~key tasks raw)
+
+(* Fault counters fold into the merged stats so a partial sweep carries
+   its own health record; they are derived from the per-task
+   classification (scheduling-independent), preserving the jobs=n ==
+   jobs=1 determinism contract. *)
+let fault_counters report group =
+  Counter.incr ~by:report.tasks group "pool.tasks";
+  Counter.incr ~by:report.ok group "pool.ok";
+  Counter.incr ~by:report.retried_ok group "pool.retried_ok";
+  Counter.incr ~by:report.crashed group "pool.crashed";
+  Counter.incr ~by:report.timed_out group "pool.timed_out";
+  Counter.incr ~by:report.retries_used group "pool.retries_used"
+
+let map_stats_supervised ?jobs:j ?retries ?task_timeout ~key f tasks =
+  let jobs = match j with Some j -> max 1 j | None -> jobs () in
+  let retries, timeout = supervise_params ?retries ?task_timeout () in
+  let compute i =
+    attempt_task ~retries ~timeout ~key:(key tasks.(i))
+      (fun ~attempt:_ ~attempt_key ->
+        (* A fresh private context per attempt: a faulted attempt's
+           partial stats are discarded wholesale, so the merged totals
+           only ever count completed tasks. *)
+        let ctx, snapshots = make_ctx attempt_key in
+        let v = f tasks.(i) ctx in
+        let counter_snap, hist_snaps = snapshots () in
+        (v, counter_snap, hist_snaps))
+  in
+  let raw = run_indexed ~jobs (Array.length tasks) compute in
+  let report = build_report ~key tasks raw in
+  let stats =
+    merge_snapshots
+      (Array.to_list raw
+      |> List.filter_map (fun (outcome, _) ->
+             match outcome with Ok (_, c, h) -> Some (c, h) | Error _ -> None))
+  in
+  fault_counters report stats.counters;
+  let results =
+    Array.map
+      (fun (outcome, _) -> Result.map (fun (v, _, _) -> v) outcome)
+      raw
+  in
+  (results, stats, report)

@@ -15,6 +15,25 @@ val set_jobs : int -> unit
 
 val jobs : unit -> int
 
+(** Process-wide supervision defaults, set once from the CLI; the
+    [?retries] / [?task_timeout] arguments of the supervised maps
+    override them per sweep. Retries clamp to at least 0. *)
+val set_retries : int -> unit
+
+val retries : unit -> int
+val set_task_timeout : float option -> unit
+val task_timeout : unit -> float option
+
+(** --strict: faults flip the process exit code (and demote-to-error
+    behaviours like unknown CHEX86_WORKLOADS names). Rendering is the
+    same either way. *)
+val set_strict : bool -> unit
+
+val strict : unit -> bool
+
+(** Total faults reported by every supervised sweep this process ran. *)
+val faults_seen : unit -> int
+
 (** Stable FNV-1a hash of a task key; the task's RNG seed. *)
 val seed_of_key : string -> int
 
@@ -53,3 +72,80 @@ val map_stats :
   ('a -> ctx -> 'b) ->
   'a array ->
   'b array * merged_stats
+
+(** {2 Supervised sweeps}
+
+    Fault-tolerant counterparts of [map] / [map_stats]: a crashing or
+    wedged task is contained and classified instead of killing the
+    sweep. Each task gets a bounded retry budget; attempt [i] of task
+    [key] re-seeds from [retry_key key i], so retried runs are as
+    reproducible as first runs. Wall budgets are cooperative
+    ([check_deadline]); instruction budgets ride on the simulation's
+    [max_insns] hook, whose exhaustion is a reported outcome already. *)
+
+(** Raised by [check_deadline] once the current task's wall budget has
+    passed; the supervisor classifies it as [Timed_out]. *)
+exception Task_timed_out
+
+(** Cooperative deadline check: call from long-running task bodies at
+    safe points. No-op outside a supervised task or when no
+    [task_timeout] is set. *)
+val check_deadline : unit -> unit
+
+(** [retry_key key 0 = key]; [retry_key key i = key ^ ":retry" ^ i]. *)
+val retry_key : string -> int -> string
+
+type fault =
+  | Crashed of { exn : string; backtrace : string }
+  | Timed_out of { budget : float }
+
+type task_fault = {
+  index : int;
+  key : string;
+  attempts : int;  (** total attempts made, initial try included *)
+  fault : fault;
+}
+
+type fault_report = {
+  tasks : int;
+  ok : int;
+  retried_ok : int;  (** tasks that succeeded only after retrying *)
+  crashed : int;
+  timed_out : int;
+  retries_used : int;  (** total extra attempts across all tasks *)
+  task_faults : task_fault list;  (** final faults, in task order *)
+}
+
+val fault_to_string : fault -> string
+
+(** Multi-line report: the counts line plus one line per faulted task,
+    with the first [max_backtraces] crash backtraces inlined. *)
+val render_fault_report : ?max_backtraces:int -> fault_report -> string
+
+(** [map] with per-task supervision; result slots line up with input
+    order. Tasks faulted by the armed {!Faultinject} plan and real
+    crashes/timeouts are both reported here, never re-raised. *)
+val map_supervised :
+  ?jobs:int ->
+  ?retries:int ->
+  ?task_timeout:float ->
+  key:('a -> string) ->
+  ('a -> 'b) ->
+  'a array ->
+  ('b, fault) result array * fault_report
+
+(** [map_stats] with per-task supervision. Each attempt gets a fresh
+    private context seeded from its [retry_key]; a faulted attempt's
+    partial stats are discarded wholesale, so merged totals only count
+    completed tasks. The fault counts are folded into the merged
+    counters as [pool.tasks], [pool.ok], [pool.retried_ok],
+    [pool.crashed], [pool.timed_out], [pool.retries_used] (all derived
+    from the per-task classification, hence scheduling-independent). *)
+val map_stats_supervised :
+  ?jobs:int ->
+  ?retries:int ->
+  ?task_timeout:float ->
+  key:('a -> string) ->
+  ('a -> ctx -> 'b) ->
+  'a array ->
+  ('b, fault) result array * merged_stats * fault_report

@@ -112,6 +112,165 @@ let run_program ?(timing = true) ?(max_insns = 50_000_000) ?(profile = false)
       profile = None;
     }
 
+(* --- on-disk result store (checkpoint / resume) --------------------------- *)
+
+(* Spills memoized runs to disk so an interrupted sweep resumes where it
+   stopped and repeated invocations skip re-simulation entirely.
+   Entries are keyed by the memo key ([job_key]) plus a content digest
+   of the built workload program, so editing a workload builder
+   invalidates its cached runs.
+
+   Robustness over cleverness: entries are written atomically (tmp +
+   rename, so a killed process leaves either the old entry or none) and
+   validated on load (format version + payload digest); anything
+   unreadable is discarded with a warning and re-simulated — a corrupt
+   cache can cost time, never correctness, and never a crash. *)
+module Store = struct
+  let format_version = "chex86-store-v1"
+
+  let dir_ref : string option Atomic.t = Atomic.make None
+  let hits = Atomic.make 0
+  let misses = Atomic.make 0
+  let writes = Atomic.make 0
+  let discarded = Atomic.make 0
+
+  type stats = { hits : int; misses : int; writes : int; discarded : int }
+
+  let stats () =
+    {
+      hits = Atomic.get hits;
+      misses = Atomic.get misses;
+      writes = Atomic.get writes;
+      discarded = Atomic.get discarded;
+    }
+
+  let reset_stats () =
+    Atomic.set hits 0;
+    Atomic.set misses 0;
+    Atomic.set writes 0;
+    Atomic.set discarded 0
+
+  let default_dir = "_chex86_cache"
+
+  (* The directory itself is created on first write, so enabling the
+     store in a binary that never saves leaves no empty directory. *)
+  let configure ~dir = Atomic.set dir_ref (Some dir)
+
+  let ensure_dir dir =
+    try if not (Sys.file_exists dir) then Unix.mkdir dir 0o755 with
+    | Unix.Unix_error (Unix.EEXIST, _, _) -> ()
+
+  let disable () = Atomic.set dir_ref None
+  let enabled () = Option.is_some (Atomic.get dir_ref)
+  let dir () = Atomic.get dir_ref
+
+  (* Key scheme: a human-greppable sanitized prefix of the memo key plus
+     a digest over (key, program digest) that actually disambiguates. *)
+  let entry_name ~key ~digest =
+    let slug =
+      String.map
+        (fun c ->
+          match c with 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '-' | '.' -> c | _ -> '_')
+        (if String.length key > 64 then String.sub key 0 64 else key)
+    in
+    Printf.sprintf "%s-%s.run" slug (Digest.to_hex (Digest.string (key ^ "\x00" ^ digest)))
+
+  let entry_path ~key ~digest =
+    Option.map (fun d -> Filename.concat d (entry_name ~key ~digest)) (dir ())
+
+  let warn fmt =
+    Printf.ksprintf (fun msg -> Printf.eprintf "chex86-store: %s\n%!" msg) fmt
+
+  let read_file path =
+    let ic = open_in_bin path in
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+
+  (* Entry layout: version line, payload-digest line, marshalled payload. *)
+  let load ~key ~digest : run option =
+    match entry_path ~key ~digest with
+    | None -> None
+    | Some path ->
+      if not (Sys.file_exists path) then begin
+        Atomic.incr misses;
+        None
+      end
+      else begin
+        match
+          let body = read_file path in
+          Scanf.sscanf body "%s@\n%s@\n" (fun version payload_digest ->
+              let header_len =
+                String.length version + 1 + String.length payload_digest + 1
+              in
+              let payload =
+                String.sub body header_len (String.length body - header_len)
+              in
+              if version <> format_version then Error "format version mismatch"
+              else if Digest.to_hex (Digest.string payload) <> payload_digest then
+                Error "payload digest mismatch"
+              else Ok (Marshal.from_string payload 0 : run))
+        with
+        | Ok run ->
+          Atomic.incr hits;
+          Some run
+        | Error reason | (exception Scanf.Scan_failure reason) ->
+          warn "discarding corrupt entry %s (%s)" path reason;
+          (try Sys.remove path with Sys_error _ -> ());
+          Atomic.incr discarded;
+          Atomic.incr misses;
+          None
+        | exception e ->
+          warn "discarding unreadable entry %s (%s)" path (Printexc.to_string e);
+          (try Sys.remove path with Sys_error _ -> ());
+          Atomic.incr discarded;
+          Atomic.incr misses;
+          None
+      end
+
+  let save ~key ~digest run =
+    match (entry_path ~key ~digest, dir ()) with
+    | Some path, Some d -> (
+      try
+        ensure_dir d;
+        let payload = Marshal.to_string (run : run) [] in
+        let tmp =
+          Filename.concat d
+            (Printf.sprintf ".tmp-%d-%s" (Unix.getpid ()) (Filename.basename path))
+        in
+        let oc = open_out_bin tmp in
+        Fun.protect
+          ~finally:(fun () -> close_out_noerr oc)
+          (fun () ->
+            output_string oc format_version;
+            output_char oc '\n';
+            output_string oc (Digest.to_hex (Digest.string payload));
+            output_char oc '\n';
+            output_string oc payload);
+        Sys.rename tmp path;
+        Atomic.incr writes;
+        (* Deterministic torn-write injection: the fault plan may ask for
+           this entry to be truncated, as if the process died mid-write
+           on a filesystem without atomic rename. *)
+        match Faultinject.truncation_for ~key with
+        | Some keep -> Unix.truncate path (min keep (String.length payload))
+        | None -> ()
+      with e -> warn "failed to write entry for %s (%s)" key (Printexc.to_string e))
+    | _ -> ()
+end
+
+(* Content digest of a built workload program: instructions, globals,
+   label table (sorted — Hashtbl order is an implementation detail),
+   entry point.  Editing a workload builder changes this and so
+   invalidates its store entries. *)
+let program_digest (p : Chex86_isa.Program.t) =
+  let labels =
+    Hashtbl.fold (fun name idx acc -> (name, idx) :: acc) p.labels []
+    |> List.sort compare
+  in
+  Digest.to_hex
+    (Digest.string (Marshal.to_string (p.insns, labels, p.globals, p.entry, p.data_end) []))
+
 (* --- memoized workload runs ---------------------------------------------- *)
 
 (* The memo table is the only module-level mutable state in the harness;
@@ -135,6 +294,39 @@ let memo_publish key run =
         Hashtbl.add memo key run;
         run)
 
+(* Faults recorded by supervised prefetches, keyed like the memo. A
+   faulted job stays faulted for the rest of the process (later sweeps
+   sharing the key render the same FAULTED cell instead of silently
+   re-simulating), and the figure-assembly code asks here before
+   falling back to a blocking [run_workload]. *)
+let fault_table : (string, Pool.fault) Hashtbl.t = Hashtbl.create 16
+let fault_lock = Mutex.create ()
+
+let record_fault key fault =
+  Mutex.protect fault_lock (fun () -> Hashtbl.replace fault_table key fault)
+
+let fault_find key = Mutex.protect fault_lock (fun () -> Hashtbl.find_opt fault_table key)
+let faulted_jobs () =
+  Mutex.protect fault_lock (fun () ->
+      Hashtbl.fold (fun key fault acc -> (key, fault) :: acc) fault_table [])
+  |> List.sort compare
+
+(* Store-aware cache fill: consult the on-disk store before simulating,
+   and persist fresh results.  [?configure] installs monitor hooks whose
+   effects the stored counters can't capture, so those runs bypass the
+   store entirely. *)
+let compute_run ~key ?(timing = true) ?(profile = false) ?configure config program =
+  match configure with
+  | Some _ -> run_program ~timing ~profile ?configure config program
+  | None ->
+    let digest = program_digest program in
+    (match Store.load ~key ~digest with
+    | Some run -> run
+    | None ->
+      let run = run_program ~timing ~profile config program in
+      Store.save ~key ~digest run;
+      run)
+
 let run_workload ?(tag = "") ?(timing = true) ?(profile = false) ?configure ~scale config
     (w : Chex86_workloads.Bench_spec.t) =
   let key =
@@ -144,8 +336,26 @@ let run_workload ?(tag = "") ?(timing = true) ?(profile = false) ?configure ~sca
   match memo_find key with
   | Some run -> run
   | None ->
-    let run = run_program ~timing ~profile ?configure config (w.build ~scale) in
+    let run = compute_run ~key ~timing ~profile ?configure config (w.build ~scale) in
     memo_publish key run
+
+(* [run_workload] that reports instead of running when a supervised
+   prefetch already classified this job as faulted. *)
+let run_workload_result ?(tag = "") ?(timing = true) ?(profile = false) ?configure ~scale
+    config (w : Chex86_workloads.Bench_spec.t) =
+  let key =
+    Printf.sprintf "%s/%s/%d/%b/%b/%s" w.name (config_name config) scale timing profile
+      tag
+  in
+  match memo_find key with
+  | Some run -> Ok run
+  | None -> (
+    match fault_find key with
+    | Some fault -> Error fault
+    | None ->
+      Ok
+        (memo_publish key
+           (compute_run ~key ~timing ~profile ?configure config (w.build ~scale))))
 
 (* --- parallel prefetch ---------------------------------------------------- *)
 
@@ -171,25 +381,58 @@ let job_key j =
    (the serial figure-assembly code) hit the memo.  Each job builds its
    own program and monitor, so jobs share no state; publishing in job
    order keeps the memo's insertion order identical to a serial run. *)
-let prefetch ?jobs job_list =
+let dedup_jobs job_list =
   let seen = Hashtbl.create 16 in
-  let todo =
-    List.filter
+  List.filter
+    (fun j ->
+      let key = job_key j in
+      if
+        Hashtbl.mem seen key
+        || Option.is_some (memo_find key)
+        || Option.is_some (fault_find key)
+      then false
+      else begin
+        Hashtbl.add seen key ();
+        true
+      end)
+    job_list
+  |> Array.of_list
+
+let run_job j =
+  let key = job_key j in
+  compute_run ~key ~timing:j.j_timing ~profile:j.j_profile j.j_config
+    (j.j_workload.build ~scale:j.j_scale)
+
+(* Supervised prefetch: a crashing or wedged job is recorded in the
+   fault table and the rest of the sweep completes; healthy results are
+   published to the memo in job order exactly like [prefetch]. *)
+let prefetch_supervised ?jobs ?retries ?task_timeout job_list =
+  let todo = dedup_jobs job_list in
+  let results, report =
+    Pool.map_supervised ?jobs ?retries ?task_timeout ~key:job_key
       (fun j ->
-        let key = job_key j in
-        if Hashtbl.mem seen key || Option.is_some (memo_find key) then false
-        else begin
-          Hashtbl.add seen key ();
-          true
-        end)
-      job_list
-    |> Array.of_list
-  in
-  let runs =
-    Pool.map ?jobs
-      (fun j ->
-        run_program ~timing:j.j_timing ~profile:j.j_profile j.j_config
-          (j.j_workload.build ~scale:j.j_scale))
+        Pool.check_deadline ();
+        run_job j)
       todo
   in
+  Array.iteri
+    (fun i result ->
+      let key = job_key todo.(i) in
+      match result with
+      | Ok run -> ignore (memo_publish key run)
+      | Error fault -> record_fault key fault)
+    results;
+  report
+
+let prefetch ?jobs job_list =
+  let todo = dedup_jobs job_list in
+  let runs = Pool.map ?jobs run_job todo in
   Array.iteri (fun i run -> ignore (memo_publish (job_key todo.(i)) run)) runs
+
+(* Test hook: forget every memoized run and recorded fault so a test can
+   exercise the cold path repeatedly in one process. Store stats reset
+   too; the store directory itself is left alone. *)
+let reset_for_tests () =
+  Mutex.protect memo_lock (fun () -> Hashtbl.reset memo);
+  Mutex.protect fault_lock (fun () -> Hashtbl.reset fault_table);
+  Store.reset_stats ()

@@ -38,8 +38,43 @@ val run_program :
   Chex86_isa.Program.t ->
   run
 
+(** {2 On-disk result store}
+
+    Checkpoint/resume for sweeps: memoized runs are spilled under a
+    cache directory ([_chex86_cache/] by default, [--cache-dir] on the
+    CLIs), keyed by the memo key plus a content digest of the built
+    program, so an interrupted invocation resumes where it stopped and
+    repeated invocations skip re-simulation. Disabled until
+    [configure]d. Entries are written atomically (tmp + rename) and
+    validated on load (format version + payload digest); corrupt
+    entries are discarded with a warning and re-simulated — never a
+    crash. *)
+module Store : sig
+  val default_dir : string
+  (** ["_chex86_cache"] *)
+
+  (** Enable the store; [dir] is created on first write. *)
+  val configure : dir:string -> unit
+
+  val disable : unit -> unit
+  val enabled : unit -> bool
+  val dir : unit -> string option
+
+  type stats = { hits : int; misses : int; writes : int; discarded : int }
+
+  val stats : unit -> stats
+  val reset_stats : unit -> unit
+end
+
+(** Content digest of a built program; part of the store key, so
+    editing a workload builder invalidates its cached runs. *)
+val program_digest : Chex86_isa.Program.t -> string
+
 (** Memoized on (workload, config, scale, timing, profile, tag). The
-    memo is domain-safe; repeated calls return the same [run] value. *)
+    memo is domain-safe; repeated calls return the same [run] value.
+    On a memo miss the enabled {!Store} is consulted before simulating
+    (except for runs with a [?configure] hook, whose effects a stored
+    result can't capture). *)
 val run_workload :
   ?tag:string ->
   ?timing:bool ->
@@ -49,6 +84,19 @@ val run_workload :
   config ->
   Chex86_workloads.Bench_spec.t ->
   run
+
+(** [run_workload] that reports instead of simulating when a
+    supervised prefetch already classified the job as faulted, so
+    figure assembly can render an explicit FAULTED / TIMEOUT cell. *)
+val run_workload_result :
+  ?tag:string ->
+  ?timing:bool ->
+  ?profile:bool ->
+  ?configure:(Chex86.Monitor.t -> unit) ->
+  scale:int ->
+  config ->
+  Chex86_workloads.Bench_spec.t ->
+  (run, Pool.fault) result
 
 (** A (workload x config) simulation task for the parallel prefetcher;
     the fields mirror [run_workload]'s memo key. *)
@@ -70,3 +118,18 @@ val job_key : job -> string
     job order, so the serial figure-assembly code then hits the memo.
     Results are bit-identical to running the same jobs serially. *)
 val prefetch : ?jobs:int -> job list -> unit
+
+(** [prefetch] with per-task supervision: a crashing or wedged job is
+    recorded in the fault table (see {!run_workload_result} /
+    {!faulted_jobs}) and the rest of the sweep completes. Jobs already
+    faulted are not retried by later prefetches sharing the key. *)
+val prefetch_supervised :
+  ?jobs:int -> ?retries:int -> ?task_timeout:float -> job list -> Pool.fault_report
+
+(** Every job a supervised prefetch classified as faulted this process,
+    as [(job key, fault)], sorted by key. *)
+val faulted_jobs : unit -> (string * Pool.fault) list
+
+(** Test hook: forget every memoized run and recorded fault (and reset
+    store stats) so tests can exercise the cold path repeatedly. *)
+val reset_for_tests : unit -> unit

@@ -35,6 +35,20 @@ let blocked_as_expected result =
    should see the corruption. *)
 let corruption_prevented result = not result.under_protection.Runner.pwned
 
+let tally_result (ctx : Pool.ctx) r =
+  let c = ctx.Pool.counters in
+  Chex86_stats.Counter.incr c "sweep.total";
+  if blocked r then Chex86_stats.Counter.incr c "sweep.blocked";
+  if blocked_as_expected r then Chex86_stats.Counter.incr c "sweep.expected_class";
+  if corruption_prevented r then Chex86_stats.Counter.incr c "sweep.prevented";
+  (match r.under_protection.Runner.outcome with
+  | Runner.Blocked kind ->
+    Chex86_stats.Counter.incr c ("sweep.class." ^ Chex86.Violation.class_name kind)
+  | _ -> ());
+  Chex86_stats.Histogram.add
+    (ctx.Pool.histogram "sweep.protected_macro_insns")
+    r.under_protection.Runner.macro_insns
+
 (* The 800+ exploits shard trivially: each evaluation builds its own two
    guest programs and monitors.  Workers tally outcome counters and an
    instruction-count histogram into task-private stats; the coordinator
@@ -46,25 +60,30 @@ let sweep_stats ?config ?jobs exploits =
       ~key:(fun (e : Exploit.t) -> e.Exploit.name)
       (fun exploit (ctx : Pool.ctx) ->
         let r = evaluate ?config exploit in
-        let c = ctx.Pool.counters in
-        Chex86_stats.Counter.incr c "sweep.total";
-        if blocked r then Chex86_stats.Counter.incr c "sweep.blocked";
-        if blocked_as_expected r then Chex86_stats.Counter.incr c "sweep.expected_class";
-        if corruption_prevented r then Chex86_stats.Counter.incr c "sweep.prevented";
-        (match r.under_protection.Runner.outcome with
-        | Runner.Blocked kind ->
-          Chex86_stats.Counter.incr c
-            ("sweep.class." ^ Chex86.Violation.class_name kind)
-        | _ -> ());
-        Chex86_stats.Histogram.add
-          (ctx.Pool.histogram "sweep.protected_macro_insns")
-          r.under_protection.Runner.macro_insns;
+        tally_result ctx r;
         r)
       (Array.of_list exploits)
   in
   (Array.to_list results, stats)
 
 let sweep ?config ?jobs exploits = fst (sweep_stats ?config ?jobs exploits)
+
+(* Supervised variant: a crashing or wedged exploit evaluation is
+   classified and reported instead of killing the sweep; its stats are
+   discarded wholesale, so the [sweep.*] counters only count completed
+   evaluations (plus the [pool.*] fault counters the supervisor adds). *)
+let sweep_stats_supervised ?config ?jobs ?retries ?task_timeout exploits =
+  let results, stats, report =
+    Pool.map_stats_supervised ?jobs ?retries ?task_timeout
+      ~key:(fun (e : Exploit.t) -> e.Exploit.name)
+      (fun exploit (ctx : Pool.ctx) ->
+        Pool.check_deadline ();
+        let r = evaluate ?config exploit in
+        tally_result ctx r;
+        r)
+      (Array.of_list exploits)
+  in
+  (List.map2 (fun e r -> (e, r)) exploits (Array.to_list results), stats, report)
 
 type suite_summary = {
   suite : Exploit.suite;

@@ -23,6 +23,22 @@ val sweep_stats :
   ?jobs:int ->
   Chex86_exploits.Exploit.t list ->
   result list * Pool.merged_stats
+
+(** [sweep_stats] with per-task supervision (see
+    {!Pool.map_stats_supervised}): a crashing or wedged evaluation
+    yields an [Error fault] slot instead of killing the sweep, and the
+    [sweep.*] counters only count completed evaluations. Result slots
+    are in input order, each paired with its exploit. *)
+val sweep_stats_supervised :
+  ?config:Runner.config ->
+  ?jobs:int ->
+  ?retries:int ->
+  ?task_timeout:float ->
+  Chex86_exploits.Exploit.t list ->
+  (Chex86_exploits.Exploit.t * (result, Pool.fault) Stdlib.result) list
+  * Pool.merged_stats
+  * Pool.fault_report
+
 val blocked : result -> bool
 val blocked_as_expected : result -> bool
 

@@ -97,6 +97,85 @@ let test_figure1_text () =
   Alcotest.(check bool) "covers 2006-2018" true
     (contains ~needle:"2006" out && contains ~needle:"2018" out)
 
+(* Every [Runner.outcome] failure path is a reported value, never an
+   exception escaping [run_program]. *)
+let test_outcome_budget_exhausted () =
+  let program =
+    let b = Chex86_isa.Asm.create () in
+    Chex86_isa.Asm.label b "_start";
+    Chex86_isa.Asm.label b "spin";
+    Chex86_isa.Asm.emit b (Chex86_isa.Insn.Jmp "spin");
+    Chex86_isa.Asm.build b
+  in
+  let run = Runner.run_program ~timing:false ~max_insns:10_000 Runner.insecure program in
+  (match run.Runner.outcome with
+  | Runner.Budget_exhausted -> ()
+  | _ -> Alcotest.fail "expected Budget_exhausted");
+  Alcotest.(check bool) "consumed the whole budget" true (run.Runner.macro_insns >= 10_000)
+
+let test_outcome_faulted () =
+  (* An indirect jump to an address far outside the text segment is a
+     guest fault (wild *loads* are served zeros by the sparse memory). *)
+  let program =
+    let b = Chex86_isa.Asm.create () in
+    Chex86_isa.Asm.label b "_start";
+    Chex86_isa.Asm.emit b (Chex86_isa.Insn.Mov (W64, Reg RAX, Imm 0x7eee_0000));
+    Chex86_isa.Asm.emit b (Chex86_isa.Insn.Jmp_reg RAX);
+    Chex86_isa.Asm.emit b Chex86_isa.Insn.Halt;
+    Chex86_isa.Asm.build b
+  in
+  let run = Runner.run_program ~timing:false Runner.insecure program in
+  match run.Runner.outcome with
+  | Runner.Faulted _ -> ()
+  | _ -> Alcotest.fail "expected Faulted"
+
+let test_outcome_aborted () =
+  (* An allocator-integrity exploit on the *insecure* baseline dies in
+     the allocator's own checks: reported as Aborted. *)
+  let exploit =
+    List.find
+      (fun (e : Chex86_exploits.Exploit.t) ->
+        e.insecure = Chex86_exploits.Exploit.Allocator_abort)
+      Chex86_exploits.Exploits.all
+  in
+  let run =
+    Runner.run_program ~timing:false ~max_insns:2_000_000 Runner.insecure
+      (exploit.build ())
+  in
+  match run.Runner.outcome with
+  | Runner.Aborted _ -> ()
+  | _ -> Alcotest.fail "expected Aborted"
+
+(* CHEX86_WORKLOADS resolution: unknown names warn-and-ignore by
+   default but are an error under --strict. *)
+let test_resolve_workloads () =
+  let all = W.all in
+  let names ws = List.map (fun (w : Chex86_workloads.Bench_spec.t) -> w.name) ws in
+  (match Experiments.resolve_workloads ~all "mcf , canneal" with
+  | Ok ws -> Alcotest.(check (list string)) "subset picked" [ "mcf"; "canneal" ] (names ws)
+  | Error e -> Alcotest.fail e);
+  (match Experiments.resolve_workloads ~all "" with
+  | Ok ws -> Alcotest.(check int) "empty spec sweeps all" (List.length all) (List.length ws)
+  | Error e -> Alcotest.fail e);
+  (* Non-strict: unknown names are dropped with a warning. *)
+  (match Experiments.resolve_workloads ~all "bogus,mcf" with
+  | Ok ws -> Alcotest.(check (list string)) "unknown ignored" [ "mcf" ] (names ws)
+  | Error e -> Alcotest.fail e);
+  (* Non-strict with no known name left: falls back to all. *)
+  (match Experiments.resolve_workloads ~all "bogus" with
+  | Ok ws -> Alcotest.(check int) "fallback to all" (List.length all) (List.length ws)
+  | Error e -> Alcotest.fail e);
+  (* Strict: the same unknown name is a hard error naming the culprit. *)
+  (match Experiments.resolve_workloads ~strict:true ~all "bogus,mcf" with
+  | Ok _ -> Alcotest.fail "strict resolution should reject unknown names"
+  | Error msg ->
+    Alcotest.(check bool) "error names the unknown workload" true
+      (contains ~needle:"bogus" msg));
+  (* Strict with only valid names still succeeds. *)
+  match Experiments.resolve_workloads ~strict:true ~all "mcf" with
+  | Ok ws -> Alcotest.(check (list string)) "strict ok" [ "mcf" ] (names ws)
+  | Error e -> Alcotest.fail e
+
 let test_ablation_tlb_filter () =
   (* The alias-hosting filter can only reduce alias-cache lookups. *)
   let w = W.find "mcf" in
@@ -177,6 +256,10 @@ let () =
         [
           Alcotest.test_case "memoization" `Quick test_runner_memoizes;
           Alcotest.test_case "config names" `Quick test_runner_config_names;
+          Alcotest.test_case "budget exhaustion reported" `Quick
+            test_outcome_budget_exhausted;
+          Alcotest.test_case "guest fault reported" `Quick test_outcome_faulted;
+          Alcotest.test_case "allocator abort reported" `Quick test_outcome_aborted;
         ] );
       ( "experiments",
         [
@@ -187,6 +270,8 @@ let () =
           Alcotest.test_case "table2 text" `Quick test_table2_text;
           Alcotest.test_case "table3 text" `Quick test_table3_text;
           Alcotest.test_case "figure1 text" `Quick test_figure1_text;
+          Alcotest.test_case "workload resolution strictness" `Quick
+            test_resolve_workloads;
         ] );
       ( "multicore",
         [

@@ -1,0 +1,463 @@
+(* Tests for the supervised sweep engine: per-task fault containment,
+   retry/timeout budgets, the deterministic fault-injection harness, and
+   the on-disk result store's checkpoint/resume path.  Every failure
+   mode here is *injected* via Faultinject plans keyed on stable task
+   keys, so the assertions hold at any job count. *)
+
+module Pool = Chex86_harness.Pool
+module Faultinject = Chex86_harness.Faultinject
+module Runner = Chex86_harness.Runner
+module Counter = Chex86_stats.Counter
+module W = Chex86_workloads.Workloads
+
+let with_plan plan f =
+  Faultinject.arm plan;
+  Fun.protect ~finally:Faultinject.disarm f
+
+(* Fault projection that drops backtrace strings (they depend on where
+   the exception was caught, not on what faulted). *)
+let fault_shape = function
+  | Pool.Crashed { exn; _ } -> "crashed:" ^ exn
+  | Pool.Timed_out { budget } -> Printf.sprintf "timed_out:%g" budget
+
+let report_shape (r : Pool.fault_report) =
+  ( (r.tasks, r.ok, r.retried_ok, r.crashed, r.timed_out, r.retries_used),
+    List.map
+      (fun (f : Pool.task_fault) -> (f.index, f.key, f.attempts, fault_shape f.fault))
+      r.task_faults )
+
+let tasks_10 = Array.init 10 (fun i -> i)
+let key_of = string_of_int
+
+(* --- supervision basics --------------------------------------------------- *)
+
+let test_all_ok () =
+  let results, report = Pool.map_supervised ~jobs:3 ~key:key_of (fun x -> x * x) tasks_10 in
+  Array.iteri
+    (fun i r -> Alcotest.(check (result int reject)) "squared" (Ok (i * i)) r)
+    results;
+  Alcotest.(check int) "tasks" 10 report.Pool.tasks;
+  Alcotest.(check int) "ok" 10 report.Pool.ok;
+  Alcotest.(check int) "no faults" 0 (report.Pool.crashed + report.Pool.timed_out);
+  Alcotest.(check int) "no retries" 0 report.Pool.retries_used
+
+let test_real_crash_contained () =
+  (* A genuine task exception (not injected) is classified with its
+     backtrace, and every healthy task still returns. *)
+  let results, report =
+    Pool.map_supervised ~jobs:4 ~key:key_of
+      (fun x -> if x = 6 then failwith "boom" else x + 1)
+      tasks_10
+  in
+  Array.iteri
+    (fun i r ->
+      match r with
+      | Ok v -> Alcotest.(check int) "healthy result" (i + 1) v
+      | Error (Pool.Crashed { exn; backtrace }) ->
+        Alcotest.(check int) "only task 6 crashed" 6 i;
+        Alcotest.(check bool) "exception text" true
+          (String.length exn > 0 && String.length backtrace > 0)
+      | Error (Pool.Timed_out _) -> Alcotest.fail "unexpected timeout")
+    results;
+  Alcotest.(check int) "one crash" 1 report.Pool.crashed;
+  Alcotest.(check int) "nine ok" 9 report.Pool.ok
+
+let test_injected_faults_match_plan () =
+  (* Seeded plan faulting >= 3 tasks: two crashes plus one stall that
+     trips the cooperative deadline.  The report must mirror the plan
+     exactly; all healthy tasks return results. *)
+  let plan =
+    Faultinject.of_list
+      [
+        ("2", Faultinject.crash ());
+        ("5", Faultinject.crash ());
+        ("8", Faultinject.slow 0.3);
+      ]
+  in
+  let results, report =
+    with_plan plan (fun () ->
+        Pool.map_supervised ~jobs:4 ~task_timeout:0.05 ~key:key_of
+          (fun x ->
+            Pool.check_deadline ();
+            x * 10)
+          tasks_10)
+  in
+  Array.iteri
+    (fun i r ->
+      match (r, i) with
+      | Error (Pool.Crashed _), (2 | 5) -> ()
+      | Error (Pool.Timed_out { budget }), 8 ->
+        Alcotest.(check (float 1e-9)) "budget recorded" 0.05 budget
+      | Ok v, _ -> Alcotest.(check int) "healthy result" (i * 10) v
+      | Error f, _ -> Alcotest.failf "task %d unexpectedly faulted: %s" i (fault_shape f))
+    results;
+  Alcotest.(check int) "crashed" 2 report.Pool.crashed;
+  Alcotest.(check int) "timed out" 1 report.Pool.timed_out;
+  Alcotest.(check int) "ok" 7 report.Pool.ok;
+  Alcotest.(check (list (pair int string)))
+    "faulted tasks in task order"
+    [ (2, "2"); (5, "5"); (8, "8") ]
+    (List.map
+       (fun (f : Pool.task_fault) -> (f.index, f.key))
+       report.Pool.task_faults)
+
+let test_retry_recovers_bit_identical () =
+  (* Crash directives with a 1-attempt budget: the retry succeeds, and
+     recovered results equal the unfaulted serial run exactly. *)
+  let f x = (x * 7) + 3 in
+  let unfaulted = Pool.map ~jobs:1 f tasks_10 in
+  let plan =
+    Faultinject.of_list
+      [
+        ("1", Faultinject.crash ~attempts:1 ());
+        ("4", Faultinject.crash ~attempts:1 ());
+        ("9", Faultinject.crash ~attempts:1 ());
+      ]
+  in
+  let results, report =
+    with_plan plan (fun () ->
+        Pool.map_supervised ~jobs:3 ~retries:1 ~key:key_of f tasks_10)
+  in
+  Array.iteri
+    (fun i r ->
+      Alcotest.(check (result int reject)) "recovered == unfaulted" (Ok unfaulted.(i)) r)
+    results;
+  Alcotest.(check int) "all ok" 10 report.Pool.ok;
+  Alcotest.(check int) "three recovered by retry" 3 report.Pool.retried_ok;
+  Alcotest.(check int) "three extra attempts" 3 report.Pool.retries_used;
+  Alcotest.(check int) "nothing faulted" 0 (report.Pool.crashed + report.Pool.timed_out)
+
+let test_exhausted_retries_fault () =
+  (* A crash directive outlasting the retry budget still faults, with
+     the attempt count recorded. *)
+  let plan = Faultinject.of_list [ ("3", Faultinject.crash ~attempts:5 ()) ] in
+  let _, report =
+    with_plan plan (fun () ->
+        Pool.map_supervised ~jobs:2 ~retries:2 ~key:key_of (fun x -> x) tasks_10)
+  in
+  Alcotest.(check int) "crashed" 1 report.Pool.crashed;
+  Alcotest.(check int) "retries spent" 2 report.Pool.retries_used;
+  match report.Pool.task_faults with
+  | [ f ] -> Alcotest.(check int) "3 attempts made" 3 f.Pool.attempts
+  | _ -> Alcotest.fail "expected exactly one task fault"
+
+let test_supervised_jobs_invariance () =
+  (* Same plan, same tasks: the report and results are identical at any
+     job count (modulo backtrace text, which is caught-site noise). *)
+  let plan =
+    Faultinject.of_list
+      [ ("0", Faultinject.crash ()); ("7", Faultinject.crash ~attempts:1 ()) ]
+  in
+  let run jobs =
+    with_plan plan (fun () ->
+        let results, report =
+          Pool.map_supervised ~jobs ~retries:1 ~key:key_of (fun x -> x * 2) tasks_10
+        in
+        (Array.map (Result.map_error fault_shape) results, report_shape report))
+  in
+  let serial = run 1 in
+  List.iter
+    (fun jobs ->
+      let parallel = run jobs in
+      Alcotest.(check bool)
+        (Printf.sprintf "jobs=%d matches serial" jobs)
+        true (serial = parallel))
+    [ 2; 4; 8 ]
+
+let test_seeded_plan_deterministic () =
+  let keys = List.init 200 string_of_int in
+  let hits rate seed =
+    List.filter
+      (fun k ->
+        Faultinject.arm (Faultinject.seeded ~rate ~seed);
+        let hit = Faultinject.fault_for ~key:k ~attempt:0 <> None in
+        Faultinject.disarm ();
+        hit)
+      keys
+  in
+  let a = hits 0.25 42 and b = hits 0.25 42 in
+  Alcotest.(check (list string)) "same keys fault for same seed" a b;
+  Alcotest.(check bool) "rate selects some but not all" true
+    (List.length a > 0 && List.length a < 200);
+  let c = hits 0.25 43 in
+  Alcotest.(check bool) "different seed, different selection" true (a <> c)
+
+(* --- supervised stats ----------------------------------------------------- *)
+
+let test_stats_discard_faulted () =
+  (* Each completed task bumps a counter; a faulted attempt's partial
+     stats must be discarded wholesale, and the pool.* fault counters
+     land in the merged group. *)
+  let body x (ctx : Pool.ctx) =
+    Counter.incr ctx.Pool.counters "t.count";
+    Counter.incr ~by:x ctx.Pool.counters "t.sum";
+    (* the crash fires before the body on attempt 0, so partial-stats
+       discard is exercised by the *real* exception below *)
+    if x = 4 then failwith "late crash after stats were touched";
+    x
+  in
+  let results, stats, report =
+    Pool.map_stats_supervised ~jobs:3 ~key:key_of body tasks_10
+  in
+  Alcotest.(check int) "one crash" 1 report.Pool.crashed;
+  (match results.(4) with
+  | Error (Pool.Crashed _) -> ()
+  | _ -> Alcotest.fail "task 4 should have crashed");
+  Alcotest.(check int) "faulted task's counter discarded" 9
+    (Counter.get stats.Pool.counters "t.count");
+  Alcotest.(check int) "faulted task's sum discarded" (45 - 4)
+    (Counter.get stats.Pool.counters "t.sum");
+  Alcotest.(check int) "pool.tasks" 10 (Counter.get stats.Pool.counters "pool.tasks");
+  Alcotest.(check int) "pool.ok" 9 (Counter.get stats.Pool.counters "pool.ok");
+  Alcotest.(check int) "pool.crashed" 1 (Counter.get stats.Pool.counters "pool.crashed")
+
+let test_stats_supervised_matches_plain_when_healthy () =
+  (* With no plan armed, the supervised merge equals map_stats' merge
+     plus the pool.* counters. *)
+  let body x (ctx : Pool.ctx) =
+    Counter.incr ~by:x ctx.Pool.counters "t.sum";
+    Chex86_stats.Histogram.add (ctx.Pool.histogram "t.h") x;
+    x
+  in
+  let _, plain = Pool.map_stats ~jobs:2 ~key:key_of body tasks_10 in
+  let _, supervised, _ = Pool.map_stats_supervised ~jobs:2 ~key:key_of body tasks_10 in
+  Alcotest.(check int) "t.sum equal" (Counter.get plain.Pool.counters "t.sum")
+    (Counter.get supervised.Pool.counters "t.sum");
+  let h stats =
+    match List.assoc_opt "t.h" stats.Pool.histograms with
+    | Some h -> (Chex86_stats.Histogram.count h, Chex86_stats.Histogram.max_value h)
+    | None -> (0, 0)
+  in
+  Alcotest.(check (pair int int)) "t.h equal" (h plain) (h supervised);
+  Alcotest.(check int) "pool.ok present" 10
+    (Counter.get supervised.Pool.counters "pool.ok")
+
+(* --- security sweep degradation ------------------------------------------ *)
+
+let test_security_sweep_supervised_degrades () =
+  let exploits =
+    List.filteri (fun i _ -> i < 6) Chex86_exploits.Exploits.all
+  in
+  let victim = (List.nth exploits 2).Chex86_exploits.Exploit.name in
+  let plan = Faultinject.of_list [ (victim, Faultinject.crash ()) ] in
+  let slots, stats, report =
+    with_plan plan (fun () ->
+        Chex86_harness.Security.sweep_stats_supervised ~jobs:2 exploits)
+  in
+  Alcotest.(check int) "one fault" 1 (report.Pool.crashed + report.Pool.timed_out);
+  List.iteri
+    (fun i ((e : Chex86_exploits.Exploit.t), r) ->
+      match r with
+      | Error _ ->
+        Alcotest.(check string) "the planned victim faulted" victim e.name;
+        Alcotest.(check int) "at the planned slot" 2 i
+      | Ok result ->
+        Alcotest.(check bool) "healthy evaluations complete" true
+          (result.Chex86_harness.Security.exploit.Chex86_exploits.Exploit.name = e.name))
+    slots;
+  Alcotest.(check int) "sweep.total counts completed only" 5
+    (Counter.get stats.Pool.counters "sweep.total")
+
+(* --- on-disk result store -------------------------------------------------- *)
+
+(* The store directory is relative, so everything lands inside dune's
+   test sandbox. *)
+let store_dir = "_test_chex86_cache"
+
+let rm_rf dir =
+  if Sys.file_exists dir then begin
+    Array.iter (fun f -> Sys.remove (Filename.concat dir f)) (Sys.readdir dir);
+    Unix.rmdir dir
+  end
+
+let with_store f =
+  Runner.reset_for_tests ();
+  rm_rf store_dir;
+  Runner.Store.configure ~dir:store_dir;
+  Fun.protect
+    ~finally:(fun () ->
+      Runner.Store.disable ();
+      rm_rf store_dir;
+      Runner.reset_for_tests ())
+    f
+
+let run_fields (r : Runner.run) =
+  (r.outcome, r.macro_insns, r.uops, r.uops_injected, r.uops_killed, r.cycles,
+   r.shadow_bytes, r.resident_bytes, r.mem_bytes, r.pwned)
+
+let test_store_roundtrip () =
+  with_store (fun () ->
+      let w = W.find "swaptions" in
+      let a = Runner.run_workload ~tag:"st1" ~scale:1 Runner.insecure w in
+      let s = Runner.Store.stats () in
+      Alcotest.(check int) "cold run wrote an entry" 1 s.Runner.Store.writes;
+      Alcotest.(check int) "cold run missed" 1 s.Runner.Store.misses;
+      (* Forget the in-memory memo: the next call must load from disk
+         and simulate nothing. *)
+      Runner.reset_for_tests ();
+      let b = Runner.run_workload ~tag:"st1" ~scale:1 Runner.insecure w in
+      let s = Runner.Store.stats () in
+      Alcotest.(check int) "warm run hit the store" 1 s.Runner.Store.hits;
+      Alcotest.(check int) "warm run wrote nothing" 0 s.Runner.Store.writes;
+      Alcotest.(check bool) "stored run identical" true (run_fields a = run_fields b);
+      Alcotest.(check bool) "counters identical" true
+        (Counter.to_list a.Runner.counters = Counter.to_list b.Runner.counters))
+
+let test_store_discards_corrupt_entry () =
+  with_store (fun () ->
+      let w = W.find "swaptions" in
+      let a = Runner.run_workload ~tag:"st2" ~scale:1 Runner.insecure w in
+      (* Tear the entry as if the process died mid-write. *)
+      (match Sys.readdir store_dir with
+      | [| entry |] -> Unix.truncate (Filename.concat store_dir entry) 25
+      | _ -> Alcotest.fail "expected exactly one store entry");
+      Runner.reset_for_tests ();
+      let b = Runner.run_workload ~tag:"st2" ~scale:1 Runner.insecure w in
+      let s = Runner.Store.stats () in
+      Alcotest.(check int) "corrupt entry discarded" 1 s.Runner.Store.discarded;
+      Alcotest.(check int) "and re-simulated + re-written" 1 s.Runner.Store.writes;
+      Alcotest.(check bool) "recomputed run identical" true (run_fields a = run_fields b))
+
+let test_store_rejects_version_and_digest_mismatch () =
+  with_store (fun () ->
+      let w = W.find "swaptions" in
+      let _ = Runner.run_workload ~tag:"st3" ~scale:1 Runner.insecure w in
+      let path =
+        match Sys.readdir store_dir with
+        | [| entry |] -> Filename.concat store_dir entry
+        | _ -> Alcotest.fail "expected exactly one store entry"
+      in
+      (* Flip one payload byte: the digest line no longer matches. *)
+      let fd = Unix.openfile path [ Unix.O_RDWR ] 0 in
+      let size = (Unix.fstat fd).Unix.st_size in
+      ignore (Unix.lseek fd (size - 1) Unix.SEEK_SET);
+      ignore (Unix.write fd (Bytes.make 1 '\xFF') 0 1);
+      Unix.close fd;
+      Runner.reset_for_tests ();
+      let _ = Runner.run_workload ~tag:"st3" ~scale:1 Runner.insecure w in
+      let s = Runner.Store.stats () in
+      Alcotest.(check int) "tampered entry discarded" 1 s.Runner.Store.discarded;
+      Alcotest.(check int) "no false hit" 0 s.Runner.Store.hits)
+
+let test_killed_then_resumed_sweep () =
+  (* The acceptance scenario: a sweep warms the cache, one entry is
+     deliberately truncated (a torn write), and the re-run reproduces
+     identical results while re-simulating only the damaged task. *)
+  with_store (fun () ->
+      let jobs_list =
+        List.map
+          (fun name -> Runner.job ~tag:"resume" ~scale:1 Runner.insecure (W.find name))
+          [ "swaptions"; "mcf"; "canneal" ]
+      in
+      let report = Runner.prefetch_supervised ~jobs:2 jobs_list in
+      Alcotest.(check int) "cold sweep healthy" 0
+        (report.Pool.crashed + report.Pool.timed_out);
+      let first =
+        List.map
+          (fun name ->
+            run_fields
+              (Runner.run_workload ~tag:"resume" ~scale:1 Runner.insecure (W.find name)))
+          [ "swaptions"; "mcf"; "canneal" ]
+      in
+      Alcotest.(check int) "three entries written" 3 (Runner.Store.stats ()).Runner.Store.writes;
+      (* Kill: drop all in-process state; tear one entry. *)
+      let victim = (Sys.readdir store_dir).(1) in
+      Unix.truncate (Filename.concat store_dir victim) 30;
+      Runner.reset_for_tests ();
+      let report = Runner.prefetch_supervised ~jobs:2 jobs_list in
+      Alcotest.(check int) "resumed sweep healthy" 0
+        (report.Pool.crashed + report.Pool.timed_out);
+      let second =
+        List.map
+          (fun name ->
+            run_fields
+              (Runner.run_workload ~tag:"resume" ~scale:1 Runner.insecure (W.find name)))
+          [ "swaptions"; "mcf"; "canneal" ]
+      in
+      let s = Runner.Store.stats () in
+      Alcotest.(check bool) "resume reproduces identical results" true (first = second);
+      Alcotest.(check int) "two tasks loaded from disk" 2 s.Runner.Store.hits;
+      Alcotest.(check int) "the torn entry was discarded" 1 s.Runner.Store.discarded;
+      Alcotest.(check int) "only the damaged task re-simulated" 1 s.Runner.Store.writes)
+
+let test_injected_cache_truncation () =
+  (* The Truncate_cache directive models the torn write end-to-end: the
+     armed plan truncates the freshly written entry, and the next run
+     detects and discards it instead of trusting it. *)
+  with_store (fun () ->
+      let w = W.find "swaptions" in
+      let key =
+        Runner.job_key (Runner.job ~tag:"st4" ~scale:1 Runner.insecure w)
+      in
+      let plan = Faultinject.of_list [ (key, Faultinject.truncate_cache 20) ] in
+      let a =
+        with_plan plan (fun () ->
+            Runner.run_workload ~tag:"st4" ~scale:1 Runner.insecure w)
+      in
+      Runner.reset_for_tests ();
+      let b = Runner.run_workload ~tag:"st4" ~scale:1 Runner.insecure w in
+      let s = Runner.Store.stats () in
+      Alcotest.(check int) "truncated entry discarded" 1 s.Runner.Store.discarded;
+      Alcotest.(check bool) "result unaffected" true (run_fields a = run_fields b))
+
+let test_prefetch_supervised_records_faults () =
+  (* A faulted job is visible through run_workload_result and
+     faulted_jobs, and a later supervised prefetch does not retry it. *)
+  with_store (fun () ->
+      let w = W.find "swaptions" in
+      let job = Runner.job ~tag:"st5" ~scale:1 Runner.insecure w in
+      let plan = Faultinject.of_list [ (Runner.job_key job, Faultinject.crash ()) ] in
+      let report = with_plan plan (fun () -> Runner.prefetch_supervised ~jobs:2 [ job ]) in
+      Alcotest.(check int) "the job crashed" 1 report.Pool.crashed;
+      (match Runner.run_workload_result ~tag:"st5" ~scale:1 Runner.insecure w with
+      | Error (Pool.Crashed _) -> ()
+      | _ -> Alcotest.fail "fault should be reported through run_workload_result");
+      Alcotest.(check int) "recorded in the fault table" 1
+        (List.length (Runner.faulted_jobs ()));
+      (* Re-prefetching skips the faulted key entirely (no retry storm). *)
+      let report2 = Runner.prefetch_supervised ~jobs:2 [ job ] in
+      Alcotest.(check int) "nothing re-attempted" 0 report2.Pool.tasks)
+
+let () =
+  Alcotest.run "supervise"
+    [
+      ( "pool",
+        [
+          Alcotest.test_case "all ok" `Quick test_all_ok;
+          Alcotest.test_case "real crash contained" `Quick test_real_crash_contained;
+          Alcotest.test_case "injected faults match plan" `Quick
+            test_injected_faults_match_plan;
+          Alcotest.test_case "retry recovers bit-identical" `Quick
+            test_retry_recovers_bit_identical;
+          Alcotest.test_case "exhausted retries fault" `Quick
+            test_exhausted_retries_fault;
+          Alcotest.test_case "jobs invariance" `Quick test_supervised_jobs_invariance;
+          Alcotest.test_case "seeded plan deterministic" `Quick
+            test_seeded_plan_deterministic;
+        ] );
+      ( "stats",
+        [
+          Alcotest.test_case "faulted stats discarded" `Quick test_stats_discard_faulted;
+          Alcotest.test_case "healthy merge matches plain" `Quick
+            test_stats_supervised_matches_plain_when_healthy;
+        ] );
+      ( "security",
+        [
+          Alcotest.test_case "sweep degrades gracefully" `Quick
+            test_security_sweep_supervised_degrades;
+        ] );
+      ( "store",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_store_roundtrip;
+          Alcotest.test_case "corrupt entry discarded" `Quick
+            test_store_discards_corrupt_entry;
+          Alcotest.test_case "digest mismatch rejected" `Quick
+            test_store_rejects_version_and_digest_mismatch;
+          Alcotest.test_case "killed-then-resumed sweep" `Quick
+            test_killed_then_resumed_sweep;
+          Alcotest.test_case "injected cache truncation" `Quick
+            test_injected_cache_truncation;
+          Alcotest.test_case "prefetch records faults" `Quick
+            test_prefetch_supervised_records_faults;
+        ] );
+    ]
