@@ -15,11 +15,12 @@ test:
 	dune runtest
 
 # Quick end-to-end sanity: a figure-6 sweep on three representative
-# workloads, sharded over 2 worker domains.  Exercises the domain pool,
-# the memo prefetch, and the stats merge path in one run.
+# workloads, sharded over 2 worker domains in batched chunks.
+# Exercises the domain pool, batched dispatch, the memo prefetch, and
+# the stats merge path in one run.
 smoke: build
 	CHEX86_WORKLOADS=mcf,canneal,freqmine CHEX86_SCALE=1 \
-		dune exec bench/main.exe -- --jobs 2 figure6
+		dune exec bench/main.exe -- --jobs 2 --batch-size 2 figure6
 
 # Supervision sanity: with deterministic fault injection armed, the
 # sweep must still complete (exit 0, non-empty fault report); the same

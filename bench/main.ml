@@ -10,7 +10,10 @@
 
    --jobs N sizes the domain pool the sweeps shard over (default:
    recommended_domain_count - 1; --jobs 1 is the exact serial path;
-   results are bit-identical at any job count). Sweeps are supervised:
+   results are bit-identical at any job count). --batch-size N groups
+   tasks into chunks of N per dispatch (default: auto, about four
+   chunks per worker); results are bit-identical at any batch size
+   too. Sweeps are supervised:
    a crashing or wedged task degrades its cells to FAULTED/TIMEOUT
    instead of killing the run (--retries N / --task-timeout S bound
    each task; --strict flips the exit code when anything faulted), and
@@ -137,9 +140,9 @@ let run_throughput () =
   let w = Chex86_workloads.Workloads.find "mcf" in
   List.iter
     (fun (name, config) ->
-      let t0 = Unix.gettimeofday () in
+      let t0 = Pool.now () in
       let run = Chex86_harness.Runner.run_program config (w.build ~scale:1) in
-      let dt = Unix.gettimeofday () -. t0 in
+      let dt = Pool.now () -. t0 in
       Printf.printf "%-40s %8.0f kinsn/s (%d macro-ops in %.2fs)\n%!" name
         (float_of_int run.Chex86_harness.Runner.macro_insns /. dt /. 1000.)
         run.Chex86_harness.Runner.macro_insns dt)
@@ -189,9 +192,9 @@ let () =
   Printf.printf "[domain pool: %d job(s)]\n%!" (Pool.jobs ());
   List.iter
     (fun name ->
-      let t0 = Unix.gettimeofday () in
+      let t0 = Pool.now () in
       let out = (List.assoc name targets) () in
       if out <> "" then print_endline out;
-      Printf.printf "[%s: %.1fs]\n\n%!" name (Unix.gettimeofday () -. t0))
+      Printf.printf "[%s: %.1fs]\n\n%!" name (Pool.now () -. t0))
     chosen;
   Chex86_harness.Cli.exit_for_faults ()

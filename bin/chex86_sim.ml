@@ -76,6 +76,15 @@ let jobs_arg =
           "Worker domains to shard simulations over (default: \
            recommended domain count - 1; 1 = serial).")
 
+let batch_size_arg =
+  Arg.(
+    value
+    & opt (some (bounded_int_conv ~what:"--batch-size" ~min:1)) None
+    & info [ "batch-size" ] ~docv:"N"
+        ~doc:
+          "Tasks per dispatched chunk (default: auto-sized to about four \
+           chunks per worker). Results are bit-identical at any batch size.")
+
 (* Supervision and result-store knobs of the sweeping subcommands
    (mirrors bench/main.exe; see DESIGN.md "Sweep supervision"). *)
 let strict_arg =
@@ -115,9 +124,11 @@ let no_cache_arg =
 
 (* Apply the sweep knobs to the process-wide state, arming the
    fault-injection plan from the environment like the other binaries. *)
-let apply_sweep_knobs jobs strict _keep_going retries task_timeout cache_dir no_cache =
+let apply_sweep_knobs jobs batch_size strict _keep_going retries task_timeout cache_dir
+    no_cache =
   let module Pool = Chex86_harness.Pool in
   Pool.set_jobs jobs;
+  Pool.set_batch_size batch_size;
   Pool.set_strict strict;
   Pool.set_retries retries;
   Pool.set_task_timeout task_timeout;
@@ -189,8 +200,10 @@ let list_cmd =
 let experiment_cmd =
   let targets = Chex86_harness.Experiments.all @ Chex86_harness.Ablations.all in
   let names = List.map fst targets in
-  let experiment jobs strict keep_going retries task_timeout cache_dir no_cache name =
-    apply_sweep_knobs jobs strict keep_going retries task_timeout cache_dir no_cache;
+  let experiment jobs batch_size strict keep_going retries task_timeout cache_dir no_cache
+      name =
+    apply_sweep_knobs jobs batch_size strict keep_going retries task_timeout cache_dir
+      no_cache;
     match List.assoc_opt name targets with
     | Some f ->
       print_endline (f ());
@@ -207,8 +220,8 @@ let experiment_cmd =
     (Cmd.info "experiment"
        ~doc:"Regenerate one of the paper's tables/figures (figure1..9, table1..4, security).")
     Term.(
-      const experiment $ jobs_arg $ strict_arg $ keep_going_arg $ retries_arg
-      $ task_timeout_arg $ cache_dir_arg $ no_cache_arg $ name_arg)
+      const experiment $ jobs_arg $ batch_size_arg $ strict_arg $ keep_going_arg
+      $ retries_arg $ task_timeout_arg $ cache_dir_arg $ no_cache_arg $ name_arg)
 
 (* Print the instrumented micro-op stream of a workload's first N
    macro-ops: what the decoder cracked and what the microcode

@@ -3,9 +3,12 @@
    VII-A summary plus a per-exploit listing for the named suites.
 
    --jobs N shards the sweep over N worker domains (default: recommended
-   domain count - 1; results are bit-identical at any job count). The
-   sweep is supervised: a crashing or wedged evaluation is reported and
-   the rest completes (--retries / --task-timeout bound each task;
+   domain count - 1; results are bit-identical at any job count).
+   --batch-size N dispatches the exploits in chunks of N (default:
+   auto-sized, about four chunks per worker); results are bit-identical
+   at any batch size. The sweep is supervised: a crashing or wedged
+   evaluation is reported and the rest — including the faulted task's
+   chunk-mates — completes (--retries / --task-timeout bound each task;
    --strict makes any fault flip the exit code). *)
 
 module Runner = Chex86_harness.Runner

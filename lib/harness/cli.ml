@@ -12,6 +12,7 @@ let die fmt =
 
 let common_flags_doc =
   "  --jobs N, -j N      worker domains to shard sweeps over (>= 1)\n\
+  \  --batch-size N      tasks per dispatched chunk (>= 1, or 'auto': ~4 chunks/worker)\n\
   \  --strict            exit 1 if any task faulted; unknown CHEX86_WORKLOADS error\n\
   \  --keep-going        report faults and continue (default)\n\
   \  --retries N         retry budget per faulted task (default 0)\n\
@@ -37,6 +38,14 @@ let set_jobs value =
   | Some n when n >= 1 -> Pool.set_jobs n
   | _ -> die "invalid --jobs value %S (expected an integer >= 1)" value
 
+let set_batch_size value =
+  match value with
+  | "auto" -> Pool.set_batch_size None
+  | _ -> (
+    match int_of_string_opt value with
+    | Some n when n >= 1 -> Pool.set_batch_size (Some n)
+    | _ -> die "invalid --batch-size value %S (expected an integer >= 1 or 'auto')" value)
+
 let set_retries value =
   match int_of_string_opt value with
   | Some n when n >= 0 -> Pool.set_retries n
@@ -60,6 +69,10 @@ let parse_common args =
       set_jobs value;
       go rest
     | ("--jobs" | "-j") :: [] -> die "missing value for --jobs"
+    | "--batch-size" :: value :: rest ->
+      set_batch_size value;
+      go rest
+    | "--batch-size" :: [] -> die "missing value for --batch-size"
     | "--strict" :: rest ->
       Pool.set_strict true;
       go rest

@@ -1,7 +1,8 @@
 (** Shared flag parsing for the hand-rolled sweep executables.
 
     [parse_common args] strips the common sweep flags — [--jobs]/[-j],
-    [--strict], [--keep-going], [--retries], [--task-timeout],
+    [--batch-size] (an integer or ['auto']), [--strict], [--keep-going],
+    [--retries], [--task-timeout],
     [--cache-dir], [--no-cache] (each also as [--flag=value]) — applies
     them to the process-wide knobs ({!Pool}, {!Runner.Store}), arms the
     fault-injection plan from CHEX86_FAULT_RATE / CHEX86_FAULT_SEED,

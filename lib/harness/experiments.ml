@@ -4,7 +4,12 @@
    the memoizing Runner) and renders an ASCII version of the paper's
    plot or table, followed by the summary statistics the paper quotes in
    prose (e.g. "59% faster than ASan on SPEC").  EXPERIMENTS.md records
-   the paper-vs-measured comparison produced from these. *)
+   the paper-vs-measured comparison produced from these.
+
+   All the sweeps here go through the batched dispatch path
+   (Runner.prefetch_supervised / Security.sweep_stats_supervised ride on
+   Pool.map_*_batched), so --jobs/--batch-size apply uniformly and the
+   rendered output is bit-identical at any (jobs, batch) geometry. *)
 
 module Render = Chex86_stats.Render
 module Counter = Chex86_stats.Counter

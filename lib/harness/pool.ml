@@ -30,12 +30,37 @@ module Histogram = Chex86_stats.Histogram
    stack. *)
 let () = Printexc.record_backtrace true
 
+(* Monotonic clock, in seconds from an arbitrary epoch.  Deadlines and
+   elapsed-time measurements must not use [Unix.gettimeofday]: a
+   wall-clock step (NTP slew, suspend/resume) would fire spurious
+   [Task_timed_out] or let a wedged task run forever.  The bechamel stub
+   is a C binding to clock_gettime(CLOCK_MONOTONIC) (OCaml 5.1's Unix
+   has no clock_gettime of its own). *)
+let now () = Int64.to_float (Monotonic_clock.now ()) /. 1e9
+
 let default_jobs () = max 1 (Domain.recommended_domain_count () - 1)
 
 (* Process-wide job count, set once from the CLI (--jobs). *)
 let current_jobs = Atomic.make (default_jobs ())
 let set_jobs n = Atomic.set current_jobs (max 1 n)
 let jobs () = Atomic.get current_jobs
+
+(* Process-wide batch size for the *_batched maps, set once from the CLI
+   (--batch-size).  [None] means auto: size chunks so each worker gets
+   ~4 of them (enough slack for dynamic load balancing without paying
+   per-task dispatch 864 times on a RIPE-sized sweep), clamped to
+   [1, 64]. *)
+let current_batch_size : int option Atomic.t = Atomic.make None
+let set_batch_size b = Atomic.set current_batch_size (Option.map (max 1) b)
+let batch_size () = Atomic.get current_batch_size
+
+let auto_batch_size ~jobs n =
+  if n <= 0 then 1 else min 64 (max 1 ((n + (4 * jobs) - 1) / (4 * jobs)))
+
+let resolve_batch ?batch_size:b ~jobs n =
+  match (match b with Some _ as b -> b | None -> batch_size ()) with
+  | Some b -> max 1 b
+  | None -> auto_batch_size ~jobs n
 
 (* Process-wide supervision defaults, set once from the CLI
    (--retries / --task-timeout / --strict); [map_supervised] arguments
@@ -192,6 +217,105 @@ let map_stats ?jobs:j ~key f tasks =
   in
   (Array.map (fun (v, _, _) -> v) raw, stats)
 
+(* --- batched scheduling ---------------------------------------------------- *)
+
+(* Chunks are contiguous [start, start+len) slices of the task index
+   space, each dispatched to one pool slot as a unit: one dispatch, one
+   stats snapshot and one coordinator merge round per *chunk* instead of
+   per task.  Contiguity keeps the merge deterministic for free —
+   iterating chunks in index order visits tasks in index order — and the
+   RNG stays seeded from the *task* key, never the chunk, so results are
+   bit-identical to --batch-size 1 and to a serial run. *)
+let chunk_ranges ~batch n =
+  Array.init
+    ((n + batch - 1) / batch)
+    (fun ci ->
+      let start = ci * batch in
+      (start, min batch (n - start)))
+
+(* Lowest-index failure wins, exactly like [run_indexed]'s re-raise. *)
+let reraise_first slots =
+  Array.iter
+    (function Error (e, bt) -> Printexc.raise_with_backtrace e bt | Ok _ -> ())
+    slots;
+  Array.map (function Ok v -> v | Error _ -> assert false) slots
+
+let map_batched ?jobs:j ?batch_size f tasks =
+  let jobs = match j with Some j -> max 1 j | None -> jobs () in
+  let n = Array.length tasks in
+  let batch = resolve_batch ?batch_size ~jobs n in
+  let chunks = chunk_ranges ~batch n in
+  let per_chunk =
+    run_indexed ~jobs (Array.length chunks) (fun ci ->
+        let start, len = chunks.(ci) in
+        (* Per-task catch: a crash mid-chunk must not strand its
+           chunk-mates' results (the coordinator still re-raises the
+           lowest-index failure afterwards). *)
+        Array.init len (fun k ->
+            let i = start + k in
+            try Ok (f tasks.(i))
+            with e -> Error (e, Printexc.get_raw_backtrace ())))
+  in
+  reraise_first (Array.init n (fun i -> per_chunk.(i / batch).(i mod batch)))
+
+(* Chunk-private stats: one counter group and histogram table shared by
+   every task of the chunk — the single per-chunk snapshot that cuts
+   merge rounds from n to n/B.  Pointwise-additive merges make this
+   equivalent to merging per-task groups in task order. *)
+let make_chunk_stats () =
+  let counters = Counter.create_group () in
+  let hists : (string, Histogram.t) Hashtbl.t = Hashtbl.create 4 in
+  let histogram name =
+    match Hashtbl.find_opt hists name with
+    | Some h -> h
+    | None ->
+      let h = Histogram.create () in
+      Hashtbl.add hists name h;
+      h
+  in
+  let snapshots () =
+    let hist_snaps =
+      Hashtbl.fold (fun name h acc -> (name, Histogram.snapshot h) :: acc) hists []
+      |> List.sort (fun (a, _) (b, _) -> compare a b)
+    in
+    (Counter.group_snapshot counters, hist_snaps)
+  in
+  (counters, histogram, snapshots)
+
+(* [pool.chunks] records how many dispatch rounds the sweep actually
+   paid.  It is the *only* scheduling-dependent counter the pool ever
+   merges: with auto batch sizing it varies with --jobs, so determinism
+   tests compare merged counters modulo this one name. *)
+let chunk_counter stats ~chunks = Counter.incr ~by:chunks stats.counters "pool.chunks"
+
+let map_stats_batched ?jobs:j ?batch_size ~key f tasks =
+  let jobs = match j with Some j -> max 1 j | None -> jobs () in
+  let n = Array.length tasks in
+  let batch = resolve_batch ?batch_size ~jobs n in
+  let chunks = chunk_ranges ~batch n in
+  let per_chunk =
+    run_indexed ~jobs (Array.length chunks) (fun ci ->
+        let start, len = chunks.(ci) in
+        let counters, histogram, snapshots = make_chunk_stats () in
+        let slots =
+          Array.init len (fun k ->
+              let i = start + k in
+              let task_key = key tasks.(i) in
+              let ctx =
+                { key = task_key; rng = rng_of_key task_key; counters; histogram }
+              in
+              try Ok (f tasks.(i) ctx)
+              with e -> Error (e, Printexc.get_raw_backtrace ()))
+        in
+        (slots, snapshots ()))
+  in
+  let values =
+    reraise_first (Array.init n (fun i -> (fst per_chunk.(i / batch)).(i mod batch)))
+  in
+  let stats = merge_snapshots (Array.to_list (Array.map snd per_chunk)) in
+  chunk_counter stats ~chunks:(Array.length chunks);
+  (values, stats)
+
 (* --- supervised tasks: contain the fault, report it, keep going ----------- *)
 
 (* The robustness analogue of CHEx86's fail-safe enforcement: a crashing
@@ -219,7 +343,7 @@ let set_deadline d = Domain.DLS.get deadline_key := d
 
 let check_deadline () =
   match !(Domain.DLS.get deadline_key) with
-  | Some t when Unix.gettimeofday () > t -> raise Task_timed_out
+  | Some t when now () > t -> raise Task_timed_out
   | _ -> ()
 
 (* Attempt [a] of task [key] computes under the seed of [retry_key key a]:
@@ -236,6 +360,7 @@ type task_fault = { index : int; key : string; attempts : int; fault : fault }
 
 type fault_report = {
   tasks : int;
+  chunks : int;
   ok : int;
   retried_ok : int;
   crashed : int;
@@ -275,8 +400,7 @@ let attempt_task ~retries ~timeout ~key compute =
   let rec go attempt =
     let outcome =
       try
-        set_deadline
-          (Option.map (fun b -> Unix.gettimeofday () +. b) timeout);
+        set_deadline (Option.map (fun b -> now () +. b) timeout);
         (match Faultinject.fault_for ~key ~attempt with
         | Some Faultinject.Crash -> raise (Faultinject.Injected_crash key)
         | Some (Faultinject.Slow s) -> Unix.sleepf s
@@ -302,7 +426,7 @@ let attempt_task ~retries ~timeout ~key compute =
   in
   go 0
 
-let build_report ~key tasks raw =
+let build_report ~chunks ~key tasks raw =
   let tasks_n = Array.length tasks in
   let ok = ref 0
   and retried_ok = ref 0
@@ -328,6 +452,7 @@ let build_report ~key tasks raw =
   Atomic.fetch_and_add fault_count (!crashed + !timed_out) |> ignore;
   {
     tasks = tasks_n;
+    chunks;
     ok = !ok;
     retried_ok = !retried_ok;
     crashed = !crashed;
@@ -349,7 +474,7 @@ let map_supervised ?jobs:j ?retries ?task_timeout ~key f tasks =
       (fun ~attempt:_ ~attempt_key:_ -> f tasks.(i))
   in
   let raw = run_indexed ~jobs (Array.length tasks) compute in
-  (Array.map fst raw, build_report ~key tasks raw)
+  (Array.map fst raw, build_report ~chunks:(Array.length tasks) ~key tasks raw)
 
 (* Fault counters fold into the merged stats so a partial sweep carries
    its own health record; they are derived from the per-task
@@ -378,7 +503,7 @@ let map_stats_supervised ?jobs:j ?retries ?task_timeout ~key f tasks =
         (v, counter_snap, hist_snaps))
   in
   let raw = run_indexed ~jobs (Array.length tasks) compute in
-  let report = build_report ~key tasks raw in
+  let report = build_report ~chunks:(Array.length tasks) ~key tasks raw in
   let stats =
     merge_snapshots
       (Array.to_list raw
@@ -392,3 +517,82 @@ let map_stats_supervised ?jobs:j ?retries ?task_timeout ~key f tasks =
       raw
   in
   (results, stats, report)
+
+(* --- batched supervision --------------------------------------------------- *)
+
+(* One chunk = one pool dispatch, but supervision stays per *task*: each
+   task of the chunk runs under its own [attempt_task] fence (retry
+   budget, injection hook, cooperative deadline), and [attempt_task]
+   never raises, so a crash or timeout mid-chunk faults exactly that
+   task — its chunk-mates keep running and the fault report stays keyed
+   per task. *)
+let map_supervised_batched ?jobs:j ?batch_size ?retries ?task_timeout ~key f tasks =
+  let jobs = match j with Some j -> max 1 j | None -> jobs () in
+  let retries, timeout = supervise_params ?retries ?task_timeout () in
+  let n = Array.length tasks in
+  let batch = resolve_batch ?batch_size ~jobs n in
+  let chunks = chunk_ranges ~batch n in
+  let per_chunk =
+    run_indexed ~jobs (Array.length chunks) (fun ci ->
+        let start, len = chunks.(ci) in
+        Array.init len (fun k ->
+            let i = start + k in
+            attempt_task ~retries ~timeout ~key:(key tasks.(i))
+              (fun ~attempt:_ ~attempt_key:_ -> f tasks.(i))))
+  in
+  let raw = Array.init n (fun i -> per_chunk.(i / batch).(i mod batch)) in
+  let report = build_report ~chunks:(Array.length chunks) ~key tasks raw in
+  (Array.map fst raw, report)
+
+let map_stats_supervised_batched ?jobs:j ?batch_size ?retries ?task_timeout ~key f
+    tasks =
+  let jobs = match j with Some j -> max 1 j | None -> jobs () in
+  let retries, timeout = supervise_params ?retries ?task_timeout () in
+  let n = Array.length tasks in
+  let batch = resolve_batch ?batch_size ~jobs n in
+  let chunks = chunk_ranges ~batch n in
+  let per_chunk =
+    run_indexed ~jobs (Array.length chunks) (fun ci ->
+        let start, len = chunks.(ci) in
+        (* Each attempt still gets a fresh private context (a faulted
+           attempt's partial stats are discarded wholesale); completed
+           tasks fold into one chunk-level accumulator so the
+           coordinator merges per chunk, not per task. *)
+        let acc_counters = ref Counter.empty_snapshot in
+        let acc_hists : (string, Histogram.snapshot) Hashtbl.t = Hashtbl.create 4 in
+        let absorb (counter_snap, hist_snaps) =
+          acc_counters := Counter.merge !acc_counters counter_snap;
+          List.iter
+            (fun (name, snap) ->
+              let prev =
+                Option.value ~default:Histogram.empty_snapshot
+                  (Hashtbl.find_opt acc_hists name)
+              in
+              Hashtbl.replace acc_hists name (Histogram.merge prev snap))
+            hist_snaps
+        in
+        let slots =
+          Array.init len (fun k ->
+              let i = start + k in
+              let outcome, attempts =
+                attempt_task ~retries ~timeout ~key:(key tasks.(i))
+                  (fun ~attempt:_ ~attempt_key ->
+                    let ctx, snapshots = make_ctx attempt_key in
+                    let v = f tasks.(i) ctx in
+                    (v, snapshots ()))
+              in
+              (match outcome with Ok (_, snaps) -> absorb snaps | Error _ -> ());
+              (Result.map fst outcome, attempts))
+        in
+        let hist_snaps =
+          Hashtbl.fold (fun name s acc -> (name, s) :: acc) acc_hists []
+          |> List.sort (fun (a, _) (b, _) -> compare a b)
+        in
+        (slots, (!acc_counters, hist_snaps)))
+  in
+  let raw = Array.init n (fun i -> (fst per_chunk.(i / batch)).(i mod batch)) in
+  let report = build_report ~chunks:(Array.length chunks) ~key tasks raw in
+  let stats = merge_snapshots (Array.to_list (Array.map snd per_chunk)) in
+  fault_counters report stats.counters;
+  chunk_counter stats ~chunks:report.chunks;
+  (Array.map fst raw, stats, report)

@@ -5,6 +5,13 @@
     stats merging, so a sweep at [~jobs:n] is bit-identical to the serial
     [~jobs:1] run (test/test_parallel.ml enforces this). *)
 
+(** Monotonic clock in seconds from an arbitrary epoch
+    (clock_gettime(CLOCK_MONOTONIC)). Use this — never
+    [Unix.gettimeofday] — for deadlines and elapsed-time measurement: a
+    wall-clock step (NTP, suspend) would fire spurious timeouts or let a
+    wedged task run forever. *)
+val now : unit -> float
+
 (** [Domain.recommended_domain_count () - 1], at least 1. *)
 val default_jobs : unit -> int
 
@@ -14,6 +21,18 @@ val default_jobs : unit -> int
 val set_jobs : int -> unit
 
 val jobs : unit -> int
+
+(** Process-wide batch size for the batched maps, set once from the CLI
+    ([--batch-size N]); [None] (the default) means auto-sizing via
+    {!auto_batch_size}. Clamped to at least 1. *)
+val set_batch_size : int option -> unit
+
+val batch_size : unit -> int option
+
+(** [auto_batch_size ~jobs n] is [ceil (n / (4 * jobs))] clamped to
+    [\[1, 64\]]: about four chunks per worker — enough slack for dynamic
+    load balancing without paying per-task dispatch on every task. *)
+val auto_batch_size : jobs:int -> int -> int
 
 (** Process-wide supervision defaults, set once from the CLI; the
     [?retries] / [?task_timeout] arguments of the supervised maps
@@ -73,6 +92,37 @@ val map_stats :
   'a array ->
   'b array * merged_stats
 
+(** {2 Batched scheduling}
+
+    The batched maps group tasks into contiguous chunks of
+    [?batch_size] (default: the process-wide knob, else
+    {!auto_batch_size}) and dispatch each chunk to one pool slot as a
+    unit: one dispatch and one stats snapshot/merge round per chunk
+    instead of per task, which is what makes `--jobs`-heavy runs of the
+    864-exploit RIPE matrix cheap. RNG streams stay seeded from the
+    *task* key (never the chunk), and chunks are contiguous in index
+    order, so results and merged stats are bit-identical to
+    [--batch-size 1] and to a serial run at any job count — with one
+    documented exception: the [pool.chunks] counter added to batched
+    merged stats records the actual dispatch rounds and therefore
+    varies with the batch geometry (and with [--jobs] under
+    auto-sizing). Determinism comparisons must exclude that one name. *)
+
+(** [map] with chunked dispatch. A task exception is re-raised in the
+    caller (lowest task index wins); its chunk-mates still ran. *)
+val map_batched : ?jobs:int -> ?batch_size:int -> ('a -> 'b) -> 'a array -> 'b array
+
+(** [map_stats] with chunked dispatch: every task of a chunk shares one
+    private counter group/histogram table, snapshotted once per chunk.
+    Merged stats additionally carry [pool.chunks]. *)
+val map_stats_batched :
+  ?jobs:int ->
+  ?batch_size:int ->
+  key:('a -> string) ->
+  ('a -> ctx -> 'b) ->
+  'a array ->
+  'b array * merged_stats
+
 (** {2 Supervised sweeps}
 
     Fault-tolerant counterparts of [map] / [map_stats]: a crashing or
@@ -108,6 +158,7 @@ type task_fault = {
 
 type fault_report = {
   tasks : int;
+  chunks : int;  (** dispatch rounds paid (= [tasks] for the unbatched maps) *)
   ok : int;
   retried_ok : int;  (** tasks that succeeded only after retrying *)
   crashed : int;
@@ -143,6 +194,35 @@ val map_supervised :
     from the per-task classification, hence scheduling-independent). *)
 val map_stats_supervised :
   ?jobs:int ->
+  ?retries:int ->
+  ?task_timeout:float ->
+  key:('a -> string) ->
+  ('a -> ctx -> 'b) ->
+  'a array ->
+  ('b, fault) result array * merged_stats * fault_report
+
+(** [map_supervised] with chunked dispatch. Supervision stays per task:
+    a crash or timeout mid-chunk faults exactly the offending task (the
+    remainder of the chunk keeps running), retry budgets and
+    deterministic re-seeding are per task, and the fault report is
+    keyed per task with [report.chunks] recording the dispatch rounds. *)
+val map_supervised_batched :
+  ?jobs:int ->
+  ?batch_size:int ->
+  ?retries:int ->
+  ?task_timeout:float ->
+  key:('a -> string) ->
+  ('a -> 'b) ->
+  'a array ->
+  ('b, fault) result array * fault_report
+
+(** [map_stats_supervised] with chunked dispatch: completed tasks fold
+    into one chunk-level snapshot (faulted attempts still discarded
+    wholesale); merged stats carry the [pool.*] fault counters plus
+    [pool.chunks]. *)
+val map_stats_supervised_batched :
+  ?jobs:int ->
+  ?batch_size:int ->
   ?retries:int ->
   ?task_timeout:float ->
   key:('a -> string) ->

@@ -404,12 +404,13 @@ let run_job j =
     (j.j_workload.build ~scale:j.j_scale)
 
 (* Supervised prefetch: a crashing or wedged job is recorded in the
-   fault table and the rest of the sweep completes; healthy results are
-   published to the memo in job order exactly like [prefetch]. *)
-let prefetch_supervised ?jobs ?retries ?task_timeout job_list =
+   fault table and the rest of the sweep completes (a mid-chunk fault
+   only claims the offending job); healthy results are published to the
+   memo in job order exactly like [prefetch]. *)
+let prefetch_supervised ?jobs ?batch_size ?retries ?task_timeout job_list =
   let todo = dedup_jobs job_list in
   let results, report =
-    Pool.map_supervised ?jobs ?retries ?task_timeout ~key:job_key
+    Pool.map_supervised_batched ?jobs ?batch_size ?retries ?task_timeout ~key:job_key
       (fun j ->
         Pool.check_deadline ();
         run_job j)
@@ -424,9 +425,9 @@ let prefetch_supervised ?jobs ?retries ?task_timeout job_list =
     results;
   report
 
-let prefetch ?jobs job_list =
+let prefetch ?jobs ?batch_size job_list =
   let todo = dedup_jobs job_list in
-  let runs = Pool.map ?jobs run_job todo in
+  let runs = Pool.map_batched ?jobs ?batch_size run_job todo in
   Array.iteri (fun i run -> ignore (memo_publish (job_key todo.(i)) run)) runs
 
 (* Test hook: forget every memoized run and recorded fault so a test can

@@ -113,18 +113,26 @@ val job :
 
 val job_key : job -> string
 
-(** Simulate the not-yet-memoized jobs on the domain pool ([?jobs]
-    defaults to [Pool.jobs ()]) and publish the results into the memo in
-    job order, so the serial figure-assembly code then hits the memo.
-    Results are bit-identical to running the same jobs serially. *)
-val prefetch : ?jobs:int -> job list -> unit
+(** Simulate the not-yet-memoized jobs on the domain pool in batched
+    chunks ([?jobs] defaults to [Pool.jobs ()], [?batch_size] to the
+    process-wide knob / auto-sizing) and publish the results into the
+    memo in job order, so the serial figure-assembly code then hits the
+    memo. Results are bit-identical to running the same jobs serially,
+    at any batch size. *)
+val prefetch : ?jobs:int -> ?batch_size:int -> job list -> unit
 
 (** [prefetch] with per-task supervision: a crashing or wedged job is
     recorded in the fault table (see {!run_workload_result} /
-    {!faulted_jobs}) and the rest of the sweep completes. Jobs already
-    faulted are not retried by later prefetches sharing the key. *)
+    {!faulted_jobs}) and the rest of the sweep — including the faulted
+    job's chunk-mates — completes. Jobs already faulted are not retried
+    by later prefetches sharing the key. *)
 val prefetch_supervised :
-  ?jobs:int -> ?retries:int -> ?task_timeout:float -> job list -> Pool.fault_report
+  ?jobs:int ->
+  ?batch_size:int ->
+  ?retries:int ->
+  ?task_timeout:float ->
+  job list ->
+  Pool.fault_report
 
 (** Every job a supervised prefetch classified as faulted this process,
     as [(job key, fault)], sorted by key. *)

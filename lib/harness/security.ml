@@ -50,13 +50,15 @@ let tally_result (ctx : Pool.ctx) r =
     r.under_protection.Runner.macro_insns
 
 (* The 800+ exploits shard trivially: each evaluation builds its own two
-   guest programs and monitors.  Workers tally outcome counters and an
-   instruction-count histogram into task-private stats; the coordinator
-   merges them in task (= exploit) order, so the sweep is bit-identical
-   at any job count. *)
-let sweep_stats ?config ?jobs exploits =
+   guest programs and monitors.  Dispatch is batched (Pool.map_stats_batched):
+   workers tally outcome counters and an instruction-count histogram into
+   chunk-shared stats snapshotted once per chunk; the coordinator merges
+   them in chunk (= ascending exploit) order, so the sweep is
+   bit-identical at any job count and batch size (modulo the
+   [pool.chunks] dispatch counter). *)
+let sweep_stats ?config ?jobs ?batch_size exploits =
   let results, stats =
-    Pool.map_stats ?jobs
+    Pool.map_stats_batched ?jobs ?batch_size
       ~key:(fun (e : Exploit.t) -> e.Exploit.name)
       (fun exploit (ctx : Pool.ctx) ->
         let r = evaluate ?config exploit in
@@ -66,15 +68,16 @@ let sweep_stats ?config ?jobs exploits =
   in
   (Array.to_list results, stats)
 
-let sweep ?config ?jobs exploits = fst (sweep_stats ?config ?jobs exploits)
+let sweep ?config ?jobs ?batch_size exploits =
+  fst (sweep_stats ?config ?jobs ?batch_size exploits)
 
 (* Supervised variant: a crashing or wedged exploit evaluation is
    classified and reported instead of killing the sweep; its stats are
    discarded wholesale, so the [sweep.*] counters only count completed
    evaluations (plus the [pool.*] fault counters the supervisor adds). *)
-let sweep_stats_supervised ?config ?jobs ?retries ?task_timeout exploits =
+let sweep_stats_supervised ?config ?jobs ?batch_size ?retries ?task_timeout exploits =
   let results, stats, report =
-    Pool.map_stats_supervised ?jobs ?retries ?task_timeout
+    Pool.map_stats_supervised_batched ?jobs ?batch_size ?retries ?task_timeout
       ~key:(fun (e : Exploit.t) -> e.Exploit.name)
       (fun exploit (ctx : Pool.ctx) ->
         Pool.check_deadline ();

@@ -9,29 +9,39 @@ type result = {
 
 val evaluate : ?config:Runner.config -> Chex86_exploits.Exploit.t -> result
 
-(** Evaluate every exploit, sharded over the domain pool ([?jobs]
-    defaults to [Pool.jobs ()]); results are in input order and
-    bit-identical at any job count. *)
+(** Evaluate every exploit, sharded over the domain pool in batched
+    chunks ([?jobs] defaults to [Pool.jobs ()], [?batch_size] to the
+    process-wide knob / auto-sizing); results are in input order and
+    bit-identical at any job count and batch size. *)
 val sweep :
-  ?config:Runner.config -> ?jobs:int -> Chex86_exploits.Exploit.t list -> result list
+  ?config:Runner.config ->
+  ?jobs:int ->
+  ?batch_size:int ->
+  Chex86_exploits.Exploit.t list ->
+  result list
 
 (** [sweep], plus sweep-level stats (outcome counters under [sweep.*],
-    a [sweep.protected_macro_insns] histogram) accumulated task-privately
-    and merged deterministically in exploit order. *)
+    a [sweep.protected_macro_insns] histogram) accumulated chunk-privately
+    and merged deterministically in exploit order. The merged counters
+    also carry [pool.chunks] — the dispatch rounds paid, the one counter
+    that varies with the batch geometry. *)
 val sweep_stats :
   ?config:Runner.config ->
   ?jobs:int ->
+  ?batch_size:int ->
   Chex86_exploits.Exploit.t list ->
   result list * Pool.merged_stats
 
 (** [sweep_stats] with per-task supervision (see
-    {!Pool.map_stats_supervised}): a crashing or wedged evaluation
-    yields an [Error fault] slot instead of killing the sweep, and the
-    [sweep.*] counters only count completed evaluations. Result slots
-    are in input order, each paired with its exploit. *)
+    {!Pool.map_stats_supervised_batched}): a crashing or wedged
+    evaluation yields an [Error fault] slot instead of killing the sweep
+    (its chunk-mates still complete), and the [sweep.*] counters only
+    count completed evaluations. Result slots are in input order, each
+    paired with its exploit. *)
 val sweep_stats_supervised :
   ?config:Runner.config ->
   ?jobs:int ->
+  ?batch_size:int ->
   ?retries:int ->
   ?task_timeout:float ->
   Chex86_exploits.Exploit.t list ->

@@ -50,6 +50,7 @@ type t = {
   mutable commit_cycle : int;
   mutable commit_slots : int;
   mutable last_fetch_line : int;
+  mutable published_cycles : int;
 }
 
 let fu_index = function
@@ -93,6 +94,7 @@ let create ?(config = Config.default) hier counters =
     commit_cycle = 0;
     commit_slots = 0;
     last_fetch_line = -1;
+    published_cycles = 0;
   }
 
 let incr t name = Chex86_stats.Counter.incr t.counters name
@@ -283,5 +285,11 @@ let on_step t (step : Engine.step) =
 
 let cycles t = t.last_commit
 
+(* Publish the cycle total as a delta since the last publication:
+   overwriting the counter (the old Counter.set) is unsafe under the
+   pool's additive snapshot merging — a re-finalized pipeline would
+   double-count, and a merged group would clobber siblings. *)
 let finalize t =
-  Chex86_stats.Counter.set t.counters "pipeline.cycles" (cycles t)
+  let total = cycles t in
+  Chex86_stats.Counter.incr ~by:(total - t.published_cycles) t.counters "pipeline.cycles";
+  t.published_cycles <- total

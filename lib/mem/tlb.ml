@@ -26,6 +26,10 @@ type t = {
 let rec log2 n = if n <= 1 then 0 else 1 + log2 (n / 2)
 
 let create ~name ~sets ~ways counters =
+  (* Set indexing is [vpn land (sets - 1)], which silently aliases most
+     of the index space when [sets] is not a power of two. *)
+  if sets <= 0 || sets land (sets - 1) <> 0 then
+    invalid_arg "Tlb.create: sets not a power of 2";
   {
     name;
     sets =

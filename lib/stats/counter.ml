@@ -22,9 +22,10 @@ let incr ?(by = 1) group name =
   let cell = find group name in
   cell := !cell + by
 
-let set group name value =
-  let cell = find group name in
-  cell := value
+(* No [set]: absolute assignment is merge-unsafe — snapshots combine by
+   pointwise addition, so an overwritten counter absorbed into a
+   non-empty group would silently mix set-then-add semantics. Publish
+   totals as deltas with [incr ~by] (see Pipeline.finalize). *)
 
 let get group name =
   match Hashtbl.find_opt group.counters name with Some cell -> !cell | None -> 0

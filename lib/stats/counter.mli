@@ -4,11 +4,12 @@ type group
 
 val create_group : unit -> group
 
-(** [incr ?by g name] bumps counter [name], creating it at zero if new. *)
-val incr : ?by:int -> group -> string -> unit
+(** [incr ?by g name] bumps counter [name], creating it at zero if new.
 
-(** [set g name v] overwrites counter [name] with [v]. *)
-val set : group -> string -> int -> unit
+    There is deliberately no [set]: overwriting is merge-unsafe under
+    the additive snapshot merging below. To republish a running total,
+    add the delta since the last publication with [incr ~by]. *)
+val incr : ?by:int -> group -> string -> unit
 
 (** [get g name] is the current value, or 0 if the counter was never touched. *)
 val get : group -> string -> int

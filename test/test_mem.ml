@@ -120,6 +120,18 @@ let test_tlb_hit_miss () =
   Alcotest.(check bool) "first lookup misses" false (fst (Tlb.lookup tlb 0x5000));
   Alcotest.(check bool) "second lookup hits" true (fst (Tlb.lookup tlb 0x5abc))
 
+let test_tlb_rejects_non_pow2_sets () =
+  (* Set indexing masks with [sets - 1]; a non-power-of-two count would
+     silently alias most of the index space (same guard as Cache.create). *)
+  let g = Counter.create_group () in
+  List.iter
+    (fun sets ->
+      Alcotest.check_raises
+        (Printf.sprintf "sets=%d rejected" sets)
+        (Invalid_argument "Tlb.create: sets not a power of 2")
+        (fun () -> ignore (Tlb.create ~name:"tlb" ~sets ~ways:2 g)))
+    [ 0; 3; 6; 100 ]
+
 let test_hierarchy_latencies () =
   let g = Counter.create_group () in
   let h = Hierarchy.create g in
@@ -178,6 +190,7 @@ let () =
         [
           Alcotest.test_case "alias-hosting bits" `Quick test_tlb_alias_bits;
           Alcotest.test_case "hit/miss" `Quick test_tlb_hit_miss;
+          Alcotest.test_case "rejects non-pow2 sets" `Quick test_tlb_rejects_non_pow2_sets;
         ] );
       ( "hierarchy",
         [

@@ -194,32 +194,50 @@ let test_sweep_determinism () =
       check_run_equal (wname ^ "/" ^ cname) serial.(i) parallel.(i))
     tasks
 
-(* The security sweep: sharded over 4 domains vs serial, with the
-   merged task-private stats compared bucket by bucket. *)
+(* [pool.chunks] records the dispatch rounds actually paid, so it is the
+   one counter allowed to vary with the (jobs, batch) geometry;
+   determinism comparisons drop it (pool.mli documents this contract). *)
+let drop_chunks counters =
+  List.filter (fun (name, _) -> name <> "pool.chunks") counters
+
+(* The security sweep: sharded over 4 domains at several batch sizes vs
+   serial, with the merged stats compared bucket by bucket. This is the
+   acceptance criterion for batched dispatch: --jobs N --batch-size B is
+   byte-identical to serial for B in {1, 8, 32}. *)
 let test_security_sweep_determinism () =
   let subset = List.filteri (fun i _ -> i mod 19 = 0) Chex86_exploits.Exploits.all in
   Alcotest.(check bool) "subset is representative" true (List.length subset >= 40);
-  let serial, sstats = Security.sweep_stats ~jobs:1 subset in
-  let parallel, pstats = Security.sweep_stats ~jobs:4 subset in
-  List.iter2
-    (fun (a : Security.result) (b : Security.result) ->
-      Alcotest.(check string) "same exploit order" a.exploit.Chex86_exploits.Exploit.name
-        b.exploit.Chex86_exploits.Exploit.name;
-      check_run_equal
-        ("security/" ^ a.exploit.Chex86_exploits.Exploit.name)
-        a.under_protection b.under_protection)
-    serial parallel;
-  Alcotest.(check (list (pair string int)))
-    "merged sweep counters identical"
-    (Counter.to_list sstats.Pool.counters)
-    (Counter.to_list pstats.Pool.counters);
-  Alcotest.(check bool) "merged sweep histograms identical" true
-    (List.for_all2
-       (fun (na, ha) (nb, hb) -> na = nb && hist_equal ha hb)
-       sstats.Pool.histograms pstats.Pool.histograms);
+  let serial, sstats = Security.sweep_stats ~jobs:1 ~batch_size:1 subset in
   Alcotest.(check int) "every exploit in the subset blocked"
     (List.length subset)
-    (Counter.get sstats.Pool.counters "sweep.blocked")
+    (Counter.get sstats.Pool.counters "sweep.blocked");
+  List.iter
+    (fun batch ->
+      let parallel, pstats = Security.sweep_stats ~jobs:4 ~batch_size:batch subset in
+      let label what =
+        Printf.sprintf "batch=%d: %s" batch what
+      in
+      List.iter2
+        (fun (a : Security.result) (b : Security.result) ->
+          Alcotest.(check string) (label "same exploit order")
+            a.exploit.Chex86_exploits.Exploit.name b.exploit.Chex86_exploits.Exploit.name;
+          check_run_equal
+            (label ("security/" ^ a.exploit.Chex86_exploits.Exploit.name))
+            a.under_protection b.under_protection)
+        serial parallel;
+      Alcotest.(check (list (pair string int)))
+        (label "merged sweep counters identical")
+        (drop_chunks (Counter.to_list sstats.Pool.counters))
+        (drop_chunks (Counter.to_list pstats.Pool.counters));
+      Alcotest.(check bool) (label "merged sweep histograms identical") true
+        (List.for_all2
+           (fun (na, ha) (nb, hb) -> na = nb && hist_equal ha hb)
+           sstats.Pool.histograms pstats.Pool.histograms);
+      Alcotest.(check int)
+        (label "pool.chunks = ceil(n/batch)")
+        ((List.length subset + batch - 1) / batch)
+        (Counter.get pstats.Pool.counters "pool.chunks"))
+    [ 1; 8; 32 ]
 
 (* Pool.map_stats: per-task RNG streams are seeded from the task key, so
    neither task results nor merged stats may depend on the job count. *)
@@ -246,6 +264,84 @@ let test_pool_ctx_determinism () =
     (List.for_all2
        (fun (na, ha) (nb, hb) -> na = nb && hist_equal ha hb)
        sstats.Pool.histograms pstats.Pool.histograms)
+
+(* --- batched dispatch ------------------------------------------------------ *)
+
+(* Synthetic stats-heavy body shared by the batching tests: RNG draws
+   keyed off the task key, folded into counters and a histogram. Any
+   scheduling dependence (worker identity, chunk geometry) would show
+   up in the draws or the merged stats. *)
+let batched_body key (ctx : Pool.ctx) =
+  let draws = List.init 12 (fun _ -> Rng.int ctx.Pool.rng 1000) in
+  List.iter
+    (fun v ->
+      Counter.incr ~by:v ctx.Pool.counters "drawn.sum";
+      Counter.incr ctx.Pool.counters ("drawn.bucket." ^ string_of_int (v mod 3));
+      Histogram.add (ctx.Pool.histogram "drawn") v)
+    draws;
+  (key, draws)
+
+(* qcheck: ANY (jobs, batch_size) pair is byte-identical to the serial
+   jobs=1/batch=1 run — results, merged counters (minus pool.chunks)
+   and merged histograms. *)
+let qcheck_batched_geometry_immaterial =
+  let tasks = Array.init 37 (fun i -> Printf.sprintf "task-%02d" i) in
+  let serial, sstats = Pool.map_stats_batched ~jobs:1 ~batch_size:1 ~key:Fun.id batched_body tasks in
+  QCheck.Test.make ~count:30
+    ~name:"map_stats_batched: any (jobs, batch_size) = serial"
+    QCheck.(pair (int_range 1 6) (int_range 1 48))
+    (fun (jobs, batch) ->
+      let parallel, pstats =
+        Pool.map_stats_batched ~jobs ~batch_size:batch ~key:Fun.id batched_body tasks
+      in
+      serial = parallel
+      && drop_chunks (Counter.to_list sstats.Pool.counters)
+         = drop_chunks (Counter.to_list pstats.Pool.counters)
+      && List.for_all2
+           (fun (na, ha) (nb, hb) -> na = nb && hist_equal ha hb)
+           sstats.Pool.histograms pstats.Pool.histograms
+      && Counter.get pstats.Pool.counters "pool.chunks" = (37 + batch - 1) / batch)
+
+(* map_batched agrees with map (values only, no stats plumbing), and a
+   mid-chunk exception still reports the lowest-index failure. *)
+let test_map_batched_basics () =
+  let tasks = Array.init 100 (fun i -> i) in
+  List.iter
+    (fun batch ->
+      let got = Pool.map_batched ~jobs:4 ~batch_size:batch (fun i -> 3 * i) tasks in
+      Alcotest.(check bool)
+        (Printf.sprintf "batch=%d order preserved" batch)
+        true
+        (got = Array.init 100 (fun i -> 3 * i)))
+    [ 1; 7; 64; 200 ];
+  let exn =
+    try
+      ignore
+        (Pool.map_batched ~jobs:4 ~batch_size:16
+           (fun i -> if i >= 40 then failwith (string_of_int i) else i)
+           tasks);
+      None
+    with Failure msg -> Some msg
+  in
+  Alcotest.(check (option string)) "lowest-index failure reported" (Some "40") exn
+
+(* Auto batch sizing: about four chunks per worker, clamped to [1, 64];
+   fewer dispatch rounds as the batch grows. *)
+let test_auto_batch_size () =
+  Alcotest.(check int) "empty input" 1 (Pool.auto_batch_size ~jobs:4 0);
+  Alcotest.(check int) "small input stays per-task" 1 (Pool.auto_batch_size ~jobs:4 16);
+  Alcotest.(check int) "864 tasks over 4 jobs" 54 (Pool.auto_batch_size ~jobs:4 864);
+  Alcotest.(check int) "clamped above" 64 (Pool.auto_batch_size ~jobs:1 100_000);
+  let chunks_at batch =
+    let tasks = Array.init 64 (fun i -> Printf.sprintf "t%02d" i) in
+    let _, stats = Pool.map_stats_batched ~jobs:2 ~batch_size:batch ~key:Fun.id batched_body tasks in
+    Counter.get stats.Pool.counters "pool.chunks"
+  in
+  Alcotest.(check int) "batch=1 pays one chunk per task" 64 (chunks_at 1);
+  Alcotest.(check int) "batch=8 pays 8 chunks" 8 (chunks_at 8);
+  Alcotest.(check int) "batch=32 pays 2 chunks" 2 (chunks_at 32);
+  Alcotest.(check bool) "chunks drop as the batch grows" true
+    (chunks_at 1 > chunks_at 8 && chunks_at 8 > chunks_at 32)
 
 (* --- differential: functional engine vs timing pipeline -------------------- *)
 
@@ -535,6 +631,12 @@ let () =
           Alcotest.test_case "map basics" `Quick test_pool_map_basics;
           Alcotest.test_case "seed_of_key stable" `Quick test_seed_of_key_stable;
           Alcotest.test_case "ctx determinism" `Quick test_pool_ctx_determinism;
+        ] );
+      ( "batched",
+        [
+          Alcotest.test_case "map_batched basics" `Quick test_map_batched_basics;
+          Alcotest.test_case "auto batch sizing" `Quick test_auto_batch_size;
+          QCheck_alcotest.to_alcotest qcheck_batched_geometry_immaterial;
         ] );
       ( "determinism",
         [

@@ -232,6 +232,77 @@ let test_stats_supervised_matches_plain_when_healthy () =
   Alcotest.(check int) "pool.ok present" 10
     (Counter.get supervised.Pool.counters "pool.ok")
 
+(* --- batched supervision --------------------------------------------------- *)
+
+let drop_chunks counters =
+  List.filter (fun (name, _) -> name <> "pool.chunks") counters
+
+let test_batched_mid_chunk_crash_isolated () =
+  (* Ten tasks in chunks of five; the plan crashes key "7" (mid second
+     chunk). Exactly that task faults — its chunk-mates 5,6,8,9 and the
+     whole first chunk complete, and the report is keyed per task. *)
+  let plan = Faultinject.of_list [ ("7", Faultinject.crash ()) ] in
+  let results, report =
+    with_plan plan (fun () ->
+        Pool.map_supervised_batched ~jobs:2 ~batch_size:5 ~key:key_of
+          (fun x -> x * 11)
+          tasks_10)
+  in
+  Array.iteri
+    (fun i r ->
+      match (r, i) with
+      | Error (Pool.Crashed _), 7 -> ()
+      | Ok v, _ -> Alcotest.(check int) "chunk-mates complete" (i * 11) v
+      | Error f, _ -> Alcotest.failf "task %d unexpectedly faulted: %s" i (fault_shape f))
+    results;
+  Alcotest.(check int) "exactly one task faulted" 1 report.Pool.crashed;
+  Alcotest.(check int) "nine ok" 9 report.Pool.ok;
+  Alcotest.(check int) "two dispatch rounds" 2 report.Pool.chunks;
+  Alcotest.(check (list (pair int string)))
+    "fault keyed per task, not per chunk"
+    [ (7, "7") ]
+    (List.map
+       (fun (f : Pool.task_fault) -> (f.index, f.key))
+       report.Pool.task_faults)
+
+let test_batched_supervised_matches_unbatched () =
+  (* Same plan at several batch sizes: results, merged stats (minus
+     pool.chunks) and the report all equal the unbatched supervised run;
+     retries re-seed per task exactly as before. *)
+  let plan =
+    Faultinject.of_list
+      [ ("2", Faultinject.crash ~attempts:1 ()); ("6", Faultinject.crash ()) ]
+  in
+  let body x (ctx : Pool.ctx) =
+    Counter.incr ~by:x ctx.Pool.counters "t.sum";
+    Chex86_stats.Histogram.add (ctx.Pool.histogram "t.h") x;
+    x + Chex86_stats.Rng.int ctx.Pool.rng 100
+  in
+  let shape (results, (stats : Pool.merged_stats), report) =
+    ( Array.map (Result.map_error fault_shape) results,
+      drop_chunks (Counter.to_list stats.Pool.counters),
+      List.map
+        (fun (name, h) -> (name, Chex86_stats.Histogram.sorted h))
+        stats.Pool.histograms,
+      report_shape report )
+  in
+  let unbatched =
+    with_plan plan (fun () ->
+        shape (Pool.map_stats_supervised ~jobs:3 ~retries:1 ~key:key_of body tasks_10))
+  in
+  List.iter
+    (fun batch ->
+      let batched =
+        with_plan plan (fun () ->
+            shape
+              (Pool.map_stats_supervised_batched ~jobs:3 ~batch_size:batch ~retries:1
+                 ~key:key_of body tasks_10))
+      in
+      Alcotest.(check bool)
+        (Printf.sprintf "batch=%d matches unbatched" batch)
+        true (unbatched = batched))
+    [ 1; 3; 10 ]
+
 (* --- security sweep degradation ------------------------------------------ *)
 
 let test_security_sweep_supervised_degrades () =
@@ -434,6 +505,13 @@ let () =
           Alcotest.test_case "jobs invariance" `Quick test_supervised_jobs_invariance;
           Alcotest.test_case "seeded plan deterministic" `Quick
             test_seeded_plan_deterministic;
+        ] );
+      ( "batched",
+        [
+          Alcotest.test_case "mid-chunk crash isolated" `Quick
+            test_batched_mid_chunk_crash_isolated;
+          Alcotest.test_case "batched matches unbatched" `Quick
+            test_batched_supervised_matches_unbatched;
         ] );
       ( "stats",
         [
