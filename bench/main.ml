@@ -189,7 +189,17 @@ let () =
       requested
     end
   in
-  Printf.printf "[domain pool: %d job(s)]\n%!" (Pool.jobs ());
+  (match Chex86_harness.Remote.spec () with
+  | Chex86_harness.Remote.Off ->
+    Printf.printf "[domain pool: %d job(s)]\n%!" (Pool.jobs ())
+  | Chex86_harness.Remote.Spawn n ->
+    Printf.printf "[worker processes: %d spawned, heartbeat %.0fs]\n%!" n
+      (Chex86_harness.Remote.heartbeat ())
+  | Chex86_harness.Remote.Peers peers ->
+    Printf.printf "[worker peers: %s, heartbeat %.0fs]\n%!"
+      (String.concat ", "
+         (List.map (fun (h, p) -> Printf.sprintf "%s:%d" h p) peers))
+      (Chex86_harness.Remote.heartbeat ()));
   List.iter
     (fun name ->
       let t0 = Pool.now () in

@@ -1,0 +1,24 @@
+(* Remote sweep worker: one process per worker slot, driven by the
+   supervisor in Chex86_harness.Remote over stdio (socketpair) or TCP.
+
+   In --stdio mode stdout IS the frame channel, so nothing here may
+   print to it; diagnostics go to stderr. *)
+
+let () =
+  Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
+  (* Register the task kinds this binary can execute; the supervisor
+     ships only (kind, key, arg) strings, never code. *)
+  Chex86_harness.Security.register_remote ();
+  Chex86_harness.Runner.register_remote ();
+  match Array.to_list Sys.argv with
+  | [ _; "--stdio" ] ->
+    Chex86_harness.Remote.Worker.serve ~input:Unix.stdin ~output:Unix.stdout
+  | [ _; "--listen"; port ] -> (
+    match int_of_string_opt port with
+    | Some p when p > 0 && p < 65536 -> Chex86_harness.Remote.Worker.listen ~port:p
+    | _ ->
+      Printf.eprintf "chex86_worker: invalid port %S\n%!" port;
+      exit 2)
+  | _ ->
+    prerr_endline "usage: chex86_worker (--stdio | --listen PORT)";
+    exit 2

@@ -9,7 +9,10 @@
    at any batch size. The sweep is supervised: a crashing or wedged
    evaluation is reported and the rest — including the faulted task's
    chunk-mates — completes (--retries / --task-timeout bound each task;
-   --strict makes any fault flip the exit code). *)
+   --strict makes any fault flip the exit code). --workers N moves the
+   sweep into N spawned worker processes (--worker HOST:PORT for TCP
+   peers): same results, but a wedged evaluation is killed at the
+   --heartbeat deadline instead of holding a domain forever. *)
 
 module Runner = Chex86_harness.Runner
 module Security = Chex86_harness.Security
@@ -64,7 +67,8 @@ let () =
   let blocked = List.length (List.filter Security.blocked results) in
   Printf.printf "\n%d/%d exploits blocked under CHEx86 (micro-code prediction driven)\n"
     blocked total;
-  if report.Pool.crashed + report.Pool.timed_out > 0 then
-    print_endline (Pool.render_fault_report report);
+  if report.Pool.crashed + report.Pool.timed_out + report.Pool.worker_lost > 0
+     || report.Pool.worker_losses > 0
+  then print_endline (Pool.render_fault_report report);
   Cli.exit_for_faults ();
   if blocked < total then exit 1

@@ -18,7 +18,10 @@ let common_flags_doc =
   \  --retries N         retry budget per faulted task (default 0)\n\
   \  --task-timeout S    per-task wall budget in seconds (cooperative)\n\
   \  --cache-dir DIR     on-disk result store location (default _chex86_cache)\n\
-  \  --no-cache          disable the on-disk result store"
+  \  --no-cache          disable the on-disk result store\n\
+  \  --workers N         shard sweeps over N spawned worker processes (0 = off)\n\
+  \  --worker HOST:PORT  add a TCP worker peer (repeatable; overrides --workers)\n\
+  \  --heartbeat S       worker liveness deadline in seconds (default 30)"
 
 (* [--flag=value] becomes [--flag; value] so every flag below accepts
    both spellings. *)
@@ -56,6 +59,26 @@ let set_task_timeout value =
   | Some s when s > 0. -> Pool.set_task_timeout (Some s)
   | _ -> die "invalid --task-timeout value %S (expected seconds > 0)" value
 
+let parse_workers value =
+  match int_of_string_opt value with
+  | Some n when n >= 0 -> n
+  | _ -> die "invalid --workers value %S (expected an integer >= 0)" value
+
+let parse_peer value =
+  match String.rindex_opt value ':' with
+  | Some i when i > 0 && i < String.length value - 1 -> (
+    let host = String.sub value 0 i in
+    let port = String.sub value (i + 1) (String.length value - i - 1) in
+    match int_of_string_opt port with
+    | Some p when p > 0 && p < 65536 -> (host, p)
+    | _ -> die "invalid --worker port in %S (expected HOST:PORT)" value)
+  | _ -> die "invalid --worker value %S (expected HOST:PORT)" value
+
+let set_heartbeat value =
+  match float_of_string_opt value with
+  | Some s when s > 0. -> Remote.set_heartbeat s
+  | _ -> die "invalid --heartbeat value %S (expected seconds > 0)" value
+
 (* Strip the common sweep flags out of [args], applying each to the
    process-wide knobs; whatever remains is returned for the caller's own
    parsing.  Also arms the fault-injection plan from the environment
@@ -63,6 +86,8 @@ let set_task_timeout value =
    the same way as a bad flag. *)
 let parse_common args =
   let cache_dir = ref (Some Runner.Store.default_dir) in
+  let workers = ref None in
+  let peers = ref [] in
   let rec go = function
     | [] -> []
     | ("--jobs" | "-j") :: value :: rest ->
@@ -95,12 +120,31 @@ let parse_common args =
     | "--no-cache" :: rest ->
       cache_dir := None;
       go rest
+    | "--workers" :: value :: rest ->
+      workers := Some (parse_workers value);
+      go rest
+    | "--workers" :: [] -> die "missing value for --workers"
+    | "--worker" :: value :: rest ->
+      peers := parse_peer value :: !peers;
+      go rest
+    | "--worker" :: [] -> die "missing value for --worker"
+    | "--heartbeat" :: value :: rest ->
+      set_heartbeat value;
+      go rest
+    | "--heartbeat" :: [] -> die "missing value for --heartbeat"
     | arg :: rest -> arg :: go rest
   in
   let rest = go (split_eq args) in
   (match !cache_dir with
   | Some dir -> Runner.Store.configure ~dir
   | None -> Runner.Store.disable ());
+  (* TCP peers beat spawned workers when both are given: an explicit
+     peer list is the more deliberate configuration. *)
+  (match (List.rev !peers, !workers) with
+  | [], None -> ()
+  | (_ :: _ as ps), _ -> Remote.set_spec (Remote.Peers ps)
+  | [], Some 0 -> Remote.set_spec Remote.Off
+  | [], Some n -> Remote.set_spec (Remote.Spawn n));
   (match Faultinject.arm_from_env () with
   | Ok _ -> ()
   | Error msg -> die "%s" msg);

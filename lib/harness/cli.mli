@@ -2,13 +2,16 @@
 
     [parse_common args] strips the common sweep flags — [--jobs]/[-j],
     [--batch-size] (an integer or ['auto']), [--strict], [--keep-going],
-    [--retries], [--task-timeout],
-    [--cache-dir], [--no-cache] (each also as [--flag=value]) — applies
-    them to the process-wide knobs ({!Pool}, {!Runner.Store}), arms the
-    fault-injection plan from CHEX86_FAULT_RATE / CHEX86_FAULT_SEED,
-    and returns the remaining arguments. Malformed values print a
-    one-line error and exit 1. The on-disk store defaults to
-    [Runner.Store.default_dir] unless [--no-cache] is given. *)
+    [--retries], [--task-timeout], [--cache-dir], [--no-cache],
+    [--workers], [--worker] (repeatable HOST:PORT), [--heartbeat] (each
+    also as [--flag=value]) — applies them to the process-wide knobs
+    ({!Pool}, {!Runner.Store}, {!Remote}), arms the fault-injection
+    plan from CHEX86_FAULT_RATE / CHEX86_FAULT_SEED /
+    CHEX86_FAULT_KIND, and returns the remaining arguments. Malformed
+    values print a one-line error and exit 1. The on-disk store
+    defaults to [Runner.Store.default_dir] unless [--no-cache] is
+    given. [--worker] peers take precedence over [--workers] when both
+    are given; [--workers 0] forces in-process domains. *)
 val parse_common : string list -> string list
 
 (** One-line-per-flag usage text for the common flags. *)

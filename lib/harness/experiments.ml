@@ -87,12 +87,13 @@ let workloads () =
 let fault_cell = function
   | Pool.Crashed _ -> "FAULTED"
   | Pool.Timed_out _ -> "TIMEOUT"
+  | Pool.Worker_lost _ -> "LOST"
 
 (* Appended to a figure when its sweep had faults (also the marker
    [make fault-smoke] greps for). *)
 let fault_footer (report : Pool.fault_report) =
-  if report.Pool.crashed + report.Pool.timed_out > 0 then
-    [ ""; Pool.render_fault_report report ]
+  if report.Pool.crashed + report.Pool.timed_out + report.Pool.worker_lost > 0
+  then [ ""; Pool.render_fault_report report ]
   else []
 
 let spec_names = List.map (fun (w : Chex86_workloads.Bench_spec.t) -> w.name) W.spec

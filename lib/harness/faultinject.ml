@@ -24,12 +24,20 @@ type kind =
   | Crash
   | Slow of float  (* seconds *)
   | Truncate_cache of int  (* keep only this many bytes of the entry *)
+  | Kill_worker  (* the remote worker SIGKILLs itself mid-chunk *)
+  | Drop_frame  (* the transport silently swallows the chunk's frame *)
+  | Corrupt_frame  (* flip a payload byte after the digest is computed *)
+  | Delay_frame of float  (* stall the frame this many seconds *)
 
 type directive = { kind : kind; attempts : int }
 
 let crash ?(attempts = 1) () = { kind = Crash; attempts }
 let slow ?(attempts = 1) seconds = { kind = Slow seconds; attempts }
 let truncate_cache bytes = { kind = Truncate_cache bytes; attempts = 1 }
+let kill_worker ?(attempts = 1) () = { kind = Kill_worker; attempts }
+let drop_frame ?(attempts = 1) () = { kind = Drop_frame; attempts }
+let corrupt_frame ?(attempts = 1) () = { kind = Corrupt_frame; attempts }
+let delay_frame ?(attempts = 1) seconds = { kind = Delay_frame seconds; attempts }
 
 type plan = { lookup : string -> directive option; describe : string }
 
@@ -52,14 +60,15 @@ let fnv1a s =
     s;
   Int64.to_int !h land max_int
 
-let seeded ~rate ~seed =
+let seeded ?directive ~rate ~seed () =
+  let directive = match directive with Some d -> d | None -> crash () in
   let rate = Float.max 0. (Float.min 1. rate) in
   let threshold = int_of_float (rate *. 1_000_000.) in
   {
     lookup =
       (fun key ->
         if fnv1a (string_of_int seed ^ "\x00" ^ key) mod 1_000_000 < threshold then
-          Some (crash ())
+          Some directive
         else None);
     describe = Printf.sprintf "seeded plan (rate %.3f, seed %d)" rate seed;
   }
@@ -70,24 +79,38 @@ let disarm () = current := none
 let armed () = !current != none
 let describe () = (!current).describe
 
-(* CHEX86_FAULT_RATE=0.5 [CHEX86_FAULT_SEED=11]: every task whose key
-   hashes under the rate crashes on its first attempt. *)
-let plan_of_env_spec ~rate_spec ~seed_spec =
-  match float_of_string_opt rate_spec with
-  | Some rate when rate >= 0. && rate <= 1. -> (
-    match seed_spec with
-    | None -> Ok (seeded ~rate ~seed:0)
-    | Some s -> (
-      match int_of_string_opt s with
-      | Some seed -> Ok (seeded ~rate ~seed)
-      | None -> Error (Printf.sprintf "CHEX86_FAULT_SEED: not an integer: %S" s)))
-  | _ -> Error (Printf.sprintf "CHEX86_FAULT_RATE: not a rate in [0,1]: %S" rate_spec)
+(* CHEX86_FAULT_RATE=0.5 [CHEX86_FAULT_SEED=11] [CHEX86_FAULT_KIND=kill]:
+   every task whose key hashes under the rate fires the selected
+   directive on its first attempt (default: crash). *)
+let directive_of_kind_spec = function
+  | None | Some "" | Some "crash" -> Ok (crash ())
+  | Some "kill" -> Ok (kill_worker ())
+  | Some s -> Error (Printf.sprintf "CHEX86_FAULT_KIND: unknown kind %S (crash|kill)" s)
+
+let plan_of_env_spec ~rate_spec ~seed_spec ~kind_spec =
+  match directive_of_kind_spec kind_spec with
+  | Error _ as e -> e
+  | Ok directive -> (
+    match float_of_string_opt rate_spec with
+    | Some rate when rate >= 0. && rate <= 1. -> (
+      match seed_spec with
+      | None -> Ok (seeded ~directive ~rate ~seed:0 ())
+      | Some s -> (
+        match int_of_string_opt s with
+        | Some seed -> Ok (seeded ~directive ~rate ~seed ())
+        | None -> Error (Printf.sprintf "CHEX86_FAULT_SEED: not an integer: %S" s)))
+    | _ ->
+      Error (Printf.sprintf "CHEX86_FAULT_RATE: not a rate in [0,1]: %S" rate_spec))
 
 let arm_from_env () =
   match Sys.getenv_opt "CHEX86_FAULT_RATE" with
   | None | Some "" -> Ok false
   | Some rate_spec -> (
-    match plan_of_env_spec ~rate_spec ~seed_spec:(Sys.getenv_opt "CHEX86_FAULT_SEED") with
+    match
+      plan_of_env_spec ~rate_spec
+        ~seed_spec:(Sys.getenv_opt "CHEX86_FAULT_SEED")
+        ~kind_spec:(Sys.getenv_opt "CHEX86_FAULT_KIND")
+    with
     | Ok plan ->
       arm plan;
       Ok true
@@ -105,3 +128,26 @@ let truncation_for ~key =
   match directive_for key with
   | Some { kind = Truncate_cache n; _ } -> Some n
   | _ -> None
+
+(* Consulted by the remote *worker* before each task of a chunk: a
+   matching directive makes the worker SIGKILL itself, modelling an OOM
+   kill / fatal crash the supervisor must contain.  [attempt] is the
+   chunk's dispatch attempt, so the default one-attempt budget kills the
+   first dispatch and lets the re-dispatch through. *)
+let worker_kill_for ~key ~attempt =
+  match directive_for key with
+  | Some { kind = Kill_worker; attempts } -> attempt < attempts
+  | _ -> false
+
+(* Consulted by the remote *supervisor* before shipping a chunk's frame:
+   the first task key carrying a transport directive decides the frame's
+   fate. *)
+let transport_fault_for ~keys ~attempt =
+  List.find_map
+    (fun key ->
+      match directive_for key with
+      | Some { kind = (Drop_frame | Corrupt_frame | Delay_frame _) as kind; attempts }
+        when attempt < attempts ->
+        Some kind
+      | _ -> None)
+    keys

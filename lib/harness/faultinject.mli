@@ -17,15 +17,30 @@ type kind =
   | Truncate_cache of int
       (** truncate the task's freshly written [Runner.Store] entry to
           this many bytes (a torn write / killed process) *)
+  | Kill_worker
+      (** the remote worker SIGKILLs itself before running this task,
+          modelling an OOM kill / fatal native crash mid-chunk *)
+  | Drop_frame
+      (** the transport silently swallows the chunk's request frame, so
+          the supervisor's heartbeat deadline must fire *)
+  | Corrupt_frame
+      (** flip a byte of the request payload after its digest was
+          computed; the worker must reject the frame *)
+  | Delay_frame of float  (** stall the chunk's request frame *)
 
 type directive = { kind : kind; attempts : int }
 (** [attempts] is how many attempts of the task fault ([Crash]/[Slow]
     fire while [attempt < attempts], so retried attempts succeed once
-    the budget is spent). *)
+    the budget is spent; for the transport kinds the budget counts the
+    chunk's {e dispatch} attempts). *)
 
 val crash : ?attempts:int -> unit -> directive
 val slow : ?attempts:int -> float -> directive
 val truncate_cache : int -> directive
+val kill_worker : ?attempts:int -> unit -> directive
+val drop_frame : ?attempts:int -> unit -> directive
+val corrupt_frame : ?attempts:int -> unit -> directive
+val delay_frame : ?attempts:int -> float -> directive
 
 type plan
 
@@ -34,9 +49,9 @@ val none : plan
 (** Fault exactly the listed keys. *)
 val of_list : (string * directive) list -> plan
 
-(** Crash (first attempt) every task whose key hashes under [rate],
-    deterministically in [key] and [seed]. *)
-val seeded : rate:float -> seed:int -> plan
+(** Fire [?directive] (default: [crash ()]) on every task whose key
+    hashes under [rate], deterministically in [key] and [seed]. *)
+val seeded : ?directive:directive -> rate:float -> seed:int -> unit -> plan
 
 (** Install / remove the process-wide plan. Arm before the sweep
     starts; workers only read it. *)
@@ -46,14 +61,30 @@ val disarm : unit -> unit
 val armed : unit -> bool
 val describe : unit -> string
 
-(** Arm from [CHEX86_FAULT_RATE] (a rate in [0,1]) and the optional
-    [CHEX86_FAULT_SEED] (default 0). [Ok true] if a plan was armed,
-    [Ok false] if the variable is unset, [Error msg] on a malformed
-    value. *)
+(** Arm from [CHEX86_FAULT_RATE] (a rate in [0,1]), the optional
+    [CHEX86_FAULT_SEED] (default 0), and the optional
+    [CHEX86_FAULT_KIND] ([crash], the default, or [kill] for
+    [Kill_worker]). [Ok true] if a plan was armed, [Ok false] if the
+    variable is unset, [Error msg] on a malformed value. *)
 val arm_from_env : unit -> (bool, string) result
 
-(** Consulted by [Pool] before each task attempt. *)
+(** The armed directive for a key, any kind; the remote supervisor uses
+    this to ship a chunk's slice of the plan to the worker process. *)
+val directive_for : string -> directive option
+
+(** Consulted by [Pool] before each task attempt ([Crash]/[Slow] only). *)
 val fault_for : key:string -> attempt:int -> kind option
 
 (** Consulted by [Runner.Store] after writing an entry. *)
 val truncation_for : key:string -> int option
+
+(** Consulted by the remote worker before each task of a chunk: [true]
+    if the armed plan says the worker should SIGKILL itself. [attempt]
+    is the chunk's dispatch attempt, so the default one-attempt budget
+    kills the first dispatch and lets the re-dispatch complete. *)
+val worker_kill_for : key:string -> attempt:int -> bool
+
+(** Consulted by the remote supervisor before shipping a chunk: the
+    first of [keys] carrying a transport directive (with dispatch
+    budget left) decides the frame's fate. *)
+val transport_fault_for : keys:string list -> attempt:int -> kind option

@@ -153,6 +153,10 @@ type merged_stats = {
   histograms : (string * Histogram.t) list;
 }
 
+(* Plain marshalable data: the unit the remote dispatch layer ships
+   across the process boundary. *)
+type task_snapshots = Counter.snapshot * (string * Histogram.snapshot) list
+
 (* Deterministic reduction: fold in task order (= the caller's key
    order), not completion order. *)
 let merge_snapshots per_task =
@@ -341,7 +345,19 @@ let deadline_key : float option ref Domain.DLS.key =
 
 let set_deadline d = Domain.DLS.get deadline_key := d
 
+(* Process-wide tick hook, fired on every [check_deadline].  The remote
+   worker uses it as a liveness beacon: any task body that reaches its
+   cooperative safe points also feeds the supervisor's heartbeat, so
+   only tasks that never reach [check_deadline] at all look wedged from
+   outside.  The hook must be cheap and rate-limit itself; exceptions
+   are swallowed so a broken hook cannot fault the task. *)
+let tick_hook : (unit -> unit) Atomic.t = Atomic.make (fun () -> ())
+let set_tick_hook = function
+  | Some f -> Atomic.set tick_hook f
+  | None -> Atomic.set tick_hook (fun () -> ())
+
 let check_deadline () =
+  (try (Atomic.get tick_hook) () with _ -> ());
   match !(Domain.DLS.get deadline_key) with
   | Some t when now () > t -> raise Task_timed_out
   | _ -> ()
@@ -355,6 +371,7 @@ let retry_key key attempt =
 type fault =
   | Crashed of { exn : string; backtrace : string }
   | Timed_out of { budget : float }
+  | Worker_lost of { reason : string }
 
 type task_fault = { index : int; key : string; attempts : int; fault : fault }
 
@@ -365,20 +382,27 @@ type fault_report = {
   retried_ok : int;
   crashed : int;
   timed_out : int;
+  worker_lost : int;
   retries_used : int;
+  worker_losses : int;
   task_faults : task_fault list;
 }
 
 let fault_to_string = function
   | Crashed { exn; _ } -> "crashed: " ^ exn
   | Timed_out { budget } -> Printf.sprintf "timed out (wall budget %.3fs)" budget
+  | Worker_lost { reason } -> "worker lost: " ^ reason
 
 let render_fault_report ?(max_backtraces = 3) r =
   let b = Buffer.create 256 in
   Buffer.add_string b
     (Printf.sprintf
-       "sweep fault report: %d task(s), %d ok (%d recovered by retry), %d crashed, %d timed out, %d retry attempt(s)"
-       r.tasks r.ok r.retried_ok r.crashed r.timed_out r.retries_used);
+       "sweep fault report: %d task(s), %d ok (%d recovered by retry), %d crashed, %d timed out, %d worker-lost, %d retry attempt(s)"
+       r.tasks r.ok r.retried_ok r.crashed r.timed_out r.worker_lost
+       r.retries_used);
+  if r.worker_losses > 0 then
+    Buffer.add_string b
+      (Printf.sprintf "; %d worker loss event(s)" r.worker_losses);
   List.iteri
     (fun i tf ->
       Buffer.add_string b
@@ -403,8 +427,22 @@ let attempt_task ~retries ~timeout ~key compute =
         set_deadline (Option.map (fun b -> now () +. b) timeout);
         (match Faultinject.fault_for ~key ~attempt with
         | Some Faultinject.Crash -> raise (Faultinject.Injected_crash key)
-        | Some (Faultinject.Slow s) -> Unix.sleepf s
-        | Some (Faultinject.Truncate_cache _) | None -> ());
+        | Some (Faultinject.Slow s) ->
+          (* Sleep in slices with the deadline checked between them: a
+             one-shot [Unix.sleepf s] would ignore the cooperative
+             budget and stall the task for the full injected delay even
+             when --task-timeout is much shorter. *)
+          let until = now () +. s in
+          let rec nap () =
+            check_deadline ();
+            let left = until -. now () in
+            if left > 0. then begin
+              Unix.sleepf (Float.min 0.01 left);
+              nap ()
+            end
+          in
+          nap ()
+        | Some _ | None -> ());
         check_deadline ();
         let v = compute ~attempt ~attempt_key:(retry_key key attempt) in
         check_deadline ();
@@ -426,12 +464,13 @@ let attempt_task ~retries ~timeout ~key compute =
   in
   go 0
 
-let build_report ~chunks ~key tasks raw =
+let build_report ?(worker_losses = 0) ~chunks ~key tasks raw =
   let tasks_n = Array.length tasks in
   let ok = ref 0
   and retried_ok = ref 0
   and crashed = ref 0
   and timed_out = ref 0
+  and worker_lost = ref 0
   and retries_used = ref 0
   and faults = ref [] in
   Array.iteri
@@ -444,12 +483,14 @@ let build_report ~chunks ~key tasks raw =
       | Error fault ->
         (match fault with
         | Crashed _ -> incr crashed
-        | Timed_out _ -> incr timed_out);
+        | Timed_out _ -> incr timed_out
+        | Worker_lost _ -> incr worker_lost);
         faults :=
           { index = i; key = key tasks.(i); attempts = attempts + 1; fault }
           :: !faults)
     raw;
-  Atomic.fetch_and_add fault_count (!crashed + !timed_out) |> ignore;
+  Atomic.fetch_and_add fault_count (!crashed + !timed_out + !worker_lost)
+  |> ignore;
   {
     tasks = tasks_n;
     chunks;
@@ -457,7 +498,9 @@ let build_report ~chunks ~key tasks raw =
     retried_ok = !retried_ok;
     crashed = !crashed;
     timed_out = !timed_out;
+    worker_lost = !worker_lost;
     retries_used = !retries_used;
+    worker_losses;
     task_faults = List.rev !faults;
   }
 
@@ -486,6 +529,7 @@ let fault_counters report group =
   Counter.incr ~by:report.retried_ok group "pool.retried_ok";
   Counter.incr ~by:report.crashed group "pool.crashed";
   Counter.incr ~by:report.timed_out group "pool.timed_out";
+  Counter.incr ~by:report.worker_lost group "pool.worker_lost";
   Counter.incr ~by:report.retries_used group "pool.retries_used"
 
 let map_stats_supervised ?jobs:j ?retries ?task_timeout ~key f tasks =

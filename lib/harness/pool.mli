@@ -34,6 +34,14 @@ val batch_size : unit -> int option
     load balancing without paying per-task dispatch on every task. *)
 val auto_batch_size : jobs:int -> int -> int
 
+(** Effective batch size for [n] tasks: the explicit argument if given,
+    else the process-wide knob, else {!auto_batch_size}. *)
+val resolve_batch : ?batch_size:int -> jobs:int -> int -> int
+
+(** [chunk_ranges ~batch n] is the contiguous [(start, len)] slices the
+    batched maps dispatch, in index order. *)
+val chunk_ranges : batch:int -> int -> (int * int) array
+
 (** Process-wide supervision defaults, set once from the CLI; the
     [?retries] / [?task_timeout] arguments of the supervised maps
     override them per sweep. Retries clamp to at least 0. *)
@@ -81,6 +89,22 @@ type merged_stats = {
   counters : Chex86_stats.Counter.group;
   histograms : (string * Chex86_stats.Histogram.t) list;  (** sorted by name *)
 }
+
+(** One task's mergeable stats: a counter snapshot plus named histogram
+    snapshots sorted by name. Plain marshalable data — this is the unit
+    the remote dispatch layer ships across the process boundary. *)
+type task_snapshots =
+  Chex86_stats.Counter.snapshot
+  * (string * Chex86_stats.Histogram.snapshot) list
+
+(** Build a task-private [ctx] for a key; calling the returned thunk
+    after the task body ran yields its mergeable snapshots. *)
+val make_ctx : string -> ctx * (unit -> task_snapshots)
+
+(** Deterministic reduction of per-task snapshots, folded in list order
+    (callers pass task order). Order-insensitive merge operators make
+    any chunking of the same snapshots equivalent. *)
+val merge_snapshots : task_snapshots list -> merged_stats
 
 (** [map_stats ~key f tasks] is [map], with each task given a private
     [ctx]; the coordinator merges all per-task stats in task order into
@@ -139,8 +163,15 @@ exception Task_timed_out
 
 (** Cooperative deadline check: call from long-running task bodies at
     safe points. No-op outside a supervised task or when no
-    [task_timeout] is set. *)
+    [task_timeout] is set. Also fires the {!set_tick_hook} hook. *)
 val check_deadline : unit -> unit
+
+(** Install (or clear, with [None]) a process-wide hook fired on every
+    [check_deadline]. The remote worker uses it as a liveness beacon:
+    tasks that reach their cooperative safe points feed the supervisor's
+    heartbeat. The hook must be cheap and rate-limit itself; exceptions
+    it raises are swallowed. *)
+val set_tick_hook : (unit -> unit) option -> unit
 
 (** [retry_key key 0 = key]; [retry_key key i = key ^ ":retry" ^ i]. *)
 val retry_key : string -> int -> string
@@ -148,6 +179,10 @@ val retry_key : string -> int -> string
 type fault =
   | Crashed of { exn : string; backtrace : string }
   | Timed_out of { budget : float }
+  | Worker_lost of { reason : string }
+      (** the process running the task died (or was killed by the
+          supervisor's heartbeat deadline) more often than the loss
+          budget allows; only the remote dispatch layer produces this *)
 
 type task_fault = {
   index : int;
@@ -163,7 +198,12 @@ type fault_report = {
   retried_ok : int;  (** tasks that succeeded only after retrying *)
   crashed : int;
   timed_out : int;
+  worker_lost : int;  (** tasks faulted as [Worker_lost] *)
   retries_used : int;  (** total extra attempts across all tasks *)
+  worker_losses : int;
+      (** worker loss {e events} (deaths/kills), 0 on in-process paths;
+          a lost worker that re-dispatches cleanly bumps this without
+          faulting any task *)
   task_faults : task_fault list;  (** final faults, in task order *)
 }
 
@@ -172,6 +212,41 @@ val fault_to_string : fault -> string
 (** Multi-line report: the counts line plus one line per faulted task,
     with the first [max_backtraces] crash backtraces inlined. *)
 val render_fault_report : ?max_backtraces:int -> fault_report -> string
+
+(** One supervised task: bounded retries, each attempt fenced by the
+    armed {!Faultinject} plan and the cooperative deadline. Never
+    raises; returns the classification plus the index of the last
+    attempt (0-based, so [attempts_index + 1] tries were made). Attempt
+    [a] receives [~attempt_key:(retry_key key a)]. Exposed for the
+    remote worker, which must run tasks through the exact same fence to
+    keep remote stats bit-identical to in-process runs. *)
+val attempt_task :
+  retries:int ->
+  timeout:float option ->
+  key:string ->
+  (attempt:int -> attempt_key:string -> 'a) ->
+  ('a, fault) result * int
+
+(** Resolve the effective (retries, timeout) pair: explicit arguments
+    win, else the process-wide CLI knobs. *)
+val supervise_params :
+  ?retries:int -> ?task_timeout:float -> unit -> int * float option
+
+(** Fold per-task [(outcome, attempts_index)] slots (in task order) into
+    a {!fault_report}; [?worker_losses] records loss events (default
+    0). Also adds the fault count to {!faults_seen}. *)
+val build_report :
+  ?worker_losses:int ->
+  chunks:int ->
+  key:('a -> string) ->
+  'a array ->
+  (('b, fault) result * int) array ->
+  fault_report
+
+(** Fold a report's counts into a counter group as the [pool.*] fault
+    counters ([pool.tasks] … [pool.retries_used], [pool.worker_lost]);
+    scheduling-independent. *)
+val fault_counters : fault_report -> Chex86_stats.Counter.group -> unit
 
 (** [map] with per-task supervision; result slots line up with input
     order. Tasks faulted by the armed {!Faultinject} plan and real

@@ -1,0 +1,831 @@
+(* Process-isolated worker dispatch.
+
+   The in-process pool contains faults cooperatively: a task that never
+   reaches [Pool.check_deadline] — stack overflow, runaway allocation, a
+   simulator bug spinning in native code — still takes the whole sweep
+   down, because domains cannot be killed.  This layer makes containment
+   structural: the supervisor forks/execs N copies of
+   [bin/chex86_worker.exe] (or connects to [--worker HOST:PORT] peers
+   over TCP), ships each batched chunk's task keys as length-prefixed,
+   digest-checksummed frames, and merges the returned per-task stats
+   snapshots through the exact same [Counter]/[Histogram] merge path the
+   pool uses — so results stay bit-identical to a serial run at any
+   (jobs, batch, transport) geometry.
+
+   Robustness model:
+   - Liveness is observed, never assumed: a worker's frames (Hello,
+     Beat, Result) are its heartbeat.  Beats ride the pool's
+     [check_deadline] tick hook, so a task that reaches its cooperative
+     safe points also proves the worker alive; one that never does goes
+     silent and is SIGKILLed at the hard heartbeat deadline.
+   - A dead worker loses only its in-flight task's progress: streamed
+     per-task results are kept, and the remainder of the chunk is
+     re-dispatched.  A task that keeps killing its worker is faulted as
+     [Worker_lost] once the loss budget is spent — distinguished in the
+     fault report from [Crashed]/[Timed_out].
+   - Respawns/reconnects back off exponentially with deterministic
+     jitter under a bounded restart budget.
+   - If no worker can be started, or every restart budget is exhausted,
+     the sweep degrades to the in-process pool path with a warning
+     instead of failing.
+
+   Layering: this module sits below Runner/Security (they route sweeps
+   through it), so it must not reference them.  The worker-side result
+   store wiring goes through [store_dir_provider]/[store_dir_applier],
+   set by Runner at module init. *)
+
+module Counter = Chex86_stats.Counter
+module Histogram = Chex86_stats.Histogram
+module Rng = Chex86_stats.Rng
+
+let protocol_version = 1
+
+(* --- process-wide knobs (CLI-set, argument-overridable) ------------------- *)
+
+type spec = Off | Spawn of int | Peers of (string * int) list
+
+let current_spec : spec Atomic.t = Atomic.make Off
+let set_spec s = Atomic.set current_spec s
+let spec () = Atomic.get current_spec
+let enabled () = spec () <> Off
+
+let current_heartbeat = Atomic.make 30.0
+let set_heartbeat s = Atomic.set current_heartbeat (Float.max 0.05 s)
+let heartbeat () = Atomic.get current_heartbeat
+let current_restart_budget = Atomic.make 3
+let set_restart_budget n = Atomic.set current_restart_budget (max 0 n)
+let restart_budget () = Atomic.get current_restart_budget
+let current_task_loss_budget = Atomic.make 1
+let set_task_loss_budget n = Atomic.set current_task_loss_budget (max 0 n)
+let task_loss_budget () = Atomic.get current_task_loss_budget
+let current_backoff_base = Atomic.make 0.05
+let set_backoff_base s = Atomic.set current_backoff_base (Float.max 0.001 s)
+let backoff_base () = Atomic.get current_backoff_base
+
+(* --- store wiring hooks (set by Runner; see layering note above) ---------- *)
+
+let store_dir_provider : (unit -> string option) ref = ref (fun () -> None)
+let store_dir_applier : (string option -> unit) ref = ref (fun _ -> ())
+
+(* --- task kinds ----------------------------------------------------------- *)
+
+(* A kind names the computation both sides agree on; the wire carries
+   only (kind, key, arg) strings, never closures.  The worker looks the
+   kind up in its own registry, so supervisor and worker must link the
+   same registration code (Security/Runner register theirs; [selftest]
+   is built in). *)
+type kind_fn = key:string -> arg:string -> Pool.ctx -> string
+
+let kinds : (string, kind_fn) Hashtbl.t = Hashtbl.create 8
+let kinds_lock = Mutex.create ()
+
+let register_kind name fn =
+  Mutex.protect kinds_lock (fun () -> Hashtbl.replace kinds name fn)
+
+let find_kind name = Mutex.protect kinds_lock (fun () -> Hashtbl.find_opt kinds name)
+
+(* Built-in self-test kind: draws from the task-keyed RNG into a counter
+   and histogram, so tests can assert remote == serial bit-identity
+   without simulating anything.  Keys prefixed "wedge" spin forever
+   without ever reaching [check_deadline] — the uncooperative-task model
+   the heartbeat deadline exists for. *)
+let selftest_kind = "selftest"
+
+let () =
+  register_kind selftest_kind (fun ~key ~arg ctx ->
+      if String.length key >= 5 && String.sub key 0 5 = "wedge" then begin
+        let x = ref 1 in
+        while Sys.opaque_identity !x <> 0 do
+          x := Sys.opaque_identity ((!x + 1) lor 1)
+        done
+      end;
+      let rounds = Option.value ~default:8 (int_of_string_opt arg) in
+      let sum = ref 0 in
+      for _ = 1 to rounds do
+        Pool.check_deadline ();
+        let d = Rng.int ctx.Pool.rng 1000 in
+        sum := !sum + d;
+        Counter.incr ~by:d ctx.Pool.counters "selftest.sum";
+        Histogram.add (ctx.Pool.histogram "selftest.draws") d
+      done;
+      Counter.incr ctx.Pool.counters "selftest.runs";
+      string_of_int !sum)
+
+(* --- frames ---------------------------------------------------------------
+
+   Header (22 bytes): 1-byte protocol version, 1-byte frame type, 4-byte
+   big-endian payload length, 16-byte MD5 digest of the payload; then
+   the payload.  The digest catches transport corruption before
+   [Marshal.from_string] ever sees the bytes: a corrupt frame is a
+   protocol error to report, never a segfault. *)
+
+type frame_type = Hello | Run | Result | Chunk_done | Beat | Err | Shutdown
+
+let tag_of_frame_type = function
+  | Hello -> 0
+  | Run -> 1
+  | Result -> 2
+  | Chunk_done -> 3
+  | Beat -> 4
+  | Err -> 5
+  | Shutdown -> 6
+
+let frame_type_of_tag = function
+  | 0 -> Some Hello
+  | 1 -> Some Run
+  | 2 -> Some Result
+  | 3 -> Some Chunk_done
+  | 4 -> Some Beat
+  | 5 -> Some Err
+  | 6 -> Some Shutdown
+  | _ -> None
+
+let header_len = 22
+let max_frame_payload = 1 lsl 30
+
+exception Frame_error of string
+
+let encode_frame ftype payload =
+  let len = String.length payload in
+  let b = Bytes.create (header_len + len) in
+  Bytes.set b 0 (Char.chr protocol_version);
+  Bytes.set b 1 (Char.chr (tag_of_frame_type ftype));
+  Bytes.set_int32_be b 2 (Int32.of_int len);
+  Bytes.blit_string (Digest.string payload) 0 b 6 16;
+  Bytes.blit_string payload 0 b header_len len;
+  b
+
+let write_all fd b =
+  let len = Bytes.length b in
+  let pos = ref 0 in
+  while !pos < len do
+    let n = Unix.write fd b !pos (len - !pos) in
+    if n <= 0 then raise (Frame_error "short write");
+    pos := !pos + n
+  done
+
+let send_frame fd ftype payload = write_all fd (encode_frame ftype payload)
+
+(* Blocking reader (worker side; the supervisor parses incrementally). *)
+let really_read fd len =
+  let b = Bytes.create len in
+  let pos = ref 0 in
+  while !pos < len do
+    let n = Unix.read fd b !pos (len - !pos) in
+    if n = 0 then raise End_of_file;
+    pos := !pos + n
+  done;
+  Bytes.unsafe_to_string b
+
+let read_frame fd =
+  let header = really_read fd header_len in
+  let version = Char.code header.[0] in
+  if version <> protocol_version then
+    raise (Frame_error (Printf.sprintf "protocol version %d, expected %d" version protocol_version));
+  let ftype =
+    match frame_type_of_tag (Char.code header.[1]) with
+    | Some t -> t
+    | None -> raise (Frame_error (Printf.sprintf "unknown frame type %d" (Char.code header.[1])))
+  in
+  let len = Int32.to_int (String.get_int32_be header 2) in
+  if len < 0 || len > max_frame_payload then
+    raise (Frame_error (Printf.sprintf "frame length %d out of range" len));
+  let digest = String.sub header 6 16 in
+  let payload = really_read fd len in
+  if Digest.string payload <> digest then raise (Frame_error "frame digest mismatch");
+  (ftype, payload)
+
+(* --- wire records ---------------------------------------------------------
+
+   Marshalled as plain data (no closures): task keys and opaque arg
+   strings go out; per-task outcomes with mergeable stats snapshots come
+   back.  [indices] are global task indices — after a loss excludes a
+   faulted task, a re-dispatched chunk is no longer contiguous. *)
+
+type request = {
+  chunk_id : int;
+  req_kind : string;
+  dispatch_attempt : int;
+  indices : int array;
+  keys : string array;
+  args : string array;
+  retries : int;
+  task_timeout : float option;
+  store_dir : string option;
+  beat_every : float;
+  plan : (string * Faultinject.directive) list;
+}
+
+type task_result = {
+  t_index : int;
+  t_attempts : int;
+  t_outcome : (string * Pool.task_snapshots, Pool.fault) result;
+}
+
+(* --- worker side ----------------------------------------------------------- *)
+
+module Worker = struct
+  (* The store configuration shipped with each request is applied only
+     when it changes; reconfiguring re-sweeps the tmp directory. *)
+  let applied_store : string option option ref = ref None
+
+  let apply_store_dir dir =
+    if !applied_store <> Some dir then begin
+      !store_dir_applier dir;
+      applied_store := Some dir
+    end
+
+  let run_chunk output (req : request) =
+    if req.plan = [] then Faultinject.disarm ()
+    else Faultinject.arm (Faultinject.of_list req.plan);
+    apply_store_dir req.store_dir;
+    match find_kind req.req_kind with
+    | None ->
+      send_frame output Err (Printf.sprintf "unknown task kind %S" req.req_kind)
+    | Some fn ->
+      let last_beat = ref (Pool.now ()) in
+      let beat () =
+        send_frame output Beat "";
+        last_beat := Pool.now ()
+      in
+      (* Beats ride the cooperative safe points: a task body calling
+         [check_deadline] proves the worker alive at most every
+         [beat_every] seconds; one that never calls it goes silent and
+         the supervisor's hard deadline fires. *)
+      Pool.set_tick_hook
+        (Some (fun () -> if Pool.now () -. !last_beat > req.beat_every then beat ()));
+      Fun.protect
+        ~finally:(fun () -> Pool.set_tick_hook None)
+        (fun () ->
+          Array.iteri
+            (fun k key ->
+              (* Injected mid-chunk worker death: SIGKILL leaves the
+                 supervisor nothing but silence and a closed socket,
+                 exactly like an OOM kill. *)
+              if Faultinject.worker_kill_for ~key ~attempt:req.dispatch_attempt
+              then Unix.kill (Unix.getpid ()) Sys.sigkill;
+              beat ();
+              let outcome, attempts =
+                Pool.attempt_task ~retries:req.retries ~timeout:req.task_timeout
+                  ~key (fun ~attempt:_ ~attempt_key ->
+                    let ctx, snapshots = Pool.make_ctx attempt_key in
+                    let v = fn ~key ~arg:req.args.(k) ctx in
+                    (v, snapshots ()))
+              in
+              let tr =
+                { t_index = req.indices.(k); t_attempts = attempts; t_outcome = outcome }
+              in
+              send_frame output Result (Marshal.to_string tr []))
+            req.keys;
+          send_frame output Chunk_done
+            (Marshal.to_string (req.chunk_id, req.dispatch_attempt) []))
+
+  let serve ~input ~output =
+    send_frame output Hello (string_of_int protocol_version);
+    let rec loop () =
+      match read_frame input with
+      | Run, payload ->
+        run_chunk output (Marshal.from_string payload 0 : request);
+        loop ()
+      | Shutdown, _ -> ()
+      | (Hello | Beat | Result | Chunk_done | Err), _ -> loop ()
+      | exception End_of_file -> ()
+      | exception Frame_error msg ->
+        (* The length field was still trusted, so the stream is back in
+           sync after skipping the payload; report and keep serving. *)
+        send_frame output Err msg;
+        loop ()
+    in
+    loop ()
+
+  let listen ~port =
+    let sock = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+    Unix.setsockopt sock Unix.SO_REUSEADDR true;
+    Unix.bind sock (Unix.ADDR_INET (Unix.inet_addr_any, port));
+    Unix.listen sock 8;
+    Printf.eprintf "chex86_worker: listening on port %d\n%!" port;
+    let rec accept_loop () =
+      let fd, _ = Unix.accept sock in
+      (try serve ~input:fd ~output:fd with _ -> ());
+      (try Unix.close fd with Unix.Unix_error _ -> ());
+      accept_loop ()
+    in
+    accept_loop ()
+end
+
+(* --- supervisor ------------------------------------------------------------ *)
+
+let warn fmt =
+  Printf.ksprintf (fun msg -> Printf.eprintf "chex86-remote: %s\n%!" msg) fmt
+
+(* Worker executable discovery: explicit override, else next to the
+   running binary, else the sibling bin/ directory (covers executables
+   under _build/default/{bin,bench,test}). *)
+let worker_exe () =
+  match Sys.getenv_opt "CHEX86_WORKER_EXE" with
+  | Some p when p <> "" -> Some p
+  | _ ->
+    let dir = Filename.dirname Sys.executable_name in
+    List.find_opt Sys.file_exists
+      [
+        Filename.concat dir "chex86_worker.exe";
+        Filename.concat dir (Filename.concat ".." (Filename.concat "bin" "chex86_worker.exe"));
+      ]
+
+type origin = Spawned | Peer of string * int
+
+type conn = { fd : Unix.file_descr; pid : int option; rbuf : Buffer.t }
+
+type item = {
+  i_chunk : int;
+  mutable i_attempt : int;  (* dispatch attempt, not task attempt *)
+  mutable i_indices : int array;  (* global indices still owed *)
+  mutable i_errs : int;  (* Err frames this chunk has cost *)
+}
+
+type slot_state =
+  | Unborn
+  | Idle of conn
+  | Busy of conn * item
+  | Respawning of float  (* monotonic due time *)
+  | Dead
+
+type slot = {
+  sid : int;
+  origin : origin;
+  mutable state : slot_state;
+  mutable restarts : int;
+  mutable last_activity : float;
+}
+
+let spawn_conn exe =
+  try
+    let sup, wrk = Unix.socketpair Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+    Unix.set_close_on_exec sup;
+    let pid = Unix.create_process exe [| exe; "--stdio" |] wrk wrk Unix.stderr in
+    Unix.close wrk;
+    Ok { fd = sup; pid = Some pid; rbuf = Buffer.create 4096 }
+  with e -> Error (Printexc.to_string e)
+
+let connect_peer host port =
+  try
+    let addr =
+      try Unix.inet_addr_of_string host
+      with Failure _ -> (Unix.gethostbyname host).Unix.h_addr_list.(0)
+    in
+    let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+    (try Unix.connect fd (Unix.ADDR_INET (addr, port))
+     with e ->
+       (try Unix.close fd with Unix.Unix_error _ -> ());
+       raise e);
+    Ok { fd; pid = None; rbuf = Buffer.create 4096 }
+  with e -> Error (Printexc.to_string e)
+
+(* Deterministic backoff jitter: seeded from (slot, restart ordinal),
+   never the clock, so restart schedules are as reproducible as the
+   sweep itself. *)
+let backoff_delay ~sid ~restarts =
+  let base = backoff_base () in
+  let exp = base *. (2. ** float_of_int (max 0 (restarts - 1))) in
+  let rng = Pool.rng_of_key (Printf.sprintf "respawn/%d/%d" sid restarts) in
+  exp *. (1. +. (0.25 *. Rng.float rng))
+
+exception Lost of string
+
+let sweep ?batch_size ?retries ?task_timeout ?spec:spec_override ?heartbeat:hb_override
+    ?restart_budget:rb_override ?task_loss_budget:tlb_override ~kind ~key ~arg tasks =
+  let n = Array.length tasks in
+  let retries, timeout = Pool.supervise_params ?retries ?task_timeout () in
+  let sp = match spec_override with Some s -> s | None -> spec () in
+  let hb = match hb_override with Some h -> Float.max 0.05 h | None -> heartbeat () in
+  let rb = match rb_override with Some b -> max 0 b | None -> restart_budget () in
+  let tlb = match tlb_override with Some b -> max 0 b | None -> task_loss_budget () in
+  let kind_fn =
+    match find_kind kind with
+    | Some f -> f
+    | None -> invalid_arg (Printf.sprintf "Remote.sweep: unregistered kind %S" kind)
+  in
+  Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
+  let keys = Array.map key tasks in
+  let args = Array.map arg tasks in
+  let outcomes :
+      ((string * Pool.task_snapshots, Pool.fault) result * int) option array =
+    Array.make n None
+  in
+  let losses = Array.make n 0 in
+  let dispatches = ref 0
+  and redispatched = ref 0
+  and loss_events = ref 0
+  and respawns = ref 0
+  and frame_errors = ref 0
+  and degraded = ref false in
+
+  let slot_count =
+    match sp with Off -> 0 | Spawn w -> max 1 w | Peers l -> List.length l
+  in
+  let batch = Pool.resolve_batch ?batch_size ~jobs:(max 1 slot_count) n in
+  let chunks = Pool.chunk_ranges ~batch n in
+  let queue : item Queue.t = Queue.create () in
+  Array.iteri
+    (fun ci (start, len) ->
+      Queue.add
+        { i_chunk = ci; i_attempt = 0; i_indices = Array.init len (fun k -> start + k);
+          i_errs = 0 }
+        queue)
+    chunks;
+
+  (* The in-process path for one task — byte-identical semantics to the
+     worker's: same [attempt_task] fence, same per-attempt [make_ctx]. *)
+  let run_local i =
+    Pool.attempt_task ~retries ~timeout ~key:keys.(i) (fun ~attempt:_ ~attempt_key ->
+        let ctx, snapshots = Pool.make_ctx attempt_key in
+        let v = kind_fn ~key:keys.(i) ~arg:args.(i) ctx in
+        (v, snapshots ()))
+  in
+  (* Degradation: drain every unresolved task through the in-process
+     pool.  Reached when no worker could be started or every restart
+     budget is exhausted — the sweep completes either way. *)
+  let degrade reason =
+    if not !degraded then begin
+      degraded := true;
+      warn "%s; degrading to in-process domains" reason
+    end;
+    Queue.clear queue;
+    let unresolved =
+      Array.of_list (List.filter (fun i -> outcomes.(i) = None) (List.init n Fun.id))
+    in
+    let computed = Pool.map run_local unresolved in
+    Array.iteri (fun k i -> outcomes.(i) <- Some computed.(k)) unresolved
+  in
+
+  if n = 0 then begin
+    let stats = Pool.merge_snapshots [] in
+    let report = Pool.build_report ~chunks:0 ~key tasks [||] in
+    Pool.fault_counters report stats.Pool.counters;
+    ([||], stats, report)
+  end
+  else begin
+    let slots =
+      match sp with
+      | Off -> [||]
+      | Spawn w ->
+        Array.init (max 1 w) (fun sid ->
+            { sid; origin = Spawned; state = Unborn; restarts = 0; last_activity = 0. })
+      | Peers l ->
+        Array.of_list
+          (List.mapi
+             (fun sid (h, p) ->
+               { sid; origin = Peer (h, p); state = Unborn; restarts = 0;
+                 last_activity = 0. })
+             l)
+    in
+    let exe = match sp with Spawn _ -> worker_exe () | _ -> None in
+    let exe_usable = match exe with Some e -> Sys.file_exists e | None -> false in
+
+    let note_start_failure slot msg =
+      slot.restarts <- slot.restarts + 1;
+      if slot.restarts > rb then begin
+        warn "worker %d: %s; restart budget exhausted" slot.sid msg;
+        slot.state <- Dead
+      end
+      else begin
+        incr respawns;
+        slot.state <- Respawning (Pool.now () +. backoff_delay ~sid:slot.sid ~restarts:slot.restarts)
+      end
+    in
+    let start_slot slot =
+      match slot.origin with
+      | Spawned ->
+        if not exe_usable then slot.state <- Dead
+        else begin
+          match spawn_conn (Option.get exe) with
+          | Ok conn ->
+            slot.state <- Idle conn;
+            slot.last_activity <- Pool.now ()
+          | Error msg -> note_start_failure slot ("spawn failed: " ^ msg)
+        end
+      | Peer (h, p) -> (
+        match connect_peer h p with
+        | Ok conn ->
+          slot.state <- Idle conn;
+          slot.last_activity <- Pool.now ()
+        | Error msg ->
+          note_start_failure slot (Printf.sprintf "connect %s:%d failed: %s" h p msg))
+    in
+
+    let requeue_or_fault item reason =
+      let remaining =
+        Array.of_list
+          (List.filter (fun i -> outcomes.(i) = None) (Array.to_list item.i_indices))
+      in
+      if Array.length remaining > 0 then begin
+        (* The worker ran tasks in order, so the first index still owed
+           is the one that was in flight when the worker died. *)
+        let in_flight = remaining.(0) in
+        losses.(in_flight) <- losses.(in_flight) + 1;
+        let remaining =
+          if losses.(in_flight) > tlb then begin
+            outcomes.(in_flight) <- Some (Error (Pool.Worker_lost { reason }), 0);
+            Array.sub remaining 1 (Array.length remaining - 1)
+          end
+          else remaining
+        in
+        if Array.length remaining > 0 then begin
+          redispatched := !redispatched + Array.length remaining;
+          item.i_attempt <- item.i_attempt + 1;
+          item.i_indices <- remaining;
+          Queue.add item queue
+        end
+      end
+    in
+    let handle_loss slot reason =
+      let conn_and_item =
+        match slot.state with
+        | Busy (conn, item) -> Some (conn, Some item)
+        | Idle conn -> Some (conn, None)
+        | _ -> None
+      in
+      match conn_and_item with
+      | None -> ()
+      | Some (conn, item_opt) ->
+        incr loss_events;
+        (match conn.pid with
+        | Some pid ->
+          (try Unix.kill pid Sys.sigkill with Unix.Unix_error _ -> ());
+          (try ignore (Unix.waitpid [] pid) with Unix.Unix_error _ -> ())
+        | None -> ());
+        (try Unix.close conn.fd with Unix.Unix_error _ -> ());
+        Option.iter (fun item -> requeue_or_fault item reason) item_opt;
+        slot.restarts <- slot.restarts + 1;
+        if slot.restarts > rb then begin
+          warn "worker %d: %s; restart budget exhausted" slot.sid reason;
+          slot.state <- Dead
+        end
+        else begin
+          warn "worker %d: %s; respawning" slot.sid reason;
+          incr respawns;
+          slot.state <-
+            Respawning (Pool.now () +. backoff_delay ~sid:slot.sid ~restarts:slot.restarts)
+        end
+    in
+
+    let dispatch conn item =
+      incr dispatches;
+      let idxs = item.i_indices in
+      let req =
+        {
+          chunk_id = item.i_chunk;
+          req_kind = kind;
+          dispatch_attempt = item.i_attempt;
+          indices = idxs;
+          keys = Array.map (fun i -> keys.(i)) idxs;
+          args = Array.map (fun i -> args.(i)) idxs;
+          retries;
+          task_timeout = timeout;
+          store_dir = !store_dir_provider ();
+          beat_every = hb /. 4.;
+          plan =
+            Array.to_list idxs
+            |> List.filter_map (fun i ->
+                   Option.map
+                     (fun d -> (keys.(i), d))
+                     (Faultinject.directive_for keys.(i)));
+        }
+      in
+      let payload = Marshal.to_string req [] in
+      match
+        Faultinject.transport_fault_for
+          ~keys:(Array.to_list req.keys)
+          ~attempt:item.i_attempt
+      with
+      | Some Faultinject.Drop_frame ->
+        (* Swallowed in transit: the worker stays silent on this chunk
+           and the heartbeat deadline recovers it. *)
+        ()
+      | Some (Faultinject.Delay_frame s) ->
+        Unix.sleepf s;
+        send_frame conn.fd Run payload
+      | Some Faultinject.Corrupt_frame ->
+        let b = encode_frame Run payload in
+        let pos = header_len + (String.length payload / 2) in
+        Bytes.set b pos (Char.chr (Char.code (Bytes.get b pos) lxor 0xff));
+        write_all conn.fd b
+      | Some _ | None -> send_frame conn.fd Run payload
+    in
+    let assign () =
+      Array.iter
+        (fun slot ->
+          match slot.state with
+          | Idle conn when not (Queue.is_empty queue) -> (
+            let item = Queue.pop queue in
+            match dispatch conn item with
+            | () ->
+              slot.state <- Busy (conn, item);
+              slot.last_activity <- Pool.now ()
+            | exception _ ->
+              slot.state <- Busy (conn, item);
+              handle_loss slot "write to worker failed")
+          | _ -> ())
+        slots
+    in
+
+    let handle_frame slot conn item_opt ftype payload =
+      match ftype with
+      | Hello ->
+        if payload <> string_of_int protocol_version then
+          raise (Lost (Printf.sprintf "protocol version mismatch (worker says %S)" payload))
+      | Beat -> ()
+      | Result -> (
+        match (Marshal.from_string payload 0 : task_result) with
+        | tr ->
+          if tr.t_index >= 0 && tr.t_index < n && outcomes.(tr.t_index) = None then
+            outcomes.(tr.t_index) <- Some (tr.t_outcome, tr.t_attempts)
+        | exception _ -> raise (Lost "unparseable Result frame"))
+      | Chunk_done -> (
+        match item_opt with
+        | Some item ->
+          slot.state <- Idle conn;
+          (* Defensive: a worker that skipped tasks still owes them. *)
+          if Array.exists (fun i -> outcomes.(i) = None) item.i_indices then
+            requeue_or_fault item "chunk finished with tasks missing"
+        | None -> ())
+      | Err -> (
+        incr frame_errors;
+        match item_opt with
+        | Some item ->
+          slot.state <- Idle conn;
+          item.i_errs <- item.i_errs + 1;
+          if item.i_errs > 2 then
+            Array.iter
+              (fun i ->
+                if outcomes.(i) = None then
+                  outcomes.(i) <-
+                    Some (Error (Pool.Worker_lost { reason = "repeated frame errors: " ^ payload }), 0))
+              item.i_indices
+          else begin
+            let remaining =
+              Array.of_list
+                (List.filter (fun i -> outcomes.(i) = None) (Array.to_list item.i_indices))
+            in
+            if Array.length remaining > 0 then begin
+              redispatched := !redispatched + Array.length remaining;
+              item.i_attempt <- item.i_attempt + 1;
+              item.i_indices <- remaining;
+              Queue.add item queue
+            end
+          end
+        | None -> warn "worker %d reported: %s" slot.sid payload)
+      | Run | Shutdown -> raise (Lost "unexpected frame from worker")
+    in
+    (* Incremental frame parse over whatever bytes arrived; the
+       supervisor digest-checks frames exactly like the worker does. *)
+    let pump slot conn item_opt =
+      let buf = Bytes.create 65536 in
+      match Unix.read conn.fd buf 0 65536 with
+      | 0 -> raise (Lost "worker closed the connection")
+      | len ->
+        slot.last_activity <- Pool.now ();
+        Buffer.add_subbytes conn.rbuf buf 0 len;
+        let data = Buffer.contents conn.rbuf in
+        let pos = ref 0 in
+        let total = String.length data in
+        let complete = ref true in
+        while !complete && total - !pos >= header_len do
+          let version = Char.code data.[!pos] in
+          if version <> protocol_version then
+            raise (Lost (Printf.sprintf "bad frame version %d" version));
+          let ftype =
+            match frame_type_of_tag (Char.code data.[!pos + 1]) with
+            | Some t -> t
+            | None -> raise (Lost "bad frame type")
+          in
+          let flen = Int32.to_int (String.get_int32_be data (!pos + 2)) in
+          if flen < 0 || flen > max_frame_payload then raise (Lost "bad frame length");
+          if total - !pos - header_len < flen then complete := false
+          else begin
+            let digest = String.sub data (!pos + 6) 16 in
+            let payload = String.sub data (!pos + header_len) flen in
+            if Digest.string payload <> digest then
+              raise (Lost "frame digest mismatch from worker");
+            pos := !pos + header_len + flen;
+            handle_frame slot conn item_opt ftype payload
+          end
+        done;
+        Buffer.clear conn.rbuf;
+        Buffer.add_substring conn.rbuf data !pos (total - !pos)
+      | exception Unix.Unix_error ((Unix.ECONNRESET | Unix.EPIPE), _, _) ->
+        raise (Lost "connection reset")
+    in
+
+    let all_dead () = Array.for_all (fun s -> s.state = Dead) slots in
+    let work_remaining () =
+      (not (Queue.is_empty queue))
+      || Array.exists (fun s -> match s.state with Busy _ -> true | _ -> false) slots
+    in
+
+    if slot_count = 0 then degrade "no workers configured"
+    else begin
+      Array.iter start_slot slots;
+      let rec loop () =
+        if work_remaining () then
+          if all_dead () then degrade "all worker restart budgets exhausted"
+          else begin
+            assign ();
+            let now = Pool.now () in
+            (* Wake for the earliest heartbeat or respawn deadline. *)
+            let timeout =
+              Array.fold_left
+                (fun acc s ->
+                  match s.state with
+                  | Busy _ -> Float.min acc (s.last_activity +. hb -. now)
+                  | Respawning due -> Float.min acc (due -. now)
+                  | _ -> acc)
+                0.25 slots
+            in
+            let timeout = Float.max 0.01 (Float.min 0.5 timeout) in
+            let fds =
+              Array.to_list slots
+              |> List.filter_map (fun s ->
+                     match s.state with
+                     | Idle conn | Busy (conn, _) -> Some conn.fd
+                     | _ -> None)
+            in
+            let readable, _, _ =
+              try Unix.select fds [] [] timeout
+              with Unix.Unix_error (Unix.EINTR, _, _) -> ([], [], [])
+            in
+            Array.iter
+              (fun slot ->
+                match slot.state with
+                | (Idle conn | Busy (conn, _)) when List.memq conn.fd readable -> (
+                  let item_opt =
+                    match slot.state with Busy (_, it) -> Some it | _ -> None
+                  in
+                  try pump slot conn item_opt
+                  with Lost reason -> handle_loss slot reason)
+                | _ -> ())
+              slots;
+            let now = Pool.now () in
+            Array.iter
+              (fun slot ->
+                match slot.state with
+                | Busy _ when now -. slot.last_activity > hb ->
+                  handle_loss slot
+                    (Printf.sprintf "no heartbeat for %.2fs (deadline %.2fs)"
+                       (now -. slot.last_activity) hb)
+                | Respawning due when now >= due -> start_slot slot
+                | _ -> ())
+              slots;
+            loop ()
+          end
+      in
+      loop ();
+      (* Orderly shutdown: spawned workers exit on Shutdown (or the EOF
+         from our close); peers return to their accept loop. *)
+      Array.iter
+        (fun slot ->
+          match slot.state with
+          | Idle conn | Busy (conn, _) ->
+            (try send_frame conn.fd Shutdown "" with Frame_error _ | Unix.Unix_error _ -> ());
+            (try Unix.close conn.fd with Unix.Unix_error _ -> ());
+            (match conn.pid with
+            | Some pid -> (
+              try ignore (Unix.waitpid [] pid) with Unix.Unix_error _ -> ())
+            | None -> ())
+          | _ -> ())
+        slots
+    end;
+    (* Safety net: any task every path above failed to resolve still
+       runs locally — the sweep never returns holes. *)
+    let stragglers = List.filter (fun i -> outcomes.(i) = None) (List.init n Fun.id) in
+    List.iter (fun i -> outcomes.(i) <- Some (run_local i)) stragglers;
+
+    let raw = Array.map (function Some o -> o | None -> assert false) outcomes in
+    let per_task =
+      Array.to_list raw
+      |> List.filter_map (fun (outcome, _) ->
+             match outcome with Ok (_, snaps) -> Some snaps | Error _ -> None)
+    in
+    let stats = Pool.merge_snapshots per_task in
+    let report =
+      Pool.build_report ~worker_losses:!loss_events ~chunks:(Array.length chunks) ~key
+        tasks raw
+    in
+    Pool.fault_counters report stats.Pool.counters;
+    (* remote.* counters are scheduling- and environment-dependent by
+       nature (they record transport behaviour, not simulation results);
+       determinism comparisons exclude them, like [pool.chunks]. *)
+    let c = stats.Pool.counters in
+    Counter.incr ~by:slot_count c "remote.workers";
+    Counter.incr ~by:(Array.length chunks) c "remote.chunks";
+    Counter.incr ~by:!dispatches c "remote.dispatches";
+    Counter.incr ~by:!redispatched c "remote.redispatched_tasks";
+    Counter.incr ~by:!loss_events c "remote.worker_losses";
+    Counter.incr ~by:!respawns c "remote.respawns";
+    Counter.incr ~by:!frame_errors c "remote.frame_errors";
+    Counter.incr ~by:(if !degraded then 1 else 0) c "remote.degraded";
+    let results =
+      Array.map (fun (outcome, _) -> Result.map (fun (v, _) -> v) outcome) raw
+    in
+    (results, stats, report)
+  end

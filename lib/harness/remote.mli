@@ -1,0 +1,131 @@
+(** Process-isolated worker dispatch for supervised sweeps.
+
+    The in-process pool can only contain faults cooperatively — a task
+    that never reaches [Pool.check_deadline] wedges its domain for good.
+    This layer makes containment structural: a supervisor forks/execs N
+    copies of [bin/chex86_worker.exe] (or connects to TCP worker peers),
+    ships each batched chunk's task keys as length-prefixed,
+    digest-checksummed frames, and merges the streamed per-task results
+    and stats snapshots through the same [Counter]/[Histogram] merge
+    path the pool uses, so results stay bit-identical to a serial run at
+    any (jobs, batch, transport) geometry.
+
+    Robustness: per-worker heartbeats with a hard wall-clock deadline
+    and SIGKILL escalation; exponential-backoff respawn with
+    deterministic jitter under a bounded restart budget; re-dispatch of
+    only a dead worker's unfinished tasks (streamed results are kept); a
+    task that keeps killing its worker is faulted as
+    [Pool.Worker_lost]; and if no worker can be started at all the
+    sweep degrades to the in-process pool path with a warning.
+
+    The [remote.*] counters added to merged stats
+    ([remote.workers], [remote.chunks], [remote.dispatches],
+    [remote.redispatched_tasks], [remote.worker_losses],
+    [remote.respawns], [remote.frame_errors], [remote.degraded]) record
+    transport behaviour and are scheduling-dependent by nature;
+    determinism comparisons exclude them, like [pool.chunks]. *)
+
+val protocol_version : int
+(** Version byte leading every frame; both sides refuse a mismatch. *)
+
+(** How sweeps reach workers: not at all, [Spawn n] local worker
+    processes over socketpairs, or TCP [Peers] started with
+    [chex86_worker --listen PORT]. *)
+type spec = Off | Spawn of int | Peers of (string * int) list
+
+val set_spec : spec -> unit
+val spec : unit -> spec
+
+val enabled : unit -> bool
+(** [spec () <> Off]; Runner/Security consult this to route sweeps. *)
+
+(** {2 Robustness knobs} (process-wide; [sweep] takes per-call
+    overrides for tests) *)
+
+val set_heartbeat : float -> unit
+(** Hard liveness deadline in seconds (default 30): a busy worker whose
+    last frame is older than this is SIGKILLed and its unfinished tasks
+    re-dispatched. Workers beat at a quarter of this interval. *)
+
+val heartbeat : unit -> float
+
+val set_restart_budget : int -> unit
+(** Respawns/reconnects allowed per worker slot (default 3) before the
+    slot is written off as dead. *)
+
+val restart_budget : unit -> int
+
+val set_task_loss_budget : int -> unit
+(** Worker losses a single task may cause (default 1) before it is
+    faulted as [Pool.Worker_lost] instead of re-dispatched. *)
+
+val task_loss_budget : unit -> int
+
+val set_backoff_base : float -> unit
+(** First respawn delay in seconds (default 0.05); doubles per restart,
+    with deterministic jitter seeded from (slot, restart ordinal). *)
+
+val backoff_base : unit -> float
+
+(** {2 Task kinds}
+
+    The wire carries only (kind, key, arg) strings — never closures.
+    Both sides must link the same registration code; workers call the
+    [register_remote] entry points of Security and Runner at startup. *)
+
+type kind_fn = key:string -> arg:string -> Pool.ctx -> string
+
+val register_kind : string -> kind_fn -> unit
+(** Idempotent (last registration wins). *)
+
+val find_kind : string -> kind_fn option
+(** Tests use this to run a kind's body through the in-process pool as
+    the bit-identity baseline for remote runs. *)
+
+val selftest_kind : string
+(** Built-in kind for tests: draws from the task-keyed RNG into
+    [selftest.*] stats; keys prefixed ["wedge"] spin forever without
+    reaching [Pool.check_deadline] — the uncooperative task the
+    heartbeat deadline exists for. *)
+
+(** {2 Worker-side store wiring}
+
+    Set by [Runner] at module init so the supervisor can ship its
+    result-store directory to workers without this module depending on
+    [Runner]. *)
+
+val store_dir_provider : (unit -> string option) ref
+val store_dir_applier : (string option -> unit) ref
+
+(** {2 The sweep} *)
+
+val sweep :
+  ?batch_size:int ->
+  ?retries:int ->
+  ?task_timeout:float ->
+  ?spec:spec ->
+  ?heartbeat:float ->
+  ?restart_budget:int ->
+  ?task_loss_budget:int ->
+  kind:string ->
+  key:('a -> string) ->
+  arg:('a -> string) ->
+  'a array ->
+  (string, Pool.fault) result array * Pool.merged_stats * Pool.fault_report
+(** Dispatch [tasks] to workers in batched chunks and merge the
+    per-task outcomes; result slots line up with input order, stats are
+    bit-identical to a serial run of the same kind function (modulo
+    [pool.chunks] / [remote.*]). Raises [Invalid_argument] for an
+    unregistered [kind]; never raises for worker failures — those end
+    as [Pool.Worker_lost] faults or degradation to the in-process
+    path. *)
+
+(** The worker side, driven by [bin/chex86_worker.exe]. *)
+module Worker : sig
+  val serve : input:Unix.file_descr -> output:Unix.file_descr -> unit
+  (** Serve one supervisor connection until Shutdown or EOF. *)
+
+  val listen : port:int -> unit
+  (** TCP accept loop ([--listen PORT]); serves supervisors one at a
+      time and returns to [accept] when each disconnects. *)
+end

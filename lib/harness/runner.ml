@@ -133,8 +133,15 @@ module Store = struct
   let misses = Atomic.make 0
   let writes = Atomic.make 0
   let discarded = Atomic.make 0
+  let tmp_reclaimed = Atomic.make 0
 
-  type stats = { hits : int; misses : int; writes : int; discarded : int }
+  type stats = {
+    hits : int;
+    misses : int;
+    writes : int;
+    discarded : int;
+    tmp_reclaimed : int;
+  }
 
   let stats () =
     {
@@ -142,23 +149,91 @@ module Store = struct
       misses = Atomic.get misses;
       writes = Atomic.get writes;
       discarded = Atomic.get discarded;
+      tmp_reclaimed = Atomic.get tmp_reclaimed;
     }
 
   let reset_stats () =
     Atomic.set hits 0;
     Atomic.set misses 0;
     Atomic.set writes 0;
-    Atomic.set discarded 0
+    Atomic.set discarded 0;
+    Atomic.set tmp_reclaimed 0
 
   let default_dir = "_chex86_cache"
 
+  let warn fmt =
+    Printf.ksprintf (fun msg -> Printf.eprintf "chex86-store: %s\n%!" msg) fmt
+
+  (* A tmp file's writer is still alive iff signal 0 reaches its pid
+     (EPERM means alive under another uid — leave it alone). *)
+  let pid_alive pid =
+    match Unix.kill pid 0 with
+    | () -> true
+    | exception Unix.Unix_error (Unix.ESRCH, _, _) -> false
+    | exception _ -> true
+
+  (* Age guard for pid reuse: a recycled pid can make a long-dead
+     writer look alive, so sufficiently old tmp files go regardless. *)
+  let tmp_stale_age = 900. (* seconds *)
+
+  (* Reclaim stale [.tmp-<pid>-*] files left behind by a killed process:
+     a live writer renames its tmp away within one entry write, so any
+     tmp file whose writer is dead — or that has sat here longer than
+     [tmp_stale_age] — is garbage from a torn sweep. *)
+  let reclaim_tmp dir =
+    match Sys.readdir dir with
+    | exception Sys_error _ -> ()
+    | names ->
+      let self = Unix.getpid () in
+      let now = Unix.time () in
+      Array.iter
+        (fun name ->
+          if String.length name > 5 && String.sub name 0 5 = ".tmp-" then begin
+            let path = Filename.concat dir name in
+            let writer =
+              match String.index_from_opt name 5 '-' with
+              | Some dash -> int_of_string_opt (String.sub name 5 (dash - 5))
+              | None -> None
+            in
+            let old =
+              match Unix.stat path with
+              | st -> now -. st.Unix.st_mtime > tmp_stale_age
+              | exception Unix.Unix_error _ -> false
+            in
+            let stale =
+              match writer with
+              | Some pid when pid = self -> false
+              | Some pid -> (not (pid_alive pid)) || old
+              | None -> old
+            in
+            if stale then begin
+              match Sys.remove path with
+              | () ->
+                Atomic.incr tmp_reclaimed;
+                warn "reclaimed stale tmp file %s" path
+              | exception Sys_error _ -> ()
+            end
+          end)
+        names
+
+  (* One sweep per configuration: [ensure_dir] runs on every save, and
+     re-listing the directory each time would turn writes quadratic. *)
+  let swept = Atomic.make false
+
   (* The directory itself is created on first write, so enabling the
      store in a binary that never saves leaves no empty directory. *)
-  let configure ~dir = Atomic.set dir_ref (Some dir)
+  let configure ~dir =
+    Atomic.set dir_ref (Some dir);
+    Atomic.set swept false;
+    if Sys.file_exists dir then begin
+      Atomic.set swept true;
+      reclaim_tmp dir
+    end
 
   let ensure_dir dir =
-    try if not (Sys.file_exists dir) then Unix.mkdir dir 0o755 with
-    | Unix.Unix_error (Unix.EEXIST, _, _) -> ()
+    (try if not (Sys.file_exists dir) then Unix.mkdir dir 0o755 with
+    | Unix.Unix_error (Unix.EEXIST, _, _) -> ());
+    if not (Atomic.exchange swept true) then reclaim_tmp dir
 
   let disable () = Atomic.set dir_ref None
   let enabled () = Option.is_some (Atomic.get dir_ref)
@@ -177,9 +252,6 @@ module Store = struct
 
   let entry_path ~key ~digest =
     Option.map (fun d -> Filename.concat d (entry_name ~key ~digest)) (dir ())
-
-  let warn fmt =
-    Printf.ksprintf (fun msg -> Printf.eprintf "chex86-store: %s\n%!" msg) fmt
 
   let read_file path =
     let ic = open_in_bin path in
@@ -209,7 +281,16 @@ module Store = struct
               if version <> format_version then Error "format version mismatch"
               else if Digest.to_hex (Digest.string payload) <> payload_digest then
                 Error "payload digest mismatch"
-              else Ok (Marshal.from_string payload 0 : run))
+              else
+                (* The digest can pass on a payload the unmarshaller
+                   still rejects (e.g. an entry truncated inside the
+                   marshal header whose digest line happened to match a
+                   crafted short payload) — any exception here is a
+                   corrupt entry, not a crash. *)
+                match (Marshal.from_string payload 0 : run) with
+                | run -> Ok run
+                | exception e ->
+                  Error ("malformed marshal payload: " ^ Printexc.to_string e))
         with
         | Ok run ->
           Atomic.incr hits;
@@ -403,27 +484,92 @@ let run_job j =
   compute_run ~key ~timing:j.j_timing ~profile:j.j_profile j.j_config
     (j.j_workload.build ~scale:j.j_scale)
 
+(* Remote task kind: a job crosses the process boundary as its
+   workload's name plus the plain-data memo-key fields (Bench_spec.t
+   holds a build closure, which can't be marshalled); the worker
+   re-looks the workload up in its own registry and runs the exact
+   [run_job] path — including its Store consultation, pointed at the
+   supervisor's cache directory shipped with each chunk. *)
+let remote_kind = "bench"
+
+type remote_job_spec = {
+  r_name : string;
+  r_config : config;
+  r_tag : string;
+  r_timing : bool;
+  r_profile : bool;
+  r_scale : int;
+}
+
+let remote_job_arg j =
+  Marshal.to_string
+    { r_name = j.j_workload.Chex86_workloads.Bench_spec.name; r_config = j.j_config;
+      r_tag = j.j_tag; r_timing = j.j_timing; r_profile = j.j_profile;
+      r_scale = j.j_scale }
+    []
+
+let register_remote () =
+  Remote.register_kind remote_kind (fun ~key:_ ~arg _ctx ->
+      let spec : remote_job_spec = Marshal.from_string arg 0 in
+      let j =
+        { j_workload = Chex86_workloads.Workloads.find spec.r_name;
+          j_config = spec.r_config; j_tag = spec.r_tag; j_timing = spec.r_timing;
+          j_profile = spec.r_profile; j_scale = spec.r_scale }
+      in
+      Pool.check_deadline ();
+      Marshal.to_string (run_job j : run) [])
+
+(* Worker-side store wiring for Remote (which cannot depend on this
+   module): the supervisor ships [Store.dir ()] with each chunk; the
+   worker applies it here, so remote jobs hit the same on-disk cache. *)
+let () =
+  Remote.store_dir_provider := Store.dir;
+  Remote.store_dir_applier :=
+    (function Some dir -> Store.configure ~dir | None -> Store.disable ())
+
 (* Supervised prefetch: a crashing or wedged job is recorded in the
    fault table and the rest of the sweep completes (a mid-chunk fault
    only claims the offending job); healthy results are published to the
-   memo in job order exactly like [prefetch]. *)
+   memo in job order exactly like [prefetch].  With workers configured
+   the jobs run in worker processes instead ([?jobs] is ignored); a
+   lost worker surfaces as a [Pool.Worker_lost] fault on the job that
+   was in flight. *)
 let prefetch_supervised ?jobs ?batch_size ?retries ?task_timeout job_list =
   let todo = dedup_jobs job_list in
-  let results, report =
-    Pool.map_supervised_batched ?jobs ?batch_size ?retries ?task_timeout ~key:job_key
-      (fun j ->
-        Pool.check_deadline ();
-        run_job j)
-      todo
-  in
-  Array.iteri
-    (fun i result ->
-      let key = job_key todo.(i) in
-      match result with
-      | Ok run -> ignore (memo_publish key run)
-      | Error fault -> record_fault key fault)
-    results;
-  report
+  if Remote.enabled () && Array.length todo > 0 then begin
+    register_remote ();
+    let payloads, _stats, report =
+      Remote.sweep ?batch_size ?retries ?task_timeout ~kind:remote_kind ~key:job_key
+        ~arg:remote_job_arg todo
+    in
+    ignore jobs;
+    Array.iteri
+      (fun i result ->
+        let key = job_key todo.(i) in
+        match result with
+        | Ok payload ->
+          ignore (memo_publish key (Marshal.from_string payload 0 : run))
+        | Error fault -> record_fault key fault)
+      payloads;
+    report
+  end
+  else begin
+    let results, report =
+      Pool.map_supervised_batched ?jobs ?batch_size ?retries ?task_timeout ~key:job_key
+        (fun j ->
+          Pool.check_deadline ();
+          run_job j)
+        todo
+    in
+    Array.iteri
+      (fun i result ->
+        let key = job_key todo.(i) in
+        match result with
+        | Ok run -> ignore (memo_publish key run)
+        | Error fault -> record_fault key fault)
+      results;
+    report
+  end
 
 let prefetch ?jobs ?batch_size job_list =
   let todo = dedup_jobs job_list in

@@ -60,7 +60,15 @@ module Store : sig
   val enabled : unit -> bool
   val dir : unit -> string option
 
-  type stats = { hits : int; misses : int; writes : int; discarded : int }
+  type stats = {
+    hits : int;
+    misses : int;
+    writes : int;
+    discarded : int;
+    tmp_reclaimed : int;
+        (** stale [.tmp-<pid>-*] files swept on [configure]/first write,
+            guarded by writer-pid liveness or age *)
+  }
 
   val stats : unit -> stats
   val reset_stats : unit -> unit
@@ -121,11 +129,20 @@ val job_key : job -> string
     at any batch size. *)
 val prefetch : ?jobs:int -> ?batch_size:int -> job list -> unit
 
+(** Register the ["bench"] remote task kind (workload lookup by name,
+    memo-key fields via a marshalled arg) so prefetches can run in
+    worker processes; called by the worker binary at startup and by the
+    supervisor before routing. Idempotent. *)
+val register_remote : unit -> unit
+
 (** [prefetch] with per-task supervision: a crashing or wedged job is
     recorded in the fault table (see {!run_workload_result} /
     {!faulted_jobs}) and the rest of the sweep — including the faulted
     job's chunk-mates — completes. Jobs already faulted are not retried
-    by later prefetches sharing the key. *)
+    by later prefetches sharing the key. When workers are configured
+    ({!Remote.enabled}) the jobs run in worker processes instead
+    ([?jobs] is ignored); a lost worker surfaces as [Pool.Worker_lost]
+    on the in-flight job. *)
 val prefetch_supervised :
   ?jobs:int ->
   ?batch_size:int ->

@@ -71,22 +71,70 @@ let sweep_stats ?config ?jobs ?batch_size exploits =
 let sweep ?config ?jobs ?batch_size exploits =
   fst (sweep_stats ?config ?jobs ?batch_size exploits)
 
+(* Remote task kind: the wire carries the exploit's name and a
+   marshalled config; the worker re-looks the exploit up in its own
+   registry (Exploit.t holds a build closure, which can't cross the
+   process boundary) and returns the two runs marshalled.  Registered
+   on both sides: here for the supervisor's degraded/local path, and by
+   bin/chex86_worker.ml at startup. *)
+let remote_kind = "security"
+
+let register_remote () =
+  Remote.register_kind remote_kind (fun ~key ~arg (ctx : Pool.ctx) ->
+      let exploit = Chex86_exploits.Exploits.find key in
+      let config : Runner.config = Marshal.from_string arg 0 in
+      Pool.check_deadline ();
+      let r = evaluate ~config exploit in
+      tally_result ctx r;
+      Marshal.to_string (r.insecure, r.under_protection) [])
+
 (* Supervised variant: a crashing or wedged exploit evaluation is
    classified and reported instead of killing the sweep; its stats are
    discarded wholesale, so the [sweep.*] counters only count completed
-   evaluations (plus the [pool.*] fault counters the supervisor adds). *)
+   evaluations (plus the [pool.*] fault counters the supervisor adds).
+   With workers configured ([--workers]/[--worker]) the sweep runs in
+   worker processes instead of domains — same results, but a wedged
+   evaluation can also be killed at the heartbeat deadline. *)
 let sweep_stats_supervised ?config ?jobs ?batch_size ?retries ?task_timeout exploits =
-  let results, stats, report =
-    Pool.map_stats_supervised_batched ?jobs ?batch_size ?retries ?task_timeout
-      ~key:(fun (e : Exploit.t) -> e.Exploit.name)
-      (fun exploit (ctx : Pool.ctx) ->
-        Pool.check_deadline ();
-        let r = evaluate ?config exploit in
-        tally_result ctx r;
-        r)
-      (Array.of_list exploits)
-  in
-  (List.map2 (fun e r -> (e, r)) exploits (Array.to_list results), stats, report)
+  if Remote.enabled () then begin
+    register_remote ();
+    let config = Option.value ~default:Runner.prediction config in
+    let config_arg = Marshal.to_string config [] in
+    let results, stats, report =
+      Remote.sweep ?batch_size ?retries ?task_timeout ~kind:remote_kind
+        ~key:(fun (e : Exploit.t) -> e.Exploit.name)
+        ~arg:(fun _ -> config_arg)
+        (Array.of_list exploits)
+    in
+    ignore jobs;
+    let results =
+      Array.to_list results
+      |> List.map2
+           (fun exploit outcome ->
+             ( exploit,
+               Result.map
+                 (fun payload ->
+                   let insecure, under_protection =
+                     (Marshal.from_string payload 0 : Runner.run * Runner.run)
+                   in
+                   { exploit; insecure; under_protection })
+                 outcome ))
+           exploits
+    in
+    (results, stats, report)
+  end
+  else
+    let results, stats, report =
+      Pool.map_stats_supervised_batched ?jobs ?batch_size ?retries ?task_timeout
+        ~key:(fun (e : Exploit.t) -> e.Exploit.name)
+        (fun exploit (ctx : Pool.ctx) ->
+          Pool.check_deadline ();
+          let r = evaluate ?config exploit in
+          tally_result ctx r;
+          r)
+        (Array.of_list exploits)
+    in
+    (List.map2 (fun e r -> (e, r)) exploits (Array.to_list results), stats, report)
 
 type suite_summary = {
   suite : Exploit.suite;

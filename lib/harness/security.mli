@@ -32,12 +32,21 @@ val sweep_stats :
   Chex86_exploits.Exploit.t list ->
   result list * Pool.merged_stats
 
+(** Register the ["security"] remote task kind (exploit lookup by name,
+    config via a marshalled arg) so sweeps can run in worker processes;
+    called by the worker binary at startup and by the supervisor before
+    routing. Idempotent. *)
+val register_remote : unit -> unit
+
 (** [sweep_stats] with per-task supervision (see
     {!Pool.map_stats_supervised_batched}): a crashing or wedged
     evaluation yields an [Error fault] slot instead of killing the sweep
     (its chunk-mates still complete), and the [sweep.*] counters only
     count completed evaluations. Result slots are in input order, each
-    paired with its exploit. *)
+    paired with its exploit. When workers are configured
+    ({!Remote.enabled}), the sweep is dispatched to worker processes
+    instead of domains ([?jobs] is ignored there); a worker lost to a
+    crash or heartbeat kill surfaces as a [Pool.Worker_lost] fault. *)
 val sweep_stats_supervised :
   ?config:Runner.config ->
   ?jobs:int ->

@@ -19,6 +19,7 @@ let with_plan plan f =
 let fault_shape = function
   | Pool.Crashed { exn; _ } -> "crashed:" ^ exn
   | Pool.Timed_out { budget } -> Printf.sprintf "timed_out:%g" budget
+  | Pool.Worker_lost { reason } -> "worker_lost:" ^ reason
 
 let report_shape (r : Pool.fault_report) =
   ( (r.tasks, r.ok, r.retried_ok, r.crashed, r.timed_out, r.retries_used),
@@ -57,7 +58,7 @@ let test_real_crash_contained () =
         Alcotest.(check int) "only task 6 crashed" 6 i;
         Alcotest.(check bool) "exception text" true
           (String.length exn > 0 && String.length backtrace > 0)
-      | Error (Pool.Timed_out _) -> Alcotest.fail "unexpected timeout")
+      | Error fault -> Alcotest.fail ("unexpected fault: " ^ Pool.fault_to_string fault))
     results;
   Alcotest.(check int) "one crash" 1 report.Pool.crashed;
   Alcotest.(check int) "nine ok" 9 report.Pool.ok
@@ -169,7 +170,7 @@ let test_seeded_plan_deterministic () =
   let hits rate seed =
     List.filter
       (fun k ->
-        Faultinject.arm (Faultinject.seeded ~rate ~seed);
+        Faultinject.arm (Faultinject.seeded ~rate ~seed ());
         let hit = Faultinject.fault_for ~key:k ~attempt:0 <> None in
         Faultinject.disarm ();
         hit)
@@ -489,6 +490,90 @@ let test_prefetch_supervised_records_faults () =
       let report2 = Runner.prefetch_supervised ~jobs:2 [ job ] in
       Alcotest.(check int) "nothing re-attempted" 0 report2.Pool.tasks)
 
+let test_sliced_slow_respects_deadline () =
+  (* A Slow directive far exceeding the wall budget must not block the
+     domain for the full stall: the injected sleep is sliced and
+     re-checks the cooperative deadline between naps, so the task times
+     out promptly instead of holding its domain for the whole stall. *)
+  let plan = Faultinject.of_list [ ("0", Faultinject.slow 30.) ] in
+  let t0 = Pool.now () in
+  let results, report =
+    with_plan plan (fun () ->
+        Pool.map_supervised ~jobs:1 ~task_timeout:0.2 ~key:key_of (fun x -> x) [| 0 |])
+  in
+  let elapsed = Pool.now () -. t0 in
+  Alcotest.(check bool) "timed out promptly, not after the 30s stall" true
+    (elapsed < 5.);
+  (match results.(0) with
+  | Error (Pool.Timed_out _) -> ()
+  | _ -> Alcotest.fail "expected a timeout");
+  Alcotest.(check int) "one timeout" 1 report.Pool.timed_out
+
+let test_tmp_reclamation () =
+  (* Stale .tmp-<pid>-* files from a killed sweep are swept on
+     configure; a live writer's tmp files are left alone. *)
+  with_store (fun () ->
+      (try Unix.mkdir store_dir 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ());
+      let dead_pid =
+        (* A pid guaranteed dead: a reaped child. (Unix.fork is off
+           limits once domains exist; create_process is not.) *)
+        let pid =
+          Unix.create_process "/bin/true" [| "/bin/true" |] Unix.stdin Unix.stdout
+            Unix.stderr
+        in
+        ignore (Unix.waitpid [] pid);
+        pid
+      in
+      let dead = Filename.concat store_dir (Printf.sprintf ".tmp-%d-x.run" dead_pid) in
+      let mine =
+        Filename.concat store_dir (Printf.sprintf ".tmp-%d-y.run" (Unix.getpid ()))
+      in
+      List.iter
+        (fun p ->
+          let oc = open_out p in
+          output_string oc "torn write";
+          close_out oc)
+        [ dead; mine ];
+      Runner.Store.configure ~dir:store_dir;
+      Alcotest.(check bool) "dead writer's tmp reclaimed" false (Sys.file_exists dead);
+      Alcotest.(check bool) "live writer's tmp kept" true (Sys.file_exists mine);
+      Alcotest.(check int) "reclamation counted" 1
+        (Runner.Store.stats ()).Runner.Store.tmp_reclaimed)
+
+let test_store_marshal_guard () =
+  (* Regression: an entry whose digest line matches a payload truncated
+     inside the marshal header passes the digest check, so only the
+     guarded [Marshal.from_string] can reject it — as a discard, never
+     a crash. *)
+  with_store (fun () ->
+      let w = W.find "swaptions" in
+      let a = Runner.run_workload ~tag:"st6" ~scale:1 Runner.insecure w in
+      let path =
+        match Sys.readdir store_dir with
+        | [| entry |] -> Filename.concat store_dir entry
+        | _ -> Alcotest.fail "expected exactly one store entry"
+      in
+      let ic = open_in_bin path in
+      let body =
+        Fun.protect
+          ~finally:(fun () -> close_in_noerr ic)
+          (fun () -> really_input_string ic (in_channel_length ic))
+      in
+      let version = List.hd (String.split_on_char '\n' body) in
+      let header_skip = String.index_from body (String.index body '\n' + 1) '\n' + 1 in
+      let payload = String.sub body header_skip 10 in
+      let oc = open_out_bin path in
+      Printf.fprintf oc "%s\n%s\n%s" version (Digest.to_hex (Digest.string payload))
+        payload;
+      close_out oc;
+      Runner.reset_for_tests ();
+      let b = Runner.run_workload ~tag:"st6" ~scale:1 Runner.insecure w in
+      let s = Runner.Store.stats () in
+      Alcotest.(check int) "digest-valid truncated entry discarded" 1
+        s.Runner.Store.discarded;
+      Alcotest.(check int) "no false hit" 0 s.Runner.Store.hits;
+      Alcotest.(check bool) "re-simulated identical" true (run_fields a = run_fields b))
+
 let () =
   Alcotest.run "supervise"
     [
@@ -505,6 +590,8 @@ let () =
           Alcotest.test_case "jobs invariance" `Quick test_supervised_jobs_invariance;
           Alcotest.test_case "seeded plan deterministic" `Quick
             test_seeded_plan_deterministic;
+          Alcotest.test_case "sliced slow respects deadline" `Quick
+            test_sliced_slow_respects_deadline;
         ] );
       ( "batched",
         [
@@ -537,5 +624,8 @@ let () =
             test_injected_cache_truncation;
           Alcotest.test_case "prefetch records faults" `Quick
             test_prefetch_supervised_records_faults;
+          Alcotest.test_case "stale tmp reclaimed" `Quick test_tmp_reclamation;
+          Alcotest.test_case "marshal guard on digest-valid entry" `Quick
+            test_store_marshal_guard;
         ] );
     ]
