@@ -4,7 +4,7 @@
 #   make build   compile everything
 #   make test    dune runtest only
 
-.PHONY: all build test smoke fault-smoke remote-smoke check clean
+.PHONY: all build test smoke fault-smoke remote-smoke trace-smoke check clean
 
 all: build
 
@@ -52,7 +52,20 @@ remote-smoke: build
 	./_build/default/bin/security_eval.exe \
 		--worker 127.0.0.1:7641 --worker 127.0.0.1:7642 --no-cache
 
-check: build test smoke fault-smoke remote-smoke
+# Telemetry sanity: a traced + metered security sweep over 2 worker
+# processes must (1) leave a trace the trace-summary validator accepts
+# (every end has a begin, parents close after children), (2) contain
+# stitched worker span streams alongside the supervisor's, and (3) dump
+# a parseable metrics snapshot.
+trace-smoke: build
+	rm -f /tmp/chex86-trace.jsonl /tmp/chex86-metrics.json
+	./_build/default/bin/security_eval.exe --workers 2 --no-cache \
+		--trace /tmp/chex86-trace.jsonl --metrics /tmp/chex86-metrics.json
+	./_build/default/bin/chex86_sim.exe trace-summary /tmp/chex86-trace.jsonl
+	grep -q '"src":"w' /tmp/chex86-trace.jsonl
+	grep -q '"pool.ok":' /tmp/chex86-metrics.json
+
+check: build test smoke fault-smoke remote-smoke trace-smoke
 
 clean:
 	dune clean

@@ -203,7 +203,12 @@ let () =
   List.iter
     (fun name ->
       let t0 = Pool.now () in
-      let out = (List.assoc name targets) () in
+      (* One span per bench target, so trace-summary can break a full
+         regeneration down by table/figure. *)
+      let out =
+        Chex86_harness.Trace.with_span ~stage:"target" [ ("name", name) ]
+          (List.assoc name targets)
+      in
       if out <> "" then print_endline out;
       Printf.printf "[%s: %.1fs]\n\n%!" name (Pool.now () -. t0))
     chosen;

@@ -122,10 +122,29 @@ let cache_dir_arg =
 let no_cache_arg =
   Arg.(value & flag & info [ "no-cache" ] ~doc:"Disable the on-disk result store.")
 
+let trace_file_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace" ] ~docv:"FILE"
+        ~doc:
+          "Write structured span events (JSONL) to $(docv); inspect with \
+           $(b,chex86_sim trace-summary). Off by default; merged sweep stats \
+           are bit-identical either way.")
+
+let metrics_file_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "metrics" ] ~docv:"FILE"
+        ~doc:
+          "Dump the merged sweep counters and histograms to $(docv) as one \
+           JSON object at exit.")
+
 (* Apply the sweep knobs to the process-wide state, arming the
    fault-injection plan from the environment like the other binaries. *)
 let apply_sweep_knobs jobs batch_size strict _keep_going retries task_timeout cache_dir
-    no_cache =
+    no_cache trace_file metrics_file =
   let module Pool = Chex86_harness.Pool in
   Pool.set_jobs jobs;
   Pool.set_batch_size batch_size;
@@ -133,6 +152,8 @@ let apply_sweep_knobs jobs batch_size strict _keep_going retries task_timeout ca
   Pool.set_retries retries;
   Pool.set_task_timeout task_timeout;
   if no_cache then Runner.Store.disable () else Runner.Store.configure ~dir:cache_dir;
+  Chex86_harness.Trace.set_output trace_file;
+  Chex86_harness.Trace.set_metrics metrics_file;
   match Chex86_harness.Faultinject.arm_from_env () with
   | Ok _ -> ()
   | Error msg ->
@@ -201,9 +222,9 @@ let experiment_cmd =
   let targets = Chex86_harness.Experiments.all @ Chex86_harness.Ablations.all in
   let names = List.map fst targets in
   let experiment jobs batch_size strict keep_going retries task_timeout cache_dir no_cache
-      name =
+      trace_file metrics_file name =
     apply_sweep_knobs jobs batch_size strict keep_going retries task_timeout cache_dir
-      no_cache;
+      no_cache trace_file metrics_file;
     match List.assoc_opt name targets with
     | Some f ->
       print_endline (f ());
@@ -221,7 +242,8 @@ let experiment_cmd =
        ~doc:"Regenerate one of the paper's tables/figures (figure1..9, table1..4, security).")
     Term.(
       const experiment $ jobs_arg $ batch_size_arg $ strict_arg $ keep_going_arg
-      $ retries_arg $ task_timeout_arg $ cache_dir_arg $ no_cache_arg $ name_arg)
+      $ retries_arg $ task_timeout_arg $ cache_dir_arg $ no_cache_arg
+      $ trace_file_arg $ metrics_file_arg $ name_arg)
 
 (* Print the instrumented micro-op stream of a workload's first N
    macro-ops: what the decoder cracked and what the microcode
@@ -279,6 +301,26 @@ let trace_cmd =
        ~doc:"Print the instrumented micro-op stream of a workload's first macro-ops.")
     Term.(const trace $ workload_arg $ count_arg)
 
+(* Aggregate a --trace span file into per-stage latency histograms and a
+   per-source utilization table. *)
+let trace_summary_cmd =
+  let summary file =
+    match Chex86_harness.Trace.summarize_file file with
+    | Ok rendered -> print_endline rendered
+    | Error msg ->
+      Printf.eprintf "trace-summary: %s\n" msg;
+      exit 1
+  in
+  let file_arg =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"FILE")
+  in
+  Cmd.v
+    (Cmd.info "trace-summary"
+       ~doc:
+         "Summarize a --trace JSONL file: per-stage latency percentiles and \
+          per-worker utilization. Exits 1 on parse or structural errors.")
+    Term.(const summary $ file_arg)
+
 let () =
   let default = Term.(ret (const (`Help (`Pager, None)))) in
   exit
@@ -286,4 +328,4 @@ let () =
        (Cmd.group ~default
           (Cmd.info "chex86_sim" ~version:"1.0.0"
              ~doc:"CHEx86 capability-hardware simulator")
-          [ run_cmd; list_cmd; experiment_cmd; trace_cmd ]))
+          [ run_cmd; list_cmd; experiment_cmd; trace_cmd; trace_summary_cmd ]))

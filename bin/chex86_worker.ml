@@ -10,7 +10,20 @@ let () =
      ships only (kind, key, arg) strings, never code. *)
   Chex86_harness.Security.register_remote ();
   Chex86_harness.Runner.register_remote ();
-  match Array.to_list Sys.argv with
+  (* --trace FILE gives this worker a local span file of its own; it
+     then opts out of shipping spans back to the supervisor (the
+     explicit file sink takes precedence over collection). Without it,
+     spans are collected and piggybacked on Chunk_done whenever the
+     supervisor's request asks for them. *)
+  let args =
+    match Array.to_list Sys.argv with
+    | exe :: "--trace" :: file :: rest when file <> "" ->
+      Chex86_harness.Trace.set_src (Printf.sprintf "w%d" (Unix.getpid ()));
+      Chex86_harness.Trace.set_output (Some file);
+      exe :: rest
+    | args -> args
+  in
+  match args with
   | [ _; "--stdio" ] ->
     Chex86_harness.Remote.Worker.serve ~input:Unix.stdin ~output:Unix.stdout
   | [ _; "--listen"; port ] -> (
@@ -20,5 +33,5 @@ let () =
       Printf.eprintf "chex86_worker: invalid port %S\n%!" port;
       exit 2)
   | _ ->
-    prerr_endline "usage: chex86_worker (--stdio | --listen PORT)";
+    prerr_endline "usage: chex86_worker [--trace FILE] (--stdio | --listen PORT)";
     exit 2

@@ -38,7 +38,11 @@ let parse_args () =
 let () =
   let verbose = parse_args () in
   let slots, _stats, report =
-    Security.sweep_stats_supervised Chex86_exploits.Exploits.all
+    (* Root span: groups the suite sweep (and any retries inside it)
+       under one top-level node in trace-summary output. *)
+    Chex86_harness.Trace.with_span ~stage:"security-eval"
+      [ ("exploits", string_of_int (List.length Chex86_exploits.Exploits.all)) ]
+      (fun () -> Security.sweep_stats_supervised Chex86_exploits.Exploits.all)
   in
   let results = List.filter_map (fun (_, r) -> Result.to_option r) slots in
   if verbose then

@@ -21,7 +21,9 @@ let common_flags_doc =
   \  --no-cache          disable the on-disk result store\n\
   \  --workers N         shard sweeps over N spawned worker processes (0 = off)\n\
   \  --worker HOST:PORT  add a TCP worker peer (repeatable; overrides --workers)\n\
-  \  --heartbeat S       worker liveness deadline in seconds (default 30)"
+  \  --heartbeat S       worker liveness deadline in seconds (default 30)\n\
+  \  --trace FILE        write structured span events (JSONL) to FILE\n\
+  \  --metrics FILE      dump merged sweep counters/histograms to FILE as JSON at exit"
 
 (* [--flag=value] becomes [--flag; value] so every flag below accepts
    both spellings. *)
@@ -132,6 +134,16 @@ let parse_common args =
       set_heartbeat value;
       go rest
     | "--heartbeat" :: [] -> die "missing value for --heartbeat"
+    | "--trace" :: value :: rest ->
+      if value = "" then die "invalid --trace value: empty";
+      Trace.set_output (Some value);
+      go rest
+    | "--trace" :: [] -> die "missing value for --trace"
+    | "--metrics" :: value :: rest ->
+      if value = "" then die "invalid --metrics value: empty";
+      Trace.set_metrics (Some value);
+      go rest
+    | "--metrics" :: [] -> die "missing value for --metrics"
     | arg :: rest -> arg :: go rest
   in
   let rest = go (split_eq args) in

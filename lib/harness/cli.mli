@@ -3,9 +3,11 @@
     [parse_common args] strips the common sweep flags — [--jobs]/[-j],
     [--batch-size] (an integer or ['auto']), [--strict], [--keep-going],
     [--retries], [--task-timeout], [--cache-dir], [--no-cache],
-    [--workers], [--worker] (repeatable HOST:PORT), [--heartbeat] (each
-    also as [--flag=value]) — applies them to the process-wide knobs
-    ({!Pool}, {!Runner.Store}, {!Remote}), arms the fault-injection
+    [--workers], [--worker] (repeatable HOST:PORT), [--heartbeat],
+    [--trace FILE] (structured span events as JSONL), [--metrics FILE]
+    (merged sweep stats as JSON at exit) (each also as [--flag=value])
+    — applies them to the process-wide knobs ({!Pool},
+    {!Runner.Store}, {!Remote}, {!Trace}), arms the fault-injection
     plan from CHEX86_FAULT_RATE / CHEX86_FAULT_SEED /
     CHEX86_FAULT_KIND, and returns the remaining arguments. Malformed
     values print a one-line error and exit 1. The on-disk store

@@ -777,11 +777,16 @@ let security () =
   in
   let insn_spread =
     match List.assoc_opt "sweep.protected_macro_insns" stats.Pool.histograms with
-    | Some h ->
+    (* A merged-but-empty histogram (every task faulted, or a filtered
+       sweep ran zero exploits) must not print as a real all-zero
+       spread; [Histogram.pp] makes the emptiness explicit. *)
+    | Some h when Chex86_stats.Histogram.count h > 0 ->
       Printf.sprintf "Protected-run macro-ops per exploit: p50=%d p99=%d max=%d"
         (Chex86_stats.Histogram.percentile h 0.50)
         (Chex86_stats.Histogram.percentile h 0.99)
         (Chex86_stats.Histogram.max_value h)
+    | Some h ->
+      Format.asprintf "Protected-run macro-ops per exploit: %a" Chex86_stats.Histogram.pp h
     | None -> ""
   in
   String.concat "\n"

@@ -183,6 +183,16 @@ let merge_snapshots per_task =
   in
   { counters = Counter.of_snapshot counter_total; histograms }
 
+(* Telemetry boundary: fold a sweep's merged stats into the --metrics
+   accumulator.  Runs after the merge is complete, so it observes —
+   never perturbs — the deterministic totals.  Every map_stats* variant
+   (and Remote.sweep) calls this on its way out. *)
+let publish_metrics (stats : merged_stats) =
+  if Trace.metrics_on () then
+    Trace.metrics_absorb
+      ( Counter.group_snapshot stats.counters,
+        List.map (fun (n, h) -> (n, Histogram.snapshot h)) stats.histograms )
+
 (* Build a task-private context for [k]; reading the snapshots after the
    task body ran yields the mergeable per-task stats. *)
 let make_ctx k =
@@ -210,8 +220,12 @@ let map_stats ?jobs:j ~key f tasks =
   let jobs = match j with Some j -> max 1 j | None -> jobs () in
   let compute i =
     let k = key tasks.(i) in
+    let tid =
+      if Trace.on () then Trace.span_begin ~stage:"task" [ ("key", k) ] else 0
+    in
     let ctx, snapshots = make_ctx k in
-    let v = f tasks.(i) ctx in
+    let v = try f tasks.(i) ctx with e -> Trace.span_end tid; raise e in
+    Trace.span_end tid;
     let counter_snap, hist_snaps = snapshots () in
     (v, counter_snap, hist_snaps)
   in
@@ -219,6 +233,7 @@ let map_stats ?jobs:j ~key f tasks =
   let stats =
     merge_snapshots (Array.to_list (Array.map (fun (_, c, h) -> (c, h)) raw))
   in
+  publish_metrics stats;
   (Array.map (fun (v, _, _) -> v) raw, stats)
 
 (* --- batched scheduling ---------------------------------------------------- *)
@@ -300,24 +315,42 @@ let map_stats_batched ?jobs:j ?batch_size ~key f tasks =
   let per_chunk =
     run_indexed ~jobs (Array.length chunks) (fun ci ->
         let start, len = chunks.(ci) in
+        let cid =
+          if Trace.on () then
+            Trace.span_begin ~stage:"chunk"
+              [ ("chunk", string_of_int ci); ("tasks", string_of_int len) ]
+          else 0
+        in
         let counters, histogram, snapshots = make_chunk_stats () in
         let slots =
           Array.init len (fun k ->
               let i = start + k in
               let task_key = key tasks.(i) in
+              let tid =
+                if Trace.on () then
+                  Trace.span_begin ~parent:cid ~stage:"task" [ ("key", task_key) ]
+                else 0
+              in
               let ctx =
                 { key = task_key; rng = rng_of_key task_key; counters; histogram }
               in
-              try Ok (f tasks.(i) ctx)
-              with e -> Error (e, Printexc.get_raw_backtrace ()))
+              let slot =
+                try Ok (f tasks.(i) ctx)
+                with e -> Error (e, Printexc.get_raw_backtrace ())
+              in
+              Trace.span_end tid;
+              slot)
         in
-        (slots, snapshots ()))
+        let out = (slots, snapshots ()) in
+        Trace.span_end cid;
+        out)
   in
   let values =
     reraise_first (Array.init n (fun i -> (fst per_chunk.(i / batch)).(i mod batch)))
   in
   let stats = merge_snapshots (Array.to_list (Array.map snd per_chunk)) in
   chunk_counter stats ~chunks:(Array.length chunks);
+  publish_metrics stats;
   (values, stats)
 
 (* --- supervised tasks: contain the fault, report it, keep going ----------- *)
@@ -420,8 +453,14 @@ let render_fault_report ?(max_backtraces = 3) r =
 (* One supervised task: bounded retries, each attempt fenced by the
    injection hook and the cooperative deadline.  Never raises; the
    caller gets the classification plus the index of the last attempt. *)
-let attempt_task ~retries ~timeout ~key compute =
+let attempt_task ?(span_parent = 0) ~retries ~timeout ~key compute =
   let rec go attempt =
+    let tid =
+      if Trace.on () then
+        Trace.span_begin ~parent:span_parent ~stage:"task"
+          [ ("key", key); ("attempt", string_of_int attempt) ]
+      else 0
+    in
     let outcome =
       try
         set_deadline (Option.map (fun b -> now () +. b) timeout);
@@ -457,9 +496,14 @@ let attempt_task ~retries ~timeout ~key compute =
         set_deadline None;
         Error (Crashed { exn = Printexc.to_string e; backtrace })
     in
+    Trace.span_end tid;
     match outcome with
     | Ok _ -> (outcome, attempt)
-    | Error _ when attempt < retries -> go (attempt + 1)
+    | Error _ when attempt < retries ->
+      if Trace.on () then
+        Trace.instant ~parent:span_parent ~stage:"retry"
+          [ ("key", key); ("attempt", string_of_int (attempt + 1)) ];
+      go (attempt + 1)
     | Error _ -> (outcome, attempt)
   in
   go 0
@@ -555,6 +599,7 @@ let map_stats_supervised ?jobs:j ?retries ?task_timeout ~key f tasks =
              match outcome with Ok (_, c, h) -> Some (c, h) | Error _ -> None))
   in
   fault_counters report stats.counters;
+  publish_metrics stats;
   let results =
     Array.map
       (fun (outcome, _) -> Result.map (fun (v, _, _) -> v) outcome)
@@ -579,10 +624,20 @@ let map_supervised_batched ?jobs:j ?batch_size ?retries ?task_timeout ~key f tas
   let per_chunk =
     run_indexed ~jobs (Array.length chunks) (fun ci ->
         let start, len = chunks.(ci) in
-        Array.init len (fun k ->
-            let i = start + k in
-            attempt_task ~retries ~timeout ~key:(key tasks.(i))
-              (fun ~attempt:_ ~attempt_key:_ -> f tasks.(i))))
+        let cid =
+          if Trace.on () then
+            Trace.span_begin ~stage:"chunk"
+              [ ("chunk", string_of_int ci); ("tasks", string_of_int len) ]
+          else 0
+        in
+        let slots =
+          Array.init len (fun k ->
+              let i = start + k in
+              attempt_task ~span_parent:cid ~retries ~timeout ~key:(key tasks.(i))
+                (fun ~attempt:_ ~attempt_key:_ -> f tasks.(i)))
+        in
+        Trace.span_end cid;
+        slots)
   in
   let raw = Array.init n (fun i -> per_chunk.(i / batch).(i mod batch)) in
   let report = build_report ~chunks:(Array.length chunks) ~key tasks raw in
@@ -598,6 +653,12 @@ let map_stats_supervised_batched ?jobs:j ?batch_size ?retries ?task_timeout ~key
   let per_chunk =
     run_indexed ~jobs (Array.length chunks) (fun ci ->
         let start, len = chunks.(ci) in
+        let cid =
+          if Trace.on () then
+            Trace.span_begin ~stage:"chunk"
+              [ ("chunk", string_of_int ci); ("tasks", string_of_int len) ]
+          else 0
+        in
         (* Each attempt still gets a fresh private context (a faulted
            attempt's partial stats are discarded wholesale); completed
            tasks fold into one chunk-level accumulator so the
@@ -619,8 +680,8 @@ let map_stats_supervised_batched ?jobs:j ?batch_size ?retries ?task_timeout ~key
           Array.init len (fun k ->
               let i = start + k in
               let outcome, attempts =
-                attempt_task ~retries ~timeout ~key:(key tasks.(i))
-                  (fun ~attempt:_ ~attempt_key ->
+                attempt_task ~span_parent:cid ~retries ~timeout
+                  ~key:(key tasks.(i)) (fun ~attempt:_ ~attempt_key ->
                     let ctx, snapshots = make_ctx attempt_key in
                     let v = f tasks.(i) ctx in
                     (v, snapshots ()))
@@ -632,6 +693,7 @@ let map_stats_supervised_batched ?jobs:j ?batch_size ?retries ?task_timeout ~key
           Hashtbl.fold (fun name s acc -> (name, s) :: acc) acc_hists []
           |> List.sort (fun (a, _) (b, _) -> compare a b)
         in
+        Trace.span_end cid;
         (slots, (!acc_counters, hist_snaps)))
   in
   let raw = Array.init n (fun i -> (fst per_chunk.(i / batch)).(i mod batch)) in
@@ -639,4 +701,5 @@ let map_stats_supervised_batched ?jobs:j ?batch_size ?retries ?task_timeout ~key
   let stats = merge_snapshots (Array.to_list (Array.map snd per_chunk)) in
   fault_counters report stats.counters;
   chunk_counter stats ~chunks:report.chunks;
+  publish_metrics stats;
   (Array.map fst raw, stats, report)

@@ -106,6 +106,13 @@ val make_ctx : string -> ctx * (unit -> task_snapshots)
     any chunking of the same snapshots equivalent. *)
 val merge_snapshots : task_snapshots list -> merged_stats
 
+(** Fold a sweep's merged stats into the [--metrics] accumulator
+    ({!Trace.metrics_absorb}); a no-op unless {!Trace.metrics_on}.
+    Every [map_stats*] variant calls this after its merge; sweep
+    drivers that assemble [merged_stats] themselves (the remote
+    dispatch layer) must call it too. *)
+val publish_metrics : merged_stats -> unit
+
 (** [map_stats ~key f tasks] is [map], with each task given a private
     [ctx]; the coordinator merges all per-task stats in task order into
     the returned [merged_stats]. *)
@@ -219,8 +226,12 @@ val render_fault_report : ?max_backtraces:int -> fault_report -> string
     attempt (0-based, so [attempts_index + 1] tries were made). Attempt
     [a] receives [~attempt_key:(retry_key key a)]. Exposed for the
     remote worker, which must run tasks through the exact same fence to
-    keep remote stats bit-identical to in-process runs. *)
+    keep remote stats bit-identical to in-process runs. Emits one
+    ["task"] trace span per attempt (parented under [?span_parent],
+    default none) and a ["retry"] instant before each retry — both only
+    when {!Trace.on}[ ()]. *)
 val attempt_task :
+  ?span_parent:int ->
   retries:int ->
   timeout:float option ->
   key:string ->

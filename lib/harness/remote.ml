@@ -38,7 +38,9 @@ module Counter = Chex86_stats.Counter
 module Histogram = Chex86_stats.Histogram
 module Rng = Chex86_stats.Rng
 
-let protocol_version = 1
+(* v2: [request] gained the [trace] flag and Chunk_done's payload grew a
+   third field carrying the worker's collected trace spans. *)
+let protocol_version = 2
 
 (* --- process-wide knobs (CLI-set, argument-overridable) ------------------- *)
 
@@ -130,6 +132,15 @@ let tag_of_frame_type = function
   | Err -> 5
   | Shutdown -> 6
 
+let frame_type_name = function
+  | Hello -> "Hello"
+  | Run -> "Run"
+  | Result -> "Result"
+  | Chunk_done -> "Chunk_done"
+  | Beat -> "Beat"
+  | Err -> "Err"
+  | Shutdown -> "Shutdown"
+
 let frame_type_of_tag = function
   | 0 -> Some Hello
   | 1 -> Some Run
@@ -214,6 +225,9 @@ type request = {
   store_dir : string option;
   beat_every : float;
   plan : (string * Faultinject.directive) list;
+  trace : bool;
+      (* supervisor is tracing: collect span lines and ship them back
+         piggybacked on Chunk_done — no extra round-trip *)
 }
 
 type task_result = {
@@ -238,6 +252,11 @@ module Worker = struct
   let run_chunk output (req : request) =
     if req.plan = [] then Faultinject.disarm ()
     else Faultinject.arm (Faultinject.of_list req.plan);
+    (* Trace collection mirrors the supervisor's tracing state per
+       request; lines are tagged with this process's own src so the
+       streams stitch offline without id coordination. *)
+    if req.trace then Trace.set_src (Printf.sprintf "w%d" (Unix.getpid ()));
+    Trace.set_collect req.trace;
     apply_store_dir req.store_dir;
     match find_kind req.req_kind with
     | None ->
@@ -257,6 +276,16 @@ module Worker = struct
       Fun.protect
         ~finally:(fun () -> Pool.set_tick_hook None)
         (fun () ->
+          let cid =
+            if Trace.on () then
+              Trace.span_begin ~stage:"chunk"
+                [
+                  ("chunk", string_of_int req.chunk_id);
+                  ("attempt", string_of_int req.dispatch_attempt);
+                  ("tasks", string_of_int (Array.length req.keys));
+                ]
+            else 0
+          in
           Array.iteri
             (fun k key ->
               (* Injected mid-chunk worker death: SIGKILL leaves the
@@ -266,8 +295,8 @@ module Worker = struct
               then Unix.kill (Unix.getpid ()) Sys.sigkill;
               beat ();
               let outcome, attempts =
-                Pool.attempt_task ~retries:req.retries ~timeout:req.task_timeout
-                  ~key (fun ~attempt:_ ~attempt_key ->
+                Pool.attempt_task ~span_parent:cid ~retries:req.retries
+                  ~timeout:req.task_timeout ~key (fun ~attempt:_ ~attempt_key ->
                     let ctx, snapshots = Pool.make_ctx attempt_key in
                     let v = fn ~key ~arg:req.args.(k) ctx in
                     (v, snapshots ()))
@@ -277,8 +306,13 @@ module Worker = struct
               in
               send_frame output Result (Marshal.to_string tr []))
             req.keys;
+          Trace.span_end cid;
+          (* Spans drain after the chunk span closed, so the shipped
+             stream is self-contained; the Chunk_done frame itself is
+             the one event a traced worker cannot record. *)
+          let spans = Trace.drain_collected () in
           send_frame output Chunk_done
-            (Marshal.to_string (req.chunk_id, req.dispatch_attempt) []))
+            (Marshal.to_string (req.chunk_id, req.dispatch_attempt, spans) []))
 
   let serve ~input ~output =
     send_frame output Hello (string_of_int protocol_version);
@@ -341,7 +375,17 @@ type item = {
   mutable i_attempt : int;  (* dispatch attempt, not task attempt *)
   mutable i_indices : int array;  (* global indices still owed *)
   mutable i_errs : int;  (* Err frames this chunk has cost *)
+  mutable i_span : int;  (* open supervisor-side chunk span, 0 if none *)
 }
+
+(* A dispatch attempt's chunk span closes wherever the item leaves the
+   Busy state (completion, frame error, worker loss); resetting to the
+   null id makes the close idempotent. *)
+let end_item_span item =
+  if item.i_span <> 0 then begin
+    Trace.span_end item.i_span;
+    item.i_span <- 0
+  end
 
 type slot_state =
   | Unborn
@@ -430,7 +474,7 @@ let sweep ?batch_size ?retries ?task_timeout ?spec:spec_override ?heartbeat:hb_o
     (fun ci (start, len) ->
       Queue.add
         { i_chunk = ci; i_attempt = 0; i_indices = Array.init len (fun k -> start + k);
-          i_errs = 0 }
+          i_errs = 0; i_span = 0 }
         queue)
     chunks;
 
@@ -462,6 +506,7 @@ let sweep ?batch_size ?retries ?task_timeout ?spec:spec_override ?heartbeat:hb_o
     let stats = Pool.merge_snapshots [] in
     let report = Pool.build_report ~chunks:0 ~key tasks [||] in
     Pool.fault_counters report stats.Pool.counters;
+    Pool.publish_metrics stats;
     ([||], stats, report)
   end
   else begin
@@ -490,6 +535,10 @@ let sweep ?batch_size ?retries ?task_timeout ?spec:spec_override ?heartbeat:hb_o
       end
       else begin
         incr respawns;
+        if Trace.on () then
+          Trace.instant ~stage:"worker.respawn"
+            [ ("slot", string_of_int slot.sid);
+              ("restarts", string_of_int slot.restarts) ];
         slot.state <- Respawning (Pool.now () +. backoff_delay ~sid:slot.sid ~restarts:slot.restarts)
       end
     in
@@ -500,6 +549,10 @@ let sweep ?batch_size ?retries ?task_timeout ?spec:spec_override ?heartbeat:hb_o
         else begin
           match spawn_conn (Option.get exe) with
           | Ok conn ->
+            if Trace.on () then
+              Trace.instant ~stage:"worker.spawn"
+                [ ("slot", string_of_int slot.sid);
+                  ("pid", match conn.pid with Some p -> string_of_int p | None -> "-") ];
             slot.state <- Idle conn;
             slot.last_activity <- Pool.now ()
           | Error msg -> note_start_failure slot ("spawn failed: " ^ msg)
@@ -507,6 +560,10 @@ let sweep ?batch_size ?retries ?task_timeout ?spec:spec_override ?heartbeat:hb_o
       | Peer (h, p) -> (
         match connect_peer h p with
         | Ok conn ->
+          if Trace.on () then
+            Trace.instant ~stage:"worker.spawn"
+              [ ("slot", string_of_int slot.sid);
+                ("peer", Printf.sprintf "%s:%d" h p) ];
           slot.state <- Idle conn;
           slot.last_activity <- Pool.now ()
         | Error msg ->
@@ -514,6 +571,7 @@ let sweep ?batch_size ?retries ?task_timeout ?spec:spec_override ?heartbeat:hb_o
     in
 
     let requeue_or_fault item reason =
+      end_item_span item;
       let remaining =
         Array.of_list
           (List.filter (fun i -> outcomes.(i) = None) (Array.to_list item.i_indices))
@@ -549,6 +607,9 @@ let sweep ?batch_size ?retries ?task_timeout ?spec:spec_override ?heartbeat:hb_o
       | None -> ()
       | Some (conn, item_opt) ->
         incr loss_events;
+        if Trace.on () then
+          Trace.instant ~stage:"worker.kill"
+            [ ("slot", string_of_int slot.sid); ("reason", reason) ];
         (match conn.pid with
         | Some pid ->
           (try Unix.kill pid Sys.sigkill with Unix.Unix_error _ -> ());
@@ -564,6 +625,10 @@ let sweep ?batch_size ?retries ?task_timeout ?spec:spec_override ?heartbeat:hb_o
         else begin
           warn "worker %d: %s; respawning" slot.sid reason;
           incr respawns;
+          if Trace.on () then
+            Trace.instant ~stage:"worker.respawn"
+              [ ("slot", string_of_int slot.sid);
+                ("restarts", string_of_int slot.restarts) ];
           slot.state <-
             Respawning (Pool.now () +. backoff_delay ~sid:slot.sid ~restarts:slot.restarts)
         end
@@ -584,6 +649,7 @@ let sweep ?batch_size ?retries ?task_timeout ?spec:spec_override ?heartbeat:hb_o
           task_timeout = timeout;
           store_dir = !store_dir_provider ();
           beat_every = hb /. 4.;
+          trace = Trace.on ();
           plan =
             Array.to_list idxs
             |> List.filter_map (fun i ->
@@ -593,24 +659,45 @@ let sweep ?batch_size ?retries ?task_timeout ?spec:spec_override ?heartbeat:hb_o
         }
       in
       let payload = Marshal.to_string req [] in
-      match
-        Faultinject.transport_fault_for
-          ~keys:(Array.to_list req.keys)
-          ~attempt:item.i_attempt
-      with
-      | Some Faultinject.Drop_frame ->
-        (* Swallowed in transit: the worker stays silent on this chunk
-           and the heartbeat deadline recovers it. *)
-        ()
-      | Some (Faultinject.Delay_frame s) ->
-        Unix.sleepf s;
-        send_frame conn.fd Run payload
-      | Some Faultinject.Corrupt_frame ->
-        let b = encode_frame Run payload in
-        let pos = header_len + (String.length payload / 2) in
-        Bytes.set b pos (Char.chr (Char.code (Bytes.get b pos) lxor 0xff));
-        write_all conn.fd b
-      | Some _ | None -> send_frame conn.fd Run payload
+      if Trace.on () then
+        item.i_span <-
+          Trace.span_begin ~stage:"chunk"
+            [
+              ("chunk", string_of_int item.i_chunk);
+              ("attempt", string_of_int item.i_attempt);
+              ("tasks", string_of_int (Array.length idxs));
+            ];
+      let sent =
+        match
+          Faultinject.transport_fault_for
+            ~keys:(Array.to_list req.keys)
+            ~attempt:item.i_attempt
+        with
+        | Some Faultinject.Drop_frame ->
+          (* Swallowed in transit: the worker stays silent on this chunk
+             and the heartbeat deadline recovers it. *)
+          false
+        | Some (Faultinject.Delay_frame s) ->
+          Unix.sleepf s;
+          send_frame conn.fd Run payload;
+          true
+        | Some Faultinject.Corrupt_frame ->
+          let b = encode_frame Run payload in
+          let pos = header_len + (String.length payload / 2) in
+          Bytes.set b pos (Char.chr (Char.code (Bytes.get b pos) lxor 0xff));
+          write_all conn.fd b;
+          true
+        | Some _ | None ->
+          send_frame conn.fd Run payload;
+          true
+      in
+      if sent && Trace.on () then
+        Trace.instant ~parent:item.i_span ~stage:"frame.send"
+          [
+            ("type", frame_type_name Run);
+            ("chunk", string_of_int item.i_chunk);
+            ("bytes", string_of_int (String.length payload));
+          ]
     in
     let assign () =
       Array.iter
@@ -634,7 +721,9 @@ let sweep ?batch_size ?retries ?task_timeout ?spec:spec_override ?heartbeat:hb_o
       | Hello ->
         if payload <> string_of_int protocol_version then
           raise (Lost (Printf.sprintf "protocol version mismatch (worker says %S)" payload))
-      | Beat -> ()
+      | Beat ->
+        if Trace.on () then
+          Trace.instant ~stage:"worker.heartbeat" [ ("slot", string_of_int slot.sid) ]
       | Result -> (
         match (Marshal.from_string payload 0 : task_result) with
         | tr ->
@@ -642,8 +731,14 @@ let sweep ?batch_size ?retries ?task_timeout ?spec:spec_override ?heartbeat:hb_o
             outcomes.(tr.t_index) <- Some (tr.t_outcome, tr.t_attempts)
         | exception _ -> raise (Lost "unparseable Result frame"))
       | Chunk_done -> (
+        (* Stitch: the worker's collected span lines ride the payload's
+           third field; append them verbatim to our sink. *)
+        (match (Marshal.from_string payload 0 : int * int * string) with
+        | _, _, spans -> Trace.absorb_payload spans
+        | exception _ -> ());
         match item_opt with
         | Some item ->
+          end_item_span item;
           slot.state <- Idle conn;
           (* Defensive: a worker that skipped tasks still owes them. *)
           if Array.exists (fun i -> outcomes.(i) = None) item.i_indices then
@@ -653,6 +748,7 @@ let sweep ?batch_size ?retries ?task_timeout ?spec:spec_override ?heartbeat:hb_o
         incr frame_errors;
         match item_opt with
         | Some item ->
+          end_item_span item;
           slot.state <- Idle conn;
           item.i_errs <- item.i_errs + 1;
           if item.i_errs > 2 then
@@ -708,6 +804,13 @@ let sweep ?batch_size ?retries ?task_timeout ?spec:spec_override ?heartbeat:hb_o
             if Digest.string payload <> digest then
               raise (Lost "frame digest mismatch from worker");
             pos := !pos + header_len + flen;
+            if Trace.on () then
+              Trace.instant ~stage:"frame.recv"
+                [
+                  ("type", frame_type_name ftype);
+                  ("slot", string_of_int slot.sid);
+                  ("bytes", string_of_int flen);
+                ];
             handle_frame slot conn item_opt ftype payload
           end
         done;
@@ -824,6 +927,7 @@ let sweep ?batch_size ?retries ?task_timeout ?spec:spec_override ?heartbeat:hb_o
     Counter.incr ~by:!respawns c "remote.respawns";
     Counter.incr ~by:!frame_errors c "remote.frame_errors";
     Counter.incr ~by:(if !degraded then 1 else 0) c "remote.degraded";
+    Pool.publish_metrics stats;
     let results =
       Array.map (fun (outcome, _) -> Result.map (fun (v, _) -> v) outcome) raw
     in

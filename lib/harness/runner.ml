@@ -266,6 +266,7 @@ module Store = struct
     | Some path ->
       if not (Sys.file_exists path) then begin
         Atomic.incr misses;
+        if Trace.on () then Trace.instant ~stage:"store.miss" [ ("key", key) ];
         None
       end
       else begin
@@ -294,18 +295,21 @@ module Store = struct
         with
         | Ok run ->
           Atomic.incr hits;
+          if Trace.on () then Trace.instant ~stage:"store.hit" [ ("key", key) ];
           Some run
         | Error reason | (exception Scanf.Scan_failure reason) ->
           warn "discarding corrupt entry %s (%s)" path reason;
           (try Sys.remove path with Sys_error _ -> ());
           Atomic.incr discarded;
           Atomic.incr misses;
+          if Trace.on () then Trace.instant ~stage:"store.miss" [ ("key", key) ];
           None
         | exception e ->
           warn "discarding unreadable entry %s (%s)" path (Printexc.to_string e);
           (try Sys.remove path with Sys_error _ -> ());
           Atomic.incr discarded;
           Atomic.incr misses;
+          if Trace.on () then Trace.instant ~stage:"store.miss" [ ("key", key) ];
           None
       end
 
@@ -536,6 +540,9 @@ let () =
    was in flight. *)
 let prefetch_supervised ?jobs ?batch_size ?retries ?task_timeout job_list =
   let todo = dedup_jobs job_list in
+  Trace.with_span ~stage:"sweep"
+    [ ("kind", "bench"); ("tasks", string_of_int (Array.length todo)) ]
+  @@ fun () ->
   if Remote.enabled () && Array.length todo > 0 then begin
     register_remote ();
     let payloads, _stats, report =
@@ -573,6 +580,9 @@ let prefetch_supervised ?jobs ?batch_size ?retries ?task_timeout job_list =
 
 let prefetch ?jobs ?batch_size job_list =
   let todo = dedup_jobs job_list in
+  Trace.with_span ~stage:"sweep"
+    [ ("kind", "bench"); ("tasks", string_of_int (Array.length todo)) ]
+  @@ fun () ->
   let runs = Pool.map_batched ?jobs ?batch_size run_job todo in
   Array.iteri (fun i run -> ignore (memo_publish (job_key todo.(i)) run)) runs
 

@@ -57,6 +57,9 @@ let tally_result (ctx : Pool.ctx) r =
    bit-identical at any job count and batch size (modulo the
    [pool.chunks] dispatch counter). *)
 let sweep_stats ?config ?jobs ?batch_size exploits =
+  Trace.with_span ~stage:"sweep"
+    [ ("kind", "security"); ("tasks", string_of_int (List.length exploits)) ]
+  @@ fun () ->
   let results, stats =
     Pool.map_stats_batched ?jobs ?batch_size
       ~key:(fun (e : Exploit.t) -> e.Exploit.name)
@@ -96,6 +99,9 @@ let register_remote () =
    worker processes instead of domains — same results, but a wedged
    evaluation can also be killed at the heartbeat deadline. *)
 let sweep_stats_supervised ?config ?jobs ?batch_size ?retries ?task_timeout exploits =
+  Trace.with_span ~stage:"sweep"
+    [ ("kind", "security"); ("tasks", string_of_int (List.length exploits)) ]
+  @@ fun () ->
   if Remote.enabled () then begin
     register_remote ();
     let config = Option.value ~default:Runner.prediction config in

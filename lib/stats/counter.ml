@@ -79,5 +79,8 @@ let of_snapshot (s : snapshot) =
   absorb group s;
   group
 
+let json_of_snapshot (s : snapshot) : Json.t =
+  Json.Obj (List.map (fun (name, v) -> (name, Json.Int v)) s)
+
 let pp ppf group =
   List.iter (fun (name, v) -> Format.fprintf ppf "%-40s %d@." name v) (to_list group)

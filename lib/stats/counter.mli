@@ -45,4 +45,8 @@ val of_snapshot : snapshot -> group
 
 val snapshot_to_list : snapshot -> (string * int) list
 
+(** One JSON object, counter names as keys in sorted order — the
+    metrics-dump wire form. *)
+val json_of_snapshot : snapshot -> Json.t
+
 val pp : Format.formatter -> group -> unit

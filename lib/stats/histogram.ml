@@ -17,6 +17,12 @@ let create () =
   { buckets = Hashtbl.create 64; count = 0; sum = 0; min_v = max_int; max_v = min_int }
 
 let add ?(weight = 1) hist value =
+  (* A zero weight would still insert a bucket and widen min/max; a
+     negative one would decrement count/sum while min/max kept
+     widening — both corrupt the summary stats, so reject them loudly
+     (add_snapshot's silent-drop guard filters its input instead). *)
+  if weight <= 0 then
+    invalid_arg (Printf.sprintf "Histogram.add: weight %d <= 0" weight);
   (match Hashtbl.find_opt hist.buckets value with
   | Some cell -> cell := !cell + weight
   | None -> Hashtbl.add hist.buckets value (ref weight));
@@ -37,10 +43,14 @@ let sorted hist =
   Hashtbl.fold (fun v cell acc -> (v, !cell) :: acc) hist.buckets []
   |> List.sort compare
 
-(* Smallest value v such that at least [q] of the mass is <= v. *)
+(* Smallest value v such that at least [q] of the mass is <= v.  [q] is
+   clamped to [0, 1]: callers computing quantile positions from noisy
+   float arithmetic must not be able to walk past max_v (q > 1) or
+   below the distribution (q < 0, NaN). *)
 let percentile hist q =
   if hist.count = 0 then 0
   else begin
+    let q = if Float.is_nan q then 0. else Float.max 0. (Float.min 1. q) in
     let threshold = q *. float_of_int hist.count in
     let rec walk acc = function
       | [] -> hist.max_v
@@ -91,6 +101,17 @@ let of_snapshot (s : snapshot) =
   add_snapshot hist s;
   hist
 
+let json_of_snapshot (s : snapshot) : Json.t =
+  Json.Obj
+    [
+      ("n", Json.Int (List.fold_left (fun acc (_, w) -> acc + w) 0 s));
+      ("buckets", Json.List (List.map (fun (v, w) -> Json.List [ Json.Int v; Json.Int w ]) s));
+    ]
+
 let pp ppf hist =
-  Format.fprintf ppf "n=%d mean=%.2f min=%d max=%d p50=%d p99=%d" hist.count (mean hist)
-    (min_value hist) (max_value hist) (percentile hist 0.50) (percentile hist 0.99)
+  (* An empty histogram must not be printable as a real all-zero
+     distribution: min/max/p50/p99 have no value to report. *)
+  if hist.count = 0 then Format.fprintf ppf "n=0 (empty)"
+  else
+    Format.fprintf ppf "n=%d mean=%.2f min=%d max=%d p50=%d p99=%d" hist.count (mean hist)
+      (min_value hist) (max_value hist) (percentile hist 0.50) (percentile hist 0.99)

@@ -4,7 +4,9 @@ type t
 
 val create : unit -> t
 
-(** [add ?weight h v] records [weight] (default 1) occurrences of value [v]. *)
+(** [add ?weight h v] records [weight] (default 1) occurrences of value
+    [v]. Raises [Invalid_argument] if [weight <= 0]: a zero or negative
+    weight would corrupt the count/sum/min/max bookkeeping. *)
 val add : ?weight:int -> t -> int -> unit
 
 (** Number of samples recorded (sum of weights). *)
@@ -17,8 +19,9 @@ val min_value : t -> int
 val max_value : t -> int
 val mean : t -> float
 
-(** [percentile h q] with [q] in [0,1]: smallest value covering a [q]
-    fraction of the mass. 0 on an empty histogram. *)
+(** [percentile h q] with [q] in [0,1] (out-of-range and NaN [q] are
+    clamped into it): smallest value covering a [q] fraction of the
+    mass. 0 on an empty histogram. *)
 val percentile : t -> float -> int
 
 (** Most frequent value; 0 on an empty histogram. *)
@@ -48,4 +51,10 @@ val of_snapshot : snapshot -> t
 
 val snapshot_to_list : snapshot -> (int * int) list
 
+(** [{"n": total weight, "buckets": [[value, weight], ...]}], buckets in
+    ascending value order — the metrics-dump wire form. *)
+val json_of_snapshot : snapshot -> Json.t
+
+(** Summary line; an empty histogram prints ["n=0 (empty)"] so it is
+    never mistaken for a real all-zero distribution. *)
 val pp : Format.formatter -> t -> unit

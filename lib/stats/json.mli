@@ -1,0 +1,31 @@
+(** Minimal JSON values: emission and parsing for the telemetry layer.
+
+    Covers the subset the trace/metrics emitters produce — objects,
+    arrays, strings, ints, floats, booleans, null. Non-finite floats
+    emit as [null]. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+(** Compact single-line rendering (no extra whitespace). *)
+val to_string : t -> string
+
+(** Parse one JSON value; the whole input must be consumed (trailing
+    whitespace allowed). Never raises. *)
+val of_string : string -> (t, string) result
+
+(** [member k v] is the field [k] of an object, [None] otherwise. *)
+val member : string -> t -> t option
+
+val to_int_opt : t -> int option
+
+(** Ints coerce to floats. *)
+val to_float_opt : t -> float option
+
+val to_string_opt : t -> string option

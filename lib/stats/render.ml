@@ -24,20 +24,29 @@ let pad align width s =
 
 (* [table ~header rows] renders rows of string cells under a header, each
    column sized to its widest cell.  Numeric-looking cells are
-   right-aligned. *)
+   right-aligned.  Ragged rows are padded with empty cells up to the
+   widest row: widths are computed over every row, so a short row
+   rendered short would leave its cells misaligned under the
+   separator. *)
 let table ~header rows =
   let all = header :: rows in
   let columns = List.fold_left (fun acc row -> max acc (List.length row)) 0 all in
-  let widths = Array.make columns 0 in
+  let widths = Array.make (max 1 columns) 0 in
   List.iter
     (fun row ->
       List.iteri (fun i cell -> widths.(i) <- max widths.(i) (String.length cell)) row)
     all;
+  (* Right-align only cells that contain an actual digit: bare "-", "e"
+     or "+" placeholders are words, not numbers. *)
   let numeric s =
     s <> ""
     && String.for_all (fun c -> (c >= '0' && c <= '9') || String.contains ".%xX-+e" c) s
+    && String.exists (fun c -> c >= '0' && c <= '9') s
   in
   let render_row row =
+    let row =
+      row @ List.init (max 0 (columns - List.length row)) (fun _ -> "")
+    in
     List.mapi
       (fun i cell -> pad (if numeric cell then Right else Left) widths.(i) cell)
       row

@@ -3,8 +3,9 @@
 (** Boxed section title. *)
 val banner : string -> string
 
-(** [table ~header rows] column-aligns string cells; numeric-looking cells
-    are right-aligned. *)
+(** [table ~header rows] column-aligns string cells; numeric-looking
+    cells (containing at least one digit) are right-aligned. Rows
+    shorter than the widest row are padded with empty cells. *)
 val table : header:string list -> string list list -> string
 
 (** Labelled horizontal bar chart, scaled to the largest value. *)

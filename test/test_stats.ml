@@ -53,6 +53,40 @@ let test_histogram_weighted () =
   Alcotest.(check int) "p50 dominated by heavy bucket" 5 (Histogram.percentile h 0.5);
   Alcotest.(check int) "p100 reaches max" 100 (Histogram.percentile h 1.0)
 
+(* Regression: a zero/negative weight used to corrupt count/sum/min/max
+   silently; it must be rejected loudly now. *)
+let test_histogram_weight_rejected () =
+  let h = Histogram.create () in
+  let raises w =
+    match Histogram.add ~weight:w h 5 with
+    | () -> false
+    | exception Invalid_argument _ -> true
+  in
+  Alcotest.(check bool) "weight 0 rejected" true (raises 0);
+  Alcotest.(check bool) "weight -3 rejected" true (raises (-3));
+  Alcotest.(check int) "histogram untouched by rejected adds" 0 (Histogram.count h);
+  Alcotest.(check int) "max untouched" 0 (Histogram.max_value h)
+
+(* Regression: percentile used to walk past max on q > 1 (returning
+   whatever the bucket walk fell off to) and misbehave on NaN. *)
+let test_histogram_percentile_clamped () =
+  let h = Histogram.create () in
+  List.iter (Histogram.add h) [ 1; 2; 3 ];
+  Alcotest.(check int) "q > 1 clamps to max" 3 (Histogram.percentile h 1.5);
+  Alcotest.(check int) "q < 0 clamps to min" 1 (Histogram.percentile h (-0.5));
+  Alcotest.(check int) "NaN q treated as 0" 1 (Histogram.percentile h Float.nan)
+
+(* Regression: an empty histogram used to print n=0 with all-zero
+   min/max/percentiles — indistinguishable from a real zero-valued
+   distribution. *)
+let test_histogram_empty_pp () =
+  let h = Histogram.create () in
+  Alcotest.(check string) "empty pp" "n=0 (empty)" (Format.asprintf "%a" Histogram.pp h);
+  Histogram.add h 7;
+  Alcotest.(check bool) "non-empty pp has stats" true
+    (let s = Format.asprintf "%a" Histogram.pp h in
+     String.length s > 0 && s <> "n=0 (empty)")
+
 let qcheck_histogram_percentile_monotone =
   QCheck.Test.make ~name:"histogram percentiles are monotone"
     QCheck.(list_of_size (Gen.int_range 1 50) (int_range (-100) 100))
@@ -125,6 +159,43 @@ let test_render_bars () =
 let test_render_percent () =
   Alcotest.(check string) "percent format" "12.3%" (Render.percent 0.123)
 
+(* Regression: a row shorter than the widest used to render short,
+   leaving its cells misaligned under the separator; it must be padded
+   with empty cells to the full column count. *)
+let test_render_table_ragged () =
+  let s =
+    Render.table ~header:[ "a"; "b"; "c" ] [ [ "x" ]; [ "y"; "2" ]; [ "z"; "3"; "4" ] ]
+  in
+  let lines = String.split_on_char '\n' s in
+  Alcotest.(check int) "header + separator + 3 rows" 5 (List.length lines);
+  let w = String.length (List.hd lines) in
+  List.iter
+    (fun l -> Alcotest.(check int) "ragged rows padded to full width" w (String.length l))
+    lines
+
+(* Regression: bare "-", "e", "+" placeholder cells used to pass the
+   numeric heuristic and right-align; they are words, not numbers. *)
+let test_render_table_placeholder_alignment () =
+  let s = Render.table ~header:[ "name"; "val" ] [ [ "-"; "10" ]; [ "e"; "+" ] ] in
+  (match String.split_on_char '\n' s with
+  | _ :: _ :: row1 :: row2 :: _ ->
+    Alcotest.(check char) "bare - left-aligns" '-' row1.[0];
+    Alcotest.(check char) "bare e left-aligns" 'e' row2.[0];
+    (* "10" is numeric: right-aligned, so the val column's last char. *)
+    Alcotest.(check char) "numeric right-aligns" '0' row1.[String.length row1 - 1]
+  | _ -> Alcotest.fail "unexpected table shape");
+  let s2 = Render.table ~header:[ "n" ] [ [ "-12" ]; [ "1e9" ]; [ "+4" ] ] in
+  (match String.split_on_char '\n' s2 with
+  | _ :: _ :: rows ->
+    List.iter
+      (fun row ->
+        Alcotest.(check bool)
+          (Printf.sprintf "%S right-aligns (has digits)" row)
+          true
+          (String.length row = 3 && row.[String.length row - 1] <> ' '))
+      rows
+  | _ -> Alcotest.fail "unexpected table shape")
+
 let () =
   Alcotest.run "stats"
     [
@@ -138,6 +209,9 @@ let () =
         [
           Alcotest.test_case "basics" `Quick test_histogram_basics;
           Alcotest.test_case "weighted" `Quick test_histogram_weighted;
+          Alcotest.test_case "weight <= 0 rejected" `Quick test_histogram_weight_rejected;
+          Alcotest.test_case "percentile clamped" `Quick test_histogram_percentile_clamped;
+          Alcotest.test_case "empty pp" `Quick test_histogram_empty_pp;
           QCheck_alcotest.to_alcotest qcheck_histogram_percentile_monotone;
           QCheck_alcotest.to_alcotest qcheck_histogram_mean_bounded;
         ] );
@@ -151,6 +225,9 @@ let () =
       ( "render",
         [
           Alcotest.test_case "table" `Quick test_render_table;
+          Alcotest.test_case "table ragged rows" `Quick test_render_table_ragged;
+          Alcotest.test_case "table placeholder alignment" `Quick
+            test_render_table_placeholder_alignment;
           Alcotest.test_case "bars" `Quick test_render_bars;
           Alcotest.test_case "percent" `Quick test_render_percent;
         ] );
