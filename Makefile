@@ -4,7 +4,8 @@
 #   make build   compile everything
 #   make test    dune runtest only
 
-.PHONY: all build test smoke fault-smoke remote-smoke trace-smoke check clean
+.PHONY: all build test smoke fault-smoke remote-smoke trace-smoke \
+	security-matrix check clean
 
 all: build
 
@@ -65,7 +66,28 @@ trace-smoke: build
 	grep -q '"src":"w' /tmp/chex86-trace.jsonl
 	grep -q '"pool.ok":' /tmp/chex86-metrics.json
 
-check: build test smoke fault-smoke remote-smoke trace-smoke
+# Golden detection matrix: the generated-campaign sweep's
+# per-(family x allocator x configuration) matrix must be byte-identical
+# to the checked-in golden file — serially, sharded over domains, and
+# through spawned worker processes (same seed, same corpus).  Regenerate
+# the golden file with:
+#   security_eval --campaign-matrix --matrix-seed 1 --matrix-per-family 4 \
+#     --matrix-out test/golden/campaign_matrix.json
+security-matrix: build
+	./_build/default/bin/security_eval.exe --campaign-matrix \
+		--matrix-seed 1 --matrix-per-family 4 \
+		--matrix-out /tmp/chex86-campaign-matrix.json > /dev/null
+	cmp test/golden/campaign_matrix.json /tmp/chex86-campaign-matrix.json
+	./_build/default/bin/security_eval.exe --campaign-matrix \
+		--matrix-seed 1 --matrix-per-family 4 --jobs 3 --batch-size 2 \
+		--matrix-out /tmp/chex86-campaign-matrix-sharded.json > /dev/null
+	cmp test/golden/campaign_matrix.json /tmp/chex86-campaign-matrix-sharded.json
+	./_build/default/bin/security_eval.exe --campaign-matrix \
+		--matrix-seed 1 --matrix-per-family 4 --workers 2 \
+		--matrix-out /tmp/chex86-campaign-matrix-workers.json > /dev/null
+	cmp test/golden/campaign_matrix.json /tmp/chex86-campaign-matrix-workers.json
+
+check: build test smoke fault-smoke remote-smoke trace-smoke security-matrix
 
 clean:
 	dune clean

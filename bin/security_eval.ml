@@ -19,24 +19,92 @@ module Security = Chex86_harness.Security
 module Pool = Chex86_harness.Pool
 module Cli = Chex86_harness.Cli
 module Exploit = Chex86_exploits.Exploit
+module Campaign = Chex86_exploits.Campaign
+
+type opts = {
+  verbose : bool;
+  campaign_matrix : bool;
+  matrix_out : string option;
+  matrix_seed : int;
+  matrix_per_family : int;
+}
 
 let parse_args () =
   let verbose = ref false in
+  let campaign_matrix = ref false in
+  let matrix_out = ref None in
+  let matrix_seed = ref 1 in
+  let matrix_per_family = ref 12 in
+  let usage =
+    "expected --verbose, --campaign-matrix [--matrix-out FILE] [--matrix-seed N] \
+     [--matrix-per-family N] plus:"
+  in
   let rec go = function
     | [] -> ()
     | ("-v" | "--verbose") :: rest ->
       verbose := true;
       go rest
+    | "--campaign-matrix" :: rest ->
+      campaign_matrix := true;
+      go rest
+    | "--matrix-out" :: file :: rest ->
+      matrix_out := Some file;
+      go rest
+    | "--matrix-seed" :: n :: rest ->
+      matrix_seed := int_of_string n;
+      go rest
+    | "--matrix-per-family" :: n :: rest ->
+      matrix_per_family := int_of_string n;
+      go rest
     | arg :: _ ->
-      Printf.eprintf "unknown argument %S (expected --verbose plus:)\n%s\n" arg
-        Cli.common_flags_doc;
+      Printf.eprintf "unknown argument %S (%s)\n%s\n" arg usage Cli.common_flags_doc;
       exit 1
   in
   go (Cli.parse_common (List.tl (Array.to_list Sys.argv)));
-  !verbose
+  {
+    verbose = !verbose;
+    campaign_matrix = !campaign_matrix;
+    matrix_out = !matrix_out;
+    matrix_seed = !matrix_seed;
+    matrix_per_family = !matrix_per_family;
+  }
+
+(* The three matrix columns of the campaign evaluation: no protection,
+   microcode always-on, and the prediction-driven scheme. *)
+let matrix_configs =
+  [
+    Runner.insecure;
+    Runner.Chex (Chex86.Variant.make Chex86.Variant.Microcode_always_on);
+    Runner.prediction;
+  ]
+
+let run_campaign_matrix opts =
+  let campaigns =
+    Campaign.corpus ~seed:opts.matrix_seed ~per_family:opts.matrix_per_family
+  in
+  let matrix =
+    Chex86_harness.Trace.with_span ~stage:"campaign-matrix"
+      [ ("campaigns", string_of_int (List.length campaigns)) ]
+      (fun () -> Security.campaign_matrix ~configs:matrix_configs campaigns)
+  in
+  print_string (Security.render_matrix matrix);
+  let json = Chex86_stats.Json.to_string (Security.matrix_to_json matrix) ^ "\n" in
+  (match opts.matrix_out with
+  | Some file ->
+    let oc = open_out file in
+    Fun.protect
+      ~finally:(fun () -> close_out_noerr oc)
+      (fun () -> output_string oc json)
+  | None -> ());
+  Cli.exit_for_faults ()
 
 let () =
-  let verbose = parse_args () in
+  let opts = parse_args () in
+  if opts.campaign_matrix then begin
+    run_campaign_matrix opts;
+    exit 0
+  end;
+  let verbose = opts.verbose in
   let slots, _stats, report =
     (* Root span: groups the suite sweep (and any retries inside it)
        under one top-level node in trace-summary output. *)

@@ -33,8 +33,9 @@ let classify_outcome = function
    profiler fed with retired instructions and data accesses. *)
 let run ?(variant = Variant.default) ?(config = Machine.Config.default)
     ?(max_insns = 50_000_000) ?(timing = true) ?(with_checker = false)
-    ?(configure = fun (_ : Monitor.t) -> ()) ?profile_interval program =
-  let proc = Os.Process.load program in
+    ?(configure = fun (_ : Monitor.t) -> ()) ?profile_interval
+    ?(heap = Os.Allocator.Glibc) program =
+  let proc = Os.Process.load ~heap program in
   let hooks = Machine.Hooks.none () in
   let sim = Machine.Simulator.create ~config ~hooks proc in
   let monitor =

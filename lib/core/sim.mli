@@ -20,7 +20,7 @@ type run = {
     [timing:false] skips the cycle model; [with_checker] attaches the
     hardware checker; [configure] runs against the monitor before the
     simulation starts; [profile_interval] attaches a Fig 3 heap
-    profiler. *)
+    profiler; [heap] selects the allocator personality. *)
 val run :
   ?variant:Variant.t ->
   ?config:Chex86_machine.Config.t ->
@@ -29,5 +29,6 @@ val run :
   ?with_checker:bool ->
   ?configure:(Monitor.t -> unit) ->
   ?profile_interval:int ->
+  ?heap:Chex86_os.Allocator.personality ->
   Chex86_isa.Program.t ->
   run

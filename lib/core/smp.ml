@@ -40,6 +40,7 @@ type result = {
   counters : Chex86_stats.Counter.group;
   cap_invalidations : int;
   alias_invalidations : int;
+  proc : Os.Process.t;
 }
 
 (* Each hardware thread gets a 1 MB stack carved below the previous
@@ -50,10 +51,11 @@ let stack_top_for tid = Chex86_isa.Program.stack_top - (tid * (1 lsl 20))
    [quantum] is the number of macro-ops a core executes per scheduler
    turn (the shared-state machinery must be interleaving-invariant). *)
 let run ?(variant = Variant.default) ?(config = Machine.Config.default)
-    ?(max_insns = 50_000_000) ?(timing = true) ?(quantum = 1) ~threads program =
+    ?(max_insns = 50_000_000) ?(timing = true) ?(quantum = 1)
+    ?(heap = Os.Allocator.Glibc) ~threads program =
   if quantum < 1 then invalid_arg "Smp.run: quantum < 1";
   if threads = [] then invalid_arg "Smp.run: no thread entry points";
-  let proc = Os.Process.load program in
+  let proc = Os.Process.load ~heap program in
   let counters = proc.Os.Process.counters in
   let shared = Monitor.make_shared counters in
   let cores =
@@ -84,6 +86,7 @@ let run ?(variant = Variant.default) ?(config = Machine.Config.default)
       counters;
       cap_invalidations = Chex86_stats.Counter.get counters "bus.cap_invalidations";
       alias_invalidations = Chex86_stats.Counter.get counters "bus.alias_invalidations";
+      proc;
     }
   in
   (* Round-robin interleaving, one macro-op per turn. *)

@@ -17,6 +17,7 @@ type result = {
   counters : Chex86_stats.Counter.group;
   cap_invalidations : int;
   alias_invalidations : int;
+  proc : Chex86_os.Process.t;  (** shared process image, for post-mortem reads *)
 }
 
 (** Private 1 MB stack region of hardware thread [tid]. *)
@@ -24,13 +25,14 @@ val stack_top_for : int -> int
 
 (** [run ~threads program] — [threads] are the entry labels, one per
     hardware thread, interleaved round-robin [quantum] macro-ops at a
-    time (default 1). *)
+    time (default 1).  [heap] selects the allocator personality. *)
 val run :
   ?variant:Variant.t ->
   ?config:Chex86_machine.Config.t ->
   ?max_insns:int ->
   ?timing:bool ->
   ?quantum:int ->
+  ?heap:Chex86_os.Allocator.personality ->
   threads:string list ->
   Chex86_isa.Program.t ->
   result

@@ -64,14 +64,18 @@ let of_sim_result program proc ~shadow_bytes ~profile
   }
 
 (* Execute [program] under [config].  [timing:false] runs the functional
-   engine only (used for the security sweep, which needs no cycles). *)
+   engine only (used for the security sweep, which needs no cycles).
+   [heap] selects the allocator personality; the ASan baseline ignores
+   it (ASan interposes its own redzone allocator). *)
 let run_program ?(timing = true) ?(max_insns = 50_000_000) ?(profile = false)
-    ?(configure = fun (_ : Chex86.Monitor.t) -> ()) config program =
+    ?(configure = fun (_ : Chex86.Monitor.t) -> ())
+    ?(heap = Os.Allocator.Glibc) config program =
   match config with
   | Chex variant ->
     let profile_interval = if profile then Some 100_000 else None in
     let run =
-      Chex86.Sim.run ~variant ~max_insns ~timing ~configure ?profile_interval program
+      Chex86.Sim.run ~variant ~max_insns ~timing ~configure ?profile_interval ~heap
+        program
     in
     let outcome =
       match run.Chex86.Sim.outcome with
@@ -109,6 +113,55 @@ let run_program ?(timing = true) ?(max_insns = 50_000_000) ?(profile = false)
       resident_bytes = result.resident_bytes;
       mem_bytes = result.mem_bytes;
       pwned = read_pwned proc program;
+      profile = None;
+    }
+
+(* Execute [program] on the SMP driver, one hardware thread per entry
+   label.  Used by the cross-core exploit campaigns; the per-core
+   pipeline totals are folded into [cycles]/[macro_insns], and the uop /
+   memory-traffic fields (single-engine notions) are reported as 0.  The
+   ASan baseline has no SMP monitor, so Asan configs report [Faulted]
+   rather than silently running unprotected. *)
+let run_threads ?(timing = false) ?(max_insns = 50_000_000)
+    ?(heap = Os.Allocator.Glibc) ~quantum ~threads config program =
+  match config with
+  | Chex variant ->
+    let r = Chex86.Smp.run ~variant ~max_insns ~timing ~quantum ~heap ~threads program in
+    let outcome =
+      match r.Chex86.Smp.outcome with
+      | Chex86.Smp.Completed -> Completed
+      | Chex86.Smp.Violation_detected { kind; core = _ } -> Blocked kind
+      | Chex86.Smp.Heap_abort { message; core = _ } -> Aborted message
+      | Chex86.Smp.Guest_fault { message; core = _ } -> Faulted message
+      | Chex86.Smp.Budget_exhausted -> Budget_exhausted
+    in
+    {
+      outcome;
+      macro_insns = r.Chex86.Smp.macro_insns;
+      uops = 0;
+      uops_injected = 0;
+      uops_killed = 0;
+      cycles = r.Chex86.Smp.cycles;
+      counters = r.Chex86.Smp.counters;
+      shadow_bytes = 0;
+      resident_bytes = 0;
+      mem_bytes = 0;
+      pwned = read_pwned r.Chex86.Smp.proc program;
+      profile = None;
+    }
+  | Asan ->
+    {
+      outcome = Faulted "ASan baseline does not support SMP runs";
+      macro_insns = 0;
+      uops = 0;
+      uops_injected = 0;
+      uops_killed = 0;
+      cycles = 0;
+      counters = Chex86_stats.Counter.create_group ();
+      shadow_bytes = 0;
+      resident_bytes = 0;
+      mem_bytes = 0;
+      pwned = false;
       profile = None;
     }
 

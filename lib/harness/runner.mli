@@ -29,11 +29,29 @@ type run = {
   profile : Chex86_os.Heap_profile.report option;
 }
 
+(** [heap] selects the allocator personality (default [Glibc]); the
+    ASan baseline ignores it. *)
 val run_program :
   ?timing:bool ->
   ?max_insns:int ->
   ?profile:bool ->
   ?configure:(Chex86.Monitor.t -> unit) ->
+  ?heap:Chex86_os.Allocator.personality ->
+  config ->
+  Chex86_isa.Program.t ->
+  run
+
+(** Execute on the SMP driver ({!Chex86.Smp.run}): one hardware thread
+    per entry label in [threads], interleaved round-robin [quantum]
+    macro-ops at a time.  Uop and memory-traffic fields are reported as
+    0 (per-engine notions); an [Asan] config yields [Faulted] — the
+    ASan baseline has no SMP monitor. *)
+val run_threads :
+  ?timing:bool ->
+  ?max_insns:int ->
+  ?heap:Chex86_os.Allocator.personality ->
+  quantum:int ->
+  threads:string list ->
   config ->
   Chex86_isa.Program.t ->
   run

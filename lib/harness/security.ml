@@ -11,14 +11,22 @@ type result = {
   under_protection : Runner.run;
 }
 
-let evaluate ?(config = Runner.prediction) (exploit : Exploit.t) =
-  let insecure =
-    Runner.run_program ~timing:false ~max_insns:2_000_000 Runner.insecure
+(* One run of an exploit under one configuration, honouring the
+   exploit's allocator personality and execution mode (single-core Sim
+   vs. the SMP driver for cross-core campaigns). *)
+let run_exploit config (exploit : Exploit.t) =
+  match exploit.Exploit.execution with
+  | Exploit.Single_core ->
+    Runner.run_program ~timing:false ~max_insns:2_000_000 ~heap:exploit.Exploit.heap
+      config (exploit.build ())
+  | Exploit.Multi_core { threads; quantum } ->
+    Runner.run_threads ~timing:false ~max_insns:2_000_000 ~heap:exploit.Exploit.heap
+      ~quantum ~threads config
       (exploit.build ())
-  in
-  let under_protection =
-    Runner.run_program ~timing:false ~max_insns:2_000_000 config (exploit.build ())
-  in
+
+let evaluate ?(config = Runner.prediction) (exploit : Exploit.t) =
+  let insecure = run_exploit Runner.insecure exploit in
+  let under_protection = run_exploit config exploit in
   { exploit; insecure; under_protection }
 
 let blocked result =
@@ -35,12 +43,25 @@ let blocked_as_expected result =
    should see the corruption. *)
 let corruption_prevented result = not result.under_protection.Runner.pwned
 
+(* Outcome bucket of a protected run.  A heap abort is the *allocator*
+   stopping the attack, not the protection scheme detecting it — the
+   [sweep.outcome.*] counters keep the two separate (folding them into
+   one bucket hid allocator saves as detections). *)
+let outcome_bucket = function
+  | Runner.Completed -> "completed"
+  | Runner.Blocked _ -> "violation"
+  | Runner.Aborted _ -> "heap_abort"
+  | Runner.Faulted _ -> "faulted"
+  | Runner.Budget_exhausted -> "budget_exhausted"
+
 let tally_result (ctx : Pool.ctx) r =
   let c = ctx.Pool.counters in
   Chex86_stats.Counter.incr c "sweep.total";
   if blocked r then Chex86_stats.Counter.incr c "sweep.blocked";
   if blocked_as_expected r then Chex86_stats.Counter.incr c "sweep.expected_class";
   if corruption_prevented r then Chex86_stats.Counter.incr c "sweep.prevented";
+  Chex86_stats.Counter.incr c
+    ("sweep.outcome." ^ outcome_bucket r.under_protection.Runner.outcome);
   (match r.under_protection.Runner.outcome with
   | Runner.Blocked kind ->
     Chex86_stats.Counter.incr c ("sweep.class." ^ Chex86.Violation.class_name kind)
@@ -168,6 +189,136 @@ let summarize suite results =
            (fun r -> match r.insecure.Runner.outcome with Runner.Aborted _ -> true | _ -> false)
            mine);
   }
+
+(* --- campaign detection matrices ------------------------------------------ *)
+
+module Campaign = Chex86_exploits.Campaign
+
+(* One (family x allocator x config) cell of a detection matrix. *)
+type matrix_cell = {
+  total : int;
+  detected : int;  (* a security violation was raised *)
+  expected_class : int;  (* ... of the campaign's expected class *)
+  aborted : int;  (* the allocator's own integrity check fired *)
+  missed : int;  (* completed with the pwned flag set *)
+  benign : int;  (* completed without corrupting *)
+  undetermined : int;  (* faulted, budget-exhausted, or sweep fault *)
+}
+
+let empty_cell =
+  {
+    total = 0;
+    detected = 0;
+    expected_class = 0;
+    aborted = 0;
+    missed = 0;
+    benign = 0;
+    undetermined = 0;
+  }
+
+let add_run cell (exploit : Exploit.t) (run : Runner.run) =
+  let cell = { cell with total = cell.total + 1 } in
+  match run.Runner.outcome with
+  | Runner.Blocked kind ->
+    {
+      cell with
+      detected = cell.detected + 1;
+      expected_class =
+        (cell.expected_class
+        + if Exploit.matches exploit.Exploit.expected kind then 1 else 0);
+    }
+  | Runner.Aborted _ -> { cell with aborted = cell.aborted + 1 }
+  | Runner.Completed ->
+    if run.Runner.pwned then { cell with missed = cell.missed + 1 }
+    else { cell with benign = cell.benign + 1 }
+  | Runner.Faulted _ | Runner.Budget_exhausted ->
+    { cell with undetermined = cell.undetermined + 1 }
+
+let add_fault cell =
+  { cell with total = cell.total + 1; undetermined = cell.undetermined + 1 }
+
+(* Per-(family x allocator x config) detection matrix over a campaign
+   corpus.  Each config is one supervised sweep over the synthesized
+   exploits, so the evaluations shard over the domain pool — or over
+   remote workers when configured — and rows are folded serially in
+   deterministic (family, allocator, config) order: the matrix is
+   bit-identical at any jobs / batch-size / workers geometry. *)
+let campaign_matrix ?jobs ?batch_size ?retries ?task_timeout ~configs campaigns =
+  let exploits = List.map Campaign.to_exploit campaigns in
+  let cells = Hashtbl.create 64 in
+  let bump key f =
+    Hashtbl.replace cells key (f (Option.value ~default:empty_cell (Hashtbl.find_opt cells key)))
+  in
+  List.iter
+    (fun config ->
+      let results, _stats, _report =
+        sweep_stats_supervised ~config ?jobs ?batch_size ?retries ?task_timeout exploits
+      in
+      List.iter2
+        (fun campaign (exploit, outcome) ->
+          let key =
+            ( Campaign.family campaign,
+              Chex86_os.Allocator.personality_name campaign.Campaign.alloc,
+              Runner.config_name config )
+          in
+          match outcome with
+          | Ok r -> bump key (fun cell -> add_run cell exploit r.under_protection)
+          | Error (_ : Pool.fault) -> bump key add_fault)
+        campaigns results)
+    configs;
+  (* deterministic row order: family, then allocator, then config order
+     as given *)
+  List.concat_map
+    (fun family ->
+      List.concat_map
+        (fun alloc ->
+          List.filter_map
+            (fun config ->
+              let key = (family, alloc, Runner.config_name config) in
+              Option.map (fun cell -> (key, cell)) (Hashtbl.find_opt cells key))
+            configs)
+        [ "glibc"; "seg" ])
+    Campaign.families
+
+let render_matrix matrix =
+  Chex86_stats.Render.table
+    ~header:
+      [ "family"; "heap"; "configuration"; "total"; "detected"; "expected-class";
+        "aborted"; "missed"; "benign"; "undet" ]
+    (List.map
+       (fun ((family, alloc, config), c) ->
+         [ family; alloc; config; string_of_int c.total; string_of_int c.detected;
+           string_of_int c.expected_class; string_of_int c.aborted;
+           string_of_int c.missed; string_of_int c.benign;
+           string_of_int c.undetermined ])
+       matrix)
+
+(* Deterministic compact JSON; the golden matrix files in CI are a
+   byte-for-byte diff against this. *)
+let matrix_to_json matrix =
+  let module J = Chex86_stats.Json in
+  J.Obj
+    [
+      ("schema", J.String "chex86-campaign-matrix-v1");
+      ( "rows",
+        J.List
+          (List.map
+             (fun ((family, alloc, config), c) ->
+               J.Obj
+                 [
+                   ("family", J.String family);
+                   ("heap", J.String alloc);
+                   ("config", J.String config);
+                   ("total", J.Int c.total);
+                   ("detected", J.Int c.detected);
+                   ("expected_class", J.Int c.expected_class);
+                   ("aborted", J.Int c.aborted);
+                   ("missed", J.Int c.missed);
+                   ("benign", J.Int c.benign);
+                   ("undetermined", J.Int c.undetermined);
+                 ])
+             matrix) );
+    ]
 
 (* Violation-class breakdown of the blocked exploits (the per-class
    discussion of Section VII-A). *)

@@ -78,3 +78,38 @@ val summarize : Chex86_exploits.Exploit.suite -> result list -> suite_summary
 
 (** Violation-class histogram of the blocked exploits. *)
 val class_breakdown : result list -> (string * int) list
+
+(** {2 Campaign detection matrices}
+
+    Per-(family x allocator x configuration) outcome matrix over a
+    generated campaign corpus (see {!Chex86_exploits.Campaign}).  Each
+    configuration is one supervised sweep, so evaluations shard over the
+    domain pool or remote workers; rows are folded serially in a fixed
+    (family, allocator, config) order, so the matrix — and its JSON —
+    is bit-identical at any jobs / batch-size / workers geometry. *)
+
+type matrix_cell = {
+  total : int;
+  detected : int;  (** a security violation was raised *)
+  expected_class : int;  (** ... of the campaign's expected class *)
+  aborted : int;  (** the allocator's own integrity check fired *)
+  missed : int;  (** completed with the pwned flag set *)
+  benign : int;  (** completed without corrupting *)
+  undetermined : int;  (** faulted, budget-exhausted, or sweep fault *)
+}
+
+val campaign_matrix :
+  ?jobs:int ->
+  ?batch_size:int ->
+  ?retries:int ->
+  ?task_timeout:float ->
+  configs:Runner.config list ->
+  Chex86_exploits.Campaign.t list ->
+  ((string * string * string) * matrix_cell) list
+
+(** ASCII table over {!Render.table}. *)
+val render_matrix : ((string * string * string) * matrix_cell) list -> string
+
+(** Deterministic compact JSON ({!Chex86_stats.Json.to_string} order);
+    golden matrix files diff byte-for-byte against this. *)
+val matrix_to_json : ((string * string * string) * matrix_cell) list -> Chex86_stats.Json.t

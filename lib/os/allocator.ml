@@ -22,19 +22,40 @@
 
 exception Heap_abort of string
 
+type personality = Glibc | Segregated
+
+let personality_name = function Glibc -> "glibc" | Segregated -> "seg"
+
+let personality_of_name = function
+  | "glibc" -> Some Glibc
+  | "seg" | "segregated" -> Some Segregated
+  | _ -> None
+
 type event =
   | Alloc of { addr : int; size : int }  (* user address, requested size *)
   | Free of { addr : int }
   | Alloc_failed of { size : int }
 
+(* Segregated personality: all metadata is out of line, on the host
+   side.  A slot never changes size class once carved, and frees never
+   write to guest memory, so heap grooming cannot disturb the
+   allocator. *)
+type seg_slot = { slot_size : int; mutable slot_free : bool }
+
 type t = {
   mem : Chex86_mem.Image.t;
+  personality : personality;
   mutable on_event : event -> unit;
-  (* OCaml-side bookkeeping of live allocations for profiling; the
-     authoritative metadata is the in-memory boundary tags. *)
+  (* OCaml-side bookkeeping of live allocations for profiling; under
+     [Glibc] the authoritative metadata is the in-memory boundary
+     tags. *)
   mutable live : (int * int) Map.Make(Int).t;  (* base -> (size, id) *)
   mutable next_id : int;
   counters : Chex86_stats.Counter.group;
+  (* Segregated-personality state (unused under Glibc). *)
+  seg_slots : (int, seg_slot) Hashtbl.t;  (* base -> slot *)
+  seg_free : (int, int list ref) Hashtbl.t;  (* class size -> LIFO bases *)
+  mutable seg_bump : int;
 }
 
 module Int_map = Map.Make (Int)
@@ -63,25 +84,35 @@ let set_size t p size flags = write64 t (p - 8) (size lor flags)
 let top t = read64 t top_ptr_addr
 let set_top t p = write64 t top_ptr_addr p
 
-let create ?(initial_heap = 1 lsl 20) mem counters =
+let create ?(personality = Glibc) ?(initial_heap = 1 lsl 20) mem counters =
   let t =
     {
       mem;
+      personality;
       on_event = (fun _ -> ());
       live = Int_map.empty;
       next_id = 0;
       counters;
+      seg_slots = Hashtbl.create 64;
+      seg_free = Hashtbl.create 16;
+      seg_bump = Layout.heap_base + 16;
     }
   in
-  (* Initial top chunk spans the whole initial heap. *)
-  let top0 = Layout.heap_base + 16 in
-  set_top t top0;
-  set_size t top0 initial_heap 1;
-  (* Empty circular unsorted bin. *)
-  write64 t unsorted_anchor unsorted_anchor;
-  write64 t (unsorted_anchor + 8) unsorted_anchor;
+  (match personality with
+  | Glibc ->
+    (* Initial top chunk spans the whole initial heap. *)
+    let top0 = Layout.heap_base + 16 in
+    set_top t top0;
+    set_size t top0 initial_heap 1;
+    (* Empty circular unsorted bin. *)
+    write64 t unsorted_anchor unsorted_anchor;
+    write64 t (unsorted_anchor + 8) unsorted_anchor
+  | Segregated ->
+    (* No guest-visible arena: nothing to corrupt. *)
+    ());
   t
 
+let personality t = t.personality
 let set_event_handler t f = t.on_event <- f
 
 (* --- doubly-linked list primitives -------------------------------------- *)
@@ -185,7 +216,84 @@ let consolidate_fastbins t =
     write64 t head_addr 0
   done
 
-let malloc t req =
+(* --- segregated personality ----------------------------------------- *)
+
+(* Size classes: powers of two from 16 to 1024 bytes, then 16-byte
+   aligned exact sizes for large requests.  All classes are multiples of
+   16, so user pointers stay 16-aligned. *)
+let seg_class_of_request req =
+  if req <= 16 then 16
+  else if req <= 1024 then begin
+    let c = ref 16 in
+    while !c < req do
+      c := !c * 2
+    done;
+    !c
+  end
+  else align16 req
+
+let seg_free_list t cls =
+  match Hashtbl.find_opt t.seg_free cls with
+  | Some l -> l
+  | None ->
+    let l = ref [] in
+    Hashtbl.add t.seg_free cls l;
+    l
+
+let seg_malloc t req =
+  if req <= 0 then begin
+    t.on_event (Alloc_failed { size = req });
+    0
+  end
+  else begin
+    let cls = seg_class_of_request req in
+    let fl = seg_free_list t cls in
+    let p =
+      match !fl with
+      | p :: rest ->
+        fl := rest;
+        (Hashtbl.find t.seg_slots p).slot_free <- false;
+        p
+      | [] ->
+        let p = t.seg_bump in
+        if p + cls > Layout.heap_max then 0
+        else begin
+          t.seg_bump <- p + cls;
+          Hashtbl.replace t.seg_slots p { slot_size = cls; slot_free = false };
+          p
+        end
+    in
+    if p = 0 then begin
+      Chex86_stats.Counter.incr t.counters "heap.failed_mallocs";
+      t.on_event (Alloc_failed { size = req });
+      0
+    end
+    else begin
+      record_alloc t p req;
+      p
+    end
+  end
+
+(* The slot table is authoritative, so invalid and double frees are
+   detected exactly, and freeing writes nothing into guest memory. *)
+let seg_free t p =
+  if p = 0 then ()
+  else
+    match Hashtbl.find_opt t.seg_slots p with
+    | None -> raise (Heap_abort "free(): invalid pointer (segregated)")
+    | Some slot ->
+      if slot.slot_free then
+        raise (Heap_abort "double free (segregated)");
+      slot.slot_free <- true;
+      let fl = seg_free_list t slot.slot_size in
+      fl := p :: !fl;
+      Chex86_stats.Counter.incr t.counters "heap.frees";
+      t.live <- Int_map.remove p t.live;
+      t.on_event (Free { addr = p })
+
+(* --- glibc personality ------------------------------------------------ *)
+
+let glibc_malloc t req =
   if req <= 0 then begin
     t.on_event (Alloc_failed { size = req });
     0
@@ -246,7 +354,7 @@ let malloc t req =
 
 (* --- free ---------------------------------------------------------------- *)
 
-let free t p =
+let glibc_free t p =
   if p = 0 then ()
   else begin
     if p land 0xF <> 0 then raise (Heap_abort "free(): invalid pointer");
@@ -311,6 +419,28 @@ let free t p =
     end
   end
 
+(* --- personality dispatch ------------------------------------------------ *)
+
+let malloc t req =
+  match t.personality with
+  | Glibc -> glibc_malloc t req
+  | Segregated -> seg_malloc t req
+
+let free t p =
+  match t.personality with
+  | Glibc -> glibc_free t p
+  | Segregated -> seg_free t p
+
+(* Exported chunk size: boundary tag under Glibc, slot table under
+   Segregated (payload capacity, no header). *)
+let chunk_size t p =
+  match t.personality with
+  | Glibc -> chunk_size t p
+  | Segregated -> (
+    match Hashtbl.find_opt t.seg_slots p with
+    | Some s -> s.slot_size
+    | None -> 0)
+
 (* --- derived entry points ------------------------------------------------ *)
 
 let calloc t ~count ~size =
@@ -322,7 +452,11 @@ let calloc t ~count ~size =
 let realloc t p req =
   if p = 0 then malloc t req
   else begin
-    let old_payload = chunk_size t p - 16 in
+    let old_payload =
+      match t.personality with
+      | Glibc -> chunk_size t p - 16
+      | Segregated -> chunk_size t p
+    in
     let q = malloc t req in
     if q <> 0 then begin
       let n = min old_payload req in
@@ -346,5 +480,8 @@ let find_allocation t addr =
 let iter_live t f = Int_map.iter (fun base (size, id) -> f ~base ~size ~id) t.live
 
 let heap_used t =
-  let tp = top t in
-  tp - Layout.heap_base
+  match t.personality with
+  | Glibc ->
+    let tp = top t in
+    tp - Layout.heap_base
+  | Segregated -> t.seg_bump - Layout.heap_base

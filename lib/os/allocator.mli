@@ -1,11 +1,30 @@
-(** glibc-flavoured heap allocator with in-guest-memory metadata,
-    exploitable by design (fastbins, unsorted bin, boundary tags, top
-    chunk; fasttop / !prev / safe-unlink checks as in the How2Heap-era
-    glibc). *)
+(** Guest heap allocator with two selectable personalities:
 
-(** Raised when a glibc-style integrity check fires (the analogue of
+    - [Glibc] (the default): glibc-flavoured, with in-guest-memory
+      metadata, exploitable by design (fastbins, unsorted bin, boundary
+      tags, top chunk; fasttop / !prev / safe-unlink checks as in the
+      How2Heap-era glibc);
+    - [Segregated]: size-class-segregated with {e out-of-line}
+      metadata.  Free lists and per-slot state live on the host side
+      where guest writes cannot reach them, so heap-metadata grooming
+      attacks (fd poisoning, forged chunks, size-field overflows) have
+      no allocator-visible effect, and double / invalid frees are
+      detected precisely from the authoritative slot table.
+
+    The exploit campaign generator runs the same attack against both
+    personalities to demonstrate context-sensitive detection. *)
+
+(** Raised when an allocator integrity check fires (the analogue of
     glibc's abort). *)
 exception Heap_abort of string
+
+(** Allocation-policy personality, chosen at [create] time. *)
+type personality = Glibc | Segregated
+
+val personality_name : personality -> string
+
+(** Inverse of [personality_name]. *)
+val personality_of_name : string -> personality option
 
 type event =
   | Alloc of { addr : int; size : int }
@@ -14,7 +33,14 @@ type event =
 
 type t
 
-val create : ?initial_heap:int -> Chex86_mem.Image.t -> Chex86_stats.Counter.group -> t
+val create :
+  ?personality:personality ->
+  ?initial_heap:int ->
+  Chex86_mem.Image.t ->
+  Chex86_stats.Counter.group ->
+  t
+
+val personality : t -> personality
 
 (** Subscribe to allocation events (profiling, Fig 3). *)
 val set_event_handler : t -> (event -> unit) -> unit
@@ -28,7 +54,10 @@ val free : t -> int -> unit
 val calloc : t -> count:int -> size:int -> int
 val realloc : t -> int -> int -> int
 
-(** Chunk size (including header) from the in-memory boundary tag. *)
+(** Chunk size of the allocation at a user pointer.  Under [Glibc] this
+    is read from the in-memory boundary tag (includes the 16-byte
+    header); under [Segregated] it is the out-of-line slot's payload
+    capacity (no header). *)
 val chunk_size : t -> int -> int
 
 val chunk_size_of_request : int -> int

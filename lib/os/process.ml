@@ -30,12 +30,12 @@ let default_runtime heap =
     realloc = Allocator.realloc heap;
   }
 
-let load ?counters program =
+let load ?counters ?(heap = Allocator.Glibc) program =
   let counters =
     match counters with Some c -> c | None -> Chex86_stats.Counter.create_group ()
   in
   let mem = Chex86_mem.Image.create () in
-  let heap = Allocator.create mem counters in
+  let heap = Allocator.create ~personality:heap mem counters in
   let msrs = Msrs.create () in
   Msrs.register_default_libc msrs;
   { program; mem; heap; msrs; counters; runtime = default_runtime heap }

@@ -19,7 +19,14 @@ type t = {
 }
 
 val default_runtime : Allocator.t -> runtime
-val load : ?counters:Chex86_stats.Counter.group -> Chex86_isa.Program.t -> t
+
+(** [load ?counters ?heap program]; [heap] selects the allocator
+    personality (default [Glibc]). *)
+val load :
+  ?counters:Chex86_stats.Counter.group ->
+  ?heap:Allocator.personality ->
+  Chex86_isa.Program.t ->
+  t
 
 (** [(name, addr, size, writable)] for every global, for capability
     initialization; read-only objects yield non-writable capabilities. *)

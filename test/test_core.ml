@@ -834,6 +834,37 @@ let test_allocation_failure_path () =
       if (not cap.Capability.valid) && cap.Capability.base = 0 then incr invalid_fresh);
   Alcotest.(check int) "one never-finalized capability" 1 !invalid_fresh
 
+let test_smp_determinism () =
+  (* Regression: the round-robin scheduler has no hidden state — the
+     same program under the same quantum is bit-identical run to run,
+     down to the shadow-table counters and the invalidation traffic. *)
+  let snapshot quantum =
+    let r =
+      Smp.run ~timing:false ~quantum
+        ~threads:(Chex86_workloads.Parallel.thread_labels 4)
+        (Chex86_workloads.Parallel.canneal_mt ~threads:4 ~scale:1)
+    in
+    ( r.Smp.outcome,
+      r.Smp.cycles,
+      r.Smp.per_core_cycles,
+      r.Smp.macro_insns,
+      r.Smp.cap_invalidations,
+      r.Smp.alias_invalidations,
+      Chex86_stats.Counter.to_list r.Smp.counters )
+  in
+  List.iter
+    (fun quantum ->
+      let a = snapshot quantum and b = snapshot quantum in
+      Alcotest.(check bool)
+        (Printf.sprintf "quantum %d bit-identical" quantum)
+        true (a = b))
+    [ 1; 3; 8 ];
+  (* Sanity: the invalidation counters above are non-trivial, so the
+     equality is not vacuous. *)
+  let _, _, _, _, caps, aliases, _ = snapshot 1 in
+  Alcotest.(check bool) "cap invalidations exercised" true (caps > 0);
+  Alcotest.(check bool) "alias invalidations exercised" true (aliases > 0)
+
 let test_smp_insecure_misses_cross_core_uaf () =
   let r =
     Smp.run ~timing:false
@@ -930,6 +961,7 @@ let () =
           Alcotest.test_case "insecure baseline" `Quick
             test_smp_insecure_misses_cross_core_uaf;
           QCheck_alcotest.to_alcotest qcheck_smp_interleaving_invariant;
+          Alcotest.test_case "determinism" `Quick test_smp_determinism;
           Alcotest.test_case "allocation failure path" `Quick
             test_allocation_failure_path;
         ] );

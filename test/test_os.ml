@@ -14,6 +14,11 @@ let new_heap () =
   let g = Counter.create_group () in
   (Allocator.create mem g, mem)
 
+let new_heap_p personality =
+  let mem = Image.create () in
+  let g = Counter.create_group () in
+  (Allocator.create ~personality mem g, mem)
+
 let test_malloc_basics () =
   let heap, _ = new_heap () in
   let p = Allocator.malloc heap 100 in
@@ -159,13 +164,17 @@ let test_top_chunk_corruption_house_of_force () =
   let p = Allocator.malloc heap 16 in
   Alcotest.(check int) "allocation lands on the forged top" target p
 
-let qcheck_allocator_invariants =
+let qcheck_invariants_for personality =
   (* Random malloc/free sequences: live chunks stay 16-aligned, disjoint,
-     inside the heap. *)
-  QCheck.Test.make ~name:"random alloc/free keeps live chunks disjoint" ~count:50
+     inside the heap — on both allocator personalities. *)
+  QCheck.Test.make
+    ~name:
+      (Printf.sprintf "random alloc/free keeps live chunks disjoint (%s)"
+         (Allocator.personality_name personality))
+    ~count:50
     QCheck.(list_of_size (Gen.int_range 1 60) (int_range 1 600))
     (fun sizes ->
-      let heap, _ = new_heap () in
+      let heap, _ = new_heap_p personality in
       let live = ref [] in
       let rng = Chex86_stats.Rng.create (List.length sizes) in
       List.iter
@@ -182,15 +191,120 @@ let qcheck_allocator_invariants =
             if p <> 0 then live := (p, size) :: !live
           end)
         sizes;
+      (* Glibc payloads are separated by a 16-byte boundary tag; the
+         segregated personality packs slots back to back (metadata is
+         out of line), so only plain payload disjointness applies. *)
+      let gap = match personality with Allocator.Glibc -> 16 | Allocator.Segregated -> 0 in
       List.for_all
         (fun (p, size) ->
           p land 0xF = 0
           && p >= Layout.heap_base
           && p + size < Layout.heap_max
           && List.for_all
-               (fun (q, qsize) -> q = p || p + size <= q - 16 || q + qsize <= p - 16)
+               (fun (q, qsize) -> q = p || p + size + gap <= q || q + qsize + gap <= p)
                !live)
         !live)
+
+let qcheck_roundtrip_for personality =
+  (* Alloc everything, free everything: no abort, the live count returns
+     to zero, and the arena is reusable afterwards. *)
+  QCheck.Test.make
+    ~name:
+      (Printf.sprintf "alloc/free round-trip (%s)"
+         (Allocator.personality_name personality))
+    ~count:50
+    QCheck.(list_of_size (Gen.int_range 1 40) (int_range 1 600))
+    (fun sizes ->
+      let heap, _ = new_heap_p personality in
+      let ptrs = List.filter_map
+          (fun size ->
+            match Allocator.malloc heap size with 0 -> None | p -> Some p)
+          sizes
+      in
+      List.iter (Allocator.free heap) ptrs;
+      Allocator.live_allocations heap = 0 && Allocator.malloc heap 64 <> 0)
+
+let qcheck_safe_unlink_corruption =
+  (* Scribbling garbage over a freed unsorted chunk's list pointers must
+     trip the safe-unlink check when coalescing touches it, whatever the
+     surrounding schedule — never a silent wild write. *)
+  QCheck.Test.make ~name:"safe-unlink corruption aborts under random schedules"
+    ~count:50
+    QCheck.(
+      triple
+        (list_of_size (Gen.int_range 0 12) (int_range 1 600))
+        (oneofl [ 0; 8 ])
+        (int_range 1 0x3FFF_FFFF))
+    (fun (prelude, which_ptr, garbage) ->
+      let heap, mem = new_heap_p Allocator.Glibc in
+      List.iter (fun s -> ignore (Allocator.malloc heap s)) prelude;
+      let a = Allocator.malloc heap 504 in
+      let b = Allocator.malloc heap 504 in
+      let _guard = Allocator.malloc heap 24 in
+      Allocator.free heap a;  (* into the unsorted bin *)
+      Image.write64 mem (a + which_ptr) garbage;
+      match Allocator.free heap b (* backward coalescing unlinks [a] *) with
+      | () -> false
+      | exception Allocator.Heap_abort msg -> msg = "corrupted double-linked list")
+
+let test_segregated_basics () =
+  let heap, _ = new_heap_p Allocator.Segregated in
+  let p = Allocator.malloc heap 100 in
+  Alcotest.(check bool) "non-null" true (p <> 0);
+  Alcotest.(check int) "16-aligned" 0 (p land 0xF);
+  Alcotest.(check int) "pow2 size class" 128 (Allocator.chunk_size heap p);
+  let q = Allocator.malloc heap 100 in
+  Alcotest.(check bool) "distinct slots" true (p <> q);
+  Allocator.free heap p;
+  Alcotest.(check int) "LIFO reuse within the class" p (Allocator.malloc heap 90);
+  Alcotest.(check int) "malloc(0)" 0 (Allocator.malloc heap 0);
+  Alcotest.(check int) "huge fails" 0 (Allocator.malloc heap (1 lsl 31))
+
+let test_segregated_double_free_always_aborts () =
+  (* The grooming that bypasses glibc's fasttop check (drain the
+     fastbins with a large malloc between the two frees) changes nothing
+     here: slot state lives outside the guest arena and is authoritative. *)
+  let heap, _ = new_heap_p Allocator.Segregated in
+  let a = Allocator.malloc heap 64 in
+  Allocator.free heap a;
+  let _big = Allocator.malloc heap 512 in
+  Alcotest.check_raises "double free still caught after grooming"
+    (Allocator.Heap_abort "double free (segregated)")
+    (fun () -> Allocator.free heap a)
+
+let test_segregated_invalid_free_aborts () =
+  let heap, _ = new_heap_p Allocator.Segregated in
+  let a = Allocator.malloc heap 64 in
+  Alcotest.check_raises "interior pointer"
+    (Allocator.Heap_abort "free(): invalid pointer (segregated)")
+    (fun () -> Allocator.free heap (a + 8));
+  Alcotest.check_raises "wild pointer"
+    (Allocator.Heap_abort "free(): invalid pointer (segregated)")
+    (fun () -> Allocator.free heap 0x1234560);
+  Allocator.free heap 0  (* free(NULL) stays a no-op *)
+
+let test_segregated_free_writes_nothing () =
+  (* Out-of-line metadata: freeing must not touch guest memory, so
+     there is no fd/bk to poison. *)
+  let heap, mem = new_heap_p Allocator.Segregated in
+  let a = Allocator.malloc heap 64 in
+  Image.write64 mem a 0xFEEDFACE;
+  Image.write64 mem (a + 56) 0xCAFE;
+  Allocator.free heap a;
+  Alcotest.(check int) "payload head untouched" 0xFEEDFACE (Image.read64 mem a);
+  Alcotest.(check int) "payload tail untouched" 0xCAFE (Image.read64 mem (a + 56))
+
+let test_segregated_fd_corruption_is_inert () =
+  (* The tcache_poisoning primitive that redirects glibc's malloc (see
+     test_fastbin_fd_corruption_returns_forged_chunk) has no effect. *)
+  let heap, mem = new_heap_p Allocator.Segregated in
+  let a = Allocator.malloc heap 64 in
+  Allocator.free heap a;
+  let target = 0x665000 in
+  Image.write64 mem a target;
+  Alcotest.(check int) "first pop is the real slot" a (Allocator.malloc heap 64);
+  Alcotest.(check bool) "no forged chunk ever surfaces" true
+    (Allocator.malloc heap 64 <> target)
 
 let test_allocation_events () =
   let heap, _ = new_heap () in
@@ -274,7 +388,22 @@ let () =
           Alcotest.test_case "coalescing" `Quick test_backward_coalescing;
           Alcotest.test_case "calloc zeroes" `Quick test_calloc_zeroes;
           Alcotest.test_case "realloc preserves" `Quick test_realloc_preserves;
-          QCheck_alcotest.to_alcotest qcheck_allocator_invariants;
+          QCheck_alcotest.to_alcotest (qcheck_invariants_for Allocator.Glibc);
+          QCheck_alcotest.to_alcotest (qcheck_invariants_for Allocator.Segregated);
+          QCheck_alcotest.to_alcotest (qcheck_roundtrip_for Allocator.Glibc);
+          QCheck_alcotest.to_alcotest (qcheck_roundtrip_for Allocator.Segregated);
+        ] );
+      ( "segregated personality",
+        [
+          Alcotest.test_case "basics" `Quick test_segregated_basics;
+          Alcotest.test_case "double free always aborts" `Quick
+            test_segregated_double_free_always_aborts;
+          Alcotest.test_case "invalid free aborts" `Quick
+            test_segregated_invalid_free_aborts;
+          Alcotest.test_case "free writes nothing" `Quick
+            test_segregated_free_writes_nothing;
+          Alcotest.test_case "fd corruption inert" `Quick
+            test_segregated_fd_corruption_is_inert;
         ] );
       ( "integrity checks",
         [
@@ -282,6 +411,7 @@ let () =
           Alcotest.test_case "!prev double free" `Quick test_prev_double_free_abort;
           Alcotest.test_case "invalid free" `Quick test_invalid_free_aborts;
           Alcotest.test_case "free(NULL)" `Quick test_free_null_is_noop;
+          QCheck_alcotest.to_alcotest qcheck_safe_unlink_corruption;
         ] );
       ( "exploit primitives",
         [

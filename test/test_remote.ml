@@ -295,6 +295,27 @@ let test_security_sweep_remote_matches_local () =
       | _ -> Alcotest.fail "unexpected fault in security sweep")
     local remote
 
+let test_campaign_matrix_remote_matches_local () =
+  (* Generated campaigns cross the wire by name only (the worker rebuilds
+     them through [Exploits.find] / [Campaign.of_name]); the detection
+     matrix — including its JSON — must come back byte-identical to the
+     in-process run, multi-core race campaigns included. *)
+  let module Campaign = Chex86_exploits.Campaign in
+  let module Security = Chex86_harness.Security in
+  let corpus = Campaign.corpus ~seed:11 ~per_family:1 in
+  let configs = [ Chex86_harness.Runner.insecure; Chex86_harness.Runner.prediction ] in
+  let json matrix =
+    Chex86_stats.Json.to_string (Security.matrix_to_json matrix)
+  in
+  let local = json (Security.campaign_matrix ~jobs:1 ~configs corpus) in
+  Remote.set_spec (Remote.Spawn 2);
+  let remote =
+    Fun.protect
+      ~finally:(fun () -> Remote.set_spec Remote.Off)
+      (fun () -> json (Security.campaign_matrix ~batch_size:3 ~configs corpus))
+  in
+  Alcotest.(check string) "matrix JSON byte-identical through workers" local remote
+
 let () =
   Alcotest.run "remote"
     [
@@ -326,5 +347,7 @@ let () =
         [
           Alcotest.test_case "remote sweep matches local" `Quick
             test_security_sweep_remote_matches_local;
+          Alcotest.test_case "campaign matrix remote matches local" `Quick
+            test_campaign_matrix_remote_matches_local;
         ] );
     ]
