@@ -5,7 +5,7 @@
 #   make test    dune runtest only
 
 .PHONY: all build test smoke fault-smoke remote-smoke trace-smoke \
-	security-matrix check clean
+	security-matrix store-smoke check clean
 
 all: build
 
@@ -87,7 +87,32 @@ security-matrix: build
 		--matrix-out /tmp/chex86-campaign-matrix-workers.json > /dev/null
 	cmp test/golden/campaign_matrix.json /tmp/chex86-campaign-matrix-workers.json
 
-check: build test smoke fault-smoke remote-smoke trace-smoke security-matrix
+# Store crash-safety soak: randomized SIGKILLs at named injection
+# points of the publish protocol across serial / --jobs / --workers
+# geometries (7 legs x 3 geometries = 21 kill points), each leg
+# resumed and byte-compared against a fault-free reference, plus an
+# explicit `chex86_sim store fsck` pass over a freshly written store.
+# Reports land in /tmp for CI artifact upload.
+store-smoke: build
+	./_build/default/test/chaos_soak.exe --legs 7 --seed 42 \
+		--report /tmp/chex86-chaos-report.json
+	rm -rf /tmp/chex86-store-smoke-cache
+	CHEX86_WORKLOADS=mcf,canneal CHEX86_SCALE=1 \
+		dune exec bench/main.exe -- --jobs 2 figure6 \
+		--cache-dir /tmp/chex86-store-smoke-cache > /dev/null
+	./_build/default/bin/chex86_sim.exe store stats \
+		--cache-dir /tmp/chex86-store-smoke-cache
+	./_build/default/bin/chex86_sim.exe store fsck \
+		--cache-dir /tmp/chex86-store-smoke-cache \
+		--out /tmp/chex86-fsck.json
+	./_build/default/bin/chex86_sim.exe store gc \
+		--cache-dir /tmp/chex86-store-smoke-cache --store-max-bytes 4K
+	./_build/default/bin/chex86_sim.exe store fsck \
+		--cache-dir /tmp/chex86-store-smoke-cache > /dev/null
+	rm -rf /tmp/chex86-store-smoke-cache
+
+check: build test smoke fault-smoke remote-smoke trace-smoke security-matrix \
+	store-smoke
 
 clean:
 	dune clean

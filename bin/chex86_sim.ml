@@ -122,6 +122,21 @@ let cache_dir_arg =
 let no_cache_arg =
   Arg.(value & flag & info [ "no-cache" ] ~doc:"Disable the on-disk result store.")
 
+let bytes_conv =
+  Arg.conv
+    ( (fun s -> Result.map_error (fun m -> `Msg m) (Chex86_harness.Cli.parse_bytes s)),
+      Format.pp_print_int )
+
+let store_max_bytes_arg =
+  Arg.(
+    value
+    & opt (some bytes_conv) None
+    & info [ "store-max-bytes" ] ~docv:"BYTES"
+        ~doc:
+          "Result-store size budget with oldest-first eviction (K/M/G suffixes \
+           accepted; entries used by the running sweep are never evicted). \
+           Default: no eviction.")
+
 let trace_file_arg =
   Arg.(
     value
@@ -144,7 +159,7 @@ let metrics_file_arg =
 (* Apply the sweep knobs to the process-wide state, arming the
    fault-injection plan from the environment like the other binaries. *)
 let apply_sweep_knobs jobs batch_size strict _keep_going retries task_timeout cache_dir
-    no_cache trace_file metrics_file =
+    no_cache store_max_bytes trace_file metrics_file =
   let module Pool = Chex86_harness.Pool in
   Pool.set_jobs jobs;
   Pool.set_batch_size batch_size;
@@ -152,6 +167,7 @@ let apply_sweep_knobs jobs batch_size strict _keep_going retries task_timeout ca
   Pool.set_retries retries;
   Pool.set_task_timeout task_timeout;
   if no_cache then Runner.Store.disable () else Runner.Store.configure ~dir:cache_dir;
+  Runner.Store.set_max_bytes store_max_bytes;
   Chex86_harness.Trace.set_output trace_file;
   Chex86_harness.Trace.set_metrics metrics_file;
   match Chex86_harness.Faultinject.arm_from_env () with
@@ -222,9 +238,9 @@ let experiment_cmd =
   let targets = Chex86_harness.Experiments.all @ Chex86_harness.Ablations.all in
   let names = List.map fst targets in
   let experiment jobs batch_size strict keep_going retries task_timeout cache_dir no_cache
-      trace_file metrics_file name =
+      store_max_bytes trace_file metrics_file name =
     apply_sweep_knobs jobs batch_size strict keep_going retries task_timeout cache_dir
-      no_cache trace_file metrics_file;
+      no_cache store_max_bytes trace_file metrics_file;
     match List.assoc_opt name targets with
     | Some f ->
       print_endline (f ());
@@ -243,7 +259,7 @@ let experiment_cmd =
     Term.(
       const experiment $ jobs_arg $ batch_size_arg $ strict_arg $ keep_going_arg
       $ retries_arg $ task_timeout_arg $ cache_dir_arg $ no_cache_arg
-      $ trace_file_arg $ metrics_file_arg $ name_arg)
+      $ store_max_bytes_arg $ trace_file_arg $ metrics_file_arg $ name_arg)
 
 (* Print the instrumented micro-op stream of a workload's first N
    macro-ops: what the decoder cracked and what the microcode
@@ -321,6 +337,109 @@ let trace_summary_cmd =
           per-worker utilization. Exits 1 on parse or structural errors.")
     Term.(const summary $ file_arg)
 
+(* Offline maintenance of the on-disk result store: stats / gc / fsck.
+   These operate on an explicit directory and never require a sweep. *)
+let store_cmd =
+  let store_dir_arg =
+    Arg.(
+      value
+      & opt string Runner.Store.default_dir
+      & info [ "cache-dir" ] ~docv:"DIR" ~doc:"Result store location.")
+  in
+  let require_dir dir =
+    if not (Sys.file_exists dir && Sys.is_directory dir) then begin
+      Printf.eprintf "store: no such store directory %S\n" dir;
+      exit 1
+    end
+  in
+  let stats_cmd =
+    let stats dir =
+      require_dir dir;
+      let s = Runner.Store.disk_stats ~dir in
+      Printf.printf "entries:            %d (%d bytes)\n" s.Runner.Store.d_entries
+        s.Runner.Store.d_bytes;
+      Printf.printf "legacy v1 entries:  %d\n" s.Runner.Store.d_v1;
+      Printf.printf "in-flight tmp:      %d\n" s.Runner.Store.d_tmp;
+      Printf.printf "quarantine backlog: %d\n" s.Runner.Store.d_quarantine
+    in
+    Cmd.v
+      (Cmd.info "stats" ~doc:"Report entry/byte counts for a store directory.")
+      Term.(const stats $ store_dir_arg)
+  in
+  let gc_cmd =
+    let gc dir max_bytes =
+      require_dir dir;
+      let r = Runner.Store.gc ~dir ?max_bytes () in
+      Printf.printf "tmp reclaimed:      %d\n" r.Runner.Store.g_tmp_reclaimed;
+      Printf.printf "evicted:            %d (%d bytes)\n" r.Runner.Store.g_evicted
+        r.Runner.Store.g_evicted_bytes;
+      Printf.printf "remaining:          %d entries (%d bytes)\n"
+        r.Runner.Store.g_entries r.Runner.Store.g_bytes
+    in
+    let max_bytes_arg =
+      Arg.(
+        value
+        & opt (some bytes_conv) None
+        & info [ "store-max-bytes" ] ~docv:"BYTES"
+            ~doc:"Evict oldest-first down to this budget (K/M/G suffixes accepted).")
+    in
+    Cmd.v
+      (Cmd.info "gc"
+         ~doc:
+           "Reclaim stale tmp files and (with $(b,--store-max-bytes)) evict \
+            oldest-first down to a size budget.")
+      Term.(const gc $ store_dir_arg $ max_bytes_arg)
+  in
+  let fsck_cmd =
+    let fsck dir out =
+      require_dir dir;
+      let r = Runner.Store.fsck ~dir in
+      let body = Chex86_stats.Json.to_string (Runner.Store.fsck_json r) in
+      (match out with
+      | None -> ()
+      | Some path ->
+        let oc = open_out path in
+        Fun.protect
+          ~finally:(fun () -> close_out_noerr oc)
+          (fun () ->
+            output_string oc body;
+            output_char oc '\n'));
+      Printf.printf "scanned:            %d entries (%d ok, %d legacy v1, %d bytes)\n"
+        r.Runner.Store.f_scanned r.Runner.Store.f_ok r.Runner.Store.f_v1
+        r.Runner.Store.f_bytes;
+      Printf.printf "tmp:                %d pending, %d reclaimed\n"
+        r.Runner.Store.f_tmp_pending r.Runner.Store.f_tmp_reclaimed;
+      Printf.printf "quarantined:        %d now, %d backlog\n"
+        r.Runner.Store.f_quarantined r.Runner.Store.f_quarantine_backlog;
+      if Runner.Store.fsck_clean r then print_endline "verdict:            clean"
+      else begin
+        Printf.printf "verdict:            %d invariant violation(s)\n"
+          (List.length r.Runner.Store.f_issues);
+        List.iter
+          (fun i ->
+            Printf.printf "  %s: %s\n" i.Runner.Store.f_path i.Runner.Store.f_problem)
+          r.Runner.Store.f_issues;
+        exit 1
+      end
+    in
+    let out_arg =
+      Arg.(
+        value
+        & opt (some string) None
+        & info [ "out" ] ~docv:"FILE" ~doc:"Also write the report to $(docv) as JSON.")
+    in
+    Cmd.v
+      (Cmd.info "fsck"
+         ~doc:
+           "Verify every store invariant (entry digests, shard placement, \
+            foreign files); quarantine corrupt entries and reclaim stale tmp \
+            files so a second run comes back clean. Exits 1 on violations.")
+      Term.(const fsck $ store_dir_arg $ out_arg)
+  in
+  Cmd.group
+    (Cmd.info "store" ~doc:"Inspect and maintain the on-disk result store.")
+    [ stats_cmd; gc_cmd; fsck_cmd ]
+
 let () =
   let default = Term.(ret (const (`Help (`Pager, None)))) in
   exit
@@ -328,4 +447,4 @@ let () =
        (Cmd.group ~default
           (Cmd.info "chex86_sim" ~version:"1.0.0"
              ~doc:"CHEx86 capability-hardware simulator")
-          [ run_cmd; list_cmd; experiment_cmd; trace_cmd; trace_summary_cmd ]))
+          [ run_cmd; list_cmd; experiment_cmd; trace_cmd; trace_summary_cmd; store_cmd ]))

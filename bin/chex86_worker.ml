@@ -10,6 +10,16 @@ let () =
      ships only (kind, key, arg) strings, never code. *)
   Chex86_harness.Security.register_remote ();
   Chex86_harness.Runner.register_remote ();
+  (* Named fault points (CHEX86_FAULT_POINT) arm from the inherited
+     environment so the chaos soak can kill store operations inside
+     workers too; the per-chunk key plan still arrives over the wire
+     and is armed by Remote per chunk. Malformed values are fatal here
+     exactly as in the supervisor binaries. *)
+  (match Chex86_harness.Faultinject.arm_from_env () with
+  | Ok _ -> ()
+  | Error msg ->
+    Printf.eprintf "chex86_worker: %s\n%!" msg;
+    exit 2);
   (* --trace FILE gives this worker a local span file of its own; it
      then opts out of shipping spans back to the supervisor (the
      explicit file sink takes precedence over collection). Without it,

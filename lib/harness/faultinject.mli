@@ -61,11 +61,65 @@ val disarm : unit -> unit
 val armed : unit -> bool
 val describe : unit -> string
 
+(** {2 Named injection points}
+
+    Key plans fire per task; named points fire per {e code location} —
+    a specific line of the result store's publish / evict / quarantine
+    protocol. The kill/resume chaos soak uses them to SIGKILL a sweep
+    at a chosen store operation and arrival ordinal, machine-checking
+    the crash-safety invariants at every point of the protocol.
+
+    Point state is separate from the key plan: the remote worker's
+    per-chunk [arm]/[disarm] does not touch armed points, so workers
+    inherit point injections from their environment. *)
+
+type point_action =
+  | Point_kill  (** SIGKILL this process at the point *)
+  | Point_crash  (** raise [Injected_crash] at the point *)
+  | Point_torn of int
+      (** the call site truncates its in-flight artifact (e.g. the
+          store's tmp file) to this many bytes *)
+  | Point_delay of float  (** stall this many seconds at the point *)
+  | Point_enospc  (** the call site fails its write with [ENOSPC] *)
+
+type point_spec = { action : point_action; arm_at : int }
+(** [arm_at] is the 1-based arrival ordinal the point fires at; 0 fires
+    on every arrival. *)
+
+(** What [at_point] asks its call site to do; [Point_kill]/[Point_crash]
+    /[Point_delay] are performed internally and never returned. *)
+type point_hit = Torn_artifact of int | Errno of Unix.error
+
+val known_points : string list
+(** The catalog compiled into the binary; arming any other name is a
+    loud error. *)
+
+val arm_points : (string * point_spec) list -> unit
+val disarm_points : unit -> unit
+val points_armed : unit -> bool
+
+(** Consulted at each named point. A single atomic load when nothing is
+    armed. Fires the armed action when the arrival ordinal matches:
+    kill/crash/delay happen here; [Torn_artifact]/[Errno] are returned
+    for the call site to apply. *)
+val at_point : string -> point_hit option
+
+(** Parse a [CHEX86_FAULT_POINT] spec — comma-separated
+    [NAME[=ACTION][@N]] entries, ACTION one of [kill] (default),
+    [crash], [enospc], [torn:BYTES], [delay:SECONDS] — rejecting
+    unknown point names and malformed actions/ordinals with the
+    offending string. *)
+val points_of_spec : string -> ((string * point_spec) list, string) result
+
 (** Arm from [CHEX86_FAULT_RATE] (a rate in [0,1]), the optional
-    [CHEX86_FAULT_SEED] (default 0), and the optional
-    [CHEX86_FAULT_KIND] ([crash], the default, or [kill] for
-    [Kill_worker]). [Ok true] if a plan was armed, [Ok false] if the
-    variable is unset, [Error msg] on a malformed value. *)
+    [CHEX86_FAULT_SEED] (default 0), the optional [CHEX86_FAULT_KIND]
+    ([crash], the default, or [kill] for [Kill_worker]), and the
+    optional [CHEX86_FAULT_POINT] point spec. [Ok true] if a plan or
+    point set was armed, [Ok false] if nothing is set, [Error msg] on
+    any malformed value — including a malformed [CHEX86_FAULT_SEED] /
+    [CHEX86_FAULT_KIND] that would have gone unused because
+    [CHEX86_FAULT_RATE] is unset (a set-but-unused valid variable only
+    warns on stderr). *)
 val arm_from_env : unit -> (bool, string) result
 
 (** The armed directive for a key, any kind; the remote supervisor uses

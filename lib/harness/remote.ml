@@ -428,9 +428,19 @@ let connect_peer host port =
 (* Deterministic backoff jitter: seeded from (slot, restart ordinal),
    never the clock, so restart schedules are as reproducible as the
    sweep itself. *)
+
+(* Exponential growth is clamped here before jitter: past this the
+   delay stops conveying information (the worker is just broken), and
+   unclamped [2. ** n] reaches infinity around ordinal 1030, which
+   would wedge the supervisor in [sleepf] forever. Jitter stays
+   multiplicative, so the worst observable delay is 1.25x this. *)
+let max_backoff_delay = 5.0
+
 let backoff_delay ~sid ~restarts =
   let base = backoff_base () in
-  let exp = base *. (2. ** float_of_int (max 0 (restarts - 1))) in
+  let exp =
+    Float.min max_backoff_delay (base *. (2. ** float_of_int (max 0 (restarts - 1))))
+  in
   let rng = Pool.rng_of_key (Printf.sprintf "respawn/%d/%d" sid restarts) in
   exp *. (1. +. (0.25 *. Rng.float rng))
 

@@ -67,6 +67,17 @@ val set_backoff_base : float -> unit
 
 val backoff_base : unit -> float
 
+val max_backoff_delay : float
+(** Hard cap (seconds, pre-jitter) on the exponential respawn delay:
+    growth is clamped here so high restart ordinals cannot push the
+    delay toward infinity and wedge the supervisor. The worst
+    observable delay is [1.25 *. max_backoff_delay]. *)
+
+val backoff_delay : sid:int -> restarts:int -> float
+(** The respawn delay for worker slot [sid] at restart ordinal
+    [restarts]: capped exponential growth from [backoff_base] plus
+    deterministic jitter. Exposed for the cap regression test. *)
+
 (** {2 Task kinds}
 
     The wire carries only (kind, key, arg) strings — never closures.

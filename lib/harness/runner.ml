@@ -165,28 +165,55 @@ let run_threads ?(timing = false) ?(max_insns = 50_000_000)
       profile = None;
     }
 
-(* --- on-disk result store (checkpoint / resume) --------------------------- *)
+(* --- on-disk result store (checkpoint / resume / shared cache) ------------ *)
 
 (* Spills memoized runs to disk so an interrupted sweep resumes where it
-   stopped and repeated invocations skip re-simulation entirely.
-   Entries are keyed by the memo key ([job_key]) plus a content digest
-   of the built workload program, so editing a workload builder
-   invalidates its cached runs.
+   stopped, repeated invocations skip re-simulation entirely, and many
+   concurrent processes (sweeps, workers, a future chex86d daemon) can
+   share one warm cache.  Entries are keyed by the memo key ([job_key])
+   plus a content digest of the built workload program, so editing a
+   workload builder invalidates its cached runs.
 
-   Robustness over cleverness: entries are written atomically (tmp +
-   rename, so a killed process leaves either the old entry or none) and
-   validated on load (format version + payload digest); anything
-   unreadable is discarded with a warning and re-simulated — a corrupt
-   cache can cost time, never correctness, and never a crash. *)
+   v2 layout, content-addressed and shared-writer safe:
+
+     <dir>/objects/<hh>/<slug>-<id>.run   published entries, sharded by
+                                          the first byte of <id> (the
+                                          MD5 of key + program digest)
+     <dir>/objects/<hh>/.tmp-<pid>-<n>-*  in-flight writes
+     <dir>/quarantine/                    corrupt entries, kept for
+                                          post-mortem instead of deleted
+     <dir>/<slug>-<id>.run                legacy v1 entries, read through
+                                          and migrated into objects/ on
+                                          first hit
+
+   Crash model (machine-checked by `chex86_sim store fsck` and the
+   kill/resume chaos soak): a writer may be SIGKILLed at any point.
+   Entries become visible only via link/rename of a fully written tmp
+   file, so a reader can never observe a partial entry; a kill before
+   publish leaves only a tmp file that reclamation or fsck collects.
+   Two writers racing on one key are benign: the loser's link fails
+   with EEXIST and is counted as [race_lost] — a cache hit in effect,
+   never corruption.  Anything unreadable is quarantined with a warning
+   and re-simulated — a corrupt cache can cost time, never correctness,
+   and never a crash.  On ENOSPC/EROFS the store degrades to memo-only
+   operation so a sweep on a full disk still completes. *)
 module Store = struct
-  let format_version = "chex86-store-v1"
+  let format_version = "chex86-store-v2"
+  let v1_format_version = "chex86-store-v1"
 
   let dir_ref : string option Atomic.t = Atomic.make None
+  let max_bytes_ref : int option Atomic.t = Atomic.make None
   let hits = Atomic.make 0
   let misses = Atomic.make 0
   let writes = Atomic.make 0
   let discarded = Atomic.make 0
   let tmp_reclaimed = Atomic.make 0
+  let quarantined = Atomic.make 0
+  let race_lost = Atomic.make 0
+  let evicted = Atomic.make 0
+  let migrated = Atomic.make 0
+  let write_errors = Atomic.make 0
+  let degraded = Atomic.make false
 
   type stats = {
     hits : int;
@@ -194,6 +221,12 @@ module Store = struct
     writes : int;
     discarded : int;
     tmp_reclaimed : int;
+    quarantined : int;
+    race_lost : int;
+    evicted : int;
+    migrated : int;
+    write_errors : int;
+    degraded : bool;
   }
 
   let stats () =
@@ -203,6 +236,12 @@ module Store = struct
       writes = Atomic.get writes;
       discarded = Atomic.get discarded;
       tmp_reclaimed = Atomic.get tmp_reclaimed;
+      quarantined = Atomic.get quarantined;
+      race_lost = Atomic.get race_lost;
+      evicted = Atomic.get evicted;
+      migrated = Atomic.get migrated;
+      write_errors = Atomic.get write_errors;
+      degraded = Atomic.get degraded;
     }
 
   let reset_stats () =
@@ -210,9 +249,19 @@ module Store = struct
     Atomic.set misses 0;
     Atomic.set writes 0;
     Atomic.set discarded 0;
-    Atomic.set tmp_reclaimed 0
+    Atomic.set tmp_reclaimed 0;
+    Atomic.set quarantined 0;
+    Atomic.set race_lost 0;
+    Atomic.set evicted 0;
+    Atomic.set migrated 0;
+    Atomic.set write_errors 0;
+    Atomic.set degraded false
 
   let default_dir = "_chex86_cache"
+  let objects_dirname = "objects"
+  let quarantine_dirname = "quarantine"
+  let objects_dir d = Filename.concat d objects_dirname
+  let quarantine_dir d = Filename.concat d quarantine_dirname
 
   let warn fmt =
     Printf.ksprintf (fun msg -> Printf.eprintf "chex86-store: %s\n%!" msg) fmt
@@ -225,75 +274,137 @@ module Store = struct
     | exception Unix.Unix_error (Unix.ESRCH, _, _) -> false
     | exception _ -> true
 
-  (* Age guard for pid reuse: a recycled pid can make a long-dead
-     writer look alive, so sufficiently old tmp files go regardless. *)
+  (* Age floor for reclaiming a dead writer's tmp files: between the
+     liveness probe and the unlink the file could belong to a brand-new
+     writer that inherited a recycled pid (or, on a shared filesystem,
+     to a live writer in another pid namespace whose pid happens to
+     look dead here).  A real writer publishes within one entry write,
+     so anything older than [tmp_min_age] with a dead owner is garbage;
+     younger files are left for the next sweep. *)
+  let tmp_min_age = 60. (* seconds *)
+
+  (* Hard age cap for pid reuse in the other direction: a recycled pid
+     can also make a long-dead writer look alive, so sufficiently old
+     tmp files go regardless of the liveness probe. *)
   let tmp_stale_age = 900. (* seconds *)
 
-  (* Reclaim stale [.tmp-<pid>-*] files left behind by a killed process:
-     a live writer renames its tmp away within one entry write, so any
-     tmp file whose writer is dead — or that has sat here longer than
-     [tmp_stale_age] — is garbage from a torn sweep. *)
-  let reclaim_tmp dir =
-    match Sys.readdir dir with
-    | exception Sys_error _ -> ()
-    | names ->
-      let self = Unix.getpid () in
-      let now = Unix.time () in
-      Array.iter
-        (fun name ->
-          if String.length name > 5 && String.sub name 0 5 = ".tmp-" then begin
-            let path = Filename.concat dir name in
-            let writer =
-              match String.index_from_opt name 5 '-' with
-              | Some dash -> int_of_string_opt (String.sub name 5 (dash - 5))
-              | None -> None
-            in
-            let old =
-              match Unix.stat path with
-              | st -> now -. st.Unix.st_mtime > tmp_stale_age
-              | exception Unix.Unix_error _ -> false
-            in
-            let stale =
-              match writer with
-              | Some pid when pid = self -> false
-              | Some pid -> (not (pid_alive pid)) || old
-              | None -> old
-            in
-            if stale then begin
-              match Sys.remove path with
-              | () ->
-                Atomic.incr tmp_reclaimed;
-                warn "reclaimed stale tmp file %s" path
-              | exception Sys_error _ -> ()
-            end
-          end)
-        names
+  let is_tmp_name name = String.length name > 5 && String.sub name 0 5 = ".tmp-"
+
+  let tmp_writer_pid name =
+    match String.index_from_opt name 5 '-' with
+    | Some dash -> int_of_string_opt (String.sub name 5 (dash - 5))
+    | None -> None
+
+  let tmp_age ~now path =
+    match Unix.stat path with
+    | st -> now -. st.Unix.st_mtime
+    | exception Unix.Unix_error _ -> 0.
+
+  let tmp_is_stale ~self ~now path name =
+    let age = tmp_age ~now path in
+    match tmp_writer_pid name with
+    | Some pid when pid = self -> false
+    | Some pid -> ((not (pid_alive pid)) && age > tmp_min_age) || age > tmp_stale_age
+    | None -> age > tmp_stale_age
+
+  (* The directories holding entries (and therefore possibly tmp
+     files): the root (v1 era) plus every populated shard. *)
+  let entry_dirs d =
+    let shards =
+      match Sys.readdir (objects_dir d) with
+      | names ->
+        Array.to_list names
+        |> List.filter_map (fun n ->
+               let p = Filename.concat (objects_dir d) n in
+               if Sys.is_directory p then Some p else None)
+      | exception Sys_error _ -> []
+    in
+    d :: List.sort compare shards
+
+  (* Reclaim stale [.tmp-<pid>-*] files left behind by killed processes
+     anywhere in the tree. *)
+  let reclaim_tmp d =
+    let self = Unix.getpid () in
+    let now = Unix.time () in
+    List.iter
+      (fun dir ->
+        match Sys.readdir dir with
+        | exception Sys_error _ -> ()
+        | names ->
+          Array.iter
+            (fun name ->
+              if is_tmp_name name then begin
+                let path = Filename.concat dir name in
+                if tmp_is_stale ~self ~now path name then begin
+                  match Sys.remove path with
+                  | () ->
+                    Atomic.incr tmp_reclaimed;
+                    warn "reclaimed stale tmp file %s" path
+                  | exception Sys_error _ -> ()
+                end
+              end)
+            names)
+      (entry_dirs d)
 
   (* One sweep per configuration: [ensure_dir] runs on every save, and
-     re-listing the directory each time would turn writes quadratic. *)
+     re-listing the tree each time would turn writes quadratic. *)
   let swept = Atomic.make false
+
+  (* Entries this process has touched (hit or published) since the last
+     [configure]/[clear_pins]: the in-flight sweep depends on them, so
+     eviction must not take them out from under it. Keyed by entry
+     basename — unique per (key, program digest). *)
+  let pins : (string, unit) Hashtbl.t = Hashtbl.create 64
+  let pins_lock = Mutex.create ()
+  let pin name = Mutex.protect pins_lock (fun () -> Hashtbl.replace pins name ())
+  let pinned name = Mutex.protect pins_lock (fun () -> Hashtbl.mem pins name)
+  let clear_pins () = Mutex.protect pins_lock (fun () -> Hashtbl.reset pins)
+
+  (* Entries that failed to quarantine (read-only store): remembered so
+     a corrupt entry is not re-read and re-warned every load. *)
+  let bad : (string, unit) Hashtbl.t = Hashtbl.create 8
+  let bad_lock = Mutex.create ()
+  let mark_bad path = Mutex.protect bad_lock (fun () -> Hashtbl.replace bad path ())
+  let is_bad path = Mutex.protect bad_lock (fun () -> Hashtbl.mem bad path)
+  let clear_bad () = Mutex.protect bad_lock (fun () -> Hashtbl.reset bad)
+
+  (* Running estimate of the store's published bytes; -1 = unknown (the
+     next eviction check re-scans). Only consulted when a budget is
+     armed. *)
+  let approx_bytes = Atomic.make (-1)
 
   (* The directory itself is created on first write, so enabling the
      store in a binary that never saves leaves no empty directory. *)
   let configure ~dir =
     Atomic.set dir_ref (Some dir);
     Atomic.set swept false;
+    Atomic.set approx_bytes (-1);
+    Atomic.set degraded false;
+    clear_pins ();
+    clear_bad ();
     if Sys.file_exists dir then begin
       Atomic.set swept true;
       reclaim_tmp dir
     end
 
+  let mkdir_exist_ok dir =
+    try Unix.mkdir dir 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ()
+
   let ensure_dir dir =
-    (try if not (Sys.file_exists dir) then Unix.mkdir dir 0o755 with
-    | Unix.Unix_error (Unix.EEXIST, _, _) -> ());
+    mkdir_exist_ok dir;
     if not (Atomic.exchange swept true) then reclaim_tmp dir
 
   let disable () = Atomic.set dir_ref None
   let enabled () = Option.is_some (Atomic.get dir_ref)
   let dir () = Atomic.get dir_ref
+  let set_max_bytes b = Atomic.set max_bytes_ref (Option.map (max 0) b)
+  let max_bytes () = Atomic.get max_bytes_ref
 
   (* Key scheme: a human-greppable sanitized prefix of the memo key plus
-     a digest over (key, program digest) that actually disambiguates. *)
+     a digest over (key, program digest) that actually disambiguates;
+     the digest's first byte is the shard. *)
+  let entry_id ~key ~digest = Digest.to_hex (Digest.string (key ^ "\x00" ^ digest))
+
   let entry_name ~key ~digest =
     let slug =
       String.map
@@ -301,10 +412,32 @@ module Store = struct
           match c with 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '-' | '.' -> c | _ -> '_')
         (if String.length key > 64 then String.sub key 0 64 else key)
     in
-    Printf.sprintf "%s-%s.run" slug (Digest.to_hex (Digest.string (key ^ "\x00" ^ digest)))
+    Printf.sprintf "%s-%s.run" slug (entry_id ~key ~digest)
 
-  let entry_path ~key ~digest =
-    Option.map (fun d -> Filename.concat d (entry_name ~key ~digest)) (dir ())
+  let entry_suffix = ".run"
+  let is_entry_name name = (not (is_tmp_name name)) && Filename.check_suffix name entry_suffix
+
+  (* The shard an entry name belongs to: first two hex chars of the
+     trailing 32-char id. *)
+  let shard_of_name name =
+    if not (Filename.check_suffix name entry_suffix) then None
+    else
+      let base = Filename.chop_suffix name entry_suffix in
+      if String.length base < 32 then None
+      else
+        let id = String.sub base (String.length base - 32) 32 in
+        if String.for_all (function '0' .. '9' | 'a' .. 'f' -> true | _ -> false) id
+        then Some (String.sub id 0 2)
+        else None
+
+  (* [entry_paths ~key ~digest] is [(v1 path, v2 path)] under the
+     configured directory. *)
+  let entry_paths_in d ~key ~digest =
+    let name = entry_name ~key ~digest in
+    let shard = String.sub (entry_id ~key ~digest) 0 2 in
+    (Filename.concat d name, Filename.concat (Filename.concat (objects_dir d) shard) name)
+
+  let entry_paths ~key ~digest = Option.map (fun d -> entry_paths_in d ~key ~digest) (dir ())
 
   let read_file path =
     let ic = open_in_bin path in
@@ -312,89 +445,551 @@ module Store = struct
       ~finally:(fun () -> close_in_noerr ic)
       (fun () -> really_input_string ic (in_channel_length ic))
 
-  (* Entry layout: version line, payload-digest line, marshalled payload. *)
-  let load ~key ~digest : run option =
-    match entry_path ~key ~digest with
-    | None -> None
-    | Some path ->
-      if not (Sys.file_exists path) then begin
-        Atomic.incr misses;
-        if Trace.on () then Trace.instant ~stage:"store.miss" [ ("key", key) ];
-        None
-      end
-      else begin
-        match
-          let body = read_file path in
-          Scanf.sscanf body "%s@\n%s@\n" (fun version payload_digest ->
-              let header_len =
-                String.length version + 1 + String.length payload_digest + 1
-              in
-              let payload =
-                String.sub body header_len (String.length body - header_len)
-              in
-              if version <> format_version then Error "format version mismatch"
-              else if Digest.to_hex (Digest.string payload) <> payload_digest then
-                Error "payload digest mismatch"
-              else
-                (* The digest can pass on a payload the unmarshaller
-                   still rejects (e.g. an entry truncated inside the
-                   marshal header whose digest line happened to match a
-                   crafted short payload) — any exception here is a
-                   corrupt entry, not a crash. *)
-                match (Marshal.from_string payload 0 : run) with
-                | run -> Ok run
-                | exception e ->
-                  Error ("malformed marshal payload: " ^ Printexc.to_string e))
-        with
-        | Ok run ->
-          Atomic.incr hits;
-          if Trace.on () then Trace.instant ~stage:"store.hit" [ ("key", key) ];
-          Some run
-        | Error reason | (exception Scanf.Scan_failure reason) ->
-          warn "discarding corrupt entry %s (%s)" path reason;
-          (try Sys.remove path with Sys_error _ -> ());
-          Atomic.incr discarded;
-          Atomic.incr misses;
-          if Trace.on () then Trace.instant ~stage:"store.miss" [ ("key", key) ];
-          None
-        | exception e ->
-          warn "discarding unreadable entry %s (%s)" path (Printexc.to_string e);
-          (try Sys.remove path with Sys_error _ -> ());
-          Atomic.incr discarded;
-          Atomic.incr misses;
-          if Trace.on () then Trace.instant ~stage:"store.miss" [ ("key", key) ];
-          None
-      end
+  (* Entry layout.
+     v2: version line, payload-digest line, payload-length line, payload.
+     v1 (legacy): version line, payload-digest line, payload. *)
+  let header_lines body n =
+    let rec go start acc k =
+      if k = 0 then Some (List.rev acc, start)
+      else
+        match String.index_from_opt body start '\n' with
+        | None -> None
+        | Some i -> go (i + 1) (String.sub body start (i - start) :: acc) (k - 1)
+    in
+    go 0 [] n
 
-  let save ~key ~digest run =
-    match (entry_path ~key ~digest, dir ()) with
-    | Some path, Some d -> (
+  type version = V1 | V2
+
+  let parse_entry body : (run * version, string) result =
+    let check_payload payload payload_digest =
+      if Digest.to_hex (Digest.string payload) <> payload_digest then
+        Error "payload digest mismatch"
+      else
+        (* The digest can pass on a payload the unmarshaller still
+           rejects (e.g. an entry truncated inside the marshal header
+           whose digest line happened to match a crafted short payload)
+           — any exception here is a corrupt entry, not a crash. *)
+        match (Marshal.from_string payload 0 : run) with
+        | run -> Ok run
+        | exception e -> Error ("malformed marshal payload: " ^ Printexc.to_string e)
+    in
+    match String.index_opt body '\n' with
+    | None -> Error "missing header"
+    | Some i ->
+      let version = String.sub body 0 i in
+      if version = format_version then
+        match header_lines body 3 with
+        | Some ([ _; payload_digest; len_line ], off) -> (
+          let payload = String.sub body off (String.length body - off) in
+          match int_of_string_opt len_line with
+          | None -> Error (Printf.sprintf "malformed length line %S" len_line)
+          | Some len when len <> String.length payload ->
+            Error
+              (Printf.sprintf "payload is %d bytes, header says %d"
+                 (String.length payload) len)
+          | Some _ -> Result.map (fun run -> (run, V2)) (check_payload payload payload_digest))
+        | _ -> Error "truncated header"
+      else if version = v1_format_version then
+        match header_lines body 2 with
+        | Some ([ _; payload_digest ], off) ->
+          let payload = String.sub body off (String.length body - off) in
+          Result.map (fun run -> (run, V1)) (check_payload payload payload_digest)
+        | _ -> Error "truncated header"
+      else Error (Printf.sprintf "unknown format version %S" version)
+
+  let parse_file path : (run * version, [ `Missing | `Corrupt of string ]) result =
+    if not (Sys.file_exists path) then Error `Missing
+    else
+      match parse_entry (read_file path) with
+      | Ok parsed -> Ok parsed
+      | Error reason -> Error (`Corrupt reason)
+      | exception e -> Error (`Corrupt ("unreadable: " ^ Printexc.to_string e))
+
+  (* Corrupt entries are moved aside for post-mortem, never trusted and
+     never silently deleted; if the move itself fails (read-only store)
+     the path is remembered as bad so it is not re-read every load. *)
+  let quarantine_counter = Atomic.make 0
+
+  let quarantine_entry d path reason =
+    warn "quarantining corrupt entry %s (%s)" path reason;
+    Atomic.incr discarded;
+    ignore (Faultinject.at_point "store.quarantine.pre_rename");
+    let dst =
+      Filename.concat (quarantine_dir d)
+        (Printf.sprintf "%d-%d-%s" (Unix.getpid ())
+           (Atomic.fetch_and_add quarantine_counter 1)
+           (Filename.basename path))
+    in
+    match
+      mkdir_exist_ok (quarantine_dir d);
+      Sys.rename path dst
+    with
+    | () ->
+      Atomic.incr quarantined;
+      if Trace.on () then
+        Trace.instant ~stage:"store.quarantine"
+          [ ("entry", Filename.basename path); ("reason", reason) ]
+    | exception _ -> (
+      match Sys.remove path with
+      | () -> ()
+      | exception _ -> mark_bad path)
+
+  (* --- publish protocol ---------------------------------------------------
+
+     O_EXCL tmp write + link: the entry becomes visible atomically and
+     only complete; a concurrent writer of the same key loses the link
+     race with EEXIST and treats it as a hit.  Filesystems without hard
+     links fall back to rename (still atomic; a lost race overwrites
+     the winner with an identical entry). *)
+  let tmp_counter = Atomic.make 0
+
+  let write_tmp_file tmp body =
+    let fd = Unix.openfile tmp [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_EXCL ] 0o644 in
+    Fun.protect
+      ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+      (fun () ->
+        let b = Bytes.unsafe_of_string body in
+        let pos = ref 0 in
+        while !pos < Bytes.length b do
+          pos := !pos + Unix.write fd b !pos (Bytes.length b - !pos)
+        done)
+
+  let raise_point_errno dst = function
+    | Some (Faultinject.Errno e) -> raise (Unix.Unix_error (e, "write", dst))
+    | _ -> ()
+
+  (* Publish [payload] for entry [name]; returns [true] if this
+     process's write is the one now on disk. *)
+  let publish d ~key ~v2_path payload =
+    let name = Filename.basename v2_path in
+    let shard_dir = Filename.dirname v2_path in
+    mkdir_exist_ok (objects_dir d);
+    mkdir_exist_ok shard_dir;
+    raise_point_errno v2_path (Faultinject.at_point "store.publish.pre_write");
+    let tmp =
+      Filename.concat shard_dir
+        (Printf.sprintf ".tmp-%d-%d-%s" (Unix.getpid ())
+           (Atomic.fetch_and_add tmp_counter 1)
+           name)
+    in
+    let body =
+      String.concat ""
+        [
+          format_version; "\n";
+          Digest.to_hex (Digest.string payload); "\n";
+          string_of_int (String.length payload); "\n";
+          payload;
+        ]
+    in
+    write_tmp_file tmp body;
+    (* Torn-write injection: truncate the tmp as if the writer died
+       mid-write; the torn artifact must never become a published
+       entry a reader would trust. *)
+    (match Faultinject.at_point "store.publish.mid_write" with
+    | Some (Faultinject.Torn_artifact keep) ->
+      Unix.truncate tmp (min keep (String.length body))
+    | hit -> raise_point_errno v2_path hit);
+    raise_point_errno v2_path (Faultinject.at_point "store.publish.pre_rename");
+    let won =
+      if Sys.file_exists v2_path then false
+      else
+        match Unix.link tmp v2_path with
+        | () -> true
+        | exception Unix.Unix_error (Unix.EEXIST, _, _) -> false
+        | exception
+            Unix.Unix_error ((Unix.EPERM | Unix.EOPNOTSUPP | Unix.ENOSYS | Unix.EMLINK), _, _)
+          ->
+          Sys.rename tmp v2_path;
+          true
+    in
+    (try Sys.remove tmp with Sys_error _ -> ());
+    ignore (Faultinject.at_point "store.publish.post_rename");
+    if won then begin
+      Atomic.incr writes;
+      if Trace.on () then
+        Trace.instant ~stage:"store.publish"
+          [ ("key", key); ("bytes", string_of_int (String.length body)) ]
+    end
+    else begin
+      (* Lost race = someone else already published this exact
+         (key, digest): their entry is as good as ours — a hit. *)
+      Atomic.incr race_lost;
+      if Trace.on () then Trace.instant ~stage:"store.race_lost" [ ("key", key) ]
+    end;
+    pin name;
+    (won, String.length body)
+
+  (* --- eviction ------------------------------------------------------------ *)
+
+  (* Published entries across the whole tree as (path, bytes, mtime). *)
+  let scan_entries d =
+    let acc = ref [] in
+    let add dir name =
+      if is_entry_name name then begin
+        let path = Filename.concat dir name in
+        match Unix.stat path with
+        | { Unix.st_kind = Unix.S_REG; st_size; st_mtime; _ } ->
+          acc := (path, st_size, st_mtime) :: !acc
+        | _ | (exception Unix.Unix_error _) -> ()
+      end
+    in
+    List.iter
+      (fun dir ->
+        match Sys.readdir dir with
+        | names -> Array.iter (add dir) names
+        | exception Sys_error _ -> ())
+      (entry_dirs d);
+    !acc
+
+  (* Oldest-first size eviction down to [budget]; entries pinned by the
+     in-flight sweep are never candidates.  Returns (evicted, bytes
+     freed). *)
+  let evict_to_budget d ~budget =
+    let entries = scan_entries d in
+    let total = List.fold_left (fun a (_, s, _) -> a + s) 0 entries in
+    Atomic.set approx_bytes total;
+    if total <= budget then (0, 0)
+    else begin
+      let by_age = List.sort (fun (_, _, a) (_, _, b) -> compare a b) entries in
+      let freed = ref 0 and count = ref 0 in
+      List.iter
+        (fun (path, size, _) ->
+          if total - !freed > budget && not (pinned (Filename.basename path)) then begin
+            ignore (Faultinject.at_point "store.evict.pre_unlink");
+            match Sys.remove path with
+            | () ->
+              freed := !freed + size;
+              incr count;
+              Atomic.incr evicted;
+              if Trace.on () then
+                Trace.instant ~stage:"store.evict"
+                  [ ("entry", Filename.basename path); ("bytes", string_of_int size) ]
+            | exception Sys_error _ -> ()
+          end)
+        by_age;
+      Atomic.set approx_bytes (total - !freed);
+      if total - !freed > budget then
+        warn "store still %d bytes over budget after eviction (all remaining entries pinned)"
+          (total - !freed - budget);
+      (!count, !freed)
+    end
+
+  let maybe_evict d ~published_bytes =
+    match max_bytes () with
+    | None -> ()
+    | Some budget ->
+      let approx = Atomic.get approx_bytes in
+      let approx =
+        if approx < 0 then approx
+        else begin
+          ignore (Atomic.fetch_and_add approx_bytes published_bytes);
+          approx + published_bytes
+        end
+      in
+      if approx < 0 || approx > budget then ignore (evict_to_budget d ~budget)
+
+  (* --- load / save --------------------------------------------------------- *)
+
+  let note_miss ~key =
+    Atomic.incr misses;
+    if Trace.on () then Trace.instant ~stage:"store.miss" [ ("key", key) ]
+
+  let note_hit ~key name =
+    pin name;
+    Atomic.incr hits;
+    if Trace.on () then Trace.instant ~stage:"store.hit" [ ("key", key) ]
+
+  (* Writes degrade to memo-only on a full / read-only filesystem: the
+     sweep's correctness never depended on the store, so it completes
+     and only loses warm-start for the next invocation. *)
+  let degrade_writes e =
+    Atomic.incr write_errors;
+    if not (Atomic.exchange degraded true) then begin
+      warn "filesystem error (%s): store degraded to memo-only operation"
+        (Printexc.to_string e);
+      if Trace.on () then
+        Trace.instant ~stage:"store.degraded" [ ("error", Printexc.to_string e) ]
+    end
+
+  let save_internal d ~key payload ~v2_path =
+    if not (Atomic.get degraded) then begin
       try
         ensure_dir d;
-        let payload = Marshal.to_string (run : run) [] in
-        let tmp =
-          Filename.concat d
-            (Printf.sprintf ".tmp-%d-%s" (Unix.getpid ()) (Filename.basename path))
-        in
-        let oc = open_out_bin tmp in
-        Fun.protect
-          ~finally:(fun () -> close_out_noerr oc)
-          (fun () ->
-            output_string oc format_version;
-            output_char oc '\n';
-            output_string oc (Digest.to_hex (Digest.string payload));
-            output_char oc '\n';
-            output_string oc payload);
-        Sys.rename tmp path;
-        Atomic.incr writes;
-        (* Deterministic torn-write injection: the fault plan may ask for
-           this entry to be truncated, as if the process died mid-write
-           on a filesystem without atomic rename. *)
-        match Faultinject.truncation_for ~key with
-        | Some keep -> Unix.truncate path (min keep (String.length payload))
-        | None -> ()
-      with e -> warn "failed to write entry for %s (%s)" key (Printexc.to_string e))
-    | _ -> ()
+        let won, entry_bytes = publish d ~key ~v2_path payload in
+        (* Legacy deterministic torn-write injection (key plans):
+           truncate the published entry, as if on a filesystem without
+           atomic rename. Only our own write is torn — tearing a racing
+           winner's entry would corrupt data another process owns. *)
+        (match (won, Faultinject.truncation_for ~key) with
+        | true, Some keep -> Unix.truncate v2_path (min keep (String.length payload))
+        | _ -> ());
+        if won then maybe_evict d ~published_bytes:entry_bytes
+      with
+      | Unix.Unix_error ((Unix.ENOSPC | Unix.EROFS | Unix.EACCES), _, _) as e ->
+        degrade_writes e
+      | e ->
+        Atomic.incr write_errors;
+        warn "failed to write entry for %s (%s)" key (Printexc.to_string e)
+    end
+
+  let save ~key ~digest run =
+    match dir () with
+    | None -> ()
+    | Some d ->
+      let _, v2_path = entry_paths_in d ~key ~digest in
+      save_internal d ~key (Marshal.to_string (run : run) []) ~v2_path
+
+  let load ~key ~digest : run option =
+    match dir () with
+    | None -> None
+    | Some d -> (
+      let v1_path, v2_path = entry_paths_in d ~key ~digest in
+      ignore (Faultinject.at_point "store.load.pre_read");
+      if is_bad v2_path then begin
+        note_miss ~key;
+        None
+      end
+      else
+        match parse_file v2_path with
+        | Ok (run, _) ->
+          note_hit ~key (Filename.basename v2_path);
+          Some run
+        | Error (`Corrupt reason) ->
+          quarantine_entry d v2_path reason;
+          note_miss ~key;
+          None
+        | Error `Missing -> (
+          (* v1 read-through: serve the legacy entry and migrate it
+             into the sharded tree so the flat layout drains away. *)
+          if is_bad v1_path then begin
+            note_miss ~key;
+            None
+          end
+          else
+            match parse_file v1_path with
+            | Error `Missing ->
+              note_miss ~key;
+              None
+            | Error (`Corrupt reason) ->
+              quarantine_entry d v1_path reason;
+              note_miss ~key;
+              None
+            | Ok (run, _) ->
+              save_internal d ~key (Marshal.to_string (run : run) []) ~v2_path;
+              if Sys.file_exists v2_path then begin
+                (try Sys.remove v1_path with Sys_error _ -> ());
+                Atomic.incr migrated;
+                if Trace.on () then
+                  Trace.instant ~stage:"store.migrate" [ ("key", key) ]
+              end;
+              note_hit ~key (Filename.basename v2_path);
+              Some run))
+
+  (* --- offline maintenance: stats / gc / fsck ------------------------------ *)
+
+  type disk_stats = {
+    d_entries : int;
+    d_bytes : int;
+    d_v1 : int;  (* legacy flat entries not yet migrated *)
+    d_tmp : int;
+    d_quarantine : int;
+  }
+
+  let count_dir dir pred =
+    match Sys.readdir dir with
+    | names -> Array.fold_left (fun n name -> if pred name then n + 1 else n) 0 names
+    | exception Sys_error _ -> 0
+
+  let disk_stats ~dir:d =
+    let entries = scan_entries d in
+    let tmp =
+      List.fold_left
+        (fun n dir -> n + count_dir dir is_tmp_name)
+        0 (entry_dirs d)
+    in
+    {
+      d_entries = List.length entries;
+      d_bytes = List.fold_left (fun a (_, s, _) -> a + s) 0 entries;
+      d_v1 =
+        count_dir d (fun name ->
+            is_entry_name name && Sys.file_exists (Filename.concat d name)
+            && not (Sys.is_directory (Filename.concat d name)));
+      d_tmp = tmp;
+      d_quarantine = count_dir (quarantine_dir d) (fun _ -> true);
+    }
+
+  type gc_report = {
+    g_entries : int;  (* entries remaining after the pass *)
+    g_bytes : int;  (* bytes remaining after the pass *)
+    g_evicted : int;
+    g_evicted_bytes : int;
+    g_tmp_reclaimed : int;
+  }
+
+  (* Explicit maintenance pass: reclaim stale tmp files, then evict
+     oldest-first to [max_bytes] if a budget is given (the process-wide
+     budget applies otherwise). *)
+  let gc ~dir:d ?max_bytes:budget () =
+    let tmp_before = Atomic.get tmp_reclaimed in
+    reclaim_tmp d;
+    let budget = match budget with Some _ as b -> b | None -> max_bytes () in
+    let evicted_n, evicted_b =
+      match budget with None -> (0, 0) | Some budget -> evict_to_budget d ~budget
+    in
+    let entries = scan_entries d in
+    {
+      g_entries = List.length entries;
+      g_bytes = List.fold_left (fun a (_, s, _) -> a + s) 0 entries;
+      g_evicted = evicted_n;
+      g_evicted_bytes = evicted_b;
+      g_tmp_reclaimed = Atomic.get tmp_reclaimed - tmp_before;
+    }
+
+  type fsck_issue = { f_path : string; f_problem : string }
+
+  type fsck_report = {
+    f_scanned : int;  (* published entries examined *)
+    f_ok : int;  (* entries that parsed and verified *)
+    f_v1 : int;  (* of which legacy v1 *)
+    f_bytes : int;  (* bytes across valid entries *)
+    f_tmp_pending : int;  (* young tmp files left in place *)
+    f_tmp_reclaimed : int;  (* stale tmp files removed by this pass *)
+    f_quarantined : int;  (* corrupt entries moved aside by this pass *)
+    f_quarantine_backlog : int;  (* files already in quarantine/ *)
+    f_issues : fsck_issue list;  (* invariant violations, oldest first *)
+  }
+
+  let fsck_clean r = r.f_issues = []
+
+  (* Full invariant check over a store tree.  Violations: an entry that
+     fails to parse/verify, a v2 entry outside (or in the wrong shard
+     of) the objects/ tree, a v1 entry inside it, a non-hex shard
+     directory.  Young tmp files are in-flight writes, not violations;
+     stale ones are reclaimed and reported but also not violations —
+     they are exactly what the crash model says a SIGKILL leaves
+     behind.  Corrupt and misplaced entries are quarantined so a second
+     fsck run comes back clean. *)
+  let fsck ~dir:d =
+    let scanned = ref 0 and ok = ref 0 and v1 = ref 0 and bytes = ref 0 in
+    let tmp_pending = ref 0 and tmp_swept = ref 0 and quarantined_now = ref 0 in
+    let issues = ref [] in
+    let issue path problem = issues := { f_path = path; f_problem = problem } :: !issues in
+    let issue_quarantine path problem =
+      issue path problem;
+      let before = Atomic.get quarantined in
+      quarantine_entry d path problem;
+      if Atomic.get quarantined > before then incr quarantined_now
+    in
+    let self = Unix.getpid () in
+    let now = Unix.time () in
+    let check_tmp dir name =
+      let path = Filename.concat dir name in
+      if tmp_is_stale ~self ~now path name then begin
+        match Sys.remove path with
+        | () ->
+          incr tmp_swept;
+          Atomic.incr tmp_reclaimed
+        | exception Sys_error _ -> incr tmp_pending
+      end
+      else incr tmp_pending
+    in
+    let check_entry ~expect_shard dir name =
+      let path = Filename.concat dir name in
+      incr scanned;
+      match parse_file path with
+      | Error `Missing -> issue path "vanished mid-scan"
+      | Error (`Corrupt reason) -> issue_quarantine path reason
+      | Ok (_, version) -> (
+        let size = try (Unix.stat path).Unix.st_size with Unix.Unix_error _ -> 0 in
+        match (version, expect_shard) with
+        | V1, None ->
+          incr ok;
+          incr v1;
+          bytes := !bytes + size
+        | V2, None -> issue_quarantine path "v2 entry outside the objects/ tree"
+        | V1, Some _ -> issue_quarantine path "legacy v1 entry inside the objects/ tree"
+        | V2, Some shard -> (
+          match shard_of_name name with
+          | Some s when s = shard ->
+            incr ok;
+            bytes := !bytes + size
+          | Some s ->
+            issue_quarantine path
+              (Printf.sprintf "entry named for shard %s found in %s" s shard)
+          | None -> issue_quarantine path "entry name carries no digest"))
+    in
+    (* Root: legacy v1 entries, tmp files, and the two known dirs. *)
+    (match Sys.readdir d with
+    | exception Sys_error _ -> ()
+    | names ->
+      Array.iter
+        (fun name ->
+          let path = Filename.concat d name in
+          if Sys.is_directory path then begin
+            if name <> objects_dirname && name <> quarantine_dirname then
+              issue path "unexpected directory in store root"
+          end
+          else if is_tmp_name name then check_tmp d name
+          else if is_entry_name name then check_entry ~expect_shard:None d name
+          else issue path "unexpected file in store root")
+        names);
+    (* objects/<shard>/ *)
+    (match Sys.readdir (objects_dir d) with
+    | exception Sys_error _ -> ()
+    | shards ->
+      Array.iter
+        (fun shard ->
+          let sd = Filename.concat (objects_dir d) shard in
+          if not (Sys.is_directory sd) then issue sd "unexpected file in objects/"
+          else if
+            not
+              (String.length shard = 2
+              && String.for_all (function '0' .. '9' | 'a' .. 'f' -> true | _ -> false) shard)
+          then issue sd "non-hex shard directory"
+          else
+            match Sys.readdir sd with
+            | exception Sys_error _ -> ()
+            | names ->
+              Array.iter
+                (fun name ->
+                  if is_tmp_name name then check_tmp sd name
+                  else if is_entry_name name then check_entry ~expect_shard:(Some shard) sd name
+                  else issue (Filename.concat sd name) "unexpected file in shard")
+                names)
+        (Array.of_list (List.sort compare (Array.to_list shards))));
+    {
+      f_scanned = !scanned;
+      f_ok = !ok;
+      f_v1 = !v1;
+      f_bytes = !bytes;
+      f_tmp_pending = !tmp_pending;
+      f_tmp_reclaimed = !tmp_swept;
+      f_quarantined = !quarantined_now;
+      f_quarantine_backlog = count_dir (quarantine_dir d) (fun _ -> true);
+      f_issues = List.rev !issues;
+    }
+
+  let fsck_json r =
+    let module Json = Chex86_stats.Json in
+    Json.Obj
+      [
+        ("clean", Json.Bool (fsck_clean r));
+        ("scanned", Json.Int r.f_scanned);
+        ("ok", Json.Int r.f_ok);
+        ("v1", Json.Int r.f_v1);
+        ("bytes", Json.Int r.f_bytes);
+        ("tmp_pending", Json.Int r.f_tmp_pending);
+        ("tmp_reclaimed", Json.Int r.f_tmp_reclaimed);
+        ("quarantined", Json.Int r.f_quarantined);
+        ("quarantine_backlog", Json.Int r.f_quarantine_backlog);
+        ( "issues",
+          Json.List
+            (List.map
+               (fun i ->
+                 Json.Obj
+                   [ ("path", Json.String i.f_path); ("problem", Json.String i.f_problem) ])
+               r.f_issues) );
+      ]
 end
 
 (* Content digest of a built workload program: instructions, globals,
@@ -583,6 +1178,33 @@ let () =
   Remote.store_dir_provider := Store.dir;
   Remote.store_dir_applier :=
     (function Some dir -> Store.configure ~dir | None -> Store.disable ())
+
+(* Store counters ride the [--metrics] export as a top-level "store"
+   section (Trace cannot depend on this module, so it exposes a hook). *)
+let () =
+  let module Json = Chex86_stats.Json in
+  let prev = !Trace.metrics_extra in
+  Trace.metrics_extra :=
+    fun () ->
+      let s = Store.stats () in
+      prev ()
+      @ [
+          ( "store",
+            Json.Obj
+              [
+                ("hits", Json.Int s.Store.hits);
+                ("misses", Json.Int s.Store.misses);
+                ("writes", Json.Int s.Store.writes);
+                ("discarded", Json.Int s.Store.discarded);
+                ("tmp_reclaimed", Json.Int s.Store.tmp_reclaimed);
+                ("quarantined", Json.Int s.Store.quarantined);
+                ("race_lost", Json.Int s.Store.race_lost);
+                ("evicted", Json.Int s.Store.evicted);
+                ("migrated", Json.Int s.Store.migrated);
+                ("write_errors", Json.Int s.Store.write_errors);
+                ("degraded", Json.Bool s.Store.degraded);
+              ] );
+        ]
 
 (* Supervised prefetch: a crashing or wedged job is recorded in the
    fault table and the rest of the sweep completes (a mid-chunk fault

@@ -95,7 +95,13 @@ let metrics_absorb (counters, hists) =
           Hashtbl.replace metrics_hists name (Histogram.merge prev snap))
         hists)
 
+(* Extra top-level sections for the metrics export, contributed by
+   layers Trace must not depend on (Runner adds its store counters
+   here). Called once at export time. *)
+let metrics_extra : (unit -> (string * Json.t) list) ref = ref (fun () -> [])
+
 let metrics_json () =
+  let extra = !metrics_extra () in
   Mutex.protect lock (fun () ->
       let hists =
         Hashtbl.fold (fun name snap acc -> (name, snap) :: acc) metrics_hists []
@@ -103,10 +109,11 @@ let metrics_json () =
         |> List.map (fun (name, snap) -> (name, Histogram.json_of_snapshot snap))
       in
       Json.Obj
-        [
-          ("counters", Counter.json_of_snapshot !metrics_counters);
-          ("histograms", Json.Obj hists);
-        ])
+        ([
+           ("counters", Counter.json_of_snapshot !metrics_counters);
+           ("histograms", Json.Obj hists);
+         ]
+        @ extra))
 
 let write_metrics () =
   match !metrics_path with

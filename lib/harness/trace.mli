@@ -98,6 +98,11 @@ val metrics_absorb :
 (** Write the accumulated metrics now (also registered [at_exit]). *)
 val write_metrics : unit -> unit
 
+(** Extra top-level sections appended to the metrics JSON object,
+    contributed by layers Trace must not depend on ([Runner] registers
+    a ["store"] section here). Called once per export. *)
+val metrics_extra : (unit -> (string * Chex86_stats.Json.t) list) ref
+
 (** {1 Offline analysis} *)
 
 (** [summarize_file path] parses a span JSONL file and renders

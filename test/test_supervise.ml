@@ -336,11 +336,43 @@ let test_security_sweep_supervised_degrades () =
    test sandbox. *)
 let store_dir = "_test_chex86_cache"
 
-let rm_rf dir =
+let rec rm_rf dir =
   if Sys.file_exists dir then begin
-    Array.iter (fun f -> Sys.remove (Filename.concat dir f)) (Sys.readdir dir);
+    Array.iter
+      (fun f ->
+        let p = Filename.concat dir f in
+        if Sys.is_directory p then rm_rf p else Sys.remove p)
+      (Sys.readdir dir);
     Unix.rmdir dir
   end
+
+(* Published entries anywhere in the v2 tree (root for legacy v1,
+   objects/<shard>/ for v2), as full paths. *)
+let store_entries () =
+  let acc = ref [] in
+  let scan dir =
+    match Sys.readdir dir with
+    | exception Sys_error _ -> ()
+    | names ->
+      Array.iter
+        (fun name ->
+          if Filename.check_suffix name ".run" && String.length name > 0 && name.[0] <> '.'
+          then acc := Filename.concat dir name :: !acc)
+        names
+  in
+  scan store_dir;
+  (match Sys.readdir (Filename.concat store_dir "objects") with
+  | exception Sys_error _ -> ()
+  | shards ->
+    Array.iter (fun s -> scan (Filename.concat (Filename.concat store_dir "objects") s)) shards);
+  List.sort compare !acc
+
+let the_store_entry () =
+  match store_entries () with
+  | [ entry ] -> entry
+  | entries ->
+    Alcotest.fail (Printf.sprintf "expected exactly one store entry, found %d"
+                     (List.length entries))
 
 let with_store f =
   Runner.reset_for_tests ();
@@ -380,13 +412,12 @@ let test_store_discards_corrupt_entry () =
       let w = W.find "swaptions" in
       let a = Runner.run_workload ~tag:"st2" ~scale:1 Runner.insecure w in
       (* Tear the entry as if the process died mid-write. *)
-      (match Sys.readdir store_dir with
-      | [| entry |] -> Unix.truncate (Filename.concat store_dir entry) 25
-      | _ -> Alcotest.fail "expected exactly one store entry");
+      Unix.truncate (the_store_entry ()) 25;
       Runner.reset_for_tests ();
       let b = Runner.run_workload ~tag:"st2" ~scale:1 Runner.insecure w in
       let s = Runner.Store.stats () in
       Alcotest.(check int) "corrupt entry discarded" 1 s.Runner.Store.discarded;
+      Alcotest.(check int) "and quarantined, not deleted" 1 s.Runner.Store.quarantined;
       Alcotest.(check int) "and re-simulated + re-written" 1 s.Runner.Store.writes;
       Alcotest.(check bool) "recomputed run identical" true (run_fields a = run_fields b))
 
@@ -394,11 +425,7 @@ let test_store_rejects_version_and_digest_mismatch () =
   with_store (fun () ->
       let w = W.find "swaptions" in
       let _ = Runner.run_workload ~tag:"st3" ~scale:1 Runner.insecure w in
-      let path =
-        match Sys.readdir store_dir with
-        | [| entry |] -> Filename.concat store_dir entry
-        | _ -> Alcotest.fail "expected exactly one store entry"
-      in
+      let path = the_store_entry () in
       (* Flip one payload byte: the digest line no longer matches. *)
       let fd = Unix.openfile path [ Unix.O_RDWR ] 0 in
       let size = (Unix.fstat fd).Unix.st_size in
@@ -433,8 +460,8 @@ let test_killed_then_resumed_sweep () =
       in
       Alcotest.(check int) "three entries written" 3 (Runner.Store.stats ()).Runner.Store.writes;
       (* Kill: drop all in-process state; tear one entry. *)
-      let victim = (Sys.readdir store_dir).(1) in
-      Unix.truncate (Filename.concat store_dir victim) 30;
+      let victim = List.nth (store_entries ()) 1 in
+      Unix.truncate victim 30;
       Runner.reset_for_tests ();
       let report = Runner.prefetch_supervised ~jobs:2 jobs_list in
       Alcotest.(check int) "resumed sweep healthy" 0
@@ -511,7 +538,10 @@ let test_sliced_slow_respects_deadline () =
 
 let test_tmp_reclamation () =
   (* Stale .tmp-<pid>-* files from a killed sweep are swept on
-     configure; a live writer's tmp files are left alone. *)
+     configure; a live writer's tmp files are left alone, and so is a
+     dead writer's file younger than the safety age — between the
+     liveness probe and the unlink the pid could have been recycled by
+     a brand-new writer (runner.ml pid-reuse hazard). *)
   with_store (fun () ->
       (try Unix.mkdir store_dir 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ());
       let dead_pid =
@@ -524,7 +554,10 @@ let test_tmp_reclamation () =
         ignore (Unix.waitpid [] pid);
         pid
       in
-      let dead = Filename.concat store_dir (Printf.sprintf ".tmp-%d-x.run" dead_pid) in
+      let dead_old = Filename.concat store_dir (Printf.sprintf ".tmp-%d-x.run" dead_pid) in
+      let dead_young =
+        Filename.concat store_dir (Printf.sprintf ".tmp-%d-z.run" dead_pid)
+      in
       let mine =
         Filename.concat store_dir (Printf.sprintf ".tmp-%d-y.run" (Unix.getpid ()))
       in
@@ -533,9 +566,16 @@ let test_tmp_reclamation () =
           let oc = open_out p in
           output_string oc "torn write";
           close_out oc)
-        [ dead; mine ];
+        [ dead_old; dead_young; mine ];
+      (* Age one dead tmp past the safety floor; the other stays at
+         mtime now. *)
+      let old = Unix.time () -. 120. in
+      Unix.utimes dead_old old old;
       Runner.Store.configure ~dir:store_dir;
-      Alcotest.(check bool) "dead writer's tmp reclaimed" false (Sys.file_exists dead);
+      Alcotest.(check bool) "dead writer's aged tmp reclaimed" false
+        (Sys.file_exists dead_old);
+      Alcotest.(check bool) "dead writer's young tmp kept (pid reuse guard)" true
+        (Sys.file_exists dead_young);
       Alcotest.(check bool) "live writer's tmp kept" true (Sys.file_exists mine);
       Alcotest.(check int) "reclamation counted" 1
         (Runner.Store.stats ()).Runner.Store.tmp_reclaimed)
@@ -548,23 +588,24 @@ let test_store_marshal_guard () =
   with_store (fun () ->
       let w = W.find "swaptions" in
       let a = Runner.run_workload ~tag:"st6" ~scale:1 Runner.insecure w in
-      let path =
-        match Sys.readdir store_dir with
-        | [| entry |] -> Filename.concat store_dir entry
-        | _ -> Alcotest.fail "expected exactly one store entry"
-      in
+      let path = the_store_entry () in
       let ic = open_in_bin path in
       let body =
         Fun.protect
           ~finally:(fun () -> close_in_noerr ic)
           (fun () -> really_input_string ic (in_channel_length ic))
       in
+      (* Rebuild a v2 entry whose digest and length lines both describe
+         a payload truncated inside the marshal header. *)
       let version = List.hd (String.split_on_char '\n' body) in
-      let header_skip = String.index_from body (String.index body '\n' + 1) '\n' + 1 in
+      let nl1 = String.index body '\n' in
+      let nl2 = String.index_from body (nl1 + 1) '\n' in
+      let header_skip = String.index_from body (nl2 + 1) '\n' + 1 in
       let payload = String.sub body header_skip 10 in
       let oc = open_out_bin path in
-      Printf.fprintf oc "%s\n%s\n%s" version (Digest.to_hex (Digest.string payload))
-        payload;
+      Printf.fprintf oc "%s\n%s\n%d\n%s" version
+        (Digest.to_hex (Digest.string payload))
+        (String.length payload) payload;
       close_out oc;
       Runner.reset_for_tests ();
       let b = Runner.run_workload ~tag:"st6" ~scale:1 Runner.insecure w in
