@@ -4,7 +4,7 @@
 #   make build   compile everything
 #   make test    dune runtest only
 
-.PHONY: all build test smoke fault-smoke remote-smoke trace-smoke \
+.PHONY: all build test bench smoke fault-smoke remote-smoke trace-smoke \
 	security-matrix store-smoke check clean
 
 all: build
@@ -14,6 +14,15 @@ build:
 
 test:
 	dune runtest
+
+# Simulator-throughput trajectory: times each (workload, variant) pair
+# end-to-end and writes BENCH_<n>.json at the next free index (committed
+# snapshots form the perf history).  Fails with exit 1 if any pair
+# regresses more than CHEX86_BENCH_MAX_REGRESS (default 0.20) against
+# the latest earlier snapshot.  Knobs: CHEX86_BENCH_MIN_SECONDS,
+# CHEX86_BENCH_DIR, CHEX86_SCALE, CHEX86_WORKLOADS.
+bench: build
+	dune exec bench/main.exe -- bench
 
 # Quick end-to-end sanity: a figure-6 sweep on three representative
 # workloads, sharded over 2 worker domains in batched chunks.

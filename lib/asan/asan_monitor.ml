@@ -17,6 +17,16 @@ type t = {
   shadow : Shadow.t;
   runtime : Runtime.t;
   counters : Chex86_stats.Counter.group;
+  (* The instrumentation of a crack is a pure function of the micro-ops,
+     and the engine's cracks are fixed per PC — so the instrumented list
+     is built once per static instruction and replayed thereafter.
+     [instrumented] maps pc -> index into [table]; the replay probe runs
+     once per macro instruction, so it is an [Intmap] hit rather than a
+     [Hashtbl] hash + generic-equality walk. *)
+  instrumented : Chex86_mem.Intmap.t;
+  mutable table : Uop.t list array;
+  mutable n_instrumented : int;
+  h_checks : Chex86_stats.Counter.handle;
 }
 
 let create ~proc () =
@@ -25,13 +35,21 @@ let create ~proc () =
   let runtime = Runtime.create proc.Os.Process.heap shadow counters in
   (* Interpose the redzone allocator behind the libc stubs. *)
   proc.Os.Process.runtime <- Runtime.as_runtime runtime proc.Os.Process.mem;
-  { shadow; runtime; counters }
+  {
+    shadow;
+    runtime;
+    counters;
+    instrumented = Chex86_mem.Intmap.create ~capacity:4096 ();
+    table = [||];
+    n_instrumented = 0;
+    h_checks = Chex86_stats.Counter.handle counters "asan.checks";
+  }
 
 let storage_bytes t = Runtime.storage_bytes t.runtime
 
 (* Stack and global accesses are checked too (their shadow defaults to
    addressable); only the text segment is exempt, as in ASan. *)
-let instrument _t (_ctx : Machine.Hooks.ctx) uops =
+let instrument_uops uops =
   List.concat_map
     (fun uop ->
       match Uop.mem_operand uop with
@@ -45,6 +63,25 @@ let instrument _t (_ctx : Machine.Hooks.ctx) uops =
       | None -> [ uop ])
     uops
 
+(* The expansion is deterministic per static instruction (the engine
+   memoizes cracks per PC), so it is computed once and replayed. *)
+let instrument t (ctx : Machine.Hooks.ctx) uops =
+  let i = Chex86_mem.Intmap.find t.instrumented ctx.pc ~default:(-1) in
+  if i >= 0 then t.table.(i)
+  else begin
+    let expanded = instrument_uops uops in
+    let i = t.n_instrumented in
+    if i >= Array.length t.table then begin
+      let tbl = Array.make (if i = 0 then 256 else 2 * i) [] in
+      Array.blit t.table 0 tbl 0 i;
+      t.table <- tbl
+    end;
+    t.table.(i) <- expanded;
+    t.n_instrumented <- i + 1;
+    Chex86_mem.Intmap.set t.instrumented ctx.pc i;
+    expanded
+  end
+
 let violation_of_poison ~ea ~is_store = function
   | Shadow.Heap_redzone | Shadow.Partial _ ->
     Chex86.Violation.Out_of_bounds { pid = 0; ea; base = 0; size = 0; is_store }
@@ -54,8 +91,7 @@ let violation_of_poison ~ea ~is_store = function
 let exec_uop t (_ctx : Machine.Hooks.ctx) (uop : Uop.t) ~ea ~result:_ =
   match uop with
   | Uop.Guard { kind = Uop.Shadow_compare; width; is_store; _ } -> (
-    let ea = match ea with Some ea -> ea | None -> 0 in
-    Chex86_stats.Counter.incr t.counters "asan.checks";
+    Chex86_stats.Counter.incr_handle t.counters t.h_checks;
     match Shadow.check t.shadow ea (Insn.bytes_of_width width) with
     | Ok () -> Machine.Hooks.no_reaction
     | Error reason ->
@@ -65,7 +101,8 @@ let exec_uop t (_ctx : Machine.Hooks.ctx) (uop : Uop.t) ~ea ~result:_ =
 
 let install t (hooks : Machine.Hooks.t) =
   hooks.Machine.Hooks.instrument <- instrument t;
-  hooks.Machine.Hooks.exec_uop <- exec_uop t
+  hooks.Machine.Hooks.exec_uop <- exec_uop t;
+  hooks.Machine.Hooks.active <- true
 
 (* Convenience end-to-end runner mirroring Chex86.Sim.run. *)
 let run ?(config = Machine.Config.default) ?(max_insns = 50_000_000) ?(timing = true)

@@ -4,7 +4,12 @@
    AddressSanitizer's 1/8 shadow encoding: a granule is fully
    addressable, partially addressable (first k bytes), or poisoned with
    a reason (heap redzone / freed memory).  Shadow pages touched are
-   accounted for the Fig 9 storage comparison. *)
+   accounted for the Fig 9 storage comparison.
+
+   Granule states live in an [Intmap] encoded as small ints — the check
+   path probes one granule per 8 bytes of every instrumented access, and
+   the common "fully addressable" case must be a flat-array miss, not a
+   [Not_found] raise or a boxed [option]. *)
 
 type state =
   | Addressable
@@ -12,63 +17,80 @@ type state =
   | Heap_redzone
   | Freed
 
+(* Encoding: 0 = Addressable (absent), 1..7 = Partial k, 8 = redzone,
+   9 = freed. *)
+let encode = function Addressable -> 0 | Partial k -> k | Heap_redzone -> 8 | Freed -> 9
+let decode = function 0 -> Addressable | 8 -> Heap_redzone | 9 -> Freed | k -> Partial k
+
 type t = {
-  granules : (int, state) Hashtbl.t;
-  pages : (int, unit) Hashtbl.t;  (* shadow pages touched *)
+  granules : Chex86_mem.Intmap.t;
+  pages : Chex86_mem.Intset.t;  (* shadow pages touched *)
   counters : Chex86_stats.Counter.group;
 }
 
-let create counters = { granules = Hashtbl.create 4096; pages = Hashtbl.create 64; counters }
+let create counters =
+  {
+    granules = Chex86_mem.Intmap.create ~capacity:4096 ();
+    pages = Chex86_mem.Intset.create ~capacity:64 ();
+    counters;
+  }
 
 let granule addr = addr lsr 3
 
 let set_state t addr state =
   let g = granule addr in
-  Hashtbl.replace t.pages (g lsr 12) ();
-  match state with
-  | Addressable -> Hashtbl.remove t.granules g
-  | s -> Hashtbl.replace t.granules g s
+  Chex86_mem.Intset.add t.pages (g lsr 12);
+  match encode state with
+  | 0 -> Chex86_mem.Intmap.remove t.granules g
+  | s -> Chex86_mem.Intmap.set t.granules g s
 
-let state_of t addr =
-  match Hashtbl.find_opt t.granules (granule addr) with
-  | Some s -> s
-  | None -> Addressable
+let state_of t addr = decode (Chex86_mem.Intmap.find t.granules (granule addr) ~default:0)
 
 (* Poison [len] bytes starting at [addr] (granule-aligned in practice). *)
 let poison t addr len reason =
+  let s = encode reason in
   let g0 = granule addr and g1 = granule (addr + len - 1) in
   for g = g0 to g1 do
-    Hashtbl.replace t.pages (g lsr 12) ();
-    Hashtbl.replace t.granules g reason
+    Chex86_mem.Intset.add t.pages (g lsr 12);
+    Chex86_mem.Intmap.set t.granules g s
   done
 
 let unpoison t addr len =
   let g0 = granule addr and g1 = granule (addr + len - 1) in
   for g = g0 to g1 do
-    Hashtbl.replace t.pages (g lsr 12) ();
-    Hashtbl.remove t.granules g
+    Chex86_mem.Intset.add t.pages (g lsr 12);
+    Chex86_mem.Intmap.remove t.granules g
   done;
   (* Trailing partial granule. *)
   let tail = (addr + len) land 7 in
-  if tail <> 0 then Hashtbl.replace t.granules (granule (addr + len)) (Partial tail)
+  if tail <> 0 then Chex86_mem.Intmap.set t.granules (granule (addr + len)) tail
+
+(* Shared failure results: [Error _] would otherwise allocate per
+   failing check. *)
+let err_redzone : (unit, state) result = Error Heap_redzone
+let err_freed : (unit, state) result = Error Freed
 
 (* Is a [width]-byte access at [addr] fully addressable?  Returns the
-   poison reason on failure. *)
-let check t addr width =
-  let rec go a remaining =
-    if remaining <= 0 then Ok ()
-    else
-      match state_of t a with
-      | Addressable -> go ((a lor 7) + 1) (remaining - (8 - (a land 7)))
-      | Partial k ->
-        let off = a land 7 in
-        if off + min remaining (8 - off) <= k then
-          go ((a lor 7) + 1) (remaining - (8 - off))
-        else Error Heap_redzone
-      | (Heap_redzone | Freed) as reason -> Error reason
-  in
-  go addr width
+   poison reason on failure.  Top-level recursion over the encoded
+   states; [Ok ()] and the errors are structured constants, so no path
+   allocates. *)
+let rec check_from t a remaining =
+  if remaining <= 0 then Ok ()
+  else
+    let s = Chex86_mem.Intmap.find t.granules (a lsr 3) ~default:0 in
+    if s = 0 then check_from t ((a lor 7) + 1) (remaining - (8 - (a land 7)))
+    else if s < 8 then begin
+      (* Partial: first [s] bytes addressable. *)
+      let off = a land 7 in
+      let span = if remaining <= 8 - off then remaining else 8 - off in
+      if off + span <= s then check_from t ((a lor 7) + 1) (remaining - (8 - off))
+      else err_redzone
+    end
+    else if s = 8 then err_redzone
+    else err_freed
+
+let check t addr width = check_from t addr width
 
 (* Shadow storage: one byte per granule, rounded to touched 4 KB shadow
    pages (each covering 32 KB of application memory). *)
-let storage_bytes t = Hashtbl.length t.pages * 4096
+let storage_bytes t = Chex86_mem.Intset.cardinal t.pages * 4096

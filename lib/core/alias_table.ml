@@ -21,9 +21,18 @@ type t = {
   mutable root : node option array;
   mutable nodes : int;  (* allocated nodes, for storage accounting *)
   counters : Chex86_stats.Counter.group;
+  h_updates : Chex86_stats.Counter.handle;
+  h_walks : Chex86_stats.Counter.handle;
 }
 
-let create counters = { root = Array.make fanout None; nodes = 1; counters }
+let create counters =
+  {
+    root = Array.make fanout None;
+    nodes = 1;
+    counters;
+    h_updates = Chex86_stats.Counter.handle counters "aliastable.updates";
+    h_walks = Chex86_stats.Counter.handle counters "aliastable.walks";
+  }
 
 let index_at addr level =
   (* level 0 is the root; granule address = addr lsr 3, 45 bits. *)
@@ -61,13 +70,13 @@ let rec set_level t arr addr level pid =
   end
 
 let set t addr pid =
-  Chex86_stats.Counter.incr t.counters "aliastable.updates";
+  Chex86_stats.Counter.incr_handle t.counters t.h_updates;
   set_level t t.root addr 0 pid
 
 (* [get t addr] returns [(pid, levels_walked)]; the walker latency is
    proportional to the second component. *)
 let get t addr =
-  Chex86_stats.Counter.incr t.counters "aliastable.walks";
+  Chex86_stats.Counter.incr_handle t.counters t.h_walks;
   let rec walk arr level =
     let idx = index_at addr level in
     match arr.(idx) with

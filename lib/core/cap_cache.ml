@@ -10,41 +10,72 @@
 type t = {
   pids : int array;
   stamps : int array;
+  (* Exact pid -> slot index for the per-check probe.  Positive PIDs
+     are unique in [pids] (insertion happens only after a failed probe),
+     so the map answers exactly what the first-match scan would;
+     non-positive PIDs (initial fill, invalidations, wild -1) can occupy
+     many slots and fall back to the scan. *)
+  index : Chex86_mem.Intmap.t;
   mutable clock : int;
   counters : Chex86_stats.Counter.group;
+  h_hit : Chex86_stats.Counter.handle;
+  h_miss : Chex86_stats.Counter.handle;
 }
 
 let create ?(entries = 64) counters =
-  { pids = Array.make entries 0; stamps = Array.make entries 0; counters; clock = 0 }
+  {
+    pids = Array.make entries 0;
+    stamps = Array.make entries 0;
+    index = Chex86_mem.Intmap.create ~capacity:(4 * entries) ();
+    counters;
+    clock = 0;
+    h_hit = Chex86_stats.Counter.handle counters "capcache.hit";
+    h_miss = Chex86_stats.Counter.handle counters "capcache.miss";
+  }
 
 let entries t = Array.length t.pids
 
-(* [access t pid] returns true on hit; misses allocate (LRU). *)
+(* Slot holding [pid], or -1; top-level so the per-access probe carries
+   no closure. *)
+let rec find_pid (pids : int array) (pid : int) n i =
+  if i >= n then -1 else if pids.(i) = pid then i else find_pid pids pid n (i + 1)
+
+(* [access t pid] returns true on hit; misses allocate (LRU).  Runs once
+   per checked memory access, so the probe is an int-sentinel scan and
+   the counters are pre-resolved handles (DESIGN.md hot-path rules). *)
 let access t pid =
   t.clock <- t.clock + 1;
   let n = Array.length t.pids in
-  let rec find i = if i >= n then None else if t.pids.(i) = pid then Some i else find (i + 1) in
-  match find 0 with
-  | Some i ->
+  let i =
+    if pid > 0 then Chex86_mem.Intmap.find t.index pid ~default:(-1)
+    else find_pid t.pids pid n 0
+  in
+  if i >= 0 then begin
     t.stamps.(i) <- t.clock;
-    Chex86_stats.Counter.incr t.counters "capcache.hit";
+    Chex86_stats.Counter.incr_handle t.counters t.h_hit;
     true
-  | None ->
-    Chex86_stats.Counter.incr t.counters "capcache.miss";
+  end
+  else begin
+    Chex86_stats.Counter.incr_handle t.counters t.h_miss;
     let victim = ref 0 in
     for i = 1 to n - 1 do
       if t.stamps.(i) < t.stamps.(!victim) then victim := i
     done;
+    let old = t.pids.(!victim) in
+    if old > 0 then Chex86_mem.Intmap.remove t.index old;
+    if pid > 0 then Chex86_mem.Intmap.set t.index pid !victim;
     t.pids.(!victim) <- pid;
     t.stamps.(!victim) <- t.clock;
     false
+  end
 
 (* Invalidate on capability free — the paper's cross-core invalidation
    requests reduced to the single modelled core. *)
 let invalidate t pid =
-  Array.iteri (fun i p -> if p = pid then t.pids.(i) <- 0) t.pids
+  Array.iteri (fun i p -> if p = pid then t.pids.(i) <- 0) t.pids;
+  if pid > 0 then Chex86_mem.Intmap.remove t.index pid
 
 let miss_rate t =
-  let h = Chex86_stats.Counter.get t.counters "capcache.hit"
-  and m = Chex86_stats.Counter.get t.counters "capcache.miss" in
+  let h = Chex86_stats.Counter.get_handle t.counters t.h_hit
+  and m = Chex86_stats.Counter.get_handle t.counters t.h_miss in
   if h + m = 0 then 0. else float_of_int m /. float_of_int (h + m)

@@ -40,8 +40,16 @@ let make_shared counters =
     s_globals = None;
   }
 
+type inject_memo = { m_pids : int array; mutable m_uops : Uop.t list }
+
 type t = {
   variant : Variant.t;
+  (* Scheme predicates hoisted out of the per-µop paths: a structural
+     [=] on the scheme enum is a generic-compare call without flambda. *)
+  is_bt : bool;
+  is_hw_only : bool;
+  is_prediction : bool;
+  is_microcode : bool;  (* always_on or prediction: the memoized check-injection path *)
   rules : Rules.t;
   cap_table : Cap_table.t;
   cap_cache : Cap_cache.t;
@@ -56,10 +64,29 @@ type t = {
   mutable globals : (int * int * int) array;  (* (addr, size, pid), sorted *)
   mutable pending_alloc : pending_alloc option;
   mutable pending_free : int option;
-  predictions : (int * int) Queue.t;  (* (pc, predicted pid) per tracked load *)
+  (* (pc, predicted pid) FIFO per tracked load, as parallel int rings:
+     a [Queue] of tuples boxes two blocks per push on the per-load
+     decode path.  Power-of-two capacity; head/tail grow monotonically. *)
+  mutable pq_pc : int array;
+  mutable pq_pid : int array;
+  mutable pq_head : int;
+  mutable pq_tail : int;
   lsu_checks : (int * bool) Queue.t;  (* hardware-only: (pid, is_store) per mem uop *)
   bt_translated : (int, unit) Hashtbl.t;
+  (* Per-PC memo of the check-spliced crack (microcode schemes only):
+     [mem]/[width]/[is_store] are fixed per site, so the spliced list is
+     fully determined by the PIDs captured at decode.  [memo_pids] is the
+     scratch the capture walk fills each step. *)
+  inject_memo : Mem.Intmap.t;  (* pc -> index into [memo_tbl] *)
+  mutable memo_tbl : inject_memo array;
+  mutable memo_n : int;
+  memo_pids : int array;
   mutable pending_bt_cost : int;
+  (* Reaction ring pool + [validate_prediction]'s out-params: the per-
+     checked-access timing feedback must not box a record or tuple. *)
+  rpool : Machine.Hooks.pool;
+  mutable vp_flush : bool;
+  mutable vp_killed : int;
   mutable checker : Checker.t option;
   (* Observation hook: fires for every executed capability check with the
      PID it validated (used to recover Table II's temporal PID streams). *)
@@ -68,6 +95,21 @@ type t = {
      shadow state + invalidation bus. *)
   core : int;
   shared : shared option;
+  (* Pre-resolved counters for the per-check / per-tracked-load paths. *)
+  h_cap_checks : Chex86_stats.Counter.handle;
+  h_cap_generated : Chex86_stats.Counter.handle;
+  h_cap_freed : Chex86_stats.Counter.handle;
+  h_tlb_filtered : Chex86_stats.Counter.handle;
+  h_pred_events : Chex86_stats.Counter.handle;
+  h_pred_correct : Chex86_stats.Counter.handle;
+  h_pred_reloads : Chex86_stats.Counter.handle;
+  h_pred_pna0 : Chex86_stats.Counter.handle;
+  h_pred_p0an : Chex86_stats.Counter.handle;
+  h_pred_pman : Chex86_stats.Counter.handle;
+  h_queue_empty : Chex86_stats.Counter.handle;
+  h_queue_mismatch : Chex86_stats.Counter.handle;
+  h_spills : Chex86_stats.Counter.handle;
+  h_bt_translated : Chex86_stats.Counter.handle;
 }
 
 let create ?(variant = Variant.default) ?(core = 0) ?shared ~proc ~hier () =
@@ -82,6 +124,14 @@ let create ?(variant = Variant.default) ?(core = 0) ?shared ~proc ~hier () =
   let t =
     {
       variant;
+      is_bt = (match variant.Variant.scheme with Variant.Binary_translation -> true | _ -> false);
+      is_hw_only = (match variant.Variant.scheme with Variant.Hardware_only -> true | _ -> false);
+      is_prediction =
+        (match variant.Variant.scheme with Variant.Microcode_prediction -> true | _ -> false);
+      is_microcode =
+        (match variant.Variant.scheme with
+        | Variant.Microcode_always_on | Variant.Microcode_prediction -> true
+        | _ -> false);
       rules = Rules.create ();
       cap_table =
         (match shared with
@@ -107,14 +157,38 @@ let create ?(variant = Variant.default) ?(core = 0) ?shared ~proc ~hier () =
       globals = [||];
       pending_alloc = None;
       pending_free = None;
-      predictions = Queue.create ();
+      pq_pc = Array.make 64 0;
+      pq_pid = Array.make 64 0;
+      pq_head = 0;
+      pq_tail = 0;
       lsu_checks = Queue.create ();
       bt_translated = Hashtbl.create 4096;
+      inject_memo = Mem.Intmap.create ~capacity:2048 ();
+      memo_tbl = [||];
+      memo_n = 0;
+      memo_pids = Array.make 16 0;  (* cracks are <= 8 micro-ops *)
       pending_bt_cost = 0;
+      rpool = Machine.Hooks.pool ();
+      vp_flush = false;
+      vp_killed = 0;
       checker = None;
       on_check = (fun ~pc:_ ~pid:_ ~is_store:_ -> ());
       core;
       shared;
+      h_cap_checks = Chex86_stats.Counter.handle counters "cap.checks";
+      h_cap_generated = Chex86_stats.Counter.handle counters "cap.generated";
+      h_cap_freed = Chex86_stats.Counter.handle counters "cap.freed";
+      h_tlb_filtered = Chex86_stats.Counter.handle counters "alias.tlb_filtered";
+      h_pred_events = Chex86_stats.Counter.handle counters "alias.pred_events";
+      h_pred_correct = Chex86_stats.Counter.handle counters "alias.pred_correct";
+      h_pred_reloads = Chex86_stats.Counter.handle counters "alias.pred_reloads";
+      h_pred_pna0 = Chex86_stats.Counter.handle counters "alias.pred_pna0";
+      h_pred_p0an = Chex86_stats.Counter.handle counters "alias.pred_p0an";
+      h_pred_pman = Chex86_stats.Counter.handle counters "alias.pred_pman";
+      h_queue_empty = Chex86_stats.Counter.handle counters "alias.queue_empty";
+      h_queue_mismatch = Chex86_stats.Counter.handle counters "alias.queue_mismatch";
+      h_spills = Chex86_stats.Counter.handle counters "alias.spills";
+      h_bt_translated = Chex86_stats.Counter.handle counters "bt.translated_pcs";
     }
   in
   (* SMP: receive invalidations for this core's private caches. *)
@@ -196,65 +270,108 @@ let mem_pid t (m : Insn.mem) =
   | Some r -> Tracker.current_pid t.tracker (Uop.Greg r)
   | None -> global_pid_of t m.disp
 
+(* --- prediction FIFO (int ring) ------------------------------------------ *)
+
+let pq_grow t =
+  let cap = Array.length t.pq_pc in
+  let pc' = Array.make (2 * cap) 0 and pid' = Array.make (2 * cap) 0 in
+  for i = 0 to t.pq_tail - t.pq_head - 1 do
+    pc'.(i) <- t.pq_pc.((t.pq_head + i) land (cap - 1));
+    pid'.(i) <- t.pq_pid.((t.pq_head + i) land (cap - 1))
+  done;
+  t.pq_tail <- t.pq_tail - t.pq_head;
+  t.pq_head <- 0;
+  t.pq_pc <- pc';
+  t.pq_pid <- pid'
+
+let pq_push t pc pid =
+  let cap = Array.length t.pq_pc in
+  if t.pq_tail - t.pq_head >= cap then pq_grow t;
+  let m = Array.length t.pq_pc - 1 in
+  t.pq_pc.(t.pq_tail land m) <- pc;
+  t.pq_pid.(t.pq_tail land m) <- pid;
+  t.pq_tail <- t.pq_tail + 1
+
+let pq_is_empty t = t.pq_head = t.pq_tail
+
+(* Callers check [pq_is_empty] first, as [Queue.pop] callers did. *)
+let pq_pop_pc t = t.pq_pc.(t.pq_head land (Array.length t.pq_pc - 1))
+
+let pq_pop_pid t =
+  let pid = t.pq_pid.(t.pq_head land (Array.length t.pq_pid - 1)) in
+  t.pq_head <- t.pq_head + 1;
+  pid
+
 (* --- decode-time: rule propagation -------------------------------------- *)
 
 let tracked_load_dst width = function
   | (Uop.Greg _ | Uop.Tmp _) when width = Insn.W64 -> true
   | _ -> false
 
+(* Per-micro-op, so deliberately allocation-free: [Tracker.assign] is the
+   lock-step set+commit, destinations are matched directly (same cases as
+   [Uop.writes]) and source PIDs read without an intermediate closure. *)
 let apply_rule t pc (uop : Uop.t) =
-  let seq = Tracker.next_seq t.tracker in
-  let current = Tracker.current_pid t.tracker in
+  let tr = t.tracker in
+  let seq = Tracker.next_seq tr in
   (match Rules.action_for t.rules uop with
   | Rules.Copy_src -> (
     match uop with
-    | Mov { dst; src } -> Tracker.set_pid t.tracker dst ~seq ~pid:(current src)
+    | Mov { dst; src } -> Tracker.assign tr dst ~seq ~pid:(Tracker.current_pid tr src)
     | Lea { dst; mem } ->
       let pid =
         match mem.base with
-        | Some b -> current (Uop.Greg b)
+        | Some b -> Tracker.current_pid tr (Uop.Greg b)
         | None -> global_pid_of t mem.disp
       in
-      Tracker.set_pid t.tracker dst ~seq ~pid
+      Tracker.assign tr dst ~seq ~pid
     | _ -> ())
   | Rules.Copy_first -> (
     match uop with
-    | Alu { dst; src1; _ } -> Tracker.set_pid t.tracker dst ~seq ~pid:(current src1)
+    | Alu { dst; src1; _ } ->
+      Tracker.assign tr dst ~seq ~pid:(Tracker.current_pid tr src1)
     | _ -> ())
   | Rules.Nonzero_of_sources -> (
     match uop with
     | Alu { dst; src1; src2 = Uop.Loc s2; _ } ->
-      Tracker.set_pid t.tracker dst ~seq
-        ~pid:(Rules.combine_nonzero (current src1) (current s2))
+      Tracker.assign tr dst ~seq
+        ~pid:
+          (Rules.combine_nonzero (Tracker.current_pid tr src1)
+             (Tracker.current_pid tr s2))
     | Alu { dst; src1; src2 = Uop.Imm _; _ } ->
-      Tracker.set_pid t.tracker dst ~seq ~pid:(current src1)
+      Tracker.assign tr dst ~seq ~pid:(Tracker.current_pid tr src1)
     | _ -> ())
   | Rules.From_memory -> (
     match uop with
     | Load { dst; width; _ } when tracked_load_dst width dst ->
       let predicted = Alias_predictor.predict t.predictor pc in
-      Tracker.set_pid t.tracker dst ~seq ~pid:predicted;
-      Queue.push (pc, predicted) t.predictions
-    | Load { dst; _ } -> Tracker.set_pid t.tracker dst ~seq ~pid:0
+      Tracker.assign tr dst ~seq ~pid:predicted;
+      pq_push t pc predicted
+    | Load { dst; _ } -> Tracker.assign tr dst ~seq ~pid:0
     | _ -> ())
   | Rules.To_memory -> ()  (* alias spill handled at execute *)
   | Rules.Wild -> (
     match uop with
-    | Limm { dst; _ } -> Tracker.set_pid t.tracker dst ~seq ~pid:(-1)
+    | Limm { dst; _ } -> Tracker.assign tr dst ~seq ~pid:(-1)
     | _ -> ())
   | Rules.Clear -> (
-    match Uop.writes uop with
-    | Some dst -> Tracker.set_pid t.tracker dst ~seq ~pid:0
-    | None -> ()));
-  Tracker.commit_upto t.tracker ~seq
+    match uop with
+    | Mov { dst; _ }
+    | Limm { dst; _ }
+    | Alu { dst; _ }
+    | Lea { dst; _ }
+    | Load { dst; _ }
+    | Fp { dst; _ }
+    | Cvt { dst; _ } ->
+      Tracker.assign tr dst ~seq ~pid:0
+    | Store _ | Cmp _ | Branch _ | Cap _ | Guard _ | Nop -> ()));
+  if Tracker.has_transients tr then Tracker.commit_upto tr ~seq
 
 (* --- decode-time: check injection ---------------------------------------- *)
 
-let checks_for t pc (uop : Uop.t) =
-  match Uop.mem_operand uop with
-  | None -> []
-  | Some (mem, width, is_store) -> (
-    let in_scope = Variant.in_scope t.variant pc in
+let checks_for_mem t pc mem width ~is_store =
+  let in_scope = Variant.in_scope t.variant pc in
+  (
     match t.variant.Variant.scheme with
     | Variant.Insecure -> []
     | Variant.Hardware_only ->
@@ -281,6 +398,14 @@ let checks_for t pc (uop : Uop.t) =
         [ Uop.Cap (Uop.Cap_check { pid; mem; width; is_store }) ]
       else [])
 
+(* Matched directly (not via [Uop.mem_operand]) so non-memory micro-ops
+   pay nothing. *)
+let checks_for t pc (uop : Uop.t) =
+  match uop with
+  | Uop.Load { mem; width; _ } -> checks_for_mem t pc mem width ~is_store:false
+  | Uop.Store { mem; width; _ } -> checks_for_mem t pc mem width ~is_store:true
+  | _ -> []
+
 (* --- decode-time: heap-function interception ----------------------------- *)
 
 let stub_injection t (ctx : Machine.Hooks.ctx) =
@@ -305,29 +430,157 @@ let stub_injection t (ctx : Machine.Hooks.ctx) =
         let pid = match t.pending_free with Some pid -> pid | None -> 0 in
         [ Uop.Cap (Uop.Cap_free_end { pid }) ]))
 
+(* --- decode-time: memoized check injection (microcode schemes) ----------- *)
+
+(* Interleaved capture+rules walk: each memory micro-op's decode-time PID
+   is captured into [t.memo_pids] {e before} its own rule runs (the rule
+   may retag the base register), exactly mirroring the generic path's
+   [checks_for]-then-[apply_rule] order.  Returns the memory-micro-op
+   count.  Top-level recursion: no closure per step. *)
+let rec capture_walk t pc uops k =
+  match uops with
+  | [] -> k
+  | uop :: rest ->
+    let k =
+      match uop with
+      | Uop.Load { mem; _ } | Uop.Store { mem; _ } ->
+        t.memo_pids.(k) <- mem_pid t mem;
+        k + 1
+      | _ -> k
+    in
+    apply_rule t pc uop;
+    capture_walk t pc rest k
+
+let rec pids_equal (pids : int array) (scratch : int array) n i =
+  if i >= n then true else pids.(i) = scratch.(i) && pids_equal pids scratch n (i + 1)
+
+(* Under prediction only nonzero PIDs inject; always-on checks every
+   in-scope memory micro-op. *)
+let rec needs_check t n i =
+  if i >= n then false
+  else if (not t.is_prediction) || t.memo_pids.(i) <> 0 then true
+  else needs_check t n (i + 1)
+
+(* Rebuild the spliced list from the captured PIDs; each check precedes
+   its memory micro-op, as in the generic splice. *)
+let rec rebuild_checks t scratch k uops =
+  match uops with
+  | [] -> []
+  | uop :: rest -> (
+    match uop with
+    | Uop.Load { mem; width; _ } ->
+      let pid = scratch.(k) in
+      let rest' = rebuild_checks t scratch (k + 1) rest in
+      if (not t.is_prediction) || pid <> 0 then
+        Uop.Cap (Uop.Cap_check { pid; mem; width; is_store = false }) :: uop :: rest'
+      else uop :: rest'
+    | Uop.Store { mem; width; _ } ->
+      let pid = scratch.(k) in
+      let rest' = rebuild_checks t scratch (k + 1) rest in
+      if (not t.is_prediction) || pid <> 0 then
+        Uop.Cap (Uop.Cap_check { pid; mem; width; is_store = true }) :: uop :: rest'
+      else uop :: rest'
+    | _ -> uop :: rebuild_checks t scratch k rest)
+
+let build_injected t pc uops n =
+  if n = 0 || not (Variant.in_scope t.variant pc) || not (needs_check t n 0) then uops
+  else rebuild_checks t t.memo_pids 0 uops
+
+(* Same splice shape iff every site keeps its inject-or-not decision:
+   always the case under always-on; under prediction a PID flipping
+   between zero and nonzero changes the shape. *)
+let rec same_shape t (old_pids : int array) (scratch : int array) n i =
+  if i >= n then true
+  else
+    ((not t.is_prediction) || (old_pids.(i) <> 0) = (scratch.(i) <> 0))
+    && same_shape t old_pids scratch n (i + 1)
+
+(* Re-tag a memoized spliced list in place: each [Cap_check] precedes
+   its memory micro-op and [Cap_check.pid] is mutable for exactly this.
+   [k] counts memory micro-ops, matching the capture walk. *)
+let rec patch_checks (scratch : int array) k uops =
+  match uops with
+  | [] -> ()
+  | Uop.Cap (Uop.Cap_check r) :: rest -> (
+    r.pid <- scratch.(k);
+    match rest with _mem :: rest' -> patch_checks scratch (k + 1) rest' | [] -> ())
+  | (Uop.Load _ | Uop.Store _) :: rest -> patch_checks scratch (k + 1) rest
+  | _ :: rest -> patch_checks scratch k rest
+
+(* Fast path for the microcode schemes (non-stub steps): the spliced
+   crack is fully determined by (pc, captured PIDs), so it is memoized
+   per site and reused while the PIDs repeat — the common case.  The
+   rules walk still runs every step; the memo-hit path allocates
+   nothing. *)
+let instrument_microcode t (ctx : Machine.Hooks.ctx) uops =
+  let pc = ctx.pc in
+  let n = capture_walk t pc uops 0 in
+  let i = Mem.Intmap.find t.inject_memo pc ~default:(-1) in
+  if i >= 0 then begin
+    let memo = t.memo_tbl.(i) in
+    if not (pids_equal memo.m_pids t.memo_pids n 0) then begin
+      if same_shape t memo.m_pids t.memo_pids n 0 then
+        patch_checks t.memo_pids 0 memo.m_uops
+      else memo.m_uops <- build_injected t pc uops n;
+      Array.blit t.memo_pids 0 memo.m_pids 0 n
+    end;
+    memo.m_uops
+  end
+  else begin
+    let memo = { m_pids = Array.sub t.memo_pids 0 n; m_uops = build_injected t pc uops n } in
+    let i = t.memo_n in
+    if i >= Array.length t.memo_tbl then begin
+      let tbl = Array.make (if i = 0 then 256 else 2 * i) memo in
+      Array.blit t.memo_tbl 0 tbl 0 i;
+      t.memo_tbl <- tbl
+    end;
+    t.memo_tbl.(i) <- memo;
+    t.memo_n <- i + 1;
+    Mem.Intmap.set t.inject_memo pc i;
+    memo.m_uops
+  end
+
 let instrument t (ctx : Machine.Hooks.ctx) uops =
   if not (protects t) then uops
-  else begin
+  else
+    match ctx.stub with
+    | None when t.is_microcode -> instrument_microcode t ctx uops
+    | _ ->
+  begin
     (* Binary translation: charge a one-time translation cost per newly
        seen macro-op address. *)
-    if
-      t.variant.Variant.scheme = Variant.Binary_translation
-      && not (Hashtbl.mem t.bt_translated ctx.pc)
-    then begin
+    if t.is_bt && not (Hashtbl.mem t.bt_translated ctx.pc) then begin
       Hashtbl.add t.bt_translated ctx.pc ();
       t.pending_bt_cost <- t.pending_bt_cost + t.variant.Variant.bt_translation_cycles;
-      Chex86_stats.Counter.incr t.counters "bt.translated_pcs"
+      Chex86_stats.Counter.incr_handle t.counters t.h_bt_translated
     end;
     let pre = stub_injection t ctx in
-    let body =
-      List.concat_map
-        (fun uop ->
-          let checks = checks_for t ctx.pc uop in
-          apply_rule t ctx.pc uop;
-          checks @ [ uop ])
-        uops
-    in
-    pre @ body
+    (* Single interleaved pass: rules always run in place; the crack is
+       only rebuilt when check micro-ops actually get spliced in (rare
+       under the prediction scheme, where most PIDs read 0), otherwise
+       the memoized list is returned as-is. *)
+    let injected = ref [] in
+    List.iteri
+      (fun i uop ->
+        (match checks_for t ctx.pc uop with
+        | [] -> ()
+        | checks -> injected := (i, checks) :: !injected);
+        apply_rule t ctx.pc uop)
+      uops;
+    match (pre, !injected) with
+    | [], [] -> uops
+    | _ ->
+      let inj = List.rev !injected in
+      (* Cracks are <= 8 micro-ops, so plain recursion is fine. *)
+      let rec splice i inj rest =
+        match rest with
+        | [] -> []
+        | u :: tail -> (
+          match inj with
+          | (j, checks) :: inj' when j = i -> checks @ (u :: splice (i + 1) inj' tail)
+          | _ -> u :: splice (i + 1) inj tail)
+      in
+      pre @ splice 0 inj uops
   end
 
 (* --- execute-time -------------------------------------------------------- *)
@@ -400,7 +653,7 @@ let alias_lookup t ea =
     t.variant.Variant.tlb_alias_filter
     && not (page_hosts_aliases t (ea lsr Mem.Image.page_bits))
   then begin
-    Chex86_stats.Counter.incr t.counters "alias.tlb_filtered";
+    Chex86_stats.Counter.incr_handle t.counters t.h_tlb_filtered;
     (0, 0, false)
   end
   else if Mem.Cache.access t.alias_cache ~write:false ea then
@@ -414,21 +667,26 @@ let alias_lookup t ea =
     (pid, (levels * t.variant.Variant.alias_walk_latency_per_level) + line_latency, true)
   end
 
-let incr t name = Chex86_stats.Counter.incr t.counters name
+let incr t (h : Chex86_stats.Counter.handle) = Chex86_stats.Counter.incr_handle t.counters h
 
 (* Validate the front-end prediction for a pointer-reload candidate and
    drive the Fig 5 recovery paths. *)
+(* Returns the validation latency; the flush / killed-check out-params
+   land in [t.vp_flush]/[t.vp_killed] (no tuple per tracked load). *)
 let validate_prediction t ~pc ~ea ~dst =
+  t.vp_flush <- false;
+  t.vp_killed <- 0;
   let predicted =
-    if Queue.is_empty t.predictions then begin
-      incr t "alias.queue_empty";
+    if pq_is_empty t then begin
+      incr t t.h_queue_empty;
       0
     end
     else begin
-      let qpc, p = Queue.pop t.predictions in
+      let qpc = pq_pop_pc t in
+      let p = pq_pop_pid t in
       if qpc = pc then p
       else begin
-        incr t "alias.queue_mismatch";
+        incr t t.h_queue_mismatch;
         0
       end
     end
@@ -436,29 +694,28 @@ let validate_prediction t ~pc ~ea ~dst =
   let actual, latency, alias_page = alias_lookup t ea in
   Alias_predictor.update ~alias_page t.predictor pc ~actual;
   Tracker.force_pid t.tracker dst actual;
-  let is_prediction_scheme = t.variant.Variant.scheme = Variant.Microcode_prediction in
-  if alias_page then incr t "alias.pred_events";
+  let is_prediction_scheme = t.is_prediction in
+  if alias_page then incr t t.h_pred_events;
   if predicted = actual then begin
-    if alias_page then incr t "alias.pred_correct";
-    if actual <> 0 then incr t "alias.pred_reloads";
-    (latency, false, 0)
+    if alias_page then incr t t.h_pred_correct;
+    if actual <> 0 then incr t t.h_pred_reloads;
+    latency
   end
   else begin
     if predicted <> 0 && actual = 0 then begin
       (* PNA0: the injected check downstream becomes a zero-idiom. *)
-      incr t "alias.pred_pna0";
-      (latency, false, if is_prediction_scheme then 1 else 0)
+      incr t t.h_pred_pna0;
+      if is_prediction_scheme then t.vp_killed <- 1
     end
     else if predicted = 0 && actual <> 0 then begin
       (* P0AN: flush and refetch with the right checks injected. *)
-      incr t "alias.pred_p0an";
-      (latency, is_prediction_scheme, 0)
+      incr t t.h_pred_p0an;
+      t.vp_flush <- is_prediction_scheme
     end
-    else begin
+    else
       (* PMAN: forward the corrected PID, no flush. *)
-      incr t "alias.pred_pman";
-      (latency, false, 0)
-    end
+      incr t t.h_pred_pman;
+    latency
   end
 
 (* Record a spilled pointer alias for a committed store (rule ST). *)
@@ -473,7 +730,7 @@ let record_spill t ~ea ~pid =
     | None -> ());
     Mem.Tlb.set_alias_hosting t.tlb ea;
     ignore (Mem.Cache.access t.alias_cache ~write:true ea);
-    incr t "alias.spills"
+    incr t t.h_spills
   end
   else if
     page_hosts_aliases t (ea lsr Mem.Image.page_bits)
@@ -487,11 +744,12 @@ let record_spill t ~ea ~pid =
   end
 
 let run_checker t ~pc ~uop ~result ~dst =
-  match (t.checker, result) with
-  | Some checker, Some value ->
-    Checker.check checker ~pc ~uop ~result:value
-      ~predicted:(Tracker.current_pid t.tracker dst)
-  | _ -> ()
+  match t.checker with
+  | None -> ()
+  | Some checker ->
+    if result <> Machine.Hooks.no_result then
+      Checker.check checker ~pc ~uop ~result
+        ~predicted:(Tracker.current_pid t.tracker dst)
 
 let alloc_size_of_kind (ctx : Machine.Hooks.ctx) = function
   | Os.Msrs.Malloc -> ctx.read_reg Reg.RDI
@@ -535,7 +793,8 @@ let exec_uop t (ctx : Machine.Hooks.ctx) (uop : Uop.t) ~ea ~result =
                 cap;
             t.pending_alloc <-
               Some { pid = cap.Capability.pid; kind = reg.Os.Msrs.kind; realloc_old };
-            { Machine.Hooks.no_reaction with extra_latency = 2 })
+            Machine.Hooks.take t.rpool ~extra_latency:2 ~commit_latency:0 ~flush:false
+              ~killed_uops:0)
         | None -> Machine.Hooks.no_reaction)
       | Cap Cap_gen_end -> (
         match t.pending_alloc with
@@ -550,9 +809,10 @@ let exec_uop t (ctx : Machine.Hooks.ctx) (uop : Uop.t) ~ea ~result =
               Cap_cache.invalidate t.cap_cache realloc_old
             end
           end;
-          incr t "cap.generated";
+          incr t t.h_cap_generated;
           t.pending_alloc <- None;
-          { Machine.Hooks.no_reaction with extra_latency = 2 })
+          Machine.Hooks.take t.rpool ~extra_latency:2 ~commit_latency:0 ~flush:false
+            ~killed_uops:0)
       | Cap (Cap_free_begin { pid }) ->
         let addr = ctx.read_reg Reg.RDI in
         if addr = 0 then begin
@@ -573,7 +833,8 @@ let exec_uop t (ctx : Machine.Hooks.ctx) (uop : Uop.t) ~ea ~result =
               raise (Violation.Security_violation (Invalid_free { pid; addr }));
             Cap_table.begin_free t.cap_table pid);
           t.pending_free <- Some pid;
-          { Machine.Hooks.no_reaction with commit_latency = latency }
+          Machine.Hooks.take t.rpool ~extra_latency:0 ~commit_latency:latency ~flush:false
+            ~killed_uops:0
         end
       | Cap (Cap_free_end _) ->
         let bus_cost = ref 0 in
@@ -587,62 +848,57 @@ let exec_uop t (ctx : Machine.Hooks.ctx) (uop : Uop.t) ~ea ~result =
           | Some s ->
             bus_cost := 2 * Bus.broadcast s.s_bus ~from_core:t.core (Bus.Cap_invalidate pid)
           | None -> ());
-          incr t "cap.freed"
+          incr t t.h_cap_freed
         | None -> ());
         t.pending_free <- None;
-        { Machine.Hooks.no_reaction with commit_latency = !bus_cost }
+        Machine.Hooks.take t.rpool ~extra_latency:0 ~commit_latency:!bus_cost ~flush:false
+          ~killed_uops:0
       | Cap (Cap_check { pid; width; is_store; _ }) ->
-        let ea = match ea with Some ea -> ea | None -> 0 in
         let latency = do_check t ~pid ~ea ~width ~is_store in
-        incr t "cap.checks";
+        incr t t.h_cap_checks;
         t.on_check ~pc:ctx.pc ~pid ~is_store;
-        { Machine.Hooks.no_reaction with commit_latency = latency }
+        Machine.Hooks.take t.rpool ~extra_latency:0 ~commit_latency:latency ~flush:false
+          ~killed_uops:0
       | Guard { kind = Uop.Bt_bounds_low; width; _ } ->
-        let ea = match ea with Some ea -> ea | None -> 0 in
         let pid, is_store =
           match Queue.take_opt t.lsu_checks with Some x -> x | None -> (0, false)
         in
         let latency = do_check t ~pid ~ea ~width ~is_store in
-        incr t "cap.checks";
-        { Machine.Hooks.no_reaction with commit_latency = latency }
+        incr t t.h_cap_checks;
+        Machine.Hooks.take t.rpool ~extra_latency:0 ~commit_latency:latency ~flush:false
+          ~killed_uops:0
       | Guard _ -> Machine.Hooks.no_reaction
       | Load { dst; width; _ } ->
-        let ea = match ea with Some ea -> ea | None -> 0 in
         let lsu_latency =
-          if t.variant.Variant.scheme = Variant.Hardware_only then begin
+          if t.is_hw_only then begin
             match Queue.take_opt t.lsu_checks with
             | Some (pid, is_store) ->
-              incr t "cap.checks";
+              incr t t.h_cap_checks;
               do_check t ~pid ~ea ~width ~is_store
             | None -> 0
           end
           else 0
         in
         if tracked_load_dst width dst then begin
-          let latency, flush, killed = validate_prediction t ~pc:ctx.pc ~ea ~dst in
+          let latency = validate_prediction t ~pc:ctx.pc ~ea ~dst in
           run_checker t ~pc:ctx.pc ~uop ~result ~dst;
-          {
-            Machine.Hooks.extra_latency = (if lsu_latency > 0 then 1 else 0);
-            commit_latency = latency + lsu_latency;
-            flush;
-            killed_uops = killed;
-          }
+          Machine.Hooks.take t.rpool
+            ~extra_latency:(if lsu_latency > 0 then 1 else 0)
+            ~commit_latency:(latency + lsu_latency) ~flush:t.vp_flush
+            ~killed_uops:t.vp_killed
         end
         else begin
           run_checker t ~pc:ctx.pc ~uop ~result ~dst;
-          {
-            Machine.Hooks.no_reaction with
-            extra_latency = (if lsu_latency > 0 then 1 else 0);
-            commit_latency = lsu_latency;
-          }
+          Machine.Hooks.take t.rpool
+            ~extra_latency:(if lsu_latency > 0 then 1 else 0)
+            ~commit_latency:lsu_latency ~flush:false ~killed_uops:0
         end
       | Store { src; width; _ } ->
-        let ea = match ea with Some ea -> ea | None -> 0 in
         let lsu_latency =
-          if t.variant.Variant.scheme = Variant.Hardware_only then begin
+          if t.is_hw_only then begin
             match Queue.take_opt t.lsu_checks with
             | Some (pid, is_store) ->
-              incr t "cap.checks";
+              incr t t.h_cap_checks;
               do_check t ~pid ~ea ~width ~is_store
             | None -> 0
           end
@@ -656,18 +912,33 @@ let exec_uop t (ctx : Machine.Hooks.ctx) (uop : Uop.t) ~ea ~result =
           in
           record_spill t ~ea ~pid
         end;
-        { Machine.Hooks.no_reaction with commit_latency = lsu_latency }
-      | uop -> (
-        (match Uop.writes uop with
-        | Some dst -> run_checker t ~pc:ctx.pc ~uop ~result ~dst
-        | None -> ());
-        Machine.Hooks.no_reaction)
+        Machine.Hooks.take t.rpool ~extra_latency:0 ~commit_latency:lsu_latency ~flush:false
+          ~killed_uops:0
+      | uop ->
+        (* [Uop.writes] boxes its answer, so only consult it when a
+           checker is actually attached (validation runs only). *)
+        (match t.checker with
+        | None -> ()
+        | Some _ -> (
+          match Uop.writes uop with
+          | Some dst -> run_checker t ~pc:ctx.pc ~uop ~result ~dst
+          | None -> ()));
+        Machine.Hooks.no_reaction
     in
-    { reaction with extra_latency = reaction.Machine.Hooks.extra_latency + bt_cost }
+    if bt_cost = 0 then reaction
+    else
+      Machine.Hooks.take t.rpool
+        ~extra_latency:(reaction.Machine.Hooks.extra_latency + bt_cost)
+        ~commit_latency:reaction.Machine.Hooks.commit_latency
+        ~flush:reaction.Machine.Hooks.flush
+        ~killed_uops:reaction.Machine.Hooks.killed_uops
   end
 
 (* Install this monitor's behaviour into a hook record shared with the
    engine. *)
 let install t (hooks : Machine.Hooks.t) =
   hooks.instrument <- instrument t;
-  hooks.exec_uop <- exec_uop t
+  hooks.exec_uop <- exec_uop t;
+  (* The insecure scheme leaves the hooks inactive: both callbacks are
+     no-ops for it, and the flag lets the engine skip the calls. *)
+  if protects t then hooks.active <- true

@@ -59,6 +59,6 @@ val exec_uop :
   t ->
   Chex86_machine.Hooks.ctx ->
   Chex86_isa.Uop.t ->
-  ea:int option ->
-  result:int option ->
+  ea:int ->
+  result:int ->
   Chex86_machine.Hooks.reaction

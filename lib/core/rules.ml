@@ -34,7 +34,41 @@ type rule = {
   code_example : string;
 }
 
-type t = { mutable rules : rule list }
+(* [matrix] is the database compiled to a dense (class x mode) action
+   table so the per-micro-op lookup is one array read instead of a list
+   scan; it is rebuilt whenever the rule list changes. *)
+type t = { mutable rules : rule list; matrix : action array }
+
+let class_count = 9
+let mode_count = 3
+
+let class_index = function
+  | MOV -> 0
+  | AND -> 1
+  | LEA -> 2
+  | ADD -> 3
+  | SUB -> 4
+  | LD -> 5
+  | ST -> 6
+  | MOVI -> 7
+  | OTHER -> 8
+
+let mode_index = function Reg_reg -> 0 | Reg_imm -> 1 | Reg_mem -> 2
+
+let key_code cls mode = (class_index cls * mode_count) + mode_index mode
+
+(* First matching rule wins, as with the original list scan. *)
+let rebuild_matrix t =
+  Array.fill t.matrix 0 (Array.length t.matrix) Clear;
+  let filled = Array.make (class_count * mode_count) false in
+  List.iter
+    (fun r ->
+      let c = key_code r.uop r.mode in
+      if not filled.(c) then begin
+        filled.(c) <- true;
+        t.matrix.(c) <- r.action
+      end)
+    t.rules
 
 (* The automatically constructed database of Table I. *)
 let table_i =
@@ -129,9 +163,15 @@ let table_i =
     };
   ]
 
-let create ?(rules = table_i) () = { rules }
+let create ?(rules = table_i) () =
+  let t = { rules; matrix = Array.make (class_count * mode_count) Clear } in
+  rebuild_matrix t;
+  t
 
-let add_rule t rule = t.rules <- t.rules @ [ rule ]
+let add_rule t rule =
+  t.rules <- t.rules @ [ rule ];
+  rebuild_matrix t
+
 let rules t = t.rules
 
 (* Classify a micro-op into the database's key space. *)
@@ -151,15 +191,30 @@ let classify (uop : Uop.t) =
     | Insn.Or | Insn.Xor | Insn.Imul | Insn.Shl | Insn.Shr -> Some (OTHER, mode))
   | Fp _ | Cvt _ | Cmp _ | Branch _ | Cap _ | Guard _ | Nop -> None
 
+(* [classify] without the option/tuple boxing: the dense matrix key, or
+   -1 for micro-ops outside the database's key space.  Must stay in
+   lock-step with [classify]. *)
+let classify_code (uop : Uop.t) =
+  match uop with
+  | Mov _ -> 0 (* MOV, Reg_reg *)
+  | Limm _ -> 22 (* MOVI, Reg_imm *)
+  | Lea _ -> 6 (* LEA, Reg_reg *)
+  | Load _ -> 17 (* LD, Reg_mem *)
+  | Store _ -> 20 (* ST, Reg_mem *)
+  | Alu { op; src2; _ } -> (
+    let mode = match src2 with Uop.Imm _ -> 1 | Uop.Loc _ -> 0 in
+    match op with
+    | Insn.Add -> 9 + mode
+    | Insn.Sub -> 12 + mode
+    | Insn.And -> 3 + mode
+    | Insn.Or | Insn.Xor | Insn.Imul | Insn.Shl | Insn.Shr -> 24 + mode)
+  | Fp _ | Cvt _ | Cmp _ | Branch _ | Cap _ | Guard _ | Nop -> -1
+
 (* Action for a micro-op under the current database; OTHER and unmatched
    classes clear the destination PID ("All other operations"). *)
 let action_for t uop =
-  match classify uop with
-  | None -> Clear
-  | Some (cls, mode) -> (
-    match List.find_opt (fun r -> r.uop = cls && r.mode = mode) t.rules with
-    | Some r -> r.action
-    | None -> Clear)
+  let c = classify_code uop in
+  if c < 0 then Clear else t.matrix.(c)
 
 (* Combine two source PIDs under [Nonzero_of_sources]; a real PID beats
    the wild PID(-1). *)

@@ -17,6 +17,14 @@ val current_pid : t -> Chex86_isa.Uop.loc -> int
 (** Record a transient capability transfer. *)
 val set_pid : t -> Chex86_isa.Uop.loc -> seq:int -> pid:int -> unit
 
+(** [set_pid] immediately followed by [commit_upto] at the same sequence
+    number — the in-order engine's lock-step path, allocation-free when
+    no transient entries are outstanding. *)
+val assign : t -> Chex86_isa.Uop.loc -> seq:int -> pid:int -> unit
+
+(** Any transient (uncommitted) entries outstanding? *)
+val has_transients : t -> bool
+
 (** Drain transient entries with sequence <= [seq] into the finalized
     field. *)
 val commit_upto : t -> seq:int -> unit

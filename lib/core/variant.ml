@@ -76,7 +76,9 @@ let scheme_name = function
   | Microcode_always_on -> "CHEx86: Micro-code Level - Always On"
   | Microcode_prediction -> "CHEx86: Micro-code Prediction Driven"
 
-let protects t = t.scheme <> Insecure
+(* Matched, not [<>]: this runs per macro-op in Monitor.instrument and a
+   structural compare on the enum is a generic-compare call. *)
+let protects t = match t.scheme with Insecure -> false | _ -> true
 
 let in_scope t pc =
   match t.scope with

@@ -40,6 +40,14 @@ let fetch p addr =
   | Some i when i >= 0 && i < Array.length p.insns -> Some p.insns.(i)
   | _ -> None
 
+(* Allocation-free [index_of_addr] for the engine's fetch path: the
+   instruction index at [addr], or -1 outside the text segment. *)
+let fetch_index p addr =
+  if addr < text_base || (addr - text_base) land 3 <> 0 then -1
+  else
+    let i = (addr - text_base) lsr 2 in
+    if i < Array.length p.insns then i else -1
+
 let label_index p name =
   match Hashtbl.find_opt p.labels name with
   | Some i -> i

@@ -26,6 +26,10 @@ val length : t -> int
 (** Instruction at a text address, [None] outside the program. *)
 val fetch : t -> int -> Insn.t option
 
+(** Instruction index at a text address, -1 outside the program —
+    the allocation-free form of [index_of_addr] for per-step fetch. *)
+val fetch_index : t -> int -> int
+
 val label_index : t -> string -> int
 val label_addr : t -> string -> int
 val entry_addr : t -> int

@@ -22,7 +22,10 @@ type branch_kind = Jump | Cond of Insn.cond | Call | Ret | Indirect
 type cap =
   | Cap_gen_begin
   | Cap_gen_end
-  | Cap_check of { pid : int; mem : Insn.mem; width : Insn.width; is_store : bool }
+  | Cap_check of { mutable pid : int; mem : Insn.mem; width : Insn.width; is_store : bool }
+      (* [pid] is mutable so decode-time memos can re-tag a cached check
+         in place (Monitor's per-PC injection memo) instead of
+         re-allocating the spliced crack on every PID change. *)
   | Cap_free_begin of { pid : int }
   | Cap_free_end of { pid : int }
 

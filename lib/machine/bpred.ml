@@ -19,6 +19,14 @@ type t = {
   ras : int array;
   mutable ras_top : int;
   counters : Chex86_stats.Counter.group;
+  (* Pre-resolved outcome counters: [resolve] runs once per branch and
+     must not hash strings. *)
+  h_cond_correct : Chex86_stats.Counter.handle;
+  h_cond_mispredict : Chex86_stats.Counter.handle;
+  h_ras_correct : Chex86_stats.Counter.handle;
+  h_ras_mispredict : Chex86_stats.Counter.handle;
+  h_btb_correct : Chex86_stats.Counter.handle;
+  h_btb_mispredict : Chex86_stats.Counter.handle;
 }
 
 let bimodal_bits = 13
@@ -38,13 +46,21 @@ let create counters =
     ras = Array.make 64 0;
     ras_top = 0;
     counters;
+    h_cond_correct = Chex86_stats.Counter.handle counters "bpred.cond_correct";
+    h_cond_mispredict = Chex86_stats.Counter.handle counters "bpred.cond_mispredict";
+    h_ras_correct = Chex86_stats.Counter.handle counters "bpred.ras_correct";
+    h_ras_mispredict = Chex86_stats.Counter.handle counters "bpred.ras_mispredict";
+    h_btb_correct = Chex86_stats.Counter.handle counters "bpred.btb_correct";
+    h_btb_mispredict = Chex86_stats.Counter.handle counters "bpred.btb_mispredict";
   }
 
-let fold_history ghist len bits =
-  let mask = (1 lsl len) - 1 in
-  let h = ghist land mask in
-  let rec fold h acc = if h = 0 then acc else fold (h lsr bits) (acc lxor (h land ((1 lsl bits) - 1))) in
-  fold h 0
+(* Top-level recursion (DESIGN.md hot-path rules): an inner [rec]
+   capturing [bits] allocates a closure on each of the up-to-six
+   history folds per branch without flambda. *)
+let rec fold_bits h bits acc =
+  if h = 0 then acc else fold_bits (h lsr bits) bits (acc lxor (h land ((1 lsl bits) - 1)))
+
+let fold_history ghist len bits = fold_bits (ghist land ((1 lsl len) - 1)) bits 0
 
 let tagged_index t i pc =
   let h = fold_history t.ghist t.history_lengths.(i) tagged_bits in
@@ -54,53 +70,64 @@ let tagged_tag t i pc =
   let h = fold_history t.ghist t.history_lengths.(i) tag_bits in
   ((pc lsr 4) lxor h) land ((1 lsl tag_bits) - 1)
 
-(* Longest-history hitting table, if any. *)
-let provider t pc =
-  let rec find i =
-    if i < 0 then None
-    else
-      let e = t.tagged.(i).(tagged_index t i pc) in
-      if e.tag = tagged_tag t i pc then Some (i, e) else find (i - 1)
-  in
-  find 2
+(* Longest-history hitting table, or -1.  Int sentinel instead of the
+   former [Some (i, entry)] pair: the provider is probed on every
+   conditional branch (and several times per resolve), and the entry is
+   recoverable from the index for the price of a re-hash. *)
+let rec provider_from t pc i =
+  if i < 0 then -1
+  else if (t.tagged.(i).(tagged_index t i pc)).tag = tagged_tag t i pc then i
+  else provider_from t pc (i - 1)
+
+let provider_index t pc = provider_from t pc 2
 
 let predict_direction t pc =
-  match provider t pc with
-  | Some (_, e) -> e.ctr >= 4
-  | None -> t.bimodal.((pc lsr 2) land ((1 lsl bimodal_bits) - 1)) >= 2
+  let p = provider_index t pc in
+  if p >= 0 then (t.tagged.(p).(tagged_index t p pc)).ctr >= 4
+  else t.bimodal.((pc lsr 2) land ((1 lsl bimodal_bits) - 1)) >= 2
 
-let clamp v lo hi = max lo (min hi v)
+(* Int-specialized: [Stdlib.max]/[min] are generic-compare calls without
+   flambda, and this runs several times per resolved branch. *)
+let clamp (v : int) (lo : int) (hi : int) = if v < lo then lo else if v > hi then hi else v
 
-let update_direction t pc ~taken =
-  let predicted = predict_direction t pc in
-  (match provider t pc with
-  | Some (_, e) -> e.ctr <- clamp (e.ctr + if taken then 1 else -1) 0 7
-  | None ->
-    let idx = (pc lsr 2) land ((1 lsl bimodal_bits) - 1) in
-    t.bimodal.(idx) <- clamp (t.bimodal.(idx) + if taken then 1 else -1) 0 3);
-  (* Allocate a longer-history entry on misprediction. *)
-  if predicted <> taken then begin
-    let start = match provider t pc with Some (i, _) -> i + 1 | None -> 0 in
-    let rec alloc i =
-      if i <= 2 then begin
-        let e = t.tagged.(i).(tagged_index t i pc) in
-        if e.useful = 0 then begin
-          e.tag <- tagged_tag t i pc;
-          e.ctr <- (if taken then 4 else 3);
-          e.useful <- 0
-        end
-        else begin
-          e.useful <- e.useful - 1;
-          alloc (i + 1)
-        end
-      end
-    in
-    alloc start
+(* Allocate a longer-history entry on misprediction (TAGE's
+   decrement-useful-and-retry walk). *)
+let rec alloc_entry t pc taken i =
+  if i <= 2 then begin
+    let e = t.tagged.(i).(tagged_index t i pc) in
+    if e.useful = 0 then begin
+      e.tag <- tagged_tag t i pc;
+      e.ctr <- (if taken then 4 else 3);
+      e.useful <- 0
+    end
+    else begin
+      e.useful <- e.useful - 1;
+      alloc_entry t pc taken (i + 1)
+    end
   end
-  else begin
-    match provider t pc with
-    | Some (_, e) -> e.useful <- clamp (e.useful + 1) 0 3
-    | None -> ()
+
+(* The provider is computed once up front: none of the updates below
+   change any tag before it is re-used ([alloc_entry] rewrites tags but
+   runs last on its branch), and [ghist] — which the provider hash
+   depends on — is only shifted at the very end. *)
+let update_direction t pc ~taken =
+  let p = provider_index t pc in
+  let predicted =
+    if p >= 0 then (t.tagged.(p).(tagged_index t p pc)).ctr >= 4
+    else t.bimodal.((pc lsr 2) land ((1 lsl bimodal_bits) - 1)) >= 2
+  in
+  (if p >= 0 then begin
+     let e = t.tagged.(p).(tagged_index t p pc) in
+     e.ctr <- clamp (e.ctr + if taken then 1 else -1) 0 7
+   end
+   else begin
+     let idx = (pc lsr 2) land ((1 lsl bimodal_bits) - 1) in
+     t.bimodal.(idx) <- clamp (t.bimodal.(idx) + if taken then 1 else -1) 0 3
+   end);
+  if predicted <> taken then alloc_entry t pc taken (p + 1)
+  else if p >= 0 then begin
+    let e = t.tagged.(p).(tagged_index t p pc) in
+    e.useful <- clamp (e.useful + 1) 0 3
   end;
   t.ghist <- ((t.ghist lsl 1) lor if taken then 1 else 0) land ((1 lsl 60) - 1);
   predicted = taken
@@ -132,8 +159,8 @@ let resolve t ~pc ~kind ~taken ~target =
   match kind with
   | Cond _ ->
     let ok = update_direction t pc ~taken in
-    Chex86_stats.Counter.incr t.counters
-      (if ok then "bpred.cond_correct" else "bpred.cond_mispredict");
+    Chex86_stats.Counter.incr_handle t.counters
+      (if ok then t.h_cond_correct else t.h_cond_mispredict);
     ok
   | Jump -> true  (* direct unconditional: decoded target, always correct *)
   | Call ->
@@ -142,12 +169,14 @@ let resolve t ~pc ~kind ~taken ~target =
   | Ret ->
     let predicted = ras_pop t in
     let ok = predicted = target in
-    Chex86_stats.Counter.incr t.counters
-      (if ok then "bpred.ras_correct" else "bpred.ras_mispredict");
+    Chex86_stats.Counter.incr_handle t.counters
+      (if ok then t.h_ras_correct else t.h_ras_mispredict);
     ok
   | Indirect ->
-    let ok = match btb_lookup t pc with Some p -> p = target | None -> false in
+    (* Inline BTB probe: no [option] on the per-branch path. *)
+    let idx = (pc lsr 2) land 4095 in
+    let ok = t.btb_tags.(idx) = pc && t.btb.(idx) = target in
     btb_update t pc target;
-    Chex86_stats.Counter.incr t.counters
-      (if ok then "bpred.btb_correct" else "bpred.btb_mispredict");
+    Chex86_stats.Counter.incr_handle t.counters
+      (if ok then t.h_btb_correct else t.h_btb_mispredict);
     ok

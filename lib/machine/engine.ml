@@ -17,17 +17,23 @@ open Chex86_isa
 
 exception Guest_fault of string
 
-type exec_uop = { uop : Uop.t; ea : int option; reaction : Hooks.reaction }
+(* [ea] is 0 for micro-ops without a memory operand.  Fields are mutable
+   because the engine reuses pooled records across steps (see [step]). *)
+type exec_uop = { mutable uop : Uop.t; mutable ea : int; mutable reaction : Hooks.reaction }
 
-type branch_info = { kind : Uop.branch_kind; taken : bool; target : int }
+type branch_info = { mutable kind : Uop.branch_kind; mutable taken : bool; mutable target : int }
 
+(* The record returned by [step] is a single buffer rewritten in place on
+   every call: consumers must finish with it (and its [uops] array)
+   before stepping again.  Both in-tree consumers (Simulator, Smp) feed
+   it straight into [Pipeline.on_step], which retains nothing. *)
 type step = {
-  pc : int;
-  insn : Insn.t option;  (* None for a native stub body *)
-  native : string option;
-  path : Decoder.path;
-  uops : exec_uop list;
-  branch : branch_info option;
+  mutable pc : int;
+  mutable insn : Insn.t option;  (* None for a native stub body *)
+  mutable native : string option;
+  mutable path : Decoder.path;
+  mutable uops : exec_uop array;  (* program order; array form for the timing model *)
+  mutable branch : branch_info option;
 }
 
 type t = {
@@ -43,17 +49,48 @@ type t = {
   mutable insn_count : int;
   mutable rand_state : int;
   mutable on_access : addr:int -> write:bool -> unit;
+  (* Per-step allocation killers: one [read_reg] closure for every ctx
+     (instead of one per step), and per-instruction memos of the crack,
+     its decoder path and the boxed instruction.  [Decoder.decode] is a
+     pure function of the instruction, so cracking each text index once
+     is exact — and also stops [Decoder.path] from re-cracking the same
+     macro-op on every dynamic execution. *)
+  reg_reader : Reg.t -> int;
+  crack : Uop.t list array;  (* [] = not yet decoded (cracks are never empty) *)
+  crack_path : Decoder.path array;
+  insn_box : Insn.t option array;
+  (* Scratch: the last executed micro-op's written value ([Hooks.no_result]
+     when none) and the single reused hook context. *)
+  mutable last_result : int;
+  ctx : Hooks.ctx;
+  (* Step-record pool: [step] rewrites [step_buf] in place and returns
+     the preallocated [step_some]; [exec_bufs.(n)] is the reused
+     [exec_uop array] for an [n]-micro-op step, and [branch_buf]/
+     [branch_some] back the [branch] field.  This removes every per-step
+     heap allocation of the baseline run. *)
+  step_buf : step;
+  step_some : step option;
+  branch_buf : branch_info;
+  branch_some : branch_info option;
+  mutable exec_bufs : exec_uop array array;
 }
 
 (* [entry]/[stack_top] support SMP: each hardware thread starts at its
    own label with a private stack region. *)
 let create ?(hooks = Hooks.none ()) ?entry ?stack_top proc =
   let program = proc.Chex86_os.Process.program in
+  let regs = Array.make Reg.count 0 in
+  let reg_reader r = regs.(Reg.index r) in
+  let len = max 1 (Program.length program) in
+  let sb =
+    { pc = 0; insn = None; native = None; path = Decoder.Simple; uops = [||]; branch = None }
+  in
+  let bb = { kind = Uop.Jump; taken = false; target = 0 } in
   let t =
     {
       proc;
       hooks;
-      regs = Array.make Reg.count 0;
+      regs;
       xmm = Array.make Insn.xmm_count 0.;
       tmps = Array.make 2 0;
       eq = false;
@@ -66,6 +103,17 @@ let create ?(hooks = Hooks.none ()) ?entry ?stack_top proc =
       insn_count = 0;
       rand_state = 0x12345;
       on_access = (fun ~addr:_ ~write:_ -> ());
+      reg_reader;
+      crack = Array.make len [];
+      crack_path = Array.make len Decoder.Simple;
+      insn_box = Array.make len None;
+      last_result = Hooks.no_result;
+      ctx = { Hooks.pc = 0; insn = None; stub = None; read_reg = reg_reader };
+      step_buf = sb;
+      step_some = Some sb;
+      branch_buf = bb;
+      branch_some = Some bb;
+      exec_bufs = [||];
     }
   in
   t.regs.(Reg.index Reg.RSP) <-
@@ -134,28 +182,35 @@ let eval_cond t = function
   | Insn.Gt -> not (t.lt || t.eq)
   | Insn.Ge -> not t.lt
 
-(* Execute one micro-op functionally; returns (ea, result). [insn] gives
-   macro context for the return-address store of Call and for indirect
-   branch targets. *)
+(* Execute one micro-op functionally; returns the effective address (0
+   when the micro-op has none) and leaves the written value — or
+   [Hooks.no_result] — in [t.last_result].  Plain ints instead of an
+   option pair keep this allocation-free.  [insn] gives macro context for
+   the return-address store of Call. *)
 let exec_uop t (insn : Insn.t option) pc (uop : Uop.t) =
   let mem = t.proc.Chex86_os.Process.mem in
+  t.last_result <- Hooks.no_result;
   match uop with
   | Mov { dst; src } ->
     let v = get_loc t src in
     set_loc t dst v;
-    (None, Some v)
+    t.last_result <- v;
+    0
   | Limm { dst; imm } ->
     set_loc t dst imm;
-    (None, Some imm)
+    t.last_result <- imm;
+    0
   | Alu { op; dst; src1; src2 } ->
     let v = alu_eval op (get_loc t src1) (get_src t src2) in
     set_loc t dst v;
     set_flags t v;
-    (None, Some v)
+    t.last_result <- v;
+    0
   | Lea { dst; mem = m } ->
     let ea = effective_address t m in
     set_loc t dst ea;
-    (None, Some ea)
+    t.last_result <- ea;
+    0
   | Load { dst; mem = m; width } ->
     let ea = effective_address t m in
     t.on_access ~addr:ea ~write:false;
@@ -163,11 +218,9 @@ let exec_uop t (insn : Insn.t option) pc (uop : Uop.t) =
     | Xreg i -> t.xmm.(i) <- Chex86_mem.Image.read_float mem ea
     | _ ->
       let v = mask_width width (Chex86_mem.Image.read mem ea (Insn.bytes_of_width width)) in
-      set_loc t dst v);
-    let result =
-      match dst with Xreg _ -> None | _ -> Some (get_loc t dst)
-    in
-    (Some ea, result)
+      set_loc t dst v;
+      t.last_result <- v);
+    ea
   | Store { src; mem = m; width } ->
     let ea = effective_address t m in
     t.on_access ~addr:ea ~write:true;
@@ -181,18 +234,19 @@ let exec_uop t (insn : Insn.t option) pc (uop : Uop.t) =
         | _ -> get_src t src
       in
       Chex86_mem.Image.write mem ea (Insn.bytes_of_width width) (mask_width width v));
-    (Some ea, None)
+    ea
   | Fp { op; dst = Xreg d; src = Xreg s } ->
     t.xmm.(d) <- fp_eval op t.xmm.(d) t.xmm.(s);
-    (None, None)
+    0
   | Fp _ -> raise (Guest_fault "fp micro-op on integer register")
   | Cvt { dst = Xreg d; src; to_fp = true } ->
     t.xmm.(d) <- float_of_int (get_loc t src);
-    (None, None)
+    0
   | Cvt { dst; src = Xreg s; to_fp = false } ->
     let v = int_of_float t.xmm.(s) in
     set_loc t dst v;
-    (None, Some v)
+    t.last_result <- v;
+    0
   | Cvt _ -> raise (Guest_fault "malformed cvt micro-op")
   | Cmp { src1; src2; is_test } ->
     let a = get_loc t src1 and b = get_src t src2 in
@@ -205,13 +259,13 @@ let exec_uop t (insn : Insn.t option) pc (uop : Uop.t) =
       t.eq <- a = b;
       t.lt <- a < b
     end;
-    (None, None)
-  | Branch _ -> (None, None)  (* resolved at the macro level *)
+    0
+  | Branch _ -> 0  (* resolved at the macro level *)
   | Cap (Cap_check { mem = m; _ }) | Guard { mem = m; _ } ->
     (* Checks compute the same effective address as the access they
        guard; the monitor performs the actual check. *)
-    (Some (effective_address t m), None)
-  | Cap _ | Nop -> (None, None)
+    effective_address t m
+  | Cap _ | Nop -> 0
 
 (* --- native runtime stubs ------------------------------------------------ *)
 
@@ -247,45 +301,117 @@ let run_native t name =
 (* --- macro step ---------------------------------------------------------- *)
 
 (* Resolve the control flow of the macro-op after its micro-ops ran.
-   Returns [(branch_info option, next_rip)]. *)
+   Writes the step buffer's [branch] field (through the pooled
+   [branch_buf]) and returns the next rip. *)
+(* Shared [Uop.Cond _] payloads: a conditional branch resolves on every
+   loop back-edge and must not allocate its kind. *)
+let kind_eq = Uop.Cond Insn.Eq
+let kind_ne = Uop.Cond Insn.Ne
+let kind_lt = Uop.Cond Insn.Lt
+let kind_le = Uop.Cond Insn.Le
+let kind_gt = Uop.Cond Insn.Gt
+let kind_ge = Uop.Cond Insn.Ge
+
+let cond_kind = function
+  | Insn.Eq -> kind_eq
+  | Insn.Ne -> kind_ne
+  | Insn.Lt -> kind_lt
+  | Insn.Le -> kind_le
+  | Insn.Gt -> kind_gt
+  | Insn.Ge -> kind_ge
+
+let set_branch t kind taken target =
+  let b = t.branch_buf in
+  if b.kind != kind then b.kind <- kind;
+  b.taken <- taken;
+  b.target <- target;
+  if t.step_buf.branch != t.branch_some then t.step_buf.branch <- t.branch_some
+
 let resolve_branch t pc (insn : Insn.t) =
   let prog = t.proc.Chex86_os.Process.program in
-  let target_of = function
-    | Insn.Label l -> Program.label_addr prog l
-    | Insn.Extern name -> Chex86_os.Layout.extern_addr name
-  in
+  t.step_buf.branch <- None;
   match insn with
   | Jmp l ->
     let tgt = Program.label_addr prog l in
-    (Some { kind = Uop.Jump; taken = true; target = tgt }, tgt)
+    set_branch t Uop.Jump true tgt;
+    tgt
   | Jmp_reg r ->
     let tgt = read_reg t r in
-    (Some { kind = Uop.Indirect; taken = true; target = tgt }, tgt)
+    set_branch t Uop.Indirect true tgt;
+    tgt
   | Jcc (c, l) ->
     let taken = eval_cond t c in
     let tgt = if taken then Program.label_addr prog l else pc + 4 in
-    (Some { kind = Uop.Cond c; taken; target = tgt }, tgt)
+    set_branch t (cond_kind c) taken tgt;
+    tgt
   | Call tgt ->
-    let tgt = target_of tgt in
-    (Some { kind = Uop.Call; taken = true; target = tgt }, tgt)
+    let tgt =
+      match tgt with
+      | Insn.Label l -> Program.label_addr prog l
+      | Insn.Extern name -> Chex86_os.Layout.extern_addr name
+    in
+    set_branch t Uop.Call true tgt;
+    tgt
   | Call_reg r ->
     let tgt = read_reg t r in
-    (Some { kind = Uop.Indirect; taken = true; target = tgt }, tgt)
+    set_branch t Uop.Indirect true tgt;
+    tgt
   | Ret ->
     let tgt = t.tmps.(0) in
-    (Some { kind = Uop.Ret; taken = true; target = tgt }, tgt)
+    set_branch t Uop.Ret true tgt;
+    tgt
   | Halt ->
     t.halted <- true;
-    (None, pc)
-  | _ -> (None, pc + 4)
+    pc
+  | _ -> pc + 4
+
+(* Reused [exec_uop] buffer for an [n]-micro-op step: each length gets
+   its own array of preallocated records, created on first use, so the
+   steady state allocates nothing. *)
+let exec_buf t n =
+  if n >= Array.length t.exec_bufs then begin
+    let bufs = Array.make (n + 1) [||] in
+    Array.blit t.exec_bufs 0 bufs 0 (Array.length t.exec_bufs);
+    t.exec_bufs <- bufs
+  end;
+  let buf = t.exec_bufs.(n) in
+  if n > 0 && Array.length buf = 0 then begin
+    let buf = Array.init n (fun _ -> { uop = Uop.Nop; ea = 0; reaction = Hooks.no_reaction }) in
+    t.exec_bufs.(n) <- buf;
+    buf
+  end
+  else buf
+
+(* Execution mutates architectural state, so the micro-ops must run
+   strictly in program order; top-level recursion (no closure per
+   step). *)
+let rec fill_exec t ctx insn pc arr i = function
+  | [] -> ()
+  | uop :: rest ->
+    let ea = exec_uop t insn pc uop in
+    let reaction =
+      if t.hooks.Hooks.active then t.hooks.Hooks.exec_uop ctx uop ~ea ~result:t.last_result
+      else Hooks.no_reaction
+    in
+    let eu = arr.(i) in
+    (* Pooled records live in the major heap, so every pointer store
+       pays the write barrier; skip stores that would not change the
+       field (cracks and [Hooks.no_reaction] are shared/memoized, so
+       steady-state loops mostly re-store the same pointers). *)
+    if eu.uop != uop then eu.uop <- uop;
+    eu.ea <- ea;
+    if eu.reaction != reaction then eu.reaction <- reaction;
+    fill_exec t ctx insn pc arr (i + 1) rest
 
 let execute_uops t ctx insn pc uops =
-  List.map
-    (fun uop ->
-      let ea, result = exec_uop t insn pc uop in
-      let reaction = t.hooks.Hooks.exec_uop ctx uop ~ea ~result in
-      { uop; ea; reaction })
-    uops
+  let arr = exec_buf t (List.length uops) in
+  fill_exec t ctx insn pc arr 0 uops;
+  arr
+
+(* Shared cracks for the stub paths (pure, program-independent). *)
+let ret_insn_box = Some Insn.Ret
+let ret_crack = Decoder.decode Insn.Ret
+let nop_crack = [ Uop.Nop ]
 
 let step t =
   if t.halted then None
@@ -295,49 +421,74 @@ let step t =
     match Chex86_os.Layout.extern_of_addr pc with
     | Some (name, `Entry) ->
       (* Native stub body. *)
-      let ctx =
-        {
-          Hooks.pc;
-          insn = None;
-          stub = Some (name, Hooks.Entry);
-          read_reg = read_reg t;
-        }
-      in
-      let uops = t.hooks.Hooks.instrument ctx [ Uop.Nop ] in
+      let ctx = t.ctx in
+      ctx.Hooks.pc <- pc;
+      ctx.Hooks.insn <- None;
+      ctx.Hooks.stub <- Some (name, Hooks.Entry);
+      let uops = if t.hooks.Hooks.active then t.hooks.Hooks.instrument ctx nop_crack else nop_crack in
       (* Injected capability micro-ops run before the native body so that
          capGen.Begin sees %rdi before the allocator clobbers state. *)
       let exec = execute_uops t ctx None pc uops in
       run_native t name;
       t.rip <- pc + 4;
       t.hooks.Hooks.on_retire ctx;
-      Some { pc; insn = None; native = Some name; path = Decoder.Msrom; uops = exec; branch = None }
+      let sb = t.step_buf in
+      sb.pc <- pc;
+      sb.insn <- None;
+      sb.native <- Some name;
+      sb.path <- Decoder.Msrom;
+      if sb.uops != exec then sb.uops <- exec;
+      sb.branch <- None;
+      t.step_some
     | Some (name, `Exit) ->
       (* The Ret at the stub's registered exit point. *)
       let insn = Insn.Ret in
-      let ctx =
-        {
-          Hooks.pc;
-          insn = Some insn;
-          stub = Some (name, Hooks.Exit);
-          read_reg = read_reg t;
-        }
-      in
-      let uops = t.hooks.Hooks.instrument ctx (Decoder.decode insn) in
-      let exec = execute_uops t ctx (Some insn) pc uops in
-      let branch, next = resolve_branch t pc insn in
+      let ctx = t.ctx in
+      ctx.Hooks.pc <- pc;
+      ctx.Hooks.insn <- ret_insn_box;
+      ctx.Hooks.stub <- Some (name, Hooks.Exit);
+      let uops = if t.hooks.Hooks.active then t.hooks.Hooks.instrument ctx ret_crack else ret_crack in
+      let exec = execute_uops t ctx ret_insn_box pc uops in
+      let sb = t.step_buf in
+      sb.pc <- pc;
+      if sb.insn != ret_insn_box then sb.insn <- ret_insn_box;
+      sb.native <- None;
+      sb.path <- Decoder.Simple;
+      if sb.uops != exec then sb.uops <- exec;
+      let next = resolve_branch t pc insn in
       t.rip <- next;
       t.hooks.Hooks.on_retire ctx;
-      Some { pc; insn = Some insn; native = None; path = Decoder.Simple; uops = exec; branch }
-    | None -> (
-      match Program.fetch t.proc.Chex86_os.Process.program pc with
-      | None -> raise (Guest_fault (Printf.sprintf "execution left the text segment at %#x" pc))
-      | Some insn ->
-        let ctx = { Hooks.pc; insn = Some insn; stub = None; read_reg = read_reg t } in
-        let path = Decoder.path insn in
-        let uops = t.hooks.Hooks.instrument ctx (Decoder.decode insn) in
-        let exec = execute_uops t ctx (Some insn) pc uops in
-        let branch, next = resolve_branch t pc insn in
-        t.rip <- next;
-        t.hooks.Hooks.on_retire ctx;
-        Some { pc; insn = Some insn; native = None; path; uops = exec; branch })
+      t.step_some
+    | None ->
+      let idx = Program.fetch_index t.proc.Chex86_os.Process.program pc in
+      if idx < 0 then
+        raise (Guest_fault (Printf.sprintf "execution left the text segment at %#x" pc));
+      let insn = t.proc.Chex86_os.Process.program.Program.insns.(idx) in
+      let crack =
+        match t.crack.(idx) with
+        | [] ->
+          let c = Decoder.decode insn in
+          t.crack.(idx) <- c;
+          t.crack_path.(idx) <- Decoder.path insn;
+          t.insn_box.(idx) <- Some insn;
+          c
+        | c -> c
+      in
+      let boxed = t.insn_box.(idx) in
+      let ctx = t.ctx in
+      ctx.Hooks.pc <- pc;
+      ctx.Hooks.insn <- boxed;
+      ctx.Hooks.stub <- None;
+      let uops = if t.hooks.Hooks.active then t.hooks.Hooks.instrument ctx crack else crack in
+      let exec = execute_uops t ctx boxed pc uops in
+      let sb = t.step_buf in
+      sb.pc <- pc;
+      if sb.insn != boxed then sb.insn <- boxed;
+      sb.native <- None;
+      sb.path <- t.crack_path.(idx);
+      if sb.uops != exec then sb.uops <- exec;
+      let next = resolve_branch t pc insn in
+      t.rip <- next;
+      t.hooks.Hooks.on_retire ctx;
+      t.step_some
   end

@@ -6,16 +6,24 @@ open Chex86_isa
     micro-ops). *)
 exception Guest_fault of string
 
-type exec_uop = { uop : Uop.t; ea : int option; reaction : Hooks.reaction }
-type branch_info = { kind : Uop.branch_kind; taken : bool; target : int }
+(** [ea] is 0 for micro-ops without a memory operand.
+
+    Steps and their payloads are {e pooled}: [step] returns the same
+    [step]/[exec_uop]/[branch_info] records on every call, rewritten in
+    place, so a caller must fully consume one step before requesting the
+    next and must not retain references across calls.  (Both in-tree
+    consumers feed the step straight to [Pipeline.on_step], which keeps
+    only ints.) *)
+type exec_uop = { mutable uop : Uop.t; mutable ea : int; mutable reaction : Hooks.reaction }
+type branch_info = { mutable kind : Uop.branch_kind; mutable taken : bool; mutable target : int }
 
 type step = {
-  pc : int;
-  insn : Insn.t option;  (** [None] for a native stub body *)
-  native : string option;
-  path : Decoder.path;
-  uops : exec_uop list;
-  branch : branch_info option;
+  mutable pc : int;
+  mutable insn : Insn.t option;  (** [None] for a native stub body *)
+  mutable native : string option;
+  mutable path : Decoder.path;
+  mutable uops : exec_uop array;  (** program order *)
+  mutable branch : branch_info option;
 }
 
 type t = {
@@ -31,6 +39,17 @@ type t = {
   mutable insn_count : int;
   mutable rand_state : int;
   mutable on_access : addr:int -> write:bool -> unit;
+  reg_reader : Reg.t -> int;  (** shared [read_reg] closure for hook contexts *)
+  crack : Uop.t list array;  (** per-instruction memoized crack ([[]] = unfilled) *)
+  crack_path : Decoder.path array;
+  insn_box : Insn.t option array;
+  mutable last_result : int;  (** last micro-op's written value, or [Hooks.no_result] *)
+  ctx : Hooks.ctx;  (** single reused hook context (fields rewritten per step) *)
+  step_buf : step;  (** the single step record rewritten per [step] call *)
+  step_some : step option;  (** preallocated [Some step_buf] *)
+  branch_buf : branch_info;
+  branch_some : branch_info option;
+  mutable exec_bufs : exec_uop array array;  (** pooled per-length uop buffers *)
 }
 
 (** [entry] (a label) and [stack_top] support SMP hardware threads. *)

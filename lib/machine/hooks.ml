@@ -11,34 +11,80 @@
 
 type stub_phase = Entry | Exit
 
+(* Mutable so the engine can reuse one ctx record per step instead of
+   allocating three shapes of it on the hot path; hooks must not retain
+   a ctx beyond the call that received it. *)
 type ctx = {
-  pc : int;
-  insn : Chex86_isa.Insn.t option;  (* None while inside a native stub body *)
-  stub : (string * stub_phase) option;
+  mutable pc : int;
+  mutable insn : Chex86_isa.Insn.t option;  (* None while inside a native stub body *)
+  mutable stub : (string * stub_phase) option;
   read_reg : Chex86_isa.Reg.t -> int;
 }
 
+(* Mutable so monitors can serve reactions from a ring pool ([pool] /
+   [take] below) instead of allocating one record per checked micro-op. *)
 type reaction = {
-  extra_latency : int;  (* delays the micro-op's result (dependents see it) *)
-  commit_latency : int;
+  mutable extra_latency : int;  (* delays the micro-op's result (dependents see it) *)
+  mutable commit_latency : int;
   (* delays only validation/commit: shadow-structure lookups that run off
      the critical path of the access (capability cache misses, alias
      table walks) *)
-  flush : bool;  (* squash + refetch once this micro-op's checks resolve *)
-  killed_uops : int;  (* injected checks turned into zero-idioms *)
+  mutable flush : bool;  (* squash + refetch once this micro-op's checks resolve *)
+  mutable killed_uops : int;  (* injected checks turned into zero-idioms *)
 }
 
 let no_reaction = { extra_latency = 0; commit_latency = 0; flush = false; killed_uops = 0 }
 
+(* Ring of reusable reaction records.  The pipeline consumes a step's
+   reactions before the next step's hooks run, so any ring deeper than
+   one step's micro-op count (cracks are <= 8, checks double that) never
+   hands out a record still in flight. *)
+type pool = { ring : reaction array; mutable next : int }
+
+let pool_size = 32
+
+let pool () =
+  {
+    ring =
+      Array.init pool_size (fun _ ->
+          { extra_latency = 0; commit_latency = 0; flush = false; killed_uops = 0 });
+    next = 0;
+  }
+
+(* The all-zero case returns the shared [no_reaction] constant — the
+   common path stays a single physical-equality check downstream. *)
+let take p ~extra_latency ~commit_latency ~flush ~killed_uops =
+  if extra_latency = 0 && commit_latency = 0 && (not flush) && killed_uops = 0 then
+    no_reaction
+  else begin
+    p.next <- (p.next + 1) land (pool_size - 1);
+    let r = p.ring.(p.next) in
+    r.extra_latency <- extra_latency;
+    r.commit_latency <- commit_latency;
+    r.flush <- flush;
+    r.killed_uops <- killed_uops;
+    r
+  end
+
+(* [ea] is 0 for micro-ops without a memory operand (every consumer
+   already treated "no address" as 0); [result] is [no_result] when the
+   micro-op writes no integer destination.  Plain ints keep the per-µop
+   hook call allocation-free. *)
+let no_result = min_int
+
 type t = {
+  (* [active] lets the engine skip the [instrument]/[exec_uop] closure
+     calls outright when no monitor needs them (the insecure machine):
+     installers that assign those fields must also raise the flag. *)
+  mutable active : bool;
   mutable instrument : ctx -> Chex86_isa.Uop.t list -> Chex86_isa.Uop.t list;
-  mutable exec_uop :
-    ctx -> Chex86_isa.Uop.t -> ea:int option -> result:int option -> reaction;
-  mutable on_retire : ctx -> unit;  (* after a macro-op completes *)
+  mutable exec_uop : ctx -> Chex86_isa.Uop.t -> ea:int -> result:int -> reaction;
+  mutable on_retire : ctx -> unit;  (* after a macro-op completes; always called *)
 }
 
 let none () =
   {
+    active = false;
     instrument = (fun _ uops -> uops);
     exec_uop = (fun _ _ ~ea:_ ~result:_ -> no_reaction);
     on_retire = (fun _ -> ());

@@ -3,28 +3,49 @@
 type stub_phase = Entry | Exit
 
 type ctx = {
-  pc : int;
-  insn : Chex86_isa.Insn.t option;  (** [None] inside a native stub body *)
-  stub : (string * stub_phase) option;
+  mutable pc : int;
+  mutable insn : Chex86_isa.Insn.t option;  (** [None] inside a native stub body *)
+  mutable stub : (string * stub_phase) option;
   read_reg : Chex86_isa.Reg.t -> int;
 }
+(** The engine reuses one ctx record across steps (fields are rewritten
+    in place); hooks must not retain a ctx beyond the call receiving it. *)
 
 type reaction = {
-  extra_latency : int;  (** delays the micro-op's result (dependents see it) *)
-  commit_latency : int;
+  mutable extra_latency : int;  (** delays the micro-op's result (dependents see it) *)
+  mutable commit_latency : int;
       (** delays only validation/commit: off-critical-path shadow lookups *)
-  flush : bool;  (** squash + refetch once this micro-op's checks resolve *)
-  killed_uops : int;  (** injected checks turned into zero-idioms (PNA0) *)
+  mutable flush : bool;  (** squash + refetch once this micro-op's checks resolve *)
+  mutable killed_uops : int;  (** injected checks turned into zero-idioms (PNA0) *)
 }
 
 val no_reaction : reaction
 
+(** Ring of reusable reaction records for monitors: the pipeline reads a
+    step's reactions before the next step's hooks run, so pooled records
+    are never still in flight when reused.  {!take} returns the shared
+    {!no_reaction} for the all-zero case and a rewritten ring slot
+    otherwise; callers must not retain the result across steps. *)
+type pool
+
+val pool : unit -> pool
+
+val take :
+  pool -> extra_latency:int -> commit_latency:int -> flush:bool -> killed_uops:int -> reaction
+
+(** [result] value meaning "this micro-op wrote no integer destination". *)
+val no_result : int
+
 type t = {
+  mutable active : bool;
+      (** engine gate: [instrument]/[exec_uop] are only called when set;
+          installers assigning those fields must raise it *)
   mutable instrument : ctx -> Chex86_isa.Uop.t list -> Chex86_isa.Uop.t list;
       (** decode-time: may inject Cap/Guard micro-ops into the crack *)
-  mutable exec_uop :
-    ctx -> Chex86_isa.Uop.t -> ea:int option -> result:int option -> reaction;
-      (** execute-time: functional checks (may raise) + timing feedback *)
+  mutable exec_uop : ctx -> Chex86_isa.Uop.t -> ea:int -> result:int -> reaction;
+      (** execute-time: functional checks (may raise) + timing feedback;
+          [ea] is 0 for non-memory micro-ops, [result] is [no_result]
+          when nothing was written *)
   mutable on_retire : ctx -> unit;  (** after each macro-op completes *)
 }
 

@@ -20,6 +20,12 @@
 
 open Chex86_isa
 
+(* Int-specialized max/min: the polymorphic [Stdlib.max] compiles to a
+   generic-compare C call without flambda, and this file calls it a
+   dozen times per micro-op.  These inline to a compare+cmov. *)
+let imax (a : int) (b : int) = if a >= b then a else b
+let imin (a : int) (b : int) = if a <= b then a else b
+
 let loc_slots = Reg.count + Insn.xmm_count + 2 + 1
 let flags_slot = loc_slots - 1
 
@@ -43,7 +49,14 @@ type t = {
   sq : int array;
   mutable sq_pos : int;
   fu_free : int array array;  (* per fu class, per unit *)
-  store_fwd : (int, int) Hashtbl.t;
+  (* Store-to-load forwarding: a direct-mapped table over 8-byte granules.
+     [fwd_granule.(slot)] holds the full granule number (-1 when empty)
+     and [fwd_ready.(slot)] the cycle its store data forwards.  A
+     conflicting store evicts only its own slot — the old hashtable
+     dropped *all* in-flight forwarding state wholesale once it crossed
+     8192 entries. *)
+  fwd_granule : int array;
+  fwd_ready : int array;
   mutable fetch_cycle : int;
   mutable fetch_slots : int;
   mutable last_commit : int;
@@ -51,7 +64,18 @@ type t = {
   mutable commit_slots : int;
   mutable last_fetch_line : int;
   mutable published_cycles : int;
+  (* Pre-resolved counters for the per-µop/per-step paths. *)
+  h_uops : Chex86_stats.Counter.handle;
+  h_uops_injected : Chex86_stats.Counter.handle;
+  h_uops_killed : Chex86_stats.Counter.handle;
+  h_macro_insns : Chex86_stats.Counter.handle;
+  h_squash_cycles : Chex86_stats.Counter.handle;
+  h_branch_flushes : Chex86_stats.Counter.handle;
+  h_alias_flushes : Chex86_stats.Counter.handle;
+  h_cycles : Chex86_stats.Counter.handle;
 }
+
+let fwd_size = 8192  (* slots; power of 2, indexed by the granule's low bits *)
 
 let fu_index = function
   | Uop.FU_int -> 0
@@ -87,7 +111,8 @@ let create ?(config = Config.default) hier counters =
         Array.make 1 0 (* branch unit *);
         Array.make 1 0 (* none *);
       |];
-    store_fwd = Hashtbl.create 1024;
+    fwd_granule = Array.make fwd_size (-1);
+    fwd_ready = Array.make fwd_size 0;
     fetch_cycle = 0;
     fetch_slots = 0;
     last_commit = 0;
@@ -95,9 +120,15 @@ let create ?(config = Config.default) hier counters =
     commit_slots = 0;
     last_fetch_line = -1;
     published_cycles = 0;
+    h_uops = Chex86_stats.Counter.handle counters "pipeline.uops";
+    h_uops_injected = Chex86_stats.Counter.handle counters "pipeline.uops_injected";
+    h_uops_killed = Chex86_stats.Counter.handle counters "pipeline.uops_killed";
+    h_macro_insns = Chex86_stats.Counter.handle counters "pipeline.macro_insns";
+    h_squash_cycles = Chex86_stats.Counter.handle counters "pipeline.squash_cycles";
+    h_branch_flushes = Chex86_stats.Counter.handle counters "pipeline.branch_flushes";
+    h_alias_flushes = Chex86_stats.Counter.handle counters "pipeline.alias_flushes";
+    h_cycles = Chex86_stats.Counter.handle counters "pipeline.cycles";
   }
-
-let incr t name = Chex86_stats.Counter.incr t.counters name
 
 (* Earliest free unit of a class at or after [want]; books the unit until
    [until]. *)
@@ -107,33 +138,38 @@ let acquire_fu t cls want until_delta =
   for i = 1 to Array.length units - 1 do
     if units.(i) < units.(!best) then best := i
   done;
-  let start = max want units.(!best) in
+  let start = imax want units.(!best) in
   units.(!best) <- start + until_delta;
   start
 
+(* Zero-idiom kills inflate [fetch_slots] past [fetch_width] in one shot;
+   carry the full overflow into whole fetch cycles rather than charging a
+   single cycle for an arbitrarily large backlog (a kill burst of
+   [3 * fetch_width] µops must cost three fetch cycles, not one). *)
 let consume_fetch_slot t =
   if t.fetch_slots >= t.cfg.fetch_width then begin
-    t.fetch_cycle <- t.fetch_cycle + 1;
-    t.fetch_slots <- 0
+    t.fetch_cycle <- t.fetch_cycle + (t.fetch_slots / t.cfg.fetch_width);
+    t.fetch_slots <- t.fetch_slots mod t.cfg.fetch_width
   end;
   t.fetch_slots <- t.fetch_slots + 1
 
-let redirect t ~resolve_time ~reason =
+(* [reason] is a pre-resolved flush counter (branch vs alias). *)
+let redirect t ~resolve_time ~(reason : Chex86_stats.Counter.handle) =
   let new_fetch = resolve_time + t.cfg.mispredict_penalty in
   if new_fetch > t.fetch_cycle then begin
     (* Squash accounting (Fig 8 bottom): the redirect penalty itself is
        the squashed-slot time; the remaining gap is resolve/drain latency
        that an out-of-order machine overlaps with older work. *)
-    Chex86_stats.Counter.incr
-      ~by:(min (new_fetch - t.fetch_cycle) t.cfg.mispredict_penalty)
-      t.counters "pipeline.squash_cycles";
+    Chex86_stats.Counter.incr_handle
+      ~by:(imin (new_fetch - t.fetch_cycle) t.cfg.mispredict_penalty)
+      t.counters t.h_squash_cycles;
     t.fetch_cycle <- new_fetch;
     t.fetch_slots <- 0
   end;
-  incr t reason
+  Chex86_stats.Counter.incr_handle t.counters reason
 
 let commit_in_order t complete =
-  let c = max complete (max t.last_commit t.commit_cycle) in
+  let c = imax complete (imax t.last_commit t.commit_cycle) in
   if c > t.commit_cycle then begin
     t.commit_cycle <- c;
     t.commit_slots <- 1
@@ -148,32 +184,56 @@ let commit_in_order t complete =
 
 let granule addr = addr lsr 3
 
+(* Advance a queue cursor known to be in [0, size): a compare beats the
+   idiv that [mod] costs on this per-µop path. *)
+let bump pos size = let p = pos + 1 in if p = size then 0 else p
+
+(* Maximum readiness over a micro-op's source locations — the same set
+   [Uop.reads] describes, folded in place so the per-µop path builds no
+   lists. *)
+let max_loc t acc l = imax acc t.reg_ready.(slot_of_loc l)
+
+let max_src t acc = function Uop.Loc l -> max_loc t acc l | Uop.Imm _ -> acc
+
+let max_mem t acc (m : Insn.mem) =
+  let acc = match m.base with Some r -> imax acc t.reg_ready.(Reg.index r) | None -> acc in
+  match m.index with Some r -> imax acc t.reg_ready.(Reg.index r) | None -> acc
+
+let reads_ready t acc (uop : Uop.t) =
+  match uop with
+  | Mov { src; _ } -> max_loc t acc src
+  | Limm _ -> acc
+  | Alu { src1; src2; _ } | Cmp { src1; src2; _ } -> max_src t (max_loc t acc src1) src2
+  | Lea { mem; _ } | Load { mem; _ } -> max_mem t acc mem
+  | Store { src; mem; _ } -> max_mem t (max_src t acc src) mem
+  | Fp { dst; src; _ } -> max_loc t (max_loc t acc dst) src
+  | Cvt { src; _ } -> max_loc t acc src
+  | Branch _ -> acc
+  | Cap (Cap_check { mem; _ }) | Guard { mem; _ } -> max_mem t acc mem
+  | Cap _ | Nop -> acc
+
 (* Process one executed micro-op; [dispatch_base] is when the front end
    delivered it. [native_latency] inflates the base latency (stub
    bodies). Returns its completion time. *)
 let process_uop t ~pc ~dispatch_base ~native_latency (eu : Engine.exec_uop) branch =
   let uop = eu.uop in
-  incr t "pipeline.uops";
-  if Uop.is_injected uop then incr t "pipeline.uops_injected";
+  Chex86_stats.Counter.incr_handle t.counters t.h_uops;
+  if Uop.is_injected uop then Chex86_stats.Counter.incr_handle t.counters t.h_uops_injected;
   (* Structural occupancy: reusing a ROB/IQ/LQ/SQ slot waits for its
      previous holder. *)
-  let dispatch = max dispatch_base t.rob.(t.rob_pos) in
-  let dispatch = max dispatch t.iq.(t.iq_pos) in
+  let dispatch = imax dispatch_base t.rob.(t.rob_pos) in
+  let dispatch = imax dispatch t.iq.(t.iq_pos) in
   let dispatch =
     match uop with
-    | Load _ | Guard { kind = Shadow_load; _ } -> max dispatch t.lq.(t.lq_pos)
-    | Store _ -> max dispatch t.sq.(t.sq_pos)
+    | Load _ | Guard { kind = Shadow_load; _ } -> imax dispatch t.lq.(t.lq_pos)
+    | Store _ -> imax dispatch t.sq.(t.sq_pos)
     | _ -> dispatch
   in
   (* Source readiness. *)
-  let ready =
-    List.fold_left
-      (fun acc l -> max acc t.reg_ready.(slot_of_loc l))
-      dispatch (Uop.reads uop)
-  in
+  let ready = reads_ready t dispatch uop in
   let ready =
     match uop with
-    | Branch { kind = Cond _; _ } -> max ready t.reg_ready.(flags_slot)
+    | Branch { kind = Cond _; _ } -> imax ready t.reg_ready.(flags_slot)
     | _ -> ready
   in
   let cls = Uop.fu_class uop in
@@ -184,23 +244,26 @@ let process_uop t ~pc ~dispatch_base ~native_latency (eu : Engine.exec_uop) bran
       issue + native_latency
     | Nop -> ready + 1
     | Load _ ->
-      let ea = match eu.ea with Some ea -> ea | None -> 0 in
+      let ea = eu.ea in
       let issue = acquire_fu t cls ready 1 in
       let mem_lat = Chex86_mem.Hierarchy.access t.hier ~kind:Data ~write:false ea in
-      let fwd = Hashtbl.find_opt t.store_fwd (granule ea) in
-      (match fwd with
-      | Some data_ready -> max (issue + 1) data_ready
-      | None -> issue + mem_lat)
+      let g = granule ea in
+      let slot = g land (fwd_size - 1) in
+      if t.fwd_granule.(slot) = g then imax (issue + 1) t.fwd_ready.(slot)
+      else issue + mem_lat
     | Store _ ->
-      let ea = match eu.ea with Some ea -> ea | None -> 0 in
+      let ea = eu.ea in
       let issue = acquire_fu t cls ready 1 in
       ignore (Chex86_mem.Hierarchy.access t.hier ~kind:Data ~write:true ea);
-      if Hashtbl.length t.store_fwd > 8192 then Hashtbl.reset t.store_fwd;
-      Hashtbl.replace t.store_fwd (granule ea) (issue + 1);
+      let g = granule ea in
+      let slot = g land (fwd_size - 1) in
+      (* Direct-mapped: a conflicting granule displaces only this slot. *)
+      t.fwd_granule.(slot) <- g;
+      t.fwd_ready.(slot) <- issue + 1;
       issue + 1
     | Guard { kind = Shadow_load; _ } ->
       (* ASan shadow byte load: real D-cache traffic in shadow space. *)
-      let ea = match eu.ea with Some ea -> ea | None -> 0 in
+      let ea = eu.ea in
       let shadow_addr = 0x7FFF_8000_0000 + (ea lsr 3) in
       let issue = acquire_fu t cls ready 1 in
       issue + Chex86_mem.Hierarchy.access t.hier ~kind:Data ~write:false shadow_addr
@@ -212,42 +275,50 @@ let process_uop t ~pc ~dispatch_base ~native_latency (eu : Engine.exec_uop) bran
   (* Off-critical-path validation work (capability cache misses, alias
      walks) holds the entry longer but does not delay dependents. *)
   let resolved = complete + eu.reaction.Hooks.commit_latency in
-  (* Publish results. *)
-  (match Uop.writes uop with
-  | Some dst -> t.reg_ready.(slot_of_loc dst) <- complete
-  | None -> ());
+  (* Publish results — same destinations as [Uop.writes], matched
+     directly so no [Some] is built per µop. *)
+  (match uop with
+  | Mov { dst; _ }
+  | Limm { dst; _ }
+  | Alu { dst; _ }
+  | Lea { dst; _ }
+  | Load { dst; _ }
+  | Fp { dst; _ }
+  | Cvt { dst; _ } ->
+    t.reg_ready.(slot_of_loc dst) <- complete
+  | Store _ | Cmp _ | Branch _ | Cap _ | Guard _ | Nop -> ());
   (match uop with
   | Alu _ | Cmp _ -> t.reg_ready.(flags_slot) <- complete
   | _ -> ());
   (* Record occupancy release times. *)
   t.iq.(t.iq_pos) <- complete;
-  t.iq_pos <- (t.iq_pos + 1) mod t.cfg.iq_size;
+  t.iq_pos <- bump t.iq_pos t.cfg.iq_size;
   (match uop with
   | Load _ | Guard { kind = Shadow_load; _ } ->
     t.lq.(t.lq_pos) <- resolved;
-    t.lq_pos <- (t.lq_pos + 1) mod t.cfg.lq_size
+    t.lq_pos <- bump t.lq_pos t.cfg.lq_size
   | Store _ ->
     t.sq.(t.sq_pos) <- resolved;
-    t.sq_pos <- (t.sq_pos + 1) mod t.cfg.sq_size
+    t.sq_pos <- bump t.sq_pos t.cfg.sq_size
   | _ -> ());
   let commit = commit_in_order t resolved in
   t.rob.(t.rob_pos) <- commit;
-  t.rob_pos <- (t.rob_pos + 1) mod t.cfg.rob_size;
+  t.rob_pos <- bump t.rob_pos t.cfg.rob_size;
   (* Control resolution. *)
   (match (uop, branch) with
   | Branch { kind; _ }, Some (bi : Engine.branch_info) ->
     let correct =
       match kind with
-      | Uop.Call when bi.kind = Uop.Indirect ->
+      | Uop.Call when (match bi.kind with Uop.Indirect -> true | _ -> false) ->
         (* Indirect call: BTB-predicted target + RAS push of pc+4. *)
         Bpred.ras_push t.bpred (pc + 4);
         Bpred.resolve t.bpred ~pc ~kind:Uop.Indirect ~taken:true ~target:bi.target
       | _ -> Bpred.resolve t.bpred ~pc ~kind:bi.kind ~taken:bi.taken ~target:bi.target
     in
-    if not correct then redirect t ~resolve_time:complete ~reason:"pipeline.branch_flushes"
+    if not correct then redirect t ~resolve_time:complete ~reason:t.h_branch_flushes
   | _ -> ());
   if eu.reaction.Hooks.flush then
-    redirect t ~resolve_time:resolved ~reason:"pipeline.alias_flushes";
+    redirect t ~resolve_time:resolved ~reason:t.h_alias_flushes;
   complete
 
 let native_cost = function
@@ -256,7 +327,7 @@ let native_cost = function
   | _ -> 10
 
 let on_step t (step : Engine.step) =
-  incr t "pipeline.macro_insns";
+  Chex86_stats.Counter.incr_handle t.counters t.h_macro_insns;
   (* Front end: I-cache line fetch + fetch bandwidth + decode path. *)
   let line = step.pc lsr 6 in
   if line <> t.last_fetch_line then begin
@@ -266,22 +337,24 @@ let on_step t (step : Engine.step) =
     if lat > 4 then t.fetch_cycle <- t.fetch_cycle + (lat - 4)
   end;
   consume_fetch_slot t;
-  if step.path = Decoder.Msrom then
-    t.fetch_cycle <- t.fetch_cycle + t.cfg.msrom_extra_cycles;
+  (match step.path with
+  | Decoder.Msrom -> t.fetch_cycle <- t.fetch_cycle + t.cfg.msrom_extra_cycles
+  | _ -> ());
   let dispatch_base = t.fetch_cycle + t.cfg.front_end_depth in
   let native_latency = match step.native with Some n -> native_cost n | None -> 0 in
-  let n = List.length step.uops in
-  List.iteri
-    (fun i eu ->
-      (* Zero-idiom kills (PNA0): consume decode bandwidth only. *)
-      let killed = eu.Engine.reaction.Hooks.killed_uops in
-      if killed > 0 then begin
-        Chex86_stats.Counter.incr ~by:killed t.counters "pipeline.uops_killed";
-        t.fetch_slots <- t.fetch_slots + killed
-      end;
-      let branch = if i = n - 1 then step.branch else None in
-      ignore (process_uop t ~pc:step.pc ~dispatch_base ~native_latency eu branch))
-    step.uops
+  let uops = step.uops in
+  let n = Array.length uops in
+  for i = 0 to n - 1 do
+    let eu = uops.(i) in
+    (* Zero-idiom kills (PNA0): consume decode bandwidth only. *)
+    let killed = eu.Engine.reaction.Hooks.killed_uops in
+    if killed > 0 then begin
+      Chex86_stats.Counter.incr_handle ~by:killed t.counters t.h_uops_killed;
+      t.fetch_slots <- t.fetch_slots + killed
+    end;
+    let branch = if i = n - 1 then step.branch else None in
+    ignore (process_uop t ~pc:step.pc ~dispatch_base ~native_latency eu branch)
+  done
 
 let cycles t = t.last_commit
 
@@ -291,5 +364,5 @@ let cycles t = t.last_commit
    double-count, and a merged group would clobber siblings. *)
 let finalize t =
   let total = cycles t in
-  Chex86_stats.Counter.incr ~by:(total - t.published_cycles) t.counters "pipeline.cycles";
+  Chex86_stats.Counter.incr_handle ~by:(total - t.published_cycles) t.counters t.h_cycles;
   t.published_cycles <- total

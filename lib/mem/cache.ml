@@ -7,9 +7,21 @@
 
    An optional victim cache catches blocks evicted from the main array,
    as in the paper's "256-entry 2-way alias cache augmented by a
-   32-entry victim cache". *)
+   32-entry victim cache".
 
-type line = { mutable tag : int; mutable valid : bool; mutable stamp : int }
+   This sits on the per-memory-access hot path of the whole simulator, so
+   it follows the hot-path rules of DESIGN.md: lines store the full block
+   number (no tag/index reassembly — which was also outright wrong for
+   hash-indexed caches, where the set index is an XOR fold and not the
+   block's low bits), way lookup and insertion speak int sentinels
+   instead of [option], and hit/miss counters are bumped through
+   pre-resolved handles instead of per-access string concatenation. *)
+
+(* [block] is the full block number (addr lsr line_bits); -1 when the
+   line is invalid.  Storing the whole number costs nothing in a model
+   and makes eviction reconstruct the block exactly, whatever the
+   indexing function. *)
+type line = { mutable block : int; mutable valid : bool; mutable stamp : int }
 
 type t = {
   name : string;
@@ -19,6 +31,9 @@ type t = {
   hash_index : bool;  (* XOR-fold the block number into the set index *)
   victim : t option;
   counters : Chex86_stats.Counter.group;
+  h_hit : Chex86_stats.Counter.handle;
+  h_miss : Chex86_stats.Counter.handle;
+  h_victim_hit : Chex86_stats.Counter.handle;
   mutable clock : int;
 }
 
@@ -28,31 +43,35 @@ let create ?victim ?(hash_index = false) ~name ~sets ~ways ~line_bytes counters 
   if sets land (sets - 1) <> 0 then invalid_arg "Cache.create: sets not a power of 2";
   {
     name;
-    sets = Array.init sets (fun _ -> Array.init ways (fun _ -> { tag = -1; valid = false; stamp = 0 }));
+    sets = Array.init sets (fun _ -> Array.init ways (fun _ -> { block = -1; valid = false; stamp = 0 }));
     set_bits = log2 sets;
     line_bits = log2 line_bytes;
     hash_index;
     victim;
     counters;
+    h_hit = Chex86_stats.Counter.handle counters (name ^ ".hit");
+    h_miss = Chex86_stats.Counter.handle counters (name ^ ".miss");
+    h_victim_hit = Chex86_stats.Counter.handle counters (name ^ ".victim_hit");
     clock = 0;
   }
 
 let set_count c = Array.length c.sets
 
-let index_and_tag c addr =
-  let block = addr lsr c.line_bits in
-  let idx =
-    if c.hash_index then
-      (block lxor (block lsr c.set_bits) lxor (block lsr (2 * c.set_bits)))
-      land (set_count c - 1)
-    else block land (set_count c - 1)
-  in
-  (idx, block lsr c.set_bits)
+let index_of c block =
+  if c.hash_index then
+    (block lxor (block lsr c.set_bits) lxor (block lsr (2 * c.set_bits)))
+    land (set_count c - 1)
+  else block land (set_count c - 1)
 
-let find_way set tag =
-  let n = Array.length set in
-  let rec go i = if i >= n then None else if set.(i).valid && set.(i).tag = tag then Some i else go (i + 1) in
-  go 0
+(* Way holding [block], or -1.  Top-level recursion (not an inner
+   closure): without flambda an inner [rec] capturing [set]/[block]
+   allocates a closure on every access. *)
+let rec find_way_from set block n i =
+  if i >= n then -1
+  else if set.(i).valid && set.(i).block = block then i
+  else find_way_from set block n (i + 1)
+
+let find_way set block = find_way_from set block (Array.length set) 0
 
 let lru_way set =
   let best = ref 0 in
@@ -63,36 +82,46 @@ let lru_way set =
   done;
   !best
 
-(* Insert [tag] into [set], returning the evicted tag if a valid line was
-   displaced. *)
-let insert c set tag =
+(* Insert [block] into [set], returning the evicted block number if a
+   valid line was displaced, -1 otherwise. *)
+let insert c set block =
   let way = lru_way set in
-  let victim_tag = if set.(way).valid then Some set.(way).tag else None in
-  set.(way).tag <- tag;
+  let evicted = if set.(way).valid then set.(way).block else -1 in
+  set.(way).block <- block;
   set.(way).valid <- true;
   set.(way).stamp <- c.clock;
-  victim_tag
+  evicted
 
 (* Probe without the victim path. *)
 let probe_main c addr =
-  let idx, tag = index_and_tag c addr in
-  let set = c.sets.(idx) in
-  match find_way set tag with
-  | Some way ->
+  let block = addr lsr c.line_bits in
+  let set = c.sets.(index_of c block) in
+  let way = find_way set block in
+  if way >= 0 then begin
     set.(way).stamp <- c.clock;
     true
-  | None -> false
+  end
+  else false
+
+(* Hand a block evicted from the main array of [c] to its victim cache
+   [v].  The block number is exact, so re-deriving the victim's index and
+   comparing full block numbers is correct for any indexing function of
+   either cache (the victim may use a different line size). *)
+let spill_to_victim c v evicted =
+  let vblock = (evicted lsl c.line_bits) lsr v.line_bits in
+  ignore (insert v v.sets.(index_of v vblock) vblock)
 
 let access c ~write:_ addr =
   c.clock <- c.clock + 1;
-  let idx, tag = index_and_tag c addr in
-  let set = c.sets.(idx) in
-  match find_way set tag with
-  | Some way ->
+  let block = addr lsr c.line_bits in
+  let set = c.sets.(index_of c block) in
+  let way = find_way set block in
+  if way >= 0 then begin
     set.(way).stamp <- c.clock;
-    Chex86_stats.Counter.incr c.counters (c.name ^ ".hit");
+    Chex86_stats.Counter.incr_handle c.counters c.h_hit;
     true
-  | None ->
+  end
+  else begin
     let hit_in_victim =
       match c.victim with
       | None -> false
@@ -100,43 +129,38 @@ let access c ~write:_ addr =
         v.clock <- v.clock + 1;
         if probe_main v addr then begin
           (* Swap back into the main array. *)
-          (match insert c set tag with
-          | Some evicted ->
-            let eaddr = ((evicted lsl c.set_bits) lor idx) lsl c.line_bits in
-            let vidx, vtag = index_and_tag v eaddr in
-            ignore (insert v v.sets.(vidx) vtag)
-          | None -> ());
+          let evicted = insert c set block in
+          if evicted >= 0 then spill_to_victim c v evicted;
           true
         end
         else false
     in
     if hit_in_victim then begin
-      Chex86_stats.Counter.incr c.counters (c.name ^ ".victim_hit");
+      Chex86_stats.Counter.incr_handle c.counters c.h_victim_hit;
       true
     end
     else begin
-      Chex86_stats.Counter.incr c.counters (c.name ^ ".miss");
-      (match insert c set tag with
-      | Some evicted ->
-        (match c.victim with
-        | Some v ->
-          let eaddr = ((evicted lsl c.set_bits) lor idx) lsl c.line_bits in
-          let vidx, vtag = index_and_tag v eaddr in
-          ignore (insert v v.sets.(vidx) vtag)
-        | None -> ())
+      Chex86_stats.Counter.incr_handle c.counters c.h_miss;
+      let evicted = insert c set block in
+      (match c.victim with
+      | Some v -> if evicted >= 0 then spill_to_victim c v evicted
       | None -> ());
       false
     end
+  end
 
 let invalidate c addr =
-  let idx, tag = index_and_tag c addr in
-  let set = c.sets.(idx) in
-  (match find_way set tag with Some way -> set.(way).valid <- false | None -> ());
-  match c.victim with None -> () | Some v -> (
-    let vidx, vtag = index_and_tag v addr in
-    match find_way v.sets.(vidx) vtag with
-    | Some way -> v.sets.(vidx).(way).valid <- false
-    | None -> ())
+  let block = addr lsr c.line_bits in
+  let set = c.sets.(index_of c block) in
+  let way = find_way set block in
+  if way >= 0 then set.(way).valid <- false;
+  match c.victim with
+  | None -> ()
+  | Some v ->
+    let vblock = addr lsr v.line_bits in
+    let vset = v.sets.(index_of v vblock) in
+    let vway = find_way vset vblock in
+    if vway >= 0 then vset.(vway).valid <- false
 
 let invalidate_all c =
   Array.iter (fun set -> Array.iter (fun l -> l.valid <- false) set) c.sets;
@@ -144,11 +168,11 @@ let invalidate_all c =
   | None -> ()
   | Some v -> Array.iter (fun set -> Array.iter (fun l -> l.valid <- false) set) v.sets
 
-let hits c = Chex86_stats.Counter.get c.counters (c.name ^ ".hit")
+let hits c = Chex86_stats.Counter.get_handle c.counters c.h_hit
 
-let misses c = Chex86_stats.Counter.get c.counters (c.name ^ ".miss")
+let misses c = Chex86_stats.Counter.get_handle c.counters c.h_miss
 
 let miss_rate c =
-  let vh = Chex86_stats.Counter.get c.counters (c.name ^ ".victim_hit") in
+  let vh = Chex86_stats.Counter.get_handle c.counters c.h_victim_hit in
   let h = hits c + vh and m = misses c in
   if h + m = 0 then 0. else float_of_int m /. float_of_int (h + m)

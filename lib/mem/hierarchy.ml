@@ -36,8 +36,10 @@ type t = {
   l1d : Cache.t;
   l2 : Cache.t;
   dtlb : Tlb.t;
-  dirty_lines : (int, unit) Hashtbl.t;
+  dirty_lines : Intset.t;
+  line_bits : int;  (* log2 line_bytes: [line_of] must not idiv per access *)
   counters : Chex86_stats.Counter.group;
+  h_mem_bytes : Chex86_stats.Counter.handle;
 }
 
 let create ?(config = default_config) counters =
@@ -53,15 +55,19 @@ let create ?(config = default_config) counters =
       Cache.create ~name:"l2" ~sets:config.l2_sets ~ways:config.l2_ways
         ~line_bytes:config.line_bytes counters;
     dtlb = Tlb.create ~name:"dtlb" ~sets:16 ~ways:4 counters;
-    dirty_lines = Hashtbl.create 1024;
+    dirty_lines = Intset.create ~capacity:1024 ();
+    line_bits =
+      (let rec log2 n = if n <= 1 then 0 else 1 + log2 (n / 2) in
+       log2 config.line_bytes);
     counters;
+    h_mem_bytes = Chex86_stats.Counter.handle counters "mem.bytes";
   }
 
 let dtlb t = t.dtlb
 
-let line_of t addr = addr / t.config.line_bytes
+let line_of t addr = addr lsr t.line_bits
 
-let mem_traffic t bytes = Chex86_stats.Counter.incr ~by:bytes t.counters "mem.bytes"
+let mem_traffic t bytes = Chex86_stats.Counter.incr_handle ~by:bytes t.counters t.h_mem_bytes
 
 type kind = Inst | Data
 
@@ -72,16 +78,15 @@ let access t ~kind ~write addr =
     match kind with
     | Inst -> 0 (* ITLB not modelled separately *)
     | Data ->
-      let hit, _alias = Tlb.lookup t.dtlb addr in
-      if hit then 0 else cfg.tlb_walk_latency
+      if Tlb.lookup_hit t.dtlb addr then 0 else cfg.tlb_walk_latency
   in
   let l1 = match kind with Inst -> t.l1i | Data -> t.l1d in
   if Cache.access l1 ~write addr then begin
-    if write then Hashtbl.replace t.dirty_lines (line_of t addr) ();
+    if write then Intset.add t.dirty_lines (line_of t addr);
     tlb_lat + cfg.l1_latency
   end
   else if Cache.access t.l2 ~write addr then begin
-    if write then Hashtbl.replace t.dirty_lines (line_of t addr) ();
+    if write then Intset.add t.dirty_lines (line_of t addr);
     tlb_lat + cfg.l2_latency
   end
   else begin
@@ -89,12 +94,12 @@ let access t ~kind ~write addr =
        is charged as a writeback the first time the line is refetched. *)
     mem_traffic t cfg.line_bytes;
     let line = line_of t addr in
-    if Hashtbl.mem t.dirty_lines line then begin
-      Hashtbl.remove t.dirty_lines line;
+    if Intset.mem t.dirty_lines line then begin
+      Intset.remove t.dirty_lines line;
       mem_traffic t cfg.line_bytes
     end;
-    if write then Hashtbl.replace t.dirty_lines line ();
+    if write then Intset.add t.dirty_lines line;
     tlb_lat + cfg.mem_latency
   end
 
-let mem_bytes t = Chex86_stats.Counter.get t.counters "mem.bytes"
+let mem_bytes t = Chex86_stats.Counter.get_handle t.counters t.h_mem_bytes

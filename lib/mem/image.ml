@@ -11,28 +11,71 @@
 let page_bits = 12
 let page_size = 1 lsl page_bits
 
-type t = { pages : (int, Bytes.t) Hashtbl.t }
+(* A one-entry page cache front-ends the hashtable: guest accesses are
+   strongly page-local, and the cached path is branch + array read with
+   no [option] boxed per access.  Pages are never removed, so the cache
+   can only go stale by growing the table — which [Hashtbl] never moves
+   existing [Bytes.t] payloads for.  Absent pages are not cached (reads
+   of untouched memory stay allocation-free without materializing the
+   page). *)
+type t = {
+  pages : (int, Bytes.t) Hashtbl.t;
+  mutable last_vpn : int;
+  mutable last_page : Bytes.t;
+}
 
-let create () = { pages = Hashtbl.create 1024 }
+let no_page = Bytes.create 0
+
+let create () = { pages = Hashtbl.create 1024; last_vpn = -1; last_page = no_page }
 
 let page mem addr =
   let vpn = addr lsr page_bits in
-  match Hashtbl.find_opt mem.pages vpn with
-  | Some bytes -> bytes
-  | None ->
-    let bytes = Bytes.make page_size '\000' in
-    Hashtbl.add mem.pages vpn bytes;
+  if vpn = mem.last_vpn then mem.last_page
+  else begin
+    let bytes =
+      try Hashtbl.find mem.pages vpn
+      with Not_found ->
+        let bytes = Bytes.make page_size '\000' in
+        Hashtbl.add mem.pages vpn bytes;
+        bytes
+    in
+    mem.last_vpn <- vpn;
+    mem.last_page <- bytes;
     bytes
+  end
+
+(* Like [page] but without materializing absent pages; [no_page] when
+   the page was never touched. *)
+let page_if_present mem addr =
+  let vpn = addr lsr page_bits in
+  if vpn = mem.last_vpn then mem.last_page
+  else
+    match Hashtbl.find mem.pages vpn with
+    | bytes ->
+      mem.last_vpn <- vpn;
+      mem.last_page <- bytes;
+      bytes
+    | exception Not_found -> no_page
 
 let read_byte mem addr =
-  let vpn = addr lsr page_bits in
-  match Hashtbl.find_opt mem.pages vpn with
-  | Some bytes -> Char.code (Bytes.unsafe_get bytes (addr land (page_size - 1)))
-  | None -> 0
+  let bytes = page_if_present mem addr in
+  if bytes == no_page then 0
+  else Char.code (Bytes.unsafe_get bytes (addr land (page_size - 1)))
 
 let write_byte mem addr value =
   let bytes = page mem addr in
   Bytes.unsafe_set bytes (addr land (page_size - 1)) (Char.chr (value land 0xFF))
+
+(* Little-endian accumulation as top-level recursions: inner closures
+   capturing [bytes]/[off] (or [mem]/[addr]) would allocate on every
+   guest load without flambda. *)
+let rec read_le bytes off i acc =
+  if i < 0 then acc
+  else read_le bytes off (i - 1) ((acc lsl 8) lor Char.code (Bytes.unsafe_get bytes (off + i)))
+
+let rec read_le_slow mem addr i acc =
+  if i < 0 then acc
+  else read_le_slow mem addr (i - 1) ((acc lsl 8) lor read_byte mem (addr + i))
 
 (* [read mem addr n] reads an [n]-byte little-endian value (n <= 8).  The
    common aligned-within-page case reads bytes directly; page-crossing
@@ -40,21 +83,10 @@ let write_byte mem addr value =
 let read mem addr n =
   let off = addr land (page_size - 1) in
   if off + n <= page_size then begin
-    match Hashtbl.find_opt mem.pages (addr lsr page_bits) with
-    | None -> 0
-    | Some bytes ->
-      let rec go i acc =
-        if i < 0 then acc
-        else go (i - 1) ((acc lsl 8) lor Char.code (Bytes.unsafe_get bytes (off + i)))
-      in
-      go (n - 1) 0
+    let bytes = page_if_present mem addr in
+    if bytes == no_page then 0 else read_le bytes off (n - 1) 0
   end
-  else begin
-    let rec go i acc =
-      if i < 0 then acc else go (i - 1) ((acc lsl 8) lor read_byte mem (addr + i))
-    in
-    go (n - 1) 0
-  end
+  else read_le_slow mem addr (n - 1) 0
 
 let write mem addr n value =
   let off = addr land (page_size - 1) in

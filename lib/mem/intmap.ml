@@ -1,0 +1,79 @@
+(* Open-addressed map from non-negative ints to ints (linear probing,
+   tombstone deletion) — the value-carrying sibling of [Intset].
+   Replaces [(int, 'a) Hashtbl.t] on per-access hot paths where the
+   common case is "absent": [find] returns a caller-supplied default
+   with no exception raised and no [option] boxed.
+
+   Keys must be >= 0; empty slots hold -1 and deleted slots -2.  Load
+   factor (live + tombstones) stays under 1/2, so probes terminate. *)
+
+type t = {
+  mutable keys : int array;
+  mutable vals : int array;
+  mutable live : int;
+  mutable used : int;
+}
+
+let empty_slot = -1
+let tomb_slot = -2
+let hashc = 0x2545F4914F6CDD1D
+
+let create ?(capacity = 1024) () =
+  let rec pow2 n = if n >= capacity then n else pow2 (2 * n) in
+  let n = pow2 16 in
+  { keys = Array.make n empty_slot; vals = Array.make n 0; live = 0; used = 0 }
+
+(* Top-level probe recursions, as in [Intset]: no closure per call. *)
+let rec set_probe t (k : int) m i first_tomb v =
+  let s = t.keys.(i) in
+  if s = k then t.vals.(i) <- v
+  else if s = empty_slot then begin
+    let slot = if first_tomb >= 0 then first_tomb else (t.used <- t.used + 1; i) in
+    t.keys.(slot) <- k;
+    t.vals.(slot) <- v;
+    t.live <- t.live + 1
+  end
+  else if s = tomb_slot then
+    set_probe t k m ((i + 1) land m) (if first_tomb >= 0 then first_tomb else i) v
+  else set_probe t k m ((i + 1) land m) first_tomb v
+
+let rec set t k v =
+  if 2 * (t.used + 1) > Array.length t.keys then grow t;
+  let m = Array.length t.keys - 1 in
+  set_probe t k m (k * hashc land m) (-1) v
+
+and grow t =
+  let old_keys = t.keys and old_vals = t.vals in
+  let n = Array.length old_keys in
+  let cap = if 4 * (t.live + 1) > n then 2 * n else n in
+  t.keys <- Array.make cap empty_slot;
+  t.vals <- Array.make cap 0;
+  t.live <- 0;
+  t.used <- 0;
+  for i = 0 to n - 1 do
+    if old_keys.(i) >= 0 then set t old_keys.(i) old_vals.(i)
+  done
+
+let rec find_probe (keys : int array) (vals : int array) (k : int) m i default =
+  let s = keys.(i) in
+  if s = k then vals.(i)
+  else if s = empty_slot then default
+  else find_probe keys vals k m ((i + 1) land m) default
+
+let find t k ~default =
+  let m = Array.length t.keys - 1 in
+  find_probe t.keys t.vals k m (k * hashc land m) default
+
+let rec remove_probe t (k : int) m i =
+  let s = t.keys.(i) in
+  if s = k then begin
+    t.keys.(i) <- tomb_slot;
+    t.live <- t.live - 1
+  end
+  else if s <> empty_slot then remove_probe t k m ((i + 1) land m)
+
+let remove t k =
+  let m = Array.length t.keys - 1 in
+  remove_probe t k m (k * hashc land m)
+
+let cardinal t = t.live

@@ -1,0 +1,15 @@
+(** Open-addressed map from non-negative ints to ints — the
+    value-carrying sibling of {!Intset} for hot paths where the common
+    case is "absent": {!find} returns a default with no exception and
+    no [option] (see DESIGN.md hot-path rules).  Keys must be [>= 0]. *)
+
+type t
+
+(** [create ?capacity ()] makes an empty map; [capacity] is a hint for
+    the initial slot count (rounded up to a power of two). *)
+val create : ?capacity:int -> unit -> t
+
+val set : t -> int -> int -> unit
+val find : t -> int -> default:int -> int
+val remove : t -> int -> unit
+val cardinal : t -> int

@@ -1,0 +1,77 @@
+(* Open-addressed set of non-negative ints (linear probing, tombstone
+   deletion).  Replaces [(int, unit) Hashtbl.t] on per-memory-access hot
+   paths — membership and insertion are a multiply, a mask and a short
+   probe over a flat int array, with no boxing and no bucket chasing.
+
+   Keys must be >= 0; the table encodes empty slots as -1 and deleted
+   slots as -2.  Load factor (live + tombstones) is kept under 1/2, so
+   probes terminate. *)
+
+type t = { mutable keys : int array; mutable live : int; mutable used : int }
+
+let empty_slot = -1
+let tomb_slot = -2
+
+(* Odd multiplier scrambles low bits of sequential keys; the product's
+   low bits (after [land mask]) are well distributed. *)
+let hashc = 0x2545F4914F6CDD1D
+
+let create ?(capacity = 1024) () =
+  let rec pow2 n = if n >= capacity then n else pow2 (2 * n) in
+  { keys = Array.make (pow2 16) empty_slot; live = 0; used = 0 }
+
+(* All probe loops are top-level recursions with the table state passed
+   as arguments — an inner [rec] capturing [t]/[k] allocates a closure
+   per membership test without flambda, and these run on every modelled
+   cache access (dirty-line tracking). *)
+let rec add_probe t k m i first_tomb =
+  let s = t.keys.(i) in
+  if s = k then ()
+  else if s = empty_slot then begin
+    if first_tomb >= 0 then t.keys.(first_tomb) <- k
+    else begin
+      t.keys.(i) <- k;
+      t.used <- t.used + 1
+    end;
+    t.live <- t.live + 1
+  end
+  else if s = tomb_slot then
+    add_probe t k m ((i + 1) land m) (if first_tomb >= 0 then first_tomb else i)
+  else add_probe t k m ((i + 1) land m) first_tomb
+
+let rec add t k =
+  if 2 * (t.used + 1) > Array.length t.keys then grow t;
+  let m = Array.length t.keys - 1 in
+  add_probe t k m (k * hashc land m) (-1)
+
+(* Rehash: doubles when genuinely full, otherwise just clears tombstones. *)
+and grow t =
+  let old = t.keys in
+  let n = Array.length old in
+  let cap = if 4 * (t.live + 1) > n then 2 * n else n in
+  t.keys <- Array.make cap empty_slot;
+  t.live <- 0;
+  t.used <- 0;
+  Array.iter (fun k -> if k >= 0 then add t k) old
+
+let rec mem_probe (keys : int array) (k : int) m i =
+  let s = keys.(i) in
+  if s = k then true else if s = empty_slot then false else mem_probe keys k m ((i + 1) land m)
+
+let mem t k =
+  let m = Array.length t.keys - 1 in
+  mem_probe t.keys k m (k * hashc land m)
+
+let rec remove_probe t k m i =
+  let s = t.keys.(i) in
+  if s = k then begin
+    t.keys.(i) <- tomb_slot;
+    t.live <- t.live - 1
+  end
+  else if s <> empty_slot then remove_probe t k m ((i + 1) land m)
+
+let remove t k =
+  let m = Array.length t.keys - 1 in
+  remove_probe t k m (k * hashc land m)
+
+let cardinal t = t.live

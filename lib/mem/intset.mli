@@ -1,0 +1,13 @@
+(** Open-addressed set of non-negative ints for hot-path membership
+    tracking (see DESIGN.md hot-path rules).  Keys must be [>= 0]. *)
+
+type t
+
+(** [create ?capacity ()] makes an empty set; [capacity] is a hint for
+    the initial slot count (rounded up to a power of two). *)
+val create : ?capacity:int -> unit -> t
+
+val add : t -> int -> unit
+val mem : t -> int -> bool
+val remove : t -> int -> unit
+val cardinal : t -> int

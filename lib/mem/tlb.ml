@@ -20,6 +20,8 @@ type t = {
   set_bits : int;
   page_table_bits : (int, bool ref) Hashtbl.t;  (* vpn -> alias-hosting *)
   counters : Chex86_stats.Counter.group;
+  h_hit : Chex86_stats.Counter.handle;
+  h_miss : Chex86_stats.Counter.handle;
   mutable clock : int;
 }
 
@@ -39,6 +41,8 @@ let create ~name ~sets ~ways counters =
     set_bits = log2 sets;
     page_table_bits = Hashtbl.create 256;
     counters;
+    h_hit = Chex86_stats.Counter.handle counters (name ^ ".hit");
+    h_miss = Chex86_stats.Counter.handle counters (name ^ ".miss");
     clock = 0;
   }
 
@@ -59,22 +63,32 @@ let set_alias_hosting t addr =
     (fun e -> if e.valid && e.vpn = vpn then e.alias_hosting <- true)
     t.sets.(idx)
 
-(* [lookup t addr] returns [(hit, alias_hosting)].  A miss triggers a
-   (modelled) page walk and fills the entry with the page-table bit. *)
-let lookup t addr =
+(* Way holding [vpn] in [set], or -1.  Top-level recursion: an inner
+   [rec] capturing [set]/[vpn] allocates a closure per access without
+   flambda. *)
+let rec find_way_from set vpn n i =
+  if i >= n then -1
+  else if set.(i).valid && set.(i).vpn = vpn then i
+  else find_way_from set vpn n (i + 1)
+
+(* [lookup_hit t addr] is the per-access timing probe: true on hit.  A
+   miss triggers a (modelled) page walk and fills the entry with the
+   page-table bit.  The hierarchy only consumes the hit bit, so this
+   path returns an unboxed bool rather than the [lookup] tuple. *)
+let lookup_hit t addr =
   t.clock <- t.clock + 1;
   let vpn = addr lsr Image.page_bits in
   let idx = vpn land (Array.length t.sets - 1) in
   let set = t.sets.(idx) in
   let n = Array.length set in
-  let rec find i = if i >= n then None else if set.(i).valid && set.(i).vpn = vpn then Some i else find (i + 1) in
-  match find 0 with
-  | Some way ->
+  let way = find_way_from set vpn n 0 in
+  if way >= 0 then begin
     set.(way).stamp <- t.clock;
-    Chex86_stats.Counter.incr t.counters (t.name ^ ".hit");
-    (true, set.(way).alias_hosting)
-  | None ->
-    Chex86_stats.Counter.incr t.counters (t.name ^ ".miss");
+    Chex86_stats.Counter.incr_handle t.counters t.h_hit;
+    true
+  end
+  else begin
+    Chex86_stats.Counter.incr_handle t.counters t.h_miss;
     let way = ref 0 in
     for i = 1 to n - 1 do
       if (not set.(i).valid) && set.(!way).valid then way := i
@@ -86,7 +100,18 @@ let lookup t addr =
     e.valid <- true;
     e.stamp <- t.clock;
     e.alias_hosting <- page_alias_bit t vpn;
-    (false, e.alias_hosting)
+    false
+  end
+
+(* [lookup t addr] returns [(hit, alias_hosting)].  Wrapper over
+   [lookup_hit]: after the probe the entry is guaranteed resident, so the
+   alias bit is re-read from the (just touched or just filled) way. *)
+let lookup t addr =
+  let hit = lookup_hit t addr in
+  let vpn = addr lsr Image.page_bits in
+  let set = t.sets.(vpn land (Array.length t.sets - 1)) in
+  let way = find_way_from set vpn (Array.length set) 0 in
+  (hit, set.(way).alias_hosting)
 
 let alias_hosting_pages t =
   Hashtbl.fold (fun _ cell acc -> if !cell then acc + 1 else acc) t.page_table_bits 0

@@ -9,6 +9,10 @@ val create :
     metadata. *)
 val lookup : t -> int -> bool * bool
 
+(** [lookup_hit t addr] is [fst (lookup t addr)] without allocating the
+    pair — the per-access form used by the timing hierarchy. *)
+val lookup_hit : t -> int -> bool
+
 (** Record that the page containing [addr] hosts a spilled pointer alias. *)
 val set_alias_hosting : t -> int -> unit
 

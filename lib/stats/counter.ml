@@ -4,23 +4,53 @@
    counters.  Components allocate counters lazily by name; benches read
    them back by name after a run.  Ratios between two counters are a
    common derived quantity (miss rates, prediction accuracy), so they get
-   a dedicated accessor. *)
+   a dedicated accessor.
 
-type group = { counters : (string, int ref) Hashtbl.t }
+   Storage is a flat int array indexed by allocation order, with a
+   name -> slot hashtable on the side.  Hot components resolve a [handle]
+   (the slot index) once at create time and bump through it with
+   [incr_handle] — a single array update, no string hashing and no
+   allocation — which is what the per-access/per-µop paths of the cache,
+   TLB, branch predictor and pipeline use.  The string-keyed [incr]/[get]
+   remain for cold paths and reporting. *)
 
-let create_group () = { counters = Hashtbl.create 64 }
+type group = {
+  index : (string, int) Hashtbl.t;  (* name -> slot *)
+  mutable names : string array;
+  mutable values : int array;
+  mutable used : int;
+}
 
-let find group name =
-  match Hashtbl.find_opt group.counters name with
-  | Some cell -> cell
+type handle = int
+
+let create_group () =
+  { index = Hashtbl.create 64; names = Array.make 64 ""; values = Array.make 64 0; used = 0 }
+
+(* Resolve (allocating if new) the slot of [name].  O(1) amortized; hot
+   callers do this once and keep the handle. *)
+let handle group name =
+  match Hashtbl.find_opt group.index name with
+  | Some slot -> slot
   | None ->
-    let cell = ref 0 in
-    Hashtbl.add group.counters name cell;
-    cell
+    let slot = group.used in
+    if slot = Array.length group.values then begin
+      let values = Array.make (2 * slot) 0 and names = Array.make (2 * slot) "" in
+      Array.blit group.values 0 values 0 slot;
+      Array.blit group.names 0 names 0 slot;
+      group.values <- values;
+      group.names <- names
+    end;
+    group.names.(slot) <- name;
+    group.values.(slot) <- 0;
+    Hashtbl.add group.index name slot;
+    group.used <- slot + 1;
+    slot
 
-let incr ?(by = 1) group name =
-  let cell = find group name in
-  cell := !cell + by
+let incr_handle ?(by = 1) group (h : handle) = group.values.(h) <- group.values.(h) + by
+
+let get_handle group (h : handle) = group.values.(h)
+
+let incr ?(by = 1) group name = incr_handle ~by group (handle group name)
 
 (* No [set]: absolute assignment is merge-unsafe — snapshots combine by
    pointwise addition, so an overwritten counter absorbed into a
@@ -28,9 +58,11 @@ let incr ?(by = 1) group name =
    totals as deltas with [incr ~by] (see Pipeline.finalize). *)
 
 let get group name =
-  match Hashtbl.find_opt group.counters name with Some cell -> !cell | None -> 0
+  match Hashtbl.find_opt group.index name with
+  | Some slot -> group.values.(slot)
+  | None -> 0
 
-let reset group = Hashtbl.iter (fun _ cell -> cell := 0) group.counters
+let reset group = Array.fill group.values 0 group.used 0
 
 (* [ratio g num den] is num / (num + den) if [den] names the complementary
    event (e.g. hits vs misses), expressed by the caller passing the two
@@ -44,7 +76,7 @@ let fraction group ~num ~total =
   if t = 0. then 0. else n /. t
 
 let to_list group =
-  Hashtbl.fold (fun name cell acc -> (name, !cell) :: acc) group.counters []
+  List.init group.used (fun slot -> (group.names.(slot), group.values.(slot)))
   |> List.sort compare
 
 (* --- snapshots ------------------------------------------------------------ *)

@@ -4,6 +4,23 @@ type group
 
 val create_group : unit -> group
 
+(** A pre-resolved counter slot: components obtain one per counter at
+    create time with {!handle} and bump it with {!incr_handle} on their
+    per-access/per-µop hot paths — one array update, no string hashing,
+    no allocation.  Handles are only meaningful against the group that
+    issued them. *)
+type handle
+
+(** [handle g name] resolves (creating at zero if new) the slot of
+    [name].  Call once at component-create time, not per event. *)
+val handle : group -> string -> handle
+
+(** [incr_handle ?by g h] bumps the counter behind [h]. *)
+val incr_handle : ?by:int -> group -> handle -> unit
+
+(** [get_handle g h] is the current value behind [h]. *)
+val get_handle : group -> handle -> int
+
 (** [incr ?by g name] bumps counter [name], creating it at zero if new.
 
     There is deliberately no [set]: overwriting is merge-unsafe under

@@ -347,6 +347,7 @@ let test_commit_vs_result_latency () =
   let run_with reaction_of =
     let proc = Chex86_os.Process.load (chase_program ()) in
     let hooks = Chex86_machine.Hooks.none () in
+    hooks.Chex86_machine.Hooks.active <- true;
     hooks.Chex86_machine.Hooks.exec_uop <-
       (fun _ uop ~ea:_ ~result:_ ->
         match uop with Chex86_isa.Uop.Load _ -> reaction_of () | _ -> Chex86_machine.Hooks.no_reaction);
@@ -368,6 +369,81 @@ let test_commit_vs_result_latency () =
     (Printf.sprintf "result latency serializes the chain (%d vs %d)" result_side baseline)
     true
     (result_side > 2 * baseline)
+
+(* ---- Direct pipeline-timing regressions ------------------------------ *)
+
+module Pipeline = Chex86_machine.Pipeline
+module MHooks = Chex86_machine.Hooks
+
+(* The engine's step/exec_uop records are plain mutable structs, so the
+   tests below synthesize exact uop/ea/reaction sequences that the full
+   engine cannot easily be coaxed into producing. *)
+let eu ?(killed = 0) ?(ea = 0) uop =
+  {
+    Engine.uop;
+    ea;
+    reaction =
+      (if killed = 0 then MHooks.no_reaction
+       else
+         { MHooks.extra_latency = 0; commit_latency = 0; flush = false; killed_uops = killed });
+  }
+
+let mk_step ~pc uops =
+  { Engine.pc; insn = None; native = None; path = Decoder.Simple; uops; branch = None }
+
+let pipeline_cycles steps =
+  let g = Counter.create_group () in
+  let p = Pipeline.create (Chex86_mem.Hierarchy.create g) g in
+  List.iter (Pipeline.on_step p) steps;
+  Pipeline.cycles p
+
+(* Regression for the fetch-slot overflow bug: a zero-idiom kill burst of
+   [3 * fetch_width] µops must push fetch forward three whole cycles.
+   The old code charged a single cycle for an arbitrarily large backlog. *)
+let test_fetch_kill_burst_carry () =
+  let w = Chex86_machine.Config.default.fetch_width in
+  let steps killed =
+    List.init 64 (fun i ->
+        mk_step ~pc:0x1000 [| eu ~killed:(if i = 0 then killed else 0) Uop.Nop |])
+  in
+  let base = pipeline_cycles (steps 0) in
+  let burst = pipeline_cycles (steps (3 * w)) in
+  Alcotest.(check int) "3*fetch_width kill burst carries 3 whole cycles" (base + 3) burst
+
+(* Regression for the store-forwarding table: the old implementation
+   wholesale-reset all in-flight forwarding state once its hashtable
+   crossed 8192 entries.  The direct-mapped replacement must keep
+   forwarding a granule across more than 8192 intervening stores to
+   non-conflicting slots, and lose it only to a store that actually
+   conflicts on its slot.  The load feeds a long dependent ALU chain so
+   its completion time (forwarded vs D-cache) is visible past the
+   store-port commit backlog. *)
+let test_store_forwarding_survives_old_threshold () =
+  let mem0 = Insn.mem_abs 0 in
+  let target = 0x100000 in  (* granule 0x20000: slot 0 of the 8192-slot table *)
+  let conflict = target + (8192 * 8) in  (* different granule, same slot *)
+  let store a = eu ~ea:a (Uop.Store { src = Uop.Imm 0; mem = mem0; width = Insn.W64 }) in
+  let load a = eu ~ea:a (Uop.Load { dst = Uop.Greg Reg.RAX; mem = mem0; width = Insn.W64 }) in
+  let alu =
+    Uop.Alu { op = Insn.Add; dst = Uop.Greg Reg.RAX; src1 = Uop.Greg Reg.RAX; src2 = Uop.Imm 1 }
+  in
+  (* 8192 distinct granules, none landing in slot 0: crosses the old
+     reset threshold together with [target]. *)
+  let fillers = List.init 8192 (fun i -> store (8 * (if i < 8191 then i + 1 else 8193))) in
+  let run ~conflicting =
+    let uops =
+      (store target :: fillers)
+      @ (if conflicting then [ store conflict ] else [])
+      @ load target
+        :: List.init 8192 (fun _ -> eu alu)
+    in
+    pipeline_cycles (List.map (fun u -> mk_step ~pc:0x1000 [| u |]) uops)
+  in
+  let forwarded = run ~conflicting:false in
+  let displaced = run ~conflicting:true in
+  Alcotest.(check bool)
+    (Printf.sprintf "forwarding survives 8192+ stores (%d < %d)" forwarded displaced)
+    true (forwarded < displaced)
 
 let test_simulator_budget () =
   let b = Asm.create () in
@@ -411,5 +487,8 @@ let () =
           Alcotest.test_case "commit vs result latency" `Quick
             test_commit_vs_result_latency;
           Alcotest.test_case "budget" `Quick test_simulator_budget;
+          Alcotest.test_case "fetch kill-burst carry" `Quick test_fetch_kill_burst_carry;
+          Alcotest.test_case "store forwarding past old threshold" `Quick
+            test_store_forwarding_survives_old_threshold;
         ] );
     ]

@@ -85,6 +85,25 @@ let test_cache_victim_recovery () =
   Alcotest.(check bool) "A recovered from victim" true (Cache.access c ~write:false 0x0000);
   Alcotest.(check int) "victim hit counted" 1 (Counter.get g "c.victim_hit")
 
+(* Regression for the evicted-address reconstruction bug: under hashed
+   indexing the set index is an XOR fold of the block number, so
+   re-assembling an evicted line's address as tag|set (the old scheme)
+   handed the victim cache the wrong block.  Lines now carry full block
+   numbers, so a block evicted from a hash-indexed cache must be
+   recoverable by the exact address that installed it. *)
+let test_cache_victim_recovery_hashed_index () =
+  let g = Counter.create_group () in
+  let victim = Cache.create ~name:"v" ~sets:1 ~ways:4 ~line_bytes:64 g in
+  let c = Cache.create ~victim ~hash_index:true ~name:"c" ~sets:16 ~ways:1 ~line_bytes:64 g in
+  (* Blocks 0x00 and 0x11 both hash to set 0 (0x11 xor 0x11>>4 = 0x10),
+     but their low index bits differ — tag|set reassembly would turn the
+     evicted block 0x00 into 0x10. *)
+  let a = 0x00 lsl 6 and b = 0x11 lsl 6 in
+  ignore (Cache.access c ~write:false a);
+  ignore (Cache.access c ~write:false b);  (* evicts [a]'s block into the victim *)
+  Alcotest.(check bool) "hashed-evicted block recovered" true (Cache.access c ~write:false a);
+  Alcotest.(check int) "victim hit counted" 1 (Counter.get g "c.victim_hit")
+
 let test_cache_invalidate () =
   let c, _ = new_cache ~sets:16 ~ways:2 () in
   ignore (Cache.access c ~write:false 0x4000);
@@ -182,6 +201,8 @@ let () =
           Alcotest.test_case "hit after miss" `Quick test_cache_hit_after_miss;
           Alcotest.test_case "LRU eviction" `Quick test_cache_lru_eviction;
           Alcotest.test_case "victim recovery" `Quick test_cache_victim_recovery;
+          Alcotest.test_case "victim recovery (hashed index)" `Quick
+            test_cache_victim_recovery_hashed_index;
           Alcotest.test_case "invalidate" `Quick test_cache_invalidate;
           Alcotest.test_case "hashed index spreads strides" `Quick
             test_cache_hashed_index_spreads;
