@@ -1,0 +1,82 @@
+(* chex86d: the persistent sweep daemon.  All the common sweep flags
+   (--jobs, --workers/--worker, --cache-dir, --heartbeat, --trace, …)
+   come through Cli.parse_common and configure the dispatch stack the
+   daemon schedules onto; the flags below configure the daemon itself.
+
+   Diagnostics go to stderr; the one-line serving banner on stdout is
+   the readiness signal smoke drivers wait for. *)
+
+module H = Chex86_harness
+
+let usage () =
+  prerr_endline
+    "usage: chex86d [common flags] [--port N] [--frame-port N]\n\
+    \               [--queue-limit N] [--client-inflight N] [--volatile]\n\
+     \n\
+     daemon flags:\n\
+    \  --port N             JSON control port on 127.0.0.1 (default 7860)\n\
+    \  --frame-port N       also serve the framed worker protocol on this port\n\
+    \  --queue-limit N      queued-job cap before REJECTED busy (default 64)\n\
+    \  --client-inflight N  per-client queued+running cap (default 16)\n\
+    \  --volatile           skip the write-ahead journal (no crash recovery)\n\
+     \n\
+     common flags:";
+  prerr_endline H.Cli.common_flags_doc;
+  exit 2
+
+let die fmt =
+  Printf.ksprintf
+    (fun msg ->
+      Printf.eprintf "chex86d: %s\n%!" msg;
+      exit 1)
+    fmt
+
+let parse_port what s =
+  match int_of_string_opt s with
+  | Some p when p > 0 && p < 65536 -> p
+  | _ -> die "invalid %s %S (want 1..65535)" what s
+
+let parse_pos what s =
+  match int_of_string_opt s with
+  | Some n when n > 0 -> n
+  | _ -> die "invalid %s %S (want a positive integer)" what s
+
+let () =
+  Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
+  (* The daemon executes jobs itself when no fleet is configured, and
+     its frame port can serve other supervisors — so it registers every
+     kind a worker does. *)
+  H.Security.register_remote ();
+  H.Runner.register_remote ();
+  H.Daemon.register_test_kinds ();
+  let rest = H.Cli.parse_common (List.tl (Array.to_list Sys.argv)) in
+  let store_root =
+    match H.Runner.Store.dir () with
+    | Some d -> d
+    | None -> H.Runner.Store.default_dir
+  in
+  let cfg = ref (H.Daemon.default_config ~port:7860 ~store_root) in
+  let rec parse = function
+    | [] -> ()
+    | ("--help" | "-h") :: _ -> usage ()
+    | "--port" :: v :: rest ->
+      cfg := { !cfg with H.Daemon.port = parse_port "--port" v };
+      parse rest
+    | "--frame-port" :: v :: rest ->
+      cfg := { !cfg with H.Daemon.frame_port = Some (parse_port "--frame-port" v) };
+      parse rest
+    | "--queue-limit" :: v :: rest ->
+      cfg := { !cfg with H.Daemon.queue_limit = parse_pos "--queue-limit" v };
+      parse rest
+    | "--client-inflight" :: v :: rest ->
+      cfg := { !cfg with H.Daemon.client_inflight = parse_pos "--client-inflight" v };
+      parse rest
+    | "--volatile" :: rest ->
+      cfg := { !cfg with H.Daemon.volatile = true };
+      parse rest
+    | arg :: _ -> die "unknown argument %S (try --help)" arg
+  in
+  parse rest;
+  match H.Daemon.serve !cfg with
+  | () -> ()
+  | exception Failure msg -> die "%s" msg

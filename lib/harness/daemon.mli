@@ -1,0 +1,116 @@
+(** chex86d: a crash-tolerant persistent sweep service over the
+    [Remote] dispatch stack.
+
+    The daemon accepts sweep jobs on a newline-delimited JSON control
+    port ([submit]/[status]/[cancel]/[drain]/[stats]/[shutdown]), runs
+    them through [Remote.sweep] when a worker fleet is configured (or
+    the in-process [Pool] otherwise — both bit-identical to serial),
+    and optionally serves the framed worker protocol itself on a second
+    port so it can be driven as a [--worker HOST:PORT] peer.
+
+    Robustness model:
+
+    - {b Admission control}: a bounded job queue plus a per-client
+      in-flight cap; a full queue or a capped client gets an explicit
+      ["REJECTED busy ..."] response instead of unbounded buffering,
+      and while the queue is full the listening socket is dropped from
+      the select set entirely (backpressure into the accept loop).
+    - {b Write-ahead journal}: each admitted job is recorded under
+      [<store-root>/daemon/journal/] with the same O_EXCL-tmp +
+      atomic-publish discipline as the result store {e before} the
+      submit is acknowledged; completions are published the same way.
+      A SIGKILLed daemon restarts, re-serves completed jobs from their
+      completion records, and re-enqueues pending ones — each job
+      completes exactly once.
+    - {b Degradation ladder}: fleet lost → [Remote] degrades to
+      in-process domains; store unwritable → [Runner.Store]'s memo-only
+      latch; journal unwritable → one loud warning, then
+      accept-but-volatile.
+    - {b Fault points}: [daemon.accept], [daemon.journal.append],
+      [daemon.dispatch] and [daemon.result.publish] are registered
+      [Faultinject] named points, so the chaos soak can SIGKILL the
+      daemon at every stage of the job protocol. *)
+
+(** {1 Layout under the store root} *)
+
+val daemon_dir : store_root:string -> string
+(** [<store_root>/daemon] — the daemon's tenancy inside the result
+    store root ([Runner.Store.default_dir] when no store is
+    configured). [Runner.Store.fsck] knows this directory is not
+    foreign. *)
+
+val journal_dir : store_root:string -> string
+(** [<store_root>/daemon/journal] — one [<md5(id)>.job] record per
+    admitted job, one [<md5(id)>.done] record per completed (or
+    cancelled) job. Torn records are quarantined as [*.corrupt] on
+    replay, never trusted. *)
+
+val lock_path : store_root:string -> string
+(** [<store_root>/daemon/lock] — holds the serving daemon's pid. *)
+
+val lock_holder : store_root:string -> int option
+(** The pid of a {e live} daemon currently holding the store lock, if
+    any. Stale locks (dead pid) read as [None]; [make bench] uses this
+    to refuse perf snapshots against a contended cache. *)
+
+(** {1 Configuration} *)
+
+type config = {
+  port : int;  (** JSON control port (binds 127.0.0.1). *)
+  frame_port : int option;
+      (** Optional framed worker-protocol port: serve [Remote.Worker]
+          connections so the daemon doubles as a [--worker] peer.
+          Framed jobs bypass the journal — their supervisor owns
+          replay. *)
+  queue_limit : int;  (** Queued (not yet running) job cap. *)
+  client_inflight : int;  (** Per-client queued+running cap. *)
+  volatile : bool;  (** Skip the journal entirely (tests). *)
+  store_root : string;  (** Where [daemon/] lives. *)
+}
+
+val default_queue_limit : int
+val default_client_inflight : int
+val default_config : port:int -> store_root:string -> config
+
+(** {1 Serving} *)
+
+val register_test_kinds : unit -> unit
+(** Register the deterministic [daemon.sleep] kind (arg = seconds to
+    hold a scheduler slot; returns ["slept:<key>"]). Both [chex86d]
+    and [chex86_worker] register it so soak jobs cross the wire. *)
+
+val serve : config -> unit
+(** Run the daemon until a [shutdown] op or SIGTERM/SIGINT. Acquires
+    the store lock (refusing loudly if a live daemon already holds
+    it), replays the journal, then serves. The lock is released on
+    graceful return. *)
+
+(** {1 Journal introspection} (tests and tooling) *)
+
+module Journal : sig
+  type entry = {
+    e_id : string;
+    e_seq : int;
+    e_client : string;
+    e_kind : string;
+    e_tasks : (string * string) list;  (** (key, arg) in order. *)
+  }
+
+  type completion = {
+    c_id : string;
+    c_cancelled : bool;
+    c_results : (string, string) result list;
+        (** [Ok payload] per task, or [Error fault] for a task the
+            supervision budget gave up on. *)
+  }
+
+  type scan = {
+    s_pending : entry list;  (** Admitted, no completion; seq order. *)
+    s_done : (entry option * completion) list;
+    s_corrupt : string list;  (** Files quarantined as [*.corrupt]. *)
+  }
+
+  val scan : dir:string -> scan
+  (** Read every record under journal directory [dir], quarantining
+      torn or digest-mismatched files. *)
+end

@@ -69,7 +69,16 @@ let current_retries = Atomic.make 0
 let set_retries n = Atomic.set current_retries (max 0 n)
 let retries () = Atomic.get current_retries
 let current_task_timeout : float option Atomic.t = Atomic.make None
-let set_task_timeout t = Atomic.set current_task_timeout t
+
+(* [Some t] with t <= 0 (or NaN) means every task's deadline has already
+   expired when it starts — the whole sweep times out vacuously.  That
+   is never what a caller wants; refuse it loudly. *)
+let set_task_timeout t =
+  (match t with
+  | Some s when not (s > 0.) ->
+    invalid_arg (Printf.sprintf "Pool.set_task_timeout: timeout must be > 0 (got %g)" s)
+  | _ -> ());
+  Atomic.set current_task_timeout t
 let task_timeout () = Atomic.get current_task_timeout
 let current_strict = Atomic.make false
 let set_strict b = Atomic.set current_strict b

@@ -49,6 +49,9 @@ val set_retries : int -> unit
 
 val retries : unit -> int
 val set_task_timeout : float option -> unit
+(** Raises [Invalid_argument] on [Some t] with [t <= 0] (or NaN): a
+    non-positive deadline times every task out before it starts. *)
+
 val task_timeout : unit -> float option
 
 (** --strict: faults flip the process exit code (and demote-to-error

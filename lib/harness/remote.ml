@@ -52,7 +52,19 @@ let spec () = Atomic.get current_spec
 let enabled () = spec () <> Off
 
 let current_heartbeat = Atomic.make 30.0
-let set_heartbeat s = Atomic.set current_heartbeat (Float.max 0.05 s)
+
+(* A non-positive (or NaN) heartbeat would make the liveness deadline
+   fire on every supervision tick — every busy worker is "wedged" the
+   instant it is dispatched to.  Clamping silently (the old behaviour)
+   hid that misconfiguration; refuse it loudly instead.  Small positive
+   values are still floored at 50ms so a just-spawned worker has a
+   chance to beat at all. *)
+let check_heartbeat ~who s =
+  if not (s > 0.) then
+    invalid_arg (Printf.sprintf "%s: heartbeat must be > 0 (got %g)" who s);
+  Float.max 0.05 s
+
+let set_heartbeat s = Atomic.set current_heartbeat (check_heartbeat ~who:"Remote.set_heartbeat" s)
 let heartbeat () = Atomic.get current_heartbeat
 let current_restart_budget = Atomic.make 3
 let set_restart_budget n = Atomic.set current_restart_budget (max 0 n)
@@ -451,7 +463,11 @@ let sweep ?batch_size ?retries ?task_timeout ?spec:spec_override ?heartbeat:hb_o
   let n = Array.length tasks in
   let retries, timeout = Pool.supervise_params ?retries ?task_timeout () in
   let sp = match spec_override with Some s -> s | None -> spec () in
-  let hb = match hb_override with Some h -> Float.max 0.05 h | None -> heartbeat () in
+  let hb =
+    match hb_override with
+    | Some h -> check_heartbeat ~who:"Remote.sweep ?heartbeat" h
+    | None -> heartbeat ()
+  in
   let rb = match rb_override with Some b -> max 0 b | None -> restart_budget () in
   let tlb = match tlb_override with Some b -> max 0 b | None -> task_loss_budget () in
   let kind_fn =

@@ -45,7 +45,11 @@ val enabled : unit -> bool
 val set_heartbeat : float -> unit
 (** Hard liveness deadline in seconds (default 30): a busy worker whose
     last frame is older than this is SIGKILLed and its unfinished tasks
-    re-dispatched. Workers beat at a quarter of this interval. *)
+    re-dispatched. Workers beat at a quarter of this interval. Raises
+    [Invalid_argument] on a non-positive (or NaN) value — such a
+    deadline would declare every worker wedged on dispatch; small
+    positive values are floored at 50ms. [sweep]'s [?heartbeat]
+    override validates identically. *)
 
 val heartbeat : unit -> float
 

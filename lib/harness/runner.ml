@@ -260,6 +260,11 @@ module Store = struct
   let default_dir = "_chex86_cache"
   let objects_dirname = "objects"
   let quarantine_dirname = "quarantine"
+
+  (* chex86d keeps its job journal and store lock under
+     <root>/daemon/ (see Daemon); it is a legitimate tenant of the
+     store root, not a foreign directory. *)
+  let daemon_dirname = "daemon"
   let objects_dir d = Filename.concat d objects_dirname
   let quarantine_dir d = Filename.concat d quarantine_dirname
 
@@ -926,8 +931,10 @@ module Store = struct
         (fun name ->
           let path = Filename.concat d name in
           if Sys.is_directory path then begin
-            if name <> objects_dirname && name <> quarantine_dirname then
-              issue path "unexpected directory in store root"
+            if
+              name <> objects_dirname && name <> quarantine_dirname
+              && name <> daemon_dirname
+            then issue path "unexpected directory in store root"
           end
           else if is_tmp_name name then check_tmp d name
           else if is_entry_name name then check_entry ~expect_shard:None d name

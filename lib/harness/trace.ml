@@ -305,14 +305,29 @@ let summarize_file path =
             st
         in
         let line_no = ref 0 in
+        (* A crash mid-write (a SIGKILLed worker or daemon) legitimately
+           leaves a torn final line.  A failed parse is held as
+           *pending*: if any further non-empty line follows, it was real
+           mid-stream garbage and is promoted to an error; if it turns
+           out to be the last non-empty line, it is noted in the summary
+           header instead, so post-crash traces stay analyzable. *)
+        let pending_torn : (int * string) option ref = ref None in
+        let promote_pending () =
+          match !pending_torn with
+          | None -> ()
+          | Some (ln, msg) ->
+            pending_torn := None;
+            err ln "unparseable JSON (%s)" msg
+        in
         (try
            while true do
              let line = input_line ic in
              incr line_no;
              let ln = !line_no in
              if String.trim line <> "" then begin
+               promote_pending ();
                match Json.of_string line with
-               | Error msg -> err ln "unparseable JSON (%s)" msg
+               | Error msg -> pending_torn := Some (ln, msg)
                | Ok v -> (
                  incr events;
                  let str k = Option.bind (Json.member k v) Json.to_string_opt in
@@ -395,12 +410,19 @@ let summarize_file path =
                      (if wall > 0. then Render.percent (st.busy /. wall) else "-");
                    ])
           in
+          let torn_note =
+            match !pending_torn with
+            | None -> ""
+            | Some (ln, msg) ->
+              Printf.sprintf "; truncated final line %d skipped (%s)" ln msg
+          in
           Ok
             (String.concat "\n"
                [
                  Printf.sprintf
-                   "%d event(s): %d span(s) (%d unclosed), %d instant(s), %d source(s)"
-                   !events !spans unclosed !instants (Hashtbl.length srcs);
+                   "%d event(s): %d span(s) (%d unclosed), %d instant(s), %d source(s)%s"
+                   !events !spans unclosed !instants (Hashtbl.length srcs)
+                   torn_note;
                  "";
                  "Per-stage latency (microseconds):";
                  Render.table

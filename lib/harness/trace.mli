@@ -111,7 +111,11 @@ val metrics_extra : (unit -> (string * Chex86_stats.Json.t) list) ref
     structural violations (an end without a begin, a parent closing
     before its child); unclosed spans at EOF are reported in the
     summary but are not errors — a killed worker legitimately loses
-    its tail. *)
+    its tail.  For the same reason an unparseable {e final} line (a
+    write torn by a crash) is skipped and noted in the summary header
+    rather than treated as an error, so post-crash traces from
+    [chex86d] stay analyzable; garbage followed by further events is
+    still an error. *)
 val summarize_file : string -> (string, string) result
 
 (** Forget accumulated metrics (sinks untouched) — test isolation

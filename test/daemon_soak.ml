@@ -1,0 +1,657 @@
+(* SIGKILL/resume chaos soak for chex86d, modeled on chaos_soak.ml.
+
+   For each dispatch geometry (serial / --jobs 2 / --workers 2) it
+   drives [--legs] randomized kill legs.  Each leg: fresh store root,
+   start the daemon with CHEX86_FAULT_POINT=<daemon point>=kill@<n> in
+   its environment, submit a fixed batch of selftest jobs over the JSON
+   control port, and poll them to completion — restarting the daemon
+   (fault-free) with capped-exponential client reconnect whenever it
+   dies under us.  A job that comes back "unknown" after a restart was
+   killed before its journal record published (its submit was never
+   acked), so the client resubmits under the same idempotent id.
+
+   Asserted per leg:
+     - every job reaches state "done" before the deadline, with results
+       byte-identical to a fault-free serial reference (one reference
+       serves all geometries: sweep results are bit-identical across
+       dispatch geometries by construction, and the soak re-checks that
+       here);
+     - exactly-once: the journal holds exactly one completion record
+       per job and no pending records once all jobs are done;
+     - [Runner.Store.fsck] over the leg's store root reports zero
+       invariant violations;
+     - after the final graceful shutdown the store lock is released.
+
+   One extra admission-control leg runs a small-queue daemon into
+   saturation with slow jobs and asserts that overflow submits receive
+   explicit "REJECTED busy" responses (and that rejected jobs can be
+   resubmitted to completion once the queue drains) — bounded queue,
+   never a hang.
+
+   The PRNG is seeded ([--seed]) so a failing leg reproduces exactly;
+   a JSON report of every leg goes to [--report FILE]. *)
+
+module Daemon = Chex86_harness.Daemon
+module Runner = Chex86_harness.Runner
+module Json = Chex86_stats.Json
+
+let die fmt =
+  Printf.ksprintf
+    (fun msg ->
+      Printf.eprintf "daemon_soak: %s\n%!" msg;
+      exit 2)
+    fmt
+
+let chex86d_exe () =
+  match Sys.getenv_opt "CHEX86D_EXE" with
+  | Some p when p <> "" -> p
+  | _ -> (
+    let dir = Filename.dirname Sys.executable_name in
+    let candidate =
+      Filename.concat dir (Filename.concat ".." (Filename.concat "bin" "chex86d.exe"))
+    in
+    match Sys.file_exists candidate with
+    | true -> candidate
+    | false -> die "cannot find bin/chex86d.exe (set CHEX86D_EXE)")
+
+let geometries =
+  [
+    ("serial", [ "--jobs"; "1" ]);
+    ("jobs2", [ "--jobs"; "2" ]);
+    ("workers2", [ "--jobs"; "1"; "--workers"; "2" ]);
+  ]
+
+let kill_points =
+  [ "daemon.accept"; "daemon.journal.append"; "daemon.dispatch"; "daemon.result.publish" ]
+
+let rec rm_rf dir =
+  if Sys.file_exists dir then begin
+    Array.iter
+      (fun f ->
+        let p = Filename.concat dir f in
+        if Sys.is_directory p then rm_rf p else Sys.remove p)
+      (Sys.readdir dir);
+    Unix.rmdir dir
+  end
+
+(* Environment for the daemon: current env minus fault/workload
+   variables, plus whatever the leg injects. *)
+let child_env extra =
+  let keep e =
+    let pref k = String.length e >= String.length k && String.sub e 0 (String.length k) = k in
+    not
+      (pref "CHEX86_FAULT_RATE=" || pref "CHEX86_FAULT_SEED="
+      || pref "CHEX86_FAULT_KIND=" || pref "CHEX86_FAULT_POINT="
+      || pref "CHEX86_WORKLOADS=" || pref "CHEX86_SCALE=")
+  in
+  Array.of_list (List.filter keep (Array.to_list (Unix.environment ())) @ extra)
+
+(* --- one-request-per-connection JSON client -------------------------------- *)
+
+(* A connection per op keeps the client trivially correct across daemon
+   deaths: no half-read buffers to resynchronize, every failure surfaces
+   as Error and the caller's reconnect backoff handles it. *)
+let request ~port v =
+  let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Fun.protect
+    ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+    (fun () ->
+      match
+        Unix.connect fd (Unix.ADDR_INET (Unix.inet_addr_loopback, port));
+        let s = Json.to_string v ^ "\n" in
+        let n = String.length s in
+        let rec send off = if off < n then send (off + Unix.write_substring fd s off (n - off)) in
+        send 0;
+        let buf = Buffer.create 256 in
+        let chunk = Bytes.create 512 in
+        let rec recv () =
+          if Buffer.length buf > 1_000_000 then Error "reply too large"
+          else
+            match Unix.read fd chunk 0 (Bytes.length chunk) with
+            | 0 -> Error "connection closed mid-reply"
+            | n ->
+              Buffer.add_subbytes buf chunk 0 n;
+              if Bytes.index_opt (Bytes.sub chunk 0 n) '\n' <> None then
+                let line = List.hd (String.split_on_char '\n' (Buffer.contents buf)) in
+                Json.of_string line
+              else recv ()
+        in
+        recv ()
+      with
+      | r -> r
+      | exception Unix.Unix_error (e, _, _) -> Error (Unix.error_message e))
+
+let jstr k v = Option.bind (Json.member k v) Json.to_string_opt
+let jbool k v = match Json.member k v with Some (Json.Bool b) -> Some b | _ -> None
+
+(* Pipeline several requests over ONE connection and collect one reply
+   per request.  The admission-control leg needs this: queue-full
+   backpressure stops the daemon from accepting NEW connections, so
+   fresh-connection submits just wait in the kernel backlog — the
+   explicit REJECTED path is what an already-connected client sees. *)
+let request_pipelined ~port vs =
+  let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Fun.protect
+    ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+    (fun () ->
+      match
+        Unix.connect fd (Unix.ADDR_INET (Unix.inet_addr_loopback, port));
+        let s = String.concat "" (List.map (fun v -> Json.to_string v ^ "\n") vs) in
+        let n = String.length s in
+        let rec send off = if off < n then send (off + Unix.write_substring fd s off (n - off)) in
+        send 0;
+        let want = List.length vs in
+        let buf = Buffer.create 1024 in
+        let chunk = Bytes.create 1024 in
+        let lines () =
+          List.filter (fun l -> l <> "") (String.split_on_char '\n' (Buffer.contents buf))
+        in
+        let rec recv () =
+          if Buffer.length buf > 4_000_000 then Error "reply too large"
+          else if List.length (lines ()) >= want then begin
+            let parsed = List.map Json.of_string (lines ()) in
+            match List.find_opt Result.is_error parsed with
+            | Some (Error e) -> Error ("bad reply json: " ^ e)
+            | _ -> Ok (List.filter_map Result.to_option parsed)
+          end
+          else
+            match Unix.read fd chunk 0 (Bytes.length chunk) with
+            | 0 -> Error "connection closed mid-reply"
+            | n ->
+              Buffer.add_subbytes buf chunk 0 n;
+              recv ()
+        in
+        recv ()
+      with
+      | r -> r
+      | exception Unix.Unix_error (e, _, _) -> Error (Unix.error_message e))
+
+(* --- daemon process management --------------------------------------------- *)
+
+type daemon = { pid : int; log : string }
+
+let start_daemon ~exe ~cache ~port ~geom_flags ~extra_env ~log =
+  let argv =
+    Array.of_list
+      ([
+         exe;
+         "--cache-dir";
+         cache;
+         "--port";
+         string_of_int port;
+         "--queue-limit";
+         "64";
+         "--client-inflight";
+         "64";
+       ]
+      @ geom_flags)
+  in
+  let fd = Unix.openfile log [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_APPEND ] 0o644 in
+  let pid = Unix.create_process_env exe argv (child_env extra_env) Unix.stdin fd fd in
+  Unix.close fd;
+  { pid; log }
+
+(* Has the daemon exited?  Reaps it if so (reaping matters: the stale
+   store lock is only reclaimable once the old pid stops existing). *)
+let daemon_status d =
+  match Unix.waitpid [ Unix.WNOHANG ] d.pid with
+  | 0, _ -> `Alive
+  | _, st -> `Exited st
+  | exception Unix.Unix_error (Unix.ECHILD, _, _) -> `Exited (Unix.WEXITED 0)
+
+let kill_daemon d =
+  (match Unix.kill d.pid Sys.sigkill with
+  | () -> ()
+  | exception Unix.Unix_error (Unix.ESRCH, _, _) -> ());
+  match Unix.waitpid [] d.pid with
+  | _ -> ()
+  | exception Unix.Unix_error (Unix.ECHILD, _, _) -> ()
+
+(* Capped-exponential client reconnect: the soak IS the daemon's
+   client, so it exercises the reconnect discipline the docs promise. *)
+let backoff attempt = Float.min 0.5 (0.01 *. Float.pow 2. (float_of_int (min attempt 8)))
+
+let wait_ready ~port ~deadline d =
+  let rec go attempt =
+    if Unix.gettimeofday () > deadline then `Timeout
+    else
+      match daemon_status d with
+      | `Exited st -> `Died st
+      | `Alive -> (
+        match request ~port (Json.Obj [ ("op", Json.String "stats") ]) with
+        | Ok _ -> `Ready
+        | Error _ ->
+          Unix.sleepf (backoff attempt);
+          go (attempt + 1))
+  in
+  go 0
+
+(* --- the job batch ---------------------------------------------------------- *)
+
+let jobs_per_leg = 6
+let tasks_per_job = 4
+
+let job_id k = Printf.sprintf "job-%d" k
+
+let job_tasks k =
+  List.init tasks_per_job (fun i ->
+      Json.Obj
+        [
+          ("key", Json.String (Printf.sprintf "j%d-t%d" k i));
+          ("arg", Json.String "8");
+        ])
+
+let submit_json k =
+  Json.Obj
+    [
+      ("op", Json.String "submit");
+      ("id", Json.String (job_id k));
+      ("client", Json.String "soak");
+      ("kind", Json.String "selftest");
+      ("tasks", Json.List (job_tasks k));
+    ]
+
+let status_json k =
+  Json.Obj [ ("op", Json.String "status"); ("id", Json.String (job_id k)) ]
+
+(* Canonical byte form of a job's results for the reference compare. *)
+let results_repr v =
+  match Json.member "results" v with Some r -> Json.to_string r | None -> "<none>"
+
+(* --- a kill leg ------------------------------------------------------------- *)
+
+type leg_outcome = {
+  completed : bool;  (** all jobs reached done in time *)
+  match_ref : bool;
+  exactly_once : bool;
+  fsck_clean : bool;
+  lock_released : bool;
+  killed : bool;  (** the armed point actually fired *)
+  restarts : int;
+}
+
+(* Submit every job and poll to done, restarting the daemon (fault-free)
+   every time it dies.  Returns the per-job results (byte form) or times
+   out. *)
+let drive_jobs ~exe ~cache ~port ~geom_flags ~log ~deadline d0 =
+  let d = ref d0 in
+  let killed = ref false and restarts = ref 0 in
+  let results = Array.make jobs_per_leg None in
+  let note_death st =
+    (match st with Unix.WSIGNALED s when s = Sys.sigkill -> killed := true | _ -> ());
+    incr restarts;
+    (* Fault-free restart: the journal replay takes it from here. *)
+    d := start_daemon ~exe ~cache ~port ~geom_flags ~extra_env:[] ~log;
+    ignore (wait_ready ~port ~deadline d.contents)
+  in
+  let rec with_daemon attempt f =
+    if Unix.gettimeofday () > deadline then Error "deadline"
+    else
+      match daemon_status d.contents with
+      | `Exited st ->
+        note_death st;
+        with_daemon 0 f
+      | `Alive -> (
+        match f () with
+        | Ok v -> Ok v
+        | Error _ ->
+          Unix.sleepf (backoff attempt);
+          with_daemon (attempt + 1) f)
+  in
+  let submit k = with_daemon 0 (fun () -> request ~port (submit_json k)) in
+  let all_submitted =
+    List.for_all
+      (fun k ->
+        match submit k with
+        | Ok reply -> (
+          match (jbool "ok" reply, jstr "error" reply) with
+          | Some true, _ -> true
+          | _, Some err ->
+            Printf.eprintf "daemon_soak: submit %s rejected: %s\n%!" (job_id k) err;
+            false
+          | _ -> false)
+        | Error e ->
+          Printf.eprintf "daemon_soak: submit %s failed: %s\n%!" (job_id k) e;
+          false)
+      (List.init jobs_per_leg Fun.id)
+  in
+  let rec poll () =
+    if Unix.gettimeofday () > deadline then false
+    else if Array.for_all Option.is_some results then true
+    else begin
+      Array.iteri
+        (fun k r ->
+          if r = None then
+            match with_daemon 0 (fun () -> request ~port (status_json k)) with
+            | Error _ -> ()
+            | Ok reply -> (
+              match jstr "state" reply with
+              | Some "done" -> results.(k) <- Some (results_repr reply)
+              | Some "unknown" ->
+                (* Killed before the journal record published: the ack
+                   never happened, so resubmit under the same id. *)
+                ignore (with_daemon 0 (fun () -> request ~port (submit_json k)))
+              | _ -> ()))
+        results;
+      Unix.sleepf 0.05;
+      poll ()
+    end
+  in
+  let done_ = all_submitted && poll () in
+  (* Graceful shutdown (releases the lock); force-kill if unreachable. *)
+  (match
+     with_daemon 0 (fun () -> request ~port (Json.Obj [ ("op", Json.String "shutdown") ]))
+   with
+  | Ok _ | Error _ -> ());
+  let rec wait_exit tries =
+    match daemon_status d.contents with
+    | `Exited st ->
+      (match st with Unix.WSIGNALED s when s = Sys.sigkill -> killed := true | _ -> ())
+    | `Alive ->
+      if tries = 0 then kill_daemon d.contents
+      else begin
+        Unix.sleepf 0.1;
+        wait_exit (tries - 1)
+      end
+  in
+  wait_exit 50;
+  (done_, results, !killed, !restarts)
+
+let run_kill_leg ~exe ~scratch ~port ~geom ~geom_flags ~reference ~point ~ordinal ~leg =
+  let cache = Filename.concat scratch (Printf.sprintf "%s-leg%d" geom leg) in
+  let log = Filename.concat scratch (Printf.sprintf "%s-leg%d.log" geom leg) in
+  let spec = Printf.sprintf "CHEX86_FAULT_POINT=%s=kill@%d" point ordinal in
+  let d0 = start_daemon ~exe ~cache ~port ~geom_flags ~extra_env:[ spec ] ~log in
+  let deadline = Unix.gettimeofday () +. 180. in
+  ignore (wait_ready ~port ~deadline d0);
+  let completed, results, killed, restarts =
+    drive_jobs ~exe ~cache ~port ~geom_flags ~log ~deadline d0
+  in
+  let match_ref =
+    completed
+    && Array.for_all2 (fun got want -> got = Some want) results reference
+  in
+  let scan = Daemon.Journal.scan ~dir:(Daemon.journal_dir ~store_root:cache) in
+  let exactly_once =
+    scan.Daemon.Journal.s_pending = []
+    && List.length scan.Daemon.Journal.s_done = jobs_per_leg
+    && List.sort compare
+         (List.map (fun (_, c) -> c.Daemon.Journal.c_id) scan.Daemon.Journal.s_done)
+       = List.init jobs_per_leg job_id
+  in
+  let fsck_clean = Runner.Store.fsck_clean (Runner.Store.fsck ~dir:cache) in
+  let lock_released = Daemon.lock_holder ~store_root:cache = None in
+  {
+    completed;
+    match_ref;
+    exactly_once;
+    fsck_clean;
+    lock_released;
+    killed;
+    restarts;
+  }
+
+(* --- the fault-free serial reference ---------------------------------------- *)
+
+let reference_results ~exe ~scratch ~port =
+  let cache = Filename.concat scratch "reference" in
+  let log = Filename.concat scratch "reference.log" in
+  let d = start_daemon ~exe ~cache ~port ~geom_flags:[ "--jobs"; "1" ] ~extra_env:[] ~log in
+  let deadline = Unix.gettimeofday () +. 120. in
+  (match wait_ready ~port ~deadline d with
+  | `Ready -> ()
+  | _ -> die "reference daemon never came up (see %s)" log);
+  let completed, results, _, _ =
+    drive_jobs ~exe ~cache ~port ~geom_flags:[ "--jobs"; "1" ] ~log ~deadline d
+  in
+  if not completed then die "reference run did not complete (see %s)" log;
+  Array.map
+    (function Some r -> r | None -> die "reference result missing")
+    results
+
+(* --- the admission-control leg ---------------------------------------------- *)
+
+let run_rejection_leg ~exe ~scratch ~port =
+  let cache = Filename.concat scratch "rejection" in
+  let log = Filename.concat scratch "rejection.log" in
+  let argv =
+    [|
+      exe; "--cache-dir"; cache; "--port"; string_of_int port;
+      "--queue-limit"; "2"; "--client-inflight"; "64"; "--jobs"; "1";
+    |]
+  in
+  let fd = Unix.openfile log [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_APPEND ] 0o644 in
+  let pid = Unix.create_process_env exe argv (child_env []) Unix.stdin fd fd in
+  Unix.close fd;
+  let d = { pid; log } in
+  let deadline = Unix.gettimeofday () +. 120. in
+  (match wait_ready ~port ~deadline d with
+  | `Ready -> ()
+  | _ -> die "rejection daemon never came up (see %s)" log);
+  let slow_submit_json k =
+    Json.Obj
+      [
+        ("op", Json.String "submit");
+        ("id", Json.String (Printf.sprintf "slow-%d" k));
+        ("client", Json.String "soak");
+        ("kind", Json.String "daemon.sleep");
+        ( "tasks",
+          Json.List
+            [
+              Json.Obj
+                [
+                  ("key", Json.String (Printf.sprintf "s%d" k));
+                  ("arg", Json.String "0.4");
+                ];
+            ] );
+      ]
+  in
+  let slow_submit k = request ~port (slow_submit_json k) in
+  let total = 8 in
+  let accepted = ref [] and rejected = ref [] and weird = ref 0 in
+  (* All 8 submits down one pipelined connection: the connection is
+     accepted while the queue is empty, then admission control sees the
+     burst and must answer the overflow with explicit REJECTED busy
+     (fresh connections would instead be held by accept backpressure). *)
+  (match
+     request_pipelined ~port (List.map slow_submit_json (List.init total Fun.id))
+   with
+  | Error e -> die "rejection burst failed: %s" e
+  | Ok replies ->
+    List.iteri
+      (fun k reply ->
+        match (jbool "ok" reply, jstr "error" reply) with
+        | Some true, _ -> accepted := k :: !accepted
+        | _, Some err
+          when String.length err >= 13 && String.sub err 0 13 = "REJECTED busy" ->
+          rejected := k :: !rejected
+        | _ -> incr weird)
+      replies);
+  let explicit_rejects = !rejected <> [] && !accepted <> [] && !weird = 0 in
+  (* Once the queue drains, a rejected job must be resubmittable to
+     completion — backpressure sheds load, it does not lose work. *)
+  let rec finish k attempt =
+    if Unix.gettimeofday () > deadline then false
+    else
+      match
+        request ~port
+          (Json.Obj
+             [ ("op", Json.String "status");
+               ("id", Json.String (Printf.sprintf "slow-%d" k)) ])
+      with
+      | Ok reply when jstr "state" reply = Some "done" -> true
+      | Ok reply when jstr "state" reply = Some "unknown" -> (
+        match slow_submit k with
+        | Ok _ | Error _ ->
+          Unix.sleepf (backoff attempt);
+          finish k (attempt + 1))
+      | Ok _ | Error _ ->
+        Unix.sleepf (backoff attempt);
+        finish k (attempt + 1)
+  in
+  let all_finish = List.for_all (fun k -> finish k 0) (List.init total Fun.id) in
+  let stats_agree =
+    match request ~port (Json.Obj [ ("op", Json.String "stats") ]) with
+    | Ok v -> (
+      match Json.member "rejected_queue_full" v with
+      | Some (Json.Int n) -> n >= List.length !rejected
+      | _ -> false)
+    | Error _ -> false
+  in
+  ignore (request ~port (Json.Obj [ ("op", Json.String "shutdown") ]));
+  let rec reap tries =
+    match daemon_status d with
+    | `Exited _ -> ()
+    | `Alive ->
+      if tries = 0 then kill_daemon d
+      else begin
+        Unix.sleepf 0.1;
+        reap (tries - 1)
+      end
+  in
+  reap 50;
+  (explicit_rejects, all_finish, stats_agree, List.length !rejected)
+
+(* --- entry ------------------------------------------------------------------ *)
+
+let soak ~legs ~seed ~report_file ~wanted =
+  let exe = chex86d_exe () in
+  let scratch =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "chex86-daemon-%d" (Unix.getpid ()))
+  in
+  rm_rf scratch;
+  Unix.mkdir scratch 0o755;
+  let port = 7400 + (Unix.getpid () mod 400) in
+  let rng = Random.State.make [| seed |] in
+  let failures = ref 0 and kills = ref 0 in
+  let leg_reports = ref [] in
+  let geoms =
+    List.filter (fun (name, _) -> wanted = [] || List.mem name wanted) geometries
+  in
+  if geoms = [] then die "no geometries selected";
+  let reference = reference_results ~exe ~scratch ~port in
+  List.iter
+    (fun (geom, geom_flags) ->
+      for leg = 1 to legs do
+        let point =
+          List.nth kill_points (Random.State.int rng (List.length kill_points))
+        in
+        let ordinal = 1 + Random.State.int rng 6 in
+        let o =
+          run_kill_leg ~exe ~scratch ~port ~geom ~geom_flags ~reference ~point ~ordinal
+            ~leg
+        in
+        if o.killed then incr kills;
+        let pass =
+          o.completed && o.match_ref && o.exactly_once && o.fsck_clean
+          && o.lock_released
+        in
+        if not pass then incr failures;
+        Printf.printf "%-9s leg %2d  %-28s@%d %s (killed=%b restarts=%d match=%b once=%b fsck=%b lock=%b)\n%!"
+          geom leg point ordinal
+          (if pass then "ok" else "FAIL")
+          o.killed o.restarts o.match_ref o.exactly_once o.fsck_clean o.lock_released;
+        leg_reports :=
+          Json.Obj
+            [
+              ("geometry", Json.String geom);
+              ("leg", Json.Int leg);
+              ("point", Json.String point);
+              ("ordinal", Json.Int ordinal);
+              ("killed", Json.Bool o.killed);
+              ("restarts", Json.Int o.restarts);
+              ("completed", Json.Bool o.completed);
+              ("match_reference", Json.Bool o.match_ref);
+              ("exactly_once", Json.Bool o.exactly_once);
+              ("fsck_clean", Json.Bool o.fsck_clean);
+              ("lock_released", Json.Bool o.lock_released);
+            ]
+          :: !leg_reports;
+        if pass then begin
+          rm_rf (Filename.concat scratch (Printf.sprintf "%s-leg%d" geom leg));
+          try Sys.remove (Filename.concat scratch (Printf.sprintf "%s-leg%d.log" geom leg))
+          with Sys_error _ -> ()
+        end
+      done)
+    geoms;
+  let explicit_rejects, rejected_finish, stats_agree, rejections =
+    run_rejection_leg ~exe ~scratch ~port
+  in
+  let rejection_pass = explicit_rejects && rejected_finish && stats_agree in
+  if not rejection_pass then incr failures;
+  Printf.printf "rejection leg        %s (explicit=%b finish=%b stats=%b rejected=%d)\n%!"
+    (if rejection_pass then "ok" else "FAIL")
+    explicit_rejects rejected_finish stats_agree rejections;
+  (* A soak where no daemon ever died proves nothing. *)
+  let total = legs * List.length geoms in
+  let sane = !kills > 0 in
+  if not sane then
+    Printf.eprintf "daemon_soak: no leg was ever killed — points dead?\n%!";
+  (match report_file with
+  | None -> ()
+  | Some path ->
+    let body =
+      Json.to_string
+        (Json.Obj
+           [
+             ("legs", Json.Int total);
+             ("seed", Json.Int seed);
+             ("killed", Json.Int !kills);
+             ("failures", Json.Int !failures);
+             ("sane", Json.Bool sane);
+             ( "rejection_leg",
+               Json.Obj
+                 [
+                   ("pass", Json.Bool rejection_pass);
+                   ("explicit_rejects", Json.Bool explicit_rejects);
+                   ("rejected_resubmit_ok", Json.Bool rejected_finish);
+                   ("rejections", Json.Int rejections);
+                 ] );
+             ("results", Json.List (List.rev !leg_reports));
+           ])
+    in
+    let oc = open_out path in
+    Fun.protect
+      ~finally:(fun () -> close_out_noerr oc)
+      (fun () ->
+        output_string oc body;
+        output_char oc '\n'));
+  Printf.printf "daemon soak: %d kill legs + rejection leg, %d killed, %d failures\n%!"
+    total !kills !failures;
+  if !failures > 0 || not sane then exit 1;
+  rm_rf scratch
+
+let () =
+  let args = Array.to_list Sys.argv in
+  match args with
+  | _ :: rest ->
+    let legs = ref 4 and seed = ref 42 and report = ref None and geoms = ref [] in
+    let rec parse = function
+      | [] -> ()
+      | "--legs" :: v :: rest -> (
+        match int_of_string_opt v with
+        | Some n when n >= 1 ->
+          legs := n;
+          parse rest
+        | _ -> die "invalid --legs value %S" v)
+      | "--seed" :: v :: rest -> (
+        match int_of_string_opt v with
+        | Some n ->
+          seed := n;
+          parse rest
+        | _ -> die "invalid --seed value %S" v)
+      | "--report" :: v :: rest ->
+        report := Some v;
+        parse rest
+      | "--geometries" :: v :: rest ->
+        geoms := String.split_on_char ',' v;
+        parse rest
+      | arg :: _ ->
+        die
+          "unknown argument %S (usage: daemon_soak [--legs N] [--seed S] [--report FILE] [--geometries a,b])"
+          arg
+    in
+    parse rest;
+    soak ~legs:!legs ~seed:!seed ~report_file:!report ~wanted:!geoms
+  | [] -> die "empty argv"

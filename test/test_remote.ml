@@ -264,6 +264,109 @@ let test_tcp_loopback_peer () =
           (Array.map (fun r -> Result.map_error (fun _ -> ()) r) sresults)
           (remote_results_as_opaque rresults))
 
+(* A peer that accepts, serves, and DROPS: the listener process forks a
+   fresh serving child per connection, so when the fault plan SIGKILLs
+   the serving child mid-chunk the connection dies but the listener
+   survives and accepts the supervisor's reconnect — the "worker host
+   re-registered" scenario.  The supervisor must back off, reconnect,
+   re-dispatch only the unfinished tasks at attempt 0 seeds, and end
+   bit-identical to serial. *)
+let spawn_flaky_listener port =
+  let pid = Unix.fork () in
+  if pid = 0 then begin
+    (* Listener: one process per accepted connection, reaped as we go. *)
+    Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
+    let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+    (try
+       Unix.setsockopt fd Unix.SO_REUSEADDR true;
+       Unix.bind fd (Unix.ADDR_INET (Unix.inet_addr_loopback, port));
+       Unix.listen fd 8
+     with Unix.Unix_error _ -> Unix._exit 1);
+    let rec loop () =
+      (try
+         while fst (Unix.waitpid [ Unix.WNOHANG ] (-1)) > 0 do
+           ()
+         done
+       with Unix.Unix_error _ -> ());
+      match Unix.accept fd with
+      | conn, _ ->
+        (match Unix.fork () with
+        | 0 ->
+          Unix.close fd;
+          (try Remote.Worker.serve ~input:conn ~output:conn
+           with _ -> ());
+          Unix._exit 0
+        | _ -> Unix.close conn);
+        loop ()
+      | exception Unix.Unix_error _ -> Unix._exit 0
+    in
+    loop ()
+  end
+  else pid
+
+let test_tcp_peer_drops_mid_chunk_then_reregisters () =
+  let port = 7300 + (Unix.getpid () mod 400) in
+  let pid = spawn_flaky_listener port in
+  Fun.protect
+    ~finally:(fun () ->
+      (try Unix.kill pid Sys.sigkill with Unix.Unix_error _ -> ());
+      try ignore (Unix.waitpid [] pid) with Unix.Unix_error _ -> ())
+    (fun () ->
+      Alcotest.(check bool) "flaky peer came up" true
+        (wait_for_port port (Pool.now () +. 10.));
+      let tasks = tasks_n 8 in
+      let sresults, sstats, _ = serial_baseline tasks in
+      (* The plan ships to the serving child with the chunk; it kills
+         itself mid-chunk on task-2's first attempt only. *)
+      let plan = Faultinject.of_list [ ("task-2", Faultinject.kill_worker ()) ] in
+      let rresults, rstats, report =
+        with_plan plan (fun () ->
+            Remote.sweep
+              ~spec:(Remote.Peers [ ("127.0.0.1", port) ])
+              ~batch_size:4 ~heartbeat:0.5 ~kind:Remote.selftest_kind ~key:Fun.id
+              ~arg:arg_of tasks)
+      in
+      Alcotest.(check int) "exactly one connection loss" 1 report.Pool.worker_losses;
+      Alcotest.(check int) "no task faulted" 0 (List.length report.Pool.task_faults);
+      Alcotest.(check int) "not degraded" 0
+        (Counter.get rstats.Pool.counters "remote.degraded");
+      Alcotest.(check bool) "unfinished tasks re-dispatched" true
+        (Counter.get rstats.Pool.counters "remote.redispatched_tasks" >= 1);
+      check_matches_serial "flaky tcp peer" sstats rstats
+        (Array.map (fun r -> Result.map_error (fun _ -> ()) r) sresults)
+        (remote_results_as_opaque rresults))
+
+(* --- knob validation --------------------------------------------------------- *)
+
+(* Non-positive supervision knobs must be rejected loudly at the setter,
+   not silently wedge a sweep (a 0 heartbeat would kill every worker
+   instantly; a 0 task timeout would fault every task). *)
+let test_rejects_nonpositive_heartbeat () =
+  let saved = Remote.heartbeat () in
+  Fun.protect
+    ~finally:(fun () -> Remote.set_heartbeat saved)
+    (fun () ->
+      List.iter
+        (fun bad ->
+          match Remote.set_heartbeat bad with
+          | () -> Alcotest.fail (Printf.sprintf "heartbeat %g accepted" bad)
+          | exception Invalid_argument _ -> ())
+        [ 0.; -1.; Float.neg_infinity; Float.nan ];
+      match
+        Remote.sweep ~heartbeat:0. ~kind:Remote.selftest_kind ~key:Fun.id
+          ~arg:arg_of (tasks_n 2)
+      with
+      | _ -> Alcotest.fail "sweep ?heartbeat:0 accepted"
+      | exception Invalid_argument _ -> ())
+
+let test_rejects_nonpositive_task_timeout () =
+  List.iter
+    (fun bad ->
+      match Pool.set_task_timeout (Some bad) with
+      | () -> Alcotest.fail (Printf.sprintf "task timeout %g accepted" bad)
+      | exception Invalid_argument _ -> ())
+    [ 0.; -2.5 ]
+
 (* --- end-to-end: security sweep through workers ----------------------------- *)
 
 let test_security_sweep_remote_matches_local () =
@@ -342,7 +445,18 @@ let () =
           Alcotest.test_case "no worker exe" `Quick test_degrades_without_worker_exe;
         ] );
       ( "tcp",
-        [ Alcotest.test_case "loopback peer" `Quick test_tcp_loopback_peer ] );
+        [
+          Alcotest.test_case "loopback peer" `Quick test_tcp_loopback_peer;
+          Alcotest.test_case "peer drops mid-chunk then re-registers" `Quick
+            test_tcp_peer_drops_mid_chunk_then_reregisters;
+        ] );
+      ( "validation",
+        [
+          Alcotest.test_case "rejects non-positive heartbeat" `Quick
+            test_rejects_nonpositive_heartbeat;
+          Alcotest.test_case "rejects non-positive task timeout" `Quick
+            test_rejects_nonpositive_task_timeout;
+        ] );
       ( "security",
         [
           Alcotest.test_case "remote sweep matches local" `Quick

@@ -180,10 +180,12 @@ let test_summary_rejects_malformed () =
       (match Trace.summarize_file path with
       | Ok _ -> Alcotest.fail "orphan end accepted"
       | Error _ -> ());
-      (* Unparseable JSON is an error. *)
-      write_file path [ "{not json" ];
+      (* Unparseable JSON mid-stream is an error: only the FINAL line
+         may be garbage (a crash can tear exactly one trailing write). *)
+      write_file path
+        [ "{not json"; {|{"ev":"i","t":1.0,"src":"main","stage":"x"}|} ];
       (match Trace.summarize_file path with
-      | Ok _ -> Alcotest.fail "parse error accepted"
+      | Ok _ -> Alcotest.fail "mid-stream parse error accepted"
       | Error _ -> ());
       (* A parent closing before its child is an error. *)
       write_file path
@@ -199,10 +201,26 @@ let test_summary_rejects_malformed () =
       (* An unclosed begin is NOT an error (a killed worker loses its
          tail); it is reported as unclosed. *)
       write_file path [ {|{"ev":"b","id":1,"t":1.0,"src":"main","stage":"task"}|} ];
-      match Trace.summarize_file path with
+      (match Trace.summarize_file path with
       | Error msg -> Alcotest.failf "unclosed span rejected: %s" msg
       | Ok rendered ->
-        Alcotest.(check bool) "reported unclosed" true (contains rendered "1 unclosed"))
+        Alcotest.(check bool) "reported unclosed" true (contains rendered "1 unclosed"));
+      (* A truncated FINAL line is NOT an error either (a SIGKILL'd
+         writer tears at most its last buffered write): the summary
+         skips it, reports it, and still renders the valid prefix. *)
+      write_file path
+        [
+          {|{"ev":"b","id":1,"t":1.0,"src":"main","stage":"task"}|};
+          {|{"ev":"e","id":1,"t":1.5,"src":"main"}|};
+          {|{"ev":"e","id":1,"t":2.|};
+        ];
+      match Trace.summarize_file path with
+      | Error msg -> Alcotest.failf "truncated final line rejected: %s" msg
+      | Ok rendered ->
+        Alcotest.(check bool) "notes the truncation" true
+          (contains rendered "truncated final line");
+        Alcotest.(check bool) "valid prefix still summarized" true
+          (contains rendered "task"))
 
 (* --- worker-span stitching over the socket path ----------------------------- *)
 
