@@ -5,7 +5,7 @@
 #   make test    dune runtest only
 
 .PHONY: all build test bench smoke fault-smoke remote-smoke trace-smoke \
-	security-matrix store-smoke daemon-smoke check clean
+	trace-frontend-smoke security-matrix store-smoke daemon-smoke check clean
 
 all: build
 
@@ -74,6 +74,32 @@ trace-smoke: build
 	./_build/default/bin/chex86_sim.exe trace-summary /tmp/chex86-trace.jsonl
 	grep -q '"src":"w' /tmp/chex86-trace.jsonl
 	grep -q '"pool.ok":' /tmp/chex86-metrics.json
+
+# Trace-driven frontend sanity: the acceptance one-liner, then the
+# deterministic generated trace (seed 1) piped through two presets with
+# the per-access CSVs byte-compared against the checked-in goldens (and
+# against each other — the presets must actually disagree), plus a
+# µop-trace replay leg through the OoO pipeline.  Regenerate the
+# goldens after an intentional timing change with:
+#   chex86_sim trace-gen --seed 1 --count 2000 > /tmp/t.txt
+#   chex86_sim trace --cpu skylake --csv test/golden/trace_skylake.csv /tmp/t.txt
+#   chex86_sim trace --cpu tiny --csv test/golden/trace_tiny.csv /tmp/t.txt
+trace-frontend-smoke: build
+	printf 'R 0x1000\nW 0x1040\n' | ./_build/default/bin/chex86_sim.exe \
+		trace --cpu skylake --csv /tmp/chex86-trace-accept.csv > /dev/null
+	./_build/default/bin/chex86_sim.exe trace-gen --seed 1 --count 2000 \
+		> /tmp/chex86-cachetrace.txt
+	./_build/default/bin/chex86_sim.exe trace --cpu skylake \
+		--csv /tmp/chex86-trace-skylake.csv /tmp/chex86-cachetrace.txt > /dev/null
+	./_build/default/bin/chex86_sim.exe trace --cpu tiny \
+		--csv /tmp/chex86-trace-tiny.csv /tmp/chex86-cachetrace.txt > /dev/null
+	cmp test/golden/trace_skylake.csv /tmp/chex86-trace-skylake.csv
+	cmp test/golden/trace_tiny.csv /tmp/chex86-trace-tiny.csv
+	! cmp -s /tmp/chex86-trace-skylake.csv /tmp/chex86-trace-tiny.csv
+	./_build/default/bin/chex86_sim.exe trace-gen --format uoptrace \
+		--seed 1 --count 500 \
+		| ./_build/default/bin/chex86_sim.exe trace --format uoptrace \
+			--cpu nehalem --csv /tmp/chex86-uoptrace.csv > /dev/null
 
 # Golden detection matrix: the generated-campaign sweep's
 # per-(family x allocator x configuration) matrix must be byte-identical
@@ -144,8 +170,8 @@ daemon-smoke: build
 		| grep -q "holds the store lock"
 	rm -rf /tmp/chex86-daemon-guard
 
-check: build test smoke fault-smoke remote-smoke trace-smoke security-matrix \
-	store-smoke daemon-smoke
+check: build test smoke fault-smoke remote-smoke trace-smoke \
+	trace-frontend-smoke security-matrix store-smoke daemon-smoke
 
 clean:
 	dune clean

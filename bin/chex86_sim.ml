@@ -25,6 +25,28 @@ let variant_conv =
     ( variant_of_string,
       fun ppf c -> Format.pp_print_string ppf (Runner.config_name c) )
 
+let preset_conv =
+  Arg.conv
+    ( (fun s ->
+        match Chex86_machine.Preset.find s with
+        | Some p -> Ok p
+        | None ->
+          Error
+            (`Msg
+               (Printf.sprintf "unknown --cpu preset %S (available: %s)" s
+                  (String.concat ", " (Chex86_machine.Preset.names ()))))),
+      fun ppf p -> Format.pp_print_string ppf p.Chex86_machine.Preset.name )
+
+let cpu_arg =
+  Arg.(
+    value
+    & opt preset_conv Chex86_machine.Preset.skylake
+    & info [ "cpu" ] ~docv:"PRESET"
+        ~doc:
+          "Named \xc2\xb5arch preset (skylake | nehalem | tiny): core widths/queues, \
+           cache geometry and replacement policy, monitor-structure sizing. \
+           The preset digest is part of every result-store key.")
+
 let workload_arg =
   Arg.(
     required
@@ -206,7 +228,8 @@ let print_run name config (run : Runner.run) ~dump_counters =
   end
 
 let run_cmd =
-  let run workload config scale dump_counters =
+  let run cpu workload config scale dump_counters =
+    Chex86_machine.Preset.set cpu;
     match
       List.find_opt
         (fun (w : Chex86_workloads.Bench_spec.t) -> w.name = workload)
@@ -221,7 +244,7 @@ let run_cmd =
   in
   Cmd.v
     (Cmd.info "run" ~doc:"Run one workload under a protection configuration.")
-    Term.(const run $ workload_arg $ variant_arg $ scale_arg $ counters_arg)
+    Term.(const run $ cpu_arg $ workload_arg $ variant_arg $ scale_arg $ counters_arg)
 
 let list_cmd =
   let list () =
@@ -237,8 +260,9 @@ let list_cmd =
 let experiment_cmd =
   let targets = Chex86_harness.Experiments.all @ Chex86_harness.Ablations.all in
   let names = List.map fst targets in
-  let experiment jobs batch_size strict keep_going retries task_timeout cache_dir no_cache
-      store_max_bytes trace_file metrics_file name =
+  let experiment cpu jobs batch_size strict keep_going retries task_timeout cache_dir
+      no_cache store_max_bytes trace_file metrics_file name =
+    Chex86_machine.Preset.set cpu;
     apply_sweep_knobs jobs batch_size strict keep_going retries task_timeout cache_dir
       no_cache store_max_bytes trace_file metrics_file;
     match List.assoc_opt name targets with
@@ -257,14 +281,14 @@ let experiment_cmd =
     (Cmd.info "experiment"
        ~doc:"Regenerate one of the paper's tables/figures (figure1..9, table1..4, security).")
     Term.(
-      const experiment $ jobs_arg $ batch_size_arg $ strict_arg $ keep_going_arg
+      const experiment $ cpu_arg $ jobs_arg $ batch_size_arg $ strict_arg $ keep_going_arg
       $ retries_arg $ task_timeout_arg $ cache_dir_arg $ no_cache_arg
       $ store_max_bytes_arg $ trace_file_arg $ metrics_file_arg $ name_arg)
 
 (* Print the instrumented micro-op stream of a workload's first N
    macro-ops: what the decoder cracked and what the microcode
    customization unit injected (cf. examples/microcode_view.ml). *)
-let trace_cmd =
+let uops_cmd =
   let trace workload count =
     match
       List.find_opt
@@ -313,7 +337,7 @@ let trace_cmd =
     Arg.(value & opt int 40 & info [ "n" ] ~docv:"N" ~doc:"Macro-ops to trace.")
   in
   Cmd.v
-    (Cmd.info "trace"
+    (Cmd.info "uops"
        ~doc:"Print the instrumented micro-op stream of a workload's first macro-ops.")
     Term.(const trace $ workload_arg $ count_arg)
 
@@ -336,6 +360,209 @@ let trace_summary_cmd =
          "Summarize a --trace JSONL file: per-stage latency percentiles and \
           per-worker utilization. Exits 1 on parse or structural errors.")
     Term.(const summary $ file_arg)
+
+(* Trace-driven frontend: feed an external access trace (cachetrace
+   text or uoptrace JSONL) to the cache hierarchy / timing pipeline of
+   the selected preset, with optional per-access CSV. *)
+let trace_frontend_cmd =
+  let module Frontend = Chex86_frontend in
+  let module Machine = Chex86_machine in
+  let module Counter = Chex86_stats.Counter in
+  let module Render = Chex86_stats.Render in
+  let run cpu format file csv =
+    Machine.Preset.set cpu;
+    let preset = cpu in
+    let counters = Counter.create_group () in
+    let hier =
+      Chex86_mem.Hierarchy.create ~config:preset.Machine.Preset.hier counters
+    in
+    let ic =
+      match file with
+      | None | Some "-" -> stdin
+      | Some f -> (
+        try open_in f
+        with Sys_error msg ->
+          Printf.eprintf "trace: %s\n" msg;
+          exit 1)
+    in
+    let read_line () = try Some (input_line ic) with End_of_file -> None in
+    let csv_oc =
+      match csv with
+      | None -> None
+      | Some f -> (
+        try Some (open_out f)
+        with Sys_error msg ->
+          Printf.eprintf "trace: %s\n" msg;
+          exit 1)
+    in
+    let close_csv () = match csv_oc with Some oc -> close_out oc | None -> () in
+    let fail msg =
+      close_csv ();
+      Printf.eprintf "trace: %s\n" msg;
+      exit 1
+    in
+    let pct x = Printf.sprintf "%.2f%%" (100. *. x) in
+    (match format with
+    | `Cachetrace -> (
+      match Frontend.Cachetrace.run ?csv:csv_oc ~counters hier read_line with
+      | Error msg -> fail msg
+      | Ok s ->
+        let open Frontend.Cachetrace in
+        print_endline
+          (Render.table
+             ~header:[ "metric"; "value" ]
+             [
+               [ "preset"; Machine.Preset.id preset ];
+               [ "accesses"; string_of_int s.accesses ];
+               [ "reads"; string_of_int s.reads ];
+               [ "writes"; string_of_int s.writes ];
+               [ "L1 hits"; string_of_int s.l1_hits ];
+               [ "L2 hits"; string_of_int s.l2_hits ];
+               [ "memory"; string_of_int s.misses ];
+               [ "miss rate"; pct (miss_rate s) ];
+               [ "avg latency"; Printf.sprintf "%.1f cycles" (avg_latency s) ];
+               [ "DRAM traffic"; Printf.sprintf "%d B" s.mem_bytes ];
+               [ "writebacks"; Printf.sprintf "%d B" s.writeback_bytes ];
+             ]))
+    | `Uoptrace -> (
+      match Frontend.Uoptrace.read read_line with
+      | Error msg -> fail msg
+      | Ok records ->
+        let pipeline =
+          Machine.Pipeline.create ~config:preset.Machine.Preset.core hier counters
+        in
+        let observe =
+          match csv_oc with
+          | None -> None
+          | Some oc ->
+            output_string oc "seq,pc,op,cycles\n";
+            Some
+              (fun ~seq (r : Frontend.Uoptrace.record) ~cycles ->
+                Printf.fprintf oc "%d,0x%x,%s,%d\n" seq r.Frontend.Uoptrace.pc
+                  (Frontend.Uoptrace.op_name r.Frontend.Uoptrace.op)
+                  cycles)
+        in
+        Frontend.Uoptrace.replay ?observe ~pipeline records;
+        let cycles = Machine.Pipeline.cycles pipeline in
+        let uops = Counter.get counters "pipeline.uops" in
+        print_endline
+          (Render.table
+             ~header:[ "metric"; "value" ]
+             [
+               [ "preset"; Machine.Preset.id preset ];
+               [ "records"; string_of_int (List.length records) ];
+               [ "uops"; string_of_int uops ];
+               [ "cycles"; string_of_int cycles ];
+               [
+                 "uops/cycle";
+                 (if cycles = 0 then "-"
+                  else Printf.sprintf "%.2f" (float_of_int uops /. float_of_int cycles));
+               ];
+               [
+                 "branch flushes";
+                 string_of_int (Counter.get counters "pipeline.branch_flushes");
+               ];
+               [
+                 "L1d miss rate";
+                 (let h = Counter.get counters "l1d.hit"
+                  and m = Counter.get counters "l1d.miss" in
+                  if h + m = 0 then "-"
+                  else pct (float_of_int m /. float_of_int (h + m)));
+               ];
+               [ "DRAM traffic"; Printf.sprintf "%d B" (Chex86_mem.Hierarchy.mem_bytes hier) ];
+               [
+                 "writebacks";
+                 Printf.sprintf "%d B" (Chex86_mem.Hierarchy.writeback_bytes hier);
+               ];
+             ])));
+    close_csv ();
+    if ic != stdin then close_in ic
+  in
+  let format_conv =
+    Arg.conv
+      ( (function
+         | "cachetrace" -> Ok `Cachetrace
+         | "uoptrace" -> Ok `Uoptrace
+         | s ->
+           Error (`Msg (Printf.sprintf "unknown --format %S (cachetrace | uoptrace)" s))),
+        fun ppf f ->
+          Format.pp_print_string ppf
+            (match f with `Cachetrace -> "cachetrace" | `Uoptrace -> "uoptrace") )
+  in
+  let format_arg =
+    Arg.(
+      value
+      & opt format_conv `Cachetrace
+      & info [ "format" ] ~docv:"FORMAT"
+          ~doc:
+            "Trace format: $(b,cachetrace) (R 0xADDR / W 0xADDR lines) or \
+             $(b,uoptrace) (self-describing \xc2\xb5op JSONL).")
+  in
+  let file_arg =
+    Arg.(
+      value
+      & pos 0 (some string) None
+      & info [] ~docv:"FILE" ~doc:"Trace file; omit or use - for stdin.")
+  in
+  let csv_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "csv" ] ~docv:"FILE" ~doc:"Write one CSV row per access to $(docv).")
+  in
+  Cmd.v
+    (Cmd.info "trace"
+       ~doc:
+         "Simulate an external access trace against a \xc2\xb5arch preset's cache \
+          hierarchy (and, for uoptrace input, its timing pipeline).")
+    Term.(const run $ cpu_arg $ format_arg $ file_arg $ csv_arg)
+
+let trace_gen_cmd =
+  let gen format seed n =
+    match format with
+    | `Cachetrace -> print_string (Chex86_frontend.Gen.cachetrace ~seed ~n ())
+    | `Uoptrace ->
+      Chex86_frontend.Uoptrace.write stdout (Chex86_frontend.Gen.uoptrace ~seed ~n ())
+  in
+  let format_conv =
+    Arg.conv
+      ( (function
+         | "cachetrace" -> Ok `Cachetrace
+         | "uoptrace" -> Ok `Uoptrace
+         | s ->
+           Error (`Msg (Printf.sprintf "unknown --format %S (cachetrace | uoptrace)" s))),
+        fun ppf f ->
+          Format.pp_print_string ppf
+            (match f with `Cachetrace -> "cachetrace" | `Uoptrace -> "uoptrace") )
+  in
+  let format_arg =
+    Arg.(value & opt format_conv `Cachetrace & info [ "format" ] ~docv:"FORMAT")
+  in
+  let seed_arg =
+    Arg.(value & opt int 1 & info [ "seed" ] ~docv:"N" ~doc:"Deterministic LCG seed.")
+  in
+  let n_arg =
+    Arg.(
+      value & opt int 10000 & info [ "count"; "n" ] ~docv:"N" ~doc:"Records to generate.")
+  in
+  Cmd.v
+    (Cmd.info "trace-gen"
+       ~doc:
+         "Emit a deterministic synthetic trace (same seed, same bytes) for \
+          smoke tests and goldens.")
+    Term.(const gen $ format_arg $ seed_arg $ n_arg)
+
+let presets_cmd =
+  let show () =
+    let module P = Chex86_machine.Preset in
+    print_endline
+      (Chex86_stats.Render.table
+         ~header:[ "name"; "id"; "description" ]
+         (List.map (fun p -> [ p.P.name; P.id p; p.P.description ]) P.all))
+  in
+  Cmd.v
+    (Cmd.info "presets" ~doc:"List the registered \xc2\xb5arch presets and their ids.")
+    Term.(const show $ const ())
 
 (* Offline maintenance of the on-disk result store: stats / gc / fsck.
    These operate on an explicit directory and never require a sweep. *)
@@ -447,4 +674,14 @@ let () =
        (Cmd.group ~default
           (Cmd.info "chex86_sim" ~version:"1.0.0"
              ~doc:"CHEx86 capability-hardware simulator")
-          [ run_cmd; list_cmd; experiment_cmd; trace_cmd; trace_summary_cmd; store_cmd ]))
+          [
+            run_cmd;
+            list_cmd;
+            experiment_cmd;
+            uops_cmd;
+            trace_frontend_cmd;
+            trace_gen_cmd;
+            presets_cmd;
+            trace_summary_cmd;
+            store_cmd;
+          ]))

@@ -105,11 +105,10 @@ let install t (hooks : Machine.Hooks.t) =
   hooks.Machine.Hooks.active <- true
 
 (* Convenience end-to-end runner mirroring Chex86.Sim.run. *)
-let run ?(config = Machine.Config.default) ?(max_insns = 50_000_000) ?(timing = true)
-    program =
+let run ?config ?(max_insns = 50_000_000) ?(timing = true) program =
   let proc = Os.Process.load program in
   let hooks = Machine.Hooks.none () in
-  let sim = Machine.Simulator.create ~config ~hooks proc in
+  let sim = Machine.Simulator.create ?config ~hooks proc in
   let t = create ~proc () in
   install t hooks;
   let result =

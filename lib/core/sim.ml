@@ -31,13 +31,24 @@ let classify_outcome = function
 
 (* [run ?variant ?profile program] — [profile] attaches a Fig 3 heap
    profiler fed with retired instructions and data accesses. *)
-let run ?(variant = Variant.default) ?(config = Machine.Config.default)
+let run ?(variant = Variant.default) ?config ?hier_config
     ?(max_insns = 50_000_000) ?(timing = true) ?(with_checker = false)
     ?(configure = fun (_ : Monitor.t) -> ()) ?profile_interval
     ?(heap = Os.Allocator.Glibc) program =
+  (* A non-stock preset also sizes the monitor structures, but only on
+     variants still carrying the stock sizes — ablation sweeps that
+     hand-picked them keep their values. *)
+  let preset = Machine.Preset.current () in
+  let variant =
+    if Machine.Preset.is_stock preset then variant
+    else
+      Variant.resize ~cap_cache_entries:preset.Machine.Preset.cap_cache_entries
+        ~alias_cache_sets:preset.Machine.Preset.alias_cache_sets
+        ~alias_victim_entries:preset.Machine.Preset.alias_victim_entries variant
+  in
   let proc = Os.Process.load ~heap program in
   let hooks = Machine.Hooks.none () in
-  let sim = Machine.Simulator.create ~config ~hooks proc in
+  let sim = Machine.Simulator.create ?config ?hier_config ~hooks proc in
   let monitor =
     Monitor.create ~variant ~proc ~hier:(Machine.Simulator.hierarchy sim) ()
   in

@@ -17,6 +17,9 @@ type run = {
 }
 
 (** [run program] under [variant] (default: microcode prediction-driven).
+    [config]/[hier_config] default from the installed
+    {!Chex86_machine.Preset}; a non-stock preset also resizes the
+    monitor structures of variants still carrying the stock sizes.
     [timing:false] skips the cycle model; [with_checker] attaches the
     hardware checker; [configure] runs against the monitor before the
     simulation starts; [profile_interval] attaches a Fig 3 heap
@@ -24,6 +27,7 @@ type run = {
 val run :
   ?variant:Variant.t ->
   ?config:Chex86_machine.Config.t ->
+  ?hier_config:Chex86_mem.Hierarchy.config ->
   ?max_insns:int ->
   ?timing:bool ->
   ?with_checker:bool ->

@@ -50,11 +50,21 @@ let stack_top_for tid = Chex86_isa.Program.stack_top - (tid * (1 lsl 20))
 (* [run ~threads program] starts one hardware thread per entry label.
    [quantum] is the number of macro-ops a core executes per scheduler
    turn (the shared-state machinery must be interleaving-invariant). *)
-let run ?(variant = Variant.default) ?(config = Machine.Config.default)
-    ?(max_insns = 50_000_000) ?(timing = true) ?(quantum = 1)
-    ?(heap = Os.Allocator.Glibc) ~threads program =
+let run ?(variant = Variant.default) ?config ?(max_insns = 50_000_000)
+    ?(timing = true) ?(quantum = 1) ?(heap = Os.Allocator.Glibc) ~threads
+    program =
   if quantum < 1 then invalid_arg "Smp.run: quantum < 1";
   if threads = [] then invalid_arg "Smp.run: no thread entry points";
+  let preset = Machine.Preset.current () in
+  let config = match config with Some c -> c | None -> preset.Machine.Preset.core in
+  let hier_config = preset.Machine.Preset.hier in
+  let variant =
+    if Machine.Preset.is_stock preset then variant
+    else
+      Variant.resize ~cap_cache_entries:preset.Machine.Preset.cap_cache_entries
+        ~alias_cache_sets:preset.Machine.Preset.alias_cache_sets
+        ~alias_victim_entries:preset.Machine.Preset.alias_victim_entries variant
+  in
   let proc = Os.Process.load ~heap program in
   let counters = proc.Os.Process.counters in
   let shared = Monitor.make_shared counters in
@@ -62,7 +72,7 @@ let run ?(variant = Variant.default) ?(config = Machine.Config.default)
     List.mapi
       (fun id entry ->
         let hooks = Machine.Hooks.none () in
-        let hier = Chex86_mem.Hierarchy.create counters in
+        let hier = Chex86_mem.Hierarchy.create ~config:hier_config counters in
         let monitor = Monitor.create ~variant ~core:id ~shared ~proc ~hier () in
         Monitor.install monitor hooks;
         let engine =

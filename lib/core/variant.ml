@@ -69,6 +69,23 @@ let make ?(scope = All_code) ?(cap_cache_entries = 64) ?(alias_cache_sets = 128)
 
 let default = make Microcode_prediction
 
+(* Re-size the monitor structures for a non-stock µarch preset.  Only
+   fields still carrying the stock defaults move: an ablation sweep that
+   hand-picked [cap_cache_entries = 128] keeps it even under `--cpu`. *)
+let resize ~cap_cache_entries ~alias_cache_sets ~alias_victim_entries t =
+  {
+    t with
+    cap_cache_entries =
+      (if t.cap_cache_entries = default.cap_cache_entries then cap_cache_entries
+       else t.cap_cache_entries);
+    alias_cache_sets =
+      (if t.alias_cache_sets = default.alias_cache_sets then alias_cache_sets
+       else t.alias_cache_sets);
+    alias_victim_entries =
+      (if t.alias_victim_entries = default.alias_victim_entries then alias_victim_entries
+       else t.alias_victim_entries);
+  }
+
 let scheme_name = function
   | Insecure -> "Insecure BaseLine"
   | Hardware_only -> "CHEx86: Hardware Only"

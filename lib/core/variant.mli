@@ -45,6 +45,16 @@ val make :
 (** [make Microcode_prediction] with the paper's default structures. *)
 val default : t
 
+(** Apply a µarch preset's monitor-structure sizing; fields that no
+    longer carry the stock defaults (explicit ablation sizing) are left
+    untouched. *)
+val resize :
+  cap_cache_entries:int ->
+  alias_cache_sets:int ->
+  alias_victim_entries:int ->
+  t ->
+  t
+
 (** The Fig 6 legend name. *)
 val scheme_name : scheme -> string
 

@@ -1,0 +1,125 @@
+(* The cachetrace stdin format: one memory access per line,
+
+     R 0xADDR
+     W 0xADDR
+
+   with blank lines and [#]-comments skipped.  [run] feeds every access
+   to a [Hierarchy] as a data reference and classifies which level
+   served it by watching the cache counters move — which is exact for
+   any preset, unlike inferring the level from the returned latency
+   (TLB-walk cycles can make two levels' totals collide). *)
+
+type access = { write : bool; addr : int }
+
+(* [Ok None] for blank/comment lines; [Error] carries no line number —
+   [run] adds it, since only the reader knows where it is. *)
+let parse_line line =
+  let line = String.trim line in
+  if line = "" || line.[0] = '#' then Ok None
+  else
+    match String.index_opt line ' ' with
+    | None -> Error (Printf.sprintf "expected 'R 0xADDR' or 'W 0xADDR', got %S" line)
+    | Some i -> (
+      let op = String.sub line 0 i in
+      let rest = String.trim (String.sub line i (String.length line - i)) in
+      let write =
+        match op with
+        | "R" | "r" -> Some false
+        | "W" | "w" -> Some true
+        | _ -> None
+      in
+      match write with
+      | None -> Error (Printf.sprintf "unknown op %S (expected R or W)" op)
+      | Some write -> (
+        match int_of_string_opt rest with
+        | Some addr when addr >= 0 -> Ok (Some { write; addr })
+        | _ -> Error (Printf.sprintf "bad address %S" rest)))
+
+type summary = {
+  accesses : int;
+  reads : int;
+  writes : int;
+  l1_hits : int;
+  l2_hits : int;
+  misses : int;
+  total_latency : int;
+  mem_bytes : int;
+  writeback_bytes : int;
+}
+
+let miss_rate s =
+  if s.accesses = 0 then 0. else float_of_int s.misses /. float_of_int s.accesses
+
+let avg_latency s =
+  if s.accesses = 0 then 0. else float_of_int s.total_latency /. float_of_int s.accesses
+
+(* [run ?csv ~counters hier read_line] drives [hier] with every access
+   produced by [read_line] (a stateful reader returning [None] at EOF).
+   [csv] receives one "seq,op,addr,latency,level" row per access.
+   Errors abort with the 1-based line number. *)
+let run ?csv ~counters hier read_line =
+  let module C = Chex86_stats.Counter in
+  let h_l1 = C.handle counters "l1d.hit" in
+  let h_l2 = C.handle counters "l2.hit" in
+  (match csv with
+  | Some out -> output_string out "seq,op,addr,latency,level\n"
+  | None -> ());
+  let seq = ref 0 and lineno = ref 0 in
+  let reads = ref 0 and writes = ref 0 in
+  let l1_hits = ref 0 and l2_hits = ref 0 and misses = ref 0 in
+  let total_latency = ref 0 in
+  let err = ref None in
+  let running = ref true in
+  while !running do
+    match read_line () with
+    | None -> running := false
+    | Some line -> (
+      incr lineno;
+      match parse_line line with
+      | Error msg ->
+        err := Some (Printf.sprintf "line %d: %s" !lineno msg);
+        running := false
+      | Ok None -> ()
+      | Ok (Some { write; addr }) ->
+        let l1_before = C.get_handle counters h_l1 in
+        let l2_before = C.get_handle counters h_l2 in
+        let lat = Chex86_mem.Hierarchy.access hier ~kind:Data ~write addr in
+        let level =
+          if C.get_handle counters h_l1 > l1_before then begin
+            incr l1_hits;
+            "l1"
+          end
+          else if C.get_handle counters h_l2 > l2_before then begin
+            incr l2_hits;
+            "l2"
+          end
+          else begin
+            incr misses;
+            "mem"
+          end
+        in
+        if write then incr writes else incr reads;
+        total_latency := !total_latency + lat;
+        (match csv with
+        | Some out ->
+          Printf.fprintf out "%d,%c,0x%x,%d,%s\n" !seq
+            (if write then 'W' else 'R')
+            addr lat level
+        | None -> ());
+        incr seq)
+  done;
+  match !err with
+  | Some e -> Error e
+  | None ->
+    Ok
+      {
+        accesses = !seq;
+        reads = !reads;
+        writes = !writes;
+        l1_hits = !l1_hits;
+        l2_hits = !l2_hits;
+        misses = !misses;
+        total_latency = !total_latency;
+        mem_bytes = Chex86_mem.Hierarchy.mem_bytes hier;
+        writeback_bytes = Chex86_mem.Hierarchy.writeback_bytes hier;
+      }

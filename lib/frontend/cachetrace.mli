@@ -1,0 +1,36 @@
+(** Parser/driver for the cachetrace stdin format ([R 0xADDR] /
+    [W 0xADDR], blank lines and [#]-comments skipped). *)
+
+type access = { write : bool; addr : int }
+
+(** [Ok None] for blank/comment lines; errors carry no line number
+    (the caller adds it). *)
+val parse_line : string -> (access option, string) result
+
+type summary = {
+  accesses : int;
+  reads : int;
+  writes : int;
+  l1_hits : int;
+  l2_hits : int;
+  misses : int;
+  total_latency : int;
+  mem_bytes : int;
+  writeback_bytes : int;
+}
+
+val miss_rate : summary -> float
+val avg_latency : summary -> float
+
+(** [run ?csv ~counters hier read_line] drives [hier] with every access
+    from [read_line] (returns [None] at EOF); [counters] must be the
+    group [hier] was created with (level classification watches its
+    cache counters).  [csv] receives one
+    ["seq,op,addr,latency,level"] row per access.  Malformed input
+    yields [Error "line N: …"]. *)
+val run :
+  ?csv:out_channel ->
+  counters:Chex86_stats.Counter.group ->
+  Chex86_mem.Hierarchy.t ->
+  (unit -> string option) ->
+  (summary, string) result

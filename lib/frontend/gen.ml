@@ -1,0 +1,81 @@
+(* Deterministic trace generator for smoke tests and golden files: a
+   fixed LCG (no dependence on Random's global state) produces the same
+   byte stream for the same seed on every platform, so CSVs diffed
+   against goldens never flake.  The mix deliberately exercises every
+   level: sequential runs (L1-friendly), a revisited hot set
+   (L2-friendly), large strides (set-conflict pressure) and random
+   accesses over a window larger than the L2 (DRAM + writebacks). *)
+
+let lcg_a = 2862933555777941757
+let lcg_c = 3037000493
+
+let next state =
+  let x = (state * lcg_a) + lcg_c in
+  x land max_int
+
+(* [cachetrace ~seed ~n] -> [n] trace lines in the [R 0xADDR] format. *)
+let cachetrace ?(seed = 1) ~n () =
+  let buf = Buffer.create (n * 12) in
+  Buffer.add_string buf "# generated cachetrace (seed ";
+  Buffer.add_string buf (string_of_int seed);
+  Buffer.add_string buf ")\n";
+  let state = ref (next (seed + 1)) in
+  let rand bound =
+    state := next !state;
+    !state mod bound
+  in
+  let seq_base = ref 0x10000 in
+  for i = 0 to n - 1 do
+    let op, addr =
+      match i mod 10 with
+      | 0 | 1 | 2 | 3 ->
+        (* Sequential read run, 8 B apart. *)
+        seq_base := !seq_base + 8;
+        ("R", !seq_base)
+      | 4 | 5 ->
+        (* Hot-set revisit: 16 KB window. *)
+        ("R", 0x200000 + (rand 2048 * 8))
+      | 6 ->
+        (* Strided writes, 4 KB apart: set-conflict pressure. *)
+        ("W", 0x400000 + (i * 4096))
+      | 7 | 8 ->
+        (* Random reads over 8 MB: mostly DRAM on small presets. *)
+        ("R", 0x800000 + (rand (8 * 1024 * 1024 / 64) * 64))
+      | _ ->
+        (* Random writes over the same window: dirty lines + writebacks. *)
+        ("W", 0x800000 + (rand (8 * 1024 * 1024 / 64) * 64))
+    in
+    Buffer.add_string buf op;
+    Buffer.add_string buf " 0x";
+    Buffer.add_string buf (Printf.sprintf "%x" addr);
+    Buffer.add_char buf '\n'
+  done;
+  Buffer.contents buf
+
+(* [uoptrace ~seed ~n] -> [n] records: a loop-ish mix of loads, stores,
+   ALU ops and conditional branches with a mostly-regular pattern the
+   branch predictor can partially learn. *)
+let uoptrace ?(seed = 1) ~n () =
+  let state = ref (next (seed + 0x5bd1)) in
+  let rand bound =
+    state := next !state;
+    !state mod bound
+  in
+  let records = ref [] in
+  let pc = ref 0x40_0000 in
+  for i = 0 to n - 1 do
+    pc := !pc + 4;
+    let r =
+      match i mod 8 with
+      | 0 | 1 -> Uoptrace.load ~pc:!pc ~addr:(0x100000 + (rand 4096 * 8)) ~width:8
+      | 2 -> Uoptrace.load ~pc:!pc ~addr:(0x900000 + (rand 65536 * 64)) ~width:4
+      | 3 | 4 -> Uoptrace.alu ~pc:!pc
+      | 5 -> Uoptrace.store ~pc:!pc ~addr:(0x500000 + (rand 8192 * 8)) ~width:8
+      | 6 ->
+        (* Taken 7 times out of 8: learnable but not trivial. *)
+        Uoptrace.branch ~pc:!pc ~taken:(rand 8 <> 0) ~target:(!pc - (rand 64 * 4))
+      | _ -> Uoptrace.nop ~pc:!pc
+    in
+    records := r :: !records
+  done;
+  List.rev !records

@@ -1,0 +1,10 @@
+(** Deterministic (seeded-LCG) trace generators for smoke tests and
+    golden files — same seed, same bytes, on every platform. *)
+
+(** [n] lines of [R 0xADDR] / [W 0xADDR] text mixing sequential runs, a
+    hot set, large strides and DRAM-sized random traffic. *)
+val cachetrace : ?seed:int -> n:int -> unit -> string
+
+(** [n] µop records mixing loads, stores, ALU ops and mostly-taken
+    conditional branches. *)
+val uoptrace : ?seed:int -> n:int -> unit -> Uoptrace.record list

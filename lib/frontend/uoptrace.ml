@@ -1,0 +1,198 @@
+(* Self-describing µop-trace JSONL format and its replay harness.
+
+   Line 1 is the header
+
+     {"format":"chex86-uoptrace-v1"}
+
+   and every following line one micro-op record:
+
+     {"pc":N,"op":"load"|"store","addr":N,"width":1|2|4|8}
+     {"pc":N,"op":"branch","taken":BOOL,"target":N}
+     {"pc":N,"op":"alu"} / {"pc":N,"op":"nop"}
+
+   Replay synthesizes one [Engine.step] per record and feeds it to the
+   timing pipeline, so a trace exercises the full OoO model (fetch
+   bandwidth, queues, functional units, branch prediction) without the
+   functional engine.  A trace carries no register numbers, so data
+   dependence is approximated: every ALU op consumes the most recent
+   load's result (the classic load-use chain), loads/stores depend only
+   on their addresses. *)
+
+type op = Load | Store | Alu | Branch | Nop
+
+type record = {
+  pc : int;
+  op : op;
+  addr : int;  (* Load/Store effective address; 0 otherwise *)
+  width : int;  (* Load/Store bytes (1/2/4/8); 0 otherwise *)
+  taken : bool;  (* Branch *)
+  target : int;  (* Branch *)
+}
+
+(* Smart constructors keep the op-irrelevant fields at their canonical
+   zeros, so writer -> parser round-trips structurally. *)
+let load ~pc ~addr ~width = { pc; op = Load; addr; width; taken = false; target = 0 }
+let store ~pc ~addr ~width = { pc; op = Store; addr; width; taken = false; target = 0 }
+let alu ~pc = { pc; op = Alu; addr = 0; width = 0; taken = false; target = 0 }
+let branch ~pc ~taken ~target = { pc; op = Branch; addr = 0; width = 0; taken; target }
+let nop ~pc = { pc; op = Nop; addr = 0; width = 0; taken = false; target = 0 }
+
+let format_id = "chex86-uoptrace-v1"
+
+module Json = Chex86_stats.Json
+
+let header = Json.to_string (Json.Obj [ ("format", Json.String format_id) ])
+
+let op_name = function
+  | Load -> "load"
+  | Store -> "store"
+  | Alu -> "alu"
+  | Branch -> "branch"
+  | Nop -> "nop"
+
+let to_line r =
+  let base = [ ("pc", Json.Int r.pc); ("op", Json.String (op_name r.op)) ] in
+  let fields =
+    match r.op with
+    | Load | Store -> base @ [ ("addr", Json.Int r.addr); ("width", Json.Int r.width) ]
+    | Branch -> base @ [ ("taken", Json.Bool r.taken); ("target", Json.Int r.target) ]
+    | Alu | Nop -> base
+  in
+  Json.to_string (Json.Obj fields)
+
+let valid_width = function 1 | 2 | 4 | 8 -> true | _ -> false
+
+let of_line line =
+  match Json.of_string line with
+  | Error msg -> Error msg
+  | Ok json -> (
+    let int_field k = Option.bind (Json.member k json) Json.to_int_opt in
+    let pc = match int_field "pc" with Some pc when pc >= 0 -> pc | _ -> -1 in
+    if pc < 0 then Error "missing or negative \"pc\""
+    else
+      match Option.bind (Json.member "op" json) Json.to_string_opt with
+      | None -> Error "missing \"op\""
+      | Some op_str -> (
+        match op_str with
+        | "alu" -> Ok (alu ~pc)
+        | "nop" -> Ok (nop ~pc)
+        | "load" | "store" -> (
+          match (int_field "addr", int_field "width") with
+          | Some addr, Some width when addr >= 0 && valid_width width ->
+            Ok (if op_str = "load" then load ~pc ~addr ~width else store ~pc ~addr ~width)
+          | _ -> Error "load/store needs \"addr\" >= 0 and \"width\" in {1,2,4,8}")
+        | "branch" -> (
+          let taken =
+            match Json.member "taken" json with Some (Json.Bool b) -> Some b | _ -> None
+          in
+          match (taken, int_field "target") with
+          | Some taken, Some target when target >= 0 -> Ok (branch ~pc ~taken ~target)
+          | _ -> Error "branch needs boolean \"taken\" and \"target\" >= 0")
+        | other -> Error (Printf.sprintf "unknown op %S" other)))
+
+let write out records =
+  output_string out header;
+  output_char out '\n';
+  List.iter
+    (fun r ->
+      output_string out (to_line r);
+      output_char out '\n')
+    records
+
+(* [read read_line] -> records, validating the header and reporting
+   1-based line numbers.  Blank lines and [#]-comments are skipped after
+   the header, mirroring the cachetrace reader. *)
+let read read_line =
+  match read_line () with
+  | None -> Error "line 1: empty input (expected uoptrace header)"
+  | Some first -> (
+    let ok_header =
+      match Json.of_string (String.trim first) with
+      | Ok json -> (
+        match Option.bind (Json.member "format" json) Json.to_string_opt with
+        | Some f -> f = format_id
+        | None -> false)
+      | Error _ -> false
+    in
+    if not ok_header then
+      Error (Printf.sprintf "line 1: not a %s header: %S" format_id (String.trim first))
+    else begin
+      let records = ref [] in
+      let lineno = ref 1 in
+      let err = ref None in
+      let running = ref true in
+      while !running do
+        match read_line () with
+        | None -> running := false
+        | Some line -> (
+          incr lineno;
+          let line = String.trim line in
+          if line = "" || line.[0] = '#' then ()
+          else
+            match of_line line with
+            | Ok r -> records := r :: !records
+            | Error msg ->
+              err := Some (Printf.sprintf "line %d: %s" !lineno msg);
+              running := false)
+      done;
+      match !err with Some e -> Error e | None -> Ok (List.rev !records)
+    end)
+
+(* --- replay -------------------------------------------------------------- *)
+
+module Isa = Chex86_isa
+module Machine = Chex86_machine
+
+let width_of_bytes = function
+  | 1 -> Isa.Insn.W8
+  | 2 -> Isa.Insn.W16
+  | 4 -> Isa.Insn.W32
+  | _ -> Isa.Insn.W64
+
+let uop_of r =
+  match r.op with
+  | Load ->
+    Isa.Uop.Load
+      { dst = Isa.Uop.Tmp 0; mem = Isa.Insn.mem_abs r.addr; width = width_of_bytes r.width }
+  | Store ->
+    Isa.Uop.Store
+      { src = Isa.Uop.Imm 0; mem = Isa.Insn.mem_abs r.addr; width = width_of_bytes r.width }
+  | Alu ->
+    (* Consume the last load's destination: the load-use dependence is
+       the one chain a register-free trace can still express. *)
+    Isa.Uop.Alu
+      { op = Isa.Insn.Add; dst = Isa.Uop.Tmp 1; src1 = Isa.Uop.Tmp 0; src2 = Isa.Uop.Imm 1 }
+  | Branch -> Isa.Uop.Branch { kind = Isa.Uop.Cond Isa.Insn.Eq; target = None }
+  | Nop -> Isa.Uop.Nop
+
+let step_of r =
+  let eu =
+    { Machine.Engine.uop = uop_of r; ea = r.addr; reaction = Machine.Hooks.no_reaction }
+  in
+  let branch =
+    match r.op with
+    | Branch ->
+      Some
+        { Machine.Engine.kind = Isa.Uop.Cond Isa.Insn.Eq; taken = r.taken; target = r.target }
+    | _ -> None
+  in
+  {
+    Machine.Engine.pc = r.pc;
+    insn = None;
+    native = None;
+    path = Isa.Decoder.Simple;
+    uops = [| eu |];
+    branch;
+  }
+
+let replay ?observe ~pipeline records =
+  let seq = ref 0 in
+  List.iter
+    (fun r ->
+      Machine.Pipeline.on_step pipeline (step_of r);
+      (match observe with
+      | Some f -> f ~seq:!seq r ~cycles:(Machine.Pipeline.cycles pipeline)
+      | None -> ());
+      incr seq)
+    records;
+  Machine.Pipeline.finalize pipeline

@@ -1,0 +1,48 @@
+(** Self-describing µop-trace JSONL format (header
+    [{"format":"chex86-uoptrace-v1"}]) with a writer, a validating
+    parser, and a timing-pipeline replay harness. *)
+
+type op = Load | Store | Alu | Branch | Nop
+
+type record = {
+  pc : int;
+  op : op;
+  addr : int;  (** Load/Store effective address; 0 otherwise *)
+  width : int;  (** Load/Store bytes (1/2/4/8); 0 otherwise *)
+  taken : bool;  (** Branch *)
+  target : int;  (** Branch *)
+}
+
+(** Canonical constructors (op-irrelevant fields zeroed, so
+    writer/parser round-trips are structural equalities). *)
+val load : pc:int -> addr:int -> width:int -> record
+
+val store : pc:int -> addr:int -> width:int -> record
+val alu : pc:int -> record
+val branch : pc:int -> taken:bool -> target:int -> record
+val nop : pc:int -> record
+
+val op_name : op -> string
+val format_id : string
+
+(** The header line (no trailing newline). *)
+val header : string
+
+val to_line : record -> string
+val of_line : string -> (record, string) result
+
+(** Header plus one line per record. *)
+val write : out_channel -> record list -> unit
+
+(** [read read_line] validates the header and parses every record;
+    blank/comment lines are skipped; errors are ["line N: …"]. *)
+val read : (unit -> string option) -> (record list, string) result
+
+(** Feed one synthesized [Engine.step] per record to the pipeline and
+    finalize it (publishing ["pipeline.*"] counters); [observe] sees
+    each record with the committed-cycle horizon after its step. *)
+val replay :
+  ?observe:(seq:int -> record -> cycles:int -> unit) ->
+  pipeline:Chex86_machine.Pipeline.t ->
+  record list ->
+  unit

@@ -21,6 +21,7 @@ let common_flags_doc =
   \  --no-cache          disable the on-disk result store\n\
   \  --store-max-bytes B store size budget with oldest-first eviction\n\
   \                      (accepts K/M/G suffixes; default: no eviction)\n\
+  \  --cpu PRESET        select the \xc2\xb5arch preset (skylake, nehalem, tiny)\n\
   \  --workers N         shard sweeps over N spawned worker processes (0 = off)\n\
   \  --worker HOST:PORT  add a TCP worker peer (repeatable; overrides --workers)\n\
   \  --heartbeat S       worker liveness deadline in seconds (default 30)\n\
@@ -77,6 +78,13 @@ let parse_peer value =
     | Some p when p > 0 && p < 65536 -> (host, p)
     | _ -> die "invalid --worker port in %S (expected HOST:PORT)" value)
   | _ -> die "invalid --worker value %S (expected HOST:PORT)" value
+
+let set_cpu value =
+  match Chex86_machine.Preset.find value with
+  | Some p -> Chex86_machine.Preset.set p
+  | None ->
+    die "unknown --cpu preset %S (available: %s)" value
+      (String.concat ", " (Chex86_machine.Preset.names ()))
 
 let set_heartbeat value =
   match float_of_string_opt value with
@@ -163,6 +171,10 @@ let parse_common args =
       set_heartbeat value;
       go rest
     | "--heartbeat" :: [] -> die "missing value for --heartbeat"
+    | "--cpu" :: value :: rest ->
+      set_cpu value;
+      go rest
+    | "--cpu" :: [] -> die "missing value for --cpu"
     | "--trace" :: value :: rest ->
       if value = "" then die "invalid --trace value: empty";
       Trace.set_output (Some value);

@@ -653,7 +653,9 @@ let table3 () =
       Render.banner "Table III: Hardware Configuration of the Simulated System";
       Render.table
         ~header:[ "Parameter"; "Value"; "Parameter"; "Value" ]
-        (Chex86_machine.Config.rows Chex86_machine.Config.default);
+        (let preset = Chex86_machine.Preset.current () in
+         Chex86_machine.Config.rows ~hier:preset.Chex86_machine.Preset.hier
+           preset.Chex86_machine.Preset.core);
     ]
 
 (* --- Table IV ---------------------------------------------------------------- *)

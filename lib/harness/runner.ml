@@ -17,6 +17,11 @@ let config_name = function
   | Chex v -> Chex86.Variant.scheme_name v.Chex86.Variant.scheme
   | Asan -> "ASan"
 
+(* Digest-qualified id of the installed µarch preset, folded into every
+   memo/store key: results computed under different machines (or after a
+   preset's definition changes) can never false-hit each other. *)
+let preset_tag () = Machine.Preset.id (Machine.Preset.current ())
+
 type outcome =
   | Completed
   | Blocked of Chex86.Violation.kind
@@ -1070,8 +1075,8 @@ let compute_run ~key ?(timing = true) ?(profile = false) ?configure config progr
 let run_workload ?(tag = "") ?(timing = true) ?(profile = false) ?configure ~scale config
     (w : Chex86_workloads.Bench_spec.t) =
   let key =
-    Printf.sprintf "%s/%s/%d/%b/%b/%s" w.name (config_name config) scale timing profile
-      tag
+    Printf.sprintf "%s/%s/%s/%d/%b/%b/%s" w.name (preset_tag ()) (config_name config)
+      scale timing profile tag
   in
   match memo_find key with
   | Some run -> run
@@ -1084,8 +1089,8 @@ let run_workload ?(tag = "") ?(timing = true) ?(profile = false) ?configure ~sca
 let run_workload_result ?(tag = "") ?(timing = true) ?(profile = false) ?configure ~scale
     config (w : Chex86_workloads.Bench_spec.t) =
   let key =
-    Printf.sprintf "%s/%s/%d/%b/%b/%s" w.name (config_name config) scale timing profile
-      tag
+    Printf.sprintf "%s/%s/%s/%d/%b/%b/%s" w.name (preset_tag ()) (config_name config)
+      scale timing profile tag
   in
   match memo_find key with
   | Some run -> Ok run
@@ -1113,8 +1118,8 @@ let job ?(tag = "") ?(timing = true) ?(profile = false) ~scale config workload =
     j_profile = profile; j_scale = scale }
 
 let job_key j =
-  Printf.sprintf "%s/%s/%d/%b/%b/%s" j.j_workload.name (config_name j.j_config)
-    j.j_scale j.j_timing j.j_profile j.j_tag
+  Printf.sprintf "%s/%s/%s/%d/%b/%b/%s" j.j_workload.name (preset_tag ())
+    (config_name j.j_config) j.j_scale j.j_timing j.j_profile j.j_tag
 
 (* Simulate the not-yet-memoized jobs on the domain pool and publish the
    results into the memo in job order; subsequent [run_workload] calls
@@ -1158,18 +1163,24 @@ type remote_job_spec = {
   r_timing : bool;
   r_profile : bool;
   r_scale : int;
+  (* µarch preset name: the worker re-installs it before running so the
+     simulation and its store key match the supervisor's machine. *)
+  r_preset : string;
 }
 
 let remote_job_arg j =
   Marshal.to_string
     { r_name = j.j_workload.Chex86_workloads.Bench_spec.name; r_config = j.j_config;
       r_tag = j.j_tag; r_timing = j.j_timing; r_profile = j.j_profile;
-      r_scale = j.j_scale }
+      r_scale = j.j_scale; r_preset = (Machine.Preset.current ()).Machine.Preset.name }
     []
 
 let register_remote () =
   Remote.register_kind remote_kind (fun ~key:_ ~arg _ctx ->
       let spec : remote_job_spec = Marshal.from_string arg 0 in
+      (match Machine.Preset.find spec.r_preset with
+      | Some p -> Machine.Preset.set p
+      | None -> failwith ("unknown remote preset: " ^ spec.r_preset));
       let j =
         { j_workload = Chex86_workloads.Workloads.find spec.r_name;
           j_config = spec.r_config; j_tag = spec.r_tag; j_timing = spec.r_timing;

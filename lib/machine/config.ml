@@ -49,10 +49,31 @@ let default =
     msrom_extra_cycles = 2;
   }
 
-let rows t =
+(* Cache cells come from the live hierarchy config, not a hardcode: the
+   rendered Table III must track whatever preset is actually running. *)
+let cache_cell ~sets ~ways ~line_bytes =
+  let kb = sets * ways * line_bytes / 1024 in
+  Printf.sprintf "%d KB, %d way" kb ways
+
+let rows ?(hier = Chex86_mem.Hierarchy.default_config) t =
+  let l1 =
+    cache_cell ~sets:hier.Chex86_mem.Hierarchy.l1_sets ~ways:hier.l1_ways
+      ~line_bytes:hier.line_bytes
+  in
+  let l2 =
+    cache_cell ~sets:hier.Chex86_mem.Hierarchy.l2_sets ~ways:hier.l2_ways
+      ~line_bytes:hier.line_bytes
+  in
   [
-    [ "Frequency"; Printf.sprintf "%.1f GHz" t.frequency_ghz; "I cache"; "32 KB, 8 way" ];
-    [ "Fetch width"; Printf.sprintf "%d fused uops" t.fetch_width; "D cache"; "32 KB, 8 way" ];
+    [ "Frequency"; Printf.sprintf "%.1f GHz" t.frequency_ghz; "I cache"; l1 ];
+    [ "Fetch width"; Printf.sprintf "%d fused uops" t.fetch_width; "D cache"; l1 ];
+    [
+      "L2 cache";
+      Printf.sprintf "%s, %s" l2
+        (Chex86_mem.Cache.policy_name hier.Chex86_mem.Hierarchy.replacement);
+      "Line size";
+      Printf.sprintf "%d B" hier.Chex86_mem.Hierarchy.line_bytes;
+    ];
     [
       "Issue width";
       Printf.sprintf "%d unfused uops" t.issue_width;

@@ -27,5 +27,6 @@ type t = {
 (** Table III's configuration. *)
 val default : t
 
-(** The Table III rows, for rendering. *)
-val rows : t -> string list list
+(** The Table III rows, for rendering; cache cells are derived from
+    [hier] (default: the stock hierarchy). *)
+val rows : ?hier:Chex86_mem.Hierarchy.config -> t -> string list list

@@ -1,0 +1,159 @@
+(* Named µarch presets: one record bundling everything a simulation
+   point needs — the core config (Table III knobs), the cache hierarchy
+   geometry/latencies/replacement, and the sizing of the paper's monitor
+   structures (capability cache, alias cache, alias victim cache).
+
+   The registry plays the role of cachetrace's [--cpu=nehalem|…|skl]
+   switch: [find "nehalem"] gives a self-consistent machine, [set]
+   installs it as the process-wide default that [Simulator]/[Sim]/[Smp]
+   pick up when no explicit config is passed, and [id] produces a
+   digest-qualified name ("skylake-3fa01b2c") that the result store
+   folds into its keys so caches from different machines never collide. *)
+
+type t = {
+  name : string;
+  description : string;
+  core : Config.t;
+  hier : Chex86_mem.Hierarchy.config;
+  (* Monitor-structure sizing, applied by [Sim]/[Smp] to variants that
+     still carry the stock sizes (explicit ablation sweeps keep their
+     hand-picked values). *)
+  cap_cache_entries : int;
+  alias_cache_sets : int;
+  alias_victim_entries : int;
+}
+
+let skylake =
+  {
+    name = "skylake";
+    description = "Table III Skylake-class: 32 KB 8-way L1s, 256 KB L2, true LRU";
+    core = Config.default;
+    hier = Chex86_mem.Hierarchy.default_config;
+    cap_cache_entries = 64;
+    alias_cache_sets = 128;
+    alias_victim_entries = 32;
+  }
+
+let nehalem =
+  {
+    name = "nehalem";
+    description = "Nehalem-class: 4-wide, 128-entry ROB, Tree-PLRU caches, slower L2/DRAM";
+    core =
+      {
+        Config.frequency_ghz = 2.93;
+        fetch_width = 4;
+        issue_width = 4;
+        commit_width = 4;
+        rob_size = 128;
+        iq_size = 36;
+        lq_size = 48;
+        sq_size = 32;
+        int_regs = 96;
+        fp_regs = 96;
+        ras_size = 16;
+        btb_size = 2048;
+        int_alu_units = 3;
+        int_mult_units = 1;
+        fp_alu_units = 1;
+        simd_units = 1;
+        load_ports = 1;
+        store_ports = 1;
+        front_end_depth = 4;
+        mispredict_penalty = 17;
+        msrom_extra_cycles = 3;
+      };
+    hier =
+      {
+        Chex86_mem.Hierarchy.l1_sets = 64;
+        l1_ways = 8;
+        l2_sets = 512;
+        l2_ways = 8;
+        line_bytes = 64;
+        l1_latency = 4;
+        l2_latency = 10;
+        mem_latency = 220;
+        tlb_walk_latency = 35;
+        replacement = Chex86_mem.Cache.Tree_plru;
+      };
+    cap_cache_entries = 32;
+    alias_cache_sets = 64;
+    alias_victim_entries = 16;
+  }
+
+let tiny =
+  {
+    name = "tiny";
+    description = "Small-cache sensitivity point: 4 KB L1s, 32 KB L2, MRU, 2-wide core";
+    core =
+      {
+        Config.frequency_ghz = 1.2;
+        fetch_width = 2;
+        issue_width = 2;
+        commit_width = 2;
+        rob_size = 32;
+        iq_size = 16;
+        lq_size = 16;
+        sq_size = 12;
+        int_regs = 48;
+        fp_regs = 48;
+        ras_size = 8;
+        btb_size = 256;
+        int_alu_units = 1;
+        int_mult_units = 1;
+        fp_alu_units = 1;
+        simd_units = 1;
+        load_ports = 1;
+        store_ports = 1;
+        front_end_depth = 3;
+        mispredict_penalty = 10;
+        msrom_extra_cycles = 3;
+      };
+    hier =
+      {
+        Chex86_mem.Hierarchy.l1_sets = 16;
+        l1_ways = 4;
+        l2_sets = 128;
+        l2_ways = 4;
+        line_bytes = 64;
+        l1_latency = 2;
+        l2_latency = 8;
+        mem_latency = 150;
+        tlb_walk_latency = 30;
+        replacement = Chex86_mem.Cache.Mru;
+      };
+    cap_cache_entries = 16;
+    alias_cache_sets = 32;
+    alias_victim_entries = 8;
+  }
+
+let all = [ skylake; nehalem; tiny ]
+
+let names () = List.map (fun p -> p.name) all
+
+let find name = List.find_opt (fun p -> p.name = name) all
+
+(* Digest over every field that changes simulation results.  Marshal is
+   stable for immutable records of scalars/variants, and this runs once
+   per preset lookup — never on the simulation path. *)
+let digest p =
+  Digest.to_hex
+    (Digest.string
+       (Marshal.to_string
+          (p.core, p.hier, p.cap_cache_entries, p.alias_cache_sets, p.alias_victim_entries)
+          []))
+
+let id p = p.name ^ "-" ^ String.sub (digest p) 0 8
+
+(* Process-wide default, mirroring the other globally-installed knobs
+   (Pool.set_jobs, Store.configure): the CLI sets it once at startup,
+   everything downstream defaults from it. *)
+let current_preset = Atomic.make skylake
+
+let set p = Atomic.set current_preset p
+
+let current () = Atomic.get current_preset
+
+(* Stock machine?  Monitor-structure resizing only applies to variants
+   that carry the defaults, and only for non-stock presets, so explicit
+   ablation sizing always wins. *)
+let is_stock p = p.name = skylake.name

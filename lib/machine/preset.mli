@@ -1,0 +1,40 @@
+(** Named µarch presets (the [--cpu] registry): core config + cache
+    hierarchy + monitor-structure sizing, with a content digest for
+    result-store keying and a process-wide current default. *)
+
+type t = {
+  name : string;
+  description : string;
+  core : Config.t;
+  hier : Chex86_mem.Hierarchy.config;
+  cap_cache_entries : int;
+  alias_cache_sets : int;
+  alias_victim_entries : int;
+}
+
+val skylake : t
+val nehalem : t
+val tiny : t
+
+(** Every registered preset, [skylake] first. *)
+val all : t list
+
+val names : unit -> string list
+val find : string -> t option
+
+(** Hex digest over every simulation-relevant field. *)
+val digest : t -> string
+
+(** ["<name>-<digest prefix>"] — folded into [Runner.Store] keys. *)
+val id : t -> string
+
+(** Install/read the process-wide default picked up by
+    [Simulator.create], [Sim.run] and [Smp.run] when no explicit config
+    is given. *)
+val set : t -> unit
+
+val current : unit -> t
+
+(** [true] for the stock Skylake point: monitor-structure resizing is
+    skipped so explicit ablation sizing is never clobbered. *)
+val is_stock : t -> bool

@@ -27,9 +27,17 @@ type t = {
   counters : Chex86_stats.Counter.group;
 }
 
-let create ?(config = Config.default) ?(hooks = Hooks.none ()) proc =
+(* Defaults come from the installed [Preset] so `--cpu` reaches every
+   construction site without each caller threading configs by hand;
+   explicit arguments (ablations, tests) still win. *)
+let create ?config ?hier_config ?(hooks = Hooks.none ()) proc =
+  let preset = Preset.current () in
+  let config = match config with Some c -> c | None -> preset.Preset.core in
+  let hier_config =
+    match hier_config with Some h -> h | None -> preset.Preset.hier
+  in
   let counters = proc.Chex86_os.Process.counters in
-  let hier = Chex86_mem.Hierarchy.create counters in
+  let hier = Chex86_mem.Hierarchy.create ~config:hier_config counters in
   let engine = Engine.create ~hooks proc in
   let pipeline = Pipeline.create ~config hier counters in
   { engine; pipeline; hier; counters }

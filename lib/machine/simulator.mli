@@ -19,7 +19,13 @@ type result = {
 
 type t
 
-val create : ?config:Config.t -> ?hooks:Hooks.t -> Chex86_os.Process.t -> t
+(** [config]/[hier_config] default from the installed {!Preset}. *)
+val create :
+  ?config:Config.t ->
+  ?hier_config:Chex86_mem.Hierarchy.config ->
+  ?hooks:Hooks.t ->
+  Chex86_os.Process.t ->
+  t
 val engine : t -> Engine.t
 val pipeline : t -> Pipeline.t
 val hierarchy : t -> Chex86_mem.Hierarchy.t

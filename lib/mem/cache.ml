@@ -1,4 +1,4 @@
-(* Generic set-associative cache model with true-LRU replacement.
+(* Generic set-associative cache model with selectable replacement.
 
    Used for the L1/L2 data and instruction caches, and reused (with
    [sets = 1]) for the fully associative in-processor capability cache
@@ -9,6 +9,11 @@
    as in the paper's "256-entry 2-way alias cache augmented by a
    32-entry victim cache".
 
+   Replacement is runtime-selectable per cache: true LRU (stamps),
+   Tree-PLRU (a per-set bit tree packed into one int — ways must be a
+   power of two), or MRU (evict the most recently touched valid way,
+   the pathological point for scans that sensitivity sweeps want).
+
    This sits on the per-memory-access hot path of the whole simulator, so
    it follows the hot-path rules of DESIGN.md: lines store the full block
    number (no tag/index reassembly — which was also outright wrong for
@@ -16,6 +21,16 @@
    block's low bits), way lookup and insertion speak int sentinels
    instead of [option], and hit/miss counters are bumped through
    pre-resolved handles instead of per-access string concatenation. *)
+
+type policy = Lru | Tree_plru | Mru
+
+let policy_name = function Lru -> "lru" | Tree_plru -> "tree-plru" | Mru -> "mru"
+
+let policy_of_string = function
+  | "lru" -> Some Lru
+  | "tree-plru" | "plru" -> Some Tree_plru
+  | "mru" -> Some Mru
+  | _ -> None
 
 (* [block] is the full block number (addr lsr line_bits); -1 when the
    line is invalid.  Storing the whole number costs nothing in a model
@@ -29,33 +44,55 @@ type t = {
   set_bits : int;
   line_bits : int;
   hash_index : bool;  (* XOR-fold the block number into the set index *)
+  policy : policy;
+  (* Tree-PLRU state: one bit-tree per set packed into an int.  Node i's
+     bit is [(plru.(set) lsr i) land 1]; 0 sends the victim walk left.
+     Empty array for the other policies. *)
+  plru : int array;
   victim : t option;
   counters : Chex86_stats.Counter.group;
   h_hit : Chex86_stats.Counter.handle;
   h_miss : Chex86_stats.Counter.handle;
   h_victim_hit : Chex86_stats.Counter.handle;
   mutable clock : int;
+  (* Block displaced out of the cache entirely by the last [access]
+     (past the victim cache when one is attached), -1 if none.  The
+     hierarchy reads this to charge dirty writebacks at eviction time. *)
+  mutable last_evicted : int;
 }
 
 let rec log2 n = if n <= 1 then 0 else 1 + log2 (n / 2)
 
-let create ?victim ?(hash_index = false) ~name ~sets ~ways ~line_bytes counters =
-  if sets land (sets - 1) <> 0 then invalid_arg "Cache.create: sets not a power of 2";
+let is_pow2 n = n > 0 && n land (n - 1) = 0
+
+let create ?victim ?(hash_index = false) ?(policy = Lru) ~name ~sets ~ways
+    ~line_bytes counters =
+  if not (is_pow2 sets) then invalid_arg "Cache.create: sets not a power of 2";
+  if ways < 1 then invalid_arg "Cache.create: ways must be >= 1";
+  if not (is_pow2 line_bytes) then
+    invalid_arg "Cache.create: line_bytes not a power of 2";
+  if policy = Tree_plru && not (is_pow2 ways) then
+    invalid_arg "Cache.create: Tree-PLRU needs a power-of-2 way count";
   {
     name;
     sets = Array.init sets (fun _ -> Array.init ways (fun _ -> { block = -1; valid = false; stamp = 0 }));
     set_bits = log2 sets;
     line_bits = log2 line_bytes;
     hash_index;
+    policy;
+    plru = (if policy = Tree_plru then Array.make sets 0 else [||]);
     victim;
     counters;
     h_hit = Chex86_stats.Counter.handle counters (name ^ ".hit");
     h_miss = Chex86_stats.Counter.handle counters (name ^ ".miss");
     h_victim_hit = Chex86_stats.Counter.handle counters (name ^ ".victim_hit");
     clock = 0;
+    last_evicted = -1;
   }
 
 let set_count c = Array.length c.sets
+
+let policy c = c.policy
 
 let index_of c block =
   if c.hash_index then
@@ -73,6 +110,37 @@ let rec find_way_from set block n i =
 
 let find_way set block = find_way_from set block (Array.length set) 0
 
+(* Tree-PLRU: leaves are ways; internal node i has children 2i+1/2i+2;
+   leaf for way w is w + ways - 1.  Touching a way flips every ancestor
+   bit to point away from it; the victim walk follows the bits down. *)
+let plru_touch c set_idx way ways =
+  let p = ref c.plru.(set_idx) in
+  let l = ref (way + ways - 1) in
+  while !l > 0 do
+    let parent = (!l - 1) / 2 in
+    let from_right = !l = (2 * parent) + 2 in
+    (* Point the victim at the sibling subtree. *)
+    if from_right then p := !p land lnot (1 lsl parent)
+    else p := !p lor (1 lsl parent);
+    l := parent
+  done;
+  c.plru.(set_idx) <- !p
+
+let plru_victim c set_idx ways =
+  let p = c.plru.(set_idx) in
+  let i = ref 0 in
+  while !i < ways - 1 do
+    i := (2 * !i) + 1 + ((p lsr !i) land 1)
+  done;
+  !i - (ways - 1)
+
+(* First invalid way, or -1. *)
+let rec invalid_way_from set n i =
+  if i >= n then -1 else if not set.(i).valid then i else invalid_way_from set n (i + 1)
+
+(* Victim way under the cache's policy, assuming every way is valid is
+   already ruled out by the caller trying [invalid_way_from] first for
+   PLRU; the stamp policies fold invalidity in directly. *)
 let lru_way set =
   let best = ref 0 in
   for i = 1 to Array.length set - 1 do
@@ -82,23 +150,60 @@ let lru_way set =
   done;
   !best
 
-(* Insert [block] into [set], returning the evicted block number if a
-   valid line was displaced, -1 otherwise. *)
-let insert c set block =
-  let way = lru_way set in
-  let evicted = if set.(way).valid then set.(way).block else -1 in
-  set.(way).block <- block;
-  set.(way).valid <- true;
-  set.(way).stamp <- c.clock;
-  evicted
+let mru_way set =
+  let best = ref 0 in
+  for i = 1 to Array.length set - 1 do
+    if (not set.(i).valid) && set.(!best).valid then best := i
+    else if set.(i).valid = set.(!best).valid && set.(i).stamp > set.(!best).stamp then
+      best := i
+  done;
+  !best
 
-(* Probe without the victim path. *)
-let probe_main c addr =
+let victim_way c set_idx set =
+  match c.policy with
+  | Lru -> lru_way set
+  | Mru -> mru_way set
+  | Tree_plru ->
+    let n = Array.length set in
+    let w = invalid_way_from set n 0 in
+    if w >= 0 then w else plru_victim c set_idx n
+
+(* Refresh replacement state for a touched way. *)
+let touch c set_idx set way =
+  set.(way).stamp <- c.clock;
+  if c.policy = Tree_plru then plru_touch c set_idx way (Array.length set)
+
+(* Insert [block] into set [set_idx], returning the evicted block number
+   if a valid line was displaced, -1 otherwise.  If the block is already
+   present (e.g. a swap-back racing an earlier spill) the existing copy
+   is refreshed instead of duplicated. *)
+let insert c set_idx block =
+  let set = c.sets.(set_idx) in
+  let existing = find_way set block in
+  if existing >= 0 then begin
+    touch c set_idx set existing;
+    -1
+  end
+  else begin
+    let way = victim_way c set_idx set in
+    let evicted = if set.(way).valid then set.(way).block else -1 in
+    set.(way).block <- block;
+    set.(way).valid <- true;
+    touch c set_idx set way;
+    evicted
+  end
+
+(* Probe-and-invalidate: a victim-cache hit moves the block back to the
+   main array, so the victim's copy must die — leaving it behind is the
+   duplication bug this guards against (the block then lived in both
+   arrays, and a later spill of the same block stacked a second copy in
+   the victim set). *)
+let probe_take c addr =
   let block = addr lsr c.line_bits in
   let set = c.sets.(index_of c block) in
   let way = find_way set block in
   if way >= 0 then begin
-    set.(way).stamp <- c.clock;
+    set.(way).valid <- false;
     true
   end
   else false
@@ -106,18 +211,24 @@ let probe_main c addr =
 (* Hand a block evicted from the main array of [c] to its victim cache
    [v].  The block number is exact, so re-deriving the victim's index and
    comparing full block numbers is correct for any indexing function of
-   either cache (the victim may use a different line size). *)
+   either cache (the victim may use a different line size).  Returns the
+   block displaced out of [v], renumbered back into [c]'s line size when
+   the two agree, -1 otherwise (a casualty in a differently-grained
+   victim has no exact main-array equivalent). *)
 let spill_to_victim c v evicted =
   let vblock = (evicted lsl c.line_bits) lsr v.line_bits in
-  ignore (insert v v.sets.(index_of v vblock) vblock)
+  let casualty = insert v (index_of v vblock) vblock in
+  if casualty >= 0 && v.line_bits = c.line_bits then casualty else -1
 
 let access c ~write:_ addr =
   c.clock <- c.clock + 1;
+  c.last_evicted <- -1;
   let block = addr lsr c.line_bits in
-  let set = c.sets.(index_of c block) in
+  let set_idx = index_of c block in
+  let set = c.sets.(set_idx) in
   let way = find_way set block in
   if way >= 0 then begin
-    set.(way).stamp <- c.clock;
+    touch c set_idx set way;
     Chex86_stats.Counter.incr_handle c.counters c.h_hit;
     true
   end
@@ -127,10 +238,10 @@ let access c ~write:_ addr =
       | None -> false
       | Some v ->
         v.clock <- v.clock + 1;
-        if probe_main v addr then begin
-          (* Swap back into the main array. *)
-          let evicted = insert c set block in
-          if evicted >= 0 then spill_to_victim c v evicted;
+        if probe_take v addr then begin
+          (* Swap back into the main array; the victim's copy is gone. *)
+          let evicted = insert c set_idx block in
+          if evicted >= 0 then c.last_evicted <- spill_to_victim c v evicted;
           true
         end
         else false
@@ -141,13 +252,29 @@ let access c ~write:_ addr =
     end
     else begin
       Chex86_stats.Counter.incr_handle c.counters c.h_miss;
-      let evicted = insert c set block in
+      let evicted = insert c set_idx block in
       (match c.victim with
-      | Some v -> if evicted >= 0 then spill_to_victim c v evicted
-      | None -> ());
+      | Some v -> if evicted >= 0 then c.last_evicted <- spill_to_victim c v evicted
+      | None -> c.last_evicted <- evicted);
       false
     end
   end
+
+let evicted_block c = c.last_evicted
+
+(* Presence check with no side effects: no counters, no replacement
+   update, no clock tick.  Checks the victim array too, so "is this line
+   still cached here" means the whole structure. *)
+let peek c addr =
+  let block = addr lsr c.line_bits in
+  let set = c.sets.(index_of c block) in
+  find_way set block >= 0
+  ||
+  match c.victim with
+  | None -> false
+  | Some v ->
+    let vblock = addr lsr v.line_bits in
+    find_way v.sets.(index_of v vblock) vblock >= 0
 
 let invalidate c addr =
   let block = addr lsr c.line_bits in

@@ -1,9 +1,11 @@
 (* Memory hierarchy timing: L1I + L1D (Table III: 32 KB, 8-way), a
    unified L2, and main memory.  [access] returns the load-to-use latency
    in cycles and accounts DRAM traffic in bytes for the bandwidth figure
-   (Fig 9 bottom): every L2 miss transfers one line from memory, and
-   dirty-line writebacks are modelled by charging a line transfer on the
-   first write to a line after it is (re)fetched. *)
+   (Fig 9 bottom): every L2 miss transfers one line from memory, and a
+   dirty line pays its writeback exactly once — when it is evicted from
+   the last data-holding level (an L1D eviction defers to a surviving L2
+   copy and vice versa), so streaming stores that never refetch still pay
+   and [dirty_lines] stays bounded by the cache capacity. *)
 
 type config = {
   l1_sets : int;
@@ -15,6 +17,7 @@ type config = {
   l2_latency : int;
   mem_latency : int;
   tlb_walk_latency : int;
+  replacement : Cache.policy;
 }
 
 let default_config =
@@ -28,6 +31,7 @@ let default_config =
     l2_latency = 14;
     mem_latency = 180;
     tlb_walk_latency = 30;
+    replacement = Cache.Lru;
   }
 
 type t = {
@@ -40,6 +44,7 @@ type t = {
   line_bits : int;  (* log2 line_bytes: [line_of] must not idiv per access *)
   counters : Chex86_stats.Counter.group;
   h_mem_bytes : Chex86_stats.Counter.handle;
+  h_wb_bytes : Chex86_stats.Counter.handle;
 }
 
 let create ?(config = default_config) counters =
@@ -47,13 +52,13 @@ let create ?(config = default_config) counters =
     config;
     l1i =
       Cache.create ~name:"l1i" ~sets:config.l1_sets ~ways:config.l1_ways
-        ~line_bytes:config.line_bytes counters;
+        ~line_bytes:config.line_bytes ~policy:config.replacement counters;
     l1d =
       Cache.create ~name:"l1d" ~sets:config.l1_sets ~ways:config.l1_ways
-        ~line_bytes:config.line_bytes counters;
+        ~line_bytes:config.line_bytes ~policy:config.replacement counters;
     l2 =
       Cache.create ~name:"l2" ~sets:config.l2_sets ~ways:config.l2_ways
-        ~line_bytes:config.line_bytes counters;
+        ~line_bytes:config.line_bytes ~policy:config.replacement counters;
     dtlb = Tlb.create ~name:"dtlb" ~sets:16 ~ways:4 counters;
     dirty_lines = Intset.create ~capacity:1024 ();
     line_bits =
@@ -61,13 +66,29 @@ let create ?(config = default_config) counters =
        log2 config.line_bytes);
     counters;
     h_mem_bytes = Chex86_stats.Counter.handle counters "mem.bytes";
+    h_wb_bytes = Chex86_stats.Counter.handle counters "mem.writeback_bytes";
   }
+
+let config t = t.config
 
 let dtlb t = t.dtlb
 
 let line_of t addr = addr lsr t.line_bits
 
 let mem_traffic t bytes = Chex86_stats.Counter.incr_handle ~by:bytes t.counters t.h_mem_bytes
+
+(* A dirty line just left [from]; if no other data-holding cache still
+   has it, its modified bytes go back to DRAM now.  [still_in] is the
+   other level that could be sheltering a copy (the L1I never holds
+   dirty data, so it cannot defer a writeback). *)
+let note_eviction t ~still_in evicted =
+  if evicted >= 0 && Intset.mem t.dirty_lines evicted then
+    if not (Cache.peek still_in (evicted lsl t.line_bits)) then begin
+      Intset.remove t.dirty_lines evicted;
+      let bytes = t.config.line_bytes in
+      Chex86_stats.Counter.incr_handle ~by:bytes t.counters t.h_mem_bytes;
+      Chex86_stats.Counter.incr_handle ~by:bytes t.counters t.h_wb_bytes
+    end
 
 type kind = Inst | Data
 
@@ -85,21 +106,29 @@ let access t ~kind ~write addr =
     if write then Intset.add t.dirty_lines (line_of t addr);
     tlb_lat + cfg.l1_latency
   end
-  else if Cache.access t.l2 ~write addr then begin
-    if write then Intset.add t.dirty_lines (line_of t addr);
-    tlb_lat + cfg.l2_latency
-  end
   else begin
-    (* Line fill from DRAM; a previously dirty copy of the displaced line
-       is charged as a writeback the first time the line is refetched. *)
-    mem_traffic t cfg.line_bytes;
-    let line = line_of t addr in
-    if Intset.mem t.dirty_lines line then begin
-      Intset.remove t.dirty_lines line;
-      mem_traffic t cfg.line_bytes
-    end;
-    if write then Intset.add t.dirty_lines line;
-    tlb_lat + cfg.mem_latency
+    (* The L1 miss allocated a line; a displaced dirty line that the L2
+       no longer shelters writes back now.  Instruction-side evictions
+       never carry dirty data. *)
+    (match kind with
+    | Data -> note_eviction t ~still_in:t.l2 (Cache.evicted_block t.l1d)
+    | Inst -> ());
+    if Cache.access t.l2 ~write addr then begin
+      if write then Intset.add t.dirty_lines (line_of t addr);
+      tlb_lat + cfg.l2_latency
+    end
+    else begin
+      (* Line fill from DRAM; the L2 casualty pays its writeback here
+         unless the L1D still holds it (then the L1D eviction pays). *)
+      note_eviction t ~still_in:t.l1d (Cache.evicted_block t.l2);
+      mem_traffic t cfg.line_bytes;
+      if write then Intset.add t.dirty_lines (line_of t addr);
+      tlb_lat + cfg.mem_latency
+    end
   end
 
 let mem_bytes t = Chex86_stats.Counter.get_handle t.counters t.h_mem_bytes
+
+let writeback_bytes t = Chex86_stats.Counter.get_handle t.counters t.h_wb_bytes
+
+let dirty_line_count t = Intset.cardinal t.dirty_lines

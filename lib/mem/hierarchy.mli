@@ -10,14 +10,18 @@ type config = {
   l2_latency : int;
   mem_latency : int;
   tlb_walk_latency : int;
+  replacement : Cache.policy;
 }
 
-(** Table III-like: 32 KB 8-way L1s, 256 KB L2, 64 B lines. *)
+(** Table III-like: 32 KB 8-way L1s, 256 KB L2, 64 B lines, true LRU. *)
 val default_config : config
 
 type t
 
 val create : ?config:config -> Chex86_stats.Counter.group -> t
+
+(** The configuration this hierarchy was built with. *)
+val config : t -> config
 
 (** The data TLB (carries the alias-hosting bits). *)
 val dtlb : t -> Tlb.t
@@ -25,11 +29,21 @@ val dtlb : t -> Tlb.t
 type kind = Inst | Data
 
 (** [access t ~kind ~write addr] returns the access latency in cycles and
-    updates cache state, TLB state and DRAM traffic counters. *)
+    updates cache state, TLB state and DRAM traffic counters.  Dirty
+    lines are written back (charged to ["mem.bytes"] and
+    ["mem.writeback_bytes"]) when evicted from the last data-holding
+    level. *)
 val access : t -> kind:kind -> write:bool -> int -> int
 
 (** Extra DRAM traffic in bytes charged by shadow structures etc. *)
 val mem_traffic : t -> int -> unit
 
-(** Total DRAM bytes transferred so far. *)
+(** Total DRAM bytes transferred so far (includes writebacks). *)
 val mem_bytes : t -> int
+
+(** Dirty-line writeback bytes charged so far. *)
+val writeback_bytes : t -> int
+
+(** Lines currently dirty somewhere in the hierarchy — bounded by cache
+    capacity now that evictions clear their entries. *)
+val dirty_line_count : t -> int

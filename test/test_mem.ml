@@ -104,6 +104,70 @@ let test_cache_victim_recovery_hashed_index () =
   Alcotest.(check bool) "hashed-evicted block recovered" true (Cache.access c ~write:false a);
   Alcotest.(check int) "victim hit counted" 1 (Counter.get g "c.victim_hit")
 
+(* Regression for the victim-duplication bug: a victim hit swapped the
+   block back into the main array but left the victim's copy valid, so
+   the block lived in both arrays and later spills stacked duplicates in
+   the victim set, silently shrinking its capacity.  After A round-trips
+   main -> victim -> main twice, the 2-way victim must still hold both
+   distinct casualties. *)
+let test_cache_victim_no_duplicates () =
+  let g = Counter.create_group () in
+  let victim = Cache.create ~name:"v" ~sets:1 ~ways:2 ~line_bytes:64 g in
+  let c = Cache.create ~victim ~name:"c" ~sets:1 ~ways:1 ~line_bytes:64 g in
+  let a = 0x0000 and b = 0x1000 and d = 0x2000 in
+  ignore (Cache.access c ~write:false a);  (* main=[A] *)
+  ignore (Cache.access c ~write:false b);  (* main=[B] victim=[A] *)
+  ignore (Cache.access c ~write:false a);  (* swap back; victim=[B] *)
+  ignore (Cache.access c ~write:false b);  (* swap back; victim=[A] *)
+  ignore (Cache.access c ~write:false d);  (* main=[D] victim=[A;B] *)
+  Alcotest.(check bool) "A still in victim" true (Cache.access c ~write:false a);
+  Alcotest.(check int) "victim hits" 3 (Counter.get g "c.victim_hit")
+
+let test_cache_rejects_bad_geometry () =
+  let g = Counter.create_group () in
+  let reject msg err f = Alcotest.check_raises msg (Invalid_argument err) (fun () -> ignore (f ())) in
+  List.iter
+    (fun sets ->
+      reject
+        (Printf.sprintf "sets=%d rejected" sets)
+        "Cache.create: sets not a power of 2"
+        (fun () -> Cache.create ~name:"c" ~sets ~ways:2 ~line_bytes:64 g))
+    [ 0; 3; 6; 100 ];
+  List.iter
+    (fun line_bytes ->
+      reject
+        (Printf.sprintf "line_bytes=%d rejected" line_bytes)
+        "Cache.create: line_bytes not a power of 2"
+        (fun () -> Cache.create ~name:"c" ~sets:16 ~ways:2 ~line_bytes g))
+    [ 0; 48; 100 ];
+  reject "ways=0 rejected" "Cache.create: ways must be >= 1" (fun () ->
+      Cache.create ~name:"c" ~sets:16 ~ways:0 ~line_bytes:64 g);
+  reject "Tree-PLRU non-pow2 ways rejected"
+    "Cache.create: Tree-PLRU needs a power-of-2 way count" (fun () ->
+      Cache.create ~policy:Cache.Tree_plru ~name:"c" ~sets:16 ~ways:3 ~line_bytes:64 g)
+
+let test_cache_tree_plru_protects_touched () =
+  let g = Counter.create_group () in
+  let c = Cache.create ~policy:Cache.Tree_plru ~name:"p" ~sets:1 ~ways:4 ~line_bytes:64 g in
+  let blk i = i * 0x1000 in
+  for i = 0 to 3 do
+    ignore (Cache.access c ~write:false (blk i))
+  done;
+  ignore (Cache.access c ~write:false (blk 0));  (* tree points away from way 0 *)
+  ignore (Cache.access c ~write:false (blk 4));  (* PLRU victim is way 2 *)
+  Alcotest.(check bool) "touched way survives" true (Cache.access c ~write:false (blk 0));
+  Alcotest.(check bool) "PLRU victim was evicted" false (Cache.access c ~write:false (blk 2))
+
+let test_cache_mru_evicts_most_recent () =
+  let g = Counter.create_group () in
+  let c = Cache.create ~policy:Cache.Mru ~name:"m" ~sets:1 ~ways:2 ~line_bytes:64 g in
+  ignore (Cache.access c ~write:false 0x0000);
+  ignore (Cache.access c ~write:false 0x1000);
+  ignore (Cache.access c ~write:false 0x0000);  (* A is now MRU *)
+  ignore (Cache.access c ~write:false 0x2000);  (* MRU evicts A, not B *)
+  Alcotest.(check bool) "LRU block survives under MRU" true (Cache.access c ~write:false 0x1000);
+  Alcotest.(check bool) "MRU block evicted" false (Cache.access c ~write:false 0x0000)
+
 let test_cache_invalidate () =
   let c, _ = new_cache ~sets:16 ~ways:2 () in
   ignore (Cache.access c ~write:false 0x4000);
@@ -174,14 +238,41 @@ let test_hierarchy_writeback () =
   let g = Counter.create_group () in
   let h = Hierarchy.create g in
   ignore (Hierarchy.access h ~kind:Data ~write:true 0x8000);
-  (* Evict from both levels by touching many conflicting lines, then
-     refetch: the dirty line charges a writeback alongside the fill. *)
+  Alcotest.(check int) "line dirty after the store" 1 (Hierarchy.dirty_line_count h);
+  (* Push the dirty line out of both levels with conflicting clean
+     fills: the writeback is charged at eviction time, not deferred to
+     a refetch that may never come. *)
   for i = 1 to 8192 do
     ignore (Hierarchy.access h ~kind:Data ~write:false (0x8000 + (i * 64 * 512)))
   done;
+  Alcotest.(check int) "writeback charged on eviction" 64 (Hierarchy.writeback_bytes h);
+  Alcotest.(check int) "dirty entry retired" 0 (Hierarchy.dirty_line_count h);
   let before = Hierarchy.mem_bytes h in
   ignore (Hierarchy.access h ~kind:Data ~write:false 0x8000);
-  Alcotest.(check int) "fill + writeback" (before + 128) (Hierarchy.mem_bytes h)
+  Alcotest.(check int) "refetch pays only the fill" (before + 64) (Hierarchy.mem_bytes h)
+
+(* Regression for the dirty-line leak: a streaming-store workload whose
+   lines are written once and never refetched must still pay writebacks,
+   and [dirty_lines] must stay bounded by what the caches can hold
+   instead of growing one entry per line touched. *)
+let test_hierarchy_streaming_store () =
+  let g = Counter.create_group () in
+  let h = Hierarchy.create g in
+  let cfg = Hierarchy.default_config in
+  let lines = 20000 in
+  for i = 0 to lines - 1 do
+    ignore (Hierarchy.access h ~kind:Data ~write:true (i * cfg.line_bytes))
+  done;
+  let capacity = (cfg.l1_sets * cfg.l1_ways) + (cfg.l2_sets * cfg.l2_ways) in
+  let dirty = Hierarchy.dirty_line_count h in
+  Alcotest.(check bool)
+    (Printf.sprintf "dirty lines bounded by capacity (%d <= %d)" dirty capacity)
+    true (dirty <= capacity);
+  let wb = Hierarchy.writeback_bytes h in
+  Alcotest.(check bool)
+    (Printf.sprintf "evicted stores wrote back (%d bytes)" wb)
+    true
+    (wb >= (lines - capacity) * cfg.line_bytes)
 
 let () =
   Alcotest.run "mem"
@@ -203,6 +294,13 @@ let () =
           Alcotest.test_case "victim recovery" `Quick test_cache_victim_recovery;
           Alcotest.test_case "victim recovery (hashed index)" `Quick
             test_cache_victim_recovery_hashed_index;
+          Alcotest.test_case "victim holds no duplicates" `Quick
+            test_cache_victim_no_duplicates;
+          Alcotest.test_case "rejects bad geometry" `Quick test_cache_rejects_bad_geometry;
+          Alcotest.test_case "Tree-PLRU protects touched way" `Quick
+            test_cache_tree_plru_protects_touched;
+          Alcotest.test_case "MRU evicts most recent" `Quick
+            test_cache_mru_evicts_most_recent;
           Alcotest.test_case "invalidate" `Quick test_cache_invalidate;
           Alcotest.test_case "hashed index spreads strides" `Quick
             test_cache_hashed_index_spreads;
@@ -218,5 +316,6 @@ let () =
           Alcotest.test_case "latencies" `Quick test_hierarchy_latencies;
           Alcotest.test_case "bandwidth" `Quick test_hierarchy_bandwidth;
           Alcotest.test_case "writeback" `Quick test_hierarchy_writeback;
+          Alcotest.test_case "streaming store" `Quick test_hierarchy_streaming_store;
         ] );
     ]
